@@ -1,0 +1,37 @@
+//! Fig. 7 — the instrumented GraphTrek traversal whose per-server visit
+//! statistics the paper plots. The benchmark measures the traversal that
+//! produces the statistics and asserts the §VII-A accounting identity on
+//! every iteration (instrumentation must not drift under load).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gt_bench::{bench_campaign, rmat_bench_setup};
+use graphtrek::prelude::*;
+
+fn bench_fig7(c: &mut Criterion) {
+    let n_servers = *bench_campaign().servers.last().unwrap();
+    let setup = rmat_bench_setup(EngineKind::GraphTrek, n_servers, 8, FaultPlan::none());
+    let mut group = c.benchmark_group("fig07_instrumented");
+    group.sample_size(10);
+    group.bench_function(format!("GraphTrek/{}srv", n_servers), |b| {
+        b.iter_custom(|iters| {
+            let mut total = std::time::Duration::ZERO;
+            for _ in 0..iters {
+                setup.cluster.reset_metrics();
+                total += setup.run_cold();
+                for m in setup.cluster.metrics() {
+                    assert_eq!(
+                        m.redundant_visits + m.combined_visits + m.real_io_visits,
+                        m.requests_received,
+                        "Fig. 7 accounting identity violated"
+                    );
+                }
+            }
+            total
+        })
+    });
+    group.finish();
+    setup.teardown();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

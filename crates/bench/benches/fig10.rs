@@ -1,0 +1,30 @@
+//! Fig10 — 8-step RMAT-1 traversal, Sync-GT vs GraphTrek, at
+//! reduced Criterion scale (the `repro` binary runs the full sweep).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gt_bench::{bench_campaign, rmat_bench_setup};
+use graphtrek::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_8step");
+    group.sample_size(10);
+    for n_servers in bench_campaign().servers.clone() {
+        for kind in [EngineKind::Sync, EngineKind::GraphTrek] {
+            let setup = rmat_bench_setup(kind, n_servers, 8, FaultPlan::none());
+            group.bench_function(format!("{}/{}srv", kind.label(), n_servers), |b| {
+                b.iter_custom(|iters| {
+                    let mut total = std::time::Duration::ZERO;
+                    for _ in 0..iters {
+                        total += setup.run_cold();
+                    }
+                    total
+                })
+            });
+            setup.teardown();
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

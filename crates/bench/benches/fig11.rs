@@ -1,0 +1,32 @@
+//! Fig. 11 — traversal under transient external stragglers (fixed delay
+//! on a burst of vertex accesses at steps 1/3/7), Sync-GT vs GraphTrek.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gt_bench::{bench_campaign, fig11_faults, rmat_bench_setup};
+use graphtrek::prelude::*;
+
+fn bench_fig11(c: &mut Criterion) {
+    let campaign = bench_campaign();
+    let mut group = c.benchmark_group("fig11_stragglers");
+    group.sample_size(10);
+    for n_servers in campaign.servers.clone() {
+        for kind in [EngineKind::Sync, EngineKind::GraphTrek] {
+            let faults = fig11_faults(&campaign, n_servers, 8);
+            let setup = rmat_bench_setup(kind, n_servers, 8, faults);
+            group.bench_function(format!("{}/{}srv", kind.label(), n_servers), |b| {
+                b.iter_custom(|iters| {
+                    let mut total = std::time::Duration::ZERO;
+                    for _ in 0..iters {
+                        total += setup.run_cold();
+                    }
+                    total
+                })
+            });
+            setup.teardown();
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

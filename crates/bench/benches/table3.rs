@@ -1,0 +1,29 @@
+//! Table III — the §VII-D influence-audit query on the synthetic Darshan
+//! metadata graph, all three engines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gt_bench::{bench_campaign, darshan_bench_setup};
+use graphtrek::prelude::*;
+
+fn bench_table3(c: &mut Criterion) {
+    let n_servers = *bench_campaign().servers.last().unwrap();
+    let mut group = c.benchmark_group("table3_darshan_audit");
+    group.sample_size(10);
+    for kind in EngineKind::all() {
+        let setup = darshan_bench_setup(kind, n_servers);
+        group.bench_function(format!("{}/{}srv", kind.label(), n_servers), |b| {
+            b.iter_custom(|iters| {
+                let mut total = std::time::Duration::ZERO;
+                for _ in 0..iters {
+                    total += setup.run_cold();
+                }
+                total
+            })
+        });
+        setup.teardown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

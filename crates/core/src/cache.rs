@@ -1,0 +1,273 @@
+//! Traversal-affiliate caching (paper §V-A).
+//!
+//! "In each backend server, a preallocated cache is created once the
+//! servers start. During the graph traversal, the server caches the
+//! current execution … with the identification of a `{travel-id,
+//! current-step, vertex-id}` triple. While serving a new request, the
+//! server first checks whether it has been served before by querying the
+//! cache. If there is a cache hit, then the server can safely abandon the
+//! request." Eviction is the paper's time-based strategy: "for each
+//! traversal instance, the triples with the smallest step Ids are
+//! substituted", because a larger in-flight step id implies the oldest
+//! steps have already quiesced.
+//!
+//! One extension is needed for correctness of `rtn()` routing: a request
+//! can arrive carrying origin tokens the cached visit has not seen (two
+//! asynchronous paths through differently-`rtn()`-marked ancestors). Such
+//! a request is *not* redundant — its new tokens must still flow
+//! downstream — so the cache records the seen token set per triple and
+//! reports exactly the unseen remainder.
+
+use crate::{Token, Tokens, TravelId};
+use gt_graph::VertexId;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Outcome of consulting the cache for one vertex request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheDecision {
+    /// Never served before: process fully (one real visit).
+    FirstVisit,
+    /// Served before with the same (or a superset of) tokens: abandon.
+    Redundant,
+    /// Served before, but these origin tokens are new: re-propagate them
+    /// downstream (the vertex data itself need not be re-filtered).
+    NewTokens(Tokens),
+}
+
+#[derive(Default)]
+struct TravelEntries {
+    /// (step, vertex) → origin tokens already propagated from this visit.
+    entries: BTreeMap<(u16, VertexId), BTreeSet<Token>>,
+}
+
+/// The per-server traversal-affiliate cache.
+pub struct TraversalCache {
+    inner: Mutex<HashMap<TravelId, TravelEntries>>,
+    capacity: usize,
+    len: std::sync::atomic::AtomicUsize,
+}
+
+impl std::fmt::Debug for TraversalCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraversalCache")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl TraversalCache {
+    /// Create a cache bounded to `capacity` triples. Zero capacity
+    /// disables caching (every request reports [`CacheDecision::FirstVisit`]),
+    /// which is how the plain Async-GT configuration runs.
+    pub fn new(capacity: usize) -> Self {
+        TraversalCache {
+            inner: Mutex::new(HashMap::new()),
+            capacity,
+            len: std::sync::atomic::AtomicUsize::new(0),
+        }
+    }
+
+    /// Consult-and-update for one request.
+    pub fn observe(
+        &self,
+        travel: TravelId,
+        step: u16,
+        vertex: VertexId,
+        tokens: &Tokens,
+    ) -> CacheDecision {
+        if self.capacity == 0 {
+            return CacheDecision::FirstVisit;
+        }
+        let mut map = self.inner.lock();
+        let entries = &mut map.entry(travel).or_default().entries;
+        match entries.get_mut(&(step, vertex)) {
+            Some(seen) => {
+                let new: Tokens = tokens
+                    .iter()
+                    .copied()
+                    .filter(|t| !seen.contains(t))
+                    .collect();
+                if new.is_empty() {
+                    CacheDecision::Redundant
+                } else {
+                    seen.extend(new.iter().copied());
+                    CacheDecision::NewTokens(new)
+                }
+            }
+            None => {
+                entries.insert((step, vertex), tokens.iter().copied().collect());
+                let total = self.len.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+                if total > self.capacity {
+                    self.evict_locked(&mut map, travel, (step, vertex));
+                }
+                CacheDecision::FirstVisit
+            }
+        }
+    }
+
+    /// Evict smallest-step triples, preferring the inserting travel, and
+    /// never evicting the triple that was just inserted.
+    fn evict_locked(
+        &self,
+        map: &mut HashMap<TravelId, TravelEntries>,
+        inserted_travel: TravelId,
+        inserted_key: (u16, VertexId),
+    ) {
+        let over = self
+            .len
+            .load(std::sync::atomic::Ordering::Relaxed)
+            .saturating_sub(self.capacity);
+        let mut to_remove = over;
+        // Pass 1: the inserting travel's smallest steps.
+        if let Some(te) = map.get_mut(&inserted_travel) {
+            while to_remove > 0 {
+                let key = match te.entries.keys().next().copied() {
+                    Some(k) if k != inserted_key => k,
+                    _ => break,
+                };
+                te.entries.remove(&key);
+                to_remove -= 1;
+            }
+        }
+        // Pass 2: other travels' smallest steps.
+        if to_remove > 0 {
+            let travels: Vec<TravelId> = map
+                .iter()
+                .filter(|(t, e)| **t != inserted_travel && !e.entries.is_empty())
+                .map(|(t, _)| *t)
+                .collect();
+            'outer: for t in travels {
+                if let Some(te) = map.get_mut(&t) {
+                    while to_remove > 0 {
+                        match te.entries.keys().next().copied() {
+                            Some(k) => {
+                                te.entries.remove(&k);
+                                to_remove -= 1;
+                            }
+                            None => continue 'outer,
+                        }
+                    }
+                    break;
+                }
+            }
+        }
+        let removed = over - to_remove;
+        self.len
+            .fetch_sub(removed, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Drop every triple belonging to a finished (or aborted) traversal.
+    pub fn forget_travel(&self, travel: TravelId) {
+        let mut map = self.inner.lock();
+        if let Some(te) = map.remove(&travel) {
+            self.len
+                .fetch_sub(te.entries.len(), std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    /// Number of cached triples.
+    pub fn len(&self) -> usize {
+        self.len.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tok(owner: u16, id: u64) -> Token {
+        Token { owner, id }
+    }
+
+    #[test]
+    fn first_then_redundant() {
+        let c = TraversalCache::new(100);
+        let v = VertexId(5);
+        assert_eq!(c.observe(1, 2, v, &vec![]), CacheDecision::FirstVisit);
+        assert_eq!(c.observe(1, 2, v, &vec![]), CacheDecision::Redundant);
+        // Different step or travel is a fresh visit.
+        assert_eq!(c.observe(1, 3, v, &vec![]), CacheDecision::FirstVisit);
+        assert_eq!(c.observe(2, 2, v, &vec![]), CacheDecision::FirstVisit);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn new_tokens_are_reported_once() {
+        let c = TraversalCache::new(100);
+        let v = VertexId(5);
+        assert_eq!(
+            c.observe(1, 1, v, &vec![tok(0, 1)]),
+            CacheDecision::FirstVisit
+        );
+        // Same token again: redundant.
+        assert_eq!(c.observe(1, 1, v, &vec![tok(0, 1)]), CacheDecision::Redundant);
+        // A new token must be propagated…
+        assert_eq!(
+            c.observe(1, 1, v, &vec![tok(0, 1), tok(2, 9)]),
+            CacheDecision::NewTokens(vec![tok(2, 9)])
+        );
+        // …but only once.
+        assert_eq!(
+            c.observe(1, 1, v, &vec![tok(2, 9)]),
+            CacheDecision::Redundant
+        );
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let c = TraversalCache::new(0);
+        assert_eq!(c.observe(1, 1, VertexId(1), &vec![]), CacheDecision::FirstVisit);
+        assert_eq!(c.observe(1, 1, VertexId(1), &vec![]), CacheDecision::FirstVisit);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn eviction_drops_smallest_steps_first() {
+        let c = TraversalCache::new(4);
+        for step in 1..=4u16 {
+            c.observe(7, step, VertexId(step as u64), &vec![]);
+        }
+        assert_eq!(c.len(), 4);
+        // Inserting a 5th entry evicts the step-1 triple.
+        c.observe(7, 5, VertexId(5), &vec![]);
+        assert_eq!(c.len(), 4);
+        assert_eq!(
+            c.observe(7, 1, VertexId(1), &vec![]),
+            CacheDecision::FirstVisit,
+            "smallest step must have been evicted"
+        );
+        // Highest steps survive. (Step 5's entry is still present.)
+        assert_eq!(c.observe(7, 5, VertexId(5), &vec![]), CacheDecision::Redundant);
+    }
+
+    #[test]
+    fn eviction_can_reach_other_travels() {
+        let c = TraversalCache::new(2);
+        c.observe(1, 9, VertexId(1), &vec![]);
+        c.observe(1, 9, VertexId(2), &vec![]);
+        // Travel 2's first insert overflows; travel 2 has nothing except
+        // the inserted key, so travel 1 loses an entry.
+        c.observe(2, 1, VertexId(3), &vec![]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.observe(2, 1, VertexId(3), &vec![]), CacheDecision::Redundant);
+    }
+
+    #[test]
+    fn forget_travel_releases_capacity() {
+        let c = TraversalCache::new(10);
+        for i in 0..5u64 {
+            c.observe(3, 1, VertexId(i), &vec![]);
+        }
+        assert_eq!(c.len(), 5);
+        c.forget_travel(3);
+        assert!(c.is_empty());
+        assert_eq!(c.observe(3, 1, VertexId(0), &vec![]), CacheDecision::FirstVisit);
+    }
+}

@@ -1,0 +1,539 @@
+//! Cluster harness and client API.
+//!
+//! [`Cluster::build`] loads a property graph into `n` simulated backend
+//! servers (edge-cut partitioned, each with its own persistent store) and
+//! wires them to a [`gt_net::Fabric`]. The client then ships whole
+//! GTravel instances to a chosen coordinator server — the paper's
+//! server-side traversal (§IV-A): "the client sends the GTravel instance
+//! to one selected backend server to start a graph traversal … the
+//! traversal is executed among backend servers and returns the status and
+//! results to the coordinator."
+//!
+//! [`Cluster::submit_opts`] implements the paper's v1 failure handling:
+//! if no completion arrives within the timeout (a silent failure — e.g. a
+//! crashed or isolated server), the traversal is aborted and restarted
+//! from scratch (§IV-C: "this failure will simply cause the traversal to
+//! be restarted").
+
+use crate::engine::{EngineConfig, EngineKind};
+use crate::lang::{GTravel, LangError, Plan};
+use crate::message::{Msg, ProgressSnapshot, TravelOutcome};
+use crate::metrics::MetricsSnapshot;
+use crate::server::{spawn, ServerArgs, ServerHandle};
+use crate::TravelId;
+use gt_graph::storage::load_partitioned;
+use gt_graph::{EdgeCutPartitioner, GraphPartition, InMemoryGraph, VertexId};
+use gt_kvstore::{IoProfile, Store, StoreConfig};
+use gt_net::{Endpoint, Fabric, NetConfig, RecvError};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Storage-side configuration of a simulated cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Directory holding one store per server (`server-<i>/`).
+    pub dir: PathBuf,
+    /// Number of backend servers.
+    pub n_servers: usize,
+    /// Storage I/O latency model (see [`IoProfile`]).
+    pub io: IoProfile,
+    /// Shared block-cache capacity per server, in runs. `0` keeps every
+    /// segment read cold.
+    pub block_cache_runs: usize,
+    /// Flush + compact + drop caches after loading, so the first traversal
+    /// runs from a cold start (§VII's experimental condition).
+    pub seal_cold: bool,
+    /// Memtable budget per namespace.
+    pub memtable_bytes: usize,
+}
+
+impl ClusterConfig {
+    /// Sensible defaults for tests: free I/O, warm caches allowed.
+    pub fn new(dir: impl Into<PathBuf>, n_servers: usize) -> Self {
+        ClusterConfig {
+            dir: dir.into(),
+            n_servers,
+            io: IoProfile::free(),
+            block_cache_runs: 4096,
+            seal_cold: false,
+            memtable_bytes: 8 << 20,
+        }
+    }
+
+    /// Builder-style: storage I/O model.
+    pub fn io(mut self, io: IoProfile) -> Self {
+        self.io = io;
+        self
+    }
+
+    /// Builder-style: block cache capacity (runs).
+    pub fn block_cache_runs(mut self, runs: usize) -> Self {
+        self.block_cache_runs = runs;
+        self
+    }
+
+    /// Builder-style: cold-start sealing after load.
+    pub fn seal_cold(mut self, on: bool) -> Self {
+        self.seal_cold = on;
+        self
+    }
+}
+
+/// Errors surfaced by the client API.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// The GTravel chain failed to compile.
+    Lang(LangError),
+    /// Storage failure while building the cluster.
+    Storage(gt_kvstore::Error),
+    /// The traversal did not complete within the timeout (after all
+    /// restart attempts). Carries the number of attempts made.
+    TimedOut(u32),
+    /// The fabric is down (cluster shut down concurrently).
+    Disconnected,
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::Lang(e) => write!(f, "query error: {e}"),
+            ClusterError::Storage(e) => write!(f, "storage error: {e}"),
+            ClusterError::TimedOut(n) => write!(f, "traversal timed out after {n} attempt(s)"),
+            ClusterError::Disconnected => write!(f, "cluster disconnected"),
+        }
+    }
+}
+impl std::error::Error for ClusterError {}
+
+impl From<LangError> for ClusterError {
+    fn from(e: LangError) -> Self {
+        ClusterError::Lang(e)
+    }
+}
+impl From<gt_kvstore::Error> for ClusterError {
+    fn from(e: gt_kvstore::Error) -> Self {
+        ClusterError::Storage(e)
+    }
+}
+
+/// Result of one completed traversal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TravelResult {
+    /// Returned vertices per returned depth, sorted and dedup'd.
+    pub by_depth: BTreeMap<u16, Vec<VertexId>>,
+    /// Union of all returned depths, sorted and dedup'd.
+    pub vertices: Vec<VertexId>,
+    /// Wall-clock time from submission to completion (including restarts).
+    pub elapsed: Duration,
+    /// Final status-tracing totals.
+    pub progress: ProgressSnapshot,
+    /// How many times the traversal was restarted after a timeout.
+    pub restarts: u32,
+}
+
+impl TravelResult {
+    fn from_outcome(outcome: TravelOutcome, elapsed: Duration, restarts: u32) -> Self {
+        let by_depth: BTreeMap<u16, Vec<VertexId>> = outcome.by_depth.into_iter().collect();
+        let mut all: Vec<VertexId> = by_depth.values().flatten().copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        TravelResult {
+            by_depth,
+            vertices: all,
+            elapsed,
+            progress: outcome.progress,
+            restarts,
+        }
+    }
+}
+
+/// An in-flight traversal started with [`Cluster::start`].
+#[derive(Debug, Clone, Copy)]
+pub struct Ticket {
+    travel: TravelId,
+    coordinator: usize,
+    started: Instant,
+    restarts: u32,
+}
+
+/// A running simulated cluster plus its client endpoint.
+pub struct Cluster {
+    servers: Vec<ServerHandle>,
+    fabric: Fabric<Msg>,
+    client: Endpoint<Msg>,
+    partitioner: EdgeCutPartitioner,
+    engine: EngineConfig,
+    travel_ctr: AtomicU64,
+    /// Messages received while waiting for something else.
+    mailbox: Mutex<VecDeque<(TravelId, Msg)>>,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("n_servers", &self.servers.len())
+            .field("engine", &self.engine.kind)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Cluster {
+    /// Build a cluster: open one store per server, load the edge-cut
+    /// partitioned graph, and spawn the server threads.
+    pub fn build(
+        graph: &InMemoryGraph,
+        ccfg: ClusterConfig,
+        ecfg: EngineConfig,
+    ) -> Result<Cluster, ClusterError> {
+        let partitioner = EdgeCutPartitioner::new(ccfg.n_servers);
+        let mut partitions = Vec::with_capacity(ccfg.n_servers);
+        for s in 0..ccfg.n_servers {
+            let scfg = StoreConfig {
+                dir: ccfg.dir.join(format!("server-{s}")),
+                memtable_bytes: ccfg.memtable_bytes,
+                bloom_bits_per_key: 10,
+                block_cache_runs: ccfg.block_cache_runs,
+                io: ccfg.io,
+                sync_wal: false,
+                auto_compact_segments: 0,
+            };
+            let store = Arc::new(Store::open(scfg)?);
+            partitions.push(GraphPartition::open(store)?);
+        }
+        load_partitioned(graph, partitioner, &partitions)?;
+        if ccfg.seal_cold {
+            for p in &partitions {
+                p.seal_cold()?;
+            }
+        }
+        Self::from_partitions(partitions.into_iter().map(Arc::new).collect(), partitioner, ecfg)
+    }
+
+    /// Spawn servers over already-loaded partitions (used to rebuild a
+    /// cluster with a different engine without re-ingesting the graph —
+    /// the benchmark harness shares one loaded partition set across every
+    /// engine configuration).
+    pub fn from_partitions(
+        partitions: Vec<Arc<GraphPartition>>,
+        partitioner: EdgeCutPartitioner,
+        ecfg: EngineConfig,
+    ) -> Result<Cluster, ClusterError> {
+        let n = partitions.len();
+        let (fabric, mut endpoints) = Fabric::new(n + 1, ecfg.net);
+        let client = endpoints.pop().expect("client endpoint");
+        let mut servers = Vec::with_capacity(n);
+        for (id, (partition, endpoint)) in
+            partitions.into_iter().zip(endpoints.into_iter()).enumerate()
+        {
+            servers.push(spawn(ServerArgs {
+                id,
+                n_servers: n,
+                partitioner,
+                partition,
+                endpoint,
+                engine: ecfg.clone(),
+            }));
+        }
+        Ok(Cluster {
+            servers,
+            fabric,
+            client,
+            partitioner,
+            engine: ecfg,
+            travel_ctr: AtomicU64::new(1),
+            mailbox: Mutex::new(VecDeque::new()),
+        })
+    }
+
+    /// Number of backend servers.
+    pub fn n_servers(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// The engine this cluster runs.
+    pub fn engine_kind(&self) -> EngineKind {
+        self.engine.kind
+    }
+
+    /// The partitioner (to inspect vertex placement).
+    pub fn partitioner(&self) -> EdgeCutPartitioner {
+        self.partitioner
+    }
+
+    /// Begin a traversal without waiting for it.
+    pub fn start(&self, q: &GTravel) -> Result<Ticket, ClusterError> {
+        self.start_plan(Arc::new(q.compile()?))
+    }
+
+    fn start_plan(&self, plan: Arc<Plan>) -> Result<Ticket, ClusterError> {
+        let travel = self.travel_ctr.fetch_add(1, Ordering::Relaxed);
+        let coordinator = (travel as usize) % self.servers.len();
+        self.client
+            .send(
+                coordinator,
+                Msg::Submit {
+                    travel,
+                    plan,
+                    client: self.client.id(),
+                },
+            )
+            .map_err(|_| ClusterError::Disconnected)?;
+        Ok(Ticket {
+            travel,
+            coordinator,
+            started: Instant::now(),
+            restarts: 0,
+        })
+    }
+
+    /// Stash-key of a client-bound message (travel id or request id).
+    fn msg_key(msg: &Msg) -> Option<u64> {
+        match msg {
+            Msg::TravelDone { travel, .. } | Msg::ProgressReport { travel, .. } => Some(*travel),
+            Msg::IngestAck { req, .. } | Msg::VertexReply { req, .. } => Some(*req),
+            _ => None,
+        }
+    }
+
+    /// Wait for the first client-bound message with `key` matching
+    /// `want`, stashing every other client-bound message so concurrent
+    /// waiters on other keys still see theirs.
+    fn await_client_msg(
+        &self,
+        key: u64,
+        want: impl Fn(&Msg) -> bool,
+        deadline: Instant,
+    ) -> Result<Msg, ClusterError> {
+        loop {
+            {
+                let mut mb = self.mailbox.lock();
+                if let Some(pos) = mb.iter().position(|(k, m)| *k == key && want(m)) {
+                    return Ok(mb.remove(pos).unwrap().1);
+                }
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Err(ClusterError::TimedOut(1));
+            }
+            match self.client.recv_timeout(left.min(Duration::from_millis(25))) {
+                Ok(env) => {
+                    if Self::msg_key(&env.msg) == Some(key) && want(&env.msg) {
+                        return Ok(env.msg);
+                    }
+                    if let Some(k) = Self::msg_key(&env.msg) {
+                        self.mailbox.lock().push_back((k, env.msg));
+                    }
+                }
+                Err(RecvError::Timeout) => continue,
+                Err(RecvError::Closed) => return Err(ClusterError::Disconnected),
+            }
+        }
+    }
+
+    /// Wait for a started traversal (up to `timeout`).
+    pub fn wait(&self, ticket: &Ticket, timeout: Duration) -> Result<TravelResult, ClusterError> {
+        let deadline = Instant::now() + timeout;
+        match self.await_client_msg(
+            ticket.travel,
+            |m| matches!(m, Msg::TravelDone { .. }),
+            deadline,
+        ) {
+            Ok(Msg::TravelDone { outcome, .. }) => Ok(TravelResult::from_outcome(
+                outcome,
+                ticket.started.elapsed(),
+                ticket.restarts,
+            )),
+            Ok(_) => unreachable!("matcher only admits TravelDone"),
+            Err(ClusterError::TimedOut(_)) => Err(ClusterError::TimedOut(ticket.restarts + 1)),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Query the coordinator's progress estimate for an in-flight travel
+    /// (§IV-C's progress reporting).
+    pub fn progress(&self, ticket: &Ticket) -> Result<ProgressSnapshot, ClusterError> {
+        self.client
+            .send(
+                ticket.coordinator,
+                Msg::ProgressQuery {
+                    travel: ticket.travel,
+                    client: self.client.id(),
+                },
+            )
+            .map_err(|_| ClusterError::Disconnected)?;
+        match self.await_client_msg(
+            ticket.travel,
+            |m| matches!(m, Msg::ProgressReport { .. }),
+            Instant::now() + Duration::from_secs(10),
+        )? {
+            Msg::ProgressReport { snapshot, .. } => Ok(snapshot),
+            _ => unreachable!("matcher only admits ProgressReport"),
+        }
+    }
+
+    /// Ingest vertices and edges into the live cluster (§I: "live
+    /// updates … in real time"). Entities are routed to their owning
+    /// servers, written through the WAL-backed stores, and become
+    /// immediately visible to traversals and point queries. Returns the
+    /// number of entities applied.
+    pub fn ingest(
+        &self,
+        vertices: Vec<gt_graph::Vertex>,
+        edges: Vec<gt_graph::Edge>,
+    ) -> Result<usize, ClusterError> {
+        let n = self.servers.len();
+        let mut v_by_owner: Vec<Vec<gt_graph::Vertex>> = vec![Vec::new(); n];
+        for v in vertices {
+            v_by_owner[self.partitioner.owner(v.id)].push(v);
+        }
+        let mut e_by_owner: Vec<Vec<gt_graph::Edge>> = vec![Vec::new(); n];
+        for e in edges {
+            e_by_owner[self.partitioner.owner(e.src)].push(e);
+        }
+        let mut pending = Vec::new();
+        for (owner, (vs, es)) in v_by_owner.into_iter().zip(e_by_owner).enumerate() {
+            if vs.is_empty() && es.is_empty() {
+                continue;
+            }
+            let req = self.travel_ctr.fetch_add(1, Ordering::Relaxed);
+            self.client
+                .send(
+                    owner,
+                    Msg::Ingest {
+                        req,
+                        client: self.client.id(),
+                        vertices: vs,
+                        edges: es,
+                    },
+                )
+                .map_err(|_| ClusterError::Disconnected)?;
+            pending.push(req);
+        }
+        let deadline = Instant::now() + Duration::from_secs(60);
+        let mut applied = 0usize;
+        for req in pending {
+            match self.await_client_msg(req, |m| matches!(m, Msg::IngestAck { .. }), deadline)? {
+                Msg::IngestAck { applied: a, .. } => applied += a,
+                _ => unreachable!("matcher only admits IngestAck"),
+            }
+        }
+        Ok(applied)
+    }
+
+    /// Low-latency point query (§I: "frequent metadata operations such
+    /// as permission checking"): fetch one vertex from its owning server.
+    pub fn get_vertex(&self, vertex: VertexId) -> Result<Option<gt_graph::Vertex>, ClusterError> {
+        let owner = self.partitioner.owner(vertex);
+        let req = self.travel_ctr.fetch_add(1, Ordering::Relaxed);
+        self.client
+            .send(
+                owner,
+                Msg::GetVertex {
+                    req,
+                    client: self.client.id(),
+                    vertex,
+                },
+            )
+            .map_err(|_| ClusterError::Disconnected)?;
+        match self.await_client_msg(
+            req,
+            |m| matches!(m, Msg::VertexReply { .. }),
+            Instant::now() + Duration::from_secs(30),
+        )? {
+            Msg::VertexReply { vertex, .. } => Ok(vertex.map(|b| *b)),
+            _ => unreachable!("matcher only admits VertexReply"),
+        }
+    }
+
+    /// Submit a traversal and wait (60 s default timeout, no restarts).
+    pub fn submit(&self, q: &GTravel) -> Result<TravelResult, ClusterError> {
+        self.submit_opts(q, Duration::from_secs(60), 0)
+    }
+
+    /// Submit with an explicit timeout and restart budget: on timeout the
+    /// travel is aborted and resubmitted from scratch (the paper's v1
+    /// fault handling, §IV-C).
+    pub fn submit_opts(
+        &self,
+        q: &GTravel,
+        timeout: Duration,
+        max_restarts: u32,
+    ) -> Result<TravelResult, ClusterError> {
+        let plan = Arc::new(q.compile()?);
+        let started = Instant::now();
+        let mut attempts = 0u32;
+        loop {
+            let mut ticket = self.start_plan(plan.clone())?;
+            ticket.restarts = attempts;
+            match self.wait(&ticket, timeout) {
+                Ok(mut r) => {
+                    r.elapsed = started.elapsed();
+                    r.restarts = attempts;
+                    return Ok(r);
+                }
+                Err(ClusterError::TimedOut(_)) if attempts < max_restarts => {
+                    // Abort everywhere, then retry with a fresh travel id.
+                    for s in 0..self.servers.len() {
+                        let _ = self.client.send(s, Msg::Abort { travel: ticket.travel });
+                    }
+                    attempts += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Per-server instrumentation snapshots (Fig. 7 data).
+    pub fn metrics(&self) -> Vec<MetricsSnapshot> {
+        self.servers.iter().map(|s| s.metrics.snapshot()).collect()
+    }
+
+    /// Zero every server's counters (between experiment runs).
+    pub fn reset_metrics(&self) {
+        for s in &self.servers {
+            s.metrics.reset();
+        }
+    }
+
+    /// Per-server storage I/O statistics.
+    pub fn io_stats(&self) -> Vec<gt_kvstore::iomodel::IoStatsSnapshot> {
+        self.servers.iter().map(|s| s.partition.io_stats()).collect()
+    }
+
+    /// Drop every server's block cache (cold-start between runs).
+    pub fn drop_storage_caches(&self) {
+        for s in &self.servers {
+            s.partition.drop_caches();
+        }
+    }
+
+    /// Isolate (or reconnect) one server — its traffic is silently
+    /// dropped, the paper's silent-failure scenario.
+    pub fn isolate_server(&self, id: usize, isolated: bool) {
+        self.fabric.isolate(id, isolated);
+    }
+
+    /// Fabric traffic counters.
+    pub fn net_stats(&self) -> Arc<gt_net::NetStats> {
+        self.fabric.stats()
+    }
+
+    /// Stop every server and join their threads.
+    pub fn shutdown(self) {
+        for s in 0..self.servers.len() {
+            let _ = self.client.send(s, Msg::Shutdown);
+        }
+        for s in self.servers {
+            s.join();
+        }
+    }
+}
+
+/// Convenience: the network model used by the paper-style experiments.
+pub fn default_experiment_net() -> NetConfig {
+    NetConfig::cluster()
+}

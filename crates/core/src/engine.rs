@@ -1,0 +1,166 @@
+//! Engine selection and tuning.
+
+use crate::faults::FaultPlan;
+use gt_net::NetConfig;
+
+/// Which traversal engine a cluster runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Level-synchronous baseline (the paper's **Sync-GT**): a controller
+    /// barrier between steps, data flowing server-to-server (§VI).
+    Sync,
+    /// Plain asynchronous traversal (the paper's **Async-GT**): no
+    /// barrier, but also no caching or merging (§VII-A's ablation).
+    AsyncPlain,
+    /// Asynchronous traversal with traversal-affiliate caching and
+    /// execution scheduling & merging — **GraphTrek** proper (§V).
+    GraphTrek,
+}
+
+impl EngineKind {
+    /// Display name matching the paper's tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EngineKind::Sync => "Sync-GT",
+            EngineKind::AsyncPlain => "Async-GT",
+            EngineKind::GraphTrek => "GraphTrek",
+        }
+    }
+
+    /// All three engines, in the paper's table order.
+    pub fn all() -> [EngineKind; 3] {
+        [EngineKind::Sync, EngineKind::AsyncPlain, EngineKind::GraphTrek]
+    }
+}
+
+/// Per-cluster engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Engine flavour.
+    pub kind: EngineKind,
+    /// Worker threads per backend server ("a pool of worker threads is
+    /// waiting on this queue", §V-B).
+    pub workers_per_server: usize,
+    /// Traversal-affiliate cache capacity in triples (GraphTrek only).
+    pub cache_capacity: usize,
+    /// Network latency/bandwidth model.
+    pub net: NetConfig,
+    /// Straggler injection plan (Fig. 11 experiments).
+    pub faults: FaultPlan,
+    /// Override: force the scheduling/merging queue on or off
+    /// independently of `kind` (ablation experiments). `None` follows the
+    /// kind's default.
+    pub force_merging_queue: Option<bool>,
+    /// Override: force the traversal-affiliate cache on or off (ablation).
+    pub force_cache: Option<bool>,
+}
+
+impl EngineConfig {
+    /// Defaults for a given engine kind.
+    pub fn new(kind: EngineKind) -> Self {
+        EngineConfig {
+            kind,
+            workers_per_server: 2,
+            cache_capacity: 1 << 16,
+            net: NetConfig::instant(),
+            faults: FaultPlan::none(),
+            force_merging_queue: None,
+            force_cache: None,
+        }
+    }
+
+    /// Builder-style: worker threads per server.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers_per_server = n.max(1);
+        self
+    }
+
+    /// Builder-style: traversal-affiliate cache capacity.
+    pub fn cache_capacity(mut self, n: usize) -> Self {
+        self.cache_capacity = n;
+        self
+    }
+
+    /// Builder-style: network model.
+    pub fn net(mut self, net: NetConfig) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// Builder-style: fault plan.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Builder-style: ablation override for the merging queue.
+    pub fn force_merging_queue(mut self, on: bool) -> Self {
+        self.force_merging_queue = Some(on);
+        self
+    }
+
+    /// Builder-style: ablation override for the cache.
+    pub fn force_cache(mut self, on: bool) -> Self {
+        self.force_cache = Some(on);
+        self
+    }
+
+    /// Whether this configuration uses the scheduling/merging queue.
+    pub fn merging_queue_enabled(&self) -> bool {
+        self.force_merging_queue
+            .unwrap_or(matches!(self.kind, EngineKind::GraphTrek))
+    }
+
+    /// The effective traversal-affiliate cache capacity.
+    pub fn effective_cache_capacity(&self) -> usize {
+        let default_on = matches!(self.kind, EngineKind::GraphTrek);
+        if self.force_cache.unwrap_or(default_on) {
+            self.cache_capacity
+        } else {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_defaults() {
+        assert!(EngineConfig::new(EngineKind::GraphTrek).merging_queue_enabled());
+        assert!(EngineConfig::new(EngineKind::GraphTrek).effective_cache_capacity() > 0);
+        assert!(!EngineConfig::new(EngineKind::AsyncPlain).merging_queue_enabled());
+        assert_eq!(
+            EngineConfig::new(EngineKind::AsyncPlain).effective_cache_capacity(),
+            0
+        );
+        assert_eq!(EngineConfig::new(EngineKind::Sync).effective_cache_capacity(), 0);
+    }
+
+    #[test]
+    fn ablation_overrides() {
+        let cfg = EngineConfig::new(EngineKind::GraphTrek).force_cache(false);
+        assert_eq!(cfg.effective_cache_capacity(), 0);
+        assert!(cfg.merging_queue_enabled());
+        let cfg = EngineConfig::new(EngineKind::AsyncPlain)
+            .force_merging_queue(true)
+            .force_cache(true)
+            .cache_capacity(128);
+        assert!(cfg.merging_queue_enabled());
+        assert_eq!(cfg.effective_cache_capacity(), 128);
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(EngineKind::Sync.label(), "Sync-GT");
+        assert_eq!(EngineKind::AsyncPlain.label(), "Async-GT");
+        assert_eq!(EngineKind::GraphTrek.label(), "GraphTrek");
+        assert_eq!(EngineKind::all().len(), 3);
+    }
+
+    #[test]
+    fn workers_floor_at_one() {
+        assert_eq!(EngineConfig::new(EngineKind::Sync).workers(0).workers_per_server, 1);
+    }
+}

@@ -1,0 +1,235 @@
+//! Straggler and delay injection (the Fig. 11 experiment model).
+//!
+//! §VII-C: "Servers may experience transient straggling behavior because
+//! of concurrent I/O activity from other traversals or external
+//! applications. … we emulated this phenomenon by inserting fixed (50 ms)
+//! delay into individual vertex data accesses. Each time, multiple delays
+//! (500 times…) were created to emulate a straggler that lasts a certain
+//! period of time." A [`Straggler`] is exactly that: on a chosen server,
+//! starting at a chosen traversal step, the next `count` vertex accesses
+//! each pay `delay` extra.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// One transient straggler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Straggler {
+    /// Server the interference lands on.
+    pub server: usize,
+    /// Traversal step (depth) at which the interference is active.
+    pub step: u16,
+    /// Extra latency per affected vertex access.
+    pub delay: Duration,
+    /// Number of vertex accesses affected.
+    pub count: u64,
+}
+
+/// A set of stragglers for one experiment run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The stragglers to inject.
+    pub stragglers: Vec<Straggler>,
+}
+
+impl FaultPlan {
+    /// No injected faults.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// The paper's Fig. 11 configuration, parameterized: three stragglers
+    /// placed round-robin over `servers` at steps 1, 3 and 7 (clamped to
+    /// the traversal depth), each delaying `count` accesses by `delay`.
+    pub fn round_robin_stragglers(
+        servers: &[usize],
+        depth: u16,
+        delay: Duration,
+        count: u64,
+    ) -> Self {
+        let steps = [1u16, 3, 7];
+        let stragglers = steps
+            .iter()
+            .filter(|&&s| s <= depth)
+            .enumerate()
+            .map(|(i, &step)| Straggler {
+                server: servers[i % servers.len()],
+                step,
+                delay,
+                count,
+            })
+            .collect();
+        FaultPlan { stragglers }
+    }
+
+    /// Instantiate the runtime state for one server.
+    pub fn for_server(&self, server: usize) -> ServerFaults {
+        ServerFaults {
+            slots: self
+                .stragglers
+                .iter()
+                .filter(|s| s.server == server)
+                .map(|s| FaultSlot {
+                    step: s.step,
+                    delay: s.delay,
+                    remaining: AtomicU64::new(s.count),
+                })
+                .collect(),
+        }
+    }
+
+    /// True when no faults are configured.
+    pub fn is_empty(&self) -> bool {
+        self.stragglers.is_empty()
+    }
+}
+
+/// Sleep for `d`, spinning only when the duration is below OS timer
+/// granularity. An interfered thread must release the CPU (the straggler
+/// models *I/O* interference, not compute), so genuine sleep is the
+/// default.
+pub fn sleep_exact(d: Duration) {
+    if d >= Duration::from_micros(100) {
+        std::thread::sleep(d);
+        return;
+    }
+    let start = std::time::Instant::now();
+    while start.elapsed() < d {
+        std::hint::spin_loop();
+    }
+}
+
+#[derive(Debug)]
+struct FaultSlot {
+    step: u16,
+    delay: Duration,
+    remaining: AtomicU64,
+}
+
+/// Per-server runtime straggler state, consulted on every vertex access.
+#[derive(Debug, Default)]
+pub struct ServerFaults {
+    slots: Vec<FaultSlot>,
+}
+
+impl ServerFaults {
+    /// If a straggler is active for `step`, consume one delay credit and
+    /// return the delay to sleep; `None` otherwise. Both engines call this
+    /// at the same point (just before the storage access) so they face
+    /// identical interference (§VII-C: "the two traversal engines are
+    /// facing the same amount of external delays").
+    pub fn charge(&self, step: u16) -> Option<Duration> {
+        for slot in &self.slots {
+            if slot.step != step {
+                continue;
+            }
+            // Decrement one credit if any remain.
+            let mut cur = slot.remaining.load(Ordering::Relaxed);
+            while cur > 0 {
+                match slot.remaining.compare_exchange_weak(
+                    cur,
+                    cur - 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => return Some(slot.delay),
+                    Err(now) => cur = now,
+                }
+            }
+        }
+        None
+    }
+
+    /// Remaining delay credits across all slots (diagnostics).
+    pub fn remaining(&self) -> u64 {
+        self.slots
+            .iter()
+            .map(|s| s.remaining.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_consumes_credits_for_matching_step() {
+        let plan = FaultPlan {
+            stragglers: vec![Straggler {
+                server: 2,
+                step: 3,
+                delay: Duration::from_millis(50),
+                count: 2,
+            }],
+        };
+        let f = plan.for_server(2);
+        assert_eq!(f.charge(1), None);
+        assert_eq!(f.charge(3), Some(Duration::from_millis(50)));
+        assert_eq!(f.charge(3), Some(Duration::from_millis(50)));
+        assert_eq!(f.charge(3), None, "credits exhausted");
+        assert_eq!(f.remaining(), 0);
+    }
+
+    #[test]
+    fn other_servers_unaffected() {
+        let plan = FaultPlan {
+            stragglers: vec![Straggler {
+                server: 2,
+                step: 1,
+                delay: Duration::from_millis(1),
+                count: 10,
+            }],
+        };
+        let f = plan.for_server(0);
+        assert_eq!(f.charge(1), None);
+        assert_eq!(f.remaining(), 0);
+    }
+
+    #[test]
+    fn round_robin_matches_paper_shape() {
+        let plan = FaultPlan::round_robin_stragglers(
+            &[4, 9, 13],
+            8,
+            Duration::from_millis(50),
+            500,
+        );
+        assert_eq!(plan.stragglers.len(), 3);
+        assert_eq!(
+            plan.stragglers.iter().map(|s| s.step).collect::<Vec<_>>(),
+            vec![1, 3, 7]
+        );
+        assert_eq!(
+            plan.stragglers.iter().map(|s| s.server).collect::<Vec<_>>(),
+            vec![4, 9, 13]
+        );
+        // Shallow traversals clamp the step list.
+        let plan = FaultPlan::round_robin_stragglers(&[0], 2, Duration::ZERO, 1);
+        assert_eq!(plan.stragglers.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_charges_never_overspend() {
+        let plan = FaultPlan {
+            stragglers: vec![Straggler {
+                server: 0,
+                step: 1,
+                delay: Duration::from_nanos(1),
+                count: 1000,
+            }],
+        };
+        let f = std::sync::Arc::new(plan.for_server(0));
+        let hits: usize = std::thread::scope(|s| {
+            (0..8)
+                .map(|_| {
+                    let f = f.clone();
+                    s.spawn(move || (0..1000).filter(|_| f.charge(1).is_some()).count())
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum()
+        });
+        assert_eq!(hits, 1000, "exactly `count` credits must be granted");
+    }
+}

@@ -1,0 +1,426 @@
+//! The GTravel traversal language (paper §III).
+//!
+//! "GraphTrek defines an iterative query-building language to represent
+//! property graph traversal operations … whose methods return the caller
+//! GTravel instance to allow call chaining." The paper's core methods are
+//! reproduced one-for-one:
+//!
+//! | paper                 | here                                        |
+//! |-----------------------|---------------------------------------------|
+//! | `v(ids…)` / `v()`     | [`GTravel::v`] / [`GTravel::v_all`]         |
+//! | `e(label)`            | [`GTravel::e`]                              |
+//! | `va(key, type, vals)` | [`GTravel::va`] with a [`PropFilter`]       |
+//! | `ea(key, type, vals)` | [`GTravel::ea`]                             |
+//! | `rtn()`               | [`GTravel::rtn`]                            |
+//!
+//! The data-auditing example of §III-A reads almost identically:
+//!
+//! ```
+//! use graphtrek::lang::GTravel;
+//! use gt_graph::PropFilter;
+//!
+//! let (t_s, t_e) = (0i64, 1000i64);
+//! let q = GTravel::v([7u64])
+//!     .e("run").ea(PropFilter::range("start_ts", t_s, t_e))
+//!     .e("read").va(PropFilter::eq("type", "text"))
+//!     .rtn();
+//! let plan = q.compile().unwrap();
+//! assert_eq!(plan.depth(), 2);
+//! ```
+//!
+//! The vertex *type* ("User", "Execution", …) is exposed to filters as the
+//! virtual property `"type"`, so the provenance query of the paper —
+//! `v().va('type', EQ, 'Execution').rtn()…` — works verbatim; the engine
+//! additionally recognizes a leading `type EQ` filter and serves it from
+//! the per-type storage namespace instead of a full scan.
+
+use gt_graph::{Cond, FilterSet, PropFilter, Props, VertexId};
+use serde::{Deserialize, Serialize};
+
+/// Entry-point selection for a traversal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Source {
+    /// Begin from explicit vertex ids ("initially retrieved with searching
+    /// or indexing mechanisms provided by any underlying graph storage").
+    Ids(Vec<VertexId>),
+    /// Begin from every vertex, narrowed by the source filters (the
+    /// provenance pattern `v().va('type', EQ, …)`).
+    All,
+}
+
+/// One compiled traversal step: the hop from depth `d` to depth `d+1`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanStep {
+    /// Label of the edges followed in this step.
+    pub edge_label: String,
+    /// `ea()` filters on those edges.
+    pub edge_filters: FilterSet,
+    /// `va()` filters applied to the destination vertices (depth `d+1`).
+    pub vertex_filters: FilterSet,
+    /// Whether the destination working set is `rtn()`-marked.
+    pub rtn: bool,
+}
+
+/// A fully validated traversal plan, ready for submission.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Plan {
+    /// Entry-point selection.
+    pub source: Source,
+    /// `va()` filters on the source working set (depth 0).
+    pub source_filters: FilterSet,
+    /// Whether the source working set is `rtn()`-marked.
+    pub source_rtn: bool,
+    /// The steps; `steps.len()` is the traversal depth.
+    pub steps: Vec<PlanStep>,
+}
+
+impl Plan {
+    /// Number of traversal steps (the paper's "N-step traversal").
+    pub fn depth(&self) -> u16 {
+        self.steps.len() as u16
+    }
+
+    /// Vertex filters applied at `depth` (0 = source).
+    pub fn vertex_filters_at(&self, depth: u16) -> &FilterSet {
+        if depth == 0 {
+            &self.source_filters
+        } else {
+            &self.steps[depth as usize - 1].vertex_filters
+        }
+    }
+
+    /// Whether the working set at `depth` is `rtn()`-marked.
+    pub fn rtn_at(&self, depth: u16) -> bool {
+        if depth == 0 {
+            self.source_rtn
+        } else {
+            self.steps[depth as usize - 1].rtn
+        }
+    }
+
+    /// The edge label/filters of the hop leaving `depth` (None at the end).
+    pub fn hop_from(&self, depth: u16) -> Option<&PlanStep> {
+        self.steps.get(depth as usize)
+    }
+
+    /// Whether any `rtn()` appears anywhere in the chain.
+    pub fn has_rtn(&self) -> bool {
+        self.source_rtn || self.steps.iter().any(|s| s.rtn)
+    }
+
+    /// Whether the final working set is part of the result. True when the
+    /// chain has no `rtn()` at all (the default "return destination
+    /// vertices" behaviour) or when the last step itself carries `rtn()`.
+    pub fn returns_final(&self) -> bool {
+        !self.has_rtn() || self.rtn_at(self.depth())
+    }
+
+    /// Depths whose working sets are returned to the user.
+    pub fn returned_depths(&self) -> Vec<u16> {
+        if !self.has_rtn() {
+            return vec![self.depth()];
+        }
+        (0..=self.depth()).filter(|&d| self.rtn_at(d)).collect()
+    }
+
+    /// Rough serialized size, for the network bandwidth model.
+    pub fn wire_size(&self) -> usize {
+        let filters = |f: &FilterSet| f.0.len() * 32;
+        let mut n = 24 + filters(&self.source_filters);
+        if let Source::Ids(ids) = &self.source {
+            n += ids.len() * 8;
+        }
+        for s in &self.steps {
+            n += 16 + s.edge_label.len() + filters(&s.edge_filters) + filters(&s.vertex_filters);
+        }
+        n
+    }
+
+    /// If the source is "all vertices of one type", the type name.
+    /// Lets the engine use the per-type namespace index instead of a
+    /// full vertex scan.
+    pub fn source_type_hint(&self) -> Option<&str> {
+        if !matches!(self.source, Source::All) {
+            return None;
+        }
+        self.source_filters.0.iter().find_map(|f| {
+            if f.key == "type" {
+                if let Cond::Eq(v) = &f.cond {
+                    return v.as_str();
+                }
+            }
+            None
+        })
+    }
+}
+
+/// Whether a vertex (type + properties) passes `filters`, with the vertex
+/// type visible as the virtual `"type"` property.
+///
+/// `"type"` *always* refers to the vertex's entity type (shadowing any
+/// same-named attribute): this keeps the filter semantics and the
+/// per-type namespace index ([`Plan::source_type_hint`]) consistent by
+/// construction. Entity attributes should use distinct keys (the
+/// generators use `ftype` for a file's format, for example).
+pub fn vertex_matches(vtype: &str, props: &Props, filters: &FilterSet) -> bool {
+    filters.0.iter().all(|f| {
+        if f.key == "type" {
+            f.cond.test(&gt_graph::PropValue::Str(vtype.to_string()))
+        } else {
+            f.matches(props)
+        }
+    })
+}
+
+/// Errors detected when compiling a [`GTravel`] chain into a [`Plan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LangError {
+    /// `ea()` appeared before any `e()` — there is no edge set to filter.
+    EdgeFilterBeforeEdge,
+    /// An `e()` call used an empty label.
+    EmptyEdgeLabel,
+    /// `v()` was given no ids (use [`GTravel::v_all`] for "all vertices").
+    EmptySource,
+}
+
+impl std::fmt::Display for LangError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LangError::EdgeFilterBeforeEdge => {
+                write!(f, "ea() must follow an e() step")
+            }
+            LangError::EmptyEdgeLabel => write!(f, "e() requires a non-empty label"),
+            LangError::EmptySource => write!(f, "v() requires at least one vertex id"),
+        }
+    }
+}
+impl std::error::Error for LangError {}
+
+/// The chainable query builder (the paper's `GTravel` class).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GTravel {
+    source: Source,
+    source_filters: FilterSet,
+    source_rtn: bool,
+    steps: Vec<PlanStep>,
+    errors: Vec<LangError>,
+}
+
+impl GTravel {
+    /// `GTravel.v(id, …)` — begin from explicit vertices.
+    pub fn v<I, V>(ids: I) -> GTravel
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<VertexId>,
+    {
+        let ids: Vec<VertexId> = ids.into_iter().map(Into::into).collect();
+        let mut errors = Vec::new();
+        if ids.is_empty() {
+            errors.push(LangError::EmptySource);
+        }
+        GTravel {
+            source: Source::Ids(ids),
+            source_filters: FilterSet::none(),
+            source_rtn: false,
+            steps: Vec::new(),
+            errors,
+        }
+    }
+
+    /// `GTravel.v()` — begin from all vertices (narrow with [`GTravel::va`]).
+    pub fn v_all() -> GTravel {
+        GTravel {
+            source: Source::All,
+            source_filters: FilterSet::none(),
+            source_rtn: false,
+            steps: Vec::new(),
+            errors: Vec::new(),
+        }
+    }
+
+    /// `e(label)` — follow edges with `label` to the next working set.
+    pub fn e(mut self, label: impl Into<String>) -> GTravel {
+        let label = label.into();
+        if label.is_empty() {
+            self.errors.push(LangError::EmptyEdgeLabel);
+        }
+        self.steps.push(PlanStep {
+            edge_label: label,
+            edge_filters: FilterSet::none(),
+            vertex_filters: FilterSet::none(),
+            rtn: false,
+        });
+        self
+    }
+
+    /// `va(…)` — AND one property filter onto the *current* working set
+    /// (the source before any `e()`, otherwise the latest step's
+    /// destination vertices).
+    pub fn va(mut self, filter: PropFilter) -> GTravel {
+        match self.steps.last_mut() {
+            Some(step) => step.vertex_filters.0.push(filter),
+            None => self.source_filters.0.push(filter),
+        }
+        self
+    }
+
+    /// `ea(…)` — AND one property filter onto the edges of the latest
+    /// `e()` step.
+    pub fn ea(mut self, filter: PropFilter) -> GTravel {
+        match self.steps.last_mut() {
+            Some(step) => step.edge_filters.0.push(filter),
+            None => self.errors.push(LangError::EdgeFilterBeforeEdge),
+        }
+        self
+    }
+
+    /// `rtn()` — mark the current working set for return; the vertices are
+    /// delivered only if their resulting traversals reach the end of the
+    /// chain (§IV-D).
+    pub fn rtn(mut self) -> GTravel {
+        match self.steps.last_mut() {
+            Some(step) => step.rtn = true,
+            None => self.source_rtn = true,
+        }
+        self
+    }
+
+    /// Validate and produce the immutable [`Plan`].
+    pub fn compile(&self) -> Result<Plan, LangError> {
+        if let Some(e) = self.errors.first() {
+            return Err(e.clone());
+        }
+        Ok(Plan {
+            source: self.source.clone(),
+            source_filters: self.source_filters.clone(),
+            source_rtn: self.source_rtn,
+            steps: self.steps.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gt_graph::PropValue;
+
+    #[test]
+    fn audit_query_compiles() {
+        // §III-A data auditing example.
+        let q = GTravel::v([1u64])
+            .e("run")
+            .ea(PropFilter::range("start_ts", 0i64, 99i64))
+            .e("read")
+            .va(PropFilter::eq("type", "text"))
+            .rtn();
+        let p = q.compile().unwrap();
+        assert_eq!(p.depth(), 2);
+        assert_eq!(p.steps[0].edge_label, "run");
+        assert_eq!(p.steps[0].edge_filters.len(), 1);
+        assert_eq!(p.steps[1].vertex_filters.len(), 1);
+        assert!(p.rtn_at(2));
+        assert!(p.returns_final());
+        assert_eq!(p.returned_depths(), vec![2]);
+    }
+
+    #[test]
+    fn provenance_query_compiles() {
+        // §III-A provenance example: return the source executions.
+        let q = GTravel::v_all()
+            .va(PropFilter::eq("type", "Execution"))
+            .rtn()
+            .va(PropFilter::eq("model", "A"))
+            .e("read")
+            .va(PropFilter::eq("annotation", "B"));
+        let p = q.compile().unwrap();
+        assert_eq!(p.depth(), 1);
+        assert!(p.source_rtn);
+        assert_eq!(p.source_filters.len(), 2);
+        assert!(!p.returns_final());
+        assert_eq!(p.returned_depths(), vec![0]);
+        assert_eq!(p.source_type_hint(), Some("Execution"));
+    }
+
+    #[test]
+    fn default_returns_final_depth() {
+        let p = GTravel::v([1u64]).e("a").e("b").compile().unwrap();
+        assert!(!p.has_rtn());
+        assert!(p.returns_final());
+        assert_eq!(p.returned_depths(), vec![2]);
+    }
+
+    #[test]
+    fn multiple_rtn_depths() {
+        let p = GTravel::v([1u64]).rtn().e("a").e("b").rtn().compile().unwrap();
+        assert_eq!(p.returned_depths(), vec![0, 2]);
+        assert!(p.returns_final());
+    }
+
+    #[test]
+    fn intermediate_rtn_only() {
+        let p = GTravel::v([1u64]).e("a").rtn().e("b").compile().unwrap();
+        assert_eq!(p.returned_depths(), vec![1]);
+        assert!(!p.returns_final());
+    }
+
+    #[test]
+    fn ea_before_e_is_error() {
+        let q = GTravel::v([1u64]).ea(PropFilter::eq("x", 1i64));
+        assert_eq!(q.compile(), Err(LangError::EdgeFilterBeforeEdge));
+    }
+
+    #[test]
+    fn empty_source_is_error() {
+        let q = GTravel::v(Vec::<VertexId>::new());
+        assert_eq!(q.compile(), Err(LangError::EmptySource));
+    }
+
+    #[test]
+    fn empty_label_is_error() {
+        let q = GTravel::v([1u64]).e("");
+        assert_eq!(q.compile(), Err(LangError::EmptyEdgeLabel));
+    }
+
+    #[test]
+    fn vertex_matches_virtual_type() {
+        use gt_graph::Props;
+        let props = Props::new().with("model", "A");
+        let fs = FilterSet::none()
+            .and(PropFilter::eq("type", "Execution"))
+            .and(PropFilter::eq("model", "A"));
+        assert!(vertex_matches("Execution", &props, &fs));
+        assert!(!vertex_matches("File", &props, &fs));
+        // The virtual "type" shadows a same-named attribute, so filter
+        // semantics always agree with the per-type namespace index.
+        let props2 = Props::new().with("type", "text");
+        let fs2 = FilterSet::none().and(PropFilter::eq("type", "text"));
+        assert!(!vertex_matches("File", &props2, &fs2));
+        assert!(vertex_matches("text", &props2, &fs2));
+    }
+
+    #[test]
+    fn source_type_hint_requires_all_source_and_eq() {
+        let p = GTravel::v([1u64])
+            .va(PropFilter::eq("type", "File"))
+            .compile()
+            .unwrap();
+        assert_eq!(p.source_type_hint(), None, "ids source has no hint");
+        let p = GTravel::v_all()
+            .va(PropFilter::is_in("type", vec![PropValue::str("File")]))
+            .compile()
+            .unwrap();
+        assert_eq!(p.source_type_hint(), None, "IN is not a hint");
+    }
+
+    #[test]
+    fn wire_size_grows_with_plan() {
+        let small = GTravel::v([1u64]).e("a").compile().unwrap();
+        let big = GTravel::v((0..100u64).collect::<Vec<_>>())
+            .e("a")
+            .e("b")
+            .e("c")
+            .compile()
+            .unwrap();
+        assert!(big.wire_size() > small.wire_size());
+    }
+}

@@ -1,0 +1,349 @@
+//! Wire messages exchanged between clients, coordinators, and backend
+//! servers.
+//!
+//! One enum covers both engines: the asynchronous flow (`Visit` fan-out
+//! with `ExecCreated`/`ExecTerminated` tracing, §IV-B/§IV-C) and the
+//! synchronous baseline's controller protocol (`SyncStart` barriers with
+//! server-to-server `SyncFrontier` data flow, §VI). Messages are plain
+//! values — the "network" is [`gt_net`]'s simulated fabric — but each
+//! reports an approximate [`WireSize`] so the bandwidth model can charge
+//! transmission cost.
+
+use crate::lang::Plan;
+use crate::{ExecId, Tokens, TravelId};
+use gt_net::WireSize;
+use gt_graph::VertexId;
+use std::sync::Arc;
+
+/// Per-step progress estimate (§IV-C: "the count of current unfinished
+/// traversal executions in each step can still help users estimate the
+/// remaining work and time").
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProgressSnapshot {
+    /// Executions created so far.
+    pub created: u64,
+    /// Executions terminated so far.
+    pub terminated: u64,
+    /// Outstanding (created − terminated) executions per step.
+    pub outstanding_by_depth: Vec<(u16, u64)>,
+}
+
+impl ProgressSnapshot {
+    /// Total outstanding executions.
+    pub fn outstanding(&self) -> u64 {
+        self.created.saturating_sub(self.terminated)
+    }
+}
+
+/// Final outcome of a traversal, delivered to the client.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TravelOutcome {
+    /// Returned vertices per returned depth, sorted and dedup'd.
+    pub by_depth: Vec<(u16, Vec<VertexId>)>,
+    /// Status-tracing totals at completion.
+    pub progress: ProgressSnapshot,
+}
+
+/// How a `SyncStart` tells the server what to wait for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncExpect {
+    /// Depth 0: resolve the source locally (scan or owned ids).
+    ScanSource,
+    /// Interior depth: process after receiving this many frontier vertices.
+    Vertices(u64),
+    /// Virtual final step: release origins after this many satisfied tokens.
+    OriginTokens(u64),
+}
+
+/// All GraphTrek wire messages.
+#[derive(Debug, Clone)]
+pub enum Msg {
+    // ------------------------------------------------------- client-facing
+    /// Client → chosen coordinator server: run this traversal.
+    Submit {
+        /// Travel id (client-assigned).
+        travel: TravelId,
+        /// The compiled plan.
+        plan: Arc<Plan>,
+        /// Client endpoint to deliver `TravelDone` to.
+        client: usize,
+    },
+    /// Client → coordinator: abandon a traversal (timeout/restart path).
+    Abort {
+        /// Travel id.
+        travel: TravelId,
+    },
+    /// Client → coordinator: request a progress estimate.
+    ProgressQuery {
+        /// Travel id.
+        travel: TravelId,
+        /// Client endpoint to reply to.
+        client: usize,
+    },
+    /// Coordinator → client: progress estimate reply.
+    ProgressReport {
+        /// Travel id.
+        travel: TravelId,
+        /// The estimate.
+        snapshot: ProgressSnapshot,
+    },
+    /// Coordinator → client: traversal finished.
+    TravelDone {
+        /// Travel id.
+        travel: TravelId,
+        /// Results and final tracing totals.
+        outcome: TravelOutcome,
+    },
+
+    // --------------------------------------------------- async traversal
+    /// Coordinator → every server: resolve the traversal source locally
+    /// and run depth 0 (used for `v()`-all / typed sources).
+    SourceScan {
+        /// Travel id.
+        travel: TravelId,
+        /// The plan.
+        plan: Arc<Plan>,
+        /// Coordinator server id.
+        coordinator: usize,
+        /// Execution id assigned to this scan (for tracing).
+        exec: ExecId,
+    },
+    /// Server → server: process these frontier vertices at `depth`.
+    Visit {
+        /// Travel id.
+        travel: TravelId,
+        /// Depth the vertices enter the frontier at.
+        depth: u16,
+        /// Execution id assigned by the sender (for tracing).
+        exec: ExecId,
+        /// The plan (ships with every request, §IV-B).
+        plan: Arc<Plan>,
+        /// Coordinator server id.
+        coordinator: usize,
+        /// Vertices with their accumulated origin tokens.
+        items: Vec<(VertexId, Tokens)>,
+    },
+    /// Server → coordinator: a downstream execution was created (§IV-C).
+    ExecCreated {
+        /// Travel id.
+        travel: TravelId,
+        /// The new execution.
+        exec: ExecId,
+        /// Depth it will run at.
+        depth: u16,
+    },
+    /// Server → coordinator: an execution finished; its children are
+    /// registered atomically with the termination (§IV-C).
+    ExecTerminated {
+        /// Travel id.
+        travel: TravelId,
+        /// The finished execution.
+        exec: ExecId,
+        /// Executions it spawned, with their depths.
+        children: Vec<(ExecId, u16)>,
+    },
+    /// Final-step server → origin owner: these pending-return tokens had a
+    /// path reach the end of the chain (§IV-D).
+    OriginSatisfied {
+        /// Travel id.
+        travel: TravelId,
+        /// Synthetic execution id covering the release (for tracing).
+        exec: ExecId,
+        /// Coordinator server id.
+        coordinator: usize,
+        /// Token ids local to the receiving server.
+        tokens: Vec<u64>,
+    },
+    /// Any server → coordinator: returned vertices (depth-tagged).
+    Results {
+        /// Travel id.
+        travel: TravelId,
+        /// (depth, vertex) pairs.
+        items: Vec<(u16, VertexId)>,
+    },
+
+    // ---------------------------------------------------- sync traversal
+    /// Controller → server: begin (or arm) step `depth`.
+    SyncStart {
+        /// Travel id.
+        travel: TravelId,
+        /// The plan.
+        plan: Arc<Plan>,
+        /// Controller server id.
+        coordinator: usize,
+        /// Step to run.
+        depth: u16,
+        /// What to wait for before processing.
+        expect: SyncExpect,
+    },
+    /// Server → server: frontier fragment for the next step (data flows
+    /// between backend servers "without going through the controller").
+    SyncFrontier {
+        /// Travel id.
+        travel: TravelId,
+        /// Depth the vertices enter at.
+        depth: u16,
+        /// Vertices with origin tokens.
+        items: Vec<(VertexId, Tokens)>,
+    },
+    /// Final-step server → origin owner (sync flavour of `OriginSatisfied`).
+    SyncOrigin {
+        /// Travel id.
+        travel: TravelId,
+        /// Token ids local to the receiving server.
+        tokens: Vec<u64>,
+    },
+    /// Server → controller: this server finished its part of `depth`.
+    SyncStepDone {
+        /// Travel id.
+        travel: TravelId,
+        /// The finished step.
+        depth: u16,
+        /// Reporting server.
+        server: usize,
+        /// Frontier vertices sent per destination server.
+        sent: Vec<(usize, u64)>,
+        /// Origin tokens satisfied per owner server.
+        origin_sent: Vec<(usize, u64)>,
+    },
+
+    // ------------------------------------------- online metadata updates
+    //
+    // The paper's system requirements (§Abstract, §I) include "live
+    // updates (to ingest production information in real time)" and
+    // "low-latency point queries (for frequent metadata operations such
+    // as permission checking)" alongside large-scale traversals. These
+    // messages are that online path: clients route them straight to the
+    // owning server (the partitioner is public knowledge).
+    /// Client → owner server: insert or replace vertices and edges.
+    /// Edges must be grouped onto the server owning their source vertex.
+    Ingest {
+        /// Request id for the acknowledgment.
+        req: u64,
+        /// Client endpoint to acknowledge to.
+        client: usize,
+        /// Vertices to upsert.
+        vertices: Vec<gt_graph::Vertex>,
+        /// Edges to upsert.
+        edges: Vec<gt_graph::Edge>,
+    },
+    /// Owner server → client: ingest acknowledged (durable in the WAL).
+    IngestAck {
+        /// Request id being acknowledged.
+        req: u64,
+        /// Vertices + edges applied.
+        applied: usize,
+    },
+    /// Client → owner server: point metadata lookup.
+    GetVertex {
+        /// Request id for the reply.
+        req: u64,
+        /// Client endpoint to reply to.
+        client: usize,
+        /// Vertex to fetch.
+        vertex: VertexId,
+    },
+    /// Owner server → client: point lookup reply.
+    VertexReply {
+        /// Request id being answered.
+        req: u64,
+        /// The vertex, if present.
+        vertex: Option<Box<gt_graph::Vertex>>,
+    },
+
+    // -------------------------------------------------------------- misc
+    /// Stop the server's dispatcher and workers.
+    Shutdown,
+}
+
+impl WireSize for Msg {
+    fn wire_size(&self) -> usize {
+        match self {
+            Msg::Submit { plan, .. } => 24 + plan.wire_size(),
+            Msg::Abort { .. } => 12,
+            Msg::ProgressQuery { .. } => 20,
+            Msg::ProgressReport { snapshot, .. } => {
+                28 + snapshot.outstanding_by_depth.len() * 10
+            }
+            Msg::TravelDone { outcome, .. } => {
+                20 + outcome
+                    .by_depth
+                    .iter()
+                    .map(|(_, v)| 2 + v.len() * 8)
+                    .sum::<usize>()
+            }
+            Msg::SourceScan { plan, .. } => 32 + plan.wire_size(),
+            Msg::Visit { items, plan, .. } => {
+                // The plan rides along but is tiny next to the items.
+                40 + plan.wire_size()
+                    + items
+                        .iter()
+                        .map(|(_, t)| 8 + t.len() * 10)
+                        .sum::<usize>()
+            }
+            Msg::ExecCreated { .. } => 28,
+            Msg::ExecTerminated { children, .. } => 28 + children.len() * 10,
+            Msg::OriginSatisfied { tokens, .. } => 36 + tokens.len() * 8,
+            Msg::Results { items, .. } => 16 + items.len() * 10,
+            Msg::SyncStart { plan, .. } => 36 + plan.wire_size(),
+            Msg::SyncFrontier { items, .. } => {
+                20 + items.iter().map(|(_, t)| 8 + t.len() * 10).sum::<usize>()
+            }
+            Msg::SyncOrigin { tokens, .. } => 16 + tokens.len() * 8,
+            Msg::SyncStepDone {
+                sent, origin_sent, ..
+            } => 28 + (sent.len() + origin_sent.len()) * 12,
+            Msg::Ingest {
+                vertices, edges, ..
+            } => {
+                24 + vertices.iter().map(|v| 16 + v.props.len() * 24).sum::<usize>()
+                    + edges.iter().map(|e| 24 + e.props.len() * 24).sum::<usize>()
+            }
+            Msg::IngestAck { .. } => 20,
+            Msg::GetVertex { .. } => 28,
+            Msg::VertexReply { vertex, .. } => {
+                16 + vertex.as_ref().map_or(0, |v| 16 + v.props.len() * 24)
+            }
+            Msg::Shutdown => 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::GTravel;
+
+    #[test]
+    fn wire_sizes_scale_with_payload() {
+        let plan = Arc::new(GTravel::v([1u64]).e("x").compile().unwrap());
+        let small = Msg::Visit {
+            travel: 1,
+            depth: 0,
+            exec: ExecId::new(0, 1),
+            plan: plan.clone(),
+            coordinator: 0,
+            items: vec![(VertexId(1), vec![])],
+        };
+        let big = Msg::Visit {
+            travel: 1,
+            depth: 0,
+            exec: ExecId::new(0, 1),
+            plan,
+            coordinator: 0,
+            items: (0..100).map(|i| (VertexId(i), vec![])).collect(),
+        };
+        assert!(big.wire_size() > small.wire_size());
+        assert!(Msg::Shutdown.wire_size() < 16);
+    }
+
+    #[test]
+    fn progress_outstanding() {
+        let p = ProgressSnapshot {
+            created: 10,
+            terminated: 7,
+            outstanding_by_depth: vec![(1, 3)],
+        };
+        assert_eq!(p.outstanding(), 3);
+    }
+}

@@ -1,0 +1,130 @@
+//! Per-server traversal instrumentation.
+//!
+//! §VII-A: "we placed instruments inside the GraphTrek engine to collect
+//! the statistics during the execution. In each server, we collected three
+//! statistics: (1) redundant visits … (2) combined visits … (3) real I/O
+//! visits … The sum of these three numbers equals the total vertex
+//! requests received in one server during the traversal." These counters
+//! regenerate Fig. 7; the queue/messaging counters support the remaining
+//! analysis.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Lock-free counters for one backend server.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Vertex requests whose `(travel, step, vertex)` triple hit the
+    /// traversal-affiliate cache and were abandoned.
+    pub redundant_visits: AtomicU64,
+    /// Vertex requests served by merging with a same-vertex request at a
+    /// different step (one disk access amortized over several steps).
+    pub combined_visits: AtomicU64,
+    /// Vertex requests that performed a real storage access.
+    pub real_io_visits: AtomicU64,
+    /// Traversal-request messages received.
+    pub requests_received: AtomicU64,
+    /// Traversal-request messages dispatched to downstream servers.
+    pub requests_dispatched: AtomicU64,
+    /// Result vertices sent toward the coordinator / report destination.
+    pub results_sent: AtomicU64,
+    /// High-water mark of the local request queue.
+    pub queue_peak: AtomicUsize,
+    /// Straggler delay events injected on this server (Fig. 11 model).
+    pub injected_delays: AtomicU64,
+}
+
+impl ServerMetrics {
+    /// Record a new queue length, keeping the maximum.
+    pub fn observe_queue_len(&self, len: usize) {
+        self.queue_peak.fetch_max(len, Ordering::Relaxed);
+    }
+
+    /// Plain-value snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            redundant_visits: self.redundant_visits.load(Ordering::Relaxed),
+            combined_visits: self.combined_visits.load(Ordering::Relaxed),
+            real_io_visits: self.real_io_visits.load(Ordering::Relaxed),
+            requests_received: self.requests_received.load(Ordering::Relaxed),
+            requests_dispatched: self.requests_dispatched.load(Ordering::Relaxed),
+            results_sent: self.results_sent.load(Ordering::Relaxed),
+            queue_peak: self.queue_peak.load(Ordering::Relaxed),
+            injected_delays: self.injected_delays.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zero every counter (between experiment runs).
+    pub fn reset(&self) {
+        self.redundant_visits.store(0, Ordering::Relaxed);
+        self.combined_visits.store(0, Ordering::Relaxed);
+        self.real_io_visits.store(0, Ordering::Relaxed);
+        self.requests_received.store(0, Ordering::Relaxed);
+        self.requests_dispatched.store(0, Ordering::Relaxed);
+        self.results_sent.store(0, Ordering::Relaxed);
+        self.queue_peak.store(0, Ordering::Relaxed);
+        self.injected_delays.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time copy of [`ServerMetrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// See [`ServerMetrics::redundant_visits`].
+    pub redundant_visits: u64,
+    /// See [`ServerMetrics::combined_visits`].
+    pub combined_visits: u64,
+    /// See [`ServerMetrics::real_io_visits`].
+    pub real_io_visits: u64,
+    /// See [`ServerMetrics::requests_received`].
+    pub requests_received: u64,
+    /// See [`ServerMetrics::requests_dispatched`].
+    pub requests_dispatched: u64,
+    /// See [`ServerMetrics::results_sent`].
+    pub results_sent: u64,
+    /// See [`ServerMetrics::queue_peak`].
+    pub queue_peak: usize,
+    /// See [`ServerMetrics::injected_delays`].
+    pub injected_delays: u64,
+}
+
+impl MetricsSnapshot {
+    /// Total vertex requests = redundant + combined + real I/O (§VII-A's
+    /// accounting identity).
+    pub fn total_vertex_requests(&self) -> u64 {
+        self.redundant_visits + self.combined_visits + self.real_io_visits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_identity() {
+        let m = ServerMetrics::default();
+        m.redundant_visits.fetch_add(3, Ordering::Relaxed);
+        m.combined_visits.fetch_add(2, Ordering::Relaxed);
+        m.real_io_visits.fetch_add(5, Ordering::Relaxed);
+        let s = m.snapshot();
+        assert_eq!(s.total_vertex_requests(), 10);
+    }
+
+    #[test]
+    fn queue_peak_keeps_max() {
+        let m = ServerMetrics::default();
+        m.observe_queue_len(5);
+        m.observe_queue_len(2);
+        m.observe_queue_len(9);
+        m.observe_queue_len(1);
+        assert_eq!(m.snapshot().queue_peak, 9);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let m = ServerMetrics::default();
+        m.real_io_visits.fetch_add(5, Ordering::Relaxed);
+        m.observe_queue_len(7);
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+}

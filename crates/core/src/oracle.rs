@@ -1,0 +1,272 @@
+//! Single-threaded reference semantics for GTravel plans.
+//!
+//! The oracle defines *what a traversal means*, independent of any
+//! distribution or asynchrony:
+//!
+//! 1. `F₀` = source vertices passing the source filters.
+//! 2. `Fₖ₊₁` = destinations of `Fₖ`'s edges with the step's label that pass
+//!    the edge filters and whose vertices pass the step's vertex filters.
+//!    Revisiting a vertex in a *different* step is allowed (the paper's
+//!    deliberate departure from BFS, §II-C); within a step the working set
+//!    is dedup'd.
+//! 3. A vertex in a `rtn()`-marked working set is *returned* iff at least
+//!    one of its continuation paths reaches the end of the chain (§IV-D).
+//!    Without any `rtn()`, the final working set is returned.
+//!
+//! Every distributed engine is property-tested against this oracle.
+
+use crate::lang::{vertex_matches, Plan, Source};
+use gt_graph::{InMemoryGraph, VertexId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Result of a reference traversal: returned vertices per returned depth.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OracleResult {
+    /// depth → returned vertex set.
+    pub by_depth: BTreeMap<u16, BTreeSet<VertexId>>,
+}
+
+impl OracleResult {
+    /// Union of every returned depth, sorted and dedup'd.
+    pub fn all_vertices(&self) -> Vec<VertexId> {
+        let mut set = BTreeSet::new();
+        for s in self.by_depth.values() {
+            set.extend(s.iter().copied());
+        }
+        set.into_iter().collect()
+    }
+}
+
+/// Run `plan` against an in-memory graph.
+pub fn traverse(g: &InMemoryGraph, plan: &Plan) -> OracleResult {
+    let depth = plan.depth() as usize;
+
+    // Forward pass: working sets per depth.
+    let mut frontiers: Vec<BTreeSet<VertexId>> = Vec::with_capacity(depth + 1);
+    let source_ids: Vec<VertexId> = match &plan.source {
+        Source::Ids(ids) => ids.clone(),
+        Source::All => {
+            let mut ids: Vec<VertexId> = g.iter_vertices().map(|v| v.id).collect();
+            ids.sort_unstable();
+            ids
+        }
+    };
+    let f0: BTreeSet<VertexId> = source_ids
+        .into_iter()
+        .filter(|&vid| {
+            g.vertex(vid)
+                .is_some_and(|v| vertex_matches(&v.vtype, &v.props, &plan.source_filters))
+        })
+        .collect();
+    frontiers.push(f0);
+    for d in 0..depth {
+        let step = &plan.steps[d];
+        let mut next = BTreeSet::new();
+        for &v in &frontiers[d] {
+            for (dst, eprops) in g.edges_from(v, &step.edge_label) {
+                if !step.edge_filters.matches(eprops) {
+                    continue;
+                }
+                if let Some(w) = g.vertex(*dst) {
+                    if vertex_matches(&w.vtype, &w.props, &step.vertex_filters) {
+                        next.insert(*dst);
+                    }
+                }
+            }
+        }
+        frontiers.push(next);
+    }
+
+    // Backward pass: which working-set members have a completing path.
+    let mut alive: Vec<BTreeSet<VertexId>> = vec![BTreeSet::new(); depth + 1];
+    alive[depth] = frontiers[depth].clone();
+    for d in (0..depth).rev() {
+        let step = &plan.steps[d];
+        let next_alive = alive[d + 1].clone();
+        alive[d] = frontiers[d]
+            .iter()
+            .copied()
+            .filter(|&v| {
+                g.edges_from(v, &step.edge_label).iter().any(|(dst, ep)| {
+                    step.edge_filters.matches(ep) && next_alive.contains(dst)
+                })
+            })
+            .collect();
+    }
+
+    let mut by_depth = BTreeMap::new();
+    for d in plan.returned_depths() {
+        by_depth.insert(d, alive[d as usize].clone());
+    }
+    OracleResult { by_depth }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::GTravel;
+    use gt_graph::{Edge, PropFilter, Props, Vertex};
+
+    /// user(1) -run{ts:10}-> exec(2) -read-> file(3 text)
+    ///                       exec(2) -read-> file(4 bin)
+    /// user(1) -run{ts:99}-> exec(5) -read-> file(3)
+    fn audit_graph() -> InMemoryGraph {
+        let mut g = InMemoryGraph::new();
+        g.add_vertex(Vertex::new(1u64, "User", Props::new().with("name", "a")));
+        g.add_vertex(Vertex::new(2u64, "Execution", Props::new().with("model", "A")));
+        g.add_vertex(Vertex::new(5u64, "Execution", Props::new().with("model", "B")));
+        g.add_vertex(Vertex::new(3u64, "File", Props::new().with("ftype", "text")));
+        g.add_vertex(Vertex::new(4u64, "File", Props::new().with("ftype", "bin")));
+        g.add_edge(Edge::new(1u64, "run", 2u64, Props::new().with("ts", 10i64)));
+        g.add_edge(Edge::new(1u64, "run", 5u64, Props::new().with("ts", 99i64)));
+        g.add_edge(Edge::new(2u64, "read", 3u64, Props::new()));
+        g.add_edge(Edge::new(2u64, "read", 4u64, Props::new()));
+        g.add_edge(Edge::new(5u64, "read", 3u64, Props::new()));
+        g
+    }
+
+    #[test]
+    fn plain_two_step_traversal() {
+        let g = audit_graph();
+        let p = GTravel::v([1u64]).e("run").e("read").compile().unwrap();
+        let r = traverse(&g, &p);
+        assert_eq!(
+            r.all_vertices(),
+            vec![VertexId(3), VertexId(4)]
+        );
+    }
+
+    #[test]
+    fn edge_filter_prunes_paths() {
+        let g = audit_graph();
+        let p = GTravel::v([1u64])
+            .e("run")
+            .ea(PropFilter::range("ts", 0i64, 50i64))
+            .e("read")
+            .compile()
+            .unwrap();
+        let r = traverse(&g, &p);
+        // Only exec 2's reads survive the time window.
+        assert_eq!(r.all_vertices(), vec![VertexId(3), VertexId(4)]);
+        let p = GTravel::v([1u64])
+            .e("run")
+            .ea(PropFilter::range("ts", 50i64, 100i64))
+            .e("read")
+            .compile()
+            .unwrap();
+        assert_eq!(traverse(&g, &p).all_vertices(), vec![VertexId(3)]);
+    }
+
+    #[test]
+    fn vertex_filter_on_destination() {
+        let g = audit_graph();
+        let p = GTravel::v([1u64])
+            .e("run")
+            .e("read")
+            .va(PropFilter::eq("ftype", "text"))
+            .compile()
+            .unwrap();
+        assert_eq!(traverse(&g, &p).all_vertices(), vec![VertexId(3)]);
+    }
+
+    #[test]
+    fn rtn_returns_only_satisfied_intermediates() {
+        let g = audit_graph();
+        // Return executions whose reads include a text file — both execs.
+        let p = GTravel::v([1u64])
+            .e("run")
+            .rtn()
+            .e("read")
+            .va(PropFilter::eq("ftype", "text"))
+            .compile()
+            .unwrap();
+        let r = traverse(&g, &p);
+        assert_eq!(r.by_depth[&1], [VertexId(2), VertexId(5)].into());
+        // Narrow to bin files: only exec 2 survives; exec 5 is filtered out
+        // even though it was in the depth-1 working set.
+        let p = GTravel::v([1u64])
+            .e("run")
+            .rtn()
+            .e("read")
+            .va(PropFilter::eq("ftype", "bin"))
+            .compile()
+            .unwrap();
+        let r = traverse(&g, &p);
+        assert_eq!(r.by_depth[&1], [VertexId(2)].into());
+    }
+
+    #[test]
+    fn provenance_pattern_source_rtn() {
+        let g = audit_graph();
+        let p = GTravel::v_all()
+            .va(PropFilter::eq("type", "Execution"))
+            .rtn()
+            .va(PropFilter::eq("model", "A"))
+            .e("read")
+            .va(PropFilter::eq("ftype", "text"))
+            .compile()
+            .unwrap();
+        let r = traverse(&g, &p);
+        assert_eq!(r.by_depth[&0], [VertexId(2)].into());
+        assert_eq!(r.by_depth.len(), 1, "final depth not returned");
+    }
+
+    #[test]
+    fn revisit_across_steps_is_allowed() {
+        // a -next-> b -next-> a -next-> b : a 3-step traversal re-visits.
+        let mut g = InMemoryGraph::new();
+        g.add_vertex(Vertex::new(1u64, "N", Props::new()));
+        g.add_vertex(Vertex::new(2u64, "N", Props::new()));
+        g.add_edge(Edge::new(1u64, "next", 2u64, Props::new()));
+        g.add_edge(Edge::new(2u64, "next", 1u64, Props::new()));
+        let p = GTravel::v([1u64]).e("next").e("next").e("next").compile().unwrap();
+        let r = traverse(&g, &p);
+        assert_eq!(r.all_vertices(), vec![VertexId(2)]);
+    }
+
+    #[test]
+    fn zero_step_plan_returns_filtered_source() {
+        let g = audit_graph();
+        let p = GTravel::v_all()
+            .va(PropFilter::eq("type", "File"))
+            .compile()
+            .unwrap();
+        let r = traverse(&g, &p);
+        assert_eq!(r.all_vertices(), vec![VertexId(3), VertexId(4)]);
+    }
+
+    #[test]
+    fn dead_end_returns_empty() {
+        let g = audit_graph();
+        let p = GTravel::v([3u64]).e("run").e("read").compile().unwrap();
+        assert!(traverse(&g, &p).all_vertices().is_empty());
+        // rtn'd source with no completing path returns nothing.
+        let p = GTravel::v([3u64]).rtn().e("run").compile().unwrap();
+        let r = traverse(&g, &p);
+        assert!(r.by_depth[&0].is_empty());
+    }
+
+    #[test]
+    fn missing_source_vertices_are_skipped() {
+        let g = audit_graph();
+        let p = GTravel::v([1u64, 999u64]).e("run").compile().unwrap();
+        let r = traverse(&g, &p);
+        assert_eq!(r.all_vertices(), vec![VertexId(2), VertexId(5)]);
+    }
+
+    #[test]
+    fn multiple_rtn_depths_union() {
+        let g = audit_graph();
+        let p = GTravel::v([1u64])
+            .rtn()
+            .e("run")
+            .rtn()
+            .e("read")
+            .compile()
+            .unwrap();
+        let r = traverse(&g, &p);
+        assert_eq!(r.by_depth[&0], [VertexId(1)].into());
+        assert_eq!(r.by_depth[&1], [VertexId(2), VertexId(5)].into());
+        assert!(!r.by_depth.contains_key(&2));
+    }
+}

@@ -1,0 +1,391 @@
+//! Text form of the GTravel language.
+//!
+//! The paper presents GTravel as a chained query the user writes by hand
+//! (§III); this module accepts that surface syntax as text, so traversals
+//! can come from a shell, a config file, or an RPC boundary instead of
+//! Rust code:
+//!
+//! ```text
+//! v(7).e('run').ea('start_ts', RANGE, 0, 1000)
+//!     .e('read').va('ftype', EQ, 'text').rtn()
+//! ```
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! query  := source ('.' call)*
+//! source := 'v' '(' [int (',' int)*] ')'
+//! call   := 'e' '(' string ')'
+//!         | 'va' '(' filter ')' | 'ea' '(' filter ')'
+//!         | 'rtn' '(' ')'
+//! filter := string ',' 'EQ' ',' value
+//!         | string ',' 'IN' ',' '[' value (',' value)* ']'
+//!         | string ',' 'RANGE' ',' value ',' value
+//! value  := int | float | 'true' | 'false' | string
+//! string := '\'' [^']* '\''
+//! ```
+
+use crate::lang::GTravel;
+use gt_graph::{PropFilter, PropValue};
+
+/// A parse failure with its byte position in the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset where the problem was detected.
+    pub at: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.at, self.msg)
+    }
+}
+impl std::error::Error for ParseError {}
+
+struct Cursor<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor { src, pos: 0 }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            at: self.pos,
+            msg: msg.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.src[self.pos..].starts_with(|c: char| c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.src[self.pos..].chars().next()
+    }
+
+    fn eat(&mut self, c: char) -> Result<(), ParseError> {
+        self.skip_ws();
+        if self.src[self.pos..].starts_with(c) {
+            self.pos += c.len_utf8();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {c:?}")))
+        }
+    }
+
+    fn try_eat(&mut self, c: char) -> bool {
+        self.skip_ws();
+        if self.src[self.pos..].starts_with(c) {
+            self.pos += c.len_utf8();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<&'a str, ParseError> {
+        self.skip_ws();
+        let rest = &self.src[self.pos..];
+        let n = rest
+            .find(|c: char| !c.is_ascii_alphanumeric() && c != '_')
+            .unwrap_or(rest.len());
+        if n == 0 {
+            return Err(self.err("expected an identifier"));
+        }
+        let id = &rest[..n];
+        self.pos += n;
+        Ok(id)
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.eat('\'')
+            .map_err(|e| ParseError { msg: "expected a 'quoted' string".into(), ..e })?;
+        let rest = &self.src[self.pos..];
+        let Some(end) = rest.find('\'') else {
+            return Err(self.err("unterminated string"));
+        };
+        let s = rest[..end].to_string();
+        self.pos += end + 1;
+        Ok(s)
+    }
+
+    fn number_or_bool(&mut self) -> Result<PropValue, ParseError> {
+        self.skip_ws();
+        let rest = &self.src[self.pos..];
+        if rest.starts_with("true") {
+            self.pos += 4;
+            return Ok(PropValue::Bool(true));
+        }
+        if rest.starts_with("false") {
+            self.pos += 5;
+            return Ok(PropValue::Bool(false));
+        }
+        let n = rest
+            .find(|c: char| !c.is_ascii_digit() && c != '-' && c != '+' && c != '.' && c != 'e' && c != 'E')
+            .unwrap_or(rest.len());
+        if n == 0 {
+            return Err(self.err("expected a number, boolean, or 'string'"));
+        }
+        let tok = &rest[..n];
+        self.pos += n;
+        if tok.contains('.') || tok.contains('e') || tok.contains('E') {
+            tok.parse::<f64>()
+                .map(PropValue::float)
+                .map_err(|_| self.err(format!("bad float literal {tok:?}")))
+        } else {
+            tok.parse::<i64>()
+                .map(PropValue::Int)
+                .map_err(|_| self.err(format!("bad integer literal {tok:?}")))
+        }
+    }
+
+    fn value(&mut self) -> Result<PropValue, ParseError> {
+        if self.peek() == Some('\'') {
+            Ok(PropValue::Str(self.string()?))
+        } else {
+            self.number_or_bool()
+        }
+    }
+
+    fn filter(&mut self) -> Result<PropFilter, ParseError> {
+        let key = self.string()?;
+        self.eat(',')?;
+        let op_pos = self.pos;
+        let op = self.ident()?.to_ascii_uppercase();
+        self.eat(',')?;
+        match op.as_str() {
+            "EQ" => Ok(PropFilter::eq(key, self.value()?)),
+            "IN" => {
+                self.eat('[')?;
+                let mut vals = vec![self.value()?];
+                while self.try_eat(',') {
+                    vals.push(self.value()?);
+                }
+                self.eat(']')?;
+                Ok(PropFilter::is_in(key, vals))
+            }
+            "RANGE" => {
+                let lo = self.value()?;
+                self.eat(',')?;
+                let hi = self.value()?;
+                Ok(PropFilter::range(key, lo, hi))
+            }
+            other => Err(ParseError {
+                at: op_pos,
+                msg: format!("unknown filter type {other:?} (EQ, IN, or RANGE)"),
+            }),
+        }
+    }
+}
+
+/// Parse the textual GTravel syntax into a query builder.
+pub fn parse(src: &str) -> Result<GTravel, ParseError> {
+    let mut c = Cursor::new(src);
+    // Source selector.
+    let head_pos = c.pos;
+    let head = c.ident()?;
+    if head != "v" {
+        return Err(ParseError {
+            at: head_pos,
+            msg: format!("queries begin with v(...), found {head:?}"),
+        });
+    }
+    c.eat('(')?;
+    let mut q = if c.peek() == Some(')') {
+        c.eat(')')?;
+        GTravel::v_all()
+    } else {
+        let mut ids = Vec::new();
+        loop {
+            match c.number_or_bool()? {
+                PropValue::Int(i) if i >= 0 => ids.push(i as u64),
+                other => {
+                    return Err(c.err(format!("vertex ids must be non-negative ints, found {other}")))
+                }
+            }
+            if !c.try_eat(',') {
+                break;
+            }
+        }
+        c.eat(')')?;
+        GTravel::v(ids)
+    };
+    // Chained calls.
+    loop {
+        c.skip_ws();
+        if c.pos >= c.src.len() {
+            break;
+        }
+        c.eat('.')?;
+        let m_pos = c.pos;
+        let method = c.ident()?;
+        c.eat('(')?;
+        q = match method {
+            "e" => {
+                let label = c.string()?;
+                c.eat(')')?;
+                q.e(label)
+            }
+            "va" => {
+                let f = c.filter()?;
+                c.eat(')')?;
+                q.va(f)
+            }
+            "ea" => {
+                let f = c.filter()?;
+                c.eat(')')?;
+                q.ea(f)
+            }
+            "rtn" => {
+                c.eat(')')?;
+                q.rtn()
+            }
+            other => {
+                return Err(ParseError {
+                    at: m_pos,
+                    msg: format!("unknown method {other:?} (e, va, ea, rtn)"),
+                })
+            }
+        };
+    }
+    Ok(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::{LangError, Source};
+
+    #[test]
+    fn parses_the_papers_audit_query() {
+        let q = parse(
+            "v(7).e('run').ea('start_ts', RANGE, 0, 1000)\n\
+             .e('read').va('ftype', EQ, 'text').rtn()",
+        )
+        .unwrap();
+        let p = q.compile().unwrap();
+        assert_eq!(p.depth(), 2);
+        assert_eq!(p.source, Source::Ids(vec![gt_graph::VertexId(7)]));
+        assert_eq!(p.steps[0].edge_label, "run");
+        assert_eq!(p.steps[0].edge_filters.len(), 1);
+        assert_eq!(p.steps[1].vertex_filters.len(), 1);
+        assert!(p.rtn_at(2));
+    }
+
+    #[test]
+    fn parses_the_papers_provenance_query() {
+        let q = parse(
+            "v().va('type', EQ, 'Execution').rtn()\n\
+             .va('model', EQ, 'A')\n\
+             .e('read')\n\
+             .va('annotation', EQ, 'B')",
+        )
+        .unwrap();
+        let p = q.compile().unwrap();
+        assert_eq!(p.source, Source::All);
+        assert!(p.source_rtn);
+        assert_eq!(p.source_filters.len(), 2);
+        assert_eq!(p.returned_depths(), vec![0]);
+    }
+
+    #[test]
+    fn parses_the_table3_query() {
+        let q = parse(
+            "v(42).e('run').ea('ts', RANGE, 0, 99999)\
+             .e('hasExecutions').e('write').e('readBy').e('write').rtn()",
+        )
+        .unwrap();
+        let p = q.compile().unwrap();
+        assert_eq!(p.depth(), 5);
+        assert!(p.returns_final());
+    }
+
+    #[test]
+    fn parses_in_filters_and_value_types() {
+        let q = parse(
+            "v(1).e('x').va('grp', IN, ['a', 'b', 3, 4.5, true]).ea('w', EQ, 2.5)",
+        )
+        .unwrap();
+        let p = q.compile().unwrap();
+        let f = &p.steps[0].vertex_filters.0[0];
+        match &f.cond {
+            gt_graph::Cond::In(vals) => {
+                assert_eq!(
+                    vals,
+                    &vec![
+                        PropValue::str("a"),
+                        PropValue::str("b"),
+                        PropValue::Int(3),
+                        PropValue::float(4.5),
+                        PropValue::Bool(true)
+                    ]
+                );
+            }
+            other => panic!("expected IN, got {other:?}"),
+        }
+        assert_eq!(
+            p.steps[0].edge_filters.0[0].cond,
+            gt_graph::Cond::Eq(PropValue::float(2.5))
+        );
+    }
+
+    #[test]
+    fn parses_multiple_source_ids_and_negatives_rejected() {
+        let q = parse("v(1, 2, 3)").unwrap();
+        let p = q.compile().unwrap();
+        assert_eq!(
+            p.source,
+            Source::Ids(vec![1u64.into(), 2u64.into(), 3u64.into()])
+        );
+        assert!(parse("v(-4)").is_err());
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let e = parse("w(1)").unwrap_err();
+        assert_eq!(e.at, 0);
+        let e = parse("v(1).q('x')").unwrap_err();
+        assert!(e.msg.contains("unknown method"));
+        let e = parse("v(1).va('k', NEAR, 1)").unwrap_err();
+        assert!(e.msg.contains("unknown filter type"));
+        let e = parse("v(1).e('unclosed").unwrap_err();
+        assert!(e.msg.contains("unterminated"));
+        let e = parse("v(1).e('x'), junk").unwrap_err();
+        assert!(e.msg.contains("expected '.'"));
+    }
+
+    #[test]
+    fn compile_errors_still_surface() {
+        // Parses fine, but ea() before any e() is a language error.
+        let q = parse("v(1).ea('k', EQ, 1)").unwrap();
+        assert_eq!(q.compile(), Err(LangError::EdgeFilterBeforeEdge));
+    }
+
+    #[test]
+    fn whitespace_and_case_tolerance() {
+        let q = parse("  v( 1 ) . e( 'x' ) . va( 'k' , eq , 'v' ) . rtn( )  ").unwrap();
+        let p = q.compile().unwrap();
+        assert_eq!(p.depth(), 1);
+        assert!(p.rtn_at(1));
+    }
+
+    #[test]
+    fn roundtrip_equivalence_with_builder() {
+        let text = parse("v(5).e('run').ea('ts', RANGE, 10, 20).e('read').rtn()").unwrap();
+        let built = GTravel::v([5u64])
+            .e("run")
+            .ea(PropFilter::range("ts", 10i64, 20i64))
+            .e("read")
+            .rtn();
+        assert_eq!(text.compile().unwrap(), built.compile().unwrap());
+    }
+}

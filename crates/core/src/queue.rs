@@ -1,0 +1,514 @@
+//! Local request queues: plain FIFO and GraphTrek's scheduling & merging
+//! queue (paper §V-B).
+//!
+//! Each server "puts the received requests into a local queue and replies
+//! to the ancestor servers before processing"; a pool of worker threads
+//! drains it. The two policies:
+//!
+//! * [`FifoQueue`] — arrival order, one vertex request at a time. This is
+//!   the plain Async-GT configuration (and the per-step work list of the
+//!   synchronous engine).
+//! * [`MergingQueue`] — *execution scheduling*: "the worker thread always
+//!   chooses the request with the smallest step Id in the queue", helping
+//!   slow steps catch up and bounding the step spread (which in turn keeps
+//!   the traversal-affiliate cache effective); and *execution merging*:
+//!   "we consolidate different steps on the same vertex … we need only to
+//!   retrieve the vertex attributes or to scan its edges once locally."
+//!   [`RequestQueue::pop`] returns every queued part for the chosen
+//!   vertex, so the worker performs one storage access for all of them.
+
+use crate::lang::Plan;
+use crate::{ExecId, Token, Tokens, TravelId};
+use gt_graph::VertexId;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::sync::atomic::AtomicUsize;
+use std::sync::Arc;
+
+/// Whether a request participates in the async protocol or a sync step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReqMode {
+    /// Asynchronous execution: flush dispatches `Visit`s + tracing events.
+    Async,
+    /// One synchronous step fragment: flush sends `SyncFrontier`s +
+    /// `SyncStepDone`.
+    SyncStep,
+}
+
+/// Accumulated output of one execution, flushed when every vertex request
+/// belonging to it has been processed.
+#[derive(Debug, Default)]
+pub struct RequestOutput {
+    /// Next-step vertices per owning server, with merged origin tokens.
+    pub dst_by_owner: HashMap<usize, HashMap<VertexId, BTreeSet<Token>>>,
+    /// Origin tokens satisfied by paths completing in this execution.
+    pub satisfied: BTreeSet<Token>,
+    /// Returned vertices produced directly by this execution.
+    pub results: Vec<(u16, VertexId)>,
+}
+
+/// One *traversal execution* in flight on a server: the request batch it
+/// arrived as, a countdown of unprocessed vertex requests, and the output
+/// accumulator (§IV-C's unit of tracing).
+#[derive(Debug)]
+pub struct RequestState {
+    /// Travel this execution belongs to.
+    pub travel: TravelId,
+    /// Depth its vertices enter at.
+    pub depth: u16,
+    /// Tracing id (allocated by the dispatching server).
+    pub exec: ExecId,
+    /// The plan.
+    pub plan: Arc<Plan>,
+    /// Coordinator server id.
+    pub coordinator: usize,
+    /// Protocol flavour.
+    pub mode: ReqMode,
+    /// Vertex requests not yet processed; the last one flushes.
+    pub remaining: AtomicUsize,
+    /// Output accumulator.
+    pub out: Mutex<RequestOutput>,
+}
+
+/// One vertex request: process `vertex` at `depth` carrying `tokens`.
+#[derive(Debug, Clone)]
+pub struct WorkItem {
+    /// The vertex to visit.
+    pub vertex: VertexId,
+    /// The step it is visited at.
+    pub depth: u16,
+    /// Origin tokens riding on this path.
+    pub tokens: Tokens,
+    /// The execution this request belongs to.
+    pub req: Arc<RequestState>,
+}
+
+/// Queue behaviour shared by both policies.
+pub trait RequestQueue: Send + Sync {
+    /// Enqueue a batch of vertex requests.
+    fn push_many(&self, items: Vec<WorkItem>);
+    /// Blocking pop. Returns every queued part for one chosen vertex
+    /// (always a single part for FIFO); `None` once closed and drained.
+    fn pop(&self) -> Option<Vec<WorkItem>>;
+    /// Close the queue; blocked and future pops return `None` after the
+    /// queue drains.
+    fn close(&self);
+    /// Number of queued vertex requests.
+    fn len(&self) -> usize;
+    /// Drop every queued request of one travel (abort path).
+    fn clear_travel(&self, travel: TravelId);
+}
+
+// --------------------------------------------------------------- FIFO
+
+#[derive(Default)]
+struct FifoInner {
+    /// Arrival order of distinct (travel, depth, vertex) entries.
+    order: VecDeque<(TravelId, u16, VertexId)>,
+    /// Entry → queued parts. Fig. 6 of the paper draws the local queue at
+    /// exactly this granularity ("step1, v0 | step1, v1 | step2, v0 …"):
+    /// a duplicate request arriving while its twin is *still queued*
+    /// coalesces into the same entry instead of queuing again — only
+    /// re-arrivals after the entry was processed become the redundant
+    /// visits of §V-A.
+    items: HashMap<(TravelId, u16, VertexId), Vec<WorkItem>>,
+    live: usize,
+    closed: bool,
+}
+
+/// Arrival-order queue with same-entry coalescing (plain Async-GT; the
+/// per-step work lists of the synchronous engine).
+#[derive(Default)]
+pub struct FifoQueue {
+    inner: Mutex<FifoInner>,
+    cond: Condvar,
+}
+
+impl FifoQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl RequestQueue for FifoQueue {
+    fn push_many(&self, items: Vec<WorkItem>) {
+        let mut g = self.inner.lock();
+        for item in items {
+            let key = (item.req.travel, item.depth, item.vertex);
+            match g.items.entry(key) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    e.get_mut().push(item);
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(vec![item]);
+                    g.order.push_back(key);
+                }
+            }
+            g.live += 1;
+        }
+        drop(g);
+        self.cond.notify_all();
+    }
+
+    fn pop(&self) -> Option<Vec<WorkItem>> {
+        let mut g = self.inner.lock();
+        loop {
+            while let Some(key) = g.order.pop_front() {
+                if let Some(parts) = g.items.remove(&key) {
+                    g.live -= parts.len();
+                    return Some(parts);
+                }
+            }
+            if g.closed {
+                return None;
+            }
+            self.cond.wait(&mut g);
+        }
+    }
+
+    fn close(&self) {
+        self.inner.lock().closed = true;
+        self.cond.notify_all();
+    }
+
+    fn len(&self) -> usize {
+        self.inner.lock().live
+    }
+
+    fn clear_travel(&self, travel: TravelId) {
+        let mut g = self.inner.lock();
+        let mut removed = 0;
+        g.items.retain(|(t, _, _), parts| {
+            if *t == travel {
+                removed += parts.len();
+                false
+            } else {
+                true
+            }
+        });
+        g.live -= removed;
+        g.order.retain(|(t, _, _)| *t != travel);
+    }
+}
+
+// ----------------------------------------------- scheduling & merging
+
+#[derive(Default)]
+struct TravelQ {
+    /// depth → vertices awaiting processing at that depth, in vertex-id
+    /// order. Sorted draining matters: storage clusters adjacent keys
+    /// into runs, so visiting a backlog in key order turns most reads
+    /// into sequential/warm accesses — the same disk-friendliness the
+    /// paper's layout exists for (§IV-B, §VI).
+    order: BTreeMap<u16, BTreeSet<VertexId>>,
+    /// vertex → depth → queued parts (tokens + owning execution).
+    by_vertex: HashMap<VertexId, BTreeMap<u16, Vec<(Tokens, Arc<RequestState>)>>>,
+}
+
+#[derive(Default)]
+struct MergingInner {
+    travels: HashMap<TravelId, TravelQ>,
+    live: usize,
+    closed: bool,
+}
+
+/// GraphTrek's smallest-step-first, same-vertex-merging queue (§V-B).
+#[derive(Default)]
+pub struct MergingQueue {
+    inner: Mutex<MergingInner>,
+    cond: Condvar,
+}
+
+impl MergingQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl RequestQueue for MergingQueue {
+    fn push_many(&self, items: Vec<WorkItem>) {
+        let mut g = self.inner.lock();
+        for item in items {
+            let tq = g.travels.entry(item.req.travel).or_default();
+            tq.order.entry(item.depth).or_default().insert(item.vertex);
+            tq.by_vertex
+                .entry(item.vertex)
+                .or_default()
+                .entry(item.depth)
+                .or_default()
+                .push((item.tokens, item.req.clone()));
+            g.live += 1;
+        }
+        drop(g);
+        self.cond.notify_all();
+    }
+
+    fn pop(&self) -> Option<Vec<WorkItem>> {
+        let mut g = self.inner.lock();
+        loop {
+            // Scheduling: pick the travel whose head depth is globally
+            // smallest, then pop the oldest vertex queued at that depth.
+            'search: while g.live > 0 {
+                let (&travel, _) = match g
+                    .travels
+                    .iter()
+                    .filter(|(_, tq)| !tq.order.is_empty())
+                    .min_by_key(|(_, tq)| *tq.order.keys().next().unwrap())
+                {
+                    Some(t) => t,
+                    None => break 'search,
+                };
+                let tq = g.travels.get_mut(&travel).unwrap();
+                let depth = *tq.order.keys().next().unwrap();
+                let (vertex, now_empty) = {
+                    let dq = tq.order.get_mut(&depth).unwrap();
+                    (dq.pop_first(), dq.is_empty())
+                };
+                if now_empty {
+                    tq.order.remove(&depth);
+                }
+                let Some(vertex) = vertex else { continue };
+                // Merging: take every queued part for this vertex, at
+                // every depth, so one storage access serves them all.
+                let Some(depth_map) = tq.by_vertex.remove(&vertex) else {
+                    continue; // stale order entry (already merged away)
+                };
+                let mut parts = Vec::new();
+                for (d, entries) in depth_map {
+                    for (tokens, req) in entries {
+                        parts.push(WorkItem {
+                            vertex,
+                            depth: d,
+                            tokens,
+                            req,
+                        });
+                    }
+                }
+                g.live -= parts.len();
+                if g.travels[&travel].order.is_empty()
+                    && g.travels[&travel].by_vertex.is_empty()
+                {
+                    g.travels.remove(&travel);
+                }
+                return Some(parts);
+            }
+            if g.closed {
+                return None;
+            }
+            self.cond.wait(&mut g);
+        }
+    }
+
+    fn close(&self) {
+        self.inner.lock().closed = true;
+        self.cond.notify_all();
+    }
+
+    fn len(&self) -> usize {
+        self.inner.lock().live
+    }
+
+    fn clear_travel(&self, travel: TravelId) {
+        let mut g = self.inner.lock();
+        if let Some(tq) = g.travels.remove(&travel) {
+            let removed: usize = tq
+                .by_vertex
+                .values()
+                .map(|dm| dm.values().map(Vec::len).sum::<usize>())
+                .sum();
+            g.live -= removed;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::GTravel;
+    use std::sync::atomic::Ordering;
+
+    fn req(travel: TravelId, depth: u16, n: usize) -> Arc<RequestState> {
+        Arc::new(RequestState {
+            travel,
+            depth,
+            exec: ExecId::new(0, depth as u64),
+            plan: Arc::new(GTravel::v([1u64]).e("x").compile().unwrap()),
+            coordinator: 0,
+            mode: ReqMode::Async,
+            remaining: AtomicUsize::new(n),
+            out: Mutex::new(RequestOutput::default()),
+        })
+    }
+
+    fn item(req: &Arc<RequestState>, vertex: u64) -> WorkItem {
+        WorkItem {
+            vertex: VertexId(vertex),
+            depth: req.depth,
+            tokens: vec![],
+            req: req.clone(),
+        }
+    }
+
+    #[test]
+    fn fifo_preserves_arrival_order() {
+        let q = FifoQueue::new();
+        let r = req(1, 0, 3);
+        q.push_many(vec![item(&r, 1), item(&r, 2), item(&r, 3)]);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop().unwrap()[0].vertex, VertexId(1));
+        assert_eq!(q.pop().unwrap()[0].vertex, VertexId(2));
+        assert_eq!(q.pop().unwrap()[0].vertex, VertexId(3));
+        q.close();
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn fifo_coalesces_queued_duplicates() {
+        let q = FifoQueue::new();
+        let r1 = req(1, 2, 1);
+        let r2 = req(1, 2, 1);
+        // Same (travel, depth, vertex) queued twice before any pop: one
+        // entry, two parts.
+        q.push_many(vec![item(&r1, 7)]);
+        q.push_many(vec![item(&r2, 7)]);
+        assert_eq!(q.len(), 2);
+        let parts = q.pop().unwrap();
+        assert_eq!(parts.len(), 2);
+        assert_eq!(q.len(), 0);
+        // A re-arrival after processing queues fresh (the §V-A redundant
+        // visit the cache exists to kill).
+        q.push_many(vec![item(&r1, 7)]);
+        assert_eq!(q.pop().unwrap().len(), 1);
+        // Different vertices never coalesce.
+        q.push_many(vec![item(&r1, 8), item(&r1, 9)]);
+        assert_eq!(q.pop().unwrap()[0].vertex, VertexId(8));
+        assert_eq!(q.pop().unwrap()[0].vertex, VertexId(9));
+    }
+
+    #[test]
+    fn fifo_clear_travel_is_selective() {
+        let q = FifoQueue::new();
+        let r1 = req(1, 0, 1);
+        let r2 = req(2, 0, 1);
+        q.push_many(vec![item(&r1, 1), item(&r2, 2)]);
+        q.clear_travel(1);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap()[0].req.travel, 2);
+    }
+
+    #[test]
+    fn merging_queue_schedules_smallest_step_first() {
+        let q = MergingQueue::new();
+        let r2 = req(1, 2, 2);
+        let r0 = req(1, 0, 1);
+        let r1 = req(1, 1, 1);
+        // Arrival order: depth 2, 0, 1 → pop order must be 0, 1, 2.
+        q.push_many(vec![item(&r2, 10), item(&r2, 11)]);
+        q.push_many(vec![item(&r0, 20)]);
+        q.push_many(vec![item(&r1, 30)]);
+        let depths: Vec<u16> = (0..4).map(|_| q.pop().unwrap()[0].depth).collect();
+        assert_eq!(depths, vec![0, 1, 2, 2]);
+    }
+
+    #[test]
+    fn merging_queue_merges_same_vertex_across_steps() {
+        let q = MergingQueue::new();
+        let r1 = req(1, 1, 1);
+        let r2 = req(1, 2, 2);
+        // Vertex 7 queued at depth 1 and depth 2 → one pop yields both.
+        q.push_many(vec![item(&r1, 7)]);
+        q.push_many(vec![item(&r2, 7), item(&r2, 8)]);
+        assert_eq!(q.len(), 3);
+        let merged = q.pop().unwrap();
+        assert_eq!(merged.len(), 2, "both depths in one pop");
+        assert_eq!(merged[0].vertex, VertexId(7));
+        assert_eq!(merged[0].depth, 1);
+        assert_eq!(merged[1].depth, 2);
+        // The stale depth-2 order entry for vertex 7 is skipped; vertex 8
+        // is next.
+        let rest = q.pop().unwrap();
+        assert_eq!(rest[0].vertex, VertexId(8));
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn merging_queue_does_not_merge_across_travels() {
+        let q = MergingQueue::new();
+        let a = req(1, 1, 1);
+        let b = req(2, 1, 1);
+        q.push_many(vec![item(&a, 7)]);
+        q.push_many(vec![item(&b, 7)]);
+        let first = q.pop().unwrap();
+        assert_eq!(first.len(), 1);
+        let second = q.pop().unwrap();
+        assert_eq!(second.len(), 1);
+        assert_ne!(first[0].req.travel, second[0].req.travel);
+    }
+
+    #[test]
+    fn merging_queue_same_vertex_same_depth_parts() {
+        // Token re-propagation enqueues the same (vertex, depth) twice;
+        // both parts must come out of one pop.
+        let q = MergingQueue::new();
+        let r = req(1, 1, 2);
+        q.push_many(vec![item(&r, 7)]);
+        q.push_many(vec![WorkItem {
+            vertex: VertexId(7),
+            depth: 1,
+            tokens: vec![Token { owner: 3, id: 9 }],
+            req: r.clone(),
+        }]);
+        let parts = q.pop().unwrap();
+        assert_eq!(parts.len(), 2);
+        assert!(q.pop_is_empty_nonblocking());
+    }
+
+    #[test]
+    fn merging_clear_travel() {
+        let q = MergingQueue::new();
+        let a = req(1, 1, 1);
+        let b = req(2, 1, 1);
+        q.push_many(vec![item(&a, 1), item(&a, 2)]);
+        q.push_many(vec![item(&b, 3)]);
+        q.clear_travel(1);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap()[0].req.travel, 2);
+    }
+
+    #[test]
+    fn blocked_pop_wakes_on_push() {
+        let q = Arc::new(MergingQueue::new());
+        let q2 = q.clone();
+        let h = std::thread::spawn(move || q2.pop().map(|p| p[0].vertex));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let r = req(1, 0, 1);
+        q.push_many(vec![item(&r, 42)]);
+        assert_eq!(h.join().unwrap(), Some(VertexId(42)));
+    }
+
+    #[test]
+    fn blocked_pop_wakes_on_close() {
+        let q = Arc::new(FifoQueue::new());
+        let q2 = q.clone();
+        let h = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert!(h.join().unwrap().is_none());
+    }
+
+    #[test]
+    fn remaining_counter_reflects_parts() {
+        let r = req(1, 0, 2);
+        assert_eq!(r.remaining.fetch_sub(1, Ordering::AcqRel), 2);
+        assert_eq!(r.remaining.fetch_sub(1, Ordering::AcqRel), 1);
+    }
+
+    impl MergingQueue {
+        /// Test helper: non-blocking emptiness check.
+        fn pop_is_empty_nonblocking(&self) -> bool {
+            self.inner.lock().live == 0
+        }
+    }
+}

@@ -1,0 +1,1135 @@
+//! One backend server: dispatcher, worker pool, step executor, and the
+//! coordinator role.
+//!
+//! Every simulated backend server runs (§IV-B, §V-B):
+//!
+//! * a **dispatcher thread** receiving fabric messages — traversal
+//!   requests go into the local request queue ("it puts the received
+//!   requests into a local queue and replies to the ancestor servers
+//!   before processing these requests"), control messages are handled
+//!   inline, and coordinator-role messages update this server's ledgers;
+//! * a **worker pool** draining the queue; each pop yields every queued
+//!   part for one vertex (one storage access amortized over all of them —
+//!   execution merging), applies the plan's filters, expands edges, and
+//!   accumulates output into the owning execution, which *flushes*
+//!   (dispatches downstream `Visit`s / `SyncFrontier`s plus tracing
+//!   events) when its last vertex request completes.
+//!
+//! The same server code runs all three engines; the differences are the
+//! queue policy, the traversal-affiliate cache capacity, and whether a
+//! traversal is driven by the asynchronous protocol or the synchronous
+//! controller.
+
+use crate::cache::{CacheDecision, TraversalCache};
+use crate::coordinator::{CoordState, SyncState, TravelLedger};
+use crate::engine::{EngineConfig, EngineKind};
+use crate::faults::ServerFaults;
+use crate::lang::{vertex_matches, Plan, Source};
+use crate::message::{Msg, SyncExpect};
+use crate::metrics::ServerMetrics;
+use crate::queue::{
+    FifoQueue, MergingQueue, ReqMode, RequestQueue, RequestState, WorkItem,
+};
+use crate::{ExecId, Token, Tokens, TravelId};
+use gt_graph::{EdgeCutPartitioner, GraphPartition, Props, VertexId};
+use gt_net::Endpoint;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Everything needed to spawn one backend server.
+pub struct ServerArgs {
+    /// This server's id (also its fabric endpoint id).
+    pub id: usize,
+    /// Cluster size.
+    pub n_servers: usize,
+    /// Vertex placement.
+    pub partitioner: EdgeCutPartitioner,
+    /// This server's graph shard.
+    pub partition: Arc<GraphPartition>,
+    /// Fabric endpoint.
+    pub endpoint: Endpoint<Msg>,
+    /// Engine configuration (shared across the cluster).
+    pub engine: EngineConfig,
+}
+
+/// Handle to a running server's threads and instrumentation.
+pub struct ServerHandle {
+    /// Instrumentation counters.
+    pub metrics: Arc<ServerMetrics>,
+    /// The shard (for I/O stats and cache drops between runs).
+    pub partition: Arc<GraphPartition>,
+    dispatcher: std::thread::JoinHandle<()>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Wait for the server's threads to exit (send [`Msg::Shutdown`] first).
+    pub fn join(self) {
+        self.dispatcher.join().expect("dispatcher panicked");
+        for w in self.workers {
+            w.join().expect("worker panicked");
+        }
+    }
+}
+
+#[derive(Debug)]
+struct TokenRecord {
+    depth: u16,
+    vertex: VertexId,
+    released: bool,
+}
+
+#[derive(Debug, Default)]
+struct TokenRegistry {
+    /// (travel, depth, vertex) → token id (reuse on re-registration).
+    by_key: HashMap<(TravelId, u16, VertexId), u64>,
+    /// (travel, token id) → record.
+    records: HashMap<(TravelId, u64), TokenRecord>,
+}
+
+#[derive(Debug, Default)]
+struct FrontierBuf {
+    received: u64,
+    expected: Option<u64>,
+    items: Vec<(VertexId, Tokens)>,
+    done: bool,
+}
+
+#[derive(Debug, Default)]
+struct OriginBuf {
+    received: u64,
+    expected: Option<u64>,
+    tokens: Vec<u64>,
+    done: bool,
+}
+
+/// Per-travel synchronous-engine buffers on one server.
+#[derive(Debug)]
+struct SyncBufs {
+    plan: Arc<Plan>,
+    coordinator: usize,
+    frontier: HashMap<u16, FrontierBuf>,
+    origin: OriginBuf,
+}
+
+struct Shared {
+    id: usize,
+    n_servers: usize,
+    engine_kind: EngineKind,
+    partitioner: EdgeCutPartitioner,
+    partition: Arc<GraphPartition>,
+    ep: Endpoint<Msg>,
+    queue: Arc<dyn RequestQueue>,
+    cache: TraversalCache,
+    metrics: Arc<ServerMetrics>,
+    faults: ServerFaults,
+    exec_ctr: AtomicU64,
+    token_ctr: AtomicU64,
+    tokens: Mutex<TokenRegistry>,
+    coords: Mutex<HashMap<TravelId, CoordState>>,
+    sync_bufs: Mutex<HashMap<TravelId, SyncBufs>>,
+}
+
+/// Spawn a server's dispatcher and worker threads.
+pub fn spawn(args: ServerArgs) -> ServerHandle {
+    let queue: Arc<dyn RequestQueue> = if args.engine.merging_queue_enabled() {
+        Arc::new(MergingQueue::new())
+    } else {
+        Arc::new(FifoQueue::new())
+    };
+    let metrics = Arc::new(ServerMetrics::default());
+    let shared = Arc::new(Shared {
+        id: args.id,
+        n_servers: args.n_servers,
+        engine_kind: args.engine.kind,
+        partitioner: args.partitioner,
+        partition: args.partition.clone(),
+        ep: args.endpoint,
+        queue,
+        cache: TraversalCache::new(args.engine.effective_cache_capacity()),
+        metrics: metrics.clone(),
+        faults: args.engine.faults.for_server(args.id),
+        exec_ctr: AtomicU64::new(1),
+        token_ctr: AtomicU64::new(1),
+        tokens: Mutex::new(TokenRegistry::default()),
+        coords: Mutex::new(HashMap::new()),
+        sync_bufs: Mutex::new(HashMap::new()),
+    });
+    let mut workers = Vec::with_capacity(args.engine.workers_per_server);
+    for w in 0..args.engine.workers_per_server {
+        let sh = shared.clone();
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("gt-s{}-w{}", args.id, w))
+                .spawn(move || worker_loop(&sh))
+                .expect("spawn worker"),
+        );
+    }
+    let sh = shared.clone();
+    let dispatcher = std::thread::Builder::new()
+        .name(format!("gt-s{}-dispatch", args.id))
+        .spawn(move || dispatcher_loop(&sh))
+        .expect("spawn dispatcher");
+    ServerHandle {
+        metrics,
+        partition: args.partition,
+        dispatcher,
+        workers,
+    }
+}
+
+// ===================================================== dispatcher side
+
+fn dispatcher_loop(sh: &Arc<Shared>) {
+    while let Ok(env) = sh.ep.recv() {
+        match env.msg {
+            Msg::Shutdown => break,
+            Msg::Submit {
+                travel,
+                plan,
+                client,
+            } => handle_submit(sh, travel, plan, client),
+            Msg::SourceScan {
+                travel,
+                plan,
+                coordinator,
+                exec,
+            } => handle_source_scan(sh, travel, plan, coordinator, exec),
+            Msg::Visit {
+                travel,
+                depth,
+                exec,
+                plan,
+                coordinator,
+                items,
+            } => handle_visit(sh, travel, depth, exec, plan, coordinator, items),
+            Msg::ExecCreated {
+                travel,
+                exec,
+                depth,
+            } => with_async_coord(sh, travel, |l| l.exec_created(exec, depth)),
+            Msg::ExecTerminated {
+                travel,
+                exec,
+                children,
+            } => {
+                with_async_coord(sh, travel, |l| l.exec_terminated(exec, &children));
+                maybe_finish_async(sh, travel);
+            }
+            Msg::Results { travel, items } => {
+                let mut coords = sh.coords.lock();
+                match coords.get_mut(&travel) {
+                    Some(CoordState::Async(l)) => l.add_results(&items),
+                    Some(CoordState::Sync(s)) => s.add_results(&items),
+                    None => {}
+                }
+            }
+            Msg::OriginSatisfied {
+                travel,
+                exec,
+                coordinator,
+                tokens,
+            } => handle_origin_satisfied(sh, travel, exec, coordinator, &tokens),
+            Msg::SyncStart {
+                travel,
+                plan,
+                coordinator,
+                depth,
+                expect,
+            } => handle_sync_start(sh, travel, plan, coordinator, depth, expect),
+            Msg::SyncFrontier {
+                travel,
+                depth,
+                items,
+            } => handle_sync_frontier(sh, travel, depth, items),
+            Msg::SyncOrigin { travel, tokens } => handle_sync_origin(sh, travel, &tokens),
+            Msg::SyncStepDone {
+                travel,
+                depth,
+                server,
+                sent,
+                origin_sent,
+            } => handle_sync_step_done(sh, travel, depth, server, &sent, &origin_sent),
+            Msg::Abort { travel } => handle_abort(sh, travel),
+            Msg::Ingest {
+                req,
+                client,
+                vertices,
+                edges,
+            } => {
+                // The online update path (§I: "live updates"): writes go
+                // through the owning server's WAL-backed store and are
+                // immediately visible to traversals and point queries.
+                let mut applied = 0usize;
+                for v in &vertices {
+                    debug_assert_eq!(sh.partitioner.owner(v.id), sh.id);
+                    if sh.partition.put_vertex(v).is_ok() {
+                        applied += 1;
+                    }
+                }
+                for e in &edges {
+                    debug_assert_eq!(sh.partitioner.owner(e.src), sh.id);
+                    if sh.partition.put_edge(e).is_ok() {
+                        applied += 1;
+                    }
+                }
+                let _ = sh.ep.send(client, Msg::IngestAck { req, applied });
+            }
+            Msg::GetVertex {
+                req,
+                client,
+                vertex,
+            } => {
+                // Low-latency point query (§I: permission checks etc.).
+                let found = sh.partition.get_vertex(vertex).ok().flatten();
+                let _ = sh.ep.send(
+                    client,
+                    Msg::VertexReply {
+                        req,
+                        vertex: found.map(Box::new),
+                    },
+                );
+            }
+            Msg::IngestAck { .. } | Msg::VertexReply { .. } => {}
+            Msg::ProgressQuery { travel, client } => {
+                let coords = sh.coords.lock();
+                let snapshot = match coords.get(&travel) {
+                    Some(CoordState::Async(l)) => l.progress(),
+                    Some(CoordState::Sync(s)) => s.outcome().progress,
+                    None => Default::default(),
+                };
+                drop(coords);
+                let _ = sh.ep.send(client, Msg::ProgressReport { travel, snapshot });
+            }
+            // Client-facing replies never arrive at servers.
+            Msg::TravelDone { .. } | Msg::ProgressReport { .. } => {}
+        }
+    }
+    sh.queue.close();
+}
+
+fn with_async_coord(sh: &Arc<Shared>, travel: TravelId, f: impl FnOnce(&mut TravelLedger)) {
+    let mut coords = sh.coords.lock();
+    if let Some(CoordState::Async(l)) = coords.get_mut(&travel) {
+        f(l);
+    }
+}
+
+/// Complete an asynchronous traversal if its ledger says so.
+fn maybe_finish_async(sh: &Arc<Shared>, travel: TravelId) {
+    let finished = {
+        let mut coords = sh.coords.lock();
+        match coords.get(&travel) {
+            Some(CoordState::Async(l)) if l.is_done() => match coords.remove(&travel) {
+                Some(CoordState::Async(l)) => Some((l.client, l.outcome())),
+                _ => None,
+            },
+            _ => None,
+        }
+    };
+    if let Some((client, outcome)) = finished {
+        // Release per-travel state on every server, then notify the client.
+        for s in 0..sh.n_servers {
+            let _ = sh.ep.send(s, Msg::Abort { travel });
+        }
+        let _ = sh.ep.send(client, Msg::TravelDone { travel, outcome });
+    }
+}
+
+fn handle_submit(sh: &Arc<Shared>, travel: TravelId, plan: Arc<Plan>, client: usize) {
+    let sync = {
+        // The submitting client decided this server coordinates `travel`.
+        let mut coords = sh.coords.lock();
+        if matches!(
+            plan_engine_kind(sh),
+            EngineKind::Sync
+        ) {
+            coords.insert(
+                travel,
+                CoordState::Sync(SyncState::new(plan.clone(), client, sh.n_servers)),
+            );
+            true
+        } else {
+            coords.insert(
+                travel,
+                CoordState::Async(TravelLedger::new(plan.clone(), client)),
+            );
+            false
+        }
+    };
+    if sync {
+        for s in 0..sh.n_servers {
+            let _ = sh.ep.send(
+                s,
+                Msg::SyncStart {
+                    travel,
+                    plan: plan.clone(),
+                    coordinator: sh.id,
+                    depth: 0,
+                    expect: SyncExpect::ScanSource,
+                },
+            );
+        }
+        return;
+    }
+    // Asynchronous source dispatch: targeted for explicit ids ("the
+    // coordinator first learns that userA is stored in server 2 … then
+    // sends the request"), broadcast scan otherwise.
+    match &plan.source {
+        Source::Ids(ids) => {
+            let buckets = sh.partitioner.group_by_owner(ids.iter().copied());
+            let mut any = false;
+            for (owner, vids) in buckets.into_iter().enumerate() {
+                if vids.is_empty() {
+                    continue;
+                }
+                any = true;
+                let exec = alloc_exec(sh);
+                with_async_coord(sh, travel, |l| l.exec_created(exec, 0));
+                let items: Vec<(VertexId, Tokens)> =
+                    vids.into_iter().map(|v| (v, Vec::new())).collect();
+                let _ = sh.ep.send(
+                    owner,
+                    Msg::Visit {
+                        travel,
+                        depth: 0,
+                        exec,
+                        plan: plan.clone(),
+                        coordinator: sh.id,
+                        items,
+                    },
+                );
+            }
+            if !any {
+                // Degenerate: no owned sources at all; finish immediately.
+                let exec = alloc_exec(sh);
+                with_async_coord(sh, travel, |l| {
+                    l.exec_created(exec, 0);
+                    l.exec_terminated(exec, &[]);
+                });
+                maybe_finish_async(sh, travel);
+            }
+        }
+        Source::All => {
+            for s in 0..sh.n_servers {
+                let exec = alloc_exec(sh);
+                with_async_coord(sh, travel, |l| l.exec_created(exec, 0));
+                let _ = sh.ep.send(
+                    s,
+                    Msg::SourceScan {
+                        travel,
+                        plan: plan.clone(),
+                        coordinator: sh.id,
+                        exec,
+                    },
+                );
+            }
+        }
+    }
+}
+
+/// The engine kind is cluster-wide; infer it from the queue/cache wiring.
+/// (Kept as a function so a future per-travel override has one seam.)
+fn plan_engine_kind(sh: &Arc<Shared>) -> EngineKind {
+    sh.engine_kind
+}
+
+fn alloc_exec(sh: &Arc<Shared>) -> ExecId {
+    ExecId::new(sh.id, sh.exec_ctr.fetch_add(1, Ordering::Relaxed))
+}
+
+/// Resolve the plan's source to locally-owned vertex ids.
+fn resolve_local_source(sh: &Arc<Shared>, plan: &Plan) -> Vec<VertexId> {
+    match &plan.source {
+        Source::Ids(ids) => ids
+            .iter()
+            .copied()
+            .filter(|&v| sh.partitioner.owner(v) == sh.id)
+            .collect(),
+        Source::All => {
+            let scan = if let Some(t) = plan.source_type_hint() {
+                sh.partition.vertices_of_type(t)
+            } else {
+                sh.partition.all_vertex_ids()
+            };
+            scan.unwrap_or_default()
+        }
+    }
+}
+
+fn handle_source_scan(
+    sh: &Arc<Shared>,
+    travel: TravelId,
+    plan: Arc<Plan>,
+    coordinator: usize,
+    exec: ExecId,
+) {
+    let items: Vec<(VertexId, Tokens)> = resolve_local_source(sh, &plan)
+        .into_iter()
+        .map(|v| (v, Vec::new()))
+        .collect();
+    handle_visit(sh, travel, 0, exec, plan, coordinator, items);
+}
+
+fn handle_visit(
+    sh: &Arc<Shared>,
+    travel: TravelId,
+    depth: u16,
+    exec: ExecId,
+    plan: Arc<Plan>,
+    coordinator: usize,
+    items: Vec<(VertexId, Tokens)>,
+) {
+    sh.metrics
+        .requests_received
+        .fetch_add(items.len() as u64, Ordering::Relaxed);
+    // Traversal-affiliate cache check at receipt (§V-A): redundant
+    // requests are abandoned before they ever reach the queue.
+    let mut kept: Vec<(VertexId, Tokens)> = Vec::with_capacity(items.len());
+    for (v, tokens) in items {
+        match sh.cache.observe(travel, depth, v, &tokens) {
+            CacheDecision::FirstVisit => kept.push((v, tokens)),
+            CacheDecision::Redundant => {
+                sh.metrics.redundant_visits.fetch_add(1, Ordering::Relaxed);
+            }
+            CacheDecision::NewTokens(new) => kept.push((v, new)),
+        }
+    }
+    let req = Arc::new(RequestState {
+        travel,
+        depth,
+        exec,
+        plan,
+        coordinator,
+        mode: ReqMode::Async,
+        remaining: AtomicUsize::new(kept.len()),
+        out: Mutex::new(Default::default()),
+    });
+    if kept.is_empty() {
+        flush_request(sh, &req);
+        return;
+    }
+    let work: Vec<WorkItem> = kept
+        .into_iter()
+        .map(|(vertex, tokens)| WorkItem {
+            vertex,
+            depth,
+            tokens,
+            req: req.clone(),
+        })
+        .collect();
+    sh.queue.push_many(work);
+    sh.metrics.observe_queue_len(sh.queue.len());
+}
+
+fn handle_origin_satisfied(
+    sh: &Arc<Shared>,
+    travel: TravelId,
+    exec: ExecId,
+    coordinator: usize,
+    tokens: &[u64],
+) {
+    let released = release_tokens(sh, travel, tokens);
+    if !released.is_empty() {
+        sh.metrics
+            .results_sent
+            .fetch_add(released.len() as u64, Ordering::Relaxed);
+        let _ = sh.ep.send(
+            coordinator,
+            Msg::Results {
+                travel,
+                items: released,
+            },
+        );
+    }
+    // Terminate the synthetic execution *after* the results, on the same
+    // FIFO link, so the coordinator cannot complete before seeing them.
+    let _ = sh.ep.send(
+        coordinator,
+        Msg::ExecTerminated {
+            travel,
+            exec,
+            children: Vec::new(),
+        },
+    );
+}
+
+/// Mark tokens released and return their recorded (depth, vertex) pairs.
+fn release_tokens(sh: &Arc<Shared>, travel: TravelId, tokens: &[u64]) -> Vec<(u16, VertexId)> {
+    let mut reg = sh.tokens.lock();
+    let mut out = Vec::new();
+    for &t in tokens {
+        if let Some(rec) = reg.records.get_mut(&(travel, t)) {
+            if !rec.released {
+                rec.released = true;
+                out.push((rec.depth, rec.vertex));
+            }
+        }
+    }
+    out
+}
+
+fn handle_abort(sh: &Arc<Shared>, travel: TravelId) {
+    sh.queue.clear_travel(travel);
+    sh.cache.forget_travel(travel);
+    {
+        let mut reg = sh.tokens.lock();
+        reg.by_key.retain(|(t, _, _), _| *t != travel);
+        reg.records.retain(|(t, _), _| *t != travel);
+    }
+    sh.sync_bufs.lock().remove(&travel);
+    sh.coords.lock().remove(&travel);
+}
+
+// ------------------------------------------------------ sync engine
+
+fn handle_sync_start(
+    sh: &Arc<Shared>,
+    travel: TravelId,
+    plan: Arc<Plan>,
+    coordinator: usize,
+    depth: u16,
+    expect: SyncExpect,
+) {
+    match expect {
+        SyncExpect::ScanSource => {
+            let sources = resolve_local_source(sh, &plan);
+            sh.metrics
+                .requests_received
+                .fetch_add(sources.len() as u64, Ordering::Relaxed);
+            let items: Vec<(VertexId, Tokens)> =
+                sources.into_iter().map(|v| (v, Vec::new())).collect();
+            {
+                let mut bufs = sh.sync_bufs.lock();
+                bufs.entry(travel).or_insert_with(|| SyncBufs {
+                    plan: plan.clone(),
+                    coordinator,
+                    frontier: HashMap::new(),
+                    origin: OriginBuf::default(),
+                });
+            }
+            enqueue_sync_fragment(sh, travel, 0, plan, coordinator, items);
+        }
+        SyncExpect::Vertices(n) => {
+            let ready = {
+                let mut bufs = sh.sync_bufs.lock();
+                let tb = bufs.entry(travel).or_insert_with(|| SyncBufs {
+                    plan: plan.clone(),
+                    coordinator,
+                    frontier: HashMap::new(),
+                    origin: OriginBuf::default(),
+                });
+                tb.plan = plan.clone();
+                tb.coordinator = coordinator;
+                let fb = tb.frontier.entry(depth).or_default();
+                fb.expected = Some(n);
+                fb.received >= n && !fb.done
+            };
+            if ready {
+                fire_sync_fragment(sh, travel, depth);
+            }
+        }
+        SyncExpect::OriginTokens(n) => {
+            let ready = {
+                let mut bufs = sh.sync_bufs.lock();
+                let tb = bufs.entry(travel).or_insert_with(|| SyncBufs {
+                    plan: plan.clone(),
+                    coordinator,
+                    frontier: HashMap::new(),
+                    origin: OriginBuf::default(),
+                });
+                tb.plan = plan.clone();
+                tb.coordinator = coordinator;
+                tb.origin.expected = Some(n);
+                tb.origin.received >= n && !tb.origin.done
+            };
+            if ready {
+                fire_sync_origin_release(sh, travel, depth);
+            }
+        }
+    }
+}
+
+fn handle_sync_frontier(
+    sh: &Arc<Shared>,
+    travel: TravelId,
+    depth: u16,
+    items: Vec<(VertexId, Tokens)>,
+) {
+    let ready = {
+        let mut bufs = sh.sync_bufs.lock();
+        let Some(tb) = bufs.get_mut(&travel) else {
+            // Frontier can precede SyncStart only for a travel we already
+            // know (buffers created at depth 0); a totally unknown travel
+            // means Abort already cleared it.
+            return;
+        };
+        let fb = tb.frontier.entry(depth).or_default();
+        fb.received += items.len() as u64;
+        fb.items.extend(items);
+        matches!(fb.expected, Some(n) if fb.received >= n && !fb.done)
+    };
+    if ready {
+        fire_sync_fragment(sh, travel, depth);
+    }
+}
+
+fn fire_sync_fragment(sh: &Arc<Shared>, travel: TravelId, depth: u16) {
+    let (plan, coordinator, items) = {
+        let mut bufs = sh.sync_bufs.lock();
+        let Some(tb) = bufs.get_mut(&travel) else { return };
+        let Some(fb) = tb.frontier.get_mut(&depth) else { return };
+        if fb.done {
+            return;
+        }
+        fb.done = true;
+        (
+            tb.plan.clone(),
+            tb.coordinator,
+            std::mem::take(&mut fb.items),
+        )
+    };
+    sh.metrics
+        .requests_received
+        .fetch_add(items.len() as u64, Ordering::Relaxed);
+    enqueue_sync_fragment(sh, travel, depth, plan, coordinator, items);
+}
+
+/// Dedup a step fragment (level-synchronous BFS visits each vertex once
+/// per step) and push it to the work queue.
+fn enqueue_sync_fragment(
+    sh: &Arc<Shared>,
+    travel: TravelId,
+    depth: u16,
+    plan: Arc<Plan>,
+    coordinator: usize,
+    items: Vec<(VertexId, Tokens)>,
+) {
+    let mut merged: BTreeMap<VertexId, BTreeSet<Token>> = BTreeMap::new();
+    let mut dup = 0u64;
+    for (v, tokens) in items {
+        match merged.entry(v) {
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                dup += 1;
+                e.get_mut().extend(tokens);
+            }
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(tokens.into_iter().collect());
+            }
+        }
+    }
+    if dup > 0 {
+        sh.metrics.redundant_visits.fetch_add(dup, Ordering::Relaxed);
+    }
+    let req = Arc::new(RequestState {
+        travel,
+        depth,
+        exec: alloc_exec(sh),
+        plan,
+        coordinator,
+        mode: ReqMode::SyncStep,
+        remaining: AtomicUsize::new(merged.len()),
+        out: Mutex::new(Default::default()),
+    });
+    if merged.is_empty() {
+        flush_request(sh, &req);
+        return;
+    }
+    let work: Vec<WorkItem> = merged
+        .into_iter()
+        .map(|(vertex, tokens)| WorkItem {
+            vertex,
+            depth,
+            tokens: tokens.into_iter().collect(),
+            req: req.clone(),
+        })
+        .collect();
+    sh.queue.push_many(work);
+    sh.metrics.observe_queue_len(sh.queue.len());
+}
+
+fn handle_sync_origin(sh: &Arc<Shared>, travel: TravelId, tokens: &[u64]) {
+    let ready_depth = {
+        let mut bufs = sh.sync_bufs.lock();
+        let Some(tb) = bufs.get_mut(&travel) else { return };
+        tb.origin.received += tokens.len() as u64;
+        tb.origin.tokens.extend_from_slice(tokens);
+        if matches!(tb.origin.expected, Some(n) if tb.origin.received >= n && !tb.origin.done) {
+            Some(tb.plan.depth() + 1)
+        } else {
+            None
+        }
+    };
+    if let Some(depth) = ready_depth {
+        fire_sync_origin_release(sh, travel, depth);
+    }
+}
+
+fn fire_sync_origin_release(sh: &Arc<Shared>, travel: TravelId, depth: u16) {
+    let (coordinator, tokens) = {
+        let mut bufs = sh.sync_bufs.lock();
+        let Some(tb) = bufs.get_mut(&travel) else { return };
+        if tb.origin.done {
+            return;
+        }
+        tb.origin.done = true;
+        (tb.coordinator, std::mem::take(&mut tb.origin.tokens))
+    };
+    let released = release_tokens(sh, travel, &tokens);
+    if !released.is_empty() {
+        sh.metrics
+            .results_sent
+            .fetch_add(released.len() as u64, Ordering::Relaxed);
+        let _ = sh.ep.send(
+            coordinator,
+            Msg::Results {
+                travel,
+                items: released,
+            },
+        );
+    }
+    let _ = sh.ep.send(
+        coordinator,
+        Msg::SyncStepDone {
+            travel,
+            depth,
+            server: sh.id,
+            sent: Vec::new(),
+            origin_sent: Vec::new(),
+        },
+    );
+}
+
+fn handle_sync_step_done(
+    sh: &Arc<Shared>,
+    travel: TravelId,
+    depth: u16,
+    server: usize,
+    sent: &[(usize, u64)],
+    origin_sent: &[(usize, u64)],
+) {
+    let action = {
+        let mut coords = sh.coords.lock();
+        let Some(CoordState::Sync(state)) = coords.get_mut(&travel) else {
+            return;
+        };
+        if !state.step_done(server, depth, sent, origin_sent) {
+            return; // barrier not yet reached
+        }
+        let next = state.advance();
+        if next.is_empty() {
+            let client = state.client;
+            let outcome = state.outcome();
+            coords.remove(&travel);
+            Err((client, outcome))
+        } else {
+            Ok((state.plan.clone(), next))
+        }
+    };
+    match action {
+        Ok((plan, next)) => {
+            for (srv, d, expect) in next {
+                let _ = sh.ep.send(
+                    srv,
+                    Msg::SyncStart {
+                        travel,
+                        plan: plan.clone(),
+                        coordinator: sh.id,
+                        depth: d,
+                        expect,
+                    },
+                );
+            }
+        }
+        Err((client, outcome)) => {
+            for s in 0..sh.n_servers {
+                let _ = sh.ep.send(s, Msg::Abort { travel });
+            }
+            let _ = sh.ep.send(client, Msg::TravelDone { travel, outcome });
+        }
+    }
+}
+
+// ======================================================== worker side
+
+fn worker_loop(sh: &Arc<Shared>) {
+    while let Some(parts) = sh.queue.pop() {
+        process_parts(sh, parts);
+    }
+}
+
+/// Process every queued part for one vertex with a single storage access
+/// (execution merging, §V-B).
+///
+/// Parts sharing the same depth are *coalesced duplicates* (several
+/// executions requested the same `(step, vertex)` while it sat in the
+/// queue): their traversal output is identical, so it is produced once —
+/// attributed to the first part's execution with the union of the parts'
+/// origin tokens — and the twins only tick their executions' countdowns
+/// (counted as redundant visits). Parts at *different* depths are the
+/// §V-B execution merge: distinct traversal work sharing one disk access
+/// (counted as combined visits).
+fn process_parts(sh: &Arc<Shared>, parts: Vec<WorkItem>) {
+    debug_assert!(!parts.is_empty());
+    let vertex = parts[0].vertex;
+    let min_depth = parts.iter().map(|p| p.depth).min().unwrap();
+    // Transient-straggler injection (Fig. 11): one delay per vertex access.
+    if let Some(d) = sh.faults.charge(min_depth) {
+        sh.metrics.injected_delays.fetch_add(1, Ordering::Relaxed);
+        crate::faults::sleep_exact(d);
+    }
+    // One real vertex access serves all merged parts.
+    let vdata = sh.partition.get_vertex(vertex).ok().flatten();
+    sh.metrics.real_io_visits.fetch_add(1, Ordering::Relaxed);
+    // Group by depth, preserving order.
+    let mut by_depth: BTreeMap<u16, Vec<WorkItem>> = BTreeMap::new();
+    for part in parts {
+        by_depth.entry(part.depth).or_default().push(part);
+    }
+    if by_depth.len() > 1 {
+        sh.metrics
+            .combined_visits
+            .fetch_add(by_depth.len() as u64 - 1, Ordering::Relaxed);
+    }
+    // Edge scans shared across merged parts that follow the same label.
+    let mut edge_cache: HashMap<String, Arc<Vec<(VertexId, Props)>>> = HashMap::new();
+    for (_, group) in by_depth {
+        if group.len() > 1 {
+            sh.metrics
+                .redundant_visits
+                .fetch_add(group.len() as u64 - 1, Ordering::Relaxed);
+        }
+        // Union the duplicates' tokens into the lead part.
+        let mut lead = group[0].clone();
+        for twin in &group[1..] {
+            for t in &twin.tokens {
+                if !lead.tokens.contains(t) {
+                    lead.tokens.push(*t);
+                }
+            }
+        }
+        process_one(sh, &vdata, &lead, &mut edge_cache);
+        for part in group {
+            if part.req.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                flush_request(sh, &part.req);
+            }
+        }
+    }
+}
+
+fn process_one(
+    sh: &Arc<Shared>,
+    vdata: &Option<gt_graph::Vertex>,
+    part: &WorkItem,
+    edge_cache: &mut HashMap<String, Arc<Vec<(VertexId, Props)>>>,
+) {
+    let Some(v) = vdata else { return };
+    let plan = &part.req.plan;
+    let depth = part.depth;
+    if !vertex_matches(&v.vtype, &v.props, plan.vertex_filters_at(depth)) {
+        return;
+    }
+    let mut tokens = part.tokens.clone();
+    if plan.rtn_at(depth) {
+        let id = register_token(sh, part.req.travel, depth, v.id);
+        let own = Token {
+            owner: sh.id as u16,
+            id,
+        };
+        if !tokens.contains(&own) {
+            tokens.push(own);
+        }
+    }
+    if depth == plan.depth() {
+        // End of the chain: the path completed.
+        let mut out = part.req.out.lock();
+        if plan.returns_final() {
+            out.results.push((depth, v.id));
+        }
+        out.satisfied.extend(tokens.iter().copied());
+        return;
+    }
+    let hop = plan.hop_from(depth).expect("interior depth has a hop");
+    let edges = match edge_cache.get(&hop.edge_label) {
+        Some(e) => e.clone(),
+        None => {
+            let scanned = sh
+                .partition
+                .edges_out(v.id, &hop.edge_label)
+                .unwrap_or_default();
+            let arc = Arc::new(scanned);
+            edge_cache.insert(hop.edge_label.clone(), arc.clone());
+            arc
+        }
+    };
+    let mut out = part.req.out.lock();
+    for (dst, eprops) in edges.iter() {
+        if !hop.edge_filters.matches(eprops) {
+            continue;
+        }
+        let owner = sh.partitioner.owner(*dst);
+        out.dst_by_owner
+            .entry(owner)
+            .or_default()
+            .entry(*dst)
+            .or_default()
+            .extend(tokens.iter().copied());
+    }
+}
+
+fn register_token(sh: &Arc<Shared>, travel: TravelId, depth: u16, vertex: VertexId) -> u64 {
+    let mut reg = sh.tokens.lock();
+    if let Some(&id) = reg.by_key.get(&(travel, depth, vertex)) {
+        return id;
+    }
+    let id = sh.token_ctr.fetch_add(1, Ordering::Relaxed);
+    reg.by_key.insert((travel, depth, vertex), id);
+    reg.records.insert(
+        (travel, id),
+        TokenRecord {
+            depth,
+            vertex,
+            released: false,
+        },
+    );
+    id
+}
+
+/// Flush a completed execution: dispatch its accumulated output and report
+/// the tracing events (§IV-B/C for async, the step-done protocol for sync).
+fn flush_request(sh: &Arc<Shared>, req: &RequestState) {
+    let out = std::mem::take(&mut *req.out.lock());
+    let travel = req.travel;
+    // Group satisfied tokens by owning server.
+    let mut satisfied_by_owner: BTreeMap<usize, Vec<u64>> = BTreeMap::new();
+    for t in &out.satisfied {
+        satisfied_by_owner
+            .entry(t.owner as usize)
+            .or_default()
+            .push(t.id);
+    }
+    match req.mode {
+        ReqMode::Async => {
+            let mut children: Vec<(ExecId, u16)> = Vec::new();
+            for (owner, map) in out.dst_by_owner {
+                let child = alloc_exec(sh);
+                children.push((child, req.depth + 1));
+                let _ = sh.ep.send(
+                    req.coordinator,
+                    Msg::ExecCreated {
+                        travel,
+                        exec: child,
+                        depth: req.depth + 1,
+                    },
+                );
+                let items: Vec<(VertexId, Tokens)> = map
+                    .into_iter()
+                    .map(|(v, toks)| (v, toks.into_iter().collect()))
+                    .collect();
+                sh.metrics.requests_dispatched.fetch_add(1, Ordering::Relaxed);
+                let _ = sh.ep.send(
+                    owner,
+                    Msg::Visit {
+                        travel,
+                        depth: req.depth + 1,
+                        exec: child,
+                        plan: req.plan.clone(),
+                        coordinator: req.coordinator,
+                        items,
+                    },
+                );
+            }
+            let virtual_depth = req.plan.depth() + 1;
+            for (owner, tokens) in satisfied_by_owner {
+                let syn = alloc_exec(sh);
+                children.push((syn, virtual_depth));
+                let _ = sh.ep.send(
+                    req.coordinator,
+                    Msg::ExecCreated {
+                        travel,
+                        exec: syn,
+                        depth: virtual_depth,
+                    },
+                );
+                let _ = sh.ep.send(
+                    owner,
+                    Msg::OriginSatisfied {
+                        travel,
+                        exec: syn,
+                        coordinator: req.coordinator,
+                        tokens,
+                    },
+                );
+            }
+            if !out.results.is_empty() {
+                sh.metrics
+                    .results_sent
+                    .fetch_add(out.results.len() as u64, Ordering::Relaxed);
+                let _ = sh.ep.send(
+                    req.coordinator,
+                    Msg::Results {
+                        travel,
+                        items: out.results,
+                    },
+                );
+            }
+            // Termination last, registering children atomically (§IV-C).
+            let _ = sh.ep.send(
+                req.coordinator,
+                Msg::ExecTerminated {
+                    travel,
+                    exec: req.exec,
+                    children,
+                },
+            );
+        }
+        ReqMode::SyncStep => {
+            let mut sent: Vec<(usize, u64)> = Vec::new();
+            for (owner, map) in out.dst_by_owner {
+                sent.push((owner, map.len() as u64));
+                let items: Vec<(VertexId, Tokens)> = map
+                    .into_iter()
+                    .map(|(v, toks)| (v, toks.into_iter().collect()))
+                    .collect();
+                sh.metrics.requests_dispatched.fetch_add(1, Ordering::Relaxed);
+                let _ = sh.ep.send(
+                    owner,
+                    Msg::SyncFrontier {
+                        travel,
+                        depth: req.depth + 1,
+                        items,
+                    },
+                );
+            }
+            let mut origin_sent: Vec<(usize, u64)> = Vec::new();
+            for (owner, tokens) in satisfied_by_owner {
+                origin_sent.push((owner, tokens.len() as u64));
+                let _ = sh.ep.send(owner, Msg::SyncOrigin { travel, tokens });
+            }
+            if !out.results.is_empty() {
+                sh.metrics
+                    .results_sent
+                    .fetch_add(out.results.len() as u64, Ordering::Relaxed);
+                let _ = sh.ep.send(
+                    req.coordinator,
+                    Msg::Results {
+                        travel,
+                        items: out.results,
+                    },
+                );
+            }
+            let _ = sh.ep.send(
+                req.coordinator,
+                Msg::SyncStepDone {
+                    travel,
+                    depth: req.depth,
+                    server: sh.id,
+                    sent,
+                    origin_sent,
+                },
+            );
+        }
+    }
+}

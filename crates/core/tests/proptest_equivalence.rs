@@ -1,0 +1,182 @@
+//! Property test: on random graphs and random GTravel plans, all three
+//! distributed engines return exactly the oracle's result — the central
+//! correctness property of the reproduction (asynchrony, caching, merging
+//! and rtn() routing must never change traversal semantics).
+
+use graphtrek::oracle;
+use graphtrek::prelude::*;
+use gt_graph::{Edge, InMemoryGraph, Props, Vertex};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+struct GraphSpec {
+    n_vertices: u64,
+    edges: Vec<(u64, u8, u64, i64)>, // (src, label idx, dst, ts)
+    weights: Vec<i64>,
+}
+
+const LABELS: [&str; 3] = ["a", "b", "c"];
+const TYPES: [&str; 3] = ["User", "Execution", "File"];
+
+fn graph_spec() -> impl Strategy<Value = GraphSpec> {
+    (4u64..24).prop_flat_map(|n| {
+        let edges = proptest::collection::vec(
+            (0..n, 0u8..3, 0..n, 0i64..20),
+            0..(n as usize * 4),
+        );
+        let weights = proptest::collection::vec(0i64..10, n as usize);
+        (Just(n), edges, weights).prop_map(|(n_vertices, edges, weights)| GraphSpec {
+            n_vertices,
+            edges,
+            weights,
+        })
+    })
+}
+
+#[derive(Debug, Clone)]
+struct StepSpec {
+    label: u8,
+    ts_filter: Option<(i64, i64)>,
+    w_filter: Option<(i64, i64)>,
+    rtn: bool,
+}
+
+#[derive(Debug, Clone)]
+struct PlanSpec {
+    sources: Vec<u64>,
+    all_source: bool,
+    type_filter: Option<u8>,
+    source_rtn: bool,
+    steps: Vec<StepSpec>,
+}
+
+fn step_spec() -> impl Strategy<Value = StepSpec> {
+    (
+        0u8..3,
+        proptest::option::of((0i64..20, 0i64..20)),
+        proptest::option::weighted(0.3, (0i64..10, 0i64..10)),
+        proptest::bool::weighted(0.3),
+    )
+        .prop_map(|(label, ts, w, rtn)| StepSpec {
+            label,
+            ts_filter: ts.map(|(a, b)| (a.min(b), a.max(b))),
+            w_filter: w.map(|(a, b)| (a.min(b), a.max(b))),
+            rtn,
+        })
+}
+
+fn plan_spec() -> impl Strategy<Value = PlanSpec> {
+    (
+        proptest::collection::vec(0u64..24, 1..5),
+        proptest::bool::weighted(0.3),
+        proptest::option::weighted(0.4, 0u8..3),
+        proptest::bool::weighted(0.25),
+        proptest::collection::vec(step_spec(), 0..5),
+    )
+        .prop_map(|(sources, all_source, type_filter, source_rtn, steps)| PlanSpec {
+            sources,
+            all_source,
+            type_filter,
+            source_rtn,
+            steps,
+        })
+}
+
+fn build_graph(spec: &GraphSpec) -> InMemoryGraph {
+    let mut g = InMemoryGraph::new();
+    for i in 0..spec.n_vertices {
+        g.add_vertex(Vertex::new(
+            i,
+            TYPES[(i % 3) as usize],
+            Props::new().with("w", spec.weights[i as usize]),
+        ));
+    }
+    let mut seen = std::collections::HashSet::new();
+    for &(src, l, dst, ts) in &spec.edges {
+        let src = src % spec.n_vertices;
+        let dst = dst % spec.n_vertices;
+        if !seen.insert((src, l, dst)) {
+            continue; // storage collapses duplicate (src,label,dst) keys
+        }
+        g.add_edge(Edge::new(
+            src,
+            LABELS[l as usize],
+            dst,
+            Props::new().with("ts", ts),
+        ));
+    }
+    g
+}
+
+fn build_query(spec: &PlanSpec, n_vertices: u64) -> GTravel {
+    let mut q = if spec.all_source {
+        GTravel::v_all()
+    } else {
+        GTravel::v(spec.sources.iter().map(|&s| s % n_vertices).collect::<Vec<_>>())
+    };
+    if let Some(t) = spec.type_filter {
+        q = q.va(PropFilter::eq("type", TYPES[t as usize]));
+    }
+    if spec.source_rtn {
+        q = q.rtn();
+    }
+    for s in &spec.steps {
+        q = q.e(LABELS[s.label as usize]);
+        if let Some((lo, hi)) = s.ts_filter {
+            q = q.ea(PropFilter::range("ts", lo, hi));
+        }
+        if let Some((lo, hi)) = s.w_filter {
+            q = q.va(PropFilter::range("w", lo, hi));
+        }
+        if s.rtn {
+            q = q.rtn();
+        }
+    }
+    q
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    #[test]
+    fn engines_match_oracle(gspec in graph_spec(), pspec in plan_spec(), n_servers in 1usize..5) {
+        let g = build_graph(&gspec);
+        let q = build_query(&pspec, gspec.n_vertices);
+        let plan = q.compile().unwrap();
+        let want = oracle::traverse(&g, &plan);
+        let want_map: BTreeMap<u16, Vec<VertexId>> = want
+            .by_depth
+            .iter()
+            .map(|(&d, s)| (d, s.iter().copied().collect()))
+            .collect();
+        for kind in EngineKind::all() {
+            let dir = std::env::temp_dir().join(format!(
+                "gt-prop-{}-{kind:?}-{:?}",
+                std::process::id(),
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .unwrap()
+                    .as_nanos()
+            ));
+            std::fs::remove_dir_all(&dir).ok();
+            let cluster = Cluster::build(
+                &g,
+                ClusterConfig::new(&dir, n_servers),
+                EngineConfig::new(kind),
+            )
+            .unwrap();
+            let got = cluster.submit(&q).unwrap();
+            cluster.shutdown();
+            std::fs::remove_dir_all(&dir).ok();
+            prop_assert_eq!(
+                &got.by_depth,
+                &want_map,
+                "{:?} on {} servers diverged; plan = {:?}",
+                kind,
+                n_servers,
+                plan
+            );
+        }
+    }
+}

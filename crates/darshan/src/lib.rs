@@ -1,0 +1,507 @@
+#![warn(missing_docs)]
+
+//! # gt-darshan — synthetic HPC rich-metadata graph generator
+//!
+//! The paper's real-world workload imports "one year of Darshan traces
+//! (2013) from the Intrepid supercomputer" into a property graph whose
+//! statistics are given in Table II (177 users, 47.6 K jobs, 123.4 M
+//! executions, 34.6 M files, 239.8 M edges) and which is "a small-world
+//! graph with a power-law distribution" (§VII-D). Those production traces
+//! are not publicly redistributable at that scale, so this crate generates
+//! a synthetic graph with the **same schema, edge vocabulary, and
+//! power-law structure**, scalable from laptop size up to the paper's
+//! ratios (see `DESIGN.md`, substitution table).
+//!
+//! Schema (matching Fig. 1 plus the Table III audit query's edges):
+//!
+//! ```text
+//! User  --run {ts}-->            Job
+//! Job   --hasExecutions-->       Execution
+//! Execution --exe-->             File (executable)
+//! Execution --read {ts}-->       File      File --readBy {ts}--> Execution
+//! Execution --write {ts,size}--> File
+//! ```
+
+use gt_graph::{Edge, InMemoryGraph, Props, Vertex, VertexId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Vertex type names.
+pub mod vtype {
+    /// A cluster user.
+    pub const USER: &str = "User";
+    /// A submitted job.
+    pub const JOB: &str = "Job";
+    /// One execution (application run) belonging to a job.
+    pub const EXECUTION: &str = "Execution";
+    /// A file (data or executable).
+    pub const FILE: &str = "File";
+}
+
+/// Edge label names.
+pub mod elabel {
+    /// User started a job.
+    pub const RUN: &str = "run";
+    /// Job contains an execution.
+    pub const HAS_EXECUTIONS: &str = "hasExecutions";
+    /// Execution used an executable file.
+    pub const EXE: &str = "exe";
+    /// Execution read a file.
+    pub const READ: &str = "read";
+    /// Reverse of `read` (file was read by execution) — used by the
+    /// Table III influence-audit query.
+    pub const READ_BY: &str = "readBy";
+    /// Execution wrote a file.
+    pub const WRITE: &str = "write";
+}
+
+/// Generation parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DarshanConfig {
+    /// Number of user vertices.
+    pub n_users: usize,
+    /// Number of job vertices.
+    pub n_jobs: usize,
+    /// Mean executions per job (geometric, power-law-ish tail).
+    pub avg_execs_per_job: f64,
+    /// Number of file vertices.
+    pub n_files: usize,
+    /// Number of distinct executable files (small, heavily shared).
+    pub n_executables: usize,
+    /// Mean `read` edges per execution.
+    pub avg_reads_per_exec: f64,
+    /// Mean `write` edges per execution.
+    pub avg_writes_per_exec: f64,
+    /// Skew exponent for file popularity; larger ⇒ more power-law
+    /// concentration on hot files. 1.0 is uniform.
+    pub file_skew: f64,
+    /// Timestamp range `[0, ts_range)` for run/read/write edges.
+    pub ts_range: i64,
+    /// Number of distinct execution "model" names (provenance filter).
+    pub n_models: usize,
+    /// Number of distinct file annotations.
+    pub n_annotations: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl DarshanConfig {
+    /// A laptop-scale default that keeps the Table II *shape*
+    /// (users ≪ jobs ≪ executions, executions ≈ 3.5 × files).
+    pub fn small() -> Self {
+        DarshanConfig {
+            n_users: 32,
+            n_jobs: 400,
+            avg_execs_per_job: 8.0,
+            n_files: 1200,
+            n_executables: 12,
+            avg_reads_per_exec: 1.2,
+            avg_writes_per_exec: 0.8,
+            file_skew: 2.2,
+            ts_range: 365 * 24 * 3600,
+            n_models: 6,
+            n_annotations: 8,
+            seed: 0xDA25_11A9,
+        }
+    }
+
+    /// Table II's entity counts divided by `divisor`, preserving ratios.
+    /// `divisor = 1` is the paper's full scale (123 M executions — only
+    /// for machines with the memory to hold it).
+    pub fn table2_scaled(divisor: u64) -> Self {
+        let d = divisor.max(1);
+        let jobs = (47_600 / d).max(4) as usize;
+        let execs = (123_400_000 / d).max(16) as f64;
+        let files = (34_600_000 / d).max(16) as usize;
+        DarshanConfig {
+            // Users scale much more slowly than jobs in real facilities;
+            // divide by the cube root of the divisor, clamped below jobs.
+            n_users: (((177.0 / (d as f64).cbrt()) as usize).clamp(4, 177)).min(jobs.saturating_sub(1).max(2)),
+            n_jobs: jobs,
+            avg_execs_per_job: execs / jobs as f64,
+            n_files: files,
+            n_executables: (files / 1000).max(4),
+            // Table II implies ~0.94 exec↔file edges per execution beyond
+            // hasExecutions; split across exe/read/write/readBy.
+            avg_reads_per_exec: 0.35,
+            avg_writes_per_exec: 0.25,
+            file_skew: 2.5,
+            ts_range: 365 * 24 * 3600,
+            n_models: 12,
+            n_annotations: 16,
+            seed: 0xDA25_11A9,
+        }
+    }
+
+    /// Builder-style: replace the seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for DarshanConfig {
+    fn default() -> Self {
+        DarshanConfig::small()
+    }
+}
+
+/// Table-II-style statistics of a generated graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GraphStats {
+    /// Number of `User` vertices.
+    pub users: usize,
+    /// Number of `Job` vertices.
+    pub jobs: usize,
+    /// Number of `Execution` vertices.
+    pub executions: usize,
+    /// Number of `File` vertices.
+    pub files: usize,
+    /// Total edges of all labels.
+    pub edges: usize,
+}
+
+/// Id layout of a generated graph, for locating entities by index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IdLayout {
+    /// First user id (always 0).
+    pub users_start: u64,
+    /// First job id.
+    pub jobs_start: u64,
+    /// First execution id.
+    pub execs_start: u64,
+    /// First file id.
+    pub files_start: u64,
+    /// One past the last id.
+    pub end: u64,
+}
+
+impl IdLayout {
+    /// Id of user `i`.
+    pub fn user(&self, i: usize) -> VertexId {
+        VertexId(self.users_start + i as u64)
+    }
+    /// Id of file `i`.
+    pub fn file(&self, i: usize) -> VertexId {
+        VertexId(self.files_start + i as u64)
+    }
+}
+
+/// A generated metadata graph plus its layout and stats.
+#[derive(Debug)]
+pub struct DarshanGraph {
+    /// The property graph.
+    pub graph: InMemoryGraph,
+    /// Where each entity class lives in the id space.
+    pub layout: IdLayout,
+    /// Table-II-style statistics.
+    pub stats: GraphStats,
+}
+
+/// Geometric sample with mean `mean` (clamped to ≥ 0).
+fn sample_geometric(rng: &mut SmallRng, mean: f64) -> usize {
+    if mean <= 0.0 {
+        return 0;
+    }
+    // P(X = k) = p (1-p)^k with mean (1-p)/p ⇒ p = 1/(1+mean).
+    let p = 1.0 / (1.0 + mean);
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    (u.ln() / (1.0 - p).ln()).floor() as usize
+}
+
+/// Power-law file index: skew > 1 concentrates on low indexes.
+fn sample_file(rng: &mut SmallRng, n_files: usize, skew: f64) -> usize {
+    let u: f64 = rng.gen_range(0.0..1.0);
+    let idx = (n_files as f64 * u.powf(skew)) as usize;
+    idx.min(n_files - 1)
+}
+
+/// Generate the synthetic metadata graph.
+pub fn generate(cfg: &DarshanConfig) -> DarshanGraph {
+    assert!(cfg.n_users > 0 && cfg.n_jobs > 0 && cfg.n_files > 0);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut g = InMemoryGraph::new();
+
+    let users_start = 0u64;
+    let jobs_start = users_start + cfg.n_users as u64;
+    // Executions are generated per job below; ids assigned after jobs.
+    let execs_start = jobs_start + cfg.n_jobs as u64;
+
+    // Users.
+    let groups = ["cgroup", "admin", "physics", "bio", "climate"];
+    for i in 0..cfg.n_users {
+        g.add_vertex(Vertex::new(
+            users_start + i as u64,
+            vtype::USER,
+            Props::new()
+                .with("name", format!("user{i:04}"))
+                .with("group", groups[i % groups.len()])
+                .with("uid", i as i64),
+        ));
+    }
+
+    // Jobs + run edges (user → job, timestamped).
+    let mut job_owner = Vec::with_capacity(cfg.n_jobs);
+    let mut job_ts = Vec::with_capacity(cfg.n_jobs);
+    for j in 0..cfg.n_jobs {
+        let jid = jobs_start + j as u64;
+        let ts = rng.gen_range(0..cfg.ts_range);
+        let owner = rng.gen_range(0..cfg.n_users);
+        job_owner.push(owner);
+        job_ts.push(ts);
+        g.add_vertex(Vertex::new(
+            jid,
+            vtype::JOB,
+            Props::new()
+                .with("jobid", j as i64)
+                .with("params", format!("-n {}", 1 << rng.gen_range(4..12)))
+                .with("ts", ts),
+        ));
+        g.add_edge(Edge::new(
+            users_start + owner as u64,
+            elabel::RUN,
+            jid,
+            Props::new().with("ts", ts),
+        ));
+    }
+
+    // Executions per job.
+    let mut n_execs = 0u64;
+    let mut exec_job: Vec<usize> = Vec::new();
+    for j in 0..cfg.n_jobs {
+        let k = 1 + sample_geometric(&mut rng, cfg.avg_execs_per_job - 1.0);
+        for _ in 0..k {
+            exec_job.push(j);
+            n_execs += 1;
+        }
+    }
+    let files_start = execs_start + n_execs;
+
+    for (e, &j) in exec_job.iter().enumerate() {
+        let eid = execs_start + e as u64;
+        let model = format!("model-{}", rng.gen_range(0..cfg.n_models));
+        g.add_vertex(Vertex::new(
+            eid,
+            vtype::EXECUTION,
+            Props::new()
+                .with("model", model)
+                .with("params", format!("-r {}", rng.gen_range(0..64)))
+                .with("ts", job_ts[j]),
+        ));
+        g.add_edge(Edge::new(
+            jobs_start + j as u64,
+            elabel::HAS_EXECUTIONS,
+            eid,
+            Props::new(),
+        ));
+    }
+
+    // Files.
+    let exts = ["txt", "h5", "nc", "dat", "bin", "log"];
+    for f in 0..cfg.n_files {
+        let fid = files_start + f as u64;
+        let is_exe = f < cfg.n_executables;
+        g.add_vertex(Vertex::new(
+            fid,
+            vtype::FILE,
+            Props::new()
+                .with("name", if is_exe { format!("app-{f:02}") } else { format!("dset-{f}.{}", exts[f % exts.len()]) })
+                .with("ftype", if is_exe { "executable" } else { exts[f % exts.len()] })
+                .with("size", rng.gen_range(1..1 << 30) as i64)
+                .with(
+                    "annotation",
+                    format!("anno-{}", sample_file(&mut rng, cfg.n_annotations, 1.5)),
+                ),
+        ));
+    }
+
+    // Execution ↔ file edges.
+    for (e, &j) in exec_job.iter().enumerate() {
+        let eid = execs_start + e as u64;
+        let ts = job_ts[j];
+        // exe edge: executables are heavily shared (hot vertices).
+        let exe_idx = sample_file(&mut rng, cfg.n_executables, 2.0);
+        g.add_edge(Edge::new(
+            eid,
+            elabel::EXE,
+            files_start + exe_idx as u64,
+            Props::new(),
+        ));
+        let n_reads = sample_geometric(&mut rng, cfg.avg_reads_per_exec);
+        let mut read_files = std::collections::HashSet::new();
+        for _ in 0..n_reads {
+            let f = sample_file(&mut rng, cfg.n_files, cfg.file_skew);
+            if !read_files.insert(f) {
+                continue;
+            }
+            let fid = files_start + f as u64;
+            g.add_edge(Edge::new(eid, elabel::READ, fid, Props::new().with("ts", ts)));
+            g.add_edge(Edge::new(fid, elabel::READ_BY, eid, Props::new().with("ts", ts)));
+        }
+        let n_writes = sample_geometric(&mut rng, cfg.avg_writes_per_exec);
+        let mut write_files = std::collections::HashSet::new();
+        for _ in 0..n_writes {
+            let f = sample_file(&mut rng, cfg.n_files, cfg.file_skew);
+            if !write_files.insert(f) {
+                continue;
+            }
+            g.add_edge(Edge::new(
+                eid,
+                elabel::WRITE,
+                files_start + f as u64,
+                Props::new()
+                    .with("ts", ts)
+                    .with("writeSize", rng.gen_range(1..8 << 20) as i64),
+            ));
+        }
+    }
+
+    let stats = GraphStats {
+        users: cfg.n_users,
+        jobs: cfg.n_jobs,
+        executions: n_execs as usize,
+        files: cfg.n_files,
+        edges: g.n_edges(),
+    };
+    DarshanGraph {
+        graph: g,
+        layout: IdLayout {
+            users_start,
+            jobs_start,
+            execs_start,
+            files_start,
+            end: files_start + cfg.n_files as u64,
+        },
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_schema_entities() {
+        let d = generate(&DarshanConfig::small());
+        let g = &d.graph;
+        assert_eq!(g.vertices_of_type(vtype::USER).len(), 32);
+        assert_eq!(g.vertices_of_type(vtype::JOB).len(), 400);
+        assert_eq!(g.vertices_of_type(vtype::FILE).len(), 1200);
+        assert_eq!(
+            g.vertices_of_type(vtype::EXECUTION).len(),
+            d.stats.executions
+        );
+        assert!(d.stats.executions > 400, "multiple executions per job");
+        assert_eq!(d.stats.edges, g.n_edges());
+    }
+
+    #[test]
+    fn id_layout_is_consistent() {
+        let d = generate(&DarshanConfig::small());
+        let g = &d.graph;
+        assert_eq!(g.vertex(d.layout.user(0)).unwrap().vtype, vtype::USER);
+        assert_eq!(g.vertex(d.layout.file(0)).unwrap().vtype, vtype::FILE);
+        assert_eq!(
+            g.vertex(VertexId(d.layout.jobs_start)).unwrap().vtype,
+            vtype::JOB
+        );
+        assert_eq!(
+            g.vertex(VertexId(d.layout.execs_start)).unwrap().vtype,
+            vtype::EXECUTION
+        );
+        assert_eq!(d.layout.end as usize, g.n_vertices());
+    }
+
+    #[test]
+    fn every_job_has_owner_and_executions() {
+        let d = generate(&DarshanConfig::small());
+        let g = &d.graph;
+        // Each user's run edges land on jobs; every job reachable.
+        let mut jobs_seen = std::collections::HashSet::new();
+        for u in g.vertices_of_type(vtype::USER) {
+            for (dst, props) in g.edges_from(u, elabel::RUN) {
+                assert_eq!(g.vertex(*dst).unwrap().vtype, vtype::JOB);
+                assert!(props.get("ts").is_some(), "run edges are timestamped");
+                jobs_seen.insert(*dst);
+            }
+        }
+        assert_eq!(jobs_seen.len(), 400);
+        for j in g.vertices_of_type(vtype::JOB) {
+            assert!(
+                !g.edges_from(j, elabel::HAS_EXECUTIONS).is_empty(),
+                "every job has ≥1 execution"
+            );
+        }
+    }
+
+    #[test]
+    fn read_edges_have_readby_reverse() {
+        let d = generate(&DarshanConfig::small());
+        let g = &d.graph;
+        let mut n_reads = 0;
+        for e in g.vertices_of_type(vtype::EXECUTION) {
+            for (f, _) in g.edges_from(e, elabel::READ) {
+                n_reads += 1;
+                let back = g.edges_from(*f, elabel::READ_BY);
+                assert!(
+                    back.iter().any(|(dst, _)| *dst == e),
+                    "missing readBy reverse edge"
+                );
+            }
+        }
+        assert!(n_reads > 0);
+    }
+
+    #[test]
+    fn file_popularity_is_skewed() {
+        let d = generate(&DarshanConfig::small());
+        let g = &d.graph;
+        // In-degree of files under power-law selection: hot files exist.
+        let mut in_deg = std::collections::HashMap::new();
+        for e in g.vertices_of_type(vtype::EXECUTION) {
+            for label in [elabel::READ, elabel::WRITE] {
+                for (f, _) in g.edges_from(e, label) {
+                    *in_deg.entry(*f).or_insert(0usize) += 1;
+                }
+            }
+        }
+        let max = in_deg.values().copied().max().unwrap_or(0);
+        let total: usize = in_deg.values().sum();
+        let mean = total as f64 / in_deg.len().max(1) as f64;
+        assert!(
+            max as f64 > 5.0 * mean,
+            "expected hot files: max {max}, mean {mean}"
+        );
+    }
+
+    #[test]
+    fn determinism_and_seed_sensitivity() {
+        let a = generate(&DarshanConfig::small());
+        let b = generate(&DarshanConfig::small());
+        assert_eq!(a.stats, b.stats);
+        let c = generate(&DarshanConfig::small().seed(1));
+        assert_ne!(a.stats.edges, c.stats.edges);
+    }
+
+    #[test]
+    fn table2_scaling_preserves_shape() {
+        let cfg = DarshanConfig::table2_scaled(100_000);
+        let d = generate(&cfg);
+        let s = d.stats;
+        assert!(s.executions > s.files, "executions outnumber files");
+        assert!(s.jobs < s.executions);
+        assert!(s.users < s.jobs);
+        // Edge count at least hasExecutions + run.
+        assert!(s.edges >= s.executions + s.jobs);
+    }
+
+    #[test]
+    fn geometric_sampler_mean_is_close() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let n = 20_000;
+        let mean = 4.0;
+        let sum: usize = (0..n).map(|_| sample_geometric(&mut rng, mean)).sum();
+        let got = sum as f64 / n as f64;
+        assert!((got - mean).abs() < 0.3, "geometric mean off: {got}");
+    }
+}

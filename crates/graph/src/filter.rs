@@ -1,0 +1,205 @@
+//! GTravel property filters.
+//!
+//! §III of the paper: property filters (`va()` on vertices, `ea()` on
+//! edges) "take property key, type of filter, and comparison property
+//! values as arguments"; filter types are `EQ`, `IN`, and `RANGE`, and
+//! "multiple property filters can be applied in one step … using the AND
+//! operation" (OR is composed by the client issuing several traversals).
+
+use crate::model::Props;
+use crate::value::PropValue;
+use serde::{Deserialize, Serialize};
+
+/// Comparison applied to one property.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Cond {
+    /// Property must equal the value exactly (same variant, same payload).
+    Eq(PropValue),
+    /// Property must equal one of the listed values.
+    In(Vec<PropValue>),
+    /// Property must satisfy `lo <= p <= hi` (inclusive on both ends, the
+    /// natural reading of the paper's `[t_s, t_e]` time-range example).
+    /// Values of a different variant than `lo`/`hi` never match.
+    Range(PropValue, PropValue),
+}
+
+impl Cond {
+    /// Whether a single value satisfies this condition.
+    pub fn test(&self, v: &PropValue) -> bool {
+        match self {
+            Cond::Eq(want) => v == want,
+            Cond::In(set) => set.iter().any(|w| w == v),
+            Cond::Range(lo, hi) => {
+                matches!(
+                    v.partial_cmp_same_type(lo),
+                    Some(std::cmp::Ordering::Greater) | Some(std::cmp::Ordering::Equal)
+                ) && matches!(
+                    v.partial_cmp_same_type(hi),
+                    Some(std::cmp::Ordering::Less) | Some(std::cmp::Ordering::Equal)
+                )
+            }
+        }
+    }
+}
+
+/// One property filter: a key plus its condition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PropFilter {
+    /// Property key to test.
+    pub key: String,
+    /// Condition the value must satisfy.
+    pub cond: Cond,
+}
+
+impl PropFilter {
+    /// `key == value`
+    pub fn eq(key: impl Into<String>, value: impl Into<PropValue>) -> Self {
+        PropFilter {
+            key: key.into(),
+            cond: Cond::Eq(value.into()),
+        }
+    }
+
+    /// `key ∈ values`
+    pub fn is_in(key: impl Into<String>, values: Vec<PropValue>) -> Self {
+        PropFilter {
+            key: key.into(),
+            cond: Cond::In(values),
+        }
+    }
+
+    /// `lo <= key <= hi`
+    pub fn range(
+        key: impl Into<String>,
+        lo: impl Into<PropValue>,
+        hi: impl Into<PropValue>,
+    ) -> Self {
+        PropFilter {
+            key: key.into(),
+            cond: Cond::Range(lo.into(), hi.into()),
+        }
+    }
+
+    /// Whether `props` satisfies this filter. A missing property never
+    /// matches (the entity simply lacks the attribute being tested).
+    pub fn matches(&self, props: &Props) -> bool {
+        match props.get(&self.key) {
+            Some(v) => self.cond.test(v),
+            None => false,
+        }
+    }
+}
+
+/// AND-composition of property filters (the only composition the language
+/// offers within a step).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FilterSet(pub Vec<PropFilter>);
+
+impl FilterSet {
+    /// The always-true filter set.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Append one more filter (AND).
+    pub fn and(mut self, f: PropFilter) -> Self {
+        self.0.push(f);
+        self
+    }
+
+    /// Whether every filter matches `props`.
+    pub fn matches(&self, props: &Props) -> bool {
+        self.0.iter().all(|f| f.matches(props))
+    }
+
+    /// True when no filters are present (everything matches).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Number of filters.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+}
+
+impl From<Vec<PropFilter>> for FilterSet {
+    fn from(v: Vec<PropFilter>) -> Self {
+        FilterSet(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn props() -> Props {
+        Props::new()
+            .with("type", "text")
+            .with("size", 1020i64)
+            .with("ratio", 0.5f64)
+    }
+
+    #[test]
+    fn eq_matches_exact_value() {
+        assert!(PropFilter::eq("type", "text").matches(&props()));
+        assert!(!PropFilter::eq("type", "binary").matches(&props()));
+        // Cross-type equality never matches.
+        assert!(!PropFilter::eq("size", "1020").matches(&props()));
+    }
+
+    #[test]
+    fn missing_property_never_matches() {
+        assert!(!PropFilter::eq("absent", 1i64).matches(&props()));
+        assert!(!PropFilter::range("absent", 0i64, 10i64).matches(&props()));
+    }
+
+    #[test]
+    fn in_matches_any_member() {
+        let f = PropFilter::is_in(
+            "type",
+            vec![PropValue::str("csv"), PropValue::str("text")],
+        );
+        assert!(f.matches(&props()));
+        let f = PropFilter::is_in("type", vec![PropValue::str("csv")]);
+        assert!(!f.matches(&props()));
+        let f = PropFilter::is_in("type", vec![]);
+        assert!(!f.matches(&props()));
+    }
+
+    #[test]
+    fn range_is_inclusive_both_ends() {
+        assert!(PropFilter::range("size", 1020i64, 2000i64).matches(&props()));
+        assert!(PropFilter::range("size", 0i64, 1020i64).matches(&props()));
+        assert!(!PropFilter::range("size", 1021i64, 2000i64).matches(&props()));
+        assert!(!PropFilter::range("size", 0i64, 1019i64).matches(&props()));
+    }
+
+    #[test]
+    fn range_rejects_cross_type() {
+        assert!(!PropFilter::range("type", 0i64, 10i64).matches(&props()));
+    }
+
+    #[test]
+    fn float_range() {
+        assert!(PropFilter::range("ratio", 0.0f64, 1.0f64).matches(&props()));
+        assert!(!PropFilter::range("ratio", 0.6f64, 1.0f64).matches(&props()));
+    }
+
+    #[test]
+    fn filter_set_is_conjunction() {
+        let fs = FilterSet::none()
+            .and(PropFilter::eq("type", "text"))
+            .and(PropFilter::range("size", 0i64, 2000i64));
+        assert!(fs.matches(&props()));
+        let fs = fs.and(PropFilter::eq("absent", 1i64));
+        assert!(!fs.matches(&props()));
+        assert_eq!(fs.len(), 3);
+    }
+
+    #[test]
+    fn empty_filter_set_matches_everything() {
+        assert!(FilterSet::none().matches(&Props::new()));
+        assert!(FilterSet::none().is_empty());
+    }
+}

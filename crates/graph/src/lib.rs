@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! # gt-graph — property graph model, storage layout, and partitioning
+//!
+//! The data model of the GraphTrek reproduction: directed property graphs
+//! whose vertices and edges carry arbitrary typed attributes (Fig. 1 of the
+//! paper — users, executions, and files connected by `run`/`exe`/`read`/
+//! `write` edges with per-entity annotations).
+//!
+//! The crate provides three layers:
+//!
+//! * **Model** ([`model`], [`value`], [`filter`]) — [`VertexId`],
+//!   [`Vertex`], [`Edge`], typed [`PropValue`]s, and the paper's property
+//!   filters (`EQ` / `IN` / `RANGE`, AND-composed; §III).
+//! * **Storage** ([`storage`], [`codec`]) — [`GraphPartition`]: one
+//!   server's shard persisted in a [`gt_kvstore::Store`] using the layout
+//!   of §VI: a vertex's attributes and its edges are *adjacent, sorted
+//!   key-value pairs* (edge keys share the `src|label` prefix so iterating
+//!   one edge type is a sequential scan), and vertex types get separate
+//!   namespaces via per-type membership indexes.
+//! * **Partitioning** ([`partition`]) — the edge-cut hash partitioner the
+//!   paper evaluates ("we focus on the edge-cut partition, as most graph
+//!   databases do", §VI), placing each vertex (and its out-edges) on
+//!   `hash(vid) mod n_servers`.
+//!
+//! [`InMemoryGraph`] is a reference in-memory representation used by the
+//! synthetic generators and by the single-threaded traversal oracle that
+//! the engine equivalence tests compare against.
+
+pub mod codec;
+pub mod filter;
+pub mod memory;
+pub mod model;
+pub mod partition;
+pub mod storage;
+pub mod value;
+
+pub use filter::{Cond, FilterSet, PropFilter};
+pub use memory::InMemoryGraph;
+pub use model::{Edge, Props, Vertex, VertexId};
+pub use partition::{EdgeCutPartitioner, ServerId};
+pub use storage::GraphPartition;
+pub use value::PropValue;

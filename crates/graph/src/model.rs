@@ -1,0 +1,192 @@
+//! Core graph entities: vertex ids, property maps, vertices and edges.
+
+use crate::value::PropValue;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Globally unique vertex identifier.
+///
+/// Ids are dense `u64`s assigned by the generators / ingest pipeline; the
+/// edge-cut partitioner hashes them to place vertices on servers.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct VertexId(pub u64);
+
+impl VertexId {
+    /// Big-endian byte encoding, used in storage keys so that numeric
+    /// order equals lexicographic order.
+    pub fn to_be_bytes(self) -> [u8; 8] {
+        self.0.to_be_bytes()
+    }
+
+    /// Inverse of [`VertexId::to_be_bytes`].
+    pub fn from_be_bytes(b: [u8; 8]) -> Self {
+        VertexId(u64::from_be_bytes(b))
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u64> for VertexId {
+    fn from(v: u64) -> Self {
+        VertexId(v)
+    }
+}
+
+/// Ordered attribute map attached to a vertex or edge.
+///
+/// A `BTreeMap` keeps encodings deterministic, which the storage codec and
+/// the test oracles rely on.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Props(pub BTreeMap<String, PropValue>);
+
+impl Props {
+    /// Empty property map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style insertion.
+    pub fn with(mut self, key: impl Into<String>, value: impl Into<PropValue>) -> Self {
+        self.0.insert(key.into(), value.into());
+        self
+    }
+
+    /// Insert or overwrite a property.
+    pub fn set(&mut self, key: impl Into<String>, value: impl Into<PropValue>) {
+        self.0.insert(key.into(), value.into());
+    }
+
+    /// Look up a property.
+    pub fn get(&self, key: &str) -> Option<&PropValue> {
+        self.0.get(key)
+    }
+
+    /// Number of properties.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when no properties are set.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterate in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &PropValue)> {
+        self.0.iter()
+    }
+}
+
+impl<K: Into<String>, V: Into<PropValue>> FromIterator<(K, V)> for Props {
+    fn from_iter<T: IntoIterator<Item = (K, V)>>(iter: T) -> Self {
+        Props(
+            iter.into_iter()
+                .map(|(k, v)| (k.into(), v.into()))
+                .collect(),
+        )
+    }
+}
+
+/// A typed vertex with attributes.
+///
+/// The vertex *type* ("User", "Execution", "File", …) is first-class: the
+/// paper stores different vertex types in separate namespaces and the
+/// GTravel `v()` selector can enumerate a type (§III, §VI).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Vertex {
+    /// Unique id.
+    pub id: VertexId,
+    /// Entity type, e.g. `"User"`.
+    pub vtype: String,
+    /// Attribute map.
+    pub props: Props,
+}
+
+impl Vertex {
+    /// Convenience constructor.
+    pub fn new(id: impl Into<VertexId>, vtype: impl Into<String>, props: Props) -> Self {
+        Vertex {
+            id: id.into(),
+            vtype: vtype.into(),
+            props,
+        }
+    }
+}
+
+/// A directed, labeled edge with attributes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Source vertex.
+    pub src: VertexId,
+    /// Edge label ("run", "read", "write", …). Traversals select edges by
+    /// label, and the storage layout clusters a vertex's edges by label.
+    pub label: String,
+    /// Destination vertex.
+    pub dst: VertexId,
+    /// Attribute map.
+    pub props: Props,
+}
+
+impl Edge {
+    /// Convenience constructor.
+    pub fn new(
+        src: impl Into<VertexId>,
+        label: impl Into<String>,
+        dst: impl Into<VertexId>,
+        props: Props,
+    ) -> Self {
+        Edge {
+            src: src.into(),
+            label: label.into(),
+            dst: dst.into(),
+            props,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_id_bytes_roundtrip_and_order() {
+        let a = VertexId(3);
+        let b = VertexId(300);
+        assert_eq!(VertexId::from_be_bytes(a.to_be_bytes()), a);
+        // Byte order matches numeric order.
+        assert!(a.to_be_bytes() < b.to_be_bytes());
+        assert_eq!(a.to_string(), "v3");
+    }
+
+    #[test]
+    fn props_builder_and_lookup() {
+        let p = Props::new().with("name", "sam").with("uid", 42i64);
+        assert_eq!(p.get("name"), Some(&PropValue::str("sam")));
+        assert_eq!(p.get("uid"), Some(&PropValue::Int(42)));
+        assert_eq!(p.get("absent"), None);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn props_from_iterator_deterministic_order() {
+        let p: Props = vec![("z", 1i64), ("a", 2i64)].into_iter().collect();
+        let keys: Vec<&String> = p.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, ["a", "z"]);
+    }
+
+    #[test]
+    fn vertex_and_edge_construction() {
+        let v = Vertex::new(1u64, "User", Props::new().with("name", "john"));
+        assert_eq!(v.vtype, "User");
+        let e = Edge::new(1u64, "run", 2u64, Props::new().with("ts", 100i64));
+        assert_eq!(e.label, "run");
+        assert_eq!(e.dst, VertexId(2));
+    }
+}

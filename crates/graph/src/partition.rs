@@ -1,0 +1,105 @@
+//! Edge-cut graph partitioning.
+//!
+//! The paper evaluates the common edge-cut strategy, "which places the
+//! vertices across different servers by their hash values" (§VI); a
+//! vertex's out-edges live with the vertex. The hash is splitmix64 so
+//! placement is uniform even for dense sequential ids, and deterministic
+//! across runs so experiments are repeatable.
+
+use crate::model::VertexId;
+use serde::{Deserialize, Serialize};
+
+/// Index of a backend server within a cluster, in `0..n_servers`.
+pub type ServerId = usize;
+
+/// Stateless hash partitioner mapping vertices to servers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EdgeCutPartitioner {
+    /// Number of backend servers in the cluster.
+    pub n_servers: usize,
+}
+
+/// splitmix64 finalizer — cheap, high-quality mixing of sequential ids.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl EdgeCutPartitioner {
+    /// Create a partitioner over `n_servers` servers (must be ≥ 1).
+    pub fn new(n_servers: usize) -> Self {
+        assert!(n_servers >= 1, "cluster needs at least one server");
+        EdgeCutPartitioner { n_servers }
+    }
+
+    /// The server owning `vid` (and all of its out-edges).
+    pub fn owner(&self, vid: VertexId) -> ServerId {
+        (splitmix64(vid.0) % self.n_servers as u64) as ServerId
+    }
+
+    /// Group vertex ids by owning server; returns `n_servers` buckets.
+    pub fn group_by_owner(&self, vids: impl IntoIterator<Item = VertexId>) -> Vec<Vec<VertexId>> {
+        let mut buckets = vec![Vec::new(); self.n_servers];
+        for vid in vids {
+            buckets[self.owner(vid)].push(vid);
+        }
+        buckets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_is_stable_and_in_range() {
+        let p = EdgeCutPartitioner::new(7);
+        for i in 0..1000u64 {
+            let o = p.owner(VertexId(i));
+            assert!(o < 7);
+            assert_eq!(o, p.owner(VertexId(i)), "must be deterministic");
+        }
+    }
+
+    #[test]
+    fn single_server_owns_everything() {
+        let p = EdgeCutPartitioner::new(1);
+        assert_eq!(p.owner(VertexId(12345)), 0);
+    }
+
+    #[test]
+    fn distribution_is_roughly_uniform() {
+        let p = EdgeCutPartitioner::new(8);
+        let mut counts = [0usize; 8];
+        for i in 0..80_000u64 {
+            counts[p.owner(VertexId(i))] += 1;
+        }
+        for &c in &counts {
+            // Expect 10k ± 10%.
+            assert!((9_000..11_000).contains(&c), "skewed bucket: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn group_by_owner_covers_all_inputs() {
+        let p = EdgeCutPartitioner::new(4);
+        let vids: Vec<VertexId> = (0..100u64).map(VertexId).collect();
+        let buckets = p.group_by_owner(vids.iter().copied());
+        assert_eq!(buckets.len(), 4);
+        let total: usize = buckets.iter().map(|b| b.len()).sum();
+        assert_eq!(total, 100);
+        for (s, bucket) in buckets.iter().enumerate() {
+            for vid in bucket {
+                assert_eq!(p.owner(*vid), s);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_servers_rejected() {
+        EdgeCutPartitioner::new(0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Split-block Bloom filter for segment files.
+//!
+//! Each on-disk segment carries a Bloom filter over its keys so that point
+//! lookups can skip segments that cannot contain the key — the standard
+//! LSM read-amplification defence (RocksDB does the same). The filter is
+//! serialized into the segment and loaded into memory at open time.
+
+/// A classic k-hash Bloom filter over byte-string keys.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    n_bits: u64,
+    n_hashes: u32,
+}
+
+/// 64-bit FNV-1a, the base hash the filter derives its k probes from.
+fn fnv1a(data: &[u8], seed: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+impl BloomFilter {
+    /// Build an empty filter sized for `n_keys` keys at `bits_per_key`.
+    pub fn new(n_keys: usize, bits_per_key: usize) -> Self {
+        let n_bits = (n_keys.max(1) * bits_per_key.max(1)).max(64) as u64;
+        let n_words = n_bits.div_ceil(64) as usize;
+        // k = ln(2) * bits/key, clamped to a sane range.
+        let n_hashes = ((bits_per_key as f64 * 0.69) as u32).clamp(1, 12);
+        BloomFilter {
+            bits: vec![0u64; n_words],
+            n_bits: n_words as u64 * 64,
+            n_hashes,
+        }
+    }
+
+    /// Insert a key.
+    pub fn insert(&mut self, key: &[u8]) {
+        let (h1, h2) = self.base_hashes(key);
+        for i in 0..self.n_hashes {
+            let bit = h1.wrapping_add((i as u64).wrapping_mul(h2)) % self.n_bits;
+            self.bits[(bit / 64) as usize] |= 1u64 << (bit % 64);
+        }
+    }
+
+    /// Whether the key may be present (false positives possible, false
+    /// negatives impossible).
+    pub fn may_contain(&self, key: &[u8]) -> bool {
+        let (h1, h2) = self.base_hashes(key);
+        for i in 0..self.n_hashes {
+            let bit = h1.wrapping_add((i as u64).wrapping_mul(h2)) % self.n_bits;
+            if self.bits[(bit / 64) as usize] & (1u64 << (bit % 64)) == 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn base_hashes(&self, key: &[u8]) -> (u64, u64) {
+        (fnv1a(key, 0x51ED), fnv1a(key, 0xC0FFEE) | 1)
+    }
+
+    /// Serialize to bytes (word-aligned little endian).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(12 + self.bits.len() * 8);
+        out.extend_from_slice(&(self.n_hashes).to_le_bytes());
+        out.extend_from_slice(&(self.bits.len() as u64).to_le_bytes());
+        for w in &self.bits {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserialize from [`BloomFilter::encode`] output.
+    pub fn decode(data: &[u8]) -> Option<Self> {
+        if data.len() < 12 {
+            return None;
+        }
+        let n_hashes = u32::from_le_bytes(data[0..4].try_into().ok()?);
+        let n_words = u64::from_le_bytes(data[4..12].try_into().ok()?) as usize;
+        if data.len() < 12 + n_words * 8 || n_hashes == 0 {
+            return None;
+        }
+        let mut bits = Vec::with_capacity(n_words);
+        for i in 0..n_words {
+            let off = 12 + i * 8;
+            bits.push(u64::from_le_bytes(data[off..off + 8].try_into().ok()?));
+        }
+        Some(BloomFilter {
+            n_bits: n_words as u64 * 64,
+            bits,
+            n_hashes,
+        })
+    }
+
+    /// Number of bits in the filter (diagnostics).
+    pub fn n_bits(&self) -> u64 {
+        self.n_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = BloomFilter::new(1000, 10);
+        let keys: Vec<Vec<u8>> = (0..1000u32).map(|i| format!("key-{i}").into_bytes()).collect();
+        for k in &keys {
+            f.insert(k);
+        }
+        for k in &keys {
+            assert!(f.may_contain(k), "false negative for {k:?}");
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_reasonable() {
+        let mut f = BloomFilter::new(1000, 10);
+        for i in 0..1000u32 {
+            f.insert(format!("key-{i}").as_bytes());
+        }
+        let fp = (0..10_000u32)
+            .filter(|i| f.may_contain(format!("absent-{i}").as_bytes()))
+            .count();
+        // 10 bits/key gives ~1% theoretical FP rate; allow generous slack.
+        assert!(fp < 500, "false positive rate too high: {fp}/10000");
+    }
+
+    #[test]
+    fn roundtrip_encode_decode() {
+        let mut f = BloomFilter::new(100, 8);
+        for i in 0..100u32 {
+            f.insert(&i.to_le_bytes());
+        }
+        let enc = f.encode();
+        let g = BloomFilter::decode(&enc).expect("decode");
+        assert_eq!(f, g);
+        for i in 0..100u32 {
+            assert!(g.may_contain(&i.to_le_bytes()));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(BloomFilter::decode(&[]).is_none());
+        assert!(BloomFilter::decode(&[1, 2, 3]).is_none());
+        // Claims more words than the buffer holds.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&4u32.to_le_bytes());
+        bad.extend_from_slice(&1000u64.to_le_bytes());
+        assert!(BloomFilter::decode(&bad).is_none());
+    }
+
+    #[test]
+    fn empty_filter_contains_nothing_inserted() {
+        let f = BloomFilter::new(10, 10);
+        // An empty filter has all-zero bits, so nothing may be contained.
+        assert!(!f.may_contain(b"anything"));
+    }
+}

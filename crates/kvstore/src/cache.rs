@@ -1,0 +1,182 @@
+//! Block (run) cache shared by every namespace of a store.
+//!
+//! Caches decoded entry runs keyed by `(tree_tag, segment_id, slot)` —
+//! segment numbering restarts in every tree, so the tree tag is what keeps
+//! two namespaces' `seg-1` files from aliasing each other. A hit turns a
+//! cold disk access into a warm memory access — the substrate analogue of
+//! RocksDB's block cache. Capacity is bounded in number of runs; eviction
+//! is LRU, amortized by evicting a batch of the stalest entries when full.
+
+use crate::segment::Run;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+#[derive(Debug)]
+struct Entry {
+    run: Run,
+    last_use: u64,
+}
+
+/// A bounded LRU cache of decoded segment runs.
+#[derive(Debug)]
+pub struct BlockCache {
+    map: Mutex<HashMap<(u64, u64, u64), Entry>>,
+    capacity: usize,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl BlockCache {
+    /// Create a cache holding at most `capacity` runs. A capacity of zero
+    /// disables caching entirely (every access is cold), which is how the
+    /// benchmark harness forces the paper's cold-start condition.
+    pub fn new(capacity: usize) -> Self {
+        BlockCache {
+            map: Mutex::new(HashMap::with_capacity(capacity.min(4096))),
+            capacity,
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up a run, refreshing its recency on hit. `tree` is the
+    /// owning tree's unique tag: segment numbering restarts per tree, so
+    /// the tag keeps namespaces from colliding in the shared cache.
+    pub fn get(&self, tree: u64, segment: u64, slot: u64) -> Option<Run> {
+        if self.capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.map.lock();
+        match map.get_mut(&(tree, segment, slot)) {
+            Some(e) => {
+                e.last_use = stamp;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(e.run.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert a run, evicting the stalest entries if over capacity.
+    pub fn insert(&self, tree: u64, segment: u64, slot: u64, run: Run) {
+        if self.capacity == 0 {
+            return;
+        }
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.map.lock();
+        map.insert((tree, segment, slot), Entry { run, last_use: stamp });
+        if map.len() > self.capacity {
+            // Amortized LRU: drop the oldest ~1/8 of the cache at once.
+            let evict = (self.capacity / 8).max(1);
+            let mut stamps: Vec<(u64, (u64, u64, u64))> =
+                map.iter().map(|(k, e)| (e.last_use, *k)).collect();
+            stamps.sort_unstable();
+            for (_, key) in stamps.into_iter().take(evict) {
+                map.remove(&key);
+            }
+        }
+    }
+
+    /// Drop every cached run belonging to `segment` of `tree` (after
+    /// compaction).
+    pub fn invalidate_segment(&self, tree: u64, segment: u64) {
+        self.map
+            .lock()
+            .retain(|(t, seg, _), _| !(*t == tree && *seg == segment));
+    }
+
+    /// Drop everything (e.g. to force a cold start between experiments).
+    pub fn clear(&self) {
+        self.map.lock().clear();
+    }
+
+    /// Number of cached runs.
+    pub fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+
+    /// True when no runs are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// (hits, misses) counters since creation.
+    pub fn hit_stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn run(tag: u8) -> Run {
+        Arc::new(vec![(vec![tag], None)])
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let c = BlockCache::new(8);
+        assert!(c.get(0, 1, 0).is_none());
+        c.insert(0, 1, 0, run(7));
+        let got = c.get(0, 1, 0).expect("hit");
+        assert_eq!(got[0].0, vec![7]);
+        assert_eq!(c.hit_stats(), (1, 1));
+    }
+
+    #[test]
+    fn zero_capacity_disables_cache() {
+        let c = BlockCache::new(0);
+        c.insert(0, 1, 0, run(1));
+        assert!(c.get(0, 1, 0).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn eviction_prefers_stale_entries() {
+        let c = BlockCache::new(16);
+        for i in 0..16u64 {
+            c.insert(0, 1, i, run(i as u8));
+        }
+        // Touch entry 0 so it is fresh.
+        assert!(c.get(0, 1, 0).is_some());
+        // Overflow triggers eviction of the oldest batch (entries 1, 2).
+        c.insert(0, 1, 100, run(0xFF));
+        assert!(c.len() <= 16);
+        assert!(c.get(0, 1, 0).is_some(), "recently used entry survived");
+        assert!(c.get(0, 1, 100).is_some(), "new entry survived");
+        assert!(c.get(0, 1, 1).is_none(), "stalest entry evicted");
+    }
+
+    #[test]
+    fn invalidate_segment_is_selective() {
+        let c = BlockCache::new(8);
+        c.insert(0, 1, 0, run(1));
+        c.insert(0, 2, 0, run(2));
+        c.insert(9, 1, 0, run(3));
+        c.invalidate_segment(0, 1);
+        assert!(c.get(0, 1, 0).is_none());
+        assert!(c.get(0, 2, 0).is_some());
+        assert!(c.get(9, 1, 0).is_some(), "other tree's segment 1 survives");
+    }
+
+    #[test]
+    fn clear_empties() {
+        let c = BlockCache::new(8);
+        c.insert(0, 1, 0, run(1));
+        c.clear();
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,161 @@
+//! In-memory sorted write buffer.
+//!
+//! The memtable absorbs writes (already made durable by the WAL) and is
+//! flushed to an immutable [`segment`](crate::segment) once it exceeds the
+//! configured size. Deletes are recorded as tombstones (`None`) so they can
+//! shadow older segment entries until compaction drops them.
+
+use bytes::Bytes;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// Sorted map of key → value-or-tombstone with byte-size accounting.
+#[derive(Debug, Default)]
+pub struct MemTable {
+    entries: BTreeMap<Vec<u8>, Option<Bytes>>,
+    approx_bytes: usize,
+}
+
+impl MemTable {
+    /// Create an empty memtable.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert or overwrite a key.
+    pub fn put(&mut self, key: Vec<u8>, value: Bytes) {
+        self.account(&key, Some(&value));
+        self.entries.insert(key, Some(value));
+    }
+
+    /// Record a tombstone for a key.
+    pub fn delete(&mut self, key: Vec<u8>) {
+        self.account(&key, None);
+        self.entries.insert(key, None);
+    }
+
+    fn account(&mut self, key: &[u8], value: Option<&Bytes>) {
+        // Overwrites leak a little accounting; flushes reset it, so the
+        // bound only needs to be approximate.
+        self.approx_bytes += key.len() + value.map_or(0, |v| v.len()) + 32;
+    }
+
+    /// Look up a key. `Some(None)` means "deleted here" (tombstone);
+    /// `None` means "not present in this memtable, check older data".
+    pub fn get(&self, key: &[u8]) -> Option<Option<Bytes>> {
+        self.entries.get(key).cloned()
+    }
+
+    /// Ordered iteration over entries whose key starts with `prefix`,
+    /// tombstones included.
+    pub fn scan_prefix<'a>(
+        &'a self,
+        prefix: &'a [u8],
+    ) -> impl Iterator<Item = (&'a [u8], Option<&'a Bytes>)> + 'a {
+        self.entries
+            .range::<[u8], _>((Bound::Included(prefix), Bound::Unbounded))
+            .take_while(move |(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.as_slice(), v.as_ref()))
+    }
+
+    /// All entries in key order (used by flush).
+    pub fn iter(&self) -> impl Iterator<Item = (&[u8], Option<&Bytes>)> {
+        self.entries.iter().map(|(k, v)| (k.as_slice(), v.as_ref()))
+    }
+
+    /// Approximate resident size in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.approx_bytes
+    }
+
+    /// Number of entries, tombstones included.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drop all entries and reset accounting (after a successful flush).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.approx_bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn put_get_delete() {
+        let mut m = MemTable::new();
+        assert!(m.is_empty());
+        m.put(b"k1".to_vec(), b("v1"));
+        assert_eq!(m.get(b"k1"), Some(Some(b("v1"))));
+        assert_eq!(m.get(b"k2"), None);
+        m.delete(b"k1".to_vec());
+        assert_eq!(m.get(b"k1"), Some(None)); // tombstone
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn overwrite_keeps_latest() {
+        let mut m = MemTable::new();
+        m.put(b"k".to_vec(), b("old"));
+        m.put(b"k".to_vec(), b("new"));
+        assert_eq!(m.get(b"k"), Some(Some(b("new"))));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn prefix_scan_is_ordered_and_bounded() {
+        let mut m = MemTable::new();
+        m.put(b"e/1/read/9".to_vec(), b("a"));
+        m.put(b"e/1/run/3".to_vec(), b("b"));
+        m.put(b"e/1/run/1".to_vec(), b("c"));
+        m.put(b"e/2/run/1".to_vec(), b("d"));
+        m.put(b"d/x".to_vec(), b("e"));
+        let got: Vec<_> = m
+            .scan_prefix(b"e/1/run/")
+            .map(|(k, _)| String::from_utf8_lossy(k).into_owned())
+            .collect();
+        assert_eq!(got, vec!["e/1/run/1", "e/1/run/3"]);
+    }
+
+    #[test]
+    fn prefix_scan_includes_tombstones() {
+        let mut m = MemTable::new();
+        m.put(b"p/a".to_vec(), b("1"));
+        m.delete(b"p/b".to_vec());
+        let got: Vec<_> = m.scan_prefix(b"p/").collect();
+        assert_eq!(got.len(), 2);
+        assert!(got[1].1.is_none());
+    }
+
+    #[test]
+    fn size_accounting_grows_and_clears() {
+        let mut m = MemTable::new();
+        assert_eq!(m.approx_bytes(), 0);
+        m.put(b"key".to_vec(), b("value"));
+        assert!(m.approx_bytes() >= 8);
+        m.clear();
+        assert_eq!(m.approx_bytes(), 0);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn empty_prefix_scans_everything_in_order() {
+        let mut m = MemTable::new();
+        m.put(b"b".to_vec(), b("2"));
+        m.put(b"a".to_vec(), b("1"));
+        let keys: Vec<_> = m.scan_prefix(b"").map(|(k, _)| k.to_vec()).collect();
+        assert_eq!(keys, vec![b"a".to_vec(), b"b".to_vec()]);
+    }
+}

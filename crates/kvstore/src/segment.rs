@@ -1,0 +1,567 @@
+//! Immutable sorted segment files (SSTable equivalent).
+//!
+//! A segment is produced by flushing a memtable (or by compaction) and is
+//! never modified afterwards. Layout:
+//!
+//! ```text
+//! "GTSG" u32-version
+//! entry region:  n_entries * ( u32 klen | key | u32 vlen | value )
+//!                vlen == u32::MAX encodes a tombstone
+//! index region:  one (klen,key,u64 offset,u32 run_len) per RUN of entries
+//! bloom region:  serialized BloomFilter over all keys
+//! footer (fixed 40 bytes):
+//!     u64 index_off | u64 bloom_off | u64 n_entries | u64 max_key_off
+//!     u32 crc32(previous 32 bytes) | "GTSG"
+//! ```
+//!
+//! At open time only the sparse index, the bloom filter and the max key are
+//! resident; point reads and scans fetch entry *runs* from disk through the
+//! shared [`BlockCache`](crate::cache::BlockCache). Every run fetch charges
+//! the tree's [`IoProfile`](crate::iomodel::IoProfile): cold for the initial
+//! positioned read, sequential for follow-on runs and per-key scan
+//! continuation — this is what makes high-degree vertices genuinely more
+//! expensive to visit, the load-imbalance mechanism the paper's evaluation
+//! turns on (§VII-A).
+
+use crate::bloom::BloomFilter;
+use crate::cache::BlockCache;
+use crate::error::{Error, Result};
+use crate::iomodel::{AccessKind, IoProfile, IoStats};
+use bytes::Bytes;
+use std::fs::File;
+use std::io::{BufWriter, Read, Write};
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+const MAGIC: &[u8; 4] = b"GTSG";
+const VERSION: u32 = 1;
+const TOMBSTONE: u32 = u32::MAX;
+/// Number of entries grouped into one run (one sparse-index slot).
+pub const RUN_LEN: usize = 16;
+
+/// One decoded entry run, the cache unit.
+pub type Run = Arc<Vec<(Vec<u8>, Option<Bytes>)>>;
+
+/// Metadata of one sparse-index slot.
+#[derive(Debug, Clone)]
+struct IndexEntry {
+    first_key: Vec<u8>,
+    offset: u64,
+    byte_len: u32,
+    run_len: u32,
+}
+
+/// An open, immutable segment file.
+#[derive(Debug)]
+pub struct Segment {
+    /// Unique id within the owning tree (used as the cache key space).
+    pub id: u64,
+    path: PathBuf,
+    file: File,
+    index: Vec<IndexEntry>,
+    bloom: BloomFilter,
+    n_entries: u64,
+    max_key: Vec<u8>,
+}
+
+/// Streaming writer producing a segment from sorted entries.
+pub struct SegmentBuilder {
+    writer: BufWriter<File>,
+    path: PathBuf,
+    index: Vec<IndexEntry>,
+    bloom: BloomFilter,
+    n_entries: u64,
+    pos: u64,
+    run_first_key: Option<Vec<u8>>,
+    run_start: u64,
+    run_count: u32,
+    last_key: Vec<u8>,
+}
+
+impl SegmentBuilder {
+    /// Begin writing a segment at `path`, sized for roughly `n_keys` keys.
+    pub fn create(path: impl Into<PathBuf>, n_keys: usize, bloom_bits_per_key: usize) -> Result<Self> {
+        let path = path.into();
+        let file = File::create(&path)?;
+        let mut writer = BufWriter::new(file);
+        writer.write_all(MAGIC)?;
+        writer.write_all(&VERSION.to_le_bytes())?;
+        Ok(SegmentBuilder {
+            writer,
+            path,
+            index: Vec::new(),
+            bloom: BloomFilter::new(n_keys, bloom_bits_per_key),
+            n_entries: 0,
+            pos: 8,
+            run_first_key: None,
+            run_start: 8,
+            run_count: 0,
+            last_key: Vec::new(),
+        })
+    }
+
+    /// Append one entry; keys must arrive in strictly ascending order.
+    pub fn add(&mut self, key: &[u8], value: Option<&Bytes>) -> Result<()> {
+        debug_assert!(
+            self.n_entries == 0 || key > self.last_key.as_slice(),
+            "segment keys must be strictly ascending"
+        );
+        if self.run_first_key.is_none() {
+            self.run_first_key = Some(key.to_vec());
+            self.run_start = self.pos;
+            self.run_count = 0;
+        }
+        self.bloom.insert(key);
+        self.writer.write_all(&(key.len() as u32).to_le_bytes())?;
+        self.writer.write_all(key)?;
+        match value {
+            Some(v) => {
+                self.writer.write_all(&(v.len() as u32).to_le_bytes())?;
+                self.writer.write_all(v)?;
+                self.pos += 8 + key.len() as u64 + v.len() as u64;
+            }
+            None => {
+                self.writer.write_all(&TOMBSTONE.to_le_bytes())?;
+                self.pos += 8 + key.len() as u64;
+            }
+        }
+        self.n_entries += 1;
+        self.run_count += 1;
+        self.last_key.clear();
+        self.last_key.extend_from_slice(key);
+        if self.run_count as usize >= RUN_LEN {
+            self.close_run();
+        }
+        Ok(())
+    }
+
+    fn close_run(&mut self) {
+        if let Some(first_key) = self.run_first_key.take() {
+            self.index.push(IndexEntry {
+                first_key,
+                offset: self.run_start,
+                byte_len: (self.pos - self.run_start) as u32,
+                run_len: self.run_count,
+            });
+        }
+    }
+
+    /// Finish the file and reopen it as a readable [`Segment`].
+    pub fn finish(mut self, id: u64) -> Result<Segment> {
+        self.close_run();
+        let index_off = self.pos;
+        for e in &self.index {
+            self.writer.write_all(&(e.first_key.len() as u32).to_le_bytes())?;
+            self.writer.write_all(&e.first_key)?;
+            self.writer.write_all(&e.offset.to_le_bytes())?;
+            self.writer.write_all(&e.byte_len.to_le_bytes())?;
+            self.writer.write_all(&e.run_len.to_le_bytes())?;
+            self.pos += 4 + self.index_entry_len(e) as u64;
+        }
+        let bloom_off = self.pos;
+        let bloom_bytes = self.bloom.encode();
+        self.writer.write_all(&bloom_bytes)?;
+        self.pos += bloom_bytes.len() as u64;
+        // Footer.
+        let mut footer = Vec::with_capacity(40);
+        footer.extend_from_slice(&index_off.to_le_bytes());
+        footer.extend_from_slice(&bloom_off.to_le_bytes());
+        footer.extend_from_slice(&self.n_entries.to_le_bytes());
+        footer.extend_from_slice(&(self.last_key.len() as u64).to_le_bytes());
+        let crc = crate::crc32(&footer);
+        footer.extend_from_slice(&crc.to_le_bytes());
+        footer.extend_from_slice(MAGIC);
+        // Max key travels right before the footer so open() can find it.
+        self.writer.write_all(&self.last_key)?;
+        self.writer.write_all(&footer)?;
+        self.writer.flush()?;
+        self.writer.get_ref().sync_data()?;
+        drop(self.writer);
+        Segment::open(&self.path, id)
+    }
+
+    fn index_entry_len(&self, e: &IndexEntry) -> usize {
+        e.first_key.len() + 8 + 4 + 4
+    }
+}
+
+impl Segment {
+    /// Open an existing segment file, loading index + bloom into memory.
+    pub fn open(path: &Path, id: u64) -> Result<Self> {
+        let fname = path.display().to_string();
+        let mut file = File::open(path)?;
+        let len = file.metadata()?.len();
+        if len < 52 {
+            return Err(Error::corruption(&fname, "file too short"));
+        }
+        // Read footer.
+        let mut footer = [0u8; 40];
+        file.read_exact_at(&mut footer, len - 40)?;
+        if &footer[36..40] != MAGIC {
+            return Err(Error::corruption(&fname, "bad footer magic"));
+        }
+        let crc = u32::from_le_bytes(footer[32..36].try_into().unwrap());
+        if crate::crc32(&footer[..32]) != crc {
+            return Err(Error::corruption(&fname, "bad footer crc"));
+        }
+        let index_off = u64::from_le_bytes(footer[0..8].try_into().unwrap());
+        let bloom_off = u64::from_le_bytes(footer[8..16].try_into().unwrap());
+        let n_entries = u64::from_le_bytes(footer[16..24].try_into().unwrap());
+        let max_key_len = u64::from_le_bytes(footer[24..32].try_into().unwrap());
+        let mut max_key = vec![0u8; max_key_len as usize];
+        file.read_exact_at(&mut max_key, len - 40 - max_key_len)?;
+        // Read and decode the index region.
+        let index_len = (bloom_off - index_off) as usize;
+        let mut index_bytes = vec![0u8; index_len];
+        file.read_exact_at(&mut index_bytes, index_off)?;
+        let mut index = Vec::new();
+        let mut pos = 0usize;
+        while pos < index_bytes.len() {
+            if pos + 4 > index_bytes.len() {
+                return Err(Error::corruption(&fname, "truncated index"));
+            }
+            let klen = u32::from_le_bytes(index_bytes[pos..pos + 4].try_into().unwrap()) as usize;
+            pos += 4;
+            if pos + klen + 16 > index_bytes.len() {
+                return Err(Error::corruption(&fname, "truncated index entry"));
+            }
+            let first_key = index_bytes[pos..pos + klen].to_vec();
+            pos += klen;
+            let offset = u64::from_le_bytes(index_bytes[pos..pos + 8].try_into().unwrap());
+            let byte_len = u32::from_le_bytes(index_bytes[pos + 8..pos + 12].try_into().unwrap());
+            let run_len = u32::from_le_bytes(index_bytes[pos + 12..pos + 16].try_into().unwrap());
+            pos += 16;
+            index.push(IndexEntry {
+                first_key,
+                offset,
+                byte_len,
+                run_len,
+            });
+        }
+        // Read bloom region.
+        let bloom_len = (len - 40 - max_key_len - bloom_off) as usize;
+        let mut bloom_bytes = vec![0u8; bloom_len];
+        file.read_exact_at(&mut bloom_bytes, bloom_off)?;
+        let bloom = BloomFilter::decode(&bloom_bytes)
+            .ok_or_else(|| Error::corruption(&fname, "bad bloom filter"))?;
+        // Verify header.
+        let mut header = [0u8; 8];
+        (&mut file).read_exact(&mut header)?;
+        if &header[0..4] != MAGIC {
+            return Err(Error::corruption(&fname, "bad header magic"));
+        }
+        Ok(Segment {
+            id,
+            path: path.to_path_buf(),
+            file,
+            index,
+            bloom,
+            n_entries,
+            max_key,
+        })
+    }
+
+    /// Number of entries (including tombstones).
+    pub fn n_entries(&self) -> u64 {
+        self.n_entries
+    }
+
+    /// Path of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Index of the run that could contain `key`, if any.
+    fn run_for(&self, key: &[u8]) -> Option<usize> {
+        if self.index.is_empty() || key > self.max_key.as_slice() {
+            return None;
+        }
+        match self
+            .index
+            .binary_search_by(|e| e.first_key.as_slice().cmp(key))
+        {
+            Ok(i) => Some(i),
+            Err(0) => None, // key sorts before the first run
+            Err(i) => Some(i - 1),
+        }
+    }
+
+    /// Fetch (through the cache) and decode run `slot`. `tree` is the
+    /// owning tree's cache tag (segment ids restart per tree).
+    fn load_run(
+        &self,
+        tree: u64,
+        slot: usize,
+        cache: &BlockCache,
+        io: &IoProfile,
+        stats: &IoStats,
+        first_in_chain: bool,
+    ) -> Result<(Run, AccessKind)> {
+        if let Some(run) = cache.get(tree, self.id, slot as u64) {
+            io.charge(AccessKind::Warm);
+            stats.record(AccessKind::Warm, 0);
+            return Ok((run, AccessKind::Warm));
+        }
+        let e = &self.index[slot];
+        let mut buf = vec![0u8; e.byte_len as usize];
+        self.file.read_exact_at(&mut buf, e.offset)?;
+        let kind = if first_in_chain {
+            AccessKind::Cold
+        } else {
+            AccessKind::Sequential
+        };
+        io.charge(kind);
+        stats.record(kind, buf.len());
+        let run = Arc::new(decode_run(&buf, e.run_len, &self.path.display().to_string())?);
+        cache.insert(tree, self.id, slot as u64, run.clone());
+        Ok((run, kind))
+    }
+
+    /// Point lookup. `Some(None)` is a tombstone.
+    pub fn get(
+        &self,
+        tree: u64,
+        key: &[u8],
+        cache: &BlockCache,
+        io: &IoProfile,
+        stats: &IoStats,
+    ) -> Result<Option<Option<Bytes>>> {
+        if !self.bloom.may_contain(key) {
+            return Ok(None);
+        }
+        let Some(slot) = self.run_for(key) else {
+            return Ok(None);
+        };
+        let (run, _) = self.load_run(tree, slot, cache, io, stats, true)?;
+        match run.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+            Ok(i) => Ok(Some(run[i].1.clone())),
+            Err(_) => Ok(None),
+        }
+    }
+
+    /// Ordered scan of all entries whose key starts with `prefix`,
+    /// tombstones included, appended to `out` as (key, value) pairs.
+    pub fn scan_prefix(
+        &self,
+        tree: u64,
+        prefix: &[u8],
+        cache: &BlockCache,
+        io: &IoProfile,
+        stats: &IoStats,
+        out: &mut Vec<(Vec<u8>, Option<Bytes>)>,
+    ) -> Result<()> {
+        if self.index.is_empty() {
+            return Ok(());
+        }
+        // First run that could contain keys >= prefix.
+        let start = match self
+            .index
+            .binary_search_by(|e| e.first_key.as_slice().cmp(prefix))
+        {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
+        };
+        let mut first = true;
+        for slot in start..self.index.len() {
+            // If this run starts beyond the prefix range, stop.
+            if past_prefix(&self.index[slot].first_key, prefix) {
+                break;
+            }
+            let (run, load_kind) = self.load_run(tree, slot, cache, io, stats, first)?;
+            first = false;
+            let mut run_done = false;
+            for (k, v) in run.iter() {
+                if k.as_slice() < prefix {
+                    continue;
+                }
+                if !k.starts_with(prefix) {
+                    run_done = true;
+                    break;
+                }
+                // Per-key continuation cost models the disk scanning
+                // adjacent entries; a run served from the block cache is
+                // memory-speed, so only disk-loaded runs pay it.
+                if load_kind != AccessKind::Warm {
+                    io.charge(AccessKind::Sequential);
+                    stats.record(AccessKind::Sequential, v.as_ref().map_or(0, |b| b.len()));
+                }
+                out.push((k.clone(), v.clone()));
+            }
+            if run_done {
+                break;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// True when `key` sorts after every possible key with `prefix`.
+fn past_prefix(key: &[u8], prefix: &[u8]) -> bool {
+    if prefix.is_empty() {
+        return false;
+    }
+    let n = key.len().min(prefix.len());
+    key[..n] > prefix[..n]
+}
+
+fn decode_run(buf: &[u8], run_len: u32, fname: &str) -> Result<Vec<(Vec<u8>, Option<Bytes>)>> {
+    let mut out = Vec::with_capacity(run_len as usize);
+    let mut pos = 0usize;
+    for _ in 0..run_len {
+        if pos + 4 > buf.len() {
+            return Err(Error::corruption(fname, "truncated run entry"));
+        }
+        let klen = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
+        pos += 4;
+        if pos + klen + 4 > buf.len() {
+            return Err(Error::corruption(fname, "truncated run key"));
+        }
+        let key = buf[pos..pos + klen].to_vec();
+        pos += klen;
+        let vlen = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap());
+        pos += 4;
+        if vlen == TOMBSTONE {
+            out.push((key, None));
+        } else {
+            let vlen = vlen as usize;
+            if pos + vlen > buf.len() {
+                return Err(Error::corruption(fname, "truncated run value"));
+            }
+            out.push((key, Some(Bytes::copy_from_slice(&buf[pos..pos + vlen]))));
+            pos += vlen;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_env(name: &str) -> (PathBuf, BlockCache, IoProfile, IoStats) {
+        let d = std::env::temp_dir().join(format!("gtkv-seg-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        (
+            d.join("seg-1.sst"),
+            BlockCache::new(1024),
+            IoProfile::free(),
+            IoStats::default(),
+        )
+    }
+
+    fn build(path: &Path, entries: &[(&str, Option<&str>)]) -> Segment {
+        let mut b = SegmentBuilder::create(path, entries.len(), 10).unwrap();
+        for (k, v) in entries {
+            let v = v.map(|s| Bytes::copy_from_slice(s.as_bytes()));
+            b.add(k.as_bytes(), v.as_ref()).unwrap();
+        }
+        b.finish(1).unwrap()
+    }
+
+    #[test]
+    fn point_lookup_hits_and_misses() {
+        let (p, cache, io, stats) = test_env("point");
+        let seg = build(&p, &[("a", Some("1")), ("c", Some("3")), ("e", None)]);
+        assert_eq!(seg.n_entries(), 3);
+        let got = seg.get(0, b"c", &cache, &io, &stats).unwrap();
+        assert_eq!(got, Some(Some(Bytes::from_static(b"3"))));
+        // Tombstone is Some(None).
+        assert_eq!(seg.get(0, b"e", &cache, &io, &stats).unwrap(), Some(None));
+        // Absent keys (before, between, after).
+        assert_eq!(seg.get(0, b"0", &cache, &io, &stats).unwrap(), None);
+        assert_eq!(seg.get(0, b"b", &cache, &io, &stats).unwrap(), None);
+        assert_eq!(seg.get(0, b"z", &cache, &io, &stats).unwrap(), None);
+    }
+
+    #[test]
+    fn large_segment_spans_many_runs() {
+        let (p, cache, io, stats) = test_env("runs");
+        let entries: Vec<(String, String)> = (0..1000u32)
+            .map(|i| (format!("key-{i:06}"), format!("val-{i}")))
+            .collect();
+        let mut b = SegmentBuilder::create(&p, entries.len(), 10).unwrap();
+        for (k, v) in &entries {
+            let v = Bytes::copy_from_slice(v.as_bytes());
+            b.add(k.as_bytes(), Some(&v)).unwrap();
+        }
+        let seg = b.finish(7).unwrap();
+        for (k, v) in entries.iter().step_by(37) {
+            let got = seg.get(0, k.as_bytes(), &cache, &io, &stats).unwrap();
+            assert_eq!(got, Some(Some(Bytes::copy_from_slice(v.as_bytes()))));
+        }
+    }
+
+    #[test]
+    fn reopen_after_build() {
+        let (p, cache, io, stats) = test_env("reopen");
+        build(&p, &[("k1", Some("v1")), ("k2", Some("v2"))]);
+        let seg = Segment::open(&p, 9).unwrap();
+        assert_eq!(seg.id, 9);
+        assert_eq!(
+            seg.get(0, b"k2", &cache, &io, &stats).unwrap(),
+            Some(Some(Bytes::from_static(b"v2")))
+        );
+    }
+
+    #[test]
+    fn prefix_scan_collects_range() {
+        let (p, cache, io, stats) = test_env("scan");
+        let mut entries = Vec::new();
+        for i in 0..50u32 {
+            entries.push((format!("e/7/read/{i:04}"), format!("x{i}")));
+        }
+        entries.push(("e/7/run/0001".to_string(), "y".to_string()));
+        entries.push(("e/8/read/0000".to_string(), "z".to_string()));
+        entries.sort();
+        let mut b = SegmentBuilder::create(&p, entries.len(), 10).unwrap();
+        for (k, v) in &entries {
+            let v = Bytes::copy_from_slice(v.as_bytes());
+            b.add(k.as_bytes(), Some(&v)).unwrap();
+        }
+        let seg = b.finish(1).unwrap();
+        let mut out = Vec::new();
+        seg.scan_prefix(0, b"e/7/read/", &cache, &io, &stats, &mut out)
+            .unwrap();
+        assert_eq!(out.len(), 50);
+        assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
+        out.clear();
+        seg.scan_prefix(0, b"e/9/", &cache, &io, &stats, &mut out).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn cold_then_warm_accounting() {
+        let (p, cache, io, stats) = test_env("accounting");
+        let seg = build(&p, &[("a", Some("1")), ("b", Some("2"))]);
+        seg.get(0, b"a", &cache, &io, &stats).unwrap();
+        let s1 = stats.snapshot();
+        assert_eq!(s1.cold, 1);
+        // Second read of the same run must be a cache hit.
+        seg.get(0, b"b", &cache, &io, &stats).unwrap();
+        let s2 = stats.snapshot();
+        assert_eq!(s2.cold, 1);
+        assert_eq!(s2.warm, 1);
+    }
+
+    #[test]
+    fn corrupt_footer_detected() {
+        let (p, _, _, _) = test_env("corrupt");
+        build(&p, &[("a", Some("1"))]);
+        let mut data = std::fs::read(&p).unwrap();
+        let n = data.len();
+        data[n - 20] ^= 0x5A; // inside footer fields
+        std::fs::write(&p, &data).unwrap();
+        assert!(Segment::open(&p, 1).is_err());
+    }
+
+    #[test]
+    fn past_prefix_logic() {
+        assert!(!past_prefix(b"abc", b"abc"));
+        assert!(!past_prefix(b"abcd", b"abc"));
+        assert!(past_prefix(b"abd", b"abc"));
+        assert!(!past_prefix(b"ab", b"abc"));
+        assert!(!past_prefix(b"anything", b""));
+    }
+}

@@ -1,0 +1,547 @@
+//! A single namespace: WAL + memtable + sorted segments.
+//!
+//! `Tree` is the per-namespace LSM pipeline. Writes go WAL → memtable and
+//! are flushed to immutable [`Segment`]s when the memtable exceeds its
+//! budget; reads consult the memtable first and then segments newest-first;
+//! compaction merges every segment into one, dropping shadowed versions and
+//! tombstones. All operations are thread-safe: reads share a read lock,
+//! mutations serialize on a write lock (single-writer, like RocksDB's
+//! default column-family write path).
+
+use crate::batch::{BatchOp, WriteBatch};
+use crate::cache::BlockCache;
+use crate::error::Result;
+use crate::iomodel::{AccessKind, IoProfile, IoStats};
+use crate::memtable::MemTable;
+use crate::segment::{Segment, SegmentBuilder};
+use crate::wal;
+use crate::wal::Wal;
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Tuning knobs for one tree (normally inherited from the store config).
+#[derive(Debug, Clone)]
+pub struct TreeConfig {
+    /// Flush the memtable once it holds roughly this many bytes.
+    pub memtable_bytes: usize,
+    /// Bloom-filter budget for new segments.
+    pub bloom_bits_per_key: usize,
+    /// Run a full compaction automatically once this many segments exist.
+    /// `0` disables auto-compaction.
+    pub auto_compact_segments: usize,
+    /// fsync the WAL on every write (durability vs throughput).
+    pub sync_wal: bool,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            memtable_bytes: 4 << 20,
+            bloom_bits_per_key: 10,
+            auto_compact_segments: 8,
+            sync_wal: false,
+        }
+    }
+}
+
+struct TreeInner {
+    memtable: MemTable,
+    /// Newest first; ids are strictly decreasing in this vector.
+    segments: Vec<Arc<Segment>>,
+    wal: Wal,
+}
+
+/// One namespace of the store. Obtain via [`Store::namespace`](crate::Store::namespace).
+pub struct Tree {
+    name: String,
+    /// Unique tag within the store, disambiguating this tree's segments
+    /// in the shared block cache.
+    cache_tag: u64,
+    dir: PathBuf,
+    inner: RwLock<TreeInner>,
+    cache: Arc<BlockCache>,
+    io: IoProfile,
+    stats: IoStats,
+    cfg: TreeConfig,
+    next_segment_id: AtomicU64,
+}
+
+impl std::fmt::Debug for Tree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tree")
+            .field("name", &self.name)
+            .field("dir", &self.dir)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Tree {
+    /// Open (creating or recovering) the tree stored under `dir`.
+    pub fn open(
+        name: &str,
+        cache_tag: u64,
+        dir: PathBuf,
+        cache: Arc<BlockCache>,
+        io: IoProfile,
+        cfg: TreeConfig,
+    ) -> Result<Tree> {
+        std::fs::create_dir_all(&dir)?;
+        // Discover existing segments (ignoring temp files from crashed
+        // flushes) and open them newest-first.
+        let mut seg_ids: Vec<u64> = Vec::new();
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let fname = entry.file_name();
+            let fname = fname.to_string_lossy();
+            if let Some(idstr) = fname.strip_prefix("seg-").and_then(|s| s.strip_suffix(".sst")) {
+                if let Ok(id) = idstr.parse::<u64>() {
+                    seg_ids.push(id);
+                }
+            } else if fname.ends_with(".tmp") {
+                std::fs::remove_file(entry.path()).ok();
+            }
+        }
+        seg_ids.sort_unstable_by(|a, b| b.cmp(a));
+        let mut segments = Vec::with_capacity(seg_ids.len());
+        for id in &seg_ids {
+            segments.push(Arc::new(Segment::open(
+                &dir.join(format!("seg-{id}.sst")),
+                *id,
+            )?));
+        }
+        let next_id = seg_ids.first().map_or(1, |m| m + 1);
+        // Recover the memtable from the WAL.
+        let wal_path = dir.join("wal.log");
+        let replay = wal::replay(&wal_path)?;
+        let mut memtable = MemTable::new();
+        for batch in replay.batches {
+            for op in batch {
+                match op {
+                    BatchOp::Put { key, value } => memtable.put(key, value),
+                    BatchOp::Delete { key } => memtable.delete(key),
+                }
+            }
+        }
+        let wal = Wal::open(&wal_path, cfg.sync_wal)?;
+        Ok(Tree {
+            name: name.to_string(),
+            cache_tag,
+            dir,
+            inner: RwLock::new(TreeInner {
+                memtable,
+                segments,
+                wal,
+            }),
+            cache,
+            io,
+            stats: IoStats::default(),
+            cfg,
+            next_segment_id: AtomicU64::new(next_id),
+        })
+    }
+
+    /// Namespace name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Point lookup; `None` when absent or deleted.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Bytes>> {
+        let inner = self.inner.read();
+        if let Some(hit) = inner.memtable.get(key) {
+            self.io.charge(AccessKind::Warm);
+            self.stats
+                .record(AccessKind::Warm, hit.as_ref().map_or(0, |b| b.len()));
+            return Ok(hit);
+        }
+        for seg in &inner.segments {
+            if let Some(hit) = seg.get(self.cache_tag, key, &self.cache, &self.io, &self.stats)? {
+                return Ok(hit);
+            }
+        }
+        Ok(None)
+    }
+
+    /// Insert or overwrite one key.
+    pub fn put(&self, key: impl Into<Vec<u8>>, value: impl Into<Bytes>) -> Result<()> {
+        let mut b = WriteBatch::with_capacity(1);
+        b.put(key.into(), value.into());
+        self.write_batch(b)
+    }
+
+    /// Delete one key.
+    pub fn delete(&self, key: impl Into<Vec<u8>>) -> Result<()> {
+        let mut b = WriteBatch::with_capacity(1);
+        b.delete(key.into());
+        self.write_batch(b)
+    }
+
+    /// Apply a batch atomically (single WAL record).
+    pub fn write_batch(&self, batch: WriteBatch) -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let mut inner = self.inner.write();
+        inner.wal.append(&batch)?;
+        self.stats.record_write(batch.encoded_size());
+        for op in batch {
+            match op {
+                BatchOp::Put { key, value } => inner.memtable.put(key, value),
+                BatchOp::Delete { key } => inner.memtable.delete(key),
+            }
+        }
+        if inner.memtable.approx_bytes() >= self.cfg.memtable_bytes {
+            self.flush_locked(&mut inner)?;
+        }
+        Ok(())
+    }
+
+    /// Ordered scan of all live entries whose key starts with `prefix`.
+    pub fn scan_prefix(&self, prefix: &[u8]) -> Result<Vec<(Vec<u8>, Bytes)>> {
+        let inner = self.inner.read();
+        // Merge newest-wins: start from the oldest segment and overwrite.
+        let mut merged: BTreeMap<Vec<u8>, Option<Bytes>> = BTreeMap::new();
+        let mut scratch = Vec::new();
+        for seg in inner.segments.iter().rev() {
+            scratch.clear();
+            seg.scan_prefix(self.cache_tag, prefix, &self.cache, &self.io, &self.stats, &mut scratch)?;
+            for (k, v) in scratch.drain(..) {
+                merged.insert(k, v);
+            }
+        }
+        for (k, v) in inner.memtable.scan_prefix(prefix) {
+            self.io.charge(AccessKind::Warm);
+            self.stats
+                .record(AccessKind::Warm, v.map_or(0, |b| b.len()));
+            merged.insert(k.to_vec(), v.cloned());
+        }
+        Ok(merged
+            .into_iter()
+            .filter_map(|(k, v)| v.map(|v| (k, v)))
+            .collect())
+    }
+
+    /// Flush the memtable to a new segment (no-op when empty).
+    pub fn flush(&self) -> Result<()> {
+        let mut inner = self.inner.write();
+        self.flush_locked(&mut inner)
+    }
+
+    fn flush_locked(&self, inner: &mut TreeInner) -> Result<()> {
+        if inner.memtable.is_empty() {
+            return Ok(());
+        }
+        let id = self.next_segment_id.fetch_add(1, Ordering::Relaxed);
+        let final_path = self.dir.join(format!("seg-{id}.sst"));
+        let tmp_path = self.dir.join(format!("seg-{id}.sst.tmp"));
+        let mut builder =
+            SegmentBuilder::create(&tmp_path, inner.memtable.len(), self.cfg.bloom_bits_per_key)?;
+        let mut written = 0usize;
+        for (k, v) in inner.memtable.iter() {
+            builder.add(k, v)?;
+            written += k.len() + v.map_or(0, |b| b.len());
+        }
+        // finish() opens the tmp path; rename then reopen at the real path.
+        let seg = builder.finish(id)?;
+        drop(seg);
+        std::fs::rename(&tmp_path, &final_path)?;
+        let seg = Segment::open(&final_path, id)?;
+        self.stats.record_write(written);
+        inner.segments.insert(0, Arc::new(seg));
+        inner.memtable.clear();
+        inner.wal.reset()?;
+        if self.cfg.auto_compact_segments > 0
+            && inner.segments.len() >= self.cfg.auto_compact_segments
+        {
+            self.compact_locked(inner)?;
+        }
+        Ok(())
+    }
+
+    /// Merge every segment (after flushing the memtable) into one, dropping
+    /// shadowed versions and tombstones.
+    pub fn compact(&self) -> Result<()> {
+        let mut inner = self.inner.write();
+        if !inner.memtable.is_empty() {
+            self.flush_locked(&mut inner)?;
+        }
+        self.compact_locked(&mut inner)
+    }
+
+    fn compact_locked(&self, inner: &mut TreeInner) -> Result<()> {
+        if inner.segments.len() <= 1 {
+            return Ok(());
+        }
+        // Newest-wins merge of all segments.
+        let mut merged: BTreeMap<Vec<u8>, Option<Bytes>> = BTreeMap::new();
+        let mut scratch = Vec::new();
+        // Compaction is maintenance I/O, not a modeled query access: use a
+        // free profile so experiments are not distorted by setup work.
+        let free = IoProfile::free();
+        for seg in inner.segments.iter().rev() {
+            scratch.clear();
+            seg.scan_prefix(self.cache_tag, b"", &self.cache, &free, &self.stats, &mut scratch)?;
+            for (k, v) in scratch.drain(..) {
+                merged.insert(k, v);
+            }
+        }
+        let live: Vec<(&Vec<u8>, &Bytes)> = merged
+            .iter()
+            .filter_map(|(k, v)| v.as_ref().map(|v| (k, v)))
+            .collect();
+        let id = self.next_segment_id.fetch_add(1, Ordering::Relaxed);
+        let final_path = self.dir.join(format!("seg-{id}.sst"));
+        let tmp_path = self.dir.join(format!("seg-{id}.sst.tmp"));
+        let old: Vec<Arc<Segment>> = std::mem::take(&mut inner.segments);
+        if live.is_empty() {
+            // Everything was deleted; no new segment needed.
+            for seg in &old {
+                self.cache.invalidate_segment(self.cache_tag, seg.id);
+                std::fs::remove_file(seg.path()).ok();
+            }
+            return Ok(());
+        }
+        let mut builder = SegmentBuilder::create(&tmp_path, live.len(), self.cfg.bloom_bits_per_key)?;
+        for (k, v) in live {
+            builder.add(k, Some(v))?;
+        }
+        drop(builder.finish(id)?);
+        std::fs::rename(&tmp_path, &final_path)?;
+        let seg = Segment::open(&final_path, id)?;
+        inner.segments = vec![Arc::new(seg)];
+        for seg in &old {
+            self.cache.invalidate_segment(self.cache_tag, seg.id);
+            std::fs::remove_file(seg.path()).ok();
+        }
+        Ok(())
+    }
+
+    /// Number of on-disk segments (diagnostics).
+    pub fn n_segments(&self) -> usize {
+        self.inner.read().segments.len()
+    }
+
+    /// Number of entries currently buffered in the memtable.
+    pub fn memtable_len(&self) -> usize {
+        self.inner.read().memtable.len()
+    }
+
+    /// I/O statistics accumulated by this tree.
+    pub fn io_stats(&self) -> crate::iomodel::IoStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// The I/O cost profile this tree charges.
+    pub fn io_profile(&self) -> IoProfile {
+        self.io
+    }
+
+    /// The shared block cache (e.g. to clear it for cold-start runs).
+    pub fn cache(&self) -> &Arc<BlockCache> {
+        &self.cache
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn open_tmp(name: &str) -> (Tree, PathBuf) {
+        let dir = std::env::temp_dir().join(format!(
+            "gtkv-tree-{}-{name}-{:?}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let tree = Tree::open(
+            name,
+            0,
+            dir.clone(),
+            Arc::new(BlockCache::new(64)),
+            IoProfile::free(),
+            TreeConfig {
+                memtable_bytes: 1 << 16,
+                ..TreeConfig::default()
+            },
+        )
+        .unwrap();
+        (tree, dir)
+    }
+
+    #[test]
+    fn put_get_delete_roundtrip() {
+        let (t, dir) = open_tmp("basic");
+        t.put(b"k1".to_vec(), Bytes::from_static(b"v1")).unwrap();
+        assert_eq!(t.get(b"k1").unwrap(), Some(Bytes::from_static(b"v1")));
+        t.delete(b"k1".to_vec()).unwrap();
+        assert_eq!(t.get(b"k1").unwrap(), None);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn flush_and_read_from_segment() {
+        let (t, dir) = open_tmp("flush");
+        for i in 0..100u32 {
+            t.put(format!("key-{i:04}").into_bytes(), Bytes::from(format!("val-{i}")))
+                .unwrap();
+        }
+        t.flush().unwrap();
+        assert_eq!(t.memtable_len(), 0);
+        assert_eq!(t.n_segments(), 1);
+        assert_eq!(
+            t.get(b"key-0042").unwrap(),
+            Some(Bytes::from_static(b"val-42"))
+        );
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn memtable_shadows_segment() {
+        let (t, dir) = open_tmp("shadow");
+        t.put(b"k".to_vec(), Bytes::from_static(b"old")).unwrap();
+        t.flush().unwrap();
+        t.put(b"k".to_vec(), Bytes::from_static(b"new")).unwrap();
+        assert_eq!(t.get(b"k").unwrap(), Some(Bytes::from_static(b"new")));
+        // Tombstone in memtable shadows segment value.
+        t.delete(b"k".to_vec()).unwrap();
+        assert_eq!(t.get(b"k").unwrap(), None);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn newer_segment_shadows_older() {
+        let (t, dir) = open_tmp("segshadow");
+        t.put(b"k".to_vec(), Bytes::from_static(b"v1")).unwrap();
+        t.flush().unwrap();
+        t.put(b"k".to_vec(), Bytes::from_static(b"v2")).unwrap();
+        t.flush().unwrap();
+        assert_eq!(t.n_segments(), 2);
+        assert_eq!(t.get(b"k").unwrap(), Some(Bytes::from_static(b"v2")));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn scan_merges_all_layers() {
+        let (t, dir) = open_tmp("scanmerge");
+        t.put(b"p/a".to_vec(), Bytes::from_static(b"1")).unwrap();
+        t.put(b"p/b".to_vec(), Bytes::from_static(b"2")).unwrap();
+        t.flush().unwrap();
+        t.put(b"p/b".to_vec(), Bytes::from_static(b"2new")).unwrap();
+        t.put(b"p/c".to_vec(), Bytes::from_static(b"3")).unwrap();
+        t.delete(b"p/a".to_vec()).unwrap();
+        let got = t.scan_prefix(b"p/").unwrap();
+        let got: Vec<(String, String)> = got
+            .into_iter()
+            .map(|(k, v)| {
+                (
+                    String::from_utf8(k).unwrap(),
+                    String::from_utf8(v.to_vec()).unwrap(),
+                )
+            })
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                ("p/b".to_string(), "2new".to_string()),
+                ("p/c".to_string(), "3".to_string())
+            ]
+        );
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn compaction_merges_and_drops_tombstones() {
+        let (t, dir) = open_tmp("compact");
+        for i in 0..50u32 {
+            t.put(format!("k{i:03}").into_bytes(), Bytes::from(format!("v{i}")))
+                .unwrap();
+        }
+        t.flush().unwrap();
+        for i in 0..25u32 {
+            t.delete(format!("k{i:03}").into_bytes()).unwrap();
+        }
+        t.flush().unwrap();
+        assert_eq!(t.n_segments(), 2);
+        t.compact().unwrap();
+        assert_eq!(t.n_segments(), 1);
+        assert_eq!(t.get(b"k010").unwrap(), None);
+        assert_eq!(t.get(b"k030").unwrap(), Some(Bytes::from_static(b"v30")));
+        assert_eq!(t.scan_prefix(b"k").unwrap().len(), 25);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn compact_all_deleted_leaves_no_segment() {
+        let (t, dir) = open_tmp("compactempty");
+        t.put(b"a".to_vec(), Bytes::from_static(b"1")).unwrap();
+        t.flush().unwrap();
+        t.delete(b"a".to_vec()).unwrap();
+        t.compact().unwrap();
+        assert_eq!(t.n_segments(), 0);
+        assert_eq!(t.get(b"a").unwrap(), None);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn reopen_recovers_wal_and_segments() {
+        let dir = std::env::temp_dir().join(format!("gtkv-tree-reopen-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let cfg = TreeConfig::default();
+        {
+            let t = Tree::open(
+                "ns",
+                0,
+                dir.clone(),
+                Arc::new(BlockCache::new(64)),
+                IoProfile::free(),
+                cfg.clone(),
+            )
+            .unwrap();
+            t.put(b"in-segment".to_vec(), Bytes::from_static(b"s")).unwrap();
+            t.flush().unwrap();
+            t.put(b"in-wal".to_vec(), Bytes::from_static(b"w")).unwrap();
+            // Dropped without flushing: `in-wal` lives only in the WAL.
+        }
+        let t = Tree::open(
+            "ns",
+            0,
+            dir.clone(),
+            Arc::new(BlockCache::new(64)),
+            IoProfile::free(),
+            cfg,
+        )
+        .unwrap();
+        assert_eq!(t.get(b"in-segment").unwrap(), Some(Bytes::from_static(b"s")));
+        assert_eq!(t.get(b"in-wal").unwrap(), Some(Bytes::from_static(b"w")));
+        assert_eq!(t.memtable_len(), 1);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn auto_flush_on_memtable_budget() {
+        let (t, dir) = open_tmp("autoflush");
+        // memtable_bytes is 64 KiB in open_tmp; write well past it.
+        let big = Bytes::from(vec![7u8; 1024]);
+        for i in 0..200u32 {
+            t.put(format!("k{i:05}").into_bytes(), big.clone()).unwrap();
+        }
+        assert!(t.n_segments() >= 1, "memtable budget should trigger flush");
+        assert_eq!(t.get(b"k00000").unwrap(), Some(big));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let (t, dir) = open_tmp("emptybatch");
+        t.write_batch(WriteBatch::new()).unwrap();
+        assert_eq!(t.memtable_len(), 0);
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

@@ -1,0 +1,163 @@
+//! Crash-recovery and durability scenarios for the kv store.
+
+use bytes::Bytes;
+use gt_kvstore::{Store, StoreConfig, WriteBatch};
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "gtkv-rec-{}-{name}-{:?}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+#[test]
+fn batch_is_atomic_across_reopen() {
+    let dir = tmp("atomic");
+    {
+        let s = Store::open(StoreConfig::new(&dir)).unwrap();
+        let ns = s.namespace("ns").unwrap();
+        let mut b = WriteBatch::new();
+        b.put(b"a".to_vec(), Bytes::from_static(b"1"))
+            .put(b"b".to_vec(), Bytes::from_static(b"2"))
+            .delete(b"a".to_vec());
+        ns.write_batch(b).unwrap();
+        // No flush: everything lives in the WAL.
+    }
+    let s = Store::open(StoreConfig::new(&dir)).unwrap();
+    let ns = s.namespace("ns").unwrap();
+    assert_eq!(ns.get(b"a").unwrap(), None, "delete inside batch replayed");
+    assert_eq!(ns.get(b"b").unwrap(), Some(Bytes::from_static(b"2")));
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn torn_wal_tail_loses_only_last_batch() {
+    let dir = tmp("torn");
+    {
+        let s = Store::open(StoreConfig::new(&dir)).unwrap();
+        let ns = s.namespace("ns").unwrap();
+        ns.put(b"first".to_vec(), Bytes::from_static(b"1")).unwrap();
+        ns.put(b"second".to_vec(), Bytes::from_static(b"2")).unwrap();
+    }
+    // Corrupt the last few bytes of the WAL, as a crash mid-write would.
+    let wal = dir.join("ns").join("wal.log");
+    let len = std::fs::metadata(&wal).unwrap().len();
+    let f = std::fs::OpenOptions::new().write(true).open(&wal).unwrap();
+    f.set_len(len - 2).unwrap();
+    drop(f);
+    let s = Store::open(StoreConfig::new(&dir)).unwrap();
+    let ns = s.namespace("ns").unwrap();
+    assert_eq!(ns.get(b"first").unwrap(), Some(Bytes::from_static(b"1")));
+    assert_eq!(ns.get(b"second").unwrap(), None, "torn tail dropped");
+    // The store is fully usable after tail truncation.
+    ns.put(b"third".to_vec(), Bytes::from_static(b"3")).unwrap();
+    ns.flush().unwrap();
+    assert_eq!(ns.get(b"third").unwrap(), Some(Bytes::from_static(b"3")));
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn leftover_tmp_segment_is_cleaned_on_open() {
+    let dir = tmp("tmpclean");
+    {
+        let s = Store::open(StoreConfig::new(&dir)).unwrap();
+        let ns = s.namespace("ns").unwrap();
+        ns.put(b"k".to_vec(), Bytes::from_static(b"v")).unwrap();
+        ns.flush().unwrap();
+    }
+    // Simulate a crash between segment write and rename.
+    let orphan = dir.join("ns").join("seg-99.sst.tmp");
+    std::fs::write(&orphan, b"half-written garbage").unwrap();
+    let s = Store::open(StoreConfig::new(&dir)).unwrap();
+    let ns = s.namespace("ns").unwrap();
+    assert_eq!(ns.get(b"k").unwrap(), Some(Bytes::from_static(b"v")));
+    assert!(!orphan.exists(), "orphan tmp file removed at open");
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn many_segments_reopen_in_recency_order() {
+    let dir = tmp("many-seg");
+    {
+        let s = Store::open(StoreConfig::new(&dir)).unwrap();
+        let ns = s.namespace("ns").unwrap();
+        // Ten generations of the same key, flushed each time.
+        for gen in 0..10u32 {
+            ns.put(b"k".to_vec(), Bytes::from(format!("gen-{gen}"))).unwrap();
+            ns.flush().unwrap();
+        }
+        assert!(ns.n_segments() >= 2);
+    }
+    let s = Store::open(StoreConfig::new(&dir)).unwrap();
+    let ns = s.namespace("ns").unwrap();
+    assert_eq!(
+        ns.get(b"k").unwrap(),
+        Some(Bytes::from_static(b"gen-9")),
+        "newest segment must win after reopen"
+    );
+    // Compaction after reopen collapses to one segment, same answer.
+    ns.compact().unwrap();
+    assert_eq!(ns.n_segments(), 1);
+    assert_eq!(ns.get(b"k").unwrap(), Some(Bytes::from_static(b"gen-9")));
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn large_values_roundtrip_through_flush_and_compact() {
+    let dir = tmp("large");
+    let s = Store::open(StoreConfig::new(&dir)).unwrap();
+    let ns = s.namespace("ns").unwrap();
+    let big = Bytes::from(vec![0xABu8; 1 << 20]); // 1 MiB value
+    ns.put(b"big".to_vec(), big.clone()).unwrap();
+    ns.put(b"small".to_vec(), Bytes::from_static(b"s")).unwrap();
+    ns.flush().unwrap();
+    ns.compact().unwrap();
+    s.drop_caches();
+    assert_eq!(ns.get(b"big").unwrap(), Some(big));
+    assert_eq!(ns.get(b"small").unwrap(), Some(Bytes::from_static(b"s")));
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn concurrent_readers_and_writer() {
+    let dir = tmp("concurrent");
+    let s = std::sync::Arc::new(Store::open(StoreConfig::new(&dir)).unwrap());
+    let ns = s.namespace("ns").unwrap();
+    for i in 0..500u32 {
+        ns.put(format!("k{i:04}").into_bytes(), Bytes::from(vec![1u8; 64]))
+            .unwrap();
+    }
+    ns.flush().unwrap();
+    std::thread::scope(|scope| {
+        // Writer keeps mutating a disjoint key range and flushing.
+        let w = ns.clone();
+        scope.spawn(move || {
+            for i in 0..200u32 {
+                w.put(format!("w{i:04}").into_bytes(), Bytes::from_static(b"x"))
+                    .unwrap();
+                if i % 50 == 0 {
+                    w.flush().unwrap();
+                }
+            }
+        });
+        for _ in 0..4 {
+            let r = ns.clone();
+            scope.spawn(move || {
+                for i in 0..500u32 {
+                    let got = r.get(format!("k{i:04}").as_bytes()).unwrap();
+                    assert!(got.is_some(), "stable keys always readable");
+                }
+                let scan = r.scan_prefix(b"k").unwrap();
+                assert_eq!(scan.len(), 500);
+            });
+        }
+    });
+    std::fs::remove_dir_all(dir).ok();
+}

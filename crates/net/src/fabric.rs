@@ -1,0 +1,475 @@
+//! Endpoints, envelopes, and the delivery timer wheel.
+
+use crate::config::NetConfig;
+use crate::stats::NetStats;
+use crate::WireSize;
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A delivered message with its source address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope<M> {
+    /// Sending endpoint id.
+    pub from: usize,
+    /// Receiving endpoint id.
+    pub to: usize,
+    /// Payload.
+    pub msg: M,
+}
+
+/// Error returned by [`Endpoint::send`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendError {
+    /// Destination id is out of range.
+    UnknownEndpoint,
+    /// The fabric was shut down.
+    Closed,
+}
+
+/// Error returned by the receive functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvError {
+    /// No message arrived within the timeout.
+    Timeout,
+    /// The fabric was shut down and the queue is drained.
+    Closed,
+}
+
+impl std::fmt::Display for SendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SendError::UnknownEndpoint => write!(f, "unknown endpoint"),
+            SendError::Closed => write!(f, "fabric closed"),
+        }
+    }
+}
+impl std::error::Error for SendError {}
+
+struct Scheduled<M> {
+    deliver_at: Instant,
+    seq: u64,
+    env: Envelope<M>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.deliver_at == other.deliver_at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deliver_at, self.seq).cmp(&(other.deliver_at, other.seq))
+    }
+}
+
+struct Shared<M> {
+    cfg: NetConfig,
+    inboxes: Vec<Sender<Envelope<M>>>,
+    /// Input to the timer-wheel thread (None when the model is instant).
+    wheel_tx: Option<Sender<Scheduled<M>>>,
+    stats: Arc<NetStats>,
+    isolated: Vec<AtomicBool>,
+    /// Per-link floor for the next delivery time, enforcing FIFO order.
+    link_floor: Mutex<Vec<Instant>>,
+    rng: Mutex<SmallRng>,
+    seq: std::sync::atomic::AtomicU64,
+}
+
+/// One addressable party on the fabric (a backend server or a client).
+///
+/// Cloning is cheap and shares the same inbox (crossbeam channels are
+/// MPMC): a server's dispatcher thread receives while its worker threads
+/// send through clones.
+pub struct Endpoint<M> {
+    id: usize,
+    rx: Receiver<Envelope<M>>,
+    shared: Arc<Shared<M>>,
+}
+
+impl<M> Clone for Endpoint<M> {
+    fn clone(&self) -> Self {
+        Endpoint {
+            id: self.id,
+            rx: self.rx.clone(),
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<M> std::fmt::Debug for Endpoint<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Endpoint").field("id", &self.id).finish()
+    }
+}
+
+/// The fabric itself; owns the delivery thread. Dropping it stops
+/// delivery (endpoints then see [`RecvError::Closed`] once drained).
+pub struct Fabric<M> {
+    shared: Arc<Shared<M>>,
+    wheel: Option<std::thread::JoinHandle<()>>,
+}
+
+impl<M> std::fmt::Debug for Fabric<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fabric")
+            .field("endpoints", &self.shared.inboxes.len())
+            .finish()
+    }
+}
+
+impl<M: Send + WireSize + 'static> Fabric<M> {
+    /// Build a fabric with `n` endpoints under the given network model.
+    pub fn new(n: usize, cfg: NetConfig) -> (Fabric<M>, Vec<Endpoint<M>>) {
+        let mut inboxes = Vec::with_capacity(n);
+        let mut rxs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            inboxes.push(tx);
+            rxs.push(rx);
+        }
+        let stats = Arc::new(NetStats::new(n));
+        let (wheel_tx, wheel_handle) = if cfg.is_instant() {
+            (None, None)
+        } else {
+            let (tx, rx) = unbounded::<Scheduled<M>>();
+            let inboxes_clone = inboxes.clone();
+            let handle = std::thread::Builder::new()
+                .name("gt-net-wheel".into())
+                .spawn(move || wheel_loop(rx, inboxes_clone))
+                .expect("spawn timer wheel");
+            (Some(tx), Some(handle))
+        };
+        let now = Instant::now();
+        let shared = Arc::new(Shared {
+            cfg,
+            inboxes,
+            wheel_tx,
+            stats,
+            isolated: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            link_floor: Mutex::new(vec![now; n * n]),
+            rng: Mutex::new(SmallRng::seed_from_u64(cfg.seed)),
+            seq: std::sync::atomic::AtomicU64::new(0),
+        });
+        let endpoints = rxs
+            .into_iter()
+            .enumerate()
+            .map(|(id, rx)| Endpoint {
+                id,
+                rx,
+                shared: shared.clone(),
+            })
+            .collect();
+        (
+            Fabric {
+                shared,
+                wheel: wheel_handle,
+            },
+            endpoints,
+        )
+    }
+
+    /// Isolate (or reconnect) an endpoint: while isolated, every message
+    /// to or from it is silently dropped — the "silent failure" condition
+    /// the traversal status tracing must detect.
+    pub fn isolate(&self, id: usize, isolated: bool) {
+        self.shared.isolated[id].store(isolated, Ordering::Relaxed);
+    }
+
+    /// Traffic counters.
+    pub fn stats(&self) -> Arc<NetStats> {
+        self.shared.stats.clone()
+    }
+}
+
+impl<M> Drop for Fabric<M> {
+    fn drop(&mut self) {
+        // Disconnect the wheel input and join so scheduled messages either
+        // flush or are dropped deterministically.
+        if let Some(h) = self.wheel.take() {
+            // Dropping the only non-wheel Sender ends the loop after the
+            // heap drains; the Sender lives in `shared`, so replace it.
+            // (Endpoints hold `shared` too, so instead we just detach.)
+            drop(h); // detach: endpoints may outlive the fabric handle
+        }
+    }
+}
+
+fn wheel_loop<M: Send>(rx: Receiver<Scheduled<M>>, inboxes: Vec<Sender<Envelope<M>>>) {
+    let mut heap: BinaryHeap<Reverse<Scheduled<M>>> = BinaryHeap::new();
+    loop {
+        // Deliver everything due.
+        let now = Instant::now();
+        while let Some(Reverse(top)) = heap.peek() {
+            if top.deliver_at <= now {
+                let Reverse(item) = heap.pop().unwrap();
+                // A receiver may be gone during shutdown; ignore.
+                let _ = inboxes[item.env.to].send(item.env);
+            } else {
+                break;
+            }
+        }
+        // Wait for the next deadline or new input.
+        let wait = heap
+            .peek()
+            .map(|Reverse(top)| top.deliver_at.saturating_duration_since(Instant::now()));
+        match wait {
+            Some(d) if d.is_zero() => continue,
+            Some(d) => match rx.recv_timeout(d) {
+                Ok(item) => heap.push(Reverse(item)),
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => {
+                    // Flush the remaining heap respecting deadlines.
+                    while let Some(Reverse(item)) = heap.pop() {
+                        let now = Instant::now();
+                        if item.deliver_at > now {
+                            std::thread::sleep(item.deliver_at - now);
+                        }
+                        let _ = inboxes[item.env.to].send(item.env);
+                    }
+                    return;
+                }
+            },
+            None => match rx.recv() {
+                Ok(item) => heap.push(Reverse(item)),
+                Err(_) => return,
+            },
+        }
+    }
+}
+
+impl<M: Send + WireSize + 'static> Endpoint<M> {
+    /// This endpoint's address.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Number of endpoints on the fabric.
+    pub fn n_endpoints(&self) -> usize {
+        self.shared.inboxes.len()
+    }
+
+    /// Send `msg` to endpoint `to`. Never blocks on the receiver.
+    pub fn send(&self, to: usize, msg: M) -> Result<(), SendError> {
+        let sh = &self.shared;
+        if to >= sh.inboxes.len() {
+            return Err(SendError::UnknownEndpoint);
+        }
+        if sh.isolated[self.id].load(Ordering::Relaxed)
+            || sh.isolated[to].load(Ordering::Relaxed)
+        {
+            sh.stats.record_drop();
+            return Ok(()); // silently dropped, like a dead peer
+        }
+        let size = msg.wire_size();
+        sh.stats.record(self.id, to, size);
+        let env = Envelope {
+            from: self.id,
+            to,
+            msg,
+        };
+        match &sh.wheel_tx {
+            None => sh.inboxes[to].send(env).map_err(|_| SendError::Closed),
+            Some(wheel) => {
+                let delay = {
+                    let mut rng = sh.rng.lock();
+                    let jitter_ns = if sh.cfg.jitter.is_zero() {
+                        0
+                    } else {
+                        rng.gen_range(0..=sh.cfg.jitter.as_nanos() as u64)
+                    };
+                    sh.cfg.latency
+                        + Duration::from_nanos(jitter_ns)
+                        + sh.cfg.per_byte * (size as u32)
+                };
+                let mut deliver_at = Instant::now() + delay;
+                {
+                    // FIFO floor per link.
+                    let mut floors = sh.link_floor.lock();
+                    let slot = self.id * sh.inboxes.len() + to;
+                    if deliver_at < floors[slot] {
+                        deliver_at = floors[slot] + Duration::from_nanos(1);
+                    }
+                    floors[slot] = deliver_at;
+                }
+                let seq = sh.seq.fetch_add(1, Ordering::Relaxed);
+                wheel
+                    .send(Scheduled {
+                        deliver_at,
+                        seq,
+                        env,
+                    })
+                    .map_err(|_| SendError::Closed)
+            }
+        }
+    }
+
+    /// Block until a message arrives.
+    pub fn recv(&self) -> Result<Envelope<M>, RecvError> {
+        self.rx.recv().map_err(|_| RecvError::Closed)
+    }
+
+    /// Block up to `timeout` for a message.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Envelope<M>, RecvError> {
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => RecvError::Timeout,
+            RecvTimeoutError::Disconnected => RecvError::Closed,
+        })
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Envelope<M>> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Number of messages waiting in this endpoint's inbox.
+    pub fn pending(&self) -> usize {
+        self.rx.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instant_fabric_delivers_in_order() {
+        let (_fabric, eps) = Fabric::<u64>::new(2, NetConfig::instant());
+        for i in 0..100u64 {
+            eps[0].send(1, i).unwrap();
+        }
+        for i in 0..100u64 {
+            let env = eps[1].recv().unwrap();
+            assert_eq!(env.msg, i);
+            assert_eq!(env.from, 0);
+        }
+    }
+
+    #[test]
+    fn unknown_endpoint_rejected() {
+        let (_fabric, eps) = Fabric::<u64>::new(2, NetConfig::instant());
+        assert_eq!(eps[0].send(5, 1), Err(SendError::UnknownEndpoint));
+    }
+
+    #[test]
+    fn delayed_fabric_delivers_after_latency() {
+        let cfg = NetConfig {
+            latency: Duration::from_millis(5),
+            jitter: Duration::ZERO,
+            per_byte: Duration::ZERO,
+            seed: 1,
+        };
+        let (_fabric, eps) = Fabric::<u64>::new(2, cfg);
+        let t0 = Instant::now();
+        eps[0].send(1, 42).unwrap();
+        assert!(eps[1].try_recv().is_none(), "must not deliver instantly");
+        let env = eps[1].recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(env.msg, 42);
+        assert!(t0.elapsed() >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn per_link_fifo_under_jitter() {
+        let cfg = NetConfig {
+            latency: Duration::from_micros(100),
+            jitter: Duration::from_micros(500),
+            per_byte: Duration::ZERO,
+            seed: 7,
+        };
+        let (_fabric, eps) = Fabric::<u64>::new(2, cfg);
+        for i in 0..200u64 {
+            eps[0].send(1, i).unwrap();
+        }
+        for i in 0..200u64 {
+            let env = eps[1].recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(env.msg, i, "jitter must not reorder a link");
+        }
+    }
+
+    #[test]
+    fn isolation_drops_silently() {
+        let (fabric, eps) = Fabric::<u64>::new(3, NetConfig::instant());
+        fabric.isolate(1, true);
+        eps[0].send(1, 1).unwrap(); // to isolated
+        eps[1].send(2, 2).unwrap(); // from isolated
+        eps[0].send(2, 3).unwrap(); // unaffected
+        let env = eps[2].recv_timeout(Duration::from_millis(100)).unwrap();
+        assert_eq!(env.msg, 3);
+        assert!(eps[1].try_recv().is_none());
+        assert_eq!(fabric.stats().dropped(), 2);
+        // Reconnect and verify traffic resumes.
+        fabric.isolate(1, false);
+        eps[0].send(1, 9).unwrap();
+        assert_eq!(eps[1].recv_timeout(Duration::from_millis(100)).unwrap().msg, 9);
+    }
+
+    #[test]
+    fn stats_count_messages_and_bytes() {
+        let (fabric, eps) = Fabric::<Vec<u8>>::new(2, NetConfig::instant());
+        eps[0].send(1, vec![0u8; 100]).unwrap();
+        eps[0].send(1, vec![0u8; 50]).unwrap();
+        let st = fabric.stats();
+        assert_eq!(st.messages(0, 1), 2);
+        assert_eq!(st.bytes(0, 1), 150);
+        assert_eq!(st.total_messages(), 2);
+    }
+
+    #[test]
+    fn per_byte_cost_slows_large_messages() {
+        let cfg = NetConfig {
+            latency: Duration::from_micros(1),
+            jitter: Duration::ZERO,
+            per_byte: Duration::from_micros(10),
+            seed: 0,
+        };
+        let (_fabric, eps) = Fabric::<Vec<u8>>::new(2, cfg);
+        let t0 = Instant::now();
+        eps[0].send(1, vec![0u8; 1000]).unwrap();
+        eps[1].recv_timeout(Duration::from_secs(5)).unwrap();
+        // 1000 bytes * 10µs = 10ms minimum.
+        assert!(t0.elapsed() >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn many_senders_one_receiver() {
+        let (_fabric, mut eps) = Fabric::<u64>::new(5, NetConfig::instant());
+        let sink = eps.remove(0);
+        let handles: Vec<_> = eps
+            .into_iter()
+            .map(|ep| {
+                std::thread::spawn(move || {
+                    for i in 0..100u64 {
+                        ep.send(0, i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut count = 0;
+        while sink.try_recv().is_some() {
+            count += 1;
+        }
+        assert_eq!(count, 400);
+    }
+
+    #[test]
+    fn self_send_works() {
+        let (_fabric, eps) = Fabric::<u64>::new(1, NetConfig::instant());
+        eps[0].send(0, 7).unwrap();
+        assert_eq!(eps[0].recv().unwrap().msg, 7);
+    }
+}

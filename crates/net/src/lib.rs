@@ -1,0 +1,60 @@
+#![warn(missing_docs)]
+
+//! # gt-net — simulated cluster message fabric
+//!
+//! The paper's traversal-engine components "communicate with each other
+//! through RPC calls, which are implemented by ZeroMQ as a high-speed
+//! network transmission protocol" (§VI) over the Fusion cluster's
+//! InfiniBand fabric. This crate is that substrate for the in-process
+//! reproduction: a set of [`Endpoint`]s (one per simulated backend server,
+//! plus clients) exchanging typed messages through a [`Fabric`] that
+//! models network behaviour:
+//!
+//! * **Latency** — configurable base one-way latency plus bounded jitter
+//!   plus a per-byte transmission cost ([`NetConfig`]).
+//! * **Per-link FIFO ordering** — like a ZeroMQ/TCP connection, messages
+//!   between a given (from, to) pair are never reordered, even when
+//!   jitter would suggest otherwise.
+//! * **Asynchronous, non-blocking sends** — a sender never waits for the
+//!   receiver; delivery happens on a dedicated timer thread.
+//! * **Fault injection** — any endpoint can be isolated (its traffic
+//!   silently dropped), which the engine's status-tracing tests use to
+//!   exercise silent-failure detection (§IV-C).
+//! * **Counters** — per-link message/byte counts for the evaluation
+//!   harness.
+//!
+//! Messages are plain Rust values (the "wire" is an in-process channel),
+//! but every message type reports a [`WireSize`] so the bandwidth model
+//! has something to charge.
+
+pub mod config;
+pub mod fabric;
+pub mod stats;
+
+pub use config::NetConfig;
+pub use fabric::{Endpoint, Envelope, Fabric, RecvError, SendError};
+pub use stats::NetStats;
+
+/// Implemented by message types so the fabric can model transmission cost.
+pub trait WireSize {
+    /// Approximate serialized size in bytes.
+    fn wire_size(&self) -> usize;
+}
+
+impl WireSize for Vec<u8> {
+    fn wire_size(&self) -> usize {
+        self.len()
+    }
+}
+
+impl WireSize for String {
+    fn wire_size(&self) -> usize {
+        self.len()
+    }
+}
+
+impl WireSize for u64 {
+    fn wire_size(&self) -> usize {
+        8
+    }
+}

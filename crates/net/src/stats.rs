@@ -1,0 +1,96 @@
+//! Per-link traffic counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Message/byte counters for every (from, to) link of a fabric.
+#[derive(Debug)]
+pub struct NetStats {
+    n: usize,
+    msgs: Vec<AtomicU64>,
+    bytes: Vec<AtomicU64>,
+    dropped: AtomicU64,
+}
+
+impl NetStats {
+    /// Counters for an `n`-endpoint fabric.
+    pub fn new(n: usize) -> Self {
+        NetStats {
+            n,
+            msgs: (0..n * n).map(|_| AtomicU64::new(0)).collect(),
+            bytes: (0..n * n).map(|_| AtomicU64::new(0)).collect(),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn idx(&self, from: usize, to: usize) -> usize {
+        from * self.n + to
+    }
+
+    /// Record one delivered message.
+    pub fn record(&self, from: usize, to: usize, bytes: usize) {
+        self.msgs[self.idx(from, to)].fetch_add(1, Ordering::Relaxed);
+        self.bytes[self.idx(from, to)].fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Record one dropped (isolated) message.
+    pub fn record_drop(&self) {
+        self.dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Messages sent from `from` to `to`.
+    pub fn messages(&self, from: usize, to: usize) -> u64 {
+        self.msgs[self.idx(from, to)].load(Ordering::Relaxed)
+    }
+
+    /// Bytes sent from `from` to `to`.
+    pub fn bytes(&self, from: usize, to: usize) -> u64 {
+        self.bytes[self.idx(from, to)].load(Ordering::Relaxed)
+    }
+
+    /// Total messages across all links.
+    pub fn total_messages(&self) -> u64 {
+        self.msgs.iter().map(|a| a.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Total bytes across all links.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().map(|a| a.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Messages dropped by isolation.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Number of endpoints this fabric was built with.
+    pub fn n_endpoints(&self) -> usize {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_per_link() {
+        let s = NetStats::new(3);
+        s.record(0, 1, 10);
+        s.record(0, 1, 5);
+        s.record(2, 0, 7);
+        assert_eq!(s.messages(0, 1), 2);
+        assert_eq!(s.bytes(0, 1), 15);
+        assert_eq!(s.messages(1, 0), 0);
+        assert_eq!(s.total_messages(), 3);
+        assert_eq!(s.total_bytes(), 22);
+    }
+
+    #[test]
+    fn drop_counter() {
+        let s = NetStats::new(2);
+        assert_eq!(s.dropped(), 0);
+        s.record_drop();
+        assert_eq!(s.dropped(), 1);
+    }
+}

@@ -1,0 +1,122 @@
+//! Fabric behaviour under load: per-link FIFO with many concurrent
+//! senders, mid-stream isolation, and counter consistency.
+
+use gt_net::{Fabric, NetConfig};
+use std::time::Duration;
+
+#[test]
+fn per_link_fifo_holds_with_many_links_under_jitter() {
+    let cfg = NetConfig {
+        latency: Duration::from_micros(50),
+        jitter: Duration::from_micros(300),
+        per_byte: Duration::ZERO,
+        seed: 99,
+    };
+    let n = 6;
+    let (_fabric, mut eps) = Fabric::<u64>::new(n, cfg);
+    let sink = eps.remove(0);
+    let senders: Vec<_> = eps
+        .into_iter()
+        .map(|ep| {
+            std::thread::spawn(move || {
+                for i in 0..300u64 {
+                    // Encode (sender, seq) so the receiver can check
+                    // per-link order.
+                    ep.send(0, (ep.id() as u64) << 32 | i).unwrap();
+                }
+            })
+        })
+        .collect();
+    let mut last_seq = vec![None::<u64>; n];
+    for _ in 0..(300 * (n - 1)) {
+        let env = sink.recv_timeout(Duration::from_secs(10)).expect("recv");
+        let from = (env.msg >> 32) as usize;
+        let seq = env.msg & 0xFFFF_FFFF;
+        assert_eq!(from, env.from);
+        if let Some(prev) = last_seq[from] {
+            assert!(seq > prev, "link {from} reordered: {prev} then {seq}");
+        }
+        last_seq[from] = Some(seq);
+    }
+    for s in senders {
+        s.join().unwrap();
+    }
+}
+
+#[test]
+fn isolation_mid_stream_drops_exactly_the_gap() {
+    let (fabric, eps) = Fabric::<u64>::new(2, NetConfig::instant());
+    for i in 0..10u64 {
+        eps[0].send(1, i).unwrap();
+    }
+    fabric.isolate(1, true);
+    for i in 10..20u64 {
+        eps[0].send(1, i).unwrap();
+    }
+    fabric.isolate(1, false);
+    for i in 20..30u64 {
+        eps[0].send(1, i).unwrap();
+    }
+    let mut got = Vec::new();
+    while let Some(env) = eps[1].try_recv() {
+        got.push(env.msg);
+    }
+    let want: Vec<u64> = (0..10).chain(20..30).collect();
+    assert_eq!(got, want);
+    assert_eq!(fabric.stats().dropped(), 10);
+}
+
+#[test]
+fn counters_match_traffic_exactly() {
+    let (fabric, eps) = Fabric::<Vec<u8>>::new(3, NetConfig::instant());
+    for _ in 0..5 {
+        eps[0].send(1, vec![0u8; 10]).unwrap();
+        eps[1].send(2, vec![0u8; 20]).unwrap();
+        eps[2].send(0, vec![0u8; 30]).unwrap();
+    }
+    let st = fabric.stats();
+    assert_eq!(st.messages(0, 1), 5);
+    assert_eq!(st.bytes(0, 1), 50);
+    assert_eq!(st.messages(1, 2), 5);
+    assert_eq!(st.bytes(1, 2), 100);
+    assert_eq!(st.messages(2, 0), 5);
+    assert_eq!(st.bytes(2, 0), 150);
+    assert_eq!(st.total_messages(), 15);
+    assert_eq!(st.total_bytes(), 300);
+    assert_eq!(st.n_endpoints(), 3);
+}
+
+#[test]
+fn delayed_broadcast_arrives_everywhere() {
+    let cfg = NetConfig {
+        latency: Duration::from_micros(200),
+        jitter: Duration::from_micros(100),
+        per_byte: Duration::from_nanos(10),
+        seed: 5,
+    };
+    let n = 8;
+    let (_fabric, eps) = Fabric::<u64>::new(n, cfg);
+    for dst in 1..n {
+        eps[0].send(dst, dst as u64).unwrap();
+    }
+    for (dst, ep) in eps.iter().enumerate().skip(1) {
+        let env = ep.recv_timeout(Duration::from_secs(5)).expect("delivery");
+        assert_eq!(env.msg, dst as u64);
+    }
+}
+
+#[test]
+fn endpoint_clones_share_one_inbox() {
+    let (_fabric, eps) = Fabric::<u64>::new(2, NetConfig::instant());
+    let a = eps[1].clone();
+    let b = eps[1].clone();
+    eps[0].send(1, 1).unwrap();
+    eps[0].send(1, 2).unwrap();
+    // Either clone can take either message, but both are consumed once.
+    let m1 = a.recv_timeout(Duration::from_secs(1)).unwrap().msg;
+    let m2 = b.recv_timeout(Duration::from_secs(1)).unwrap().msg;
+    let mut got = vec![m1, m2];
+    got.sort_unstable();
+    assert_eq!(got, vec![1, 2]);
+    assert!(a.try_recv().is_none());
+}

@@ -1,0 +1,90 @@
+//! An interactive GTravel shell over a synthetic metadata graph — type
+//! the paper's query syntax (§III) directly:
+//!
+//! ```text
+//! gtravel> v(0).e('run').e('hasExecutions').e('write').rtn()
+//! ```
+//!
+//! ```sh
+//! cargo run --release --example gtravel_shell            # interactive
+//! cargo run --release --example gtravel_shell -- "v(0).e('run')"
+//! ```
+
+use graphtrek_suite::prelude::*;
+use std::io::{BufRead, Write};
+
+fn main() {
+    let d = gt_darshan::generate(&DarshanConfig::small());
+    let dir = std::env::temp_dir().join(format!("graphtrek-shell-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let cluster = Cluster::build(
+        &d.graph,
+        ClusterConfig::new(&dir, 4),
+        EngineConfig::new(EngineKind::GraphTrek),
+    )
+    .expect("cluster");
+    println!(
+        "metadata graph: {} users, {} jobs, {} executions, {} files",
+        d.stats.users, d.stats.jobs, d.stats.executions, d.stats.files
+    );
+    println!(
+        "user ids start at {}, jobs at {}, executions at {}, files at {}",
+        d.layout.users_start, d.layout.jobs_start, d.layout.execs_start, d.layout.files_start
+    );
+
+    let one_shot: Vec<String> = std::env::args().skip(1).collect();
+    if !one_shot.is_empty() {
+        for q in &one_shot {
+            run_query(&cluster, q);
+        }
+    } else {
+        println!("gtravel shell — enter a query, or 'quit'. Example:");
+        println!("  v(0).e('run').e('hasExecutions').e('write').rtn()");
+        let stdin = std::io::stdin();
+        loop {
+            print!("gtravel> ");
+            std::io::stdout().flush().ok();
+            let mut line = String::new();
+            if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+                break;
+            }
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "quit" || line == "exit" {
+                break;
+            }
+            run_query(&cluster, line);
+        }
+    }
+    cluster.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn run_query(cluster: &Cluster, text: &str) {
+    match graphtrek_suite::graphtrek::parse::parse(text) {
+        Err(e) => eprintln!("  {e}"),
+        Ok(q) => match cluster.submit(&q) {
+            Err(e) => eprintln!("  traversal failed: {e}"),
+            Ok(r) => {
+                println!(
+                    "  {} vertices in {:?} (executions traced: {})",
+                    r.vertices.len(),
+                    r.elapsed,
+                    r.progress.created
+                );
+                for (depth, vs) in &r.by_depth {
+                    let preview: Vec<String> =
+                        vs.iter().take(8).map(|v| v.to_string()).collect();
+                    println!(
+                        "    depth {depth}: {} vertices [{}{}]",
+                        vs.len(),
+                        preview.join(", "),
+                        if vs.len() > 8 { ", …" } else { "" }
+                    );
+                }
+            }
+        },
+    }
+}

@@ -1,0 +1,28 @@
+//! # graphtrek-suite — umbrella crate
+//!
+//! Re-exports the whole GraphTrek reproduction so the examples and the
+//! cross-crate integration tests have a single dependency surface:
+//!
+//! * [`graphtrek`] — the traversal language, engines, and cluster harness
+//! * [`gt_graph`] — property-graph model, storage layout, partitioning
+//! * [`gt_kvstore`] — the persistent key-value substrate
+//! * [`gt_net`] — the simulated cluster fabric
+//! * [`gt_rmat`] / [`gt_darshan`] — synthetic workload generators
+//!
+//! See `README.md` for the project overview and `DESIGN.md` for the
+//! paper-to-module map.
+
+pub use graphtrek;
+pub use gt_darshan;
+pub use gt_graph;
+pub use gt_kvstore;
+pub use gt_net;
+pub use gt_rmat;
+
+/// Everything a typical example needs.
+pub mod prelude {
+    pub use graphtrek::prelude::*;
+    pub use gt_darshan::{DarshanConfig, DarshanGraph};
+    pub use gt_graph::{Edge, InMemoryGraph, Props, Vertex};
+    pub use gt_rmat::RmatConfig;
+}
