@@ -1,0 +1,136 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Supports the subset the bench targets use: `Criterion`,
+//! `benchmark_group` → `sample_size`/`bench_function`/`finish`, `Bencher::iter`,
+//! and the `criterion_group!`/`criterion_main!` macros. Instead of
+//! criterion's statistical machinery it runs each closure
+//! `sample_size` times after one warm-up and prints the mean
+//! wall-clock per iteration — enough to eyeball regressions offline.
+
+use std::time::Instant;
+
+/// Benchmark driver handed to `criterion_group!` functions.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        eprintln!("group {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: 20,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Number of measured iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark: `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`].
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            iters: self.sample_size,
+            elapsed_ns: 0,
+            measured: 0,
+        };
+        f(&mut b);
+        if b.measured == 0 {
+            eprintln!("  {}/{id}: no iterations measured", self.name);
+        } else {
+            let mean = b.elapsed_ns as f64 / b.measured as f64;
+            eprintln!(
+                "  {}/{id}: mean {:.3} ms over {} iters",
+                self.name,
+                mean / 1e6,
+                b.measured
+            );
+        }
+        self
+    }
+
+    /// End the group (printing side only; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// Timer handle: runs the measured closure.
+pub struct Bencher {
+    iters: usize,
+    elapsed_ns: u128,
+    measured: usize,
+}
+
+impl Bencher {
+    /// Measure `f` over the group's sample size (plus one warm-up call).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std::hint::black_box(f());
+        for _ in 0..self.iters {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            self.elapsed_ns += t.elapsed().as_nanos();
+            self.measured += 1;
+        }
+    }
+}
+
+/// Prevent the optimizer from deleting a value (re-export convenience).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundle benchmark functions under one name for `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generate `main` running each `criterion_group!` bundle.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_closure_expected_times() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        let mut calls = 0usize;
+        g.sample_size(5).bench_function("count", |b| {
+            b.iter(|| calls += 1);
+        });
+        g.finish();
+        assert_eq!(calls, 6, "one warm-up plus sample_size measured iters");
+    }
+}

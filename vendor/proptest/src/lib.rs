@@ -1,0 +1,781 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`strategy::Strategy`] trait with `prop_map`/`prop_flat_map`/`boxed`,
+//! range/tuple/`Just` strategies, `collection::vec`, `option::{of,
+//! weighted}`, `bool::weighted`, `any::<T>()` for integers and bool, the
+//! `prop_oneof!` union, and the `proptest!`/`prop_assert!`/
+//! `prop_assert_eq!` macros backed by a deterministic runner.
+//!
+//! Differences from the real crate, deliberately accepted for an
+//! offline build:
+//! - **No shrinking.** A failing case reports its inputs (every strategy
+//!   value is `Debug`) and the case index; inputs are reproducible
+//!   because the per-case RNG seed is a pure function of the test name
+//!   and case index.
+//! - **No failure persistence files.** Re-running replays the identical
+//!   case sequence anyway.
+//! - `PROPTEST_CASES` env var is honoured as an override, like the real
+//!   crate.
+
+pub mod strategy {
+    use rand::Rng;
+    use std::fmt::Debug;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Deterministic RNG threaded through strategy sampling.
+    pub type TestRng = rand::rngs::SmallRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated value type.
+        type Value: Debug;
+
+        /// Draw one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values.
+        fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { source: self, f }
+        }
+
+        /// Generate a value, then generate from a strategy derived from it.
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { source: self, f }
+        }
+
+        /// Type-erase this strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+        type Value = T::Value;
+        fn generate(&self, rng: &mut TestRng) -> T::Value {
+            (self.f)(self.source.generate(rng)).generate(rng)
+        }
+    }
+
+    #[doc(hidden)]
+    pub trait DynStrategy<V> {
+        fn dyn_generate(&self, rng: &mut TestRng) -> V;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// Type-erased strategy, produced by [`Strategy::boxed`].
+    pub struct BoxedStrategy<V>(Box<dyn DynStrategy<V>>);
+
+    impl<V: Debug> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            self.0.dyn_generate(rng)
+        }
+    }
+
+    /// Weighted choice between type-erased strategies (`prop_oneof!`).
+    pub struct Union<V> {
+        arms: Vec<(u32, BoxedStrategy<V>)>,
+        total: u64,
+    }
+
+    impl<V: Debug> Union<V> {
+        /// Build from `(weight, strategy)` arms; weights need not sum to
+        /// anything in particular but must not all be zero.
+        pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+            let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total > 0, "prop_oneof!: all weights are zero");
+            Union { arms, total }
+        }
+    }
+
+    impl<V: Debug> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let mut pick = rng.gen_range(0..self.total);
+            for (w, s) in &self.arms {
+                let w = *w as u64;
+                if pick < w {
+                    return s.dyn_generate(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("weight bookkeeping out of sync")
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident . $idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A.0);
+    impl_tuple_strategy!(A.0, B.1);
+    impl_tuple_strategy!(A.0, B.1, C.2);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+
+    /// String strategy from a simplified regex pattern, like the real
+    /// crate's `impl Strategy for &str`. Supported syntax: literal
+    /// characters, `[...]` character classes with `a-z` ranges (a `-`
+    /// first or last in the class is literal), and `{n}` / `{lo,hi}`
+    /// repetition. That covers every pattern in this workspace's tests.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_from_pattern(self, rng)
+        }
+    }
+
+    fn parse_class(chars: &[char], mut i: usize) -> (Vec<char>, usize) {
+        let mut set = Vec::new();
+        while i < chars.len() && chars[i] != ']' {
+            if chars[i] == '\\' && i + 1 < chars.len() {
+                set.push(chars[i + 1]);
+                i += 2;
+            } else if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                let (lo, hi) = (chars[i], chars[i + 2]);
+                assert!(lo <= hi, "bad range {lo}-{hi} in pattern class");
+                for c in lo..=hi {
+                    set.push(c);
+                }
+                i += 3;
+            } else {
+                set.push(chars[i]);
+                i += 1;
+            }
+        }
+        assert!(i < chars.len(), "unterminated [class] in pattern");
+        (set, i + 1) // skip ']'
+    }
+
+    fn parse_repeat(chars: &[char], i: usize) -> (usize, usize, usize) {
+        if i >= chars.len() || chars[i] != '{' {
+            return (1, 1, i);
+        }
+        let close = chars[i..]
+            .iter()
+            .position(|&c| c == '}')
+            .expect("unterminated {repeat} in pattern")
+            + i;
+        let body: String = chars[i + 1..close].iter().collect();
+        let (lo, hi) = match body.split_once(',') {
+            Some((a, b)) => (
+                a.trim().parse().expect("bad repeat lower bound"),
+                b.trim().parse().expect("bad repeat upper bound"),
+            ),
+            None => {
+                let n = body.trim().parse().expect("bad repeat count");
+                (n, n)
+            }
+        };
+        (lo, hi, close + 1)
+    }
+
+    fn generate_from_pattern(pat: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pat.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let choices = match chars[i] {
+                '[' => {
+                    let (set, next) = parse_class(&chars, i + 1);
+                    i = next;
+                    set
+                }
+                '\\' if i + 1 < chars.len() => {
+                    i += 2;
+                    vec![chars[i - 1]]
+                }
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            assert!(!choices.is_empty(), "empty character class in pattern");
+            let (lo, hi, next) = parse_repeat(&chars, i);
+            i = next;
+            let n = rng.gen_range(lo..=hi);
+            for _ in 0..n {
+                out.push(choices[rng.gen_range(0..choices.len())]);
+            }
+        }
+        out
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use std::fmt::Debug;
+
+    /// Types with a canonical full-domain strategy (`any::<T>()`).
+    pub trait Arbitrary: Sized + Debug {
+        /// The strategy type [`any`] returns.
+        type Strategy: Strategy<Value = Self>;
+        /// The full-domain strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// Strategy over every value of `T`.
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                type Strategy = std::ops::RangeInclusive<$t>;
+                fn arbitrary() -> Self::Strategy {
+                    <$t>::MIN..=<$t>::MAX
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        type Strategy = crate::bool::Weighted;
+        fn arbitrary() -> Self::Strategy {
+            crate::bool::weighted(0.5)
+        }
+    }
+
+    /// Full-domain `f64` strategy: uniform over bit patterns (includes
+    /// infinities and NaN, as the real crate's `any::<f64>()` does).
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyF64;
+
+    impl Strategy for AnyF64 {
+        type Value = f64;
+        fn generate(&self, rng: &mut super::strategy::TestRng) -> f64 {
+            f64::from_bits(rand::RngCore::next_u64(rng))
+        }
+    }
+
+    impl Arbitrary for f64 {
+        type Strategy = AnyF64;
+        fn arbitrary() -> Self::Strategy {
+            AnyF64
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Element-count specification for collection strategies.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "collection size: empty range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy yielding `Vec`s of `element` draws.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.size.lo..self.size.hi);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy yielding `BTreeMap`s; key collisions shrink the map, as
+    /// with the real crate.
+    pub struct BTreeMapStrategy<K, V> {
+        keys: K,
+        values: V,
+        size: SizeRange,
+    }
+
+    /// `BTreeMap` strategy with entry count drawn from `size`.
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        keys: K,
+        values: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy {
+            keys,
+            values,
+            size: size.into(),
+        }
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = std::collections::BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.gen_range(self.size.lo..self.size.hi);
+            (0..n)
+                .map(|_| (self.keys.generate(rng), self.values.generate(rng)))
+                .collect()
+        }
+    }
+}
+
+pub mod option {
+    use super::strategy::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy yielding `Some(inner)` with probability `p`.
+    pub struct OptionStrategy<S> {
+        inner: S,
+        p: f64,
+    }
+
+    /// `Option` strategy with the real crate's default Some-probability.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        weighted(0.5, inner)
+    }
+
+    /// `Option` strategy: `Some` with probability `p`.
+    pub fn weighted<S: Strategy>(p: f64, inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner, p }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.gen_bool(self.p) {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+pub mod bool {
+    use super::strategy::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy yielding `true` with fixed probability.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Weighted {
+        p: f64,
+    }
+
+    /// `bool` strategy: `true` with probability `p`.
+    pub fn weighted(p: f64) -> Weighted {
+        Weighted { p }
+    }
+
+    impl Strategy for Weighted {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.gen_bool(self.p)
+        }
+    }
+}
+
+pub mod test_runner {
+    use super::strategy::TestRng;
+    use rand::SeedableRng;
+    use std::fmt;
+
+    /// Runner configuration; only `cases` matters to this stand-in.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+        /// Accepted for source compatibility; shrinking is not implemented.
+        pub max_shrink_iters: u32,
+        /// Accepted for source compatibility; rejection sampling is not
+        /// implemented.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 256,
+                max_shrink_iters: 0,
+                max_global_rejects: 0,
+            }
+        }
+    }
+
+    /// Failure raised by `prop_assert!`-family macros.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// Property violated.
+        Fail(String),
+        /// Input rejected (unused by this workspace, kept for parity).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Construct a failure.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+                TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+            }
+        }
+    }
+
+    /// Deterministic case runner behind the `proptest!` macro.
+    pub struct TestRunner {
+        cases: u32,
+        name_hash: u64,
+    }
+
+    impl TestRunner {
+        /// Build a runner for the named property.
+        pub fn new(config: ProptestConfig, name: &str) -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(config.cases);
+            let mut h = 0xcbf29ce484222325u64;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            TestRunner {
+                cases,
+                name_hash: h,
+            }
+        }
+
+        /// Number of cases to run.
+        pub fn cases(&self) -> u32 {
+            self.cases
+        }
+
+        /// RNG for one case — a pure function of (test name, case index),
+        /// so any failure replays exactly on rerun.
+        pub fn rng_for_case(&self, case: u32) -> TestRng {
+            TestRng::seed_from_u64(
+                self.name_hash ^ (case as u64).wrapping_mul(0x9e3779b97f4a7c15),
+            )
+        }
+    }
+
+    /// Prints case inputs when the property body panics (since there is
+    /// no catch-and-shrink machinery, this is the failure diagnostics).
+    pub struct PanicContext {
+        desc: String,
+        armed: bool,
+    }
+
+    impl PanicContext {
+        /// Arm a context describing the current case.
+        pub fn new(desc: String) -> Self {
+            PanicContext { desc, armed: true }
+        }
+
+        /// Disarm after the case passes.
+        pub fn disarm(&mut self) {
+            self.armed = false;
+        }
+    }
+
+    impl Drop for PanicContext {
+        fn drop(&mut self) {
+            if self.armed && std::thread::panicking() {
+                eprintln!("proptest case inputs at panic: {}", self.desc);
+            }
+        }
+    }
+}
+
+/// Everything the tests `use proptest::prelude::*` for.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Run property tests: `proptest! { #![proptest_config(..)] #[test] fn p(x in s) {..} }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let runner = $crate::test_runner::TestRunner::new($cfg, stringify!($name));
+            for case in 0..runner.cases() {
+                let mut rng = runner.rng_for_case(case);
+                $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng);)+
+                let desc = format!(
+                    concat!("case ", "{}", $(": ", stringify!($arg), " = {:?}"),+),
+                    case $(, &$arg)+
+                );
+                let mut ctx = $crate::test_runner::PanicContext::new(desc.clone());
+                let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                ctx.disarm();
+                if let ::std::result::Result::Err(e) = result {
+                    panic!(
+                        "property {} failed: {}\n{}\n(offline proptest stand-in: no shrinking; case is replayed deterministically on rerun)",
+                        stringify!($name), e, desc
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// `assert!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a == b,
+            "assertion failed: {:?} != {:?}: {}",
+            a,
+            b,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// `assert_ne!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a != b,
+            "assertion failed: {:?} == {:?}: {}",
+            a,
+            b,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Weighted (or unweighted) union of strategies with one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::TestRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn strategies_compose() {
+        let mut rng = TestRng::seed_from_u64(5);
+        let s = (1u64..4, crate::collection::vec(0i64..10, 2..5))
+            .prop_map(|(n, v)| (n, v.len()))
+            .prop_flat_map(|(n, len)| (Just(n), Just(len), 0usize..len));
+        for _ in 0..200 {
+            let (n, len, i) = s.generate(&mut rng);
+            assert!((1..4).contains(&n));
+            assert!((2..5).contains(&len));
+            assert!(i < len);
+        }
+    }
+
+    #[test]
+    fn oneof_respects_weights_roughly() {
+        let mut rng = TestRng::seed_from_u64(11);
+        let s = prop_oneof![9 => Just(true), 1 => Just(false)];
+        let trues = (0..1000).filter(|_| s.generate(&mut rng)).count();
+        assert!(trues > 800, "expected ~900 trues, got {trues}");
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_case() {
+        let cfg = ProptestConfig {
+            cases: 4,
+            ..ProptestConfig::default()
+        };
+        let r1 = crate::test_runner::TestRunner::new(cfg.clone(), "p");
+        let r2 = crate::test_runner::TestRunner::new(cfg, "p");
+        use rand::Rng;
+        assert_eq!(
+            r1.rng_for_case(2).gen_range(0u64..1_000_000),
+            r2.rng_for_case(2).gen_range(0u64..1_000_000)
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_binds_args(x in 0u32..10, v in crate::collection::vec(any::<u8>(), 0..4)) {
+            prop_assert!(x < 10);
+            prop_assert!(v.len() < 4);
+            prop_assert_eq!(x, x, "reflexivity for {}", x);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! This workspace only uses serde as a derive marker (`#[derive(Serialize,
+//! Deserialize)]`) plus one `serde_json::to_vec_pretty` call in the bench
+//! repro binary. The stand-in therefore makes `Serialize`/`Deserialize`
+//! marker traits that every type satisfies, and the companion
+//! `serde_derive` macros expand to nothing. No actual data-format
+//! machinery exists here; `serde_json`'s stand-in renders via `Debug`.
+
+/// Marker trait: "this type can be serialized". Blanket-satisfied.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait: "this type can be deserialized". Blanket-satisfied.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Owned-deserialization marker, mirroring `serde::de::DeserializeOwned`.
+pub mod de {
+    /// Marker for types deserializable without borrowing input.
+    pub trait DeserializeOwned: for<'de> super::Deserialize<'de> {}
+    impl<T: for<'de> super::Deserialize<'de>> DeserializeOwned for T {}
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

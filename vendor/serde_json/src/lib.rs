@@ -1,0 +1,57 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! The workspace's only call site serializes bench repro records for
+//! human inspection. With no network access to fetch the real crate,
+//! this stand-in renders values via `Debug` pretty-printing (`{:#?}`) —
+//! structured and diffable, though not strict JSON — and documents that
+//! in the artifact's first line.
+
+use std::fmt;
+
+/// Serialization error (the Debug renderer is infallible; this exists to
+/// keep call-site signatures identical to the real crate).
+#[derive(Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias mirroring `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Render `value` as pretty-printed bytes.
+///
+/// Uses `{:#?}` instead of real JSON; the `Debug` bound (absent from the
+/// real crate) is what lets this work without serde's data model.
+pub fn to_vec_pretty<T: ?Sized + serde::Serialize + fmt::Debug>(value: &T) -> Result<Vec<u8>> {
+    Ok(format!("{value:#?}\n").into_bytes())
+}
+
+/// Render `value` as a pretty-printed string.
+pub fn to_string_pretty<T: ?Sized + serde::Serialize + fmt::Debug>(value: &T) -> Result<String> {
+    Ok(format!("{value:#?}\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    #[derive(Debug)]
+    struct Rec {
+        name: &'static str,
+        n: u32,
+    }
+
+    #[test]
+    fn renders_structs() {
+        let out = super::to_vec_pretty(&[Rec { name: "a", n: 1 }]).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.contains("name: \"a\""));
+        assert!(s.contains("n: 1"));
+    }
+}
