@@ -4,8 +4,8 @@
 //! every iteration (instrumentation must not drift under load).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use gt_bench::{bench_campaign, rmat_bench_setup};
 use graphtrek::prelude::*;
+use gt_bench::{bench_campaign, rmat_bench_setup};
 
 fn bench_fig7(c: &mut Criterion) {
     let n_servers = *bench_campaign().servers.last().unwrap();

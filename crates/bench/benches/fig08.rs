@@ -2,8 +2,8 @@
 //! reduced Criterion scale (the `repro` binary runs the full sweep).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use gt_bench::{bench_campaign, rmat_bench_setup};
 use graphtrek::prelude::*;
+use gt_bench::{bench_campaign, rmat_bench_setup};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig08_2step");

@@ -2,8 +2,8 @@
 //! on a burst of vertex accesses at steps 1/3/7), Sync-GT vs GraphTrek.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use gt_bench::{bench_campaign, fig11_faults, rmat_bench_setup};
 use graphtrek::prelude::*;
+use gt_bench::{bench_campaign, fig11_faults, rmat_bench_setup};
 
 fn bench_fig11(c: &mut Criterion) {
     let campaign = bench_campaign();

@@ -5,19 +5,18 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use graphtrek::cache::TraversalCache;
-use graphtrek::queue::{FifoQueue, MergingQueue, ReqMode, RequestQueue, RequestState, WorkItem};
 use graphtrek::prelude::*;
+use graphtrek::queue::{FifoQueue, MergingQueue, ReqMode, RequestQueue, RequestState, WorkItem};
 use gt_graph::{EdgeCutPartitioner, GraphPartition, VertexId};
 use gt_kvstore::{IoProfile, Store, StoreConfig};
 use std::sync::atomic::AtomicUsize;
 use std::sync::Arc;
+use std::time::Instant;
 
 fn storage_partition() -> (GraphPartition, std::path::PathBuf) {
     let dir = std::env::temp_dir().join(format!("gt-micro-{}", std::process::id()));
     std::fs::remove_dir_all(&dir).ok();
-    let store = Arc::new(
-        Store::open(StoreConfig::new(&dir).io(IoProfile::free())).unwrap(),
-    );
+    let store = Arc::new(Store::open(StoreConfig::new(&dir).io(IoProfile::free())).unwrap());
     let p = GraphPartition::open(store).unwrap();
     let g = gt_rmat::generate(&gt_rmat::RmatConfig {
         scale: 10,
@@ -55,7 +54,7 @@ fn bench_storage(c: &mut Criterion) {
 fn bench_cache(c: &mut Criterion) {
     let mut group = c.benchmark_group("micro_traversal_cache");
     group.bench_function("observe_miss_then_hit", |b| {
-        let cache = TraversalCache::new(1 << 16);
+        let cache = TraversalCache::new(1 << 16, 0);
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
@@ -93,6 +92,7 @@ fn bench_queues(c: &mut Criterion) {
                 depth: 1,
                 tokens: vec![],
                 req: r.clone(),
+                enqueued_at: Instant::now(),
             }]);
             std::hint::black_box(q.pop());
         })
@@ -110,12 +110,14 @@ fn bench_queues(c: &mut Criterion) {
                     depth: 1,
                     tokens: vec![],
                     req: r1.clone(),
+                    enqueued_at: Instant::now(),
                 },
                 WorkItem {
                     vertex: VertexId(i),
                     depth: 2,
                     tokens: vec![],
                     req: r2.clone(),
+                    enqueued_at: Instant::now(),
                 },
             ]);
             std::hint::black_box(q.pop());

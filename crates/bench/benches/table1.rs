@@ -2,8 +2,8 @@
 //! at reduced Criterion scale (the `repro` binary runs the full sweep).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use gt_bench::{bench_campaign, rmat_bench_setup};
 use graphtrek::prelude::*;
+use gt_bench::{bench_campaign, rmat_bench_setup};
 
 fn bench_table1(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1_8step");

@@ -2,8 +2,8 @@
 //! metadata graph, all three engines.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use gt_bench::{bench_campaign, darshan_bench_setup};
 use graphtrek::prelude::*;
+use gt_bench::{bench_campaign, darshan_bench_setup};
 
 fn bench_table3(c: &mut Criterion) {
     let n_servers = *bench_campaign().servers.last().unwrap();

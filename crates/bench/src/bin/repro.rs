@@ -69,10 +69,12 @@ fn main() {
         i += 1;
     }
     if experiments.is_empty() || experiments.iter().any(|e| e == "all") {
-        experiments = ["table1", "fig7", "fig8", "fig9", "fig10", "fig11", "table2", "table3", "ablation"]
-            .into_iter()
-            .map(String::from)
-            .collect();
+        experiments = [
+            "table1", "fig7", "fig8", "fig9", "fig10", "fig11", "table2", "table3", "ablation",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect();
     }
     std::fs::create_dir_all(&out_dir).ok();
     println!(
@@ -125,7 +127,8 @@ fn rmat_sweep(
     let q = rmat_query(&rmat, steps, 42);
     let mut records = Vec::new();
     for &n in &campaign.servers {
-        let loaded = LoadedCluster::load(&g, n, &scratch(&format!("{experiment}-{n}")), campaign.io);
+        let loaded =
+            LoadedCluster::load(&g, n, &scratch(&format!("{experiment}-{n}")), campaign.io);
         for &kind in engines {
             if kind == EngineKind::AsyncPlain && n > campaign.async_max_servers {
                 println!(
@@ -140,7 +143,16 @@ fn rmat_sweep(
             } else {
                 FaultPlan::none()
             };
-            let rec = measure(experiment, &loaded, kind, &q, steps, campaign, faults, |e| e);
+            let rec = measure(
+                experiment,
+                &loaded,
+                kind,
+                &q,
+                steps,
+                campaign,
+                faults,
+                |e| e,
+            );
             println!(
                 "  {:<10} {:>2} servers: {:>10.1} ms  (|result|={}, real={}, combined={}, redundant={})",
                 rec.engine,
@@ -210,7 +222,16 @@ fn fig7(campaign: &Campaign, out_dir: &std::path::Path) {
     let g = gt_rmat::generate(&rmat);
     let q = rmat_query(&rmat, 8, 42);
     let loaded = LoadedCluster::load(&g, n, &scratch("fig7"), campaign.io);
-    let rec = measure("fig7", &loaded, EngineKind::GraphTrek, &q, 8, campaign, FaultPlan::none(), |e| e);
+    let rec = measure(
+        "fig7",
+        &loaded,
+        EngineKind::GraphTrek,
+        &q,
+        8,
+        campaign,
+        FaultPlan::none(),
+        |e| e,
+    );
     loaded.cleanup();
     // Servers reordered for presentation, exactly like the paper's figure:
     // descending by combined visits so the "slow, high-degree" servers
@@ -298,7 +319,10 @@ fn fig11(campaign: &Campaign, out_dir: &std::path::Path) {
     }
     for (n, row) in &by_server {
         if let (Some(sync), Some(gt)) = (row.get("Sync-GT"), row.get("GraphTrek")) {
-            println!("  {n:>2} servers: speedup = {:.2}x (paper: ~2x at 32)", sync / gt);
+            println!(
+                "  {n:>2} servers: speedup = {:.2}x (paper: ~2x at 32)",
+                sync / gt
+            );
         }
     }
     save(out_dir, "fig11", &records);
@@ -357,7 +381,16 @@ fn table3(campaign: &Campaign, out_dir: &std::path::Path) {
     let loaded = LoadedCluster::load(&d.graph, n, &scratch("table3"), campaign.io);
     let mut records = Vec::new();
     for kind in EngineKind::all() {
-        let rec = measure("table3", &loaded, kind, &q, 5, campaign, FaultPlan::none(), |e| e);
+        let rec = measure(
+            "table3",
+            &loaded,
+            kind,
+            &q,
+            5,
+            campaign,
+            FaultPlan::none(),
+            |e| e,
+        );
         println!(
             "  {:<10} {:>10.1} ms  (|result|={})",
             rec.engine, rec.mean_ms, rec.result_vertices
@@ -398,15 +431,24 @@ fn ablation(campaign: &Campaign, out_dir: &std::path::Path) {
     let mut records = Vec::new();
     println!("  ({n} servers)");
     for (label, kind, cache, merge) in variants {
-        let rec = measure("ablation", &loaded, kind, &q, 8, campaign, FaultPlan::none(), |mut e| {
-            if let Some(c) = cache {
-                e = e.force_cache(c);
-            }
-            if let Some(m) = merge {
-                e = e.force_merging_queue(m);
-            }
-            e
-        });
+        let rec = measure(
+            "ablation",
+            &loaded,
+            kind,
+            &q,
+            8,
+            campaign,
+            FaultPlan::none(),
+            |mut e| {
+                if let Some(c) = cache {
+                    e = e.force_cache(c);
+                }
+                if let Some(m) = merge {
+                    e = e.force_merging_queue(m);
+                }
+                e
+            },
+        );
         println!(
             "  {label:<18} {:>10.1} ms  (real={}, combined={}, redundant={})",
             rec.mean_ms, rec.totals.real_io, rec.totals.combined, rec.totals.redundant

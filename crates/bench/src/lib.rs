@@ -180,14 +180,18 @@ impl LoadedCluster {
                 auto_compact_segments: 0,
             };
             let store = Arc::new(Store::open(scfg).expect("open store"));
-            partitions.push(Arc::new(GraphPartition::open(store).expect("open partition")));
+            partitions.push(Arc::new(
+                GraphPartition::open(store).expect("open partition"),
+            ));
         }
         for (sid, part) in partitions.iter().enumerate() {
             let verts = graph
                 .iter_vertices()
                 .filter(|v| partitioner.owner(v.id) == sid)
                 .cloned();
-            let edges = graph.iter_edges().filter(|e| partitioner.owner(e.src) == sid);
+            let edges = graph
+                .iter_edges()
+                .filter(|e| partitioner.owner(e.src) == sid);
             part.load(verts, edges).expect("load shard");
         }
         for p in &partitions {
@@ -233,12 +237,9 @@ pub fn measure(
             .net(campaign.net)
             .faults(faults),
     );
-    let cluster = graphtrek::Cluster::from_partitions(
-        loaded.partitions.clone(),
-        loaded.partitioner,
-        ecfg,
-    )
-    .expect("cluster");
+    let cluster =
+        graphtrek::Cluster::from_partitions(loaded.partitions.clone(), loaded.partitioner, ecfg)
+            .expect("cluster");
     let mut samples = Vec::with_capacity(campaign.repeats);
     let mut result_vertices = 0usize;
     for _ in 0..campaign.repeats {

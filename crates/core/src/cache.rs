@@ -45,6 +45,11 @@ struct TravelEntries {
 pub struct TraversalCache {
     inner: Mutex<HashMap<TravelId, TravelEntries>>,
     capacity: usize,
+    /// Per-travel reserved floor: cross-travel eviction never shrinks a
+    /// travel below this many triples, so one travel's flood cannot
+    /// destroy a co-runner's working set. The capacity is soft — when
+    /// nothing is evictable the cache briefly overflows instead.
+    reserve_floor: usize,
     len: std::sync::atomic::AtomicUsize,
 }
 
@@ -61,10 +66,13 @@ impl TraversalCache {
     /// Create a cache bounded to `capacity` triples. Zero capacity
     /// disables caching (every request reports [`CacheDecision::FirstVisit`]),
     /// which is how the plain Async-GT configuration runs.
-    pub fn new(capacity: usize) -> Self {
+    /// `reserve_floor` is the per-travel triple count the cross-travel
+    /// eviction pass must leave in place (`0` = no reservation).
+    pub fn new(capacity: usize, reserve_floor: usize) -> Self {
         TraversalCache {
             inner: Mutex::new(HashMap::new()),
             capacity,
+            reserve_floor,
             len: std::sync::atomic::AtomicUsize::new(0),
         }
     }
@@ -131,16 +139,19 @@ impl TraversalCache {
                 to_remove -= 1;
             }
         }
-        // Pass 2: other travels' smallest steps.
+        // Pass 2: other travels' smallest steps — but never below the
+        // per-travel reserved floor, so a co-runner keeps the working set
+        // it needs to kill its own redundant visits. If every other
+        // travel sits at its floor, the cache soft-overflows instead.
         if to_remove > 0 {
             let travels: Vec<TravelId> = map
                 .iter()
-                .filter(|(t, e)| **t != inserted_travel && !e.entries.is_empty())
+                .filter(|(t, e)| **t != inserted_travel && e.entries.len() > self.reserve_floor)
                 .map(|(t, _)| *t)
                 .collect();
             'outer: for t in travels {
                 if let Some(te) = map.get_mut(&t) {
-                    while to_remove > 0 {
+                    while to_remove > 0 && te.entries.len() > self.reserve_floor {
                         match te.entries.keys().next().copied() {
                             Some(k) => {
                                 te.entries.remove(&k);
@@ -149,7 +160,9 @@ impl TraversalCache {
                             None => continue 'outer,
                         }
                     }
-                    break;
+                    if to_remove == 0 {
+                        break;
+                    }
                 }
             }
         }
@@ -188,7 +201,7 @@ mod tests {
 
     #[test]
     fn first_then_redundant() {
-        let c = TraversalCache::new(100);
+        let c = TraversalCache::new(100, 0);
         let v = VertexId(5);
         assert_eq!(c.observe(1, 2, v, &vec![]), CacheDecision::FirstVisit);
         assert_eq!(c.observe(1, 2, v, &vec![]), CacheDecision::Redundant);
@@ -200,14 +213,17 @@ mod tests {
 
     #[test]
     fn new_tokens_are_reported_once() {
-        let c = TraversalCache::new(100);
+        let c = TraversalCache::new(100, 0);
         let v = VertexId(5);
         assert_eq!(
             c.observe(1, 1, v, &vec![tok(0, 1)]),
             CacheDecision::FirstVisit
         );
         // Same token again: redundant.
-        assert_eq!(c.observe(1, 1, v, &vec![tok(0, 1)]), CacheDecision::Redundant);
+        assert_eq!(
+            c.observe(1, 1, v, &vec![tok(0, 1)]),
+            CacheDecision::Redundant
+        );
         // A new token must be propagated…
         assert_eq!(
             c.observe(1, 1, v, &vec![tok(0, 1), tok(2, 9)]),
@@ -222,15 +238,21 @@ mod tests {
 
     #[test]
     fn zero_capacity_disables() {
-        let c = TraversalCache::new(0);
-        assert_eq!(c.observe(1, 1, VertexId(1), &vec![]), CacheDecision::FirstVisit);
-        assert_eq!(c.observe(1, 1, VertexId(1), &vec![]), CacheDecision::FirstVisit);
+        let c = TraversalCache::new(0, 0);
+        assert_eq!(
+            c.observe(1, 1, VertexId(1), &vec![]),
+            CacheDecision::FirstVisit
+        );
+        assert_eq!(
+            c.observe(1, 1, VertexId(1), &vec![]),
+            CacheDecision::FirstVisit
+        );
         assert!(c.is_empty());
     }
 
     #[test]
     fn eviction_drops_smallest_steps_first() {
-        let c = TraversalCache::new(4);
+        let c = TraversalCache::new(4, 0);
         for step in 1..=4u16 {
             c.observe(7, step, VertexId(step as u64), &vec![]);
         }
@@ -244,30 +266,76 @@ mod tests {
             "smallest step must have been evicted"
         );
         // Highest steps survive. (Step 5's entry is still present.)
-        assert_eq!(c.observe(7, 5, VertexId(5), &vec![]), CacheDecision::Redundant);
+        assert_eq!(
+            c.observe(7, 5, VertexId(5), &vec![]),
+            CacheDecision::Redundant
+        );
     }
 
     #[test]
     fn eviction_can_reach_other_travels() {
-        let c = TraversalCache::new(2);
+        let c = TraversalCache::new(2, 0);
         c.observe(1, 9, VertexId(1), &vec![]);
         c.observe(1, 9, VertexId(2), &vec![]);
         // Travel 2's first insert overflows; travel 2 has nothing except
         // the inserted key, so travel 1 loses an entry.
         c.observe(2, 1, VertexId(3), &vec![]);
         assert_eq!(c.len(), 2);
-        assert_eq!(c.observe(2, 1, VertexId(3), &vec![]), CacheDecision::Redundant);
+        assert_eq!(
+            c.observe(2, 1, VertexId(3), &vec![]),
+            CacheDecision::Redundant
+        );
+    }
+
+    #[test]
+    fn reserve_floor_protects_co_runner() {
+        // Travel 1 holds 3 triples; travel 2 floods. With a floor of 3,
+        // travel 2's inserts must first eat their own tail and never
+        // shrink travel 1.
+        let c = TraversalCache::new(6, 3);
+        for i in 0..3u64 {
+            c.observe(1, 5, VertexId(i), &vec![]);
+        }
+        for i in 10..20u64 {
+            c.observe(2, 1, VertexId(i), &vec![]);
+        }
+        for i in 0..3u64 {
+            assert_eq!(
+                c.observe(1, 5, VertexId(i), &vec![]),
+                CacheDecision::Redundant,
+                "travel 1's working set must survive travel 2's flood"
+            );
+        }
+    }
+
+    #[test]
+    fn reserve_floor_soft_overflows_when_nothing_evictable() {
+        // Both travels at their floor: an insert has nothing to evict
+        // (pass 1 can't touch the inserted key, pass 2 is floored), so
+        // the cache overflows rather than corrupting a working set.
+        let c = TraversalCache::new(2, 2);
+        c.observe(1, 1, VertexId(1), &vec![]);
+        c.observe(1, 1, VertexId(2), &vec![]);
+        c.observe(2, 1, VertexId(3), &vec![]);
+        assert!(c.len() >= 2, "soft capacity: no eviction possible");
+        assert_eq!(
+            c.observe(1, 1, VertexId(1), &vec![]),
+            CacheDecision::Redundant
+        );
     }
 
     #[test]
     fn forget_travel_releases_capacity() {
-        let c = TraversalCache::new(10);
+        let c = TraversalCache::new(10, 0);
         for i in 0..5u64 {
             c.observe(3, 1, VertexId(i), &vec![]);
         }
         assert_eq!(c.len(), 5);
         c.forget_travel(3);
         assert!(c.is_empty());
-        assert_eq!(c.observe(3, 1, VertexId(0), &vec![]), CacheDecision::FirstVisit);
+        assert_eq!(
+            c.observe(3, 1, VertexId(0), &vec![]),
+            CacheDecision::FirstVisit
+        );
     }
 }

@@ -18,7 +18,7 @@
 use crate::engine::{EngineConfig, EngineKind};
 use crate::lang::{GTravel, LangError, Plan};
 use crate::message::{Msg, ProgressSnapshot, TravelOutcome};
-use crate::metrics::MetricsSnapshot;
+use crate::metrics::{MetricsSnapshot, TravelMetrics};
 use crate::server::{spawn, ServerArgs, ServerHandle};
 use crate::TravelId;
 use gt_graph::storage::load_partitioned;
@@ -26,7 +26,7 @@ use gt_graph::{EdgeCutPartitioner, GraphPartition, InMemoryGraph, VertexId};
 use gt_kvstore::{IoProfile, Store, StoreConfig};
 use gt_net::{Endpoint, Fabric, NetConfig, RecvError};
 use parking_lot::Mutex;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -133,6 +133,9 @@ pub struct TravelResult {
     pub progress: ProgressSnapshot,
     /// How many times the traversal was restarted after a timeout.
     pub restarts: u32,
+    /// Time spent in the client-side admission queue before the travel
+    /// was dispatched (zero when admitted immediately).
+    pub admit_wait: Duration,
 }
 
 impl TravelResult {
@@ -147,6 +150,7 @@ impl TravelResult {
             elapsed,
             progress: outcome.progress,
             restarts,
+            admit_wait: Duration::ZERO,
         }
     }
 }
@@ -160,6 +164,35 @@ pub struct Ticket {
     restarts: u32,
 }
 
+impl Ticket {
+    /// The travel id this ticket tracks.
+    pub fn travel(&self) -> TravelId {
+        self.travel
+    }
+}
+
+/// A submission parked in the client-side admission queue.
+struct Pending {
+    travel: TravelId,
+    coordinator: usize,
+    plan: Arc<Plan>,
+}
+
+/// Cap on completed-travel admission timestamps retained for tickets
+/// whose `wait()` never happens.
+const MAX_ADMIT_TIMES: usize = 4096;
+
+/// Client-side admission control (engine knob `max_concurrent_travels`):
+/// travels beyond the limit queue FIFO and are dispatched as slots free.
+#[derive(Default)]
+struct Admission {
+    in_flight: BTreeSet<TravelId>,
+    pending: VecDeque<Pending>,
+    /// travel → (submitted, admitted). `admitted` is `None` while the
+    /// travel waits in `pending`.
+    times: BTreeMap<TravelId, (Instant, Option<Instant>)>,
+}
+
 /// A running simulated cluster plus its client endpoint.
 pub struct Cluster {
     servers: Vec<ServerHandle>,
@@ -168,8 +201,11 @@ pub struct Cluster {
     partitioner: EdgeCutPartitioner,
     engine: EngineConfig,
     travel_ctr: AtomicU64,
-    /// Messages received while waiting for something else.
-    mailbox: Mutex<VecDeque<(TravelId, Msg)>>,
+    /// Messages received while waiting for something else, with their
+    /// receive times (so a stashed completion's latency is not inflated
+    /// by however long the client took to come back and `wait`).
+    mailbox: Mutex<VecDeque<(TravelId, Msg, Instant)>>,
+    admission: Mutex<Admission>,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -210,7 +246,11 @@ impl Cluster {
                 p.seal_cold()?;
             }
         }
-        Self::from_partitions(partitions.into_iter().map(Arc::new).collect(), partitioner, ecfg)
+        Self::from_partitions(
+            partitions.into_iter().map(Arc::new).collect(),
+            partitioner,
+            ecfg,
+        )
     }
 
     /// Spawn servers over already-loaded partitions (used to rebuild a
@@ -226,9 +266,7 @@ impl Cluster {
         let (fabric, mut endpoints) = Fabric::new(n + 1, ecfg.net);
         let client = endpoints.pop().expect("client endpoint");
         let mut servers = Vec::with_capacity(n);
-        for (id, (partition, endpoint)) in
-            partitions.into_iter().zip(endpoints.into_iter()).enumerate()
-        {
+        for (id, (partition, endpoint)) in partitions.into_iter().zip(endpoints).enumerate() {
             servers.push(spawn(ServerArgs {
                 id,
                 n_servers: n,
@@ -246,6 +284,7 @@ impl Cluster {
             engine: ecfg,
             travel_ctr: AtomicU64::new(1),
             mailbox: Mutex::new(VecDeque::new()),
+            admission: Mutex::new(Admission::default()),
         })
     }
 
@@ -272,6 +311,46 @@ impl Cluster {
     fn start_plan(&self, plan: Arc<Plan>) -> Result<Ticket, ClusterError> {
         let travel = self.travel_ctr.fetch_add(1, Ordering::Relaxed);
         let coordinator = (travel as usize) % self.servers.len();
+        let limit = self.engine.max_concurrent_travels;
+        let now = Instant::now();
+        let admit_now = {
+            let mut adm = self.admission.lock();
+            adm.times.insert(travel, (now, None));
+            while adm.times.len() > MAX_ADMIT_TIMES {
+                adm.times.pop_first();
+            }
+            if limit == 0 || adm.in_flight.len() < limit {
+                adm.in_flight.insert(travel);
+                if let Some(t) = adm.times.get_mut(&travel) {
+                    t.1 = Some(now);
+                }
+                true
+            } else {
+                adm.pending.push_back(Pending {
+                    travel,
+                    coordinator,
+                    plan: plan.clone(),
+                });
+                false
+            }
+        };
+        if admit_now {
+            self.dispatch_submit(travel, coordinator, plan)?;
+        }
+        Ok(Ticket {
+            travel,
+            coordinator,
+            started: now,
+            restarts: 0,
+        })
+    }
+
+    fn dispatch_submit(
+        &self,
+        travel: TravelId,
+        coordinator: usize,
+        plan: Arc<Plan>,
+    ) -> Result<(), ClusterError> {
         self.client
             .send(
                 coordinator,
@@ -281,19 +360,56 @@ impl Cluster {
                     client: self.client.id(),
                 },
             )
-            .map_err(|_| ClusterError::Disconnected)?;
-        Ok(Ticket {
-            travel,
-            coordinator,
-            started: Instant::now(),
-            restarts: 0,
-        })
+            .map_err(|_| ClusterError::Disconnected)
+    }
+
+    /// Release a travel's admission slot and dispatch queued submissions
+    /// into the freed capacity. Called on every observed completion and
+    /// on abandoning a travel (timeout restart, cancellation).
+    fn release_slot(&self, travel: TravelId) {
+        let limit = self.engine.max_concurrent_travels;
+        let mut to_send = Vec::new();
+        {
+            let mut adm = self.admission.lock();
+            adm.in_flight.remove(&travel);
+            if let Some(pos) = adm.pending.iter().position(|p| p.travel == travel) {
+                adm.pending.remove(pos);
+            }
+            while limit == 0 || adm.in_flight.len() < limit {
+                match adm.pending.pop_front() {
+                    Some(p) => {
+                        adm.in_flight.insert(p.travel);
+                        if let Some(t) = adm.times.get_mut(&p.travel) {
+                            t.1 = Some(Instant::now());
+                        }
+                        to_send.push(p);
+                    }
+                    None => break,
+                }
+            }
+        }
+        for p in to_send {
+            let _ = self.dispatch_submit(p.travel, p.coordinator, p.plan);
+        }
+    }
+
+    /// Travels currently admitted and not yet observed complete. Useful
+    /// for asserting no ticket leaks after a multi-tenant run.
+    pub fn active_travels(&self) -> usize {
+        self.admission.lock().in_flight.len()
+    }
+
+    /// Travels parked in the admission queue.
+    pub fn pending_travels(&self) -> usize {
+        self.admission.lock().pending.len()
     }
 
     /// Stash-key of a client-bound message (travel id or request id).
     fn msg_key(msg: &Msg) -> Option<u64> {
         match msg {
-            Msg::TravelDone { travel, .. } | Msg::ProgressReport { travel, .. } => Some(*travel),
+            Msg::TravelDone { travel, .. }
+            | Msg::ProgressReport { travel, .. }
+            | Msg::CancelAck { travel, .. } => Some(*travel),
             Msg::IngestAck { req, .. } | Msg::VertexReply { req, .. } => Some(*req),
             _ => None,
         }
@@ -301,31 +417,44 @@ impl Cluster {
 
     /// Wait for the first client-bound message with `key` matching
     /// `want`, stashing every other client-bound message so concurrent
-    /// waiters on other keys still see theirs.
+    /// waiters on other keys still see theirs. Returns the message and
+    /// the instant it was received from the fabric.
     fn await_client_msg(
         &self,
         key: u64,
         want: impl Fn(&Msg) -> bool,
         deadline: Instant,
-    ) -> Result<Msg, ClusterError> {
+    ) -> Result<(Msg, Instant), ClusterError> {
         loop {
             {
                 let mut mb = self.mailbox.lock();
-                if let Some(pos) = mb.iter().position(|(k, m)| *k == key && want(m)) {
-                    return Ok(mb.remove(pos).unwrap().1);
+                if let Some(pos) = mb.iter().position(|(k, m, _)| *k == key && want(m)) {
+                    let (_, msg, at) = mb.remove(pos).unwrap();
+                    return Ok((msg, at));
                 }
             }
             let left = deadline.saturating_duration_since(Instant::now());
             if left.is_zero() {
                 return Err(ClusterError::TimedOut(1));
             }
-            match self.client.recv_timeout(left.min(Duration::from_millis(25))) {
+            match self
+                .client
+                .recv_timeout(left.min(Duration::from_millis(25)))
+            {
                 Ok(env) => {
+                    let received = Instant::now();
+                    // Every observed completion frees an admission slot,
+                    // regardless of which travel this waiter is after —
+                    // queued submissions make progress even while the
+                    // client blocks on a different travel.
+                    if let Msg::TravelDone { travel, .. } = &env.msg {
+                        self.release_slot(*travel);
+                    }
                     if Self::msg_key(&env.msg) == Some(key) && want(&env.msg) {
-                        return Ok(env.msg);
+                        return Ok((env.msg, received));
                     }
                     if let Some(k) = Self::msg_key(&env.msg) {
-                        self.mailbox.lock().push_back((k, env.msg));
+                        self.mailbox.lock().push_back((k, env.msg, received));
                     }
                 }
                 Err(RecvError::Timeout) => continue,
@@ -342,15 +471,67 @@ impl Cluster {
             |m| matches!(m, Msg::TravelDone { .. }),
             deadline,
         ) {
-            Ok(Msg::TravelDone { outcome, .. }) => Ok(TravelResult::from_outcome(
-                outcome,
-                ticket.started.elapsed(),
-                ticket.restarts,
-            )),
+            Ok((Msg::TravelDone { outcome, .. }, received)) => {
+                let mut r = TravelResult::from_outcome(
+                    outcome,
+                    received.saturating_duration_since(ticket.started),
+                    ticket.restarts,
+                );
+                if let Some((submitted, admitted)) =
+                    self.admission.lock().times.remove(&ticket.travel)
+                {
+                    r.admit_wait = admitted
+                        .map(|a| a.saturating_duration_since(submitted))
+                        .unwrap_or_default();
+                }
+                Ok(r)
+            }
             Ok(_) => unreachable!("matcher only admits TravelDone"),
             Err(ClusterError::TimedOut(_)) => Err(ClusterError::TimedOut(ticket.restarts + 1)),
             Err(e) => Err(e),
         }
+    }
+
+    /// Cancel a started traversal cluster-wide.
+    ///
+    /// If the travel is still parked in the admission queue it is simply
+    /// removed and `Ok(false)` is returned ("never started"). Otherwise a
+    /// [`Msg::Cancel`] is broadcast; every server aborts the travel's
+    /// executions, drops its scheduling-queue entries and cache
+    /// partition, marks the id retired (so stray in-flight requests are
+    /// ignored), and acknowledges. Once all servers have acknowledged the
+    /// admission slot is released and `Ok(true)` is returned.
+    pub fn cancel(&self, ticket: &Ticket) -> Result<bool, ClusterError> {
+        let travel = ticket.travel;
+        {
+            let mut adm = self.admission.lock();
+            if let Some(pos) = adm.pending.iter().position(|p| p.travel == travel) {
+                adm.pending.remove(pos);
+                adm.times.remove(&travel);
+                return Ok(false);
+            }
+        }
+        for s in 0..self.servers.len() {
+            self.client
+                .send(
+                    s,
+                    Msg::Cancel {
+                        travel,
+                        client: self.client.id(),
+                    },
+                )
+                .map_err(|_| ClusterError::Disconnected)?;
+        }
+        let deadline = Instant::now() + Duration::from_secs(30);
+        for _ in 0..self.servers.len() {
+            self.await_client_msg(travel, |m| matches!(m, Msg::CancelAck { .. }), deadline)?;
+        }
+        self.release_slot(travel);
+        self.admission.lock().times.remove(&travel);
+        // A completion may have raced the cancellation; drop any stashed
+        // messages for this travel so later waiters can't see them.
+        self.mailbox.lock().retain(|(k, _, _)| *k != travel);
+        Ok(true)
     }
 
     /// Query the coordinator's progress estimate for an in-flight travel
@@ -365,11 +546,14 @@ impl Cluster {
                 },
             )
             .map_err(|_| ClusterError::Disconnected)?;
-        match self.await_client_msg(
-            ticket.travel,
-            |m| matches!(m, Msg::ProgressReport { .. }),
-            Instant::now() + Duration::from_secs(10),
-        )? {
+        match self
+            .await_client_msg(
+                ticket.travel,
+                |m| matches!(m, Msg::ProgressReport { .. }),
+                Instant::now() + Duration::from_secs(10),
+            )?
+            .0
+        {
             Msg::ProgressReport { snapshot, .. } => Ok(snapshot),
             _ => unreachable!("matcher only admits ProgressReport"),
         }
@@ -416,7 +600,10 @@ impl Cluster {
         let deadline = Instant::now() + Duration::from_secs(60);
         let mut applied = 0usize;
         for req in pending {
-            match self.await_client_msg(req, |m| matches!(m, Msg::IngestAck { .. }), deadline)? {
+            match self
+                .await_client_msg(req, |m| matches!(m, Msg::IngestAck { .. }), deadline)?
+                .0
+            {
                 Msg::IngestAck { applied: a, .. } => applied += a,
                 _ => unreachable!("matcher only admits IngestAck"),
             }
@@ -439,11 +626,14 @@ impl Cluster {
                 },
             )
             .map_err(|_| ClusterError::Disconnected)?;
-        match self.await_client_msg(
-            req,
-            |m| matches!(m, Msg::VertexReply { .. }),
-            Instant::now() + Duration::from_secs(30),
-        )? {
+        match self
+            .await_client_msg(
+                req,
+                |m| matches!(m, Msg::VertexReply { .. }),
+                Instant::now() + Duration::from_secs(30),
+            )?
+            .0
+        {
             Msg::VertexReply { vertex, .. } => Ok(vertex.map(|b| *b)),
             _ => unreachable!("matcher only admits VertexReply"),
         }
@@ -478,8 +668,18 @@ impl Cluster {
                 Err(ClusterError::TimedOut(_)) if attempts < max_restarts => {
                     // Abort everywhere, then retry with a fresh travel id.
                     for s in 0..self.servers.len() {
-                        let _ = self.client.send(s, Msg::Abort { travel: ticket.travel });
+                        let _ = self.client.send(
+                            s,
+                            Msg::Abort {
+                                travel: ticket.travel,
+                            },
+                        );
                     }
+                    // The abandoned travel will never report done: free
+                    // its admission slot so the retry (and any queued
+                    // co-tenants) can run.
+                    self.release_slot(ticket.travel);
+                    self.admission.lock().times.remove(&ticket.travel);
                     attempts += 1;
                 }
                 Err(e) => return Err(e),
@@ -492,6 +692,27 @@ impl Cluster {
         self.servers.iter().map(|s| s.metrics.snapshot()).collect()
     }
 
+    /// One travel's counters aggregated across every server (concurrent
+    /// multi-tenant accounting: I/O splits, queue residency).
+    pub fn travel_metrics(&self, ticket: &Ticket) -> TravelMetrics {
+        let mut agg = TravelMetrics::default();
+        for s in &self.servers {
+            agg.merge(&s.metrics.travel_snapshot(ticket.travel));
+        }
+        agg
+    }
+
+    /// Counters for every tracked travel, aggregated across servers.
+    pub fn all_travel_metrics(&self) -> BTreeMap<TravelId, TravelMetrics> {
+        let mut out: BTreeMap<TravelId, TravelMetrics> = BTreeMap::new();
+        for s in &self.servers {
+            for (t, m) in s.metrics.travel_snapshots() {
+                out.entry(t).or_default().merge(&m);
+            }
+        }
+        out
+    }
+
     /// Zero every server's counters (between experiment runs).
     pub fn reset_metrics(&self) {
         for s in &self.servers {
@@ -501,7 +722,10 @@ impl Cluster {
 
     /// Per-server storage I/O statistics.
     pub fn io_stats(&self) -> Vec<gt_kvstore::iomodel::IoStatsSnapshot> {
-        self.servers.iter().map(|s| s.partition.io_stats()).collect()
+        self.servers
+            .iter()
+            .map(|s| s.partition.io_stats())
+            .collect()
     }
 
     /// Drop every server's block cache (cold-start between runs).

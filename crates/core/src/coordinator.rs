@@ -360,14 +360,23 @@ mod tests {
     fn results_dedup_per_depth() {
         // Plan with rtn() at depth 1 and 2 so both depths are returned.
         let p = Arc::new(
-            GTravel::v([1u64]).e("a").rtn().e("b").rtn().compile().unwrap(),
+            GTravel::v([1u64])
+                .e("a")
+                .rtn()
+                .e("b")
+                .rtn()
+                .compile()
+                .unwrap(),
         );
         let mut l = TravelLedger::new(p, 0);
         l.add_results(&[(2, VertexId(5)), (2, VertexId(5)), (1, VertexId(3))]);
         l.exec_created(eid(0, 1), 0);
         l.exec_terminated(eid(0, 1), &[]);
         let o = l.outcome();
-        assert_eq!(o.by_depth, vec![(1, vec![VertexId(3)]), (2, vec![VertexId(5)])]);
+        assert_eq!(
+            o.by_depth,
+            vec![(1, vec![VertexId(3)]), (2, vec![VertexId(5)])]
+        );
     }
 
     #[test]
@@ -408,7 +417,10 @@ mod tests {
         let next = s.advance();
         assert_eq!(next, vec![(0, 2, SyncExpect::OriginTokens(1))]);
         assert!(s.step_done(0, 2, &[], &[]));
-        assert!(s.advance().is_empty(), "traversal over after origin release");
+        assert!(
+            s.advance().is_empty(),
+            "traversal over after origin release"
+        );
     }
 
     #[test]

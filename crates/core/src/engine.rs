@@ -29,7 +29,11 @@ impl EngineKind {
 
     /// All three engines, in the paper's table order.
     pub fn all() -> [EngineKind; 3] {
-        [EngineKind::Sync, EngineKind::AsyncPlain, EngineKind::GraphTrek]
+        [
+            EngineKind::Sync,
+            EngineKind::AsyncPlain,
+            EngineKind::GraphTrek,
+        ]
     }
 }
 
@@ -53,6 +57,18 @@ pub struct EngineConfig {
     pub force_merging_queue: Option<bool>,
     /// Override: force the traversal-affiliate cache on or off (ablation).
     pub force_cache: Option<bool>,
+    /// Maximum travels admitted into the cluster at once; further
+    /// submissions queue client-side in FIFO order until a slot frees
+    /// (`0` = unlimited, the single-tenant behaviour).
+    pub max_concurrent_travels: usize,
+    /// Override: weighted fair cross-travel scheduling in the merging
+    /// queue. `None` keeps it on whenever the merging queue is on;
+    /// `Some(false)` reverts to the globally-smallest-step pick.
+    pub fair_cross_travel: Option<bool>,
+    /// Traversal-affiliate cache triples reserved per active travel: a
+    /// co-running travel's inserts never evict another travel below this
+    /// floor (`0` = no reservation).
+    pub cache_reserve_per_travel: usize,
 }
 
 impl EngineConfig {
@@ -66,6 +82,9 @@ impl EngineConfig {
             faults: FaultPlan::none(),
             force_merging_queue: None,
             force_cache: None,
+            max_concurrent_travels: 0,
+            fair_cross_travel: None,
+            cache_reserve_per_travel: 0,
         }
     }
 
@@ -105,6 +124,30 @@ impl EngineConfig {
         self
     }
 
+    /// Builder-style: admission-control limit on concurrent travels.
+    pub fn max_concurrent_travels(mut self, n: usize) -> Self {
+        self.max_concurrent_travels = n;
+        self
+    }
+
+    /// Builder-style: override cross-travel fair scheduling.
+    pub fn fair_cross_travel(mut self, on: bool) -> Self {
+        self.fair_cross_travel = Some(on);
+        self
+    }
+
+    /// Builder-style: per-travel cache reservation floor.
+    pub fn cache_reserve_per_travel(mut self, n: usize) -> Self {
+        self.cache_reserve_per_travel = n;
+        self
+    }
+
+    /// Whether the merging queue picks across travels by weighted fair
+    /// share (as opposed to the globally-smallest-step pick).
+    pub fn fair_cross_travel_enabled(&self) -> bool {
+        self.fair_cross_travel.unwrap_or(true)
+    }
+
     /// Whether this configuration uses the scheduling/merging queue.
     pub fn merging_queue_enabled(&self) -> bool {
         self.force_merging_queue
@@ -135,7 +178,10 @@ mod tests {
             EngineConfig::new(EngineKind::AsyncPlain).effective_cache_capacity(),
             0
         );
-        assert_eq!(EngineConfig::new(EngineKind::Sync).effective_cache_capacity(), 0);
+        assert_eq!(
+            EngineConfig::new(EngineKind::Sync).effective_cache_capacity(),
+            0
+        );
     }
 
     #[test]
@@ -160,7 +206,27 @@ mod tests {
     }
 
     #[test]
+    fn concurrency_knobs() {
+        let cfg = EngineConfig::new(EngineKind::GraphTrek);
+        assert_eq!(cfg.max_concurrent_travels, 0, "unlimited by default");
+        assert!(cfg.fair_cross_travel_enabled(), "fair pick on by default");
+        assert_eq!(cfg.cache_reserve_per_travel, 0);
+        let cfg = cfg
+            .max_concurrent_travels(4)
+            .fair_cross_travel(false)
+            .cache_reserve_per_travel(32);
+        assert_eq!(cfg.max_concurrent_travels, 4);
+        assert!(!cfg.fair_cross_travel_enabled());
+        assert_eq!(cfg.cache_reserve_per_travel, 32);
+    }
+
+    #[test]
     fn workers_floor_at_one() {
-        assert_eq!(EngineConfig::new(EngineKind::Sync).workers(0).workers_per_server, 1);
+        assert_eq!(
+            EngineConfig::new(EngineKind::Sync)
+                .workers(0)
+                .workers_per_server,
+            1
+        );
     }
 }

@@ -188,12 +188,8 @@ mod tests {
 
     #[test]
     fn round_robin_matches_paper_shape() {
-        let plan = FaultPlan::round_robin_stragglers(
-            &[4, 9, 13],
-            8,
-            Duration::from_millis(50),
-            500,
-        );
+        let plan =
+            FaultPlan::round_robin_stragglers(&[4, 9, 13], 8, Duration::from_millis(50), 500);
         assert_eq!(plan.stragglers.len(), 3);
         assert_eq!(
             plan.stragglers.iter().map(|s| s.step).collect::<Vec<_>>(),

@@ -351,7 +351,13 @@ mod tests {
 
     #[test]
     fn multiple_rtn_depths() {
-        let p = GTravel::v([1u64]).rtn().e("a").e("b").rtn().compile().unwrap();
+        let p = GTravel::v([1u64])
+            .rtn()
+            .e("a")
+            .e("b")
+            .rtn()
+            .compile()
+            .unwrap();
         assert_eq!(p.returned_depths(), vec![0, 2]);
         assert!(p.returns_final());
     }

@@ -80,10 +80,11 @@ pub mod server;
 
 /// Commonly used items in one import.
 pub mod prelude {
-    pub use crate::cluster::{Cluster, ClusterConfig, TravelResult};
+    pub use crate::cluster::{Cluster, ClusterConfig, Ticket, TravelResult};
     pub use crate::engine::{EngineConfig, EngineKind};
     pub use crate::faults::{FaultPlan, Straggler};
     pub use crate::lang::{GTravel, Plan};
+    pub use crate::metrics::TravelMetrics;
     pub use crate::parse::parse as parse_gtravel;
     pub use gt_graph::{Cond, FilterSet, PropFilter, PropValue, VertexId};
 }

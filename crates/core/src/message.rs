@@ -11,8 +11,8 @@
 
 use crate::lang::Plan;
 use crate::{ExecId, Tokens, TravelId};
-use gt_net::WireSize;
 use gt_graph::VertexId;
+use gt_net::WireSize;
 use std::sync::Arc;
 
 /// Per-step progress estimate (§IV-C: "the count of current unfinished
@@ -93,6 +93,23 @@ pub enum Msg {
         travel: TravelId,
         /// Results and final tracing totals.
         outcome: TravelOutcome,
+    },
+    /// Client → every server: cancel a traversal cluster-wide. Unlike
+    /// [`Msg::Abort`] this is acknowledged, so the client can retire the
+    /// travel's admission slot only after every server has dropped its
+    /// queued work and its traversal-affiliate cache partition.
+    Cancel {
+        /// Travel id.
+        travel: TravelId,
+        /// Client endpoint to acknowledge to.
+        client: usize,
+    },
+    /// Server → client: cancellation applied on this server.
+    CancelAck {
+        /// Travel id.
+        travel: TravelId,
+        /// Acknowledging server.
+        server: usize,
     },
 
     // --------------------------------------------------- async traversal
@@ -261,10 +278,10 @@ impl WireSize for Msg {
         match self {
             Msg::Submit { plan, .. } => 24 + plan.wire_size(),
             Msg::Abort { .. } => 12,
+            Msg::Cancel { .. } => 20,
+            Msg::CancelAck { .. } => 20,
             Msg::ProgressQuery { .. } => 20,
-            Msg::ProgressReport { snapshot, .. } => {
-                28 + snapshot.outstanding_by_depth.len() * 10
-            }
+            Msg::ProgressReport { snapshot, .. } => 28 + snapshot.outstanding_by_depth.len() * 10,
             Msg::TravelDone { outcome, .. } => {
                 20 + outcome
                     .by_depth
@@ -275,11 +292,7 @@ impl WireSize for Msg {
             Msg::SourceScan { plan, .. } => 32 + plan.wire_size(),
             Msg::Visit { items, plan, .. } => {
                 // The plan rides along but is tiny next to the items.
-                40 + plan.wire_size()
-                    + items
-                        .iter()
-                        .map(|(_, t)| 8 + t.len() * 10)
-                        .sum::<usize>()
+                40 + plan.wire_size() + items.iter().map(|(_, t)| 8 + t.len() * 10).sum::<usize>()
             }
             Msg::ExecCreated { .. } => 28,
             Msg::ExecTerminated { children, .. } => 28 + children.len() * 10,
@@ -296,7 +309,10 @@ impl WireSize for Msg {
             Msg::Ingest {
                 vertices, edges, ..
             } => {
-                24 + vertices.iter().map(|v| 16 + v.props.len() * 24).sum::<usize>()
+                24 + vertices
+                    .iter()
+                    .map(|v| 16 + v.props.len() * 24)
+                    .sum::<usize>()
                     + edges.iter().map(|e| 24 + e.props.len() * 24).sum::<usize>()
             }
             Msg::IngestAck { .. } => 20,

@@ -8,7 +8,14 @@
 //! regenerate Fig. 7; the queue/messaging counters support the remaining
 //! analysis.
 
+use crate::TravelId;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Cap on travels tracked per server; the oldest (smallest id) entries
+/// are pruned beyond this, bounding memory across long multi-tenant runs.
+const MAX_TRACKED_TRAVELS: usize = 512;
 
 /// Lock-free counters for one backend server.
 #[derive(Debug, Default)]
@@ -31,12 +38,42 @@ pub struct ServerMetrics {
     pub queue_peak: AtomicUsize,
     /// Straggler delay events injected on this server (Fig. 11 model).
     pub injected_delays: AtomicU64,
+    /// Per-travel splits of the same counters (concurrent-travel
+    /// accounting; bounded to [`MAX_TRACKED_TRAVELS`] entries).
+    per_travel: Mutex<BTreeMap<TravelId, TravelMetrics>>,
 }
 
 impl ServerMetrics {
     /// Record a new queue length, keeping the maximum.
     pub fn observe_queue_len(&self, len: usize) {
         self.queue_peak.fetch_max(len, Ordering::Relaxed);
+    }
+
+    /// Update one travel's counters, creating (and bounding) the entry.
+    pub fn travel_mut(&self, travel: TravelId, f: impl FnOnce(&mut TravelMetrics)) {
+        let mut map = self.per_travel.lock();
+        f(map.entry(travel).or_default());
+        while map.len() > MAX_TRACKED_TRAVELS {
+            map.pop_first();
+        }
+    }
+
+    /// One travel's counters on this server (zeros if never seen).
+    pub fn travel_snapshot(&self, travel: TravelId) -> TravelMetrics {
+        self.per_travel
+            .lock()
+            .get(&travel)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Every tracked travel's counters on this server.
+    pub fn travel_snapshots(&self) -> Vec<(TravelId, TravelMetrics)> {
+        self.per_travel
+            .lock()
+            .iter()
+            .map(|(&t, &m)| (t, m))
+            .collect()
     }
 
     /// Plain-value snapshot.
@@ -63,6 +100,40 @@ impl ServerMetrics {
         self.results_sent.store(0, Ordering::Relaxed);
         self.queue_peak.store(0, Ordering::Relaxed);
         self.injected_delays.store(0, Ordering::Relaxed);
+        self.per_travel.lock().clear();
+    }
+}
+
+/// One travel's share of a server's traversal work.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TravelMetrics {
+    /// Redundant visits attributed to this travel.
+    pub redundant_visits: u64,
+    /// Combined (merged-step) visits attributed to this travel.
+    pub combined_visits: u64,
+    /// Real storage accesses attributed to this travel.
+    pub real_io_visits: u64,
+    /// Total nanoseconds its requests sat in the local queue.
+    pub queue_wait_ns: u64,
+    /// Requests popped from the queue for this travel.
+    pub queue_popped: u64,
+}
+
+impl TravelMetrics {
+    /// Mean queue residency per popped request, in nanoseconds.
+    pub fn mean_queue_wait_ns(&self) -> u64 {
+        self.queue_wait_ns
+            .checked_div(self.queue_popped)
+            .unwrap_or(0)
+    }
+
+    /// Element-wise sum (aggregating one travel across servers).
+    pub fn merge(&mut self, other: &TravelMetrics) {
+        self.redundant_visits += other.redundant_visits;
+        self.combined_visits += other.combined_visits;
+        self.real_io_visits += other.real_io_visits;
+        self.queue_wait_ns += other.queue_wait_ns;
+        self.queue_popped += other.queue_popped;
     }
 }
 
@@ -124,7 +195,41 @@ mod tests {
         let m = ServerMetrics::default();
         m.real_io_visits.fetch_add(5, Ordering::Relaxed);
         m.observe_queue_len(7);
+        m.travel_mut(3, |t| t.real_io_visits += 5);
         m.reset();
         assert_eq!(m.snapshot(), MetricsSnapshot::default());
+        assert_eq!(m.travel_snapshot(3), TravelMetrics::default());
+    }
+
+    #[test]
+    fn per_travel_counters_are_isolated_and_merged() {
+        let m = ServerMetrics::default();
+        m.travel_mut(1, |t| {
+            t.real_io_visits += 2;
+            t.queue_wait_ns += 1000;
+            t.queue_popped += 2;
+        });
+        m.travel_mut(2, |t| t.redundant_visits += 7);
+        assert_eq!(m.travel_snapshot(1).real_io_visits, 2);
+        assert_eq!(m.travel_snapshot(1).mean_queue_wait_ns(), 500);
+        assert_eq!(m.travel_snapshot(2).redundant_visits, 7);
+        assert_eq!(m.travel_snapshot(2).real_io_visits, 0);
+        let mut agg = m.travel_snapshot(1);
+        agg.merge(&m.travel_snapshot(2));
+        assert_eq!(agg.real_io_visits, 2);
+        assert_eq!(agg.redundant_visits, 7);
+        assert_eq!(m.travel_snapshots().len(), 2);
+    }
+
+    #[test]
+    fn per_travel_map_is_bounded() {
+        let m = ServerMetrics::default();
+        for t in 0..2 * MAX_TRACKED_TRAVELS as u64 {
+            m.travel_mut(t, |tm| tm.queue_popped += 1);
+        }
+        let snaps = m.travel_snapshots();
+        assert_eq!(snaps.len(), MAX_TRACKED_TRAVELS);
+        // The newest travels survive; the oldest were pruned.
+        assert_eq!(snaps[0].0, MAX_TRACKED_TRAVELS as u64);
     }
 }

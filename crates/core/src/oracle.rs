@@ -87,9 +87,9 @@ pub fn traverse(g: &InMemoryGraph, plan: &Plan) -> OracleResult {
             .iter()
             .copied()
             .filter(|&v| {
-                g.edges_from(v, &step.edge_label).iter().any(|(dst, ep)| {
-                    step.edge_filters.matches(ep) && next_alive.contains(dst)
-                })
+                g.edges_from(v, &step.edge_label)
+                    .iter()
+                    .any(|(dst, ep)| step.edge_filters.matches(ep) && next_alive.contains(dst))
             })
             .collect();
     }
@@ -113,9 +113,21 @@ mod tests {
     fn audit_graph() -> InMemoryGraph {
         let mut g = InMemoryGraph::new();
         g.add_vertex(Vertex::new(1u64, "User", Props::new().with("name", "a")));
-        g.add_vertex(Vertex::new(2u64, "Execution", Props::new().with("model", "A")));
-        g.add_vertex(Vertex::new(5u64, "Execution", Props::new().with("model", "B")));
-        g.add_vertex(Vertex::new(3u64, "File", Props::new().with("ftype", "text")));
+        g.add_vertex(Vertex::new(
+            2u64,
+            "Execution",
+            Props::new().with("model", "A"),
+        ));
+        g.add_vertex(Vertex::new(
+            5u64,
+            "Execution",
+            Props::new().with("model", "B"),
+        ));
+        g.add_vertex(Vertex::new(
+            3u64,
+            "File",
+            Props::new().with("ftype", "text"),
+        ));
         g.add_vertex(Vertex::new(4u64, "File", Props::new().with("ftype", "bin")));
         g.add_edge(Edge::new(1u64, "run", 2u64, Props::new().with("ts", 10i64)));
         g.add_edge(Edge::new(1u64, "run", 5u64, Props::new().with("ts", 99i64)));
@@ -130,10 +142,7 @@ mod tests {
         let g = audit_graph();
         let p = GTravel::v([1u64]).e("run").e("read").compile().unwrap();
         let r = traverse(&g, &p);
-        assert_eq!(
-            r.all_vertices(),
-            vec![VertexId(3), VertexId(4)]
-        );
+        assert_eq!(r.all_vertices(), vec![VertexId(3), VertexId(4)]);
     }
 
     #[test]
@@ -219,7 +228,12 @@ mod tests {
         g.add_vertex(Vertex::new(2u64, "N", Props::new()));
         g.add_edge(Edge::new(1u64, "next", 2u64, Props::new()));
         g.add_edge(Edge::new(2u64, "next", 1u64, Props::new()));
-        let p = GTravel::v([1u64]).e("next").e("next").e("next").compile().unwrap();
+        let p = GTravel::v([1u64])
+            .e("next")
+            .e("next")
+            .e("next")
+            .compile()
+            .unwrap();
         let r = traverse(&g, &p);
         assert_eq!(r.all_vertices(), vec![VertexId(2)]);
     }

@@ -107,8 +107,10 @@ impl<'a> Cursor<'a> {
     }
 
     fn string(&mut self) -> Result<String, ParseError> {
-        self.eat('\'')
-            .map_err(|e| ParseError { msg: "expected a 'quoted' string".into(), ..e })?;
+        self.eat('\'').map_err(|e| ParseError {
+            msg: "expected a 'quoted' string".into(),
+            ..e
+        })?;
         let rest = &self.src[self.pos..];
         let Some(end) = rest.find('\'') else {
             return Err(self.err("unterminated string"));
@@ -130,7 +132,9 @@ impl<'a> Cursor<'a> {
             return Ok(PropValue::Bool(false));
         }
         let n = rest
-            .find(|c: char| !c.is_ascii_digit() && c != '-' && c != '+' && c != '.' && c != 'e' && c != 'E')
+            .find(|c: char| {
+                !c.is_ascii_digit() && c != '-' && c != '+' && c != '.' && c != 'e' && c != 'E'
+            })
             .unwrap_or(rest.len());
         if n == 0 {
             return Err(self.err("expected a number, boolean, or 'string'"));
@@ -209,7 +213,9 @@ pub fn parse(src: &str) -> Result<GTravel, ParseError> {
             match c.number_or_bool()? {
                 PropValue::Int(i) if i >= 0 => ids.push(i as u64),
                 other => {
-                    return Err(c.err(format!("vertex ids must be non-negative ints, found {other}")))
+                    return Err(c.err(format!(
+                        "vertex ids must be non-negative ints, found {other}"
+                    )))
                 }
             }
             if !c.try_eat(',') {
@@ -311,10 +317,8 @@ mod tests {
 
     #[test]
     fn parses_in_filters_and_value_types() {
-        let q = parse(
-            "v(1).e('x').va('grp', IN, ['a', 'b', 3, 4.5, true]).ea('w', EQ, 2.5)",
-        )
-        .unwrap();
+        let q =
+            parse("v(1).e('x').va('grp', IN, ['a', 'b', 3, 4.5, true]).ea('w', EQ, 2.5)").unwrap();
         let p = q.compile().unwrap();
         let f = &p.steps[0].vertex_filters.0[0];
         match &f.cond {

@@ -8,11 +8,19 @@
 //! * [`FifoQueue`] — arrival order, one vertex request at a time. This is
 //!   the plain Async-GT configuration (and the per-step work list of the
 //!   synchronous engine).
-//! * [`MergingQueue`] — *execution scheduling*: "the worker thread always
-//!   chooses the request with the smallest step Id in the queue", helping
-//!   slow steps catch up and bounding the step spread (which in turn keeps
-//!   the traversal-affiliate cache effective); and *execution merging*:
-//!   "we consolidate different steps on the same vertex … we need only to
+//! * [`MergingQueue`] — a two-level policy. **Across travels** it runs
+//!   weighted fair queuing: each active travel accrues *virtual service*
+//!   as its requests are processed (scaled by a weight that favours
+//!   shallow plans), and the travel with the least virtual service is
+//!   picked next — ties broken by smallest travel id so concurrent runs
+//!   are deterministic. A travel joining (or re-joining) the queue starts
+//!   at the current virtual floor, so it neither banks credit while idle
+//!   nor starves incumbents. **Within a travel** it keeps the paper's
+//!   *execution scheduling*: "the worker thread always chooses the
+//!   request with the smallest step Id in the queue", helping slow steps
+//!   catch up and bounding the step spread (which in turn keeps the
+//!   traversal-affiliate cache effective); and *execution merging*: "we
+//!   consolidate different steps on the same vertex … we need only to
 //!   retrieve the vertex attributes or to scan its edges once locally."
 //!   [`RequestQueue::pop`] returns every queued part for the chosen
 //!   vertex, so the worker performs one storage access for all of them.
@@ -24,6 +32,7 @@ use parking_lot::{Condvar, Mutex};
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::sync::atomic::AtomicUsize;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Whether a request participates in the async protocol or a sync step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,6 +88,8 @@ pub struct WorkItem {
     pub depth: u16,
     /// Origin tokens riding on this path.
     pub tokens: Tokens,
+    /// When the request entered the local queue (queue-residency metric).
+    pub enqueued_at: Instant,
     /// The execution this request belongs to.
     pub req: Arc<RequestState>,
 }
@@ -95,6 +106,10 @@ pub trait RequestQueue: Send + Sync {
     fn close(&self);
     /// Number of queued vertex requests.
     fn len(&self) -> usize;
+    /// True when no vertex requests are queued.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
     /// Drop every queued request of one travel (abort path).
     fn clear_travel(&self, travel: TravelId);
 }
@@ -194,6 +209,19 @@ impl RequestQueue for FifoQueue {
 
 // ----------------------------------------------- scheduling & merging
 
+/// Virtual-service units charged per processed part at weight 1.
+const VS_SCALE: u64 = 1024;
+
+/// Fair-share weight for a travel whose plan is `depth` hops long:
+/// shallow (interactive) plans get a larger share of worker service than
+/// deep scans, so a short query is not drained behind a long one.
+fn weight_for_depth(depth: u16) -> u64 {
+    (12 / (u64::from(depth) + 1)).max(1)
+}
+
+/// One queued part: origin tokens, owning execution, enqueue time.
+type QueuedPart = (Tokens, Arc<RequestState>, Instant);
+
 #[derive(Default)]
 struct TravelQ {
     /// depth → vertices awaiting processing at that depth, in vertex-id
@@ -202,8 +230,13 @@ struct TravelQ {
     /// into sequential/warm accesses — the same disk-friendliness the
     /// paper's layout exists for (§IV-B, §VI).
     order: BTreeMap<u16, BTreeSet<VertexId>>,
-    /// vertex → depth → queued parts (tokens + owning execution).
-    by_vertex: HashMap<VertexId, BTreeMap<u16, Vec<(Tokens, Arc<RequestState>)>>>,
+    /// vertex → depth → queued parts.
+    by_vertex: HashMap<VertexId, BTreeMap<u16, Vec<QueuedPart>>>,
+    /// Weighted virtual service this travel has received (0 = uninitialized;
+    /// a fresh entry joins at the queue's virtual floor).
+    vservice: u64,
+    /// Fair-share weight (≥ 1 once initialized, 0 marks a fresh entry).
+    weight: u64,
 }
 
 #[derive(Default)]
@@ -211,34 +244,61 @@ struct MergingInner {
     travels: HashMap<TravelId, TravelQ>,
     live: usize,
     closed: bool,
+    /// Virtual service of the least-served travel at the last fair pick;
+    /// newly-arriving travels join here instead of at zero.
+    vfloor: u64,
 }
 
-/// GraphTrek's smallest-step-first, same-vertex-merging queue (§V-B).
-#[derive(Default)]
+/// GraphTrek's scheduling & merging queue (§V-B), extended with weighted
+/// fair cross-travel service for concurrent multi-travel execution.
 pub struct MergingQueue {
     inner: Mutex<MergingInner>,
     cond: Condvar,
+    fair: bool,
+}
+
+impl Default for MergingQueue {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl MergingQueue {
-    /// Empty queue.
+    /// Empty queue with fair cross-travel scheduling.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_fairness(true)
+    }
+
+    /// Empty queue; `fair = false` reverts the cross-travel pick to the
+    /// globally-smallest-step policy (single-tenant §V-B behaviour).
+    pub fn with_fairness(fair: bool) -> Self {
+        MergingQueue {
+            inner: Mutex::new(MergingInner::default()),
+            cond: Condvar::new(),
+            fair,
+        }
     }
 }
 
 impl RequestQueue for MergingQueue {
     fn push_many(&self, items: Vec<WorkItem>) {
         let mut g = self.inner.lock();
+        let vfloor = g.vfloor;
         for item in items {
             let tq = g.travels.entry(item.req.travel).or_default();
+            if tq.weight == 0 {
+                // Fresh (or re-entrant) travel: join at the virtual floor
+                // with a weight derived from its plan's length.
+                tq.weight = weight_for_depth(item.req.plan.depth());
+                tq.vservice = vfloor;
+            }
             tq.order.entry(item.depth).or_default().insert(item.vertex);
             tq.by_vertex
                 .entry(item.vertex)
                 .or_default()
                 .entry(item.depth)
                 .or_default()
-                .push((item.tokens, item.req.clone()));
+                .push((item.tokens, item.req.clone(), item.enqueued_at));
             g.live += 1;
         }
         drop(g);
@@ -248,18 +308,26 @@ impl RequestQueue for MergingQueue {
     fn pop(&self) -> Option<Vec<WorkItem>> {
         let mut g = self.inner.lock();
         loop {
-            // Scheduling: pick the travel whose head depth is globally
-            // smallest, then pop the oldest vertex queued at that depth.
+            // Level 1 — cross-travel pick: least virtual service (fair)
+            // or globally smallest head depth (legacy); ties broken by
+            // travel id either way, so the schedule is deterministic.
+            // Level 2 — within the travel: smallest depth, then smallest
+            // vertex id at that depth.
             'search: while g.live > 0 {
-                let (&travel, _) = match g
-                    .travels
-                    .iter()
-                    .filter(|(_, tq)| !tq.order.is_empty())
-                    .min_by_key(|(_, tq)| *tq.order.keys().next().unwrap())
-                {
-                    Some(t) => t,
-                    None => break 'search,
+                let picked = if self.fair {
+                    g.travels
+                        .iter()
+                        .filter(|(_, tq)| !tq.order.is_empty())
+                        .min_by_key(|(t, tq)| (tq.vservice, **t))
+                        .map(|(t, _)| *t)
+                } else {
+                    g.travels
+                        .iter()
+                        .filter(|(_, tq)| !tq.order.is_empty())
+                        .min_by_key(|(t, tq)| (*tq.order.keys().next().unwrap(), **t))
+                        .map(|(t, _)| *t)
                 };
+                let Some(travel) = picked else { break 'search };
                 let tq = g.travels.get_mut(&travel).unwrap();
                 let depth = *tq.order.keys().next().unwrap();
                 let (vertex, now_empty) = {
@@ -277,19 +345,27 @@ impl RequestQueue for MergingQueue {
                 };
                 let mut parts = Vec::new();
                 for (d, entries) in depth_map {
-                    for (tokens, req) in entries {
+                    for (tokens, req, enqueued_at) in entries {
                         parts.push(WorkItem {
                             vertex,
                             depth: d,
                             tokens,
+                            enqueued_at,
                             req,
                         });
                     }
                 }
+                // Charge the service rendered, weighted; the floor tracks
+                // the picked (least-served) travel so newcomers join level.
+                let vs_at_pick = tq.vservice;
+                tq.vservice = tq
+                    .vservice
+                    .saturating_add(parts.len() as u64 * VS_SCALE / tq.weight.max(1));
                 g.live -= parts.len();
-                if g.travels[&travel].order.is_empty()
-                    && g.travels[&travel].by_vertex.is_empty()
-                {
+                if self.fair {
+                    g.vfloor = g.vfloor.max(vs_at_pick);
+                }
+                if g.travels[&travel].order.is_empty() && g.travels[&travel].by_vertex.is_empty() {
                     g.travels.remove(&travel);
                 }
                 return Some(parts);
@@ -330,11 +406,21 @@ mod tests {
     use std::sync::atomic::Ordering;
 
     fn req(travel: TravelId, depth: u16, n: usize) -> Arc<RequestState> {
+        req_with_hops(travel, depth, n, 1)
+    }
+
+    /// Like [`req`] but with a plan of `hops` edge steps (fair-share
+    /// weights derive from plan length).
+    fn req_with_hops(travel: TravelId, depth: u16, n: usize, hops: usize) -> Arc<RequestState> {
+        let mut q = GTravel::v([1u64]);
+        for _ in 0..hops {
+            q = q.e("x");
+        }
         Arc::new(RequestState {
             travel,
             depth,
             exec: ExecId::new(0, depth as u64),
-            plan: Arc::new(GTravel::v([1u64]).e("x").compile().unwrap()),
+            plan: Arc::new(q.compile().unwrap()),
             coordinator: 0,
             mode: ReqMode::Async,
             remaining: AtomicUsize::new(n),
@@ -347,6 +433,7 @@ mod tests {
             vertex: VertexId(vertex),
             depth: req.depth,
             tokens: vec![],
+            enqueued_at: Instant::now(),
             req: req.clone(),
         }
     }
@@ -458,11 +545,114 @@ mod tests {
             vertex: VertexId(7),
             depth: 1,
             tokens: vec![Token { owner: 3, id: 9 }],
+            enqueued_at: Instant::now(),
             req: r.clone(),
         }]);
         let parts = q.pop().unwrap();
         assert_eq!(parts.len(), 2);
         assert!(q.pop_is_empty_nonblocking());
+    }
+
+    #[test]
+    fn fair_pick_alternates_across_equal_travels() {
+        // Two travels with equal weights and equal backlogs must share
+        // service turn-about instead of one draining the other's tail.
+        let q = MergingQueue::new();
+        let a = req(1, 0, 4);
+        let b = req(2, 0, 4);
+        q.push_many(vec![item(&a, 1), item(&a, 2), item(&a, 3), item(&a, 4)]);
+        q.push_many(vec![item(&b, 11), item(&b, 12), item(&b, 13), item(&b, 14)]);
+        let order: Vec<TravelId> = (0..8).map(|_| q.pop().unwrap()[0].req.travel).collect();
+        assert_eq!(order, vec![1, 2, 1, 2, 1, 2, 1, 2]);
+    }
+
+    #[test]
+    fn fair_weights_favor_shallow_plans() {
+        // A 1-hop travel (weight 6) against a 5-hop travel (weight 2):
+        // the shallow one must receive roughly 3× the service.
+        let q = MergingQueue::new();
+        let shallow = req_with_hops(1, 0, 8, 1);
+        let deep = req_with_hops(2, 0, 8, 5);
+        q.push_many((1..=8).map(|v| item(&shallow, v)).collect());
+        q.push_many((11..=18).map(|v| item(&deep, v)).collect());
+        let mut counts = [0usize; 2];
+        for _ in 0..8 {
+            match q.pop().unwrap()[0].req.travel {
+                1 => counts[0] += 1,
+                2 => counts[1] += 1,
+                t => panic!("unexpected travel {t}"),
+            }
+        }
+        assert!(
+            counts[0] > counts[1] * 2,
+            "shallow plan must dominate early service: {counts:?}"
+        );
+        assert!(counts[1] > 0, "deep travel must not starve: {counts:?}");
+    }
+
+    #[test]
+    fn fair_schedule_is_deterministic() {
+        // Identical queue contents must drain in an identical order —
+        // cross-travel ties resolve by travel id, never HashMap order.
+        let build = || {
+            let q = MergingQueue::new();
+            let a = req(3, 1, 3);
+            let b = req(7, 0, 3);
+            let c = req(5, 2, 3);
+            q.push_many(vec![item(&a, 4), item(&a, 2), item(&a, 9)]);
+            q.push_many(vec![item(&b, 8), item(&b, 1)]);
+            q.push_many(vec![item(&c, 6), item(&c, 3)]);
+            q
+        };
+        let drain = |q: &MergingQueue| -> Vec<(TravelId, u16, VertexId)> {
+            let mut out = Vec::new();
+            while !q.pop_is_empty_nonblocking() {
+                for p in q.pop().unwrap() {
+                    out.push((p.req.travel, p.depth, p.vertex));
+                }
+            }
+            out
+        };
+        let (q1, q2) = (build(), build());
+        assert_eq!(drain(&q1), drain(&q2));
+    }
+
+    #[test]
+    fn reentrant_travel_joins_at_virtual_floor() {
+        // A travel that drains and comes back must not have banked
+        // credit: a heavily-served incumbent still gets its fair turns.
+        let q = MergingQueue::new();
+        let a = req(1, 0, 16);
+        let b = req(2, 0, 16);
+        // Travel 1 runs alone for a while (accruing service).
+        q.push_many((1..=4).map(|v| item(&a, v)).collect());
+        for _ in 0..4 {
+            q.pop().unwrap();
+        }
+        // Both travels now queue work; service must interleave rather
+        // than letting travel 2 monopolize until it "catches up".
+        q.push_many((5..=8).map(|v| item(&a, v)).collect());
+        q.push_many((11..=14).map(|v| item(&b, v)).collect());
+        let order: Vec<TravelId> = (0..8).map(|_| q.pop().unwrap()[0].req.travel).collect();
+        let first_half = &order[..4];
+        assert!(
+            first_half.contains(&1) && first_half.contains(&2),
+            "both travels must be served early: {order:?}"
+        );
+    }
+
+    #[test]
+    fn legacy_pick_keeps_global_smallest_step() {
+        // with_fairness(false): the cross-travel pick reverts to the
+        // globally smallest head depth (the paper's single-tenant rule).
+        let q = MergingQueue::with_fairness(false);
+        let deep = req(1, 2, 2);
+        let shallow = req(2, 0, 1);
+        q.push_many(vec![item(&deep, 10), item(&deep, 11)]);
+        q.push_many(vec![item(&shallow, 20)]);
+        assert_eq!(q.pop().unwrap()[0].depth, 0, "depth 0 first across travels");
+        assert_eq!(q.pop().unwrap()[0].depth, 2);
+        assert_eq!(q.pop().unwrap()[0].depth, 2);
     }
 
     #[test]

@@ -27,9 +27,7 @@ use crate::faults::ServerFaults;
 use crate::lang::{vertex_matches, Plan, Source};
 use crate::message::{Msg, SyncExpect};
 use crate::metrics::ServerMetrics;
-use crate::queue::{
-    FifoQueue, MergingQueue, ReqMode, RequestQueue, RequestState, WorkItem,
-};
+use crate::queue::{FifoQueue, MergingQueue, ReqMode, RequestQueue, RequestState, WorkItem};
 use crate::{ExecId, Token, Tokens, TravelId};
 use gt_graph::{EdgeCutPartitioner, GraphPartition, Props, VertexId};
 use gt_net::Endpoint;
@@ -37,6 +35,12 @@ use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Cap on remembered retired travel ids; the smallest (oldest) are pruned
+/// beyond this. Travel ids are monotonic, so stray in-flight messages can
+/// only concern recent travels.
+const MAX_RETIRED_TRAVELS: usize = 4096;
 
 /// Everything needed to spawn one backend server.
 pub struct ServerArgs {
@@ -130,12 +134,32 @@ struct Shared {
     tokens: Mutex<TokenRegistry>,
     coords: Mutex<HashMap<TravelId, CoordState>>,
     sync_bufs: Mutex<HashMap<TravelId, SyncBufs>>,
+    /// Travels aborted/cancelled/completed on this server: stray
+    /// in-flight messages for them are dropped instead of re-creating
+    /// queue or cache state that nothing would ever clean up again.
+    retired: Mutex<BTreeSet<TravelId>>,
+}
+
+impl Shared {
+    fn mark_retired(&self, travel: TravelId) {
+        let mut r = self.retired.lock();
+        r.insert(travel);
+        while r.len() > MAX_RETIRED_TRAVELS {
+            r.pop_first();
+        }
+    }
+
+    fn is_retired(&self, travel: TravelId) -> bool {
+        self.retired.lock().contains(&travel)
+    }
 }
 
 /// Spawn a server's dispatcher and worker threads.
 pub fn spawn(args: ServerArgs) -> ServerHandle {
     let queue: Arc<dyn RequestQueue> = if args.engine.merging_queue_enabled() {
-        Arc::new(MergingQueue::new())
+        Arc::new(MergingQueue::with_fairness(
+            args.engine.fair_cross_travel_enabled(),
+        ))
     } else {
         Arc::new(FifoQueue::new())
     };
@@ -148,7 +172,10 @@ pub fn spawn(args: ServerArgs) -> ServerHandle {
         partition: args.partition.clone(),
         ep: args.endpoint,
         queue,
-        cache: TraversalCache::new(args.engine.effective_cache_capacity()),
+        cache: TraversalCache::new(
+            args.engine.effective_cache_capacity(),
+            args.engine.cache_reserve_per_travel,
+        ),
         metrics: metrics.clone(),
         faults: args.engine.faults.for_server(args.id),
         exec_ctr: AtomicU64::new(1),
@@ -156,6 +183,7 @@ pub fn spawn(args: ServerArgs) -> ServerHandle {
         tokens: Mutex::new(TokenRegistry::default()),
         coords: Mutex::new(HashMap::new()),
         sync_bufs: Mutex::new(HashMap::new()),
+        retired: Mutex::new(BTreeSet::new()),
     });
     let mut workers = Vec::with_capacity(args.engine.workers_per_server);
     for w in 0..args.engine.workers_per_server {
@@ -252,7 +280,24 @@ fn dispatcher_loop(sh: &Arc<Shared>) {
                 sent,
                 origin_sent,
             } => handle_sync_step_done(sh, travel, depth, server, &sent, &origin_sent),
-            Msg::Abort { travel } => handle_abort(sh, travel),
+            Msg::Abort { travel } => {
+                handle_abort(sh, travel);
+                sh.mark_retired(travel);
+            }
+            Msg::Cancel { travel, client } => {
+                // Cluster-wide cancellation: same cleanup as an abort,
+                // but acknowledged so the client can retire the travel's
+                // admission slot once every server has complied.
+                handle_abort(sh, travel);
+                sh.mark_retired(travel);
+                let _ = sh.ep.send(
+                    client,
+                    Msg::CancelAck {
+                        travel,
+                        server: sh.id,
+                    },
+                );
+            }
             Msg::Ingest {
                 req,
                 client,
@@ -304,7 +349,7 @@ fn dispatcher_loop(sh: &Arc<Shared>) {
                 let _ = sh.ep.send(client, Msg::ProgressReport { travel, snapshot });
             }
             // Client-facing replies never arrive at servers.
-            Msg::TravelDone { .. } | Msg::ProgressReport { .. } => {}
+            Msg::TravelDone { .. } | Msg::ProgressReport { .. } | Msg::CancelAck { .. } => {}
         }
     }
     sh.queue.close();
@@ -342,10 +387,7 @@ fn handle_submit(sh: &Arc<Shared>, travel: TravelId, plan: Arc<Plan>, client: us
     let sync = {
         // The submitting client decided this server coordinates `travel`.
         let mut coords = sh.coords.lock();
-        if matches!(
-            plan_engine_kind(sh),
-            EngineKind::Sync
-        ) {
+        if matches!(plan_engine_kind(sh), EngineKind::Sync) {
             coords.insert(
                 travel,
                 CoordState::Sync(SyncState::new(plan.clone(), client, sh.n_servers)),
@@ -482,20 +524,31 @@ fn handle_visit(
     coordinator: usize,
     items: Vec<(VertexId, Tokens)>,
 ) {
+    if sh.is_retired(travel) {
+        // Stray in-flight visit for an aborted/finished travel: dropping
+        // it here keeps the queue and cache free of orphaned state.
+        return;
+    }
     sh.metrics
         .requests_received
         .fetch_add(items.len() as u64, Ordering::Relaxed);
     // Traversal-affiliate cache check at receipt (§V-A): redundant
     // requests are abandoned before they ever reach the queue.
     let mut kept: Vec<(VertexId, Tokens)> = Vec::with_capacity(items.len());
+    let mut redundant = 0u64;
     for (v, tokens) in items {
         match sh.cache.observe(travel, depth, v, &tokens) {
             CacheDecision::FirstVisit => kept.push((v, tokens)),
-            CacheDecision::Redundant => {
-                sh.metrics.redundant_visits.fetch_add(1, Ordering::Relaxed);
-            }
+            CacheDecision::Redundant => redundant += 1,
             CacheDecision::NewTokens(new) => kept.push((v, new)),
         }
+    }
+    if redundant > 0 {
+        sh.metrics
+            .redundant_visits
+            .fetch_add(redundant, Ordering::Relaxed);
+        sh.metrics
+            .travel_mut(travel, |t| t.redundant_visits += redundant);
     }
     let req = Arc::new(RequestState {
         travel,
@@ -511,12 +564,14 @@ fn handle_visit(
         flush_request(sh, &req);
         return;
     }
+    let enqueued_at = Instant::now();
     let work: Vec<WorkItem> = kept
         .into_iter()
         .map(|(vertex, tokens)| WorkItem {
             vertex,
             depth,
             tokens,
+            enqueued_at,
             req: req.clone(),
         })
         .collect();
@@ -531,6 +586,9 @@ fn handle_origin_satisfied(
     coordinator: usize,
     tokens: &[u64],
 ) {
+    if sh.is_retired(travel) {
+        return;
+    }
     let released = release_tokens(sh, travel, tokens);
     if !released.is_empty() {
         sh.metrics
@@ -593,6 +651,9 @@ fn handle_sync_start(
     depth: u16,
     expect: SyncExpect,
 ) {
+    if sh.is_retired(travel) {
+        return;
+    }
     match expect {
         SyncExpect::ScanSource => {
             let sources = resolve_local_source(sh, &plan);
@@ -658,6 +719,9 @@ fn handle_sync_frontier(
     depth: u16,
     items: Vec<(VertexId, Tokens)>,
 ) {
+    if sh.is_retired(travel) {
+        return;
+    }
     let ready = {
         let mut bufs = sh.sync_bufs.lock();
         let Some(tb) = bufs.get_mut(&travel) else {
@@ -679,8 +743,12 @@ fn handle_sync_frontier(
 fn fire_sync_fragment(sh: &Arc<Shared>, travel: TravelId, depth: u16) {
     let (plan, coordinator, items) = {
         let mut bufs = sh.sync_bufs.lock();
-        let Some(tb) = bufs.get_mut(&travel) else { return };
-        let Some(fb) = tb.frontier.get_mut(&depth) else { return };
+        let Some(tb) = bufs.get_mut(&travel) else {
+            return;
+        };
+        let Some(fb) = tb.frontier.get_mut(&depth) else {
+            return;
+        };
         if fb.done {
             return;
         }
@@ -721,7 +789,10 @@ fn enqueue_sync_fragment(
         }
     }
     if dup > 0 {
-        sh.metrics.redundant_visits.fetch_add(dup, Ordering::Relaxed);
+        sh.metrics
+            .redundant_visits
+            .fetch_add(dup, Ordering::Relaxed);
+        sh.metrics.travel_mut(travel, |t| t.redundant_visits += dup);
     }
     let req = Arc::new(RequestState {
         travel,
@@ -737,12 +808,14 @@ fn enqueue_sync_fragment(
         flush_request(sh, &req);
         return;
     }
+    let enqueued_at = Instant::now();
     let work: Vec<WorkItem> = merged
         .into_iter()
         .map(|(vertex, tokens)| WorkItem {
             vertex,
             depth,
             tokens: tokens.into_iter().collect(),
+            enqueued_at,
             req: req.clone(),
         })
         .collect();
@@ -751,9 +824,14 @@ fn enqueue_sync_fragment(
 }
 
 fn handle_sync_origin(sh: &Arc<Shared>, travel: TravelId, tokens: &[u64]) {
+    if sh.is_retired(travel) {
+        return;
+    }
     let ready_depth = {
         let mut bufs = sh.sync_bufs.lock();
-        let Some(tb) = bufs.get_mut(&travel) else { return };
+        let Some(tb) = bufs.get_mut(&travel) else {
+            return;
+        };
         tb.origin.received += tokens.len() as u64;
         tb.origin.tokens.extend_from_slice(tokens);
         if matches!(tb.origin.expected, Some(n) if tb.origin.received >= n && !tb.origin.done) {
@@ -770,7 +848,9 @@ fn handle_sync_origin(sh: &Arc<Shared>, travel: TravelId, tokens: &[u64]) {
 fn fire_sync_origin_release(sh: &Arc<Shared>, travel: TravelId, depth: u16) {
     let (coordinator, tokens) = {
         let mut bufs = sh.sync_bufs.lock();
-        let Some(tb) = bufs.get_mut(&travel) else { return };
+        let Some(tb) = bufs.get_mut(&travel) else {
+            return;
+        };
         if tb.origin.done {
             return;
         }
@@ -874,6 +954,19 @@ fn worker_loop(sh: &Arc<Shared>) {
 fn process_parts(sh: &Arc<Shared>, parts: Vec<WorkItem>) {
     debug_assert!(!parts.is_empty());
     let vertex = parts[0].vertex;
+    // All parts of one pop belong to one travel (neither queue merges
+    // across travels); attribute the pop's accounting to it.
+    let travel = parts[0].req.travel;
+    let popped_at = Instant::now();
+    let wait_ns: u64 = parts
+        .iter()
+        .map(|p| {
+            popped_at
+                .saturating_duration_since(p.enqueued_at)
+                .as_nanos() as u64
+        })
+        .sum();
+    let n_parts = parts.len() as u64;
     let min_depth = parts.iter().map(|p| p.depth).min().unwrap();
     // Transient-straggler injection (Fig. 11): one delay per vertex access.
     if let Some(d) = sh.faults.charge(min_depth) {
@@ -888,11 +981,20 @@ fn process_parts(sh: &Arc<Shared>, parts: Vec<WorkItem>) {
     for part in parts {
         by_depth.entry(part.depth).or_default().push(part);
     }
-    if by_depth.len() > 1 {
+    let combined = by_depth.len() as u64 - 1;
+    if combined > 0 {
         sh.metrics
             .combined_visits
-            .fetch_add(by_depth.len() as u64 - 1, Ordering::Relaxed);
+            .fetch_add(combined, Ordering::Relaxed);
     }
+    let dup_redundant: u64 = by_depth.values().map(|g| g.len() as u64 - 1).sum();
+    sh.metrics.travel_mut(travel, |t| {
+        t.real_io_visits += 1;
+        t.combined_visits += combined;
+        t.redundant_visits += dup_redundant;
+        t.queue_wait_ns += wait_ns;
+        t.queue_popped += n_parts;
+    });
     // Edge scans shared across merged parts that follow the same label.
     let mut edge_cache: HashMap<String, Arc<Vec<(VertexId, Props)>>> = HashMap::new();
     for (_, group) in by_depth {
@@ -1028,7 +1130,9 @@ fn flush_request(sh: &Arc<Shared>, req: &RequestState) {
                     .into_iter()
                     .map(|(v, toks)| (v, toks.into_iter().collect()))
                     .collect();
-                sh.metrics.requests_dispatched.fetch_add(1, Ordering::Relaxed);
+                sh.metrics
+                    .requests_dispatched
+                    .fetch_add(1, Ordering::Relaxed);
                 let _ = sh.ep.send(
                     owner,
                     Msg::Visit {
@@ -1093,7 +1197,9 @@ fn flush_request(sh: &Arc<Shared>, req: &RequestState) {
                     .into_iter()
                     .map(|(v, toks)| (v, toks.into_iter().collect()))
                     .collect();
-                sh.metrics.requests_dispatched.fetch_add(1, Ordering::Relaxed);
+                sh.metrics
+                    .requests_dispatched
+                    .fetch_add(1, Ordering::Relaxed);
                 let _ = sh.ep.send(
                     owner,
                     Msg::SyncFrontier {

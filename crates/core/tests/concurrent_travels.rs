@@ -1,0 +1,372 @@
+//! Concurrent multi-travel execution: several traversals in flight on
+//! one cluster must each return exactly what they return when run alone
+//! (the solo oracle), across all three engines and several server
+//! counts; admission control must bound concurrency and preserve FIFO
+//! order; cancellation must retire a travel cluster-wide without
+//! perturbing co-runners; and fair cross-travel scheduling must get a
+//! short travel out from behind a long scan faster than arrival-order
+//! draining does.
+
+use graphtrek::oracle;
+use graphtrek::prelude::*;
+use gt_graph::{Edge, InMemoryGraph, Props, Vertex};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "gt-conc-{}-{name}-{:?}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+/// Random layered metadata-ish graph (fixed seed ⇒ fixed graph).
+fn random_graph(seed: u64, n: u64) -> InMemoryGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut g = InMemoryGraph::new();
+    let types = ["User", "Execution", "File"];
+    let labels = ["run", "read", "write", "link"];
+    for i in 0..n {
+        let t = types[rng.gen_range(0..types.len())];
+        g.add_vertex(Vertex::new(
+            i,
+            t,
+            Props::new()
+                .with("w", rng.gen_range(0..10) as i64)
+                .with("name", format!("v{i}")),
+        ));
+    }
+    for _ in 0..n * 4 {
+        let src = rng.gen_range(0..n);
+        let dst = rng.gen_range(0..n);
+        let label = labels[rng.gen_range(0..labels.len())];
+        g.add_edge(Edge::new(
+            src,
+            label,
+            dst,
+            Props::new().with("ts", rng.gen_range(0..100) as i64),
+        ));
+    }
+    g
+}
+
+/// Eight distinct fixed plans — different sources, depths, filters and
+/// rtn() placements, so concurrent travels genuinely interleave
+/// different workloads.
+fn tenant_queries() -> Vec<GTravel> {
+    vec![
+        GTravel::v([0u64, 1, 2]).e("run").e("read"),
+        GTravel::v([3u64, 4]).e("link").e("link").e("link"),
+        GTravel::v_all()
+            .va(PropFilter::eq("type", "Execution"))
+            .e("read"),
+        GTravel::v([5u64, 6, 7])
+            .e("run")
+            .rtn()
+            .e("write")
+            .va(PropFilter::range("w", 2i64, 8i64)),
+        GTravel::v([8u64]).e("read").e("write").e("read").e("write"),
+        GTravel::v([9u64, 10, 11, 12])
+            .e("link")
+            .ea(PropFilter::range("ts", 10i64, 80i64)),
+        GTravel::v_all()
+            .va(PropFilter::eq("type", "User"))
+            .e("run")
+            .e("read"),
+        GTravel::v([13u64, 14]).rtn().e("write").e("link"),
+    ]
+}
+
+fn oracle_map(g: &InMemoryGraph, q: &GTravel) -> BTreeMap<u16, Vec<VertexId>> {
+    oracle::traverse(g, &q.compile().unwrap())
+        .by_depth
+        .iter()
+        .map(|(&d, s)| (d, s.iter().copied().collect()))
+        .collect()
+}
+
+/// Eight concurrent travels on every engine × {2, 4, 8} servers return
+/// exactly the solo-run oracle results (the PR's headline acceptance
+/// criterion).
+#[test]
+fn concurrent_travels_match_solo_oracle_all_engines() {
+    let g = random_graph(11, 80);
+    let queries = tenant_queries();
+    let want: Vec<_> = queries.iter().map(|q| oracle_map(&g, q)).collect();
+    for kind in EngineKind::all() {
+        for n_servers in [2usize, 4, 8] {
+            let dir = tmp(&format!("oracle-{kind:?}-{n_servers}"));
+            let cluster = Cluster::build(
+                &g,
+                ClusterConfig::new(&dir, n_servers),
+                EngineConfig::new(kind),
+            )
+            .unwrap();
+            let tickets: Vec<Ticket> = queries.iter().map(|q| cluster.start(q).unwrap()).collect();
+            // Wait in reverse start order, so completions for travels we
+            // are not yet waiting on exercise the client's stash path.
+            for (i, t) in tickets.iter().enumerate().rev() {
+                let got = cluster.wait(t, Duration::from_secs(60)).unwrap();
+                assert_eq!(
+                    got.by_depth, want[i],
+                    "{kind:?} on {n_servers} servers: travel {i} diverged from solo oracle"
+                );
+            }
+            assert_eq!(cluster.active_travels(), 0, "ticket leak");
+            assert_eq!(cluster.pending_travels(), 0, "admission-queue leak");
+            cluster.shutdown();
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+}
+
+/// `max_concurrent_travels` bounds in-flight travels; queued submissions
+/// dispatch FIFO as slots free, and every travel still matches the
+/// oracle. Time-to-admit is surfaced on the result.
+#[test]
+fn admission_control_bounds_concurrency_fifo() {
+    let g = random_graph(12, 60);
+    let queries = tenant_queries();
+    let want: Vec<_> = queries.iter().map(|q| oracle_map(&g, q)).collect();
+    let dir = tmp("admission");
+    let cluster = Cluster::build(
+        &g,
+        ClusterConfig::new(&dir, 3),
+        EngineConfig::new(EngineKind::GraphTrek).max_concurrent_travels(2),
+    )
+    .unwrap();
+    let tickets: Vec<Ticket> = queries[..6]
+        .iter()
+        .map(|q| cluster.start(q).unwrap())
+        .collect();
+    // Admission is client-side and synchronous: exactly the limit is in
+    // flight, the rest are parked, before any completion is observed.
+    assert_eq!(cluster.active_travels(), 2);
+    assert_eq!(cluster.pending_travels(), 4);
+    let mut results = Vec::new();
+    for t in &tickets {
+        results.push(cluster.wait(t, Duration::from_secs(60)).unwrap());
+    }
+    for (i, r) in results.iter().enumerate() {
+        assert_eq!(
+            r.by_depth, want[i],
+            "travel {i} diverged under admission control"
+        );
+    }
+    // The first two were admitted on submission; the last one had to
+    // wait for a slot, and its queue time is visible on the result.
+    assert_eq!(results[0].admit_wait, Duration::ZERO);
+    assert_eq!(results[1].admit_wait, Duration::ZERO);
+    assert!(
+        results[5].admit_wait > Duration::ZERO,
+        "queued travel must report a non-zero time-to-admit"
+    );
+    assert_eq!(cluster.active_travels(), 0);
+    assert_eq!(cluster.pending_travels(), 0);
+    cluster.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Cancelling a pending travel removes it before it ever starts
+/// (`Ok(false)`); cancelling an admitted travel retires it on every
+/// server (`Ok(true)`); and the cluster keeps serving travels correctly
+/// afterwards.
+#[test]
+fn cancel_retires_pending_and_inflight_travels() {
+    let g = random_graph(13, 60);
+    let dir = tmp("cancel");
+    let cluster = Cluster::build(
+        &g,
+        ClusterConfig::new(&dir, 3),
+        EngineConfig::new(EngineKind::GraphTrek).max_concurrent_travels(1),
+    )
+    .unwrap();
+    let long = GTravel::v_all().e("link").e("link").e("link");
+    let short = GTravel::v([0u64]).e("run");
+    let a = cluster.start(&long).unwrap();
+    let b = cluster.start(&short).unwrap();
+    assert_eq!(cluster.pending_travels(), 1);
+    // B never started: removed from the admission queue client-side.
+    assert!(
+        !cluster.cancel(&b).unwrap(),
+        "pending travel: removed before start"
+    );
+    assert_eq!(cluster.pending_travels(), 0);
+    // A was admitted: cancellation is acknowledged by every server.
+    assert!(
+        cluster.cancel(&a).unwrap(),
+        "admitted travel: acked by all servers"
+    );
+    assert_eq!(cluster.active_travels(), 0);
+    // The cluster is healthy: a fresh travel still matches the oracle.
+    let want = oracle_map(&g, &short);
+    let got = cluster.submit(&short).unwrap();
+    assert_eq!(got.by_depth, want);
+    // Cancelling an already-completed travel is a harmless no-op sweep.
+    let c = cluster.start(&short).unwrap();
+    cluster.wait(&c, Duration::from_secs(60)).unwrap();
+    assert!(cluster.cancel(&c).unwrap());
+    assert_eq!(cluster.active_travels(), 0);
+    cluster.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Per-travel metric splits: each co-running travel sees its own real
+/// I/O and queue-residency accounting, aggregated across servers.
+#[test]
+fn per_travel_metrics_are_attributed() {
+    let g = random_graph(14, 60);
+    let dir = tmp("metrics");
+    let cluster = Cluster::build(
+        &g,
+        ClusterConfig::new(&dir, 2),
+        EngineConfig::new(EngineKind::GraphTrek),
+    )
+    .unwrap();
+    let qa = GTravel::v_all().e("link").e("link");
+    let qb = GTravel::v([0u64, 1]).e("run");
+    let a = cluster.start(&qa).unwrap();
+    let b = cluster.start(&qb).unwrap();
+    cluster.wait(&a, Duration::from_secs(60)).unwrap();
+    cluster.wait(&b, Duration::from_secs(60)).unwrap();
+    let ma = cluster.travel_metrics(&a);
+    let mb = cluster.travel_metrics(&b);
+    assert!(ma.real_io_visits > 0, "travel A did real I/O: {ma:?}");
+    assert!(mb.real_io_visits > 0, "travel B did real I/O: {mb:?}");
+    assert!(ma.queue_popped > 0 && mb.queue_popped > 0);
+    // The wide scan does strictly more work than the 1-hop probe.
+    assert!(ma.real_io_visits > mb.real_io_visits);
+    let all = cluster.all_travel_metrics();
+    assert!(all.contains_key(&a.travel()) && all.contains_key(&b.travel()));
+    cluster.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The PR's fairness acceptance test: a 1-hop travel submitted behind a
+/// deep full-graph scan completes sooner under weighted fair
+/// cross-travel scheduling than under arrival-order draining (the FIFO
+/// queue), on the same graph, same plans, same injected slowness.
+/// Fixed seeds; the measured pair is recorded in EXPERIMENTS.md.
+///
+/// The scan's deep steps (2+) are slowed with straggler injection, so a
+/// backlog of slow requests builds on every server while the short
+/// travel's own steps (0–1) stay fast — exactly the multi-tenant noisy-
+/// neighbour shape. Arrival order drains the backlog first; the fair
+/// pick serves the newcomer its share immediately.
+#[test]
+fn fair_scheduling_beats_arrival_order_for_short_travels() {
+    let g = random_graph(15, 300);
+    let long = GTravel::v_all().e("link").e("link").e("link");
+    let short = GTravel::v([0u64]).e("run");
+    let short_want = oracle_map(&g, &short);
+    let slow_deep_steps = FaultPlan {
+        stragglers: [0usize, 1]
+            .iter()
+            .flat_map(|&server| {
+                [2u16, 3].iter().map(move |&step| Straggler {
+                    server,
+                    step,
+                    delay: Duration::from_millis(1),
+                    count: u64::MAX,
+                })
+            })
+            .collect(),
+    };
+    let mut latency = BTreeMap::new();
+    for (tag, fair) in [("fair", true), ("fifo", false)] {
+        let dir = tmp(&format!("fairness-{tag}"));
+        let ecfg = if fair {
+            // Fair two-level merging queue (the default GraphTrek path).
+            EngineConfig::new(EngineKind::GraphTrek).workers(1)
+        } else {
+            // Arrival-order baseline: same engine, FIFO local queues.
+            EngineConfig::new(EngineKind::GraphTrek)
+                .workers(1)
+                .force_merging_queue(false)
+        };
+        let cluster = Cluster::build(
+            &g,
+            ClusterConfig::new(&dir, 2),
+            ecfg.faults(slow_deep_steps.clone()),
+        )
+        .unwrap();
+        let bg = cluster.start(&long).unwrap();
+        // Let the scan pile a backlog of slow deep-step requests onto
+        // both servers' queues.
+        std::thread::sleep(Duration::from_millis(60));
+        let t = cluster.start(&short).unwrap();
+        let got = cluster.wait(&t, Duration::from_secs(120)).unwrap();
+        assert_eq!(got.by_depth, short_want, "{tag}: short travel diverged");
+        latency.insert(tag, got.elapsed);
+        // Retire the scan mid-flight (also exercises in-flight cancel
+        // under load) so shutdown is clean and the test stays fast.
+        assert!(cluster.cancel(&bg).unwrap());
+        cluster.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    eprintln!(
+        "short-travel latency behind a deep scan: fair={:?} fifo={:?}",
+        latency["fair"], latency["fifo"]
+    );
+    assert!(
+        latency["fair"] < latency["fifo"],
+        "fair scheduling must beat arrival-order draining: {latency:?}"
+    );
+}
+
+/// Stress lane (nightly): 32 travels with straggler injection and an
+/// admission limit — no deadlock, no ticket leak, every result exact,
+/// queue depth bounded.
+#[test]
+#[ignore = "stress lane: ~32 concurrent travels with straggler injection"]
+fn stress_32_travels_with_stragglers() {
+    let g = random_graph(16, 100);
+    let queries = tenant_queries();
+    let want: Vec<_> = queries.iter().map(|q| oracle_map(&g, q)).collect();
+    let dir = tmp("stress");
+    let cluster = Cluster::build(
+        &g,
+        ClusterConfig::new(&dir, 4),
+        EngineConfig::new(EngineKind::GraphTrek)
+            .max_concurrent_travels(8)
+            .faults(FaultPlan::round_robin_stragglers(
+                &[0, 1, 2, 3],
+                3,
+                Duration::from_millis(2),
+                40,
+            )),
+    )
+    .unwrap();
+    let tickets: Vec<(usize, Ticket)> = (0..32)
+        .map(|i| {
+            let qi = i % queries.len();
+            (qi, cluster.start(&queries[qi]).unwrap())
+        })
+        .collect();
+    for (qi, t) in &tickets {
+        let got = cluster.wait(t, Duration::from_secs(120)).unwrap();
+        assert_eq!(
+            got.by_depth, want[*qi],
+            "stress travel (query {qi}) diverged"
+        );
+    }
+    assert_eq!(cluster.active_travels(), 0, "ticket leak under stress");
+    assert_eq!(cluster.pending_travels(), 0);
+    for (s, m) in cluster.metrics().iter().enumerate() {
+        assert!(
+            m.queue_peak < 100_000,
+            "server {s} queue depth unbounded: {}",
+            m.queue_peak
+        );
+    }
+    cluster.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -152,9 +152,7 @@ fn multiple_rtn_depths_equivalence() {
         .rtn()
         .e("link")
         .rtn();
-    for n in [3] {
-        run_all_engines(&g, &q, n, "rtn-multi");
-    }
+    run_all_engines(&g, &q, 3, "rtn-multi");
 }
 
 #[test]

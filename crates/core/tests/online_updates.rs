@@ -22,7 +22,11 @@ fn base_graph() -> InMemoryGraph {
     let mut g = InMemoryGraph::new();
     g.add_vertex(Vertex::new(1u64, "User", Props::new().with("name", "sam")));
     g.add_vertex(Vertex::new(10u64, "Execution", Props::new()));
-    g.add_vertex(Vertex::new(20u64, "File", Props::new().with("ftype", "text")));
+    g.add_vertex(Vertex::new(
+        20u64,
+        "File",
+        Props::new().with("ftype", "text"),
+    ));
     g.add_edge(Edge::new(1u64, "run", 10u64, Props::new().with("ts", 5i64)));
     g.add_edge(Edge::new(10u64, "read", 20u64, Props::new()));
     g

@@ -21,10 +21,7 @@ const TYPES: [&str; 3] = ["User", "Execution", "File"];
 
 fn graph_spec() -> impl Strategy<Value = GraphSpec> {
     (4u64..24).prop_flat_map(|n| {
-        let edges = proptest::collection::vec(
-            (0..n, 0u8..3, 0..n, 0i64..20),
-            0..(n as usize * 4),
-        );
+        let edges = proptest::collection::vec((0..n, 0u8..3, 0..n, 0i64..20), 0..(n as usize * 4));
         let weights = proptest::collection::vec(0i64..10, n as usize);
         (Just(n), edges, weights).prop_map(|(n_vertices, edges, weights)| GraphSpec {
             n_vertices,
@@ -74,13 +71,15 @@ fn plan_spec() -> impl Strategy<Value = PlanSpec> {
         proptest::bool::weighted(0.25),
         proptest::collection::vec(step_spec(), 0..5),
     )
-        .prop_map(|(sources, all_source, type_filter, source_rtn, steps)| PlanSpec {
-            sources,
-            all_source,
-            type_filter,
-            source_rtn,
-            steps,
-        })
+        .prop_map(
+            |(sources, all_source, type_filter, source_rtn, steps)| PlanSpec {
+                sources,
+                all_source,
+                type_filter,
+                source_rtn,
+                steps,
+            },
+        )
 }
 
 fn build_graph(spec: &GraphSpec) -> InMemoryGraph {
@@ -113,7 +112,12 @@ fn build_query(spec: &PlanSpec, n_vertices: u64) -> GTravel {
     let mut q = if spec.all_source {
         GTravel::v_all()
     } else {
-        GTravel::v(spec.sources.iter().map(|&s| s % n_vertices).collect::<Vec<_>>())
+        GTravel::v(
+            spec.sources
+                .iter()
+                .map(|&s| s % n_vertices)
+                .collect::<Vec<_>>(),
+        )
     };
     if let Some(t) = spec.type_filter {
         q = q.va(PropFilter::eq("type", TYPES[t as usize]));
@@ -178,5 +182,93 @@ proptest! {
                 plan
             );
         }
+    }
+
+    /// Two random plans executed concurrently on one cluster return
+    /// exactly what they return when executed serially: interleaving
+    /// (shared queues, shared cache, fair scheduling) never changes
+    /// traversal semantics.
+    #[test]
+    fn interleaved_pair_matches_serial(
+        gspec in graph_spec(),
+        pa in plan_spec(),
+        pb in plan_spec(),
+        n_servers in 1usize..4,
+    ) {
+        let g = build_graph(&gspec);
+        let qa = build_query(&pa, gspec.n_vertices);
+        let qb = build_query(&pb, gspec.n_vertices);
+        let dir = std::env::temp_dir().join(format!(
+            "gt-prop-pair-{}-{:?}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let cluster = Cluster::build(
+            &g,
+            ClusterConfig::new(&dir, n_servers),
+            EngineConfig::new(EngineKind::GraphTrek),
+        )
+        .unwrap();
+        // Serial runs first (the per-cluster oracle) …
+        let serial_a = cluster.submit(&qa).unwrap().by_depth;
+        let serial_b = cluster.submit(&qb).unwrap().by_depth;
+        // … then both in flight at once, completions awaited out of order.
+        let ta = cluster.start(&qa).unwrap();
+        let tb = cluster.start(&qb).unwrap();
+        let got_b = cluster.wait(&tb, std::time::Duration::from_secs(60)).unwrap();
+        let got_a = cluster.wait(&ta, std::time::Duration::from_secs(60)).unwrap();
+        cluster.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+        prop_assert_eq!(&got_a.by_depth, &serial_a, "plan A perturbed by co-runner");
+        prop_assert_eq!(&got_b.by_depth, &serial_b, "plan B perturbed by co-runner");
+    }
+
+    /// Cancelling one of two in-flight travels never perturbs the
+    /// survivor's result, and the cancelled ticket is fully retired (no
+    /// admission-slot leak).
+    #[test]
+    fn cancellation_never_perturbs_co_runner(
+        gspec in graph_spec(),
+        pa in plan_spec(),
+        pb in plan_spec(),
+        n_servers in 1usize..4,
+    ) {
+        let g = build_graph(&gspec);
+        let victim = build_query(&pa, gspec.n_vertices);
+        let survivor = build_query(&pb, gspec.n_vertices);
+        let want = oracle::traverse(&g, &survivor.compile().unwrap());
+        let want_map: BTreeMap<u16, Vec<VertexId>> = want
+            .by_depth
+            .iter()
+            .map(|(&d, s)| (d, s.iter().copied().collect()))
+            .collect();
+        let dir = std::env::temp_dir().join(format!(
+            "gt-prop-cancel-{}-{:?}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let cluster = Cluster::build(
+            &g,
+            ClusterConfig::new(&dir, n_servers),
+            EngineConfig::new(EngineKind::GraphTrek),
+        )
+        .unwrap();
+        let tv = cluster.start(&victim).unwrap();
+        let ts = cluster.start(&survivor).unwrap();
+        cluster.cancel(&tv).unwrap();
+        let got = cluster.wait(&ts, std::time::Duration::from_secs(60)).unwrap();
+        let leaked = cluster.active_travels();
+        cluster.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+        prop_assert_eq!(&got.by_depth, &want_map, "survivor perturbed by cancellation");
+        prop_assert_eq!(leaked, 0, "cancelled travel leaked its admission slot");
     }
 }

@@ -139,12 +139,7 @@ fn graphtrek_removes_redundant_visits() {
 fn straggler_injection_charges_delays() {
     let g = fanout_graph(5, 32);
     let dir = tmp("straggler");
-    let faults = FaultPlan::round_robin_stragglers(
-        &[0, 1],
-        4,
-        Duration::from_micros(200),
-        50,
-    );
+    let faults = FaultPlan::round_robin_stragglers(&[0, 1], 4, Duration::from_micros(200), 50);
     let cluster = Cluster::build(
         &g,
         ClusterConfig::new(&dir, 3),
@@ -288,7 +283,11 @@ fn sync_engine_counts_barriers() {
     let r = cluster.submit(&deep_query(4)).unwrap();
     // Sync progress reports barrier counts: one per step (including the
     // source step), since every step reaches the controller.
-    assert!(r.progress.created >= 4, "expected >=4 barriers, got {:?}", r.progress);
+    assert!(
+        r.progress.created >= 4,
+        "expected >=4 barriers, got {:?}",
+        r.progress
+    );
     cluster.shutdown();
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -304,7 +303,12 @@ fn queue_peak_grows_under_load() {
     )
     .unwrap();
     cluster.submit(&deep_query(7)).unwrap();
-    let peak: usize = cluster.metrics().iter().map(|m| m.queue_peak).max().unwrap();
+    let peak: usize = cluster
+        .metrics()
+        .iter()
+        .map(|m| m.queue_peak)
+        .max()
+        .unwrap();
     assert!(peak > 1, "expected queue buildup, peak={peak}");
     cluster.shutdown();
     std::fs::remove_dir_all(&dir).ok();

@@ -116,7 +116,8 @@ impl DarshanConfig {
         DarshanConfig {
             // Users scale much more slowly than jobs in real facilities;
             // divide by the cube root of the divisor, clamped below jobs.
-            n_users: (((177.0 / (d as f64).cbrt()) as usize).clamp(4, 177)).min(jobs.saturating_sub(1).max(2)),
+            n_users: (((177.0 / (d as f64).cbrt()) as usize).clamp(4, 177))
+                .min(jobs.saturating_sub(1).max(2)),
             n_jobs: jobs,
             avg_execs_per_job: execs / jobs as f64,
             n_files: files,
@@ -305,8 +306,22 @@ pub fn generate(cfg: &DarshanConfig) -> DarshanGraph {
             fid,
             vtype::FILE,
             Props::new()
-                .with("name", if is_exe { format!("app-{f:02}") } else { format!("dset-{f}.{}", exts[f % exts.len()]) })
-                .with("ftype", if is_exe { "executable" } else { exts[f % exts.len()] })
+                .with(
+                    "name",
+                    if is_exe {
+                        format!("app-{f:02}")
+                    } else {
+                        format!("dset-{f}.{}", exts[f % exts.len()])
+                    },
+                )
+                .with(
+                    "ftype",
+                    if is_exe {
+                        "executable"
+                    } else {
+                        exts[f % exts.len()]
+                    },
+                )
                 .with("size", rng.gen_range(1..1 << 30) as i64)
                 .with(
                     "annotation",
@@ -335,8 +350,18 @@ pub fn generate(cfg: &DarshanConfig) -> DarshanGraph {
                 continue;
             }
             let fid = files_start + f as u64;
-            g.add_edge(Edge::new(eid, elabel::READ, fid, Props::new().with("ts", ts)));
-            g.add_edge(Edge::new(fid, elabel::READ_BY, eid, Props::new().with("ts", ts)));
+            g.add_edge(Edge::new(
+                eid,
+                elabel::READ,
+                fid,
+                Props::new().with("ts", ts),
+            ));
+            g.add_edge(Edge::new(
+                fid,
+                elabel::READ_BY,
+                eid,
+                Props::new().with("ts", ts),
+            ));
         }
         let n_writes = sample_geometric(&mut rng, cfg.avg_writes_per_exec);
         let mut write_files = std::collections::HashSet::new();

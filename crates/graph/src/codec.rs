@@ -230,22 +230,26 @@ mod tests {
     #[test]
     fn edge_keys_cluster_by_label() {
         // Keys for the same (src, label) sort adjacently regardless of dst.
-        let mut keys = vec![
+        let mut keys = [
             edge_key(VertexId(1), "run", VertexId(50)),
             edge_key(VertexId(1), "read", VertexId(2)),
             edge_key(VertexId(1), "read", VertexId(100)),
             edge_key(VertexId(1), "run", VertexId(3)),
         ];
         keys.sort();
-        let labels: Vec<String> = keys
-            .iter()
-            .map(|k| decode_edge_key(k).unwrap().1)
-            .collect();
+        let labels: Vec<String> = keys.iter().map(|k| decode_edge_key(k).unwrap().1).collect();
         // Keys sort by (label_len, label, dst), so equal labels are always
         // contiguous — that contiguity is what makes typed scans sequential.
         assert_eq!(labels, ["run", "run", "read", "read"]);
-        let dsts: Vec<u64> = keys.iter().map(|k| decode_edge_key(k).unwrap().2 .0).collect();
-        assert_eq!(dsts, [3, 50, 2, 100], "within a label, dst order is ascending");
+        let dsts: Vec<u64> = keys
+            .iter()
+            .map(|k| decode_edge_key(k).unwrap().2 .0)
+            .collect();
+        assert_eq!(
+            dsts,
+            [3, 50, 2, 100],
+            "within a label, dst order is ascending"
+        );
     }
 
     #[test]

@@ -156,10 +156,7 @@ mod tests {
 
     #[test]
     fn in_matches_any_member() {
-        let f = PropFilter::is_in(
-            "type",
-            vec![PropValue::str("csv"), PropValue::str("text")],
-        );
+        let f = PropFilter::is_in("type", vec![PropValue::str("csv"), PropValue::str("text")]);
         assert!(f.matches(&props()));
         let f = PropFilter::is_in("type", vec![PropValue::str("csv")]);
         assert!(!f.matches(&props()));

@@ -163,10 +163,7 @@ mod tests {
     fn vertices_of_type_sorted() {
         let mut g = sample();
         g.add_vertex(Vertex::new(0u64, "File", Props::new()));
-        assert_eq!(
-            g.vertices_of_type("File"),
-            vec![VertexId(0), VertexId(3)]
-        );
+        assert_eq!(g.vertices_of_type("File"), vec![VertexId(0), VertexId(3)]);
         assert!(g.vertices_of_type("Nothing").is_empty());
     }
 

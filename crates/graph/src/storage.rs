@@ -43,7 +43,11 @@ impl GraphPartition {
     pub fn open(store: Arc<Store>) -> Result<Self> {
         let verts = store.namespace("verts")?;
         let edges = store.namespace("edges")?;
-        Ok(GraphPartition { store, verts, edges })
+        Ok(GraphPartition {
+            store,
+            verts,
+            edges,
+        })
     }
 
     fn type_ns(&self, vtype: &str) -> Result<Namespace> {
@@ -122,12 +126,7 @@ impl GraphPartition {
         Ok(ns
             .scan_prefix(b"")?
             .into_iter()
-            .filter_map(|(k, _)| {
-                k.as_slice()
-                    .try_into()
-                    .ok()
-                    .map(VertexId::from_be_bytes)
-            })
+            .filter_map(|(k, _)| k.as_slice().try_into().ok().map(VertexId::from_be_bytes))
             .collect())
     }
 
@@ -137,12 +136,7 @@ impl GraphPartition {
             .verts
             .scan_prefix(b"")?
             .into_iter()
-            .filter_map(|(k, _)| {
-                k.as_slice()
-                    .try_into()
-                    .ok()
-                    .map(VertexId::from_be_bytes)
-            })
+            .filter_map(|(k, _)| k.as_slice().try_into().ok().map(VertexId::from_be_bytes))
             .collect())
     }
 
@@ -269,11 +263,18 @@ mod tests {
     fn typed_edge_scan_is_label_scoped() {
         let (p, dir) = open_tmp("escan");
         for i in 0..5u64 {
-            p.put_edge(&Edge::new(1u64, "read", 10 + i, Props::new().with("i", i as i64)))
-                .unwrap();
+            p.put_edge(&Edge::new(
+                1u64,
+                "read",
+                10 + i,
+                Props::new().with("i", i as i64),
+            ))
+            .unwrap();
         }
-        p.put_edge(&Edge::new(1u64, "run", 99u64, Props::new())).unwrap();
-        p.put_edge(&Edge::new(2u64, "read", 50u64, Props::new())).unwrap();
+        p.put_edge(&Edge::new(1u64, "run", 99u64, Props::new()))
+            .unwrap();
+        p.put_edge(&Edge::new(2u64, "read", 50u64, Props::new()))
+            .unwrap();
         let reads = p.edges_out(VertexId(1), "read").unwrap();
         assert_eq!(reads.len(), 5);
         assert!(reads.windows(2).all(|w| w[0].0 < w[1].0));
@@ -288,8 +289,10 @@ mod tests {
     fn label_prefix_does_not_leak_across_labels() {
         let (p, dir) = open_tmp("labelleak");
         // "re" is a prefix of "read": make sure scans don't conflate them.
-        p.put_edge(&Edge::new(1u64, "re", 5u64, Props::new())).unwrap();
-        p.put_edge(&Edge::new(1u64, "read", 6u64, Props::new())).unwrap();
+        p.put_edge(&Edge::new(1u64, "re", 5u64, Props::new()))
+            .unwrap();
+        p.put_edge(&Edge::new(1u64, "read", 6u64, Props::new()))
+            .unwrap();
         assert_eq!(p.edges_out(VertexId(1), "re").unwrap().len(), 1);
         assert_eq!(p.edges_out(VertexId(1), "read").unwrap().len(), 1);
         std::fs::remove_dir_all(dir).ok();
@@ -298,9 +301,12 @@ mod tests {
     #[test]
     fn type_index_tracks_types() {
         let (p, dir) = open_tmp("types");
-        p.put_vertex(&Vertex::new(1u64, "User", Props::new())).unwrap();
-        p.put_vertex(&Vertex::new(2u64, "File", Props::new())).unwrap();
-        p.put_vertex(&Vertex::new(3u64, "File", Props::new())).unwrap();
+        p.put_vertex(&Vertex::new(1u64, "User", Props::new()))
+            .unwrap();
+        p.put_vertex(&Vertex::new(2u64, "File", Props::new()))
+            .unwrap();
+        p.put_vertex(&Vertex::new(3u64, "File", Props::new()))
+            .unwrap();
         assert_eq!(
             p.vertices_of_type("File").unwrap(),
             vec![VertexId(2), VertexId(3)]
@@ -358,7 +364,10 @@ mod tests {
                 }
             }
         }
-        let total: usize = parts.iter().map(|p| p.all_vertex_ids().unwrap().len()).sum();
+        let total: usize = parts
+            .iter()
+            .map(|p| p.all_vertex_ids().unwrap().len())
+            .sum();
         assert_eq!(total, 40);
         for d in dirs {
             std::fs::remove_dir_all(d).ok();

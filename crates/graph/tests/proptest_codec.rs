@@ -1,7 +1,7 @@
 //! Property tests for the storage codec and partitioner invariants.
 
 use gt_graph::codec;
-use gt_graph::{EdgeCutPartitioner, Props, PropValue, Vertex, VertexId};
+use gt_graph::{EdgeCutPartitioner, PropValue, Props, Vertex, VertexId};
 use proptest::prelude::*;
 
 fn prop_value() -> impl Strategy<Value = PropValue> {

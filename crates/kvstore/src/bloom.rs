@@ -109,7 +109,9 @@ mod tests {
     #[test]
     fn no_false_negatives() {
         let mut f = BloomFilter::new(1000, 10);
-        let keys: Vec<Vec<u8>> = (0..1000u32).map(|i| format!("key-{i}").into_bytes()).collect();
+        let keys: Vec<Vec<u8>> = (0..1000u32)
+            .map(|i| format!("key-{i}").into_bytes())
+            .collect();
         for k in &keys {
             f.insert(k);
         }

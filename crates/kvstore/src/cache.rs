@@ -72,7 +72,13 @@ impl BlockCache {
         }
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
         let mut map = self.map.lock();
-        map.insert((tree, segment, slot), Entry { run, last_use: stamp });
+        map.insert(
+            (tree, segment, slot),
+            Entry {
+                run,
+                last_use: stamp,
+            },
+        );
         if map.len() > self.capacity {
             // Amortized LRU: drop the oldest ~1/8 of the cache at once.
             let evict = (self.capacity / 8).max(1);

@@ -156,7 +156,8 @@ impl IoStats {
 
     /// Record `bytes` written to durable media.
     pub fn record_write(&self, bytes: usize) {
-        self.bytes_written.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.bytes_written
+            .fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
     /// Snapshot of the counters as plain integers.

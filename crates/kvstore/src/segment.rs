@@ -81,7 +81,11 @@ pub struct SegmentBuilder {
 
 impl SegmentBuilder {
     /// Begin writing a segment at `path`, sized for roughly `n_keys` keys.
-    pub fn create(path: impl Into<PathBuf>, n_keys: usize, bloom_bits_per_key: usize) -> Result<Self> {
+    pub fn create(
+        path: impl Into<PathBuf>,
+        n_keys: usize,
+        bloom_bits_per_key: usize,
+    ) -> Result<Self> {
         let path = path.into();
         let file = File::create(&path)?;
         let mut writer = BufWriter::new(file);
@@ -152,7 +156,8 @@ impl SegmentBuilder {
         self.close_run();
         let index_off = self.pos;
         for e in &self.index {
-            self.writer.write_all(&(e.first_key.len() as u32).to_le_bytes())?;
+            self.writer
+                .write_all(&(e.first_key.len() as u32).to_le_bytes())?;
             self.writer.write_all(&e.first_key)?;
             self.writer.write_all(&e.offset.to_le_bytes())?;
             self.writer.write_all(&e.byte_len.to_le_bytes())?;
@@ -247,7 +252,7 @@ impl Segment {
             .ok_or_else(|| Error::corruption(&fname, "bad bloom filter"))?;
         // Verify header.
         let mut header = [0u8; 8];
-        (&mut file).read_exact(&mut header)?;
+        file.read_exact(&mut header)?;
         if &header[0..4] != MAGIC {
             return Err(Error::corruption(&fname, "bad header magic"));
         }
@@ -313,7 +318,11 @@ impl Segment {
         };
         io.charge(kind);
         stats.record(kind, buf.len());
-        let run = Arc::new(decode_run(&buf, e.run_len, &self.path.display().to_string())?);
+        let run = Arc::new(decode_run(
+            &buf,
+            e.run_len,
+            &self.path.display().to_string(),
+        )?);
         cache.insert(tree, self.id, slot as u64, run.clone());
         Ok((run, kind))
     }
@@ -527,7 +536,8 @@ mod tests {
         assert_eq!(out.len(), 50);
         assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
         out.clear();
-        seg.scan_prefix(0, b"e/9/", &cache, &io, &stats, &mut out).unwrap();
+        seg.scan_prefix(0, b"e/9/", &cache, &io, &stats, &mut out)
+            .unwrap();
         assert!(out.is_empty());
     }
 

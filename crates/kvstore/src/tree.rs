@@ -97,7 +97,10 @@ impl Tree {
             let entry = entry?;
             let fname = entry.file_name();
             let fname = fname.to_string_lossy();
-            if let Some(idstr) = fname.strip_prefix("seg-").and_then(|s| s.strip_suffix(".sst")) {
+            if let Some(idstr) = fname
+                .strip_prefix("seg-")
+                .and_then(|s| s.strip_suffix(".sst"))
+            {
                 if let Ok(id) = idstr.parse::<u64>() {
                     seg_ids.push(id);
                 }
@@ -208,7 +211,14 @@ impl Tree {
         let mut scratch = Vec::new();
         for seg in inner.segments.iter().rev() {
             scratch.clear();
-            seg.scan_prefix(self.cache_tag, prefix, &self.cache, &self.io, &self.stats, &mut scratch)?;
+            seg.scan_prefix(
+                self.cache_tag,
+                prefix,
+                &self.cache,
+                &self.io,
+                &self.stats,
+                &mut scratch,
+            )?;
             for (k, v) in scratch.drain(..) {
                 merged.insert(k, v);
             }
@@ -284,7 +294,14 @@ impl Tree {
         let free = IoProfile::free();
         for seg in inner.segments.iter().rev() {
             scratch.clear();
-            seg.scan_prefix(self.cache_tag, b"", &self.cache, &free, &self.stats, &mut scratch)?;
+            seg.scan_prefix(
+                self.cache_tag,
+                b"",
+                &self.cache,
+                &free,
+                &self.stats,
+                &mut scratch,
+            )?;
             for (k, v) in scratch.drain(..) {
                 merged.insert(k, v);
             }
@@ -305,7 +322,8 @@ impl Tree {
             }
             return Ok(());
         }
-        let mut builder = SegmentBuilder::create(&tmp_path, live.len(), self.cfg.bloom_bits_per_key)?;
+        let mut builder =
+            SegmentBuilder::create(&tmp_path, live.len(), self.cfg.bloom_bits_per_key)?;
         for (k, v) in live {
             builder.add(k, Some(v))?;
         }
@@ -389,8 +407,11 @@ mod tests {
     fn flush_and_read_from_segment() {
         let (t, dir) = open_tmp("flush");
         for i in 0..100u32 {
-            t.put(format!("key-{i:04}").into_bytes(), Bytes::from(format!("val-{i}")))
-                .unwrap();
+            t.put(
+                format!("key-{i:04}").into_bytes(),
+                Bytes::from(format!("val-{i}")),
+            )
+            .unwrap();
         }
         t.flush().unwrap();
         assert_eq!(t.memtable_len(), 0);
@@ -460,8 +481,11 @@ mod tests {
     fn compaction_merges_and_drops_tombstones() {
         let (t, dir) = open_tmp("compact");
         for i in 0..50u32 {
-            t.put(format!("k{i:03}").into_bytes(), Bytes::from(format!("v{i}")))
-                .unwrap();
+            t.put(
+                format!("k{i:03}").into_bytes(),
+                Bytes::from(format!("v{i}")),
+            )
+            .unwrap();
         }
         t.flush().unwrap();
         for i in 0..25u32 {
@@ -504,7 +528,8 @@ mod tests {
                 cfg.clone(),
             )
             .unwrap();
-            t.put(b"in-segment".to_vec(), Bytes::from_static(b"s")).unwrap();
+            t.put(b"in-segment".to_vec(), Bytes::from_static(b"s"))
+                .unwrap();
             t.flush().unwrap();
             t.put(b"in-wal".to_vec(), Bytes::from_static(b"w")).unwrap();
             // Dropped without flushing: `in-wal` lives only in the WAL.
@@ -518,7 +543,10 @@ mod tests {
             cfg,
         )
         .unwrap();
-        assert_eq!(t.get(b"in-segment").unwrap(), Some(Bytes::from_static(b"s")));
+        assert_eq!(
+            t.get(b"in-segment").unwrap(),
+            Some(Bytes::from_static(b"s"))
+        );
         assert_eq!(t.get(b"in-wal").unwrap(), Some(Bytes::from_static(b"w")));
         assert_eq!(t.memtable_len(), 1);
         std::fs::remove_dir_all(dir).ok();

@@ -190,7 +190,10 @@ pub fn replay(path: &Path) -> Result<Replay> {
                 truncated_at = Some(pos as u64);
                 break;
             }
-            return Err(Error::corruption(&fname, format!("bad crc at offset {pos}")));
+            return Err(Error::corruption(
+                &fname,
+                format!("bad crc at offset {pos}"),
+            ));
         }
         batches.push(decode_payload(payload, &fname)?);
         pos += 8 + len;
@@ -294,10 +297,7 @@ mod tests {
         let mut data = std::fs::read(&p).unwrap();
         data[10] ^= 0xFF;
         std::fs::write(&p, &data).unwrap();
-        assert!(matches!(
-            replay(&p),
-            Err(Error::Corruption { .. })
-        ));
+        assert!(matches!(replay(&p), Err(Error::Corruption { .. })));
     }
 
     #[test]

@@ -44,7 +44,8 @@ fn torn_wal_tail_loses_only_last_batch() {
         let s = Store::open(StoreConfig::new(&dir)).unwrap();
         let ns = s.namespace("ns").unwrap();
         ns.put(b"first".to_vec(), Bytes::from_static(b"1")).unwrap();
-        ns.put(b"second".to_vec(), Bytes::from_static(b"2")).unwrap();
+        ns.put(b"second".to_vec(), Bytes::from_static(b"2"))
+            .unwrap();
     }
     // Corrupt the last few bytes of the WAL, as a crash mid-write would.
     let wal = dir.join("ns").join("wal.log");
@@ -90,7 +91,8 @@ fn many_segments_reopen_in_recency_order() {
         let ns = s.namespace("ns").unwrap();
         // Ten generations of the same key, flushed each time.
         for gen in 0..10u32 {
-            ns.put(b"k".to_vec(), Bytes::from(format!("gen-{gen}"))).unwrap();
+            ns.put(b"k".to_vec(), Bytes::from(format!("gen-{gen}")))
+                .unwrap();
             ns.flush().unwrap();
         }
         assert!(ns.n_segments() >= 2);

@@ -267,9 +267,7 @@ impl<M: Send + WireSize + 'static> Endpoint<M> {
         if to >= sh.inboxes.len() {
             return Err(SendError::UnknownEndpoint);
         }
-        if sh.isolated[self.id].load(Ordering::Relaxed)
-            || sh.isolated[to].load(Ordering::Relaxed)
-        {
+        if sh.isolated[self.id].load(Ordering::Relaxed) || sh.isolated[to].load(Ordering::Relaxed) {
             sh.stats.record_drop();
             return Ok(()); // silently dropped, like a dead peer
         }
@@ -412,7 +410,10 @@ mod tests {
         // Reconnect and verify traffic resumes.
         fabric.isolate(1, false);
         eps[0].send(1, 9).unwrap();
-        assert_eq!(eps[1].recv_timeout(Duration::from_millis(100)).unwrap().msg, 9);
+        assert_eq!(
+            eps[1].recv_timeout(Duration::from_millis(100)).unwrap().msg,
+            9
+        );
     }
 
     #[test]

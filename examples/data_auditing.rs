@@ -49,10 +49,8 @@ fn main() {
 
     let n_servers = 8;
     for kind in EngineKind::all() {
-        let dir = std::env::temp_dir().join(format!(
-            "graphtrek-audit-{}-{kind:?}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("graphtrek-audit-{}-{kind:?}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         let cluster = Cluster::build(
             &d.graph,

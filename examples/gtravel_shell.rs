@@ -75,8 +75,7 @@ fn run_query(cluster: &Cluster, text: &str) {
                     r.progress.created
                 );
                 for (depth, vs) in &r.by_depth {
-                    let preview: Vec<String> =
-                        vs.iter().take(8).map(|v| v.to_string()).collect();
+                    let preview: Vec<String> = vs.iter().take(8).map(|v| v.to_string()).collect();
                     println!(
                         "    depth {depth}: {} vertices [{}{}]",
                         vs.len(),

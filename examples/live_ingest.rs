@@ -50,13 +50,20 @@ fn main() {
                     Vertex::new(
                         outfile,
                         "File",
-                        Props::new().with("ftype", "h5").with("name", format!("out-{j}.h5")),
+                        Props::new()
+                            .with("ftype", "h5")
+                            .with("name", format!("out-{j}.h5")),
                     ),
                 ],
                 vec![
                     Edge::new(user, "run", job, Props::new().with("ts", today + j as i64)),
                     Edge::new(job, "hasExecutions", exec, Props::new()),
-                    Edge::new(exec, "write", outfile, Props::new().with("ts", today + j as i64)),
+                    Edge::new(
+                        exec,
+                        "write",
+                        outfile,
+                        Props::new().with("ts", today + j as i64),
+                    ),
                 ],
             )
             .expect("ingest");

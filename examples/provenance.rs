@@ -63,7 +63,9 @@ fn main() {
             _ => break,
         }
     }
-    let result = cluster.wait(&ticket, Duration::from_secs(120)).expect("wait");
+    let result = cluster
+        .wait(&ticket, Duration::from_secs(120))
+        .expect("wait");
 
     println!(
         "{} model-2 executions read an anno-1 file (elapsed {:?}, {} executions traced)",
@@ -73,7 +75,11 @@ fn main() {
     );
     // Verify against the single-threaded oracle.
     let want = graphtrek_suite::graphtrek::oracle::traverse(&d.graph, &q.compile().unwrap());
-    assert_eq!(result.vertices, want.all_vertices(), "engine matches oracle");
+    assert_eq!(
+        result.vertices,
+        want.all_vertices(),
+        "engine matches oracle"
+    );
     println!("oracle agrees: {} vertices", want.all_vertices().len());
 
     // Every returned vertex is, indeed, an execution.

@@ -29,7 +29,9 @@ fn main() {
     g.add_vertex(Vertex::new(
         10u64,
         "Execution",
-        Props::new().with("name", "job201405").with("params", "-n 1024"),
+        Props::new()
+            .with("name", "job201405")
+            .with("params", "-n 1024"),
     ));
     g.add_vertex(Vertex::new(
         11u64,
@@ -39,26 +41,52 @@ fn main() {
     g.add_vertex(Vertex::new(
         20u64,
         "File",
-        Props::new().with("name", "app-01").with("ftype", "executable"),
+        Props::new()
+            .with("name", "app-01")
+            .with("ftype", "executable"),
     ));
     g.add_vertex(Vertex::new(
         21u64,
         "File",
-        Props::new().with("name", "dset-1.txt").with("ftype", "text"),
+        Props::new()
+            .with("name", "dset-1.txt")
+            .with("ftype", "text"),
     ));
     g.add_vertex(Vertex::new(
         22u64,
         "File",
         Props::new().with("name", "dset-2.h5").with("ftype", "h5"),
     ));
-    g.add_edge(Edge::new(1u64, "run", 10u64, Props::new().with("ts", 100i64)));
-    g.add_edge(Edge::new(2u64, "run", 11u64, Props::new().with("ts", 900i64)));
+    g.add_edge(Edge::new(
+        1u64,
+        "run",
+        10u64,
+        Props::new().with("ts", 100i64),
+    ));
+    g.add_edge(Edge::new(
+        2u64,
+        "run",
+        11u64,
+        Props::new().with("ts", 900i64),
+    ));
     g.add_edge(Edge::new(10u64, "exe", 20u64, Props::new()));
-    g.add_edge(Edge::new(10u64, "read", 21u64, Props::new().with("ts", 101i64)));
-    g.add_edge(
-        10u64.pipe_edge("write", 22u64, Props::new().with("ts", 102i64).with("writeSize", 7 << 20)),
-    );
-    g.add_edge(Edge::new(11u64, "read", 22u64, Props::new().with("ts", 901i64)));
+    g.add_edge(Edge::new(
+        10u64,
+        "read",
+        21u64,
+        Props::new().with("ts", 101i64),
+    ));
+    g.add_edge(10u64.pipe_edge(
+        "write",
+        22u64,
+        Props::new().with("ts", 102i64).with("writeSize", 7 << 20),
+    ));
+    g.add_edge(Edge::new(
+        11u64,
+        "read",
+        22u64,
+        Props::new().with("ts", 901i64),
+    ));
 
     // ---- 2. A simulated 4-server cluster running GraphTrek -------------
     let dir = std::env::temp_dir().join(format!("graphtrek-quickstart-{}", std::process::id()));

@@ -43,19 +43,12 @@ fn main() {
 
     // Identical stragglers for both engines: extra delay on a burst of
     // vertex accesses at steps 1, 3 and 7 on three chosen servers.
-    let faults = FaultPlan::round_robin_stragglers(
-        &[1, 3, 5],
-        8,
-        Duration::from_millis(2),
-        200,
-    );
+    let faults = FaultPlan::round_robin_stragglers(&[1, 3, 5], 8, Duration::from_millis(2), 200);
 
     let mut elapsed = Vec::new();
     for kind in [EngineKind::Sync, EngineKind::GraphTrek] {
-        let dir = std::env::temp_dir().join(format!(
-            "graphtrek-storm-{}-{kind:?}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("graphtrek-storm-{}-{kind:?}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         let cluster = Cluster::build(
             &g,

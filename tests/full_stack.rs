@@ -144,10 +144,14 @@ fn graph_survives_cluster_restart() {
     let mut partitions = Vec::new();
     for s in 0..3 {
         let store = std::sync::Arc::new(
-            gt_kvstore::Store::open(gt_kvstore::StoreConfig::new(dir.join(format!("server-{s}"))))
-                .unwrap(),
+            gt_kvstore::Store::open(gt_kvstore::StoreConfig::new(
+                dir.join(format!("server-{s}")),
+            ))
+            .unwrap(),
         );
-        partitions.push(std::sync::Arc::new(gt_graph::GraphPartition::open(store).unwrap()));
+        partitions.push(std::sync::Arc::new(
+            gt_graph::GraphPartition::open(store).unwrap(),
+        ));
     }
     let cluster = graphtrek_suite::graphtrek::Cluster::from_partitions(
         partitions,

@@ -109,7 +109,7 @@ impl PartialEq<[u8]> for Bytes {
 
 impl PartialEq<Vec<u8>> for Bytes {
     fn eq(&self, other: &Vec<u8>) -> bool {
-        &**self == &other[..]
+        **self == other[..]
     }
 }
 

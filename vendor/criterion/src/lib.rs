@@ -7,7 +7,7 @@
 //! `sample_size` times after one warm-up and prints the mean
 //! wall-clock per iteration — enough to eyeball regressions offline.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Benchmark driver handed to `criterion_group!` functions.
 #[derive(Default)]
@@ -89,6 +89,14 @@ impl Bencher {
             self.elapsed_ns += t.elapsed().as_nanos();
             self.measured += 1;
         }
+    }
+
+    /// Caller-timed measurement: `f` receives the iteration count and
+    /// returns the total elapsed time for those iterations.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        let d = f(self.iters as u64);
+        self.elapsed_ns += d.as_nanos();
+        self.measured += self.iters;
     }
 }
 

@@ -163,11 +163,7 @@ impl<T> Receiver<T> {
             if self.disconnected() {
                 return Err(RecvError);
             }
-            q = self
-                .shared
-                .cond
-                .wait(q)
-                .unwrap_or_else(|p| p.into_inner());
+            q = self.shared.cond.wait(q).unwrap_or_else(|p| p.into_inner());
         }
     }
 

@@ -106,11 +106,7 @@ impl Condvar {
 
     /// Like [`Condvar::wait`] but gives up after `timeout`. Returns `true`
     /// when the wait timed out.
-    pub fn wait_for<T>(
-        &self,
-        guard: &mut MutexGuard<'_, T>,
-        timeout: std::time::Duration,
-    ) -> bool {
+    pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: std::time::Duration) -> bool {
         let g = guard.inner.take().expect("guard already waiting");
         let (g, res) = match self.inner.wait_timeout(g, timeout) {
             Ok((g, res)) => (g, res),

@@ -569,9 +569,7 @@ pub mod test_runner {
         /// RNG for one case — a pure function of (test name, case index),
         /// so any failure replays exactly on rerun.
         pub fn rng_for_case(&self, case: u32) -> TestRng {
-            TestRng::seed_from_u64(
-                self.name_hash ^ (case as u64).wrapping_mul(0x9e3779b97f4a7c15),
-            )
+            TestRng::seed_from_u64(self.name_hash ^ (case as u64).wrapping_mul(0x9e3779b97f4a7c15))
         }
     }
 

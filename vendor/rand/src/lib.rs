@@ -101,10 +101,7 @@ pub mod rngs {
     impl RngCore for SmallRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
-            let result = s[0]
-                .wrapping_add(s[3])
-                .rotate_left(23)
-                .wrapping_add(s[0]);
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
             let t = s[1] << 17;
             s[2] ^= s[0];
             s[3] ^= s[1];
@@ -228,7 +225,7 @@ mod tests {
             let g: f64 = rng.gen();
             assert!((0.0..1.0).contains(&g));
             let e = rng.gen_range(f64::EPSILON..1.0);
-            assert!(e >= f64::EPSILON && e < 1.0);
+            assert!((f64::EPSILON..1.0).contains(&e));
         }
     }
 

@@ -42,6 +42,7 @@ pub fn to_string_pretty<T: ?Sized + serde::Serialize + fmt::Debug>(value: &T) ->
 #[cfg(test)]
 mod tests {
     #[derive(Debug)]
+    #[allow(dead_code)] // fields read only through the Debug impl
     struct Rec {
         name: &'static str,
         n: u32,
