@@ -18,7 +18,7 @@
 use crate::engine::{EngineConfig, EngineKind};
 use crate::lang::{GTravel, LangError, Plan};
 use crate::message::{Msg, ProgressSnapshot, TravelOutcome};
-use crate::metrics::{MetricsSnapshot, TravelMetrics};
+use crate::metrics::{MetricsSnapshot, ServerMetrics, TravelMetrics};
 use crate::server::{spawn, ServerArgs, ServerHandle};
 use crate::TravelId;
 use gt_graph::storage::load_partitioned;
@@ -31,6 +31,12 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Base pause between timeout-driven resubmissions in
+/// [`Cluster::submit_opts`] (doubled per attempt, capped).
+const RESUBMIT_BACKOFF_BASE: Duration = Duration::from_millis(10);
+/// Cap on the resubmission backoff.
+const RESUBMIT_BACKOFF_CAP: Duration = Duration::from_millis(500);
 
 /// Storage-side configuration of a simulated cluster.
 #[derive(Debug, Clone)]
@@ -95,6 +101,9 @@ pub enum ClusterError {
     TimedOut(u32),
     /// The fabric is down (cluster shut down concurrently).
     Disconnected,
+    /// A crash/restart operation could not be carried out (server not
+    /// crashed, already restarted, storage reopen failed, …).
+    Recovery(String),
 }
 
 impl std::fmt::Display for ClusterError {
@@ -104,6 +113,7 @@ impl std::fmt::Display for ClusterError {
             ClusterError::Storage(e) => write!(f, "storage error: {e}"),
             ClusterError::TimedOut(n) => write!(f, "traversal timed out after {n} attempt(s)"),
             ClusterError::Disconnected => write!(f, "cluster disconnected"),
+            ClusterError::Recovery(why) => write!(f, "recovery error: {why}"),
         }
     }
 }
@@ -193,9 +203,34 @@ struct Admission {
     times: BTreeMap<TravelId, (Instant, Option<Instant>)>,
 }
 
+/// One backend server's fixed cluster-side state. The running threads
+/// live in `handle`; everything else survives a crash so
+/// [`Cluster::restart_server`] can respawn the server at the same fabric
+/// address with the same instrumentation and (when the cluster owns the
+/// storage) a store reopened from the same directory — replaying its WAL.
+struct ServerSlot {
+    /// The server's fabric endpoint. Endpoints are handles onto a shared
+    /// inbox, so keeping a clone here lets a restarted incarnation keep
+    /// receiving at the old address.
+    endpoint: Endpoint<Msg>,
+    /// Instrumentation, shared across incarnations (crash/recovery
+    /// counts accumulate).
+    metrics: Arc<ServerMetrics>,
+    /// Current shard. Replaced on restart when `store_cfg` is known
+    /// (store reopened → WAL replay); reused as-is otherwise.
+    partition: Mutex<Arc<GraphPartition>>,
+    /// Running incarnation, `None` transiently during restart.
+    handle: Mutex<Option<ServerHandle>>,
+    /// Incarnation counter: 0 at first boot, +1 per restart.
+    epoch: AtomicU64,
+    /// How to reopen this server's store (only known when the cluster
+    /// built the storage itself via [`Cluster::build`]).
+    store_cfg: Option<StoreConfig>,
+}
+
 /// A running simulated cluster plus its client endpoint.
 pub struct Cluster {
-    servers: Vec<ServerHandle>,
+    slots: Vec<ServerSlot>,
     fabric: Fabric<Msg>,
     client: Endpoint<Msg>,
     partitioner: EdgeCutPartitioner,
@@ -211,7 +246,7 @@ pub struct Cluster {
 impl std::fmt::Debug for Cluster {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Cluster")
-            .field("n_servers", &self.servers.len())
+            .field("n_servers", &self.slots.len())
             .field("engine", &self.engine.kind)
             .finish_non_exhaustive()
     }
@@ -227,6 +262,7 @@ impl Cluster {
     ) -> Result<Cluster, ClusterError> {
         let partitioner = EdgeCutPartitioner::new(ccfg.n_servers);
         let mut partitions = Vec::with_capacity(ccfg.n_servers);
+        let mut store_cfgs = Vec::with_capacity(ccfg.n_servers);
         for s in 0..ccfg.n_servers {
             let scfg = StoreConfig {
                 dir: ccfg.dir.join(format!("server-{s}")),
@@ -237,8 +273,9 @@ impl Cluster {
                 sync_wal: false,
                 auto_compact_segments: 0,
             };
-            let store = Arc::new(Store::open(scfg)?);
+            let store = Arc::new(Store::open(scfg.clone())?);
             partitions.push(GraphPartition::open(store)?);
+            store_cfgs.push(Some(scfg));
         }
         load_partitioned(graph, partitioner, &partitions)?;
         if ccfg.seal_cold {
@@ -246,10 +283,11 @@ impl Cluster {
                 p.seal_cold()?;
             }
         }
-        Self::from_partitions(
+        Self::assemble(
             partitions.into_iter().map(Arc::new).collect(),
             partitioner,
             ecfg,
+            store_cfgs,
         )
     }
 
@@ -263,21 +301,50 @@ impl Cluster {
         ecfg: EngineConfig,
     ) -> Result<Cluster, ClusterError> {
         let n = partitions.len();
-        let (fabric, mut endpoints) = Fabric::new(n + 1, ecfg.net);
+        Self::assemble(partitions, partitioner, ecfg, vec![None; n])
+    }
+
+    /// Shared constructor: wire a chaos-aware fabric, spawn epoch-0
+    /// servers (arming any scripted crash points from the chaos plan),
+    /// and record each server's restartable state in a [`ServerSlot`].
+    fn assemble(
+        partitions: Vec<Arc<GraphPartition>>,
+        partitioner: EdgeCutPartitioner,
+        ecfg: EngineConfig,
+        store_cfgs: Vec<Option<StoreConfig>>,
+    ) -> Result<Cluster, ClusterError> {
+        let n = partitions.len();
+        let (fabric, mut endpoints) = Fabric::with_chaos(n + 1, ecfg.net, ecfg.chaos.net_chaos(n));
         let client = endpoints.pop().expect("client endpoint");
-        let mut servers = Vec::with_capacity(n);
-        for (id, (partition, endpoint)) in partitions.into_iter().zip(endpoints).enumerate() {
-            servers.push(spawn(ServerArgs {
+        let mut slots = Vec::with_capacity(n);
+        for (id, ((partition, endpoint), store_cfg)) in partitions
+            .into_iter()
+            .zip(endpoints)
+            .zip(store_cfgs)
+            .enumerate()
+        {
+            let handle = spawn(ServerArgs {
                 id,
                 n_servers: n,
                 partitioner,
-                partition,
-                endpoint,
+                partition: partition.clone(),
+                endpoint: endpoint.clone(),
                 engine: ecfg.clone(),
-            }));
+                epoch: 0,
+                metrics: None,
+                crash_after: ecfg.chaos.crash_for(id),
+            });
+            slots.push(ServerSlot {
+                endpoint,
+                metrics: handle.metrics.clone(),
+                partition: Mutex::new(partition),
+                handle: Mutex::new(Some(handle)),
+                epoch: AtomicU64::new(0),
+                store_cfg,
+            });
         }
         Ok(Cluster {
-            servers,
+            slots,
             fabric,
             client,
             partitioner,
@@ -288,9 +355,100 @@ impl Cluster {
         })
     }
 
+    /// Whether server `id` has executed a crash (scripted via
+    /// [`crate::faults::CrashPoint`] or injected with
+    /// [`Cluster::crash_server`]) and not yet been restarted.
+    pub fn server_crashed(&self, id: usize) -> bool {
+        self.slots[id]
+            .handle
+            .lock()
+            .as_ref()
+            .map(|h| h.crashed.load(Ordering::SeqCst))
+            .unwrap_or(false)
+    }
+
+    /// Inject a crash into server `id` and wait (≤ 5 s) for its threads
+    /// to die. The server stops mid-whatever-it-was-doing: queued work,
+    /// caches, token registries and relay streams are all lost; only the
+    /// on-disk store (when the cluster owns one) and the fabric address
+    /// survive for [`Cluster::restart_server`].
+    pub fn crash_server(&self, id: usize) -> Result<(), ClusterError> {
+        self.client
+            .send(id, Msg::Crash)
+            .map_err(|_| ClusterError::Disconnected)?;
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while Instant::now() < deadline {
+            if self.server_crashed(id) {
+                return Ok(());
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        Err(ClusterError::Recovery(format!(
+            "server {id} did not crash within 5s"
+        )))
+    }
+
+    /// Restart a crashed server: join the dead incarnation's threads,
+    /// reopen its store from the same directory when the cluster owns the
+    /// storage (replaying the WAL, so every acked ingest survives), drop
+    /// whatever stale traffic accumulated in its inbox while it was down,
+    /// and respawn it one epoch higher. The epoch is stamped on the new
+    /// incarnation's relays so peers fence off any pre-crash messages
+    /// still in flight.
+    pub fn restart_server(&self, id: usize) -> Result<(), ClusterError> {
+        let slot = &self.slots[id];
+        let mut handle = slot.handle.lock();
+        let old = match handle.take() {
+            Some(h) => h,
+            None => {
+                return Err(ClusterError::Recovery(format!(
+                    "server {id} is already mid-restart"
+                )))
+            }
+        };
+        if !old.crashed.load(Ordering::SeqCst) {
+            let still_running = old;
+            *handle = Some(still_running);
+            return Err(ClusterError::Recovery(format!(
+                "server {id} has not crashed"
+            )));
+        }
+        // Threads have observed the crash; join so every Arc they hold
+        // (store, partition, queue) is released before we reopen storage.
+        old.join();
+        if let Some(scfg) = &slot.store_cfg {
+            let mut part = slot.partition.lock();
+            let store = Arc::new(
+                Store::open(scfg.clone())
+                    .map_err(|e| ClusterError::Recovery(format!("store reopen: {e}")))?,
+            );
+            *part = Arc::new(
+                GraphPartition::open(store)
+                    .map_err(|e| ClusterError::Recovery(format!("partition reopen: {e}")))?,
+            );
+        }
+        // Everything delivered while the server was dead is from its
+        // previous life; drop it (peers retransmit what still matters).
+        while slot.endpoint.try_recv().is_some() {}
+        let epoch = slot.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        slot.metrics.recoveries.fetch_add(1, Ordering::Relaxed);
+        *handle = Some(spawn(ServerArgs {
+            id,
+            n_servers: self.slots.len(),
+            partitioner: self.partitioner,
+            partition: slot.partition.lock().clone(),
+            endpoint: slot.endpoint.clone(),
+            engine: self.engine.clone(),
+            epoch,
+            metrics: Some(slot.metrics.clone()),
+            crash_after: None,
+        }));
+        Ok(())
+    }
+
     /// Number of backend servers.
     pub fn n_servers(&self) -> usize {
-        self.servers.len()
+        self.slots.len()
     }
 
     /// The engine this cluster runs.
@@ -310,7 +468,7 @@ impl Cluster {
 
     fn start_plan(&self, plan: Arc<Plan>) -> Result<Ticket, ClusterError> {
         let travel = self.travel_ctr.fetch_add(1, Ordering::Relaxed);
-        let coordinator = (travel as usize) % self.servers.len();
+        let coordinator = (travel as usize) % self.slots.len();
         let limit = self.engine.max_concurrent_travels;
         let now = Instant::now();
         let admit_now = {
@@ -464,6 +622,12 @@ impl Cluster {
     }
 
     /// Wait for a started traversal (up to `timeout`).
+    ///
+    /// On timeout the travel is abandoned: an abort is broadcast so the
+    /// servers drop its state, and its admission slot is released so
+    /// queued co-tenants (or a caller's resubmission) can run. A travel
+    /// whose completion is permanently lost must not pin a concurrency
+    /// slot forever.
     pub fn wait(&self, ticket: &Ticket, timeout: Duration) -> Result<TravelResult, ClusterError> {
         let deadline = Instant::now() + timeout;
         match self.await_client_msg(
@@ -487,9 +651,23 @@ impl Cluster {
                 Ok(r)
             }
             Ok(_) => unreachable!("matcher only admits TravelDone"),
-            Err(ClusterError::TimedOut(_)) => Err(ClusterError::TimedOut(ticket.restarts + 1)),
+            Err(ClusterError::TimedOut(_)) => {
+                self.abandon(ticket.travel);
+                Err(ClusterError::TimedOut(ticket.restarts + 1))
+            }
             Err(e) => Err(e),
         }
+    }
+
+    /// Give up on a travel: abort it everywhere, free its admission slot
+    /// (dispatching queued submissions into the capacity), and forget its
+    /// bookkeeping.
+    fn abandon(&self, travel: TravelId) {
+        for s in 0..self.slots.len() {
+            let _ = self.client.send(s, Msg::Abort { travel });
+        }
+        self.release_slot(travel);
+        self.admission.lock().times.remove(&travel);
     }
 
     /// Cancel a started traversal cluster-wide.
@@ -511,7 +689,7 @@ impl Cluster {
                 return Ok(false);
             }
         }
-        for s in 0..self.servers.len() {
+        for s in 0..self.slots.len() {
             self.client
                 .send(
                     s,
@@ -523,7 +701,7 @@ impl Cluster {
                 .map_err(|_| ClusterError::Disconnected)?;
         }
         let deadline = Instant::now() + Duration::from_secs(30);
-        for _ in 0..self.servers.len() {
+        for _ in 0..self.slots.len() {
             self.await_client_msg(travel, |m| matches!(m, Msg::CancelAck { .. }), deadline)?;
         }
         self.release_slot(travel);
@@ -569,7 +747,7 @@ impl Cluster {
         vertices: Vec<gt_graph::Vertex>,
         edges: Vec<gt_graph::Edge>,
     ) -> Result<usize, ClusterError> {
-        let n = self.servers.len();
+        let n = self.slots.len();
         let mut v_by_owner: Vec<Vec<gt_graph::Vertex>> = vec![Vec::new(); n];
         for v in vertices {
             v_by_owner[self.partitioner.owner(v.id)].push(v);
@@ -666,20 +844,17 @@ impl Cluster {
                     return Ok(r);
                 }
                 Err(ClusterError::TimedOut(_)) if attempts < max_restarts => {
-                    // Abort everywhere, then retry with a fresh travel id.
-                    for s in 0..self.servers.len() {
-                        let _ = self.client.send(
-                            s,
-                            Msg::Abort {
-                                travel: ticket.travel,
-                            },
-                        );
-                    }
-                    // The abandoned travel will never report done: free
-                    // its admission slot so the retry (and any queued
-                    // co-tenants) can run.
-                    self.release_slot(ticket.travel);
-                    self.admission.lock().times.remove(&ticket.travel);
+                    // `wait` already aborted the travel everywhere and
+                    // freed its slot. Back off (capped exponential)
+                    // before resubmitting with a fresh travel id — under
+                    // a crash the cluster needs a moment to recover, and
+                    // hammering it with instant retries just feeds the
+                    // next attempt into the same failure.
+                    let backoff = RESUBMIT_BACKOFF_BASE
+                        .checked_mul(1u32 << attempts.min(16))
+                        .unwrap_or(RESUBMIT_BACKOFF_CAP)
+                        .min(RESUBMIT_BACKOFF_CAP);
+                    std::thread::sleep(backoff);
                     attempts += 1;
                 }
                 Err(e) => return Err(e),
@@ -689,14 +864,14 @@ impl Cluster {
 
     /// Per-server instrumentation snapshots (Fig. 7 data).
     pub fn metrics(&self) -> Vec<MetricsSnapshot> {
-        self.servers.iter().map(|s| s.metrics.snapshot()).collect()
+        self.slots.iter().map(|s| s.metrics.snapshot()).collect()
     }
 
     /// One travel's counters aggregated across every server (concurrent
     /// multi-tenant accounting: I/O splits, queue residency).
     pub fn travel_metrics(&self, ticket: &Ticket) -> TravelMetrics {
         let mut agg = TravelMetrics::default();
-        for s in &self.servers {
+        for s in &self.slots {
             agg.merge(&s.metrics.travel_snapshot(ticket.travel));
         }
         agg
@@ -705,7 +880,7 @@ impl Cluster {
     /// Counters for every tracked travel, aggregated across servers.
     pub fn all_travel_metrics(&self) -> BTreeMap<TravelId, TravelMetrics> {
         let mut out: BTreeMap<TravelId, TravelMetrics> = BTreeMap::new();
-        for s in &self.servers {
+        for s in &self.slots {
             for (t, m) in s.metrics.travel_snapshots() {
                 out.entry(t).or_default().merge(&m);
             }
@@ -715,23 +890,23 @@ impl Cluster {
 
     /// Zero every server's counters (between experiment runs).
     pub fn reset_metrics(&self) {
-        for s in &self.servers {
+        for s in &self.slots {
             s.metrics.reset();
         }
     }
 
     /// Per-server storage I/O statistics.
     pub fn io_stats(&self) -> Vec<gt_kvstore::iomodel::IoStatsSnapshot> {
-        self.servers
+        self.slots
             .iter()
-            .map(|s| s.partition.io_stats())
+            .map(|s| s.partition.lock().io_stats())
             .collect()
     }
 
     /// Drop every server's block cache (cold-start between runs).
     pub fn drop_storage_caches(&self) {
-        for s in &self.servers {
-            s.partition.drop_caches();
+        for s in &self.slots {
+            s.partition.lock().drop_caches();
         }
     }
 
@@ -746,13 +921,16 @@ impl Cluster {
         self.fabric.stats()
     }
 
-    /// Stop every server and join their threads.
+    /// Stop every server and join their threads. Crashed-and-unrestarted
+    /// servers have no threads left; their handles join immediately.
     pub fn shutdown(self) {
-        for s in 0..self.servers.len() {
+        for s in 0..self.slots.len() {
             let _ = self.client.send(s, Msg::Shutdown);
         }
-        for s in self.servers {
-            s.join();
+        for s in self.slots {
+            if let Some(h) = s.handle.into_inner() {
+                h.join();
+            }
         }
     }
 }

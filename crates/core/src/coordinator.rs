@@ -18,6 +18,18 @@
 //! exactly the paper's condition evaluated race-safely (terminations carry
 //! the children list, so the sets can only become equal once the whole
 //! execution tree has quiesced).
+//!
+//! # Interaction with the fault-injecting transport
+//!
+//! Under a [`ChaosPlan`](crate::faults::ChaosPlan) the relay layer in
+//! `server.rs` already provides exactly-once, in-order delivery per
+//! `(travel, sender)` stream (sequence numbers, acks, retransmission,
+//! epoch fencing), so the ledger normally never sees a duplicated or
+//! reordered event. The ledger is nevertheless written to be idempotent —
+//! duplicate `exec_created`/`exec_terminated` events are no-ops and
+//! orphan terminations are parked until their creation arrives — so a
+//! defect in the transport degrades to a stuck travel (caught by the
+//! silent-failure timeout) rather than a wrong result.
 
 use crate::lang::Plan;
 use crate::message::{ProgressSnapshot, SyncExpect, TravelOutcome};
@@ -345,6 +357,29 @@ mod tests {
         l.exec_terminated(eid(0, 1), &[]);
         assert!(l.is_done());
         assert_eq!(l.progress().created, 1);
+    }
+
+    #[test]
+    fn redelivered_termination_with_children_is_idempotent() {
+        // A retransmitted ExecTerminated redelivers the children list too;
+        // the second delivery must change nothing.
+        let mut l = TravelLedger::new(plan(), 0);
+        l.exec_created(eid(0, 1), 0);
+        let children = [(eid(1, 1), 1), (eid(2, 1), 1)];
+        l.exec_terminated(eid(0, 1), &children);
+        let before = l.progress();
+        l.exec_terminated(eid(0, 1), &children);
+        let after = l.progress();
+        assert_eq!(before.created, after.created);
+        assert_eq!(before.terminated, after.terminated);
+        assert_eq!(before.outstanding_by_depth, after.outstanding_by_depth);
+        assert!(!l.is_done());
+        l.exec_terminated(eid(1, 1), &[]);
+        l.exec_terminated(eid(1, 1), &[]); // dup of a leaf termination
+        l.exec_terminated(eid(2, 1), &[]);
+        assert!(l.is_done());
+        assert_eq!(l.progress().created, 3);
+        assert_eq!(l.progress().terminated, 3);
     }
 
     #[test]

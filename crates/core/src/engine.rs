@@ -1,6 +1,6 @@
 //! Engine selection and tuning.
 
-use crate::faults::FaultPlan;
+use crate::faults::{ChaosPlan, FaultPlan};
 use gt_net::NetConfig;
 
 /// Which traversal engine a cluster runs.
@@ -51,6 +51,13 @@ pub struct EngineConfig {
     pub net: NetConfig,
     /// Straggler injection plan (Fig. 11 experiments).
     pub faults: FaultPlan,
+    /// Seeded lossy-transport + crash schedule (the chaos harness).
+    pub chaos: ChaosPlan,
+    /// Override: force the reliable-delivery layer (sequenced, ack'd,
+    /// retransmitted frontier forwarding with epoch fencing) on or off.
+    /// `None` enables it exactly when the chaos plan requires it, so the
+    /// chaos-free fast path stays byte-identical to the plain engine.
+    pub reliable_delivery: Option<bool>,
     /// Override: force the scheduling/merging queue on or off
     /// independently of `kind` (ablation experiments). `None` follows the
     /// kind's default.
@@ -80,6 +87,8 @@ impl EngineConfig {
             cache_capacity: 1 << 16,
             net: NetConfig::instant(),
             faults: FaultPlan::none(),
+            chaos: ChaosPlan::none(),
+            reliable_delivery: None,
             force_merging_queue: None,
             force_cache: None,
             max_concurrent_travels: 0,
@@ -109,6 +118,20 @@ impl EngineConfig {
     /// Builder-style: fault plan.
     pub fn faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Builder-style: chaos schedule.
+    pub fn chaos(mut self, chaos: ChaosPlan) -> Self {
+        self.chaos = chaos;
+        self
+    }
+
+    /// Builder-style: force the reliable-delivery layer on or off
+    /// independently of the chaos plan (e.g. on with zero fault
+    /// probabilities, so isolation healing via retransmit can be tested).
+    pub fn force_reliable_delivery(mut self, on: bool) -> Self {
+        self.reliable_delivery = Some(on);
         self
     }
 
@@ -146,6 +169,15 @@ impl EngineConfig {
     /// share (as opposed to the globally-smallest-step pick).
     pub fn fair_cross_travel_enabled(&self) -> bool {
         self.fair_cross_travel.unwrap_or(true)
+    }
+
+    /// Whether inter-server frontier forwarding runs through the
+    /// reliable-delivery layer (sequence numbers, acks, retransmission
+    /// with capped exponential backoff, epoch fencing, redelivery
+    /// dedupe). Off by default so the chaos-free bench paths pay nothing.
+    pub fn reliable_delivery_enabled(&self) -> bool {
+        self.reliable_delivery
+            .unwrap_or_else(|| self.chaos.requires_reliable_delivery())
     }
 
     /// Whether this configuration uses the scheduling/merging queue.
@@ -218,6 +250,20 @@ mod tests {
         assert_eq!(cfg.max_concurrent_travels, 4);
         assert!(!cfg.fair_cross_travel_enabled());
         assert_eq!(cfg.cache_reserve_per_travel, 32);
+    }
+
+    #[test]
+    fn reliable_delivery_follows_chaos_plan() {
+        let cfg = EngineConfig::new(EngineKind::GraphTrek);
+        assert!(!cfg.reliable_delivery_enabled(), "off without chaos");
+        let cfg = cfg.chaos(ChaosPlan::lossy(1));
+        assert!(cfg.reliable_delivery_enabled(), "on under chaos");
+        let cfg = EngineConfig::new(EngineKind::Sync).force_reliable_delivery(true);
+        assert!(cfg.reliable_delivery_enabled(), "explicit override");
+        let cfg = EngineConfig::new(EngineKind::Sync)
+            .chaos(ChaosPlan::lossy(1))
+            .force_reliable_delivery(false);
+        assert!(!cfg.reliable_delivery_enabled(), "override wins");
     }
 
     #[test]

@@ -84,6 +84,122 @@ impl FaultPlan {
     }
 }
 
+/// A scripted server crash: "crash server `server` after `after_messages`
+/// frontier messages at step ≥ `step`". Frontier messages are the
+/// data-plane traversal messages (`Visit`, `SourceScan`, `SyncFrontier`);
+/// counting them gives a workload-relative trigger that lands mid-travel
+/// regardless of graph size. A crash point fires at most once per plan —
+/// a restarted server does not re-arm it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPoint {
+    /// Server that dies.
+    pub server: usize,
+    /// Traversal step (depth) at or after which the counter runs.
+    pub step: u16,
+    /// Number of qualifying frontier messages to absorb before crashing.
+    pub after_messages: u64,
+}
+
+/// Seeded chaos model for one experiment run: lossy-transport
+/// probabilities applied to inter-server traffic plus scripted crash
+/// points. The transport faults are realized by the fabric's pure
+/// decision function (`gt_net::ChaosConfig`), so the same seed replays
+/// the same fault schedule (FoundationDB-style determinism).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosPlan {
+    /// Seed for the deterministic fault schedule.
+    pub seed: u64,
+    /// Probability an inter-server data-plane message is dropped.
+    pub drop: f64,
+    /// Probability an inter-server data-plane message is duplicated.
+    pub duplicate: f64,
+    /// Probability an inter-server data-plane message is delayed.
+    pub delay: f64,
+    /// Maximum injected extra delay.
+    pub max_delay: Duration,
+    /// When true, delayed/duplicated messages may overtake later sends.
+    pub reorder: bool,
+    /// Scripted server crash points.
+    pub crashes: Vec<CrashPoint>,
+}
+
+impl Default for ChaosPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl ChaosPlan {
+    /// No chaos: the transport behaves exactly as without this layer.
+    pub fn none() -> Self {
+        ChaosPlan {
+            seed: 0,
+            drop: 0.0,
+            duplicate: 0.0,
+            delay: 0.0,
+            max_delay: Duration::ZERO,
+            reorder: false,
+            crashes: Vec::new(),
+        }
+    }
+
+    /// True when this plan injects nothing at all.
+    pub fn is_none(&self) -> bool {
+        self.drop <= 0.0
+            && self.duplicate <= 0.0
+            && self.delay <= 0.0
+            && !self.reorder
+            && self.crashes.is_empty()
+    }
+
+    /// A representative lossy schedule: 8% drop, 8% duplication, 20%
+    /// delay up to 2 ms with reordering. Meets the harness's "≥5% drop,
+    /// ≥5% dup, reordering" bar.
+    pub fn lossy(seed: u64) -> Self {
+        ChaosPlan {
+            seed,
+            drop: 0.08,
+            duplicate: 0.08,
+            delay: 0.2,
+            max_delay: Duration::from_millis(2),
+            reorder: true,
+            crashes: Vec::new(),
+        }
+    }
+
+    /// Whether this plan requires the reliable-delivery layer (sequence
+    /// numbers, acks, retransmission, epoch fencing). Any transport fault
+    /// or crash does; pure `none()` does not, keeping the fast path
+    /// byte-identical to the pre-chaos engine.
+    pub fn requires_reliable_delivery(&self) -> bool {
+        !self.is_none()
+    }
+
+    /// Lower this plan to the fabric's chaos model. `n_servers` bounds
+    /// the scope so client links (endpoints ≥ n_servers) are exempt:
+    /// chaos models a hostile backend interconnect, while the client
+    /// channel stands in for the RPC front door with its own retry story.
+    pub fn net_chaos(&self, n_servers: usize) -> gt_net::ChaosConfig {
+        if self.drop <= 0.0 && self.duplicate <= 0.0 && self.delay <= 0.0 {
+            return gt_net::ChaosConfig::off();
+        }
+        gt_net::ChaosConfig {
+            seed: self.seed,
+            drop_prob: self.drop,
+            dup_prob: self.duplicate,
+            delay_prob: self.delay,
+            max_delay: self.max_delay,
+            reorder: self.reorder,
+            scope: n_servers,
+        }
+    }
+
+    /// The crash point scripted for `server`, if any (first match wins).
+    pub fn crash_for(&self, server: usize) -> Option<CrashPoint> {
+        self.crashes.iter().copied().find(|c| c.server == server)
+    }
+}
+
 /// Sleep for `d`, spinning only when the duration is below OS timer
 /// granularity. An interfered thread must release the CPU (the straggler
 /// models *I/O* interference, not compute), so genuine sleep is the
@@ -202,6 +318,51 @@ mod tests {
         // Shallow traversals clamp the step list.
         let plan = FaultPlan::round_robin_stragglers(&[0], 2, Duration::ZERO, 1);
         assert_eq!(plan.stragglers.len(), 1);
+    }
+
+    #[test]
+    fn chaos_plan_none_is_inert() {
+        let p = ChaosPlan::none();
+        assert!(p.is_none());
+        assert!(!p.requires_reliable_delivery());
+        assert!(p.net_chaos(4).is_off());
+        assert_eq!(p.crash_for(0), None);
+    }
+
+    #[test]
+    fn chaos_plan_lossy_meets_harness_bar() {
+        let p = ChaosPlan::lossy(7);
+        assert!(p.drop >= 0.05 && p.duplicate >= 0.05 && p.reorder);
+        assert!(p.requires_reliable_delivery());
+        let net = p.net_chaos(3);
+        assert_eq!(net.seed, 7);
+        assert_eq!(net.scope, 3);
+        assert!(net.applies_to_link(0, 2));
+        assert!(!net.applies_to_link(0, 3), "client link exempt");
+    }
+
+    #[test]
+    fn crash_only_plan_requires_reliability_but_no_net_chaos() {
+        let p = ChaosPlan {
+            crashes: vec![CrashPoint {
+                server: 1,
+                step: 2,
+                after_messages: 10,
+            }],
+            ..ChaosPlan::none()
+        };
+        assert!(!p.is_none());
+        assert!(p.requires_reliable_delivery());
+        assert!(p.net_chaos(4).is_off(), "no transport faults configured");
+        assert_eq!(
+            p.crash_for(1),
+            Some(CrashPoint {
+                server: 1,
+                step: 2,
+                after_messages: 10
+            })
+        );
+        assert_eq!(p.crash_for(0), None);
     }
 
     #[test]

@@ -28,7 +28,9 @@
 //!   implemented with origin tokens and redirected report destinations
 //!   (§IV-D);
 //! * **fault injection** ([`faults`]) — the transient-straggler model of
-//!   the paper's Fig. 11 experiment;
+//!   the paper's Fig. 11 experiment, plus a seeded deterministic chaos
+//!   layer ([`faults::ChaosPlan`]) of lossy transport and scripted server
+//!   crashes that the reliable-delivery machinery in [`server`] survives;
 //! * a **single-threaded reference oracle** ([`oracle`]) defining the
 //!   language semantics that every engine must match (used heavily by the
 //!   equivalence property tests).
@@ -82,7 +84,7 @@ pub mod server;
 pub mod prelude {
     pub use crate::cluster::{Cluster, ClusterConfig, Ticket, TravelResult};
     pub use crate::engine::{EngineConfig, EngineKind};
-    pub use crate::faults::{FaultPlan, Straggler};
+    pub use crate::faults::{ChaosPlan, CrashPoint, FaultPlan, Straggler};
     pub use crate::lang::{GTravel, Plan};
     pub use crate::metrics::TravelMetrics;
     pub use crate::parse::parse as parse_gtravel;

@@ -268,7 +268,45 @@ pub enum Msg {
         vertex: Option<Box<gt_graph::Vertex>>,
     },
 
+    // --------------------------------------------- reliable delivery layer
+    /// Server → server: a sequenced, retransmittable envelope around a
+    /// data-plane message. Streams are per `(travel, from)`: the receiver
+    /// delivers strictly in `seq` order (holding out-of-order arrivals in
+    /// a reorder buffer), dedupes redeliveries, and fences by `epoch` so
+    /// a restarted sender's stale pre-crash messages are discarded. Only
+    /// `Relay` and `RelayAck` carry a chaos key — everything else is
+    /// control plane and rides the fabric untouched.
+    Relay {
+        /// Travel the inner message belongs to.
+        travel: TravelId,
+        /// Sending server.
+        from: usize,
+        /// Sender's incarnation; bumped on every restart.
+        epoch: u64,
+        /// Per-`(travel, to)` sequence number, starting at 1.
+        seq: u64,
+        /// Transmission attempt (1 = first send). Folded into the chaos
+        /// key so a retransmission re-rolls its fate.
+        attempt: u64,
+        /// The wrapped data-plane message.
+        inner: Box<Msg>,
+    },
+    /// Server → server: cumulative-free ack for one relayed message.
+    RelayAck {
+        /// Travel of the acked message.
+        travel: TravelId,
+        /// Acking server.
+        server: usize,
+        /// Sequence number being acked.
+        seq: u64,
+        /// Attempt the ack answers (chaos-key uniqueness only).
+        attempt: u64,
+    },
+
     // -------------------------------------------------------------- misc
+    /// Scripted fault: the receiving server crashes — threads exit, all
+    /// in-memory state is dropped. Sent by the chaos harness.
+    Crash,
     /// Stop the server's dispatcher and workers.
     Shutdown,
 }
@@ -320,7 +358,44 @@ impl WireSize for Msg {
             Msg::VertexReply { vertex, .. } => {
                 16 + vertex.as_ref().map_or(0, |v| 16 + v.props.len() * 24)
             }
+            Msg::Relay { inner, .. } => 40 + inner.wire_size(),
+            Msg::RelayAck { .. } => 28,
+            Msg::Crash => 4,
             Msg::Shutdown => 4,
+        }
+    }
+
+    fn chaos_key(&self) -> Option<u64> {
+        // Only the reliable layer's envelopes face the lossy transport;
+        // the attempt counter is in the key so a retransmission re-rolls
+        // its fate instead of being dropped forever.
+        match self {
+            Msg::Relay {
+                travel,
+                from,
+                seq,
+                attempt,
+                ..
+            } => Some(gt_net::chaos_key_of(&[
+                1,
+                *travel,
+                *from as u64,
+                *seq,
+                *attempt,
+            ])),
+            Msg::RelayAck {
+                travel,
+                server,
+                seq,
+                attempt,
+            } => Some(gt_net::chaos_key_of(&[
+                2,
+                *travel,
+                *server as u64,
+                *seq,
+                *attempt,
+            ])),
+            _ => None,
         }
     }
 }
@@ -351,6 +426,57 @@ mod tests {
         };
         assert!(big.wire_size() > small.wire_size());
         assert!(Msg::Shutdown.wire_size() < 16);
+    }
+
+    #[test]
+    fn only_relay_messages_carry_chaos_keys() {
+        let relay = Msg::Relay {
+            travel: 3,
+            from: 1,
+            epoch: 0,
+            seq: 5,
+            attempt: 1,
+            inner: Box::new(Msg::Results {
+                travel: 3,
+                items: vec![],
+            }),
+        };
+        let retry = Msg::Relay {
+            travel: 3,
+            from: 1,
+            epoch: 0,
+            seq: 5,
+            attempt: 2,
+            inner: Box::new(Msg::Results {
+                travel: 3,
+                items: vec![],
+            }),
+        };
+        let ack = Msg::RelayAck {
+            travel: 3,
+            server: 2,
+            seq: 5,
+            attempt: 1,
+        };
+        assert!(relay.chaos_key().is_some());
+        assert!(ack.chaos_key().is_some());
+        assert_ne!(
+            relay.chaos_key(),
+            retry.chaos_key(),
+            "retransmissions re-roll their fate"
+        );
+        assert_ne!(relay.chaos_key(), ack.chaos_key());
+        // Control plane stays exempt.
+        assert_eq!(Msg::Abort { travel: 3 }.chaos_key(), None);
+        assert_eq!(Msg::Crash.chaos_key(), None);
+        assert_eq!(Msg::Shutdown.chaos_key(), None);
+        // The envelope charges for its header plus the payload.
+        let inner = Msg::Results {
+            travel: 3,
+            items: vec![],
+        };
+        assert_eq!(relay.wire_size(), 40 + inner.wire_size());
+        assert_eq!(ack.wire_size(), 28);
     }
 
     #[test]

@@ -38,6 +38,18 @@ pub struct ServerMetrics {
     pub queue_peak: AtomicUsize,
     /// Straggler delay events injected on this server (Fig. 11 model).
     pub injected_delays: AtomicU64,
+    /// Relay retransmissions sent (reliable-delivery layer; zero with
+    /// chaos off).
+    pub relay_retries: AtomicU64,
+    /// Relayed messages received more than once and deduped.
+    pub redeliveries: AtomicU64,
+    /// Relayed messages discarded by epoch fencing (stale pre-crash
+    /// incarnation of a peer).
+    pub stale_epoch_dropped: AtomicU64,
+    /// Scripted crashes this server executed.
+    pub crashes: AtomicU64,
+    /// Restart-and-recovery cycles this server completed.
+    pub recoveries: AtomicU64,
     /// Per-travel splits of the same counters (concurrent-travel
     /// accounting; bounded to [`MAX_TRACKED_TRAVELS`] entries).
     per_travel: Mutex<BTreeMap<TravelId, TravelMetrics>>,
@@ -87,6 +99,11 @@ impl ServerMetrics {
             results_sent: self.results_sent.load(Ordering::Relaxed),
             queue_peak: self.queue_peak.load(Ordering::Relaxed),
             injected_delays: self.injected_delays.load(Ordering::Relaxed),
+            relay_retries: self.relay_retries.load(Ordering::Relaxed),
+            redeliveries: self.redeliveries.load(Ordering::Relaxed),
+            stale_epoch_dropped: self.stale_epoch_dropped.load(Ordering::Relaxed),
+            crashes: self.crashes.load(Ordering::Relaxed),
+            recoveries: self.recoveries.load(Ordering::Relaxed),
         }
     }
 
@@ -100,6 +117,11 @@ impl ServerMetrics {
         self.results_sent.store(0, Ordering::Relaxed);
         self.queue_peak.store(0, Ordering::Relaxed);
         self.injected_delays.store(0, Ordering::Relaxed);
+        self.relay_retries.store(0, Ordering::Relaxed);
+        self.redeliveries.store(0, Ordering::Relaxed);
+        self.stale_epoch_dropped.store(0, Ordering::Relaxed);
+        self.crashes.store(0, Ordering::Relaxed);
+        self.recoveries.store(0, Ordering::Relaxed);
         self.per_travel.lock().clear();
     }
 }
@@ -156,6 +178,16 @@ pub struct MetricsSnapshot {
     pub queue_peak: usize,
     /// See [`ServerMetrics::injected_delays`].
     pub injected_delays: u64,
+    /// See [`ServerMetrics::relay_retries`].
+    pub relay_retries: u64,
+    /// See [`ServerMetrics::redeliveries`].
+    pub redeliveries: u64,
+    /// See [`ServerMetrics::stale_epoch_dropped`].
+    pub stale_epoch_dropped: u64,
+    /// See [`ServerMetrics::crashes`].
+    pub crashes: u64,
+    /// See [`ServerMetrics::recoveries`].
+    pub recoveries: u64,
 }
 
 impl MetricsSnapshot {
@@ -196,6 +228,13 @@ mod tests {
         m.real_io_visits.fetch_add(5, Ordering::Relaxed);
         m.observe_queue_len(7);
         m.travel_mut(3, |t| t.real_io_visits += 5);
+        m.relay_retries.fetch_add(2, Ordering::Relaxed);
+        m.redeliveries.fetch_add(3, Ordering::Relaxed);
+        m.stale_epoch_dropped.fetch_add(1, Ordering::Relaxed);
+        m.crashes.fetch_add(1, Ordering::Relaxed);
+        m.recoveries.fetch_add(1, Ordering::Relaxed);
+        assert_eq!(m.snapshot().relay_retries, 2);
+        assert_eq!(m.snapshot().redeliveries, 3);
         m.reset();
         assert_eq!(m.snapshot(), MetricsSnapshot::default());
         assert_eq!(m.travel_snapshot(3), TravelMetrics::default());

@@ -112,6 +112,9 @@ pub trait RequestQueue: Send + Sync {
     }
     /// Drop every queued request of one travel (abort path).
     fn clear_travel(&self, travel: TravelId);
+    /// Drop every queued request of every travel (server-crash path: the
+    /// dying server's in-memory work vanishes wholesale).
+    fn clear_all(&self);
 }
 
 // --------------------------------------------------------------- FIFO
@@ -204,6 +207,13 @@ impl RequestQueue for FifoQueue {
         });
         g.live -= removed;
         g.order.retain(|(t, _, _)| *t != travel);
+    }
+
+    fn clear_all(&self) {
+        let mut g = self.inner.lock();
+        g.order.clear();
+        g.items.clear();
+        g.live = 0;
     }
 }
 
@@ -397,6 +407,12 @@ impl RequestQueue for MergingQueue {
             g.live -= removed;
         }
     }
+
+    fn clear_all(&self) {
+        let mut g = self.inner.lock();
+        g.travels.clear();
+        g.live = 0;
+    }
 }
 
 #[cfg(test)]
@@ -483,6 +499,27 @@ mod tests {
         q.clear_travel(1);
         assert_eq!(q.len(), 1);
         assert_eq!(q.pop().unwrap()[0].req.travel, 2);
+    }
+
+    #[test]
+    fn clear_all_empties_both_queues() {
+        let fifo = FifoQueue::new();
+        let r1 = req(1, 0, 1);
+        let r2 = req(2, 0, 1);
+        fifo.push_many(vec![item(&r1, 1), item(&r2, 2)]);
+        fifo.clear_all();
+        assert_eq!(fifo.len(), 0);
+        // Still usable after a wipe (restart reuses a fresh queue, but a
+        // wiped one must not be poisoned).
+        fifo.push_many(vec![item(&r1, 3)]);
+        assert_eq!(fifo.pop().unwrap()[0].vertex, VertexId(3));
+
+        let mq = MergingQueue::new();
+        mq.push_many(vec![item(&r1, 1), item(&r2, 2)]);
+        mq.clear_all();
+        assert_eq!(mq.len(), 0);
+        mq.push_many(vec![item(&r2, 4)]);
+        assert_eq!(mq.pop().unwrap()[0].vertex, VertexId(4));
     }
 
     #[test]

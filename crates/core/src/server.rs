@@ -23,24 +23,43 @@
 use crate::cache::{CacheDecision, TraversalCache};
 use crate::coordinator::{CoordState, SyncState, TravelLedger};
 use crate::engine::{EngineConfig, EngineKind};
-use crate::faults::ServerFaults;
+use crate::faults::{CrashPoint, ServerFaults};
 use crate::lang::{vertex_matches, Plan, Source};
 use crate::message::{Msg, SyncExpect};
 use crate::metrics::ServerMetrics;
 use crate::queue::{FifoQueue, MergingQueue, ReqMode, RequestQueue, RequestState, WorkItem};
 use crate::{ExecId, Token, Tokens, TravelId};
 use gt_graph::{EdgeCutPartitioner, GraphPartition, Props, VertexId};
-use gt_net::Endpoint;
+use gt_net::{Endpoint, RecvError};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Cap on remembered retired travel ids; the smallest (oldest) are pruned
 /// beyond this. Travel ids are monotonic, so stray in-flight messages can
 /// only concern recent travels.
 const MAX_RETIRED_TRAVELS: usize = 4096;
+
+/// Dispatcher wake-up granularity when the reliable-delivery layer is on:
+/// the receive loop uses a timed receive at this period so retransmission
+/// deadlines are checked even while the inbox is quiet. With reliability
+/// off the loop blocks indefinitely — the chaos-free fast path pays
+/// nothing.
+const RELAY_TICK: Duration = Duration::from_millis(2);
+
+/// First retransmission delay; subsequent attempts back off exponentially
+/// (`base * 2^(attempt-1)`) up to [`RELAY_RETRY_CAP`].
+const RELAY_RETRY_BASE: Duration = Duration::from_millis(8);
+
+/// Ceiling on the retransmission backoff.
+const RELAY_RETRY_CAP: Duration = Duration::from_millis(500);
+
+/// Give up retransmitting after this many attempts: by then the peer is
+/// down for good and recovery belongs to the client's timeout-and-resubmit
+/// path, not the transport.
+const MAX_RELAY_ATTEMPTS: u64 = 32;
 
 /// Everything needed to spawn one backend server.
 pub struct ServerArgs {
@@ -56,6 +75,18 @@ pub struct ServerArgs {
     pub endpoint: Endpoint<Msg>,
     /// Engine configuration (shared across the cluster).
     pub engine: EngineConfig,
+    /// This incarnation's epoch: 0 at first boot, bumped on every
+    /// crash-restart. Stamped on outgoing relays (fencing) and folded
+    /// into the exec/token counters so ids never collide across
+    /// incarnations.
+    pub epoch: u64,
+    /// Counters to adopt; `None` allocates fresh ones. A restart passes
+    /// the pre-crash server's metrics so crash/recovery counts accumulate
+    /// across incarnations.
+    pub metrics: Option<Arc<ServerMetrics>>,
+    /// Scripted crash point to arm for this incarnation (restarts pass
+    /// `None` — crash points are one-shot).
+    pub crash_after: Option<CrashPoint>,
 }
 
 /// Handle to a running server's threads and instrumentation.
@@ -64,6 +95,10 @@ pub struct ServerHandle {
     pub metrics: Arc<ServerMetrics>,
     /// The shard (for I/O stats and cache drops between runs).
     pub partition: Arc<GraphPartition>,
+    /// Set when the server executed a (scripted or injected) crash: its
+    /// threads have exited and its in-memory state is gone. The endpoint
+    /// survives, so a restart can reuse the same fabric address.
+    pub crashed: Arc<AtomicBool>,
     dispatcher: std::thread::JoinHandle<()>,
     workers: Vec<std::thread::JoinHandle<()>>,
 }
@@ -118,6 +153,47 @@ struct SyncBufs {
     origin: OriginBuf,
 }
 
+/// What the dispatcher should do after handling one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LoopCtl {
+    Continue,
+    Shutdown,
+    /// Die abruptly: drop all in-memory state, leave the endpoint alive.
+    Crash,
+}
+
+/// One unacked outgoing relay awaiting acknowledgment or retransmission.
+struct PendingRelay {
+    msg: Msg,
+    attempts: u64,
+    next_retry: Instant,
+}
+
+/// Sender-side reliable-delivery state.
+#[derive(Default)]
+struct RelayOut {
+    /// Next sequence number per `(travel, destination)` stream.
+    next_seq: HashMap<(TravelId, usize), u64>,
+    /// `(travel, destination, seq)` → unacked message.
+    pending: BTreeMap<(TravelId, usize, u64), PendingRelay>,
+}
+
+/// Receiver-side state of one `(travel, sender)` stream: deliver strictly
+/// in sequence order, holding out-of-order arrivals until the gap fills.
+/// In-order delivery is what preserves the protocol's FIFO-dependent
+/// pairs (`Results` before `ExecTerminated` on the same link) under drop
+/// and reorder chaos.
+struct InStream {
+    next_seq: u64,
+    buffered: BTreeMap<u64, Msg>,
+}
+
+/// Scripted-crash trigger armed for this incarnation.
+struct CrashTrigger {
+    point: CrashPoint,
+    counted: AtomicU64,
+}
+
 struct Shared {
     id: usize,
     n_servers: usize,
@@ -138,6 +214,19 @@ struct Shared {
     /// in-flight messages for them are dropped instead of re-creating
     /// queue or cache state that nothing would ever clean up again.
     retired: Mutex<BTreeSet<TravelId>>,
+    /// This incarnation's epoch (stamped on outgoing relays).
+    epoch: u64,
+    /// Whether inter-server data-plane sends ride the reliable layer.
+    reliable: bool,
+    /// Flipped once on crash; gates late worker sends and tells the
+    /// cluster the threads are gone.
+    crashed: Arc<AtomicBool>,
+    relay_out: Mutex<RelayOut>,
+    /// `(travel, sender)` → in-order receive stream.
+    relay_in: Mutex<HashMap<(TravelId, usize), InStream>>,
+    /// Highest epoch seen per peer; relays below it are fenced off.
+    peer_epoch: Mutex<HashMap<usize, u64>>,
+    crash_trigger: Option<CrashTrigger>,
 }
 
 impl Shared {
@@ -154,6 +243,100 @@ impl Shared {
     }
 }
 
+/// Send a data-plane message for `travel` to server `to`. With the
+/// reliable layer on, the message is wrapped in a sequenced [`Msg::Relay`]
+/// and registered for retransmission until acked; otherwise it goes out
+/// raw, exactly as before the chaos layer existed.
+fn send_travel(sh: &Arc<Shared>, to: usize, travel: TravelId, msg: Msg) {
+    if sh.crashed.load(Ordering::Relaxed) {
+        return; // a dying server sends nothing
+    }
+    if !sh.reliable {
+        let _ = sh.ep.send(to, msg);
+        return;
+    }
+    let seq = {
+        let mut out = sh.relay_out.lock();
+        let ctr = out.next_seq.entry((travel, to)).or_insert(1);
+        let seq = *ctr;
+        *ctr += 1;
+        out.pending.insert(
+            (travel, to, seq),
+            PendingRelay {
+                msg: msg.clone(),
+                attempts: 1,
+                next_retry: Instant::now() + RELAY_RETRY_BASE,
+            },
+        );
+        seq
+    };
+    // The send itself happens outside the lock: two workers may invert
+    // their wire order, which the receiver's reorder buffer absorbs.
+    let _ = sh.ep.send(
+        to,
+        Msg::Relay {
+            travel,
+            from: sh.id,
+            epoch: sh.epoch,
+            seq,
+            attempt: 1,
+            inner: Box::new(msg),
+        },
+    );
+}
+
+/// Resend every pending relay whose retry deadline passed, with capped
+/// exponential backoff; entries that exhausted [`MAX_RELAY_ATTEMPTS`] are
+/// dropped (the client's timeout owns recovery from there).
+fn retransmit_due(sh: &Arc<Shared>) {
+    let now = Instant::now();
+    let resend: Vec<(usize, TravelId, u64, u64, Msg)> = {
+        let mut out = sh.relay_out.lock();
+        let mut resend = Vec::new();
+        let mut dead = Vec::new();
+        for (&(travel, to, seq), p) in out.pending.iter_mut() {
+            if p.next_retry > now {
+                continue;
+            }
+            if p.attempts >= MAX_RELAY_ATTEMPTS {
+                dead.push((travel, to, seq));
+                continue;
+            }
+            p.attempts += 1;
+            let shift = (p.attempts - 1).min(16) as u32;
+            let backoff = RELAY_RETRY_BASE
+                .checked_mul(1u32 << shift.min(8))
+                .unwrap_or(RELAY_RETRY_CAP)
+                .min(RELAY_RETRY_CAP);
+            p.next_retry = now + backoff;
+            resend.push((to, travel, seq, p.attempts, p.msg.clone()));
+        }
+        for k in dead {
+            out.pending.remove(&k);
+        }
+        resend
+    };
+    if resend.is_empty() {
+        return;
+    }
+    sh.metrics
+        .relay_retries
+        .fetch_add(resend.len() as u64, Ordering::Relaxed);
+    for (to, travel, seq, attempt, msg) in resend {
+        let _ = sh.ep.send(
+            to,
+            Msg::Relay {
+                travel,
+                from: sh.id,
+                epoch: sh.epoch,
+                seq,
+                attempt,
+                inner: Box::new(msg),
+            },
+        );
+    }
+}
+
 /// Spawn a server's dispatcher and worker threads.
 pub fn spawn(args: ServerArgs) -> ServerHandle {
     let queue: Arc<dyn RequestQueue> = if args.engine.merging_queue_enabled() {
@@ -163,7 +346,13 @@ pub fn spawn(args: ServerArgs) -> ServerHandle {
     } else {
         Arc::new(FifoQueue::new())
     };
-    let metrics = Arc::new(ServerMetrics::default());
+    let metrics = args.metrics.unwrap_or_default();
+    let crashed = Arc::new(AtomicBool::new(false));
+    // Seed the id counters from the epoch so a restarted server can never
+    // reuse a pre-crash ExecId or token id (48-bit counter space, high
+    // byte = epoch).
+    debug_assert!(args.epoch < (1 << 8), "epoch exceeds counter headroom");
+    let ctr_seed = (args.epoch << 40) | 1;
     let shared = Arc::new(Shared {
         id: args.id,
         n_servers: args.n_servers,
@@ -178,12 +367,22 @@ pub fn spawn(args: ServerArgs) -> ServerHandle {
         ),
         metrics: metrics.clone(),
         faults: args.engine.faults.for_server(args.id),
-        exec_ctr: AtomicU64::new(1),
-        token_ctr: AtomicU64::new(1),
+        exec_ctr: AtomicU64::new(ctr_seed),
+        token_ctr: AtomicU64::new(ctr_seed),
         tokens: Mutex::new(TokenRegistry::default()),
         coords: Mutex::new(HashMap::new()),
         sync_bufs: Mutex::new(HashMap::new()),
         retired: Mutex::new(BTreeSet::new()),
+        epoch: args.epoch,
+        reliable: args.engine.reliable_delivery_enabled(),
+        crashed: crashed.clone(),
+        relay_out: Mutex::new(RelayOut::default()),
+        relay_in: Mutex::new(HashMap::new()),
+        peer_epoch: Mutex::new(HashMap::new()),
+        crash_trigger: args.crash_after.map(|point| CrashTrigger {
+            point,
+            counted: AtomicU64::new(0),
+        }),
     });
     let mut workers = Vec::with_capacity(args.engine.workers_per_server);
     for w in 0..args.engine.workers_per_server {
@@ -203,6 +402,7 @@ pub fn spawn(args: ServerArgs) -> ServerHandle {
     ServerHandle {
         metrics,
         partition: args.partition,
+        crashed,
         dispatcher,
         workers,
     }
@@ -211,148 +411,306 @@ pub fn spawn(args: ServerArgs) -> ServerHandle {
 // ===================================================== dispatcher side
 
 fn dispatcher_loop(sh: &Arc<Shared>) {
-    while let Ok(env) = sh.ep.recv() {
-        match env.msg {
-            Msg::Shutdown => break,
-            Msg::Submit {
-                travel,
-                plan,
-                client,
-            } => handle_submit(sh, travel, plan, client),
-            Msg::SourceScan {
-                travel,
-                plan,
-                coordinator,
-                exec,
-            } => handle_source_scan(sh, travel, plan, coordinator, exec),
-            Msg::Visit {
-                travel,
-                depth,
-                exec,
-                plan,
-                coordinator,
-                items,
-            } => handle_visit(sh, travel, depth, exec, plan, coordinator, items),
-            Msg::ExecCreated {
-                travel,
-                exec,
-                depth,
-            } => with_async_coord(sh, travel, |l| l.exec_created(exec, depth)),
-            Msg::ExecTerminated {
-                travel,
-                exec,
-                children,
-            } => {
-                with_async_coord(sh, travel, |l| l.exec_terminated(exec, &children));
-                maybe_finish_async(sh, travel);
+    let ctl = loop {
+        let env = if sh.reliable {
+            // Timed receive so retransmission deadlines run while quiet.
+            match sh.ep.recv_timeout(RELAY_TICK) {
+                Ok(env) => Some(env),
+                Err(RecvError::Timeout) => None,
+                Err(RecvError::Closed) => break LoopCtl::Shutdown,
             }
-            Msg::Results { travel, items } => {
-                let mut coords = sh.coords.lock();
-                match coords.get_mut(&travel) {
-                    Some(CoordState::Async(l)) => l.add_results(&items),
-                    Some(CoordState::Sync(s)) => s.add_results(&items),
-                    None => {}
-                }
+        } else {
+            match sh.ep.recv() {
+                Ok(env) => Some(env),
+                Err(_) => break LoopCtl::Shutdown,
             }
-            Msg::OriginSatisfied {
-                travel,
-                exec,
-                coordinator,
-                tokens,
-            } => handle_origin_satisfied(sh, travel, exec, coordinator, &tokens),
-            Msg::SyncStart {
-                travel,
-                plan,
-                coordinator,
-                depth,
-                expect,
-            } => handle_sync_start(sh, travel, plan, coordinator, depth, expect),
-            Msg::SyncFrontier {
-                travel,
-                depth,
-                items,
-            } => handle_sync_frontier(sh, travel, depth, items),
-            Msg::SyncOrigin { travel, tokens } => handle_sync_origin(sh, travel, &tokens),
-            Msg::SyncStepDone {
-                travel,
-                depth,
-                server,
-                sent,
-                origin_sent,
-            } => handle_sync_step_done(sh, travel, depth, server, &sent, &origin_sent),
-            Msg::Abort { travel } => {
-                handle_abort(sh, travel);
-                sh.mark_retired(travel);
+        };
+        if let Some(env) = env {
+            match dispatch_msg(sh, env.msg) {
+                LoopCtl::Continue => {}
+                other => break other,
             }
-            Msg::Cancel { travel, client } => {
-                // Cluster-wide cancellation: same cleanup as an abort,
-                // but acknowledged so the client can retire the travel's
-                // admission slot once every server has complied.
-                handle_abort(sh, travel);
-                sh.mark_retired(travel);
-                let _ = sh.ep.send(
-                    client,
-                    Msg::CancelAck {
-                        travel,
-                        server: sh.id,
-                    },
-                );
-            }
-            Msg::Ingest {
-                req,
-                client,
-                vertices,
-                edges,
-            } => {
-                // The online update path (§I: "live updates"): writes go
-                // through the owning server's WAL-backed store and are
-                // immediately visible to traversals and point queries.
-                let mut applied = 0usize;
-                for v in &vertices {
-                    debug_assert_eq!(sh.partitioner.owner(v.id), sh.id);
-                    if sh.partition.put_vertex(v).is_ok() {
-                        applied += 1;
-                    }
-                }
-                for e in &edges {
-                    debug_assert_eq!(sh.partitioner.owner(e.src), sh.id);
-                    if sh.partition.put_edge(e).is_ok() {
-                        applied += 1;
-                    }
-                }
-                let _ = sh.ep.send(client, Msg::IngestAck { req, applied });
-            }
-            Msg::GetVertex {
-                req,
-                client,
-                vertex,
-            } => {
-                // Low-latency point query (§I: permission checks etc.).
-                let found = sh.partition.get_vertex(vertex).ok().flatten();
-                let _ = sh.ep.send(
-                    client,
-                    Msg::VertexReply {
-                        req,
-                        vertex: found.map(Box::new),
-                    },
-                );
-            }
-            Msg::IngestAck { .. } | Msg::VertexReply { .. } => {}
-            Msg::ProgressQuery { travel, client } => {
-                let coords = sh.coords.lock();
-                let snapshot = match coords.get(&travel) {
-                    Some(CoordState::Async(l)) => l.progress(),
-                    Some(CoordState::Sync(s)) => s.outcome().progress,
-                    None => Default::default(),
-                };
-                drop(coords);
-                let _ = sh.ep.send(client, Msg::ProgressReport { travel, snapshot });
-            }
-            // Client-facing replies never arrive at servers.
-            Msg::TravelDone { .. } | Msg::ProgressReport { .. } | Msg::CancelAck { .. } => {}
         }
+        if sh.reliable {
+            retransmit_due(sh);
+        }
+    };
+    if ctl == LoopCtl::Crash {
+        // Abrupt death: the queued work vanishes with the process; the
+        // workers exit on the closed queue; `Shared` (cache, tokens,
+        // coordinator ledgers, relay state) drops with the threads.
+        sh.crashed.store(true, Ordering::SeqCst);
+        sh.metrics.crashes.fetch_add(1, Ordering::Relaxed);
+        sh.queue.clear_all();
     }
     sh.queue.close();
+}
+
+/// Top-level message dispatch: transport-layer messages are handled here,
+/// everything else goes through [`handle_msg`].
+fn dispatch_msg(sh: &Arc<Shared>, msg: Msg) -> LoopCtl {
+    match msg {
+        Msg::Relay {
+            travel,
+            from,
+            epoch,
+            seq,
+            inner,
+            ..
+        } => handle_relay(sh, travel, from, epoch, seq, *inner),
+        Msg::RelayAck {
+            travel,
+            server,
+            seq,
+            ..
+        } => {
+            sh.relay_out.lock().pending.remove(&(travel, server, seq));
+            LoopCtl::Continue
+        }
+        other => handle_msg(sh, other),
+    }
+}
+
+/// Receive one relayed message: fence stale epochs, ack, dedupe, and
+/// deliver the stream strictly in sequence order.
+fn handle_relay(
+    sh: &Arc<Shared>,
+    travel: TravelId,
+    from: usize,
+    epoch: u64,
+    seq: u64,
+    inner: Msg,
+) -> LoopCtl {
+    {
+        let mut peers = sh.peer_epoch.lock();
+        let known = peers.entry(from).or_insert(epoch);
+        if epoch < *known {
+            // Pre-crash incarnation of the peer: discard without acking —
+            // the restarted peer has no pending entry for it anyway.
+            sh.metrics
+                .stale_epoch_dropped
+                .fetch_add(1, Ordering::Relaxed);
+            return LoopCtl::Continue;
+        }
+        if epoch > *known {
+            // The peer restarted: its streams start over at seq 1.
+            *known = epoch;
+            sh.relay_in.lock().retain(|&(_, f), _| f != from);
+        }
+    }
+    // Ack before anything else — a deduped redelivery must still be
+    // acked, or a lost ack would make the sender retry forever. The ack
+    // itself faces chaos; the sender's retransmit covers a lost ack.
+    let _ = sh.ep.send(
+        from,
+        Msg::RelayAck {
+            travel,
+            server: sh.id,
+            seq,
+            attempt: 1,
+        },
+    );
+    if sh.is_retired(travel) {
+        // Acked but dropped: don't resurrect stream state for a travel
+        // this server already finished or aborted.
+        return LoopCtl::Continue;
+    }
+    let deliverable: Vec<Msg> = {
+        let mut streams = sh.relay_in.lock();
+        let st = streams.entry((travel, from)).or_insert_with(|| InStream {
+            next_seq: 1,
+            buffered: BTreeMap::new(),
+        });
+        if seq < st.next_seq || st.buffered.contains_key(&seq) {
+            sh.metrics.redeliveries.fetch_add(1, Ordering::Relaxed);
+            return LoopCtl::Continue;
+        }
+        st.buffered.insert(seq, inner);
+        let mut out = Vec::new();
+        while let Some(m) = st.buffered.remove(&st.next_seq) {
+            out.push(m);
+            st.next_seq += 1;
+        }
+        out
+    };
+    for m in deliverable {
+        match handle_msg(sh, m) {
+            LoopCtl::Continue => {}
+            other => return other,
+        }
+    }
+    LoopCtl::Continue
+}
+
+/// Check the scripted crash trigger against an arriving frontier message;
+/// returns true when the server must die *instead of* processing it (the
+/// message is lost with the server, like a process kill mid-receive).
+fn crash_triggered(sh: &Arc<Shared>, msg: &Msg) -> bool {
+    let Some(trig) = &sh.crash_trigger else {
+        return false;
+    };
+    let qualifies = match msg {
+        Msg::Visit { depth, .. } | Msg::SyncFrontier { depth, .. } => *depth >= trig.point.step,
+        Msg::SourceScan { .. } => trig.point.step == 0,
+        _ => false,
+    };
+    if !qualifies {
+        return false;
+    }
+    let n = trig.counted.fetch_add(1, Ordering::Relaxed) + 1;
+    n >= trig.point.after_messages.max(1)
+}
+
+fn handle_msg(sh: &Arc<Shared>, msg: Msg) -> LoopCtl {
+    if crash_triggered(sh, &msg) {
+        return LoopCtl::Crash;
+    }
+    match msg {
+        Msg::Shutdown => return LoopCtl::Shutdown,
+        Msg::Crash => return LoopCtl::Crash,
+        Msg::Relay { .. } | Msg::RelayAck { .. } => {
+            // Only dispatch_msg routes these; a nested relay would be
+            // a protocol bug.
+            debug_assert!(false, "relay inside relay");
+        }
+        Msg::Submit {
+            travel,
+            plan,
+            client,
+        } => handle_submit(sh, travel, plan, client),
+        Msg::SourceScan {
+            travel,
+            plan,
+            coordinator,
+            exec,
+        } => handle_source_scan(sh, travel, plan, coordinator, exec),
+        Msg::Visit {
+            travel,
+            depth,
+            exec,
+            plan,
+            coordinator,
+            items,
+        } => handle_visit(sh, travel, depth, exec, plan, coordinator, items),
+        Msg::ExecCreated {
+            travel,
+            exec,
+            depth,
+        } => with_async_coord(sh, travel, |l| l.exec_created(exec, depth)),
+        Msg::ExecTerminated {
+            travel,
+            exec,
+            children,
+        } => {
+            with_async_coord(sh, travel, |l| l.exec_terminated(exec, &children));
+            maybe_finish_async(sh, travel);
+        }
+        Msg::Results { travel, items } => {
+            let mut coords = sh.coords.lock();
+            match coords.get_mut(&travel) {
+                Some(CoordState::Async(l)) => l.add_results(&items),
+                Some(CoordState::Sync(s)) => s.add_results(&items),
+                None => {}
+            }
+        }
+        Msg::OriginSatisfied {
+            travel,
+            exec,
+            coordinator,
+            tokens,
+        } => handle_origin_satisfied(sh, travel, exec, coordinator, &tokens),
+        Msg::SyncStart {
+            travel,
+            plan,
+            coordinator,
+            depth,
+            expect,
+        } => handle_sync_start(sh, travel, plan, coordinator, depth, expect),
+        Msg::SyncFrontier {
+            travel,
+            depth,
+            items,
+        } => handle_sync_frontier(sh, travel, depth, items),
+        Msg::SyncOrigin { travel, tokens } => handle_sync_origin(sh, travel, &tokens),
+        Msg::SyncStepDone {
+            travel,
+            depth,
+            server,
+            sent,
+            origin_sent,
+        } => handle_sync_step_done(sh, travel, depth, server, &sent, &origin_sent),
+        Msg::Abort { travel } => {
+            handle_abort(sh, travel);
+            sh.mark_retired(travel);
+        }
+        Msg::Cancel { travel, client } => {
+            // Cluster-wide cancellation: same cleanup as an abort,
+            // but acknowledged so the client can retire the travel's
+            // admission slot once every server has complied.
+            handle_abort(sh, travel);
+            sh.mark_retired(travel);
+            let _ = sh.ep.send(
+                client,
+                Msg::CancelAck {
+                    travel,
+                    server: sh.id,
+                },
+            );
+        }
+        Msg::Ingest {
+            req,
+            client,
+            vertices,
+            edges,
+        } => {
+            // The online update path (§I: "live updates"): writes go
+            // through the owning server's WAL-backed store and are
+            // immediately visible to traversals and point queries.
+            let mut applied = 0usize;
+            for v in &vertices {
+                debug_assert_eq!(sh.partitioner.owner(v.id), sh.id);
+                if sh.partition.put_vertex(v).is_ok() {
+                    applied += 1;
+                }
+            }
+            for e in &edges {
+                debug_assert_eq!(sh.partitioner.owner(e.src), sh.id);
+                if sh.partition.put_edge(e).is_ok() {
+                    applied += 1;
+                }
+            }
+            let _ = sh.ep.send(client, Msg::IngestAck { req, applied });
+        }
+        Msg::GetVertex {
+            req,
+            client,
+            vertex,
+        } => {
+            // Low-latency point query (§I: permission checks etc.).
+            let found = sh.partition.get_vertex(vertex).ok().flatten();
+            let _ = sh.ep.send(
+                client,
+                Msg::VertexReply {
+                    req,
+                    vertex: found.map(Box::new),
+                },
+            );
+        }
+        Msg::IngestAck { .. } | Msg::VertexReply { .. } => {}
+        Msg::ProgressQuery { travel, client } => {
+            let coords = sh.coords.lock();
+            let snapshot = match coords.get(&travel) {
+                Some(CoordState::Async(l)) => l.progress(),
+                Some(CoordState::Sync(s)) => s.outcome().progress,
+                None => Default::default(),
+            };
+            drop(coords);
+            let _ = sh.ep.send(client, Msg::ProgressReport { travel, snapshot });
+        }
+        // Client-facing replies never arrive at servers.
+        Msg::TravelDone { .. } | Msg::ProgressReport { .. } | Msg::CancelAck { .. } => {}
+    }
+    LoopCtl::Continue
 }
 
 fn with_async_coord(sh: &Arc<Shared>, travel: TravelId, f: impl FnOnce(&mut TravelLedger)) {
@@ -403,8 +761,10 @@ fn handle_submit(sh: &Arc<Shared>, travel: TravelId, plan: Arc<Plan>, client: us
     };
     if sync {
         for s in 0..sh.n_servers {
-            let _ = sh.ep.send(
+            send_travel(
+                sh,
                 s,
+                travel,
                 Msg::SyncStart {
                     travel,
                     plan: plan.clone(),
@@ -432,8 +792,10 @@ fn handle_submit(sh: &Arc<Shared>, travel: TravelId, plan: Arc<Plan>, client: us
                 with_async_coord(sh, travel, |l| l.exec_created(exec, 0));
                 let items: Vec<(VertexId, Tokens)> =
                     vids.into_iter().map(|v| (v, Vec::new())).collect();
-                let _ = sh.ep.send(
+                send_travel(
+                    sh,
                     owner,
+                    travel,
                     Msg::Visit {
                         travel,
                         depth: 0,
@@ -458,8 +820,10 @@ fn handle_submit(sh: &Arc<Shared>, travel: TravelId, plan: Arc<Plan>, client: us
             for s in 0..sh.n_servers {
                 let exec = alloc_exec(sh);
                 with_async_coord(sh, travel, |l| l.exec_created(exec, 0));
-                let _ = sh.ep.send(
+                send_travel(
+                    sh,
                     s,
+                    travel,
                     Msg::SourceScan {
                         travel,
                         plan: plan.clone(),
@@ -594,8 +958,10 @@ fn handle_origin_satisfied(
         sh.metrics
             .results_sent
             .fetch_add(released.len() as u64, Ordering::Relaxed);
-        let _ = sh.ep.send(
+        send_travel(
+            sh,
             coordinator,
+            travel,
             Msg::Results {
                 travel,
                 items: released,
@@ -603,9 +969,12 @@ fn handle_origin_satisfied(
         );
     }
     // Terminate the synthetic execution *after* the results, on the same
-    // FIFO link, so the coordinator cannot complete before seeing them.
-    let _ = sh.ep.send(
+    // ordered stream, so the coordinator cannot complete before seeing
+    // them (under chaos the reliable layer restores the FIFO guarantee).
+    send_travel(
+        sh,
         coordinator,
+        travel,
         Msg::ExecTerminated {
             travel,
             exec,
@@ -639,6 +1008,15 @@ fn handle_abort(sh: &Arc<Shared>, travel: TravelId) {
     }
     sh.sync_bufs.lock().remove(&travel);
     sh.coords.lock().remove(&travel);
+    // Reliable-delivery state dies with the travel: pending retransmits
+    // stop, receive streams forget their cursors (a resubmission gets a
+    // new travel id and fresh streams).
+    {
+        let mut out = sh.relay_out.lock();
+        out.next_seq.retain(|&(t, _), _| t != travel);
+        out.pending.retain(|&(t, _, _), _| t != travel);
+    }
+    sh.relay_in.lock().retain(|&(t, _), _| t != travel);
 }
 
 // ------------------------------------------------------ sync engine
@@ -862,16 +1240,20 @@ fn fire_sync_origin_release(sh: &Arc<Shared>, travel: TravelId, depth: u16) {
         sh.metrics
             .results_sent
             .fetch_add(released.len() as u64, Ordering::Relaxed);
-        let _ = sh.ep.send(
+        send_travel(
+            sh,
             coordinator,
+            travel,
             Msg::Results {
                 travel,
                 items: released,
             },
         );
     }
-    let _ = sh.ep.send(
+    send_travel(
+        sh,
         coordinator,
+        travel,
         Msg::SyncStepDone {
             travel,
             depth,
@@ -911,8 +1293,10 @@ fn handle_sync_step_done(
     match action {
         Ok((plan, next)) => {
             for (srv, d, expect) in next {
-                let _ = sh.ep.send(
+                send_travel(
+                    sh,
                     srv,
+                    travel,
                     Msg::SyncStart {
                         travel,
                         plan: plan.clone(),
@@ -1118,8 +1502,10 @@ fn flush_request(sh: &Arc<Shared>, req: &RequestState) {
             for (owner, map) in out.dst_by_owner {
                 let child = alloc_exec(sh);
                 children.push((child, req.depth + 1));
-                let _ = sh.ep.send(
+                send_travel(
+                    sh,
                     req.coordinator,
+                    travel,
                     Msg::ExecCreated {
                         travel,
                         exec: child,
@@ -1133,8 +1519,10 @@ fn flush_request(sh: &Arc<Shared>, req: &RequestState) {
                 sh.metrics
                     .requests_dispatched
                     .fetch_add(1, Ordering::Relaxed);
-                let _ = sh.ep.send(
+                send_travel(
+                    sh,
                     owner,
+                    travel,
                     Msg::Visit {
                         travel,
                         depth: req.depth + 1,
@@ -1149,16 +1537,20 @@ fn flush_request(sh: &Arc<Shared>, req: &RequestState) {
             for (owner, tokens) in satisfied_by_owner {
                 let syn = alloc_exec(sh);
                 children.push((syn, virtual_depth));
-                let _ = sh.ep.send(
+                send_travel(
+                    sh,
                     req.coordinator,
+                    travel,
                     Msg::ExecCreated {
                         travel,
                         exec: syn,
                         depth: virtual_depth,
                     },
                 );
-                let _ = sh.ep.send(
+                send_travel(
+                    sh,
                     owner,
+                    travel,
                     Msg::OriginSatisfied {
                         travel,
                         exec: syn,
@@ -1171,8 +1563,10 @@ fn flush_request(sh: &Arc<Shared>, req: &RequestState) {
                 sh.metrics
                     .results_sent
                     .fetch_add(out.results.len() as u64, Ordering::Relaxed);
-                let _ = sh.ep.send(
+                send_travel(
+                    sh,
                     req.coordinator,
+                    travel,
                     Msg::Results {
                         travel,
                         items: out.results,
@@ -1180,8 +1574,10 @@ fn flush_request(sh: &Arc<Shared>, req: &RequestState) {
                 );
             }
             // Termination last, registering children atomically (§IV-C).
-            let _ = sh.ep.send(
+            send_travel(
+                sh,
                 req.coordinator,
+                travel,
                 Msg::ExecTerminated {
                     travel,
                     exec: req.exec,
@@ -1200,8 +1596,10 @@ fn flush_request(sh: &Arc<Shared>, req: &RequestState) {
                 sh.metrics
                     .requests_dispatched
                     .fetch_add(1, Ordering::Relaxed);
-                let _ = sh.ep.send(
+                send_travel(
+                    sh,
                     owner,
+                    travel,
                     Msg::SyncFrontier {
                         travel,
                         depth: req.depth + 1,
@@ -1212,22 +1610,26 @@ fn flush_request(sh: &Arc<Shared>, req: &RequestState) {
             let mut origin_sent: Vec<(usize, u64)> = Vec::new();
             for (owner, tokens) in satisfied_by_owner {
                 origin_sent.push((owner, tokens.len() as u64));
-                let _ = sh.ep.send(owner, Msg::SyncOrigin { travel, tokens });
+                send_travel(sh, owner, travel, Msg::SyncOrigin { travel, tokens });
             }
             if !out.results.is_empty() {
                 sh.metrics
                     .results_sent
                     .fetch_add(out.results.len() as u64, Ordering::Relaxed);
-                let _ = sh.ep.send(
+                send_travel(
+                    sh,
                     req.coordinator,
+                    travel,
                     Msg::Results {
                         travel,
                         items: out.results,
                     },
                 );
             }
-            let _ = sh.ep.send(
+            send_travel(
+                sh,
                 req.coordinator,
+                travel,
                 Msg::SyncStepDone {
                     travel,
                     depth: req.depth,

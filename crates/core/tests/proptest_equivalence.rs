@@ -8,6 +8,8 @@ use graphtrek::prelude::*;
 use gt_graph::{Edge, InMemoryGraph, Props, Vertex};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
 
 #[derive(Debug, Clone)]
 struct GraphSpec {
@@ -140,6 +142,74 @@ fn build_query(spec: &PlanSpec, n_vertices: u64) -> GTravel {
     q
 }
 
+/// Strategy for seeded chaos plans: bounded fault rates plus at most two
+/// scripted crash points on a two-server cluster. Shrinking walks every
+/// component toward zero, so a failure is reported with a minimal fault
+/// schedule (fewest crashes, smallest rates, smallest trigger counts).
+fn chaos_spec() -> impl Strategy<Value = ChaosPlan> {
+    (
+        any::<u64>(),
+        0.0f64..0.10,
+        0.0f64..0.10,
+        0.0f64..0.25,
+        any::<bool>(),
+        proptest::collection::vec((0usize..2, 0u16..3, 1u64..8), 0..3),
+    )
+        .prop_map(
+            |(seed, drop, duplicate, delay, reorder, crashes)| ChaosPlan {
+                seed,
+                drop,
+                duplicate,
+                delay,
+                max_delay: Duration::from_millis(1),
+                reorder,
+                crashes: crashes
+                    .into_iter()
+                    .map(|(server, step, after_messages)| CrashPoint {
+                        server,
+                        step,
+                        after_messages,
+                    })
+                    .collect(),
+            },
+        )
+}
+
+/// Run `q` to completion while a watchdog thread restarts any server a
+/// scripted crash point takes down (retrying the travel after timeouts).
+fn submit_with_watchdog(cluster: &Cluster, q: &GTravel) -> TravelResult {
+    // Raise the stop flag even when the submit (or its unwrap) panics,
+    // so the scope's implicit join terminates and the panic surfaces as
+    // a shrinkable proptest failure instead of a hang.
+    struct StopOnExit<'a>(&'a AtomicBool);
+    impl Drop for StopOnExit<'_> {
+        fn drop(&mut self) {
+            self.0.store(true, Ordering::SeqCst);
+        }
+    }
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let watcher = s.spawn(|| {
+            while !stop.load(Ordering::SeqCst) {
+                for id in 0..cluster.n_servers() {
+                    if cluster.server_crashed(id) {
+                        std::thread::sleep(Duration::from_millis(30));
+                        cluster
+                            .restart_server(id)
+                            .expect("restart of crashed server failed");
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        });
+        let stopper = StopOnExit(&stop);
+        let out = cluster.submit_opts(q, Duration::from_secs(3), 6).unwrap();
+        drop(stopper);
+        watcher.join().unwrap();
+        out
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
 
@@ -270,5 +340,61 @@ proptest! {
         std::fs::remove_dir_all(&dir).ok();
         prop_assert_eq!(&got.by_depth, &want_map, "survivor perturbed by cancellation");
         prop_assert_eq!(leaked, 0, "cancelled travel leaked its admission slot");
+    }
+}
+
+proptest! {
+    // Fewer cases: every case runs three engines under fault injection
+    // (crashed servers are restarted and the travel retried), which is
+    // far slower than a clean run.
+    #![proptest_config(ProptestConfig { cases: 8, .. ProptestConfig::default() })]
+
+    /// Fault injection never changes traversal semantics: under any
+    /// bounded chaos plan (message drop/duplication/delay/reordering plus
+    /// up to two scripted crash–restart cycles), all three engines still
+    /// return exactly the oracle's result. On failure proptest shrinks the
+    /// graph, the plan and the chaos schedule to a minimal reproduction.
+    #[test]
+    fn engines_match_oracle_under_chaos(
+        gspec in graph_spec(),
+        pspec in plan_spec(),
+        chaos in chaos_spec(),
+    ) {
+        let g = build_graph(&gspec);
+        let q = build_query(&pspec, gspec.n_vertices);
+        let plan = q.compile().unwrap();
+        let want = oracle::traverse(&g, &plan);
+        let want_map: BTreeMap<u16, Vec<VertexId>> = want
+            .by_depth
+            .iter()
+            .map(|(&d, s)| (d, s.iter().copied().collect()))
+            .collect();
+        for kind in EngineKind::all() {
+            let dir = std::env::temp_dir().join(format!(
+                "gt-prop-chaos-{}-{kind:?}-{:?}",
+                std::process::id(),
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .unwrap()
+                    .as_nanos()
+            ));
+            std::fs::remove_dir_all(&dir).ok();
+            let cluster = Cluster::build(
+                &g,
+                ClusterConfig::new(&dir, 2),
+                EngineConfig::new(kind).chaos(chaos.clone()),
+            )
+            .unwrap();
+            let got = submit_with_watchdog(&cluster, &q);
+            cluster.shutdown();
+            std::fs::remove_dir_all(&dir).ok();
+            prop_assert_eq!(
+                &got.by_depth,
+                &want_map,
+                "{:?} diverged under chaos plan {:?}",
+                kind,
+                chaos
+            );
+        }
     }
 }

@@ -1,5 +1,6 @@
 //! Endpoints, envelopes, and the delivery timer wheel.
 
+use crate::chaos::ChaosConfig;
 use crate::config::NetConfig;
 use crate::stats::NetStats;
 use crate::WireSize;
@@ -77,6 +78,7 @@ impl<M> Ord for Scheduled<M> {
 
 struct Shared<M> {
     cfg: NetConfig,
+    chaos: ChaosConfig,
     inboxes: Vec<Sender<Envelope<M>>>,
     /// Input to the timer-wheel thread (None when the model is instant).
     wheel_tx: Option<Sender<Scheduled<M>>>,
@@ -130,9 +132,19 @@ impl<M> std::fmt::Debug for Fabric<M> {
     }
 }
 
-impl<M: Send + WireSize + 'static> Fabric<M> {
+impl<M: Send + WireSize + Clone + 'static> Fabric<M> {
     /// Build a fabric with `n` endpoints under the given network model.
     pub fn new(n: usize, cfg: NetConfig) -> (Fabric<M>, Vec<Endpoint<M>>) {
+        Self::with_chaos(n, cfg, ChaosConfig::off())
+    }
+
+    /// Build a fabric whose keyed messages additionally pass through a
+    /// seeded fault-injection layer (see [`ChaosConfig`]).
+    pub fn with_chaos(
+        n: usize,
+        cfg: NetConfig,
+        chaos: ChaosConfig,
+    ) -> (Fabric<M>, Vec<Endpoint<M>>) {
         let mut inboxes = Vec::with_capacity(n);
         let mut rxs = Vec::with_capacity(n);
         for _ in 0..n {
@@ -141,7 +153,9 @@ impl<M: Send + WireSize + 'static> Fabric<M> {
             rxs.push(rx);
         }
         let stats = Arc::new(NetStats::new(n));
-        let (wheel_tx, wheel_handle) = if cfg.is_instant() {
+        // Chaos delays and duplicate-copy offsets need the wheel even
+        // under the instant model.
+        let (wheel_tx, wheel_handle) = if cfg.is_instant() && !chaos.needs_wheel() {
             (None, None)
         } else {
             let (tx, rx) = unbounded::<Scheduled<M>>();
@@ -155,6 +169,7 @@ impl<M: Send + WireSize + 'static> Fabric<M> {
         let now = Instant::now();
         let shared = Arc::new(Shared {
             cfg,
+            chaos,
             inboxes,
             wheel_tx,
             stats,
@@ -250,7 +265,7 @@ fn wheel_loop<M: Send>(rx: Receiver<Scheduled<M>>, inboxes: Vec<Sender<Envelope<
     }
 }
 
-impl<M: Send + WireSize + 'static> Endpoint<M> {
+impl<M: Send + WireSize + Clone + 'static> Endpoint<M> {
     /// This endpoint's address.
     pub fn id(&self) -> usize {
         self.id
@@ -271,6 +286,21 @@ impl<M: Send + WireSize + 'static> Endpoint<M> {
             sh.stats.record_drop();
             return Ok(()); // silently dropped, like a dead peer
         }
+        // Seeded fault injection: a keyed message on an in-scope link gets
+        // its fate from the pure decision function (drop / duplicate /
+        // delay). Keyless messages (control plane, client links) pass
+        // through untouched.
+        let decision = if sh.chaos.applies_to_link(self.id, to) {
+            msg.chaos_key().map(|k| sh.chaos.decide(k))
+        } else {
+            None
+        };
+        if let Some(d) = &decision {
+            if d.drop {
+                sh.stats.record_chaos_drop();
+                return Ok(()); // lost on the wire
+            }
+        }
         let size = msg.wire_size();
         sh.stats.record(self.id, to, size);
         let env = Envelope {
@@ -278,7 +308,20 @@ impl<M: Send + WireSize + 'static> Endpoint<M> {
             to,
             msg,
         };
+        let dup_env = match &decision {
+            Some(d) if d.duplicate => {
+                sh.stats.record_chaos_dup();
+                Some(env.clone())
+            }
+            _ => None,
+        };
+        let extra = decision.map(|d| d.extra_delay).unwrap_or(Duration::ZERO);
+        if !extra.is_zero() {
+            sh.stats.record_chaos_delay();
+        }
         match &sh.wheel_tx {
+            // No wheel ⇒ chaos can only be dropping (needs_wheel() covers
+            // dup/delay), so plain instant delivery is exact.
             None => sh.inboxes[to].send(env).map_err(|_| SendError::Closed),
             Some(wheel) => {
                 let delay = {
@@ -292,9 +335,12 @@ impl<M: Send + WireSize + 'static> Endpoint<M> {
                         + Duration::from_nanos(jitter_ns)
                         + sh.cfg.per_byte * (size as u32)
                 };
-                let mut deliver_at = Instant::now() + delay;
-                {
-                    // FIFO floor per link.
+                let mut deliver_at = Instant::now() + delay + extra;
+                // A chaos-delayed message with `reorder` on skips the FIFO
+                // floor: later sends on the link may overtake it. Without
+                // `reorder` the extra delay stalls the whole link instead.
+                let bypass_floor = sh.chaos.reorder && !extra.is_zero();
+                if !bypass_floor {
                     let mut floors = sh.link_floor.lock();
                     let slot = self.id * sh.inboxes.len() + to;
                     if deliver_at < floors[slot] {
@@ -309,7 +355,22 @@ impl<M: Send + WireSize + 'static> Endpoint<M> {
                         seq,
                         env,
                     })
-                    .map_err(|_| SendError::Closed)
+                    .map_err(|_| SendError::Closed)?;
+                if let Some(denv) = dup_env {
+                    // Duplicate copies never consult the floor — a dup may
+                    // arrive out of order, which is exactly the hazard the
+                    // receive-side dedupe must absorb.
+                    let dd = decision.map(|d| d.dup_delay).unwrap_or_default();
+                    let seq = sh.seq.fetch_add(1, Ordering::Relaxed);
+                    wheel
+                        .send(Scheduled {
+                            deliver_at: deliver_at + dd,
+                            seq,
+                            env: denv,
+                        })
+                        .map_err(|_| SendError::Closed)?;
+                }
+                Ok(())
             }
         }
     }
@@ -472,5 +533,81 @@ mod tests {
         let (_fabric, eps) = Fabric::<u64>::new(1, NetConfig::instant());
         eps[0].send(0, 7).unwrap();
         assert_eq!(eps[0].recv().unwrap().msg, 7);
+    }
+
+    /// A message that opts into chaos with its value as identity.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct Keyed(u64);
+
+    impl WireSize for Keyed {
+        fn wire_size(&self) -> usize {
+            8
+        }
+        fn chaos_key(&self) -> Option<u64> {
+            Some(self.0)
+        }
+    }
+
+    fn lossy(seed: u64, scope: usize) -> ChaosConfig {
+        ChaosConfig {
+            seed,
+            drop_prob: 0.2,
+            dup_prob: 0.2,
+            delay_prob: 0.0,
+            max_delay: Duration::ZERO,
+            reorder: false,
+            scope,
+        }
+    }
+
+    /// Run `n` keyed messages through a chaotic fabric and count arrivals
+    /// per key.
+    fn deliveries(seed: u64, n: u64) -> Vec<u64> {
+        let (_fabric, eps) = Fabric::<Keyed>::with_chaos(2, NetConfig::instant(), lossy(seed, 2));
+        for k in 0..n {
+            eps[0].send(1, Keyed(k)).unwrap();
+        }
+        let mut got = vec![0u64; n as usize];
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while Instant::now() < deadline {
+            match eps[1].recv_timeout(Duration::from_millis(50)) {
+                Ok(env) => got[env.msg.0 as usize] += 1,
+                Err(_) => break,
+            }
+        }
+        got
+    }
+
+    #[test]
+    fn chaos_drops_and_duplicates_deterministically() {
+        let a = deliveries(99, 500);
+        let b = deliveries(99, 500);
+        assert_eq!(a, b, "same seed must realize the same fault schedule");
+        let dropped = a.iter().filter(|&&c| c == 0).count();
+        let dupped = a.iter().filter(|&&c| c == 2).count();
+        assert!(dropped > 50, "expected ~20% drops, got {dropped}/500");
+        assert!(dupped > 30, "expected ~16% dups, got {dupped}/500");
+    }
+
+    #[test]
+    fn chaos_ignores_keyless_and_out_of_scope_messages() {
+        // u64 has no chaos key: every message arrives exactly once.
+        let (fabric, eps) = Fabric::<u64>::with_chaos(2, NetConfig::instant(), lossy(1, 2));
+        for i in 0..200u64 {
+            eps[0].send(1, i).unwrap();
+        }
+        for i in 0..200u64 {
+            assert_eq!(eps[1].recv().unwrap().msg, i);
+        }
+        assert_eq!(fabric.stats().chaos_dropped(), 0);
+        // Keyed messages outside the scope (endpoint 2 = "client") pass.
+        let (fabric, eps) = Fabric::<Keyed>::with_chaos(3, NetConfig::instant(), lossy(1, 2));
+        for i in 0..200u64 {
+            eps[0].send(2, Keyed(i)).unwrap();
+        }
+        for i in 0..200u64 {
+            assert_eq!(eps[2].recv().unwrap().msg, Keyed(i));
+        }
+        assert_eq!(fabric.stats().chaos_dropped(), 0);
     }
 }

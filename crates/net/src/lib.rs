@@ -27,10 +27,12 @@
 //! but every message type reports a [`WireSize`] so the bandwidth model
 //! has something to charge.
 
+pub mod chaos;
 pub mod config;
 pub mod fabric;
 pub mod stats;
 
+pub use chaos::{chaos_key_of, ChaosConfig, ChaosDecision};
 pub use config::NetConfig;
 pub use fabric::{Endpoint, Envelope, Fabric, RecvError, SendError};
 pub use stats::NetStats;
@@ -39,6 +41,15 @@ pub use stats::NetStats;
 pub trait WireSize {
     /// Approximate serialized size in bytes.
     fn wire_size(&self) -> usize;
+
+    /// Stable identity of this message for seeded fault injection: the
+    /// chaos layer's fate decision is a pure function of `(seed, key)`,
+    /// which is what makes a fault schedule reproducible regardless of
+    /// thread interleaving. `None` (the default) exempts the message
+    /// from chaos entirely — appropriate for control-plane traffic.
+    fn chaos_key(&self) -> Option<u64> {
+        None
+    }
 }
 
 impl WireSize for Vec<u8> {

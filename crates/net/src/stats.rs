@@ -9,6 +9,9 @@ pub struct NetStats {
     msgs: Vec<AtomicU64>,
     bytes: Vec<AtomicU64>,
     dropped: AtomicU64,
+    chaos_dropped: AtomicU64,
+    chaos_duplicated: AtomicU64,
+    chaos_delayed: AtomicU64,
 }
 
 impl NetStats {
@@ -19,6 +22,9 @@ impl NetStats {
             msgs: (0..n * n).map(|_| AtomicU64::new(0)).collect(),
             bytes: (0..n * n).map(|_| AtomicU64::new(0)).collect(),
             dropped: AtomicU64::new(0),
+            chaos_dropped: AtomicU64::new(0),
+            chaos_duplicated: AtomicU64::new(0),
+            chaos_delayed: AtomicU64::new(0),
         }
     }
 
@@ -61,6 +67,36 @@ impl NetStats {
     /// Messages dropped by isolation.
     pub fn dropped(&self) -> u64 {
         self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Record one message dropped by chaos injection.
+    pub fn record_chaos_drop(&self) {
+        self.chaos_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one message duplicated by chaos injection.
+    pub fn record_chaos_dup(&self) {
+        self.chaos_duplicated.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one message given extra delay by chaos injection.
+    pub fn record_chaos_delay(&self) {
+        self.chaos_delayed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Messages dropped by chaos injection.
+    pub fn chaos_dropped(&self) -> u64 {
+        self.chaos_dropped.load(Ordering::Relaxed)
+    }
+
+    /// Messages duplicated by chaos injection.
+    pub fn chaos_duplicated(&self) -> u64 {
+        self.chaos_duplicated.load(Ordering::Relaxed)
+    }
+
+    /// Messages delayed by chaos injection.
+    pub fn chaos_delayed(&self) -> u64 {
+        self.chaos_delayed.load(Ordering::Relaxed)
     }
 
     /// Number of endpoints this fabric was built with.
