@@ -73,6 +73,7 @@ fn req(depth: u16) -> Arc<RequestState> {
         exec: graphtrek::ExecId::new(0, depth as u64),
         plan: Arc::new(GTravel::v([1u64]).e("x").compile().unwrap()),
         coordinator: 0,
+        tepoch: 0,
         mode: ReqMode::Async,
         remaining: AtomicUsize::new(usize::MAX / 2),
         out: parking_lot::Mutex::new(Default::default()),

@@ -15,6 +15,7 @@
 //! from scratch (§IV-C: "this failure will simply cause the traversal to
 //! be restarted").
 
+use crate::coordinator::LedgerEvent;
 use crate::engine::{EngineConfig, EngineKind};
 use crate::lang::{GTravel, LangError, Plan};
 use crate::message::{Msg, ProgressSnapshot, TravelOutcome};
@@ -23,6 +24,7 @@ use crate::server::{spawn, ServerArgs, ServerHandle};
 use crate::TravelId;
 use gt_graph::storage::load_partitioned;
 use gt_graph::{EdgeCutPartitioner, GraphPartition, InMemoryGraph, VertexId};
+use gt_kvstore::wal::replay_blobs;
 use gt_kvstore::{IoProfile, Store, StoreConfig};
 use gt_net::{Endpoint, Fabric, NetConfig, RecvError};
 use parking_lot::Mutex;
@@ -37,6 +39,16 @@ use std::time::{Duration, Instant};
 const RESUBMIT_BACKOFF_BASE: Duration = Duration::from_millis(10);
 /// Cap on the resubmission backoff.
 const RESUBMIT_BACKOFF_CAP: Duration = Duration::from_millis(500);
+/// Granularity of [`Cluster::wait`]'s receive loop: between slices the
+/// client checks the travel's coordinator for a crash so an orphaned
+/// travel is failed over instead of silently running out the clock.
+const WAIT_SLICE: Duration = Duration::from_millis(50);
+/// Cap on retained routing entries / cancelled ids (tickets whose
+/// `wait()` never happens).
+const MAX_ROUTES: usize = 4096;
+/// File name of a server's durable travel-ledger event log, next to its
+/// store (only clusters that own their storage get one).
+const LEDGER_FILE: &str = "travel-ledger.log";
 
 /// Storage-side configuration of a simulated cluster.
 #[derive(Debug, Clone)]
@@ -89,6 +101,58 @@ impl ClusterConfig {
     }
 }
 
+/// Why a traversal failed, as observed by the client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TravelError {
+    /// No completion arrived within the timeout (after every restart
+    /// attempt). Carries the number of attempts made and the
+    /// coordinator's last progress estimate when one could still be
+    /// fetched — a timeout is no longer silent about *where* the
+    /// traversal got stuck.
+    Timeout {
+        /// Submission attempts made (1 = no restarts).
+        attempts: u32,
+        /// Best-effort progress snapshot taken just before giving up.
+        last_progress: Option<ProgressSnapshot>,
+    },
+    /// The coordinator hosting the travel died and could not be failed
+    /// over (reliability disabled, or every candidate successor down).
+    CoordinatorLost {
+        /// The orphaned travel.
+        travel: TravelId,
+    },
+    /// The travel was cancelled via [`Cluster::cancel`].
+    Cancelled {
+        /// The cancelled travel.
+        travel: TravelId,
+    },
+}
+
+impl std::fmt::Display for TravelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TravelError::Timeout {
+                attempts,
+                last_progress,
+            } => {
+                write!(f, "traversal timed out after {attempts} attempt(s)")?;
+                if let Some(p) = last_progress {
+                    write!(
+                        f,
+                        " (last progress: {} created / {} terminated)",
+                        p.created, p.terminated
+                    )?;
+                }
+                Ok(())
+            }
+            TravelError::CoordinatorLost { travel } => {
+                write!(f, "travel {travel}: coordinator lost and not recoverable")
+            }
+            TravelError::Cancelled { travel } => write!(f, "travel {travel} was cancelled"),
+        }
+    }
+}
+
 /// Errors surfaced by the client API.
 #[derive(Debug)]
 pub enum ClusterError {
@@ -96,9 +160,8 @@ pub enum ClusterError {
     Lang(LangError),
     /// Storage failure while building the cluster.
     Storage(gt_kvstore::Error),
-    /// The traversal did not complete within the timeout (after all
-    /// restart attempts). Carries the number of attempts made.
-    TimedOut(u32),
+    /// The traversal failed (timeout, lost coordinator, cancellation).
+    Travel(TravelError),
     /// The fabric is down (cluster shut down concurrently).
     Disconnected,
     /// A crash/restart operation could not be carried out (server not
@@ -106,12 +169,26 @@ pub enum ClusterError {
     Recovery(String),
 }
 
+impl ClusterError {
+    fn slice_timeout() -> Self {
+        ClusterError::Travel(TravelError::Timeout {
+            attempts: 1,
+            last_progress: None,
+        })
+    }
+
+    /// True when this is a travel timeout (any attempt count).
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, ClusterError::Travel(TravelError::Timeout { .. }))
+    }
+}
+
 impl std::fmt::Display for ClusterError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClusterError::Lang(e) => write!(f, "query error: {e}"),
             ClusterError::Storage(e) => write!(f, "storage error: {e}"),
-            ClusterError::TimedOut(n) => write!(f, "traversal timed out after {n} attempt(s)"),
+            ClusterError::Travel(e) => write!(f, "{e}"),
             ClusterError::Disconnected => write!(f, "cluster disconnected"),
             ClusterError::Recovery(why) => write!(f, "recovery error: {why}"),
         }
@@ -143,6 +220,9 @@ pub struct TravelResult {
     pub progress: ProgressSnapshot,
     /// How many times the traversal was restarted after a timeout.
     pub restarts: u32,
+    /// How many coordinator failovers the traversal survived (its ledger
+    /// was re-hosted on a successor that many times).
+    pub failovers: u32,
     /// Time spent in the client-side admission queue before the travel
     /// was dispatched (zero when admitted immediately).
     pub admit_wait: Duration,
@@ -160,6 +240,7 @@ impl TravelResult {
             elapsed,
             progress: outcome.progress,
             restarts,
+            failovers: 0,
             admit_wait: Duration::ZERO,
         }
     }
@@ -185,6 +266,21 @@ impl Ticket {
 struct Pending {
     travel: TravelId,
     coordinator: usize,
+    plan: Arc<Plan>,
+}
+
+/// Client-side routing state of one dispatched travel: which server
+/// currently hosts its coordinator role, under which travel-epoch, and
+/// the plan (needed to seed a successor on failover).
+struct Route {
+    coordinator: usize,
+    /// Incarnation epoch of the hosting server when (re-)routed. A
+    /// mismatch later means the host crashed and restarted — the hosted
+    /// ledger died with it even though the server looks alive again.
+    coord_epoch: u64,
+    /// Travel-epoch the travel currently runs under (bumped per failover).
+    tepoch: u64,
+    failovers: u32,
     plan: Arc<Plan>,
 }
 
@@ -226,6 +322,10 @@ struct ServerSlot {
     /// How to reopen this server's store (only known when the cluster
     /// built the storage itself via [`Cluster::build`]).
     store_cfg: Option<StoreConfig>,
+    /// Where this server persists its durable travel-ledger stream
+    /// (coordinator role). `None` for store-less clusters — failover then
+    /// recovers purely from re-announced journals.
+    ledger_path: Option<PathBuf>,
 }
 
 /// A running simulated cluster plus its client endpoint.
@@ -241,6 +341,13 @@ pub struct Cluster {
     /// by however long the client took to come back and `wait`).
     mailbox: Mutex<VecDeque<(TravelId, Msg, Instant)>>,
     admission: Mutex<Admission>,
+    /// Dispatched travels' coordinator routing (failover re-homing).
+    routes: Mutex<BTreeMap<TravelId, Route>>,
+    /// Travels cancelled via [`Cluster::cancel`]; a later `wait` reports
+    /// [`TravelError::Cancelled`] instead of timing out.
+    cancelled: Mutex<BTreeSet<TravelId>>,
+    /// Serializes failover orchestration across concurrent waiters.
+    failover_lock: Mutex<()>,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -323,6 +430,7 @@ impl Cluster {
             .zip(store_cfgs)
             .enumerate()
         {
+            let ledger_path = store_cfg.as_ref().map(|c| c.dir.join(LEDGER_FILE));
             let handle = spawn(ServerArgs {
                 id,
                 n_servers: n,
@@ -333,6 +441,7 @@ impl Cluster {
                 epoch: 0,
                 metrics: None,
                 crash_after: ecfg.chaos.crash_for(id),
+                ledger_path: ledger_path.clone(),
             });
             slots.push(ServerSlot {
                 endpoint,
@@ -341,6 +450,7 @@ impl Cluster {
                 handle: Mutex::new(Some(handle)),
                 epoch: AtomicU64::new(0),
                 store_cfg,
+                ledger_path,
             });
         }
         Ok(Cluster {
@@ -352,6 +462,9 @@ impl Cluster {
             travel_ctr: AtomicU64::new(1),
             mailbox: Mutex::new(VecDeque::new()),
             admission: Mutex::new(Admission::default()),
+            routes: Mutex::new(BTreeMap::new()),
+            cancelled: Mutex::new(BTreeSet::new()),
+            failover_lock: Mutex::new(()),
         })
     }
 
@@ -442,6 +555,7 @@ impl Cluster {
             epoch,
             metrics: Some(slot.metrics.clone()),
             crash_after: None,
+            ledger_path: slot.ledger_path.clone(),
         }));
         Ok(())
     }
@@ -509,6 +623,22 @@ impl Cluster {
         coordinator: usize,
         plan: Arc<Plan>,
     ) -> Result<(), ClusterError> {
+        {
+            let mut routes = self.routes.lock();
+            routes.insert(
+                travel,
+                Route {
+                    coordinator,
+                    coord_epoch: self.slots[coordinator].epoch.load(Ordering::SeqCst),
+                    tepoch: 0,
+                    failovers: 0,
+                    plan: plan.clone(),
+                },
+            );
+            while routes.len() > MAX_ROUTES {
+                routes.pop_first();
+            }
+        }
         self.client
             .send(
                 coordinator,
@@ -593,7 +723,7 @@ impl Cluster {
             }
             let left = deadline.saturating_duration_since(Instant::now());
             if left.is_zero() {
-                return Err(ClusterError::TimedOut(1));
+                return Err(ClusterError::slice_timeout());
             }
             match self
                 .client
@@ -623,40 +753,215 @@ impl Cluster {
 
     /// Wait for a started traversal (up to `timeout`).
     ///
+    /// The wait runs in short slices; between slices the client checks
+    /// the travel's current coordinator. If that server crashed (or
+    /// crash-restarted) since the travel was routed, the travel is
+    /// **failed over**: its durable ledger stream is replayed on a
+    /// successor server, every server re-announces its journal, and the
+    /// traversal resumes under a bumped travel-epoch — transparently to
+    /// this call, which keeps waiting for the same `TravelDone`.
+    ///
     /// On timeout the travel is abandoned: an abort is broadcast so the
     /// servers drop its state, and its admission slot is released so
     /// queued co-tenants (or a caller's resubmission) can run. A travel
     /// whose completion is permanently lost must not pin a concurrency
-    /// slot forever.
+    /// slot forever. The [`TravelError::Timeout`] carries the
+    /// coordinator's last reachable progress estimate.
     pub fn wait(&self, ticket: &Ticket, timeout: Duration) -> Result<TravelResult, ClusterError> {
+        let travel = ticket.travel;
         let deadline = Instant::now() + timeout;
+        loop {
+            if self.cancelled.lock().contains(&travel) {
+                return Err(ClusterError::Travel(TravelError::Cancelled { travel }));
+            }
+            let slice = deadline.min(Instant::now() + WAIT_SLICE);
+            match self.await_client_msg(travel, |m| matches!(m, Msg::TravelDone { .. }), slice) {
+                Ok((Msg::TravelDone { outcome, .. }, received)) => {
+                    let mut r = TravelResult::from_outcome(
+                        outcome,
+                        received.saturating_duration_since(ticket.started),
+                        ticket.restarts,
+                    );
+                    r.failovers = self
+                        .routes
+                        .lock()
+                        .remove(&travel)
+                        .map(|rt| rt.failovers)
+                        .unwrap_or(0);
+                    if let Some((submitted, admitted)) = self.admission.lock().times.remove(&travel)
+                    {
+                        r.admit_wait = admitted
+                            .map(|a| a.saturating_duration_since(submitted))
+                            .unwrap_or_default();
+                    }
+                    return Ok(r);
+                }
+                Ok(_) => unreachable!("matcher only admits TravelDone"),
+                Err(e) if e.is_timeout() => {
+                    let died = {
+                        let routes = self.routes.lock();
+                        routes.get(&travel).map(|r| (r.coordinator, r.coord_epoch))
+                    };
+                    if let Some((coord, coord_epoch)) = died {
+                        let host_lost = self.server_crashed(coord)
+                            || self.slots[coord].epoch.load(Ordering::SeqCst) != coord_epoch;
+                        if host_lost
+                            && (!self.engine.reliable_delivery_enabled()
+                                || self.failover(travel).is_err())
+                        {
+                            // No fencing / no live successor: the travel
+                            // is unrecoverable in place.
+                            self.abandon(travel);
+                            return Err(ClusterError::Travel(TravelError::CoordinatorLost {
+                                travel,
+                            }));
+                        }
+                    }
+                    if Instant::now() >= deadline {
+                        let last_progress = self.try_progress_snapshot(ticket);
+                        self.abandon(travel);
+                        return Err(ClusterError::Travel(TravelError::Timeout {
+                            attempts: ticket.restarts + 1,
+                            last_progress,
+                        }));
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Best-effort progress fetch for a travel being given up on; `None`
+    /// when the coordinator is unreachable.
+    fn try_progress_snapshot(&self, ticket: &Ticket) -> Option<ProgressSnapshot> {
+        let coordinator = self
+            .routes
+            .lock()
+            .get(&ticket.travel)
+            .map(|r| r.coordinator)
+            .unwrap_or(ticket.coordinator);
+        if self.server_crashed(coordinator) {
+            return None;
+        }
+        self.client
+            .send(
+                coordinator,
+                Msg::ProgressQuery {
+                    travel: ticket.travel,
+                    client: self.client.id(),
+                },
+            )
+            .ok()?;
         match self.await_client_msg(
             ticket.travel,
-            |m| matches!(m, Msg::TravelDone { .. }),
-            deadline,
+            |m| matches!(m, Msg::ProgressReport { .. }),
+            Instant::now() + Duration::from_millis(250),
         ) {
-            Ok((Msg::TravelDone { outcome, .. }, received)) => {
-                let mut r = TravelResult::from_outcome(
-                    outcome,
-                    received.saturating_duration_since(ticket.started),
-                    ticket.restarts,
-                );
-                if let Some((submitted, admitted)) =
-                    self.admission.lock().times.remove(&ticket.travel)
-                {
-                    r.admit_wait = admitted
-                        .map(|a| a.saturating_duration_since(submitted))
-                        .unwrap_or_default();
-                }
-                Ok(r)
-            }
-            Ok(_) => unreachable!("matcher only admits TravelDone"),
-            Err(ClusterError::TimedOut(_)) => {
-                self.abandon(ticket.travel);
-                Err(ClusterError::TimedOut(ticket.restarts + 1))
-            }
-            Err(e) => Err(e),
+            Ok((Msg::ProgressReport { snapshot, .. }, _)) => Some(snapshot),
+            _ => None,
         }
+    }
+
+    /// Re-home an orphaned travel's coordinator role onto a successor.
+    ///
+    /// Steps (see DESIGN.md, "Coordinator fault tolerance"):
+    /// 1. Re-check under the failover lock — a concurrent waiter may have
+    ///    already re-homed the travel.
+    /// 2. Read the dead coordinator's durable ledger stream (read-only —
+    ///    the restarted incarnation may already hold the file open, and
+    ///    may truncate it once it hosts nothing, which is why the read
+    ///    happens *before* the restart).
+    /// 3. Restart the dead server: its shard is needed to finish the
+    ///    traversal, and the re-announce barrier spans every server.
+    /// 4. Pick the successor: the next live server after the dead one
+    ///    (deterministic, for same-seed reproducibility).
+    /// 5. Seed the successor ([`Msg::CoordRecover`]), then broadcast the
+    ///    handoff ([`Msg::CoordHandoff`]) under the bumped travel-epoch.
+    fn failover(&self, travel: TravelId) -> Result<(), ClusterError> {
+        let _serialize = self.failover_lock.lock();
+        let (dead, plan, tepoch) = {
+            let routes = self.routes.lock();
+            let Some(r) = routes.get(&travel) else {
+                return Ok(()); // completed (or abandoned) meanwhile
+            };
+            let host_alive = !self.server_crashed(r.coordinator)
+                && self.slots[r.coordinator].epoch.load(Ordering::SeqCst) == r.coord_epoch;
+            if host_alive {
+                return Ok(()); // a concurrent waiter already re-homed it
+            }
+            (r.coordinator, r.plan.clone(), r.tepoch)
+        };
+        let events: Vec<LedgerEvent> = self.slots[dead]
+            .ledger_path
+            .as_deref()
+            .and_then(|p| replay_blobs(p).ok())
+            .map(|replay| {
+                replay
+                    .blobs
+                    .iter()
+                    .filter_map(|b| LedgerEvent::decode(b))
+                    .filter(|(t, _)| *t == travel)
+                    .map(|(_, ev)| ev)
+                    .collect()
+            })
+            .unwrap_or_default();
+        let restart_deadline = Instant::now() + Duration::from_secs(5);
+        while self.server_crashed(dead) {
+            // Tolerate races with an external restart watcher: either of
+            // us succeeding is fine.
+            if self.restart_server(dead).is_ok() {
+                break;
+            }
+            if Instant::now() >= restart_deadline {
+                return Err(ClusterError::Recovery(format!(
+                    "server {dead} stayed down through failover"
+                )));
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let n = self.slots.len();
+        let successor = (1..=n)
+            .map(|k| (dead + k) % n)
+            .find(|&s| !self.server_crashed(s))
+            .ok_or_else(|| ClusterError::Recovery("no live server to host the failover".into()))?;
+        let epoch = tepoch + 1;
+        let succ_epoch = self.slots[successor].epoch.load(Ordering::SeqCst);
+        self.client
+            .send(
+                successor,
+                Msg::CoordRecover {
+                    travel,
+                    epoch,
+                    plan: plan.clone(),
+                    client: self.client.id(),
+                    events,
+                },
+            )
+            .map_err(|_| ClusterError::Disconnected)?;
+        for s in 0..n {
+            self.client
+                .send(
+                    s,
+                    Msg::CoordHandoff {
+                        travel,
+                        epoch,
+                        coordinator: successor,
+                        restarted: dead,
+                    },
+                )
+                .map_err(|_| ClusterError::Disconnected)?;
+        }
+        {
+            let mut routes = self.routes.lock();
+            if let Some(r) = routes.get_mut(&travel) {
+                r.coordinator = successor;
+                r.coord_epoch = succ_epoch;
+                r.tepoch = epoch;
+                r.failovers += 1;
+            }
+        }
+        self.fabric.stats().record_handoff();
+        Ok(())
     }
 
     /// Give up on a travel: abort it everywhere, free its admission slot
@@ -668,6 +973,8 @@ impl Cluster {
         }
         self.release_slot(travel);
         self.admission.lock().times.remove(&travel);
+        self.routes.lock().remove(&travel);
+        self.mailbox.lock().retain(|(k, _, _)| *k != travel);
     }
 
     /// Cancel a started traversal cluster-wide.
@@ -706,6 +1013,16 @@ impl Cluster {
         }
         self.release_slot(travel);
         self.admission.lock().times.remove(&travel);
+        self.routes.lock().remove(&travel);
+        {
+            // Mark cancelled so a concurrent `wait()` on this ticket
+            // reports `TravelError::Cancelled` instead of timing out.
+            let mut cancelled = self.cancelled.lock();
+            cancelled.insert(travel);
+            while cancelled.len() > MAX_ROUTES {
+                cancelled.pop_first();
+            }
+        }
         // A completion may have raced the cancellation; drop any stashed
         // messages for this travel so later waiters can't see them.
         self.mailbox.lock().retain(|(k, _, _)| *k != travel);
@@ -715,9 +1032,16 @@ impl Cluster {
     /// Query the coordinator's progress estimate for an in-flight travel
     /// (§IV-C's progress reporting).
     pub fn progress(&self, ticket: &Ticket) -> Result<ProgressSnapshot, ClusterError> {
+        // After a failover the coordinator has moved; follow the route.
+        let coordinator = self
+            .routes
+            .lock()
+            .get(&ticket.travel)
+            .map(|r| r.coordinator)
+            .unwrap_or(ticket.coordinator);
         self.client
             .send(
-                ticket.coordinator,
+                coordinator,
                 Msg::ProgressQuery {
                     travel: ticket.travel,
                     client: self.client.id(),
@@ -843,7 +1167,7 @@ impl Cluster {
                     r.restarts = attempts;
                     return Ok(r);
                 }
-                Err(ClusterError::TimedOut(_)) if attempts < max_restarts => {
+                Err(e) if e.is_timeout() && attempts < max_restarts => {
                     // `wait` already aborted the travel everywhere and
                     // freed its slot. Back off (capped exponential)
                     // before resubmitting with a fresh travel id — under

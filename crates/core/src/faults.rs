@@ -88,16 +88,47 @@ impl FaultPlan {
 /// frontier messages at step ≥ `step`". Frontier messages are the
 /// data-plane traversal messages (`Visit`, `SourceScan`, `SyncFrontier`);
 /// counting them gives a workload-relative trigger that lands mid-travel
-/// regardless of graph size. A crash point fires at most once per plan —
-/// a restarted server does not re-arm it.
+/// regardless of graph size. With `coordinator_events` set, the counter
+/// instead runs over the coordinator-role tracing messages
+/// (`ExecCreated`, `ExecTerminated`, `Results`, `SyncStepDone`), so the
+/// crash reliably lands on a server while it is *hosting a ledger* — the
+/// failover path's target. A crash point fires at most once per plan — a
+/// restarted server does not re-arm it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CrashPoint {
     /// Server that dies.
     pub server: usize,
-    /// Traversal step (depth) at or after which the counter runs.
+    /// Traversal step (depth) at or after which the counter runs
+    /// (ignored for coordinator-event triggers).
     pub step: u16,
-    /// Number of qualifying frontier messages to absorb before crashing.
+    /// Number of qualifying messages to absorb before crashing.
     pub after_messages: u64,
+    /// Count coordinator-role tracing messages instead of frontier
+    /// messages.
+    pub coordinator_events: bool,
+}
+
+impl CrashPoint {
+    /// Frontier-message trigger (the PR 2 shape).
+    pub fn frontier(server: usize, step: u16, after_messages: u64) -> Self {
+        CrashPoint {
+            server,
+            step,
+            after_messages,
+            coordinator_events: false,
+        }
+    }
+
+    /// Coordinator-event trigger: crash `server` after it absorbs
+    /// `after_messages` ledger-tracing messages for travels it hosts.
+    pub fn coordinator(server: usize, after_messages: u64) -> Self {
+        CrashPoint {
+            server,
+            step: 0,
+            after_messages,
+            coordinator_events: true,
+        }
+    }
 }
 
 /// Seeded chaos model for one experiment run: lossy-transport
@@ -344,25 +375,27 @@ mod tests {
     #[test]
     fn crash_only_plan_requires_reliability_but_no_net_chaos() {
         let p = ChaosPlan {
-            crashes: vec![CrashPoint {
-                server: 1,
-                step: 2,
-                after_messages: 10,
-            }],
+            crashes: vec![CrashPoint::frontier(1, 2, 10)],
             ..ChaosPlan::none()
         };
         assert!(!p.is_none());
         assert!(p.requires_reliable_delivery());
         assert!(p.net_chaos(4).is_off(), "no transport faults configured");
-        assert_eq!(
-            p.crash_for(1),
-            Some(CrashPoint {
-                server: 1,
-                step: 2,
-                after_messages: 10
-            })
-        );
+        assert_eq!(p.crash_for(1), Some(CrashPoint::frontier(1, 2, 10)));
         assert_eq!(p.crash_for(0), None);
+    }
+
+    #[test]
+    fn coordinator_crash_point_shape() {
+        let c = CrashPoint::coordinator(2, 5);
+        assert!(c.coordinator_events);
+        assert_eq!((c.server, c.after_messages), (2, 5));
+        let p = ChaosPlan {
+            crashes: vec![c],
+            ..ChaosPlan::none()
+        };
+        assert!(p.requires_reliable_delivery());
+        assert_eq!(p.crash_for(2), Some(c));
     }
 
     #[test]

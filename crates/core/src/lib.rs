@@ -82,7 +82,9 @@ pub mod server;
 
 /// Commonly used items in one import.
 pub mod prelude {
-    pub use crate::cluster::{Cluster, ClusterConfig, Ticket, TravelResult};
+    pub use crate::cluster::{
+        Cluster, ClusterConfig, ClusterError, Ticket, TravelError, TravelResult,
+    };
     pub use crate::engine::{EngineConfig, EngineKind};
     pub use crate::faults::{ChaosPlan, CrashPoint, FaultPlan, Straggler};
     pub use crate::lang::{GTravel, Plan};

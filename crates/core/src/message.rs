@@ -283,6 +283,11 @@ pub enum Msg {
         from: usize,
         /// Sender's incarnation; bumped on every restart.
         epoch: u64,
+        /// Travel-epoch the sender believes the travel runs under;
+        /// bumped by coordinator failover. Receivers drop relays
+        /// stamped with an older travel-epoch (stale work from the
+        /// pre-failover execution tree).
+        tepoch: u64,
         /// Per-`(travel, to)` sequence number, starting at 1.
         seq: u64,
         /// Transmission attempt (1 = first send). Folded into the chaos
@@ -301,6 +306,62 @@ pub enum Msg {
         seq: u64,
         /// Attempt the ack answers (chaos-key uniqueness only).
         attempt: u64,
+    },
+
+    // --------------------------------------------- coordinator failover
+    /// Failover orchestrator → successor server: take over hosting this
+    /// travel's ledger under a bumped travel-epoch. Carries the durable
+    /// event stream recovered from the crashed coordinator's ledger log
+    /// (possibly empty when the log was unreachable); the successor
+    /// replays it, then waits for every live server's [`Msg::ReAnnounce`]
+    /// before deciding between "already complete" and a re-drive.
+    CoordRecover {
+        /// Travel id.
+        travel: TravelId,
+        /// Bumped travel-epoch the successor hosts under.
+        epoch: u64,
+        /// The plan.
+        plan: Arc<Plan>,
+        /// Client endpoint awaiting `TravelDone`.
+        client: usize,
+        /// Recovered durable ledger events.
+        events: Vec<crate::coordinator::LedgerEvent>,
+    },
+    /// Failover orchestrator → every server: travel `travel` is now
+    /// coordinated by `coordinator` under `epoch`. Receivers clear their
+    /// per-travel transient state (stale work from the old execution
+    /// tree), record the travel-epoch fence, and report what they told
+    /// the dead coordinator via [`Msg::ReAnnounce`].
+    CoordHandoff {
+        /// Travel id.
+        travel: TravelId,
+        /// Bumped travel-epoch.
+        epoch: u64,
+        /// Successor coordinator server id.
+        coordinator: usize,
+        /// The crashed (now restarted) server. Its relay streams died
+        /// with it, so senders restart their per-travel sequence toward
+        /// it from 1 — every other stream keeps its cursor.
+        restarted: usize,
+    },
+    /// Server → successor coordinator: everything this server reported
+    /// to the previous coordinator for `travel` (its sent-journal), so
+    /// the successor can merge tracing state that never reached the
+    /// durable log. Epoch-fenced: the successor ignores re-announcements
+    /// for older travel-epochs.
+    ReAnnounce {
+        /// Travel id.
+        travel: TravelId,
+        /// Travel-epoch this report answers.
+        epoch: u64,
+        /// Reporting server.
+        server: usize,
+        /// Execution creations this server reported.
+        created: Vec<(ExecId, u16)>,
+        /// Execution terminations this server reported (with children).
+        terminated: Vec<(ExecId, Vec<(ExecId, u16)>)>,
+        /// Result vertices this server reported.
+        results: Vec<(u16, VertexId)>,
     },
 
     // -------------------------------------------------------------- misc
@@ -358,7 +419,41 @@ impl WireSize for Msg {
             Msg::VertexReply { vertex, .. } => {
                 16 + vertex.as_ref().map_or(0, |v| 16 + v.props.len() * 24)
             }
-            Msg::Relay { inner, .. } => 40 + inner.wire_size(),
+            Msg::CoordRecover { plan, events, .. } => {
+                use crate::coordinator::LedgerEvent as Ev;
+                28 + plan.wire_size()
+                    + events
+                        .iter()
+                        .map(|e| match e {
+                            Ev::Created { .. } => 28,
+                            Ev::Terminated { children, .. } => 28 + children.len() * 10,
+                            Ev::Results { items, .. } => 20 + items.len() * 10,
+                            Ev::Snapshot {
+                                created,
+                                terminated,
+                                results,
+                                ..
+                            } => {
+                                32 + created.len() * 10 + terminated.len() * 8 + results.len() * 10
+                            }
+                        })
+                        .sum::<usize>()
+            }
+            Msg::CoordHandoff { .. } => 32,
+            Msg::ReAnnounce {
+                created,
+                terminated,
+                results,
+                ..
+            } => {
+                28 + created.len() * 10
+                    + terminated
+                        .iter()
+                        .map(|(_, c)| 12 + c.len() * 10)
+                        .sum::<usize>()
+                    + results.len() * 10
+            }
+            Msg::Relay { inner, .. } => 48 + inner.wire_size(),
             Msg::RelayAck { .. } => 28,
             Msg::Crash => 4,
             Msg::Shutdown => 4,
@@ -434,6 +529,7 @@ mod tests {
             travel: 3,
             from: 1,
             epoch: 0,
+            tepoch: 0,
             seq: 5,
             attempt: 1,
             inner: Box::new(Msg::Results {
@@ -445,6 +541,7 @@ mod tests {
             travel: 3,
             from: 1,
             epoch: 0,
+            tepoch: 0,
             seq: 5,
             attempt: 2,
             inner: Box::new(Msg::Results {
@@ -475,8 +572,28 @@ mod tests {
             travel: 3,
             items: vec![],
         };
-        assert_eq!(relay.wire_size(), 40 + inner.wire_size());
+        assert_eq!(relay.wire_size(), 48 + inner.wire_size());
         assert_eq!(ack.wire_size(), 28);
+        // Failover control messages stay chaos-exempt (they model the
+        // orchestrator's out-of-band channel, like Crash/Shutdown).
+        let handoff = Msg::CoordHandoff {
+            travel: 3,
+            epoch: 1,
+            coordinator: 2,
+            restarted: 1,
+        };
+        assert_eq!(handoff.chaos_key(), None);
+        assert!(handoff.wire_size() > 0);
+        let reann = Msg::ReAnnounce {
+            travel: 3,
+            epoch: 1,
+            server: 0,
+            created: vec![(ExecId::new(0, 1), 0)],
+            terminated: vec![(ExecId::new(0, 1), vec![(ExecId::new(1, 1), 1)])],
+            results: vec![(1, VertexId(9))],
+        };
+        assert_eq!(reann.chaos_key(), None);
+        assert!(reann.wire_size() > 28);
     }
 
     #[test]

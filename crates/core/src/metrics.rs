@@ -50,6 +50,19 @@ pub struct ServerMetrics {
     pub crashes: AtomicU64,
     /// Restart-and-recovery cycles this server completed.
     pub recoveries: AtomicU64,
+    /// Travels whose ledger this server rebuilt from a durable event
+    /// stream (coordinator-failover takeovers).
+    pub ledger_replays: AtomicU64,
+    /// Durable ledger events applied across all replays.
+    pub ledger_events_replayed: AtomicU64,
+    /// Coordinator failovers this server absorbed as the successor.
+    pub failovers: AtomicU64,
+    /// Per-travel re-announce reports received while recovering a
+    /// ledger (one per live server per failover).
+    pub reannounce_msgs: AtomicU64,
+    /// Relayed messages discarded by travel-epoch fencing (stale work
+    /// from a pre-failover execution tree).
+    pub stale_travel_epoch_dropped: AtomicU64,
     /// Per-travel splits of the same counters (concurrent-travel
     /// accounting; bounded to [`MAX_TRACKED_TRAVELS`] entries).
     per_travel: Mutex<BTreeMap<TravelId, TravelMetrics>>,
@@ -104,6 +117,11 @@ impl ServerMetrics {
             stale_epoch_dropped: self.stale_epoch_dropped.load(Ordering::Relaxed),
             crashes: self.crashes.load(Ordering::Relaxed),
             recoveries: self.recoveries.load(Ordering::Relaxed),
+            ledger_replays: self.ledger_replays.load(Ordering::Relaxed),
+            ledger_events_replayed: self.ledger_events_replayed.load(Ordering::Relaxed),
+            failovers: self.failovers.load(Ordering::Relaxed),
+            reannounce_msgs: self.reannounce_msgs.load(Ordering::Relaxed),
+            stale_travel_epoch_dropped: self.stale_travel_epoch_dropped.load(Ordering::Relaxed),
         }
     }
 
@@ -122,6 +140,11 @@ impl ServerMetrics {
         self.stale_epoch_dropped.store(0, Ordering::Relaxed);
         self.crashes.store(0, Ordering::Relaxed);
         self.recoveries.store(0, Ordering::Relaxed);
+        self.ledger_replays.store(0, Ordering::Relaxed);
+        self.ledger_events_replayed.store(0, Ordering::Relaxed);
+        self.failovers.store(0, Ordering::Relaxed);
+        self.reannounce_msgs.store(0, Ordering::Relaxed);
+        self.stale_travel_epoch_dropped.store(0, Ordering::Relaxed);
         self.per_travel.lock().clear();
     }
 }
@@ -188,6 +211,16 @@ pub struct MetricsSnapshot {
     pub crashes: u64,
     /// See [`ServerMetrics::recoveries`].
     pub recoveries: u64,
+    /// See [`ServerMetrics::ledger_replays`].
+    pub ledger_replays: u64,
+    /// See [`ServerMetrics::ledger_events_replayed`].
+    pub ledger_events_replayed: u64,
+    /// See [`ServerMetrics::failovers`].
+    pub failovers: u64,
+    /// See [`ServerMetrics::reannounce_msgs`].
+    pub reannounce_msgs: u64,
+    /// See [`ServerMetrics::stale_travel_epoch_dropped`].
+    pub stale_travel_epoch_dropped: u64,
 }
 
 impl MetricsSnapshot {
@@ -233,6 +266,11 @@ mod tests {
         m.stale_epoch_dropped.fetch_add(1, Ordering::Relaxed);
         m.crashes.fetch_add(1, Ordering::Relaxed);
         m.recoveries.fetch_add(1, Ordering::Relaxed);
+        m.ledger_replays.fetch_add(1, Ordering::Relaxed);
+        m.ledger_events_replayed.fetch_add(9, Ordering::Relaxed);
+        m.failovers.fetch_add(1, Ordering::Relaxed);
+        m.reannounce_msgs.fetch_add(3, Ordering::Relaxed);
+        m.stale_travel_epoch_dropped.fetch_add(4, Ordering::Relaxed);
         assert_eq!(m.snapshot().relay_retries, 2);
         assert_eq!(m.snapshot().redeliveries, 3);
         m.reset();

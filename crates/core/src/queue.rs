@@ -71,6 +71,10 @@ pub struct RequestState {
     pub plan: Arc<Plan>,
     /// Coordinator server id.
     pub coordinator: usize,
+    /// Travel-epoch this execution was admitted under; its flush is
+    /// stamped with it so output of a superseded (pre-failover) execution
+    /// is fenced at the receivers.
+    pub tepoch: u64,
     /// Protocol flavour.
     pub mode: ReqMode,
     /// Vertex requests not yet processed; the last one flushes.
@@ -438,6 +442,7 @@ mod tests {
             exec: ExecId::new(0, depth as u64),
             plan: Arc::new(q.compile().unwrap()),
             coordinator: 0,
+            tepoch: 0,
             mode: ReqMode::Async,
             remaining: AtomicUsize::new(n),
             out: Mutex::new(RequestOutput::default()),

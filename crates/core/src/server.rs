@@ -21,7 +21,7 @@
 //! controller.
 
 use crate::cache::{CacheDecision, TraversalCache};
-use crate::coordinator::{CoordState, SyncState, TravelLedger};
+use crate::coordinator::{CoordState, LedgerEvent, SyncState, TravelLedger};
 use crate::engine::{EngineConfig, EngineKind};
 use crate::faults::{CrashPoint, ServerFaults};
 use crate::lang::{vertex_matches, Plan, Source};
@@ -30,9 +30,11 @@ use crate::metrics::ServerMetrics;
 use crate::queue::{FifoQueue, MergingQueue, ReqMode, RequestQueue, RequestState, WorkItem};
 use crate::{ExecId, Token, Tokens, TravelId};
 use gt_graph::{EdgeCutPartitioner, GraphPartition, Props, VertexId};
+use gt_kvstore::wal::BlobLog;
 use gt_net::{Endpoint, RecvError};
 use parking_lot::Mutex;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -61,6 +63,11 @@ const RELAY_RETRY_CAP: Duration = Duration::from_millis(500);
 /// path, not the transport.
 const MAX_RELAY_ATTEMPTS: u64 = 32;
 
+/// Append a compacting [`LedgerEvent::Snapshot`] after this many durable
+/// events per hosted travel, bounding replay work after a coordinator
+/// crash.
+const LEDGER_SNAPSHOT_EVERY: u64 = 512;
+
 /// Everything needed to spawn one backend server.
 pub struct ServerArgs {
     /// This server's id (also its fabric endpoint id).
@@ -87,6 +94,11 @@ pub struct ServerArgs {
     /// Scripted crash point to arm for this incarnation (restarts pass
     /// `None` — crash points are one-shot).
     pub crash_after: Option<CrashPoint>,
+    /// Where to persist the durable travel-ledger event stream this
+    /// server appends while acting as a coordinator. `None` (or
+    /// reliability off) disables durable ledgers — failover then
+    /// recovers purely from re-announced server journals.
+    pub ledger_path: Option<PathBuf>,
 }
 
 /// Handle to a running server's threads and instrumentation.
@@ -165,6 +177,9 @@ enum LoopCtl {
 /// One unacked outgoing relay awaiting acknowledgment or retransmission.
 struct PendingRelay {
     msg: Msg,
+    /// Travel-epoch the message was sent under (restamped on retransmit
+    /// so the receiver's failover fence judges the original send).
+    tepoch: u64,
     attempts: u64,
     next_retry: Instant,
 }
@@ -185,13 +200,41 @@ struct RelayOut {
 /// and reorder chaos.
 struct InStream {
     next_seq: u64,
-    buffered: BTreeMap<u64, Msg>,
+    /// seq → (travel-epoch stamp, message); the stamp is judged at
+    /// delivery time, after the in-order pop, so a failover cannot
+    /// desynchronize stream cursors.
+    buffered: BTreeMap<u64, (u64, Msg)>,
 }
 
 /// Scripted-crash trigger armed for this incarnation.
 struct CrashTrigger {
     point: CrashPoint,
     counted: AtomicU64,
+}
+
+/// What this server has reported toward a travel's coordinator (reliable
+/// mode only). After a coordinator crash, the failover protocol asks
+/// every server to re-announce its journal to the successor, recovering
+/// tracing state that never reached the durable ledger log.
+#[derive(Debug, Default)]
+struct SentJournal {
+    created: Vec<(ExecId, u16)>,
+    terminated: Vec<(ExecId, Vec<(ExecId, u16)>)>,
+    results: Vec<(u16, VertexId)>,
+}
+
+/// Successor-side state of one in-progress ledger takeover: the replayed
+/// durable stream plus the journals re-announced so far, merged into a
+/// scratch ledger. When every live server has re-announced, the
+/// successor either completes the travel outright (the scratch ledger is
+/// already done — the crash hit during result assembly) or re-drives the
+/// traversal from the source under the bumped travel-epoch.
+struct RecoveryState {
+    plan: Arc<Plan>,
+    client: usize,
+    epoch: u64,
+    scratch: TravelLedger,
+    awaiting: HashSet<usize>,
 }
 
 struct Shared {
@@ -227,6 +270,16 @@ struct Shared {
     /// Highest epoch seen per peer; relays below it are fenced off.
     peer_epoch: Mutex<HashMap<usize, u64>>,
     crash_trigger: Option<CrashTrigger>,
+    /// Durable ledger event log (coordinator role; reliable mode with a
+    /// configured path only).
+    ledger: Option<Mutex<BlobLog>>,
+    /// Per-travel sent-journals (reliable mode only).
+    journal: Mutex<HashMap<TravelId, SentJournal>>,
+    /// Current travel-epoch per travel (only populated by failover
+    /// handoffs); relays stamped below it carry stale pre-failover work.
+    travel_epoch: Mutex<HashMap<TravelId, u64>>,
+    /// In-progress ledger takeovers on this server (as successor).
+    recovering: Mutex<HashMap<TravelId, RecoveryState>>,
 }
 
 impl Shared {
@@ -241,19 +294,63 @@ impl Shared {
     fn is_retired(&self, travel: TravelId) -> bool {
         self.retired.lock().contains(&travel)
     }
+
+    /// Travel-epoch this server believes `travel` runs under (0 until a
+    /// failover handoff bumps it). Lock-free no-op with reliability off.
+    fn travel_epoch_of(&self, travel: TravelId) -> u64 {
+        if !self.reliable {
+            return 0;
+        }
+        self.travel_epoch.lock().get(&travel).copied().unwrap_or(0)
+    }
 }
 
-/// Send a data-plane message for `travel` to server `to`. With the
+/// Send a data-plane message for `travel` to server `to`, stamped with
+/// the travel-epoch `tepoch` the sender executed under. With the
 /// reliable layer on, the message is wrapped in a sequenced [`Msg::Relay`]
 /// and registered for retransmission until acked; otherwise it goes out
 /// raw, exactly as before the chaos layer existed.
-fn send_travel(sh: &Arc<Shared>, to: usize, travel: TravelId, msg: Msg) {
+///
+/// Reliable coordinator-bound tracing messages are additionally recorded
+/// in the per-travel sent-journal — after a coordinator crash, the
+/// journal is re-announced to the successor so it can rebuild tracing
+/// state that never reached the durable ledger. Only current-epoch sends
+/// are journaled: a stale worker flushing after a failover handoff must
+/// not pollute the journal of the re-driven execution.
+fn send_travel(sh: &Arc<Shared>, to: usize, travel: TravelId, tepoch: u64, msg: Msg) {
     if sh.crashed.load(Ordering::Relaxed) {
         return; // a dying server sends nothing
     }
     if !sh.reliable {
         let _ = sh.ep.send(to, msg);
         return;
+    }
+    if tepoch == sh.travel_epoch_of(travel) {
+        let mut journal = sh.journal.lock();
+        match &msg {
+            Msg::ExecCreated { exec, depth, .. } => {
+                journal
+                    .entry(travel)
+                    .or_default()
+                    .created
+                    .push((*exec, *depth));
+            }
+            Msg::ExecTerminated { exec, children, .. } => {
+                journal
+                    .entry(travel)
+                    .or_default()
+                    .terminated
+                    .push((*exec, children.clone()));
+            }
+            Msg::Results { items, .. } => {
+                journal
+                    .entry(travel)
+                    .or_default()
+                    .results
+                    .extend(items.iter().copied());
+            }
+            _ => {}
+        }
     }
     let seq = {
         let mut out = sh.relay_out.lock();
@@ -264,6 +361,7 @@ fn send_travel(sh: &Arc<Shared>, to: usize, travel: TravelId, msg: Msg) {
             (travel, to, seq),
             PendingRelay {
                 msg: msg.clone(),
+                tepoch,
                 attempts: 1,
                 next_retry: Instant::now() + RELAY_RETRY_BASE,
             },
@@ -278,6 +376,7 @@ fn send_travel(sh: &Arc<Shared>, to: usize, travel: TravelId, msg: Msg) {
             travel,
             from: sh.id,
             epoch: sh.epoch,
+            tepoch,
             seq,
             attempt: 1,
             inner: Box::new(msg),
@@ -290,7 +389,7 @@ fn send_travel(sh: &Arc<Shared>, to: usize, travel: TravelId, msg: Msg) {
 /// dropped (the client's timeout owns recovery from there).
 fn retransmit_due(sh: &Arc<Shared>) {
     let now = Instant::now();
-    let resend: Vec<(usize, TravelId, u64, u64, Msg)> = {
+    let resend: Vec<(usize, TravelId, u64, u64, u64, Msg)> = {
         let mut out = sh.relay_out.lock();
         let mut resend = Vec::new();
         let mut dead = Vec::new();
@@ -309,7 +408,7 @@ fn retransmit_due(sh: &Arc<Shared>) {
                 .unwrap_or(RELAY_RETRY_CAP)
                 .min(RELAY_RETRY_CAP);
             p.next_retry = now + backoff;
-            resend.push((to, travel, seq, p.attempts, p.msg.clone()));
+            resend.push((to, travel, seq, p.tepoch, p.attempts, p.msg.clone()));
         }
         for k in dead {
             out.pending.remove(&k);
@@ -322,13 +421,14 @@ fn retransmit_due(sh: &Arc<Shared>) {
     sh.metrics
         .relay_retries
         .fetch_add(resend.len() as u64, Ordering::Relaxed);
-    for (to, travel, seq, attempt, msg) in resend {
+    for (to, travel, seq, tepoch, attempt, msg) in resend {
         let _ = sh.ep.send(
             to,
             Msg::Relay {
                 travel,
                 from: sh.id,
                 epoch: sh.epoch,
+                tepoch,
                 seq,
                 attempt,
                 inner: Box::new(msg),
@@ -383,6 +483,17 @@ pub fn spawn(args: ServerArgs) -> ServerHandle {
             point,
             counted: AtomicU64::new(0),
         }),
+        ledger: if args.engine.reliable_delivery_enabled() {
+            args.ledger_path
+                .as_ref()
+                .and_then(|p| BlobLog::open(p, false).ok())
+                .map(Mutex::new)
+        } else {
+            None
+        },
+        journal: Mutex::new(HashMap::new()),
+        travel_epoch: Mutex::new(HashMap::new()),
+        recovering: Mutex::new(HashMap::new()),
     });
     let mut workers = Vec::with_capacity(args.engine.workers_per_server);
     for w in 0..args.engine.workers_per_server {
@@ -454,10 +565,11 @@ fn dispatch_msg(sh: &Arc<Shared>, msg: Msg) -> LoopCtl {
             travel,
             from,
             epoch,
+            tepoch,
             seq,
             inner,
             ..
-        } => handle_relay(sh, travel, from, epoch, seq, *inner),
+        } => handle_relay(sh, travel, from, epoch, tepoch, seq, *inner),
         Msg::RelayAck {
             travel,
             server,
@@ -478,6 +590,7 @@ fn handle_relay(
     travel: TravelId,
     from: usize,
     epoch: u64,
+    tepoch: u64,
     seq: u64,
     inner: Msg,
 ) -> LoopCtl {
@@ -515,7 +628,7 @@ fn handle_relay(
         // this server already finished or aborted.
         return LoopCtl::Continue;
     }
-    let deliverable: Vec<Msg> = {
+    let deliverable: Vec<(u64, Msg)> = {
         let mut streams = sh.relay_in.lock();
         let st = streams.entry((travel, from)).or_insert_with(|| InStream {
             next_seq: 1,
@@ -525,7 +638,7 @@ fn handle_relay(
             sh.metrics.redeliveries.fetch_add(1, Ordering::Relaxed);
             return LoopCtl::Continue;
         }
-        st.buffered.insert(seq, inner);
+        st.buffered.insert(seq, (tepoch, inner));
         let mut out = Vec::new();
         while let Some(m) = st.buffered.remove(&st.next_seq) {
             out.push(m);
@@ -533,7 +646,19 @@ fn handle_relay(
         }
         out
     };
-    for m in deliverable {
+    for (msg_tepoch, m) in deliverable {
+        // The failover fence: messages sent under an older travel-epoch
+        // describe a superseded execution of this travel (their
+        // coordinator died; a successor re-drove the traversal). They
+        // were acked to keep the stream moving, but they must not reach
+        // the protocol handlers. The fence sits *after* the in-order
+        // pop so relay streams keep seq continuity across failovers.
+        if sh.reliable && msg_tepoch < sh.travel_epoch_of(travel) {
+            sh.metrics
+                .stale_travel_epoch_dropped
+                .fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
         match handle_msg(sh, m) {
             LoopCtl::Continue => {}
             other => return other,
@@ -549,10 +674,23 @@ fn crash_triggered(sh: &Arc<Shared>, msg: &Msg) -> bool {
     let Some(trig) = &sh.crash_trigger else {
         return false;
     };
-    let qualifies = match msg {
-        Msg::Visit { depth, .. } | Msg::SyncFrontier { depth, .. } => *depth >= trig.point.step,
-        Msg::SourceScan { .. } => trig.point.step == 0,
-        _ => false,
+    let qualifies = if trig.point.coordinator_events {
+        // Coordinator-role trigger: count tracing/barrier messages this
+        // server absorbs while hosting a travel's ledger, so the crash
+        // lands mid-travel with coordinator state in flight.
+        matches!(
+            msg,
+            Msg::ExecCreated { .. }
+                | Msg::ExecTerminated { .. }
+                | Msg::Results { .. }
+                | Msg::SyncStepDone { .. }
+        )
+    } else {
+        match msg {
+            Msg::Visit { depth, .. } | Msg::SyncFrontier { depth, .. } => *depth >= trig.point.step,
+            Msg::SourceScan { .. } => trig.point.step == 0,
+            _ => false,
+        }
     };
     if !qualifies {
         return false;
@@ -596,21 +734,37 @@ fn handle_msg(sh: &Arc<Shared>, msg: Msg) -> LoopCtl {
             travel,
             exec,
             depth,
-        } => with_async_coord(sh, travel, |l| l.exec_created(exec, depth)),
+        } => coord_event(sh, travel, |epoch| LedgerEvent::Created {
+            epoch,
+            exec,
+            depth,
+        }),
         Msg::ExecTerminated {
             travel,
             exec,
             children,
         } => {
-            with_async_coord(sh, travel, |l| l.exec_terminated(exec, &children));
+            coord_event(sh, travel, |epoch| LedgerEvent::Terminated {
+                epoch,
+                exec,
+                children,
+            });
             maybe_finish_async(sh, travel);
         }
         Msg::Results { travel, items } => {
-            let mut coords = sh.coords.lock();
-            match coords.get_mut(&travel) {
-                Some(CoordState::Async(l)) => l.add_results(&items),
-                Some(CoordState::Sync(s)) => s.add_results(&items),
-                None => {}
+            let sync = {
+                let mut coords = sh.coords.lock();
+                match coords.get_mut(&travel) {
+                    Some(CoordState::Sync(s)) => {
+                        s.add_results(&items);
+                        true
+                    }
+                    Some(CoordState::Async(_)) => false,
+                    None => true, // nothing hosted: nothing to log either
+                }
+            };
+            if !sync {
+                coord_event(sh, travel, |epoch| LedgerEvent::Results { epoch, items });
             }
         }
         Msg::OriginSatisfied {
@@ -639,6 +793,27 @@ fn handle_msg(sh: &Arc<Shared>, msg: Msg) -> LoopCtl {
             sent,
             origin_sent,
         } => handle_sync_step_done(sh, travel, depth, server, &sent, &origin_sent),
+        Msg::CoordRecover {
+            travel,
+            epoch,
+            plan,
+            client,
+            events,
+        } => handle_recover(sh, travel, epoch, plan, client, &events),
+        Msg::CoordHandoff {
+            travel,
+            epoch,
+            coordinator,
+            restarted,
+        } => handle_handoff(sh, travel, epoch, coordinator, restarted),
+        Msg::ReAnnounce {
+            travel,
+            epoch,
+            server,
+            created,
+            terminated,
+            results,
+        } => handle_reannounce(sh, travel, epoch, server, &created, &terminated, &results),
         Msg::Abort { travel } => {
             handle_abort(sh, travel);
             sh.mark_retired(travel);
@@ -713,10 +888,250 @@ fn handle_msg(sh: &Arc<Shared>, msg: Msg) -> LoopCtl {
     LoopCtl::Continue
 }
 
-fn with_async_coord(sh: &Arc<Shared>, travel: TravelId, f: impl FnOnce(&mut TravelLedger)) {
+/// Apply one tracing event to `travel`'s hosted asynchronous ledger,
+/// writing it to the durable blob log *first* (write-ahead) so a
+/// successor can replay the stream after this server crashes. Appends a
+/// compacted [`LedgerEvent::Snapshot`] every [`LEDGER_SNAPSHOT_EVERY`]
+/// events to bound replay work. No-op when this server doesn't host an
+/// asynchronous ledger for `travel`.
+fn coord_event(sh: &Arc<Shared>, travel: TravelId, make: impl FnOnce(u64) -> LedgerEvent) {
     let mut coords = sh.coords.lock();
-    if let Some(CoordState::Async(l)) = coords.get_mut(&travel) {
-        f(l);
+    let Some(CoordState::Async(l)) = coords.get_mut(&travel) else {
+        return;
+    };
+    let ev = make(l.epoch);
+    if let Some(log) = &sh.ledger {
+        let mut log = log.lock();
+        let _ = log.append(&ev.encode(travel));
+        l.apply(&ev);
+        l.events_since_snapshot += 1;
+        if l.events_since_snapshot >= LEDGER_SNAPSHOT_EVERY {
+            let _ = log.append(&l.snapshot_event().encode(travel));
+            l.events_since_snapshot = 0;
+        }
+    } else {
+        l.apply(&ev);
+    }
+}
+
+/// Truncate the durable ledger log once this server hosts no coordinator
+/// state at all (no live ledgers, no takeover in progress); everything in
+/// it is then about finished travels no successor will ever replay.
+fn maybe_reset_ledger(sh: &Arc<Shared>) {
+    let Some(log) = &sh.ledger else { return };
+    if !sh.coords.lock().is_empty() || !sh.recovering.lock().is_empty() {
+        return;
+    }
+    let _ = log.lock().reset();
+}
+
+/// Become the successor coordinator for an orphaned travel (failover step
+/// 1): rebuild a scratch ledger from the dead coordinator's durable event
+/// stream, then wait for every server's [`Msg::ReAnnounce`] before
+/// resuming the traversal.
+fn handle_recover(
+    sh: &Arc<Shared>,
+    travel: TravelId,
+    epoch: u64,
+    plan: Arc<Plan>,
+    client: usize,
+    events: &[LedgerEvent],
+) {
+    let (mut scratch, applied) = TravelLedger::replay(plan.clone(), client, events);
+    scratch.epoch = epoch;
+    sh.metrics.ledger_replays.fetch_add(1, Ordering::Relaxed);
+    sh.metrics
+        .ledger_events_replayed
+        .fetch_add(applied, Ordering::Relaxed);
+    sh.metrics.failovers.fetch_add(1, Ordering::Relaxed);
+    sh.recovering.lock().insert(
+        travel,
+        RecoveryState {
+            plan,
+            client,
+            epoch,
+            scratch,
+            awaiting: (0..sh.n_servers).collect(),
+        },
+    );
+}
+
+/// A failover re-homed `travel` onto `coordinator` under travel-epoch
+/// `epoch` (failover step 2, broadcast to every server): fence the old
+/// epoch, drop this server's per-travel transient state (the successor
+/// re-drives the traversal from the source), and re-announce the
+/// sent-journal. Relay stream cursors are deliberately **preserved** —
+/// sequence continuity across the failover keeps the reliable layer's
+/// in-order delivery sound; stale pre-failover messages are fenced at
+/// delivery time instead. The one exception is the stream toward the
+/// `restarted` server: its incarnation died holding the receive cursor,
+/// so continuing at the old sequence would wedge the stream forever —
+/// that stream (alone) restarts from sequence 1.
+fn handle_handoff(
+    sh: &Arc<Shared>,
+    travel: TravelId,
+    epoch: u64,
+    coordinator: usize,
+    restarted: usize,
+) {
+    if sh.is_retired(travel) {
+        // The travel finished here while the failover was being set up
+        // (its Abort was already queued ahead of the handoff). There is
+        // nothing to clear and the journal is gone; still answer so the
+        // successor's re-announce barrier can't stall.
+        let _ = sh.ep.send(
+            coordinator,
+            Msg::ReAnnounce {
+                travel,
+                epoch,
+                server: sh.id,
+                created: Vec::new(),
+                terminated: Vec::new(),
+                results: Vec::new(),
+            },
+        );
+        return;
+    }
+    {
+        let mut te = sh.travel_epoch.lock();
+        let cur = te.entry(travel).or_insert(0);
+        if epoch <= *cur {
+            return; // duplicate or out-of-date handoff
+        }
+        *cur = epoch;
+    }
+    sh.queue.clear_travel(travel);
+    sh.cache.forget_travel(travel);
+    {
+        let mut reg = sh.tokens.lock();
+        reg.by_key.retain(|(t, _, _), _| *t != travel);
+        reg.records.retain(|(t, _), _| *t != travel);
+    }
+    sh.sync_bufs.lock().remove(&travel);
+    if restarted != sh.id {
+        // The restarted incarnation's receive cursor is gone; unacked
+        // pre-crash messages to it are unusable by the fresh process
+        // (its worker state is rebuilt by the re-drive, its coordinator
+        // state by the successor), so drop them and restart at seq 1.
+        let mut out = sh.relay_out.lock();
+        out.next_seq.remove(&(travel, restarted));
+        out.pending
+            .retain(|&(t, to, _), _| !(t == travel && to == restarted));
+    }
+    if sh.id != coordinator {
+        sh.coords.lock().remove(&travel);
+    }
+    let j = sh.journal.lock().remove(&travel).unwrap_or_default();
+    // Raw send: the handoff protocol *is* the recovery path, so it rides
+    // neither the chaos-faced relay layer nor the travel-epoch fence.
+    let _ = sh.ep.send(
+        coordinator,
+        Msg::ReAnnounce {
+            travel,
+            epoch,
+            server: sh.id,
+            created: j.created,
+            terminated: j.terminated,
+            results: j.results,
+        },
+    );
+}
+
+/// One server's journal re-announcement during a takeover (failover step
+/// 3). Merging every journal into the scratch ledger recovers tracing
+/// state that was in flight (or unsent) when the coordinator died.
+fn handle_reannounce(
+    sh: &Arc<Shared>,
+    travel: TravelId,
+    epoch: u64,
+    server: usize,
+    created: &[(ExecId, u16)],
+    terminated: &[(ExecId, Vec<(ExecId, u16)>)],
+    results: &[(u16, VertexId)],
+) {
+    let complete = {
+        let mut rec = sh.recovering.lock();
+        let Some(r) = rec.get_mut(&travel) else {
+            return; // recovery finished (or was never hosted here)
+        };
+        if epoch != r.epoch || !r.awaiting.remove(&server) {
+            return; // stale round or duplicate announcement
+        }
+        sh.metrics.reannounce_msgs.fetch_add(1, Ordering::Relaxed);
+        for &(exec, depth) in created {
+            r.scratch.exec_created(exec, depth);
+        }
+        for (exec, children) in terminated {
+            r.scratch.exec_terminated(*exec, children);
+        }
+        r.scratch.add_results(results);
+        r.awaiting.is_empty()
+    };
+    if complete {
+        finish_recovery(sh, travel);
+    }
+}
+
+/// Every server re-announced: resume the orphaned travel. If the scratch
+/// ledger is already complete the crash hit during result assembly — the
+/// reliable streams' FIFO order (`Results` before `ExecTerminated`)
+/// guarantees every result is present, so the travel completes without
+/// re-executing anything. Otherwise the traversal is re-driven from its
+/// source under the bumped travel-epoch, seeded with the surviving
+/// results (reachable vertices stay reachable; per-depth sets dedup the
+/// overlap with the re-driven run).
+fn finish_recovery(sh: &Arc<Shared>, travel: TravelId) {
+    let Some(rec) = sh.recovering.lock().remove(&travel) else {
+        return;
+    };
+    let RecoveryState {
+        plan,
+        client,
+        epoch,
+        scratch,
+        ..
+    } = rec;
+    let sync_engine = matches!(sh.engine_kind, EngineKind::Sync);
+    if !sync_engine && scratch.is_done() {
+        let outcome = scratch.outcome();
+        for s in 0..sh.n_servers {
+            let _ = sh.ep.send(s, Msg::Abort { travel });
+        }
+        let _ = sh.ep.send(client, Msg::TravelDone { travel, outcome });
+        return;
+    }
+    let seeded = scratch.results_flat();
+    if sync_engine {
+        let mut state = SyncState::new(plan.clone(), client, sh.n_servers);
+        state.add_results(&seeded);
+        sh.coords.lock().insert(travel, CoordState::Sync(state));
+        for s in 0..sh.n_servers {
+            send_travel(
+                sh,
+                s,
+                travel,
+                epoch,
+                Msg::SyncStart {
+                    travel,
+                    plan: plan.clone(),
+                    coordinator: sh.id,
+                    depth: 0,
+                    expect: SyncExpect::ScanSource,
+                },
+            );
+        }
+    } else {
+        sh.coords.lock().insert(
+            travel,
+            CoordState::Async(TravelLedger::new_with_epoch(plan.clone(), client, epoch)),
+        );
+        if !seeded.is_empty() {
+            coord_event(sh, travel, |epoch| LedgerEvent::Results {
+                epoch,
+                items: seeded,
+            });
+        }
+        dispatch_travel_source(sh, travel, &plan, epoch);
     }
 }
 
@@ -742,6 +1157,7 @@ fn maybe_finish_async(sh: &Arc<Shared>, travel: TravelId) {
 }
 
 fn handle_submit(sh: &Arc<Shared>, travel: TravelId, plan: Arc<Plan>, client: usize) {
+    let tepoch = sh.travel_epoch_of(travel);
     let sync = {
         // The submitting client decided this server coordinates `travel`.
         let mut coords = sh.coords.lock();
@@ -754,7 +1170,7 @@ fn handle_submit(sh: &Arc<Shared>, travel: TravelId, plan: Arc<Plan>, client: us
         } else {
             coords.insert(
                 travel,
-                CoordState::Async(TravelLedger::new(plan.clone(), client)),
+                CoordState::Async(TravelLedger::new_with_epoch(plan.clone(), client, tepoch)),
             );
             false
         }
@@ -765,6 +1181,7 @@ fn handle_submit(sh: &Arc<Shared>, travel: TravelId, plan: Arc<Plan>, client: us
                 sh,
                 s,
                 travel,
+                tepoch,
                 Msg::SyncStart {
                     travel,
                     plan: plan.clone(),
@@ -776,9 +1193,15 @@ fn handle_submit(sh: &Arc<Shared>, travel: TravelId, plan: Arc<Plan>, client: us
         }
         return;
     }
-    // Asynchronous source dispatch: targeted for explicit ids ("the
-    // coordinator first learns that userA is stored in server 2 … then
-    // sends the request"), broadcast scan otherwise.
+    dispatch_travel_source(sh, travel, &plan, tepoch);
+}
+
+/// Asynchronous source dispatch from the coordinator — targeted for
+/// explicit ids ("the coordinator first learns that userA is stored in
+/// server 2 … then sends the request"), broadcast scan otherwise. Used
+/// both by a fresh submission and by a failover re-drive (then `tepoch`
+/// carries the bumped travel-epoch).
+fn dispatch_travel_source(sh: &Arc<Shared>, travel: TravelId, plan: &Arc<Plan>, tepoch: u64) {
     match &plan.source {
         Source::Ids(ids) => {
             let buckets = sh.partitioner.group_by_owner(ids.iter().copied());
@@ -789,13 +1212,18 @@ fn handle_submit(sh: &Arc<Shared>, travel: TravelId, plan: Arc<Plan>, client: us
                 }
                 any = true;
                 let exec = alloc_exec(sh);
-                with_async_coord(sh, travel, |l| l.exec_created(exec, 0));
+                coord_event(sh, travel, |epoch| LedgerEvent::Created {
+                    epoch,
+                    exec,
+                    depth: 0,
+                });
                 let items: Vec<(VertexId, Tokens)> =
                     vids.into_iter().map(|v| (v, Vec::new())).collect();
                 send_travel(
                     sh,
                     owner,
                     travel,
+                    tepoch,
                     Msg::Visit {
                         travel,
                         depth: 0,
@@ -809,9 +1237,15 @@ fn handle_submit(sh: &Arc<Shared>, travel: TravelId, plan: Arc<Plan>, client: us
             if !any {
                 // Degenerate: no owned sources at all; finish immediately.
                 let exec = alloc_exec(sh);
-                with_async_coord(sh, travel, |l| {
-                    l.exec_created(exec, 0);
-                    l.exec_terminated(exec, &[]);
+                coord_event(sh, travel, |epoch| LedgerEvent::Created {
+                    epoch,
+                    exec,
+                    depth: 0,
+                });
+                coord_event(sh, travel, |epoch| LedgerEvent::Terminated {
+                    epoch,
+                    exec,
+                    children: Vec::new(),
                 });
                 maybe_finish_async(sh, travel);
             }
@@ -819,11 +1253,16 @@ fn handle_submit(sh: &Arc<Shared>, travel: TravelId, plan: Arc<Plan>, client: us
         Source::All => {
             for s in 0..sh.n_servers {
                 let exec = alloc_exec(sh);
-                with_async_coord(sh, travel, |l| l.exec_created(exec, 0));
+                coord_event(sh, travel, |epoch| LedgerEvent::Created {
+                    epoch,
+                    exec,
+                    depth: 0,
+                });
                 send_travel(
                     sh,
                     s,
                     travel,
+                    tepoch,
                     Msg::SourceScan {
                         travel,
                         plan: plan.clone(),
@@ -920,6 +1359,7 @@ fn handle_visit(
         exec,
         plan,
         coordinator,
+        tepoch: sh.travel_epoch_of(travel),
         mode: ReqMode::Async,
         remaining: AtomicUsize::new(kept.len()),
         out: Mutex::new(Default::default()),
@@ -953,6 +1393,7 @@ fn handle_origin_satisfied(
     if sh.is_retired(travel) {
         return;
     }
+    let tepoch = sh.travel_epoch_of(travel);
     let released = release_tokens(sh, travel, tokens);
     if !released.is_empty() {
         sh.metrics
@@ -962,6 +1403,7 @@ fn handle_origin_satisfied(
             sh,
             coordinator,
             travel,
+            tepoch,
             Msg::Results {
                 travel,
                 items: released,
@@ -975,6 +1417,7 @@ fn handle_origin_satisfied(
         sh,
         coordinator,
         travel,
+        tepoch,
         Msg::ExecTerminated {
             travel,
             exec,
@@ -1017,6 +1460,13 @@ fn handle_abort(sh: &Arc<Shared>, travel: TravelId) {
         out.pending.retain(|&(t, _, _), _| t != travel);
     }
     sh.relay_in.lock().retain(|&(t, _), _| t != travel);
+    // Failover bookkeeping follows the travel out.
+    if sh.reliable {
+        sh.journal.lock().remove(&travel);
+        sh.travel_epoch.lock().remove(&travel);
+        sh.recovering.lock().remove(&travel);
+        maybe_reset_ledger(sh);
+    }
 }
 
 // ------------------------------------------------------ sync engine
@@ -1178,6 +1628,7 @@ fn enqueue_sync_fragment(
         exec: alloc_exec(sh),
         plan,
         coordinator,
+        tepoch: sh.travel_epoch_of(travel),
         mode: ReqMode::SyncStep,
         remaining: AtomicUsize::new(merged.len()),
         out: Mutex::new(Default::default()),
@@ -1235,6 +1686,7 @@ fn fire_sync_origin_release(sh: &Arc<Shared>, travel: TravelId, depth: u16) {
         tb.origin.done = true;
         (tb.coordinator, std::mem::take(&mut tb.origin.tokens))
     };
+    let tepoch = sh.travel_epoch_of(travel);
     let released = release_tokens(sh, travel, &tokens);
     if !released.is_empty() {
         sh.metrics
@@ -1244,6 +1696,7 @@ fn fire_sync_origin_release(sh: &Arc<Shared>, travel: TravelId, depth: u16) {
             sh,
             coordinator,
             travel,
+            tepoch,
             Msg::Results {
                 travel,
                 items: released,
@@ -1254,6 +1707,7 @@ fn fire_sync_origin_release(sh: &Arc<Shared>, travel: TravelId, depth: u16) {
         sh,
         coordinator,
         travel,
+        tepoch,
         Msg::SyncStepDone {
             travel,
             depth,
@@ -1292,11 +1746,13 @@ fn handle_sync_step_done(
     };
     match action {
         Ok((plan, next)) => {
+            let tepoch = sh.travel_epoch_of(travel);
             for (srv, d, expect) in next {
                 send_travel(
                     sh,
                     srv,
                     travel,
+                    tepoch,
                     Msg::SyncStart {
                         travel,
                         plan: plan.clone(),
@@ -1506,6 +1962,7 @@ fn flush_request(sh: &Arc<Shared>, req: &RequestState) {
                     sh,
                     req.coordinator,
                     travel,
+                    req.tepoch,
                     Msg::ExecCreated {
                         travel,
                         exec: child,
@@ -1523,6 +1980,7 @@ fn flush_request(sh: &Arc<Shared>, req: &RequestState) {
                     sh,
                     owner,
                     travel,
+                    req.tepoch,
                     Msg::Visit {
                         travel,
                         depth: req.depth + 1,
@@ -1541,6 +1999,7 @@ fn flush_request(sh: &Arc<Shared>, req: &RequestState) {
                     sh,
                     req.coordinator,
                     travel,
+                    req.tepoch,
                     Msg::ExecCreated {
                         travel,
                         exec: syn,
@@ -1551,6 +2010,7 @@ fn flush_request(sh: &Arc<Shared>, req: &RequestState) {
                     sh,
                     owner,
                     travel,
+                    req.tepoch,
                     Msg::OriginSatisfied {
                         travel,
                         exec: syn,
@@ -1567,6 +2027,7 @@ fn flush_request(sh: &Arc<Shared>, req: &RequestState) {
                     sh,
                     req.coordinator,
                     travel,
+                    req.tepoch,
                     Msg::Results {
                         travel,
                         items: out.results,
@@ -1578,6 +2039,7 @@ fn flush_request(sh: &Arc<Shared>, req: &RequestState) {
                 sh,
                 req.coordinator,
                 travel,
+                req.tepoch,
                 Msg::ExecTerminated {
                     travel,
                     exec: req.exec,
@@ -1600,6 +2062,7 @@ fn flush_request(sh: &Arc<Shared>, req: &RequestState) {
                     sh,
                     owner,
                     travel,
+                    req.tepoch,
                     Msg::SyncFrontier {
                         travel,
                         depth: req.depth + 1,
@@ -1610,7 +2073,13 @@ fn flush_request(sh: &Arc<Shared>, req: &RequestState) {
             let mut origin_sent: Vec<(usize, u64)> = Vec::new();
             for (owner, tokens) in satisfied_by_owner {
                 origin_sent.push((owner, tokens.len() as u64));
-                send_travel(sh, owner, travel, Msg::SyncOrigin { travel, tokens });
+                send_travel(
+                    sh,
+                    owner,
+                    travel,
+                    req.tepoch,
+                    Msg::SyncOrigin { travel, tokens },
+                );
             }
             if !out.results.is_empty() {
                 sh.metrics
@@ -1620,6 +2089,7 @@ fn flush_request(sh: &Arc<Shared>, req: &RequestState) {
                     sh,
                     req.coordinator,
                     travel,
+                    req.tepoch,
                     Msg::Results {
                         travel,
                         items: out.results,
@@ -1630,6 +2100,7 @@ fn flush_request(sh: &Arc<Shared>, req: &RequestState) {
                 sh,
                 req.coordinator,
                 travel,
+                req.tepoch,
                 Msg::SyncStepDone {
                     travel,
                     depth: req.depth,

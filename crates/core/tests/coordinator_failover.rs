@@ -1,0 +1,477 @@
+//! Coordinator-failover suite: travels must survive the death of the
+//! server hosting their status-tracing ledger (§IV-C).
+//!
+//! Every travel's ledger is event-sourced into the coordinator's durable
+//! blob log. When the client's `wait()` observes the coordinator dead
+//! (scripted [`CrashPoint::coordinator`] or explicit `crash_server`), it
+//! re-homes the travel: the ledger stream is replayed on a successor
+//! under a bumped travel-epoch, every server re-announces its journal,
+//! and the traversal resumes — finishing with exactly the oracle's
+//! result, under the same travel id, without a resubmission.
+
+use graphtrek::oracle;
+use graphtrek::prelude::*;
+use gt_graph::{Edge, InMemoryGraph, Props, Vertex};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "gt-failover-{}-{name}-{:?}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+/// Random layered metadata-ish graph (same shape as the chaos suite).
+fn random_graph(seed: u64, n: u64) -> InMemoryGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut g = InMemoryGraph::new();
+    let types = ["User", "Execution", "File"];
+    let labels = ["run", "read", "write", "link"];
+    for i in 0..n {
+        let t = types[rng.gen_range(0..types.len())];
+        g.add_vertex(Vertex::new(
+            i,
+            t,
+            Props::new().with("w", rng.gen_range(0..10) as i64),
+        ));
+    }
+    for _ in 0..n * 4 {
+        let src = rng.gen_range(0..n);
+        let dst = rng.gen_range(0..n);
+        let label = labels[rng.gen_range(0..labels.len())];
+        g.add_edge(Edge::new(
+            src,
+            label,
+            dst,
+            Props::new().with("ts", rng.gen_range(0..100) as i64),
+        ));
+    }
+    g
+}
+
+fn failover_query() -> GTravel {
+    GTravel::v([0u64, 1, 2, 3, 4, 5])
+        .e("link")
+        .rtn()
+        .e("read")
+        .va(PropFilter::range("w", 0i64, 8i64))
+        .e("link")
+        .e("link")
+}
+
+fn oracle_map(g: &InMemoryGraph, q: &GTravel) -> BTreeMap<u16, Vec<VertexId>> {
+    oracle::traverse(g, &q.compile().unwrap())
+        .by_depth
+        .iter()
+        .map(|(&d, s)| (d, s.iter().copied().collect()))
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Tentpole: crash the coordinator mid-travel, all three engines
+// ---------------------------------------------------------------------
+
+/// Travel ids start at 1 and the coordinator is `travel % n`, so on a
+/// 3-server cluster the first travel is coordinated by server 1. Kill it
+/// after it has absorbed a handful of status-tracing events: the client
+/// must fail the travel over and still deliver the oracle's result —
+/// same travel id, zero resubmissions.
+#[test]
+fn coordinator_crash_mid_travel_fails_over_on_all_engines() {
+    let g = random_graph(11, 50);
+    let q = failover_query();
+    let want = oracle_map(&g, &q);
+    for kind in EngineKind::all() {
+        let dir = tmp(&format!("mid-{kind:?}"));
+        let plan = ChaosPlan {
+            crashes: vec![CrashPoint::coordinator(1, 4)],
+            ..ChaosPlan::none()
+        };
+        let cluster = Cluster::build(
+            &g,
+            ClusterConfig::new(&dir, 3),
+            EngineConfig::new(kind).chaos(plan),
+        )
+        .unwrap();
+        let ticket = cluster.start(&q).unwrap();
+        let got = cluster
+            .wait(&ticket, Duration::from_secs(30))
+            .unwrap_or_else(|e| panic!("{kind:?}: travel must survive the crash: {e}"));
+        assert_eq!(got.by_depth, want, "{kind:?} diverged across failover");
+        assert_eq!(got.failovers, 1, "{kind:?}: exactly one failover");
+        let m = cluster.metrics();
+        assert_eq!(m[1].crashes, 1, "{kind:?}: crash point must fire");
+        // Successor of server 1 is server 2 (next live server).
+        assert_eq!(m[2].failovers, 1, "{kind:?}: server 2 must take over");
+        assert_eq!(m[2].ledger_replays, 1, "{kind:?}: ledger must be replayed");
+        assert!(
+            m.iter().map(|s| s.reannounce_msgs).sum::<u64>() >= 3,
+            "{kind:?}: every server must re-announce"
+        );
+        assert_eq!(cluster.net_stats().handoffs(), 1);
+        cluster.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// The asynchronous coordinator persists ledger events for every
+/// created/terminated execution; crashing it late — while results are
+/// being assembled — must still converge on the oracle's answer.
+#[test]
+fn coordinator_crash_during_result_assembly_recovers() {
+    let g = random_graph(23, 50);
+    let q = failover_query();
+    let want = oracle_map(&g, &q);
+    for kind in [EngineKind::AsyncPlain, EngineKind::GraphTrek] {
+        let dir = tmp(&format!("late-{kind:?}"));
+        // A large trigger count lands the crash deep into the travel,
+        // when most executions have already terminated and result
+        // batches are streaming into the ledger.
+        let plan = ChaosPlan {
+            crashes: vec![CrashPoint::coordinator(1, 60)],
+            ..ChaosPlan::none()
+        };
+        let cluster = Cluster::build(
+            &g,
+            ClusterConfig::new(&dir, 3),
+            EngineConfig::new(kind).chaos(plan),
+        )
+        .unwrap();
+        let ticket = cluster.start(&q).unwrap();
+        let got = cluster
+            .wait(&ticket, Duration::from_secs(30))
+            .unwrap_or_else(|e| panic!("{kind:?}: late crash must be survivable: {e}"));
+        assert_eq!(got.by_depth, want, "{kind:?} diverged after late failover");
+        let m = cluster.metrics();
+        if m[1].crashes == 1 {
+            assert_eq!(got.failovers, 1, "{kind:?}: one failover");
+            assert!(
+                m[2].ledger_events_replayed > 0,
+                "{kind:?}: a late crash leaves a non-trivial stream to replay"
+            );
+        } else {
+            // The travel finished before absorbing 60 coordinator
+            // events; nothing to fail over — result must still be exact.
+            assert_eq!(got.failovers, 0);
+        }
+        cluster.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Two scripted coordinator crashes: the travel starts on server 1,
+/// fails over to 2, whose crash point then fires as soon as it has
+/// coordinated enough events — failing over again to server 0. Both
+/// hops must be transparent.
+#[test]
+fn double_failover_survives_on_all_engines() {
+    let g = random_graph(37, 50);
+    let q = failover_query();
+    let want = oracle_map(&g, &q);
+    for kind in EngineKind::all() {
+        let dir = tmp(&format!("double-{kind:?}"));
+        let plan = ChaosPlan {
+            crashes: vec![CrashPoint::coordinator(1, 4), CrashPoint::coordinator(2, 4)],
+            ..ChaosPlan::none()
+        };
+        let cluster = Cluster::build(
+            &g,
+            ClusterConfig::new(&dir, 3),
+            EngineConfig::new(kind).chaos(plan),
+        )
+        .unwrap();
+        let ticket = cluster.start(&q).unwrap();
+        let got = cluster
+            .wait(&ticket, Duration::from_secs(30))
+            .unwrap_or_else(|e| panic!("{kind:?}: double failover must succeed: {e}"));
+        assert_eq!(got.by_depth, want, "{kind:?} diverged after two failovers");
+        let m = cluster.metrics();
+        assert_eq!(m[1].crashes, 1, "{kind:?}: first crash fires");
+        if m[2].crashes == 1 {
+            assert_eq!(got.failovers, 2, "{kind:?}: two failovers");
+            assert_eq!(m[0].failovers, 1, "{kind:?}: server 0 hosts the second");
+            assert_eq!(cluster.net_stats().handoffs(), 2);
+        } else {
+            // The re-driven travel finished before the successor
+            // absorbed enough events to trip its own crash point.
+            assert_eq!(got.failovers, 1, "{kind:?}: at least the first hop");
+        }
+        cluster.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// The whole failover pipeline is deterministic: same seed, same crash
+/// script, same graph ⇒ byte-identical results on repeat runs.
+#[test]
+fn failover_is_deterministic_for_a_fixed_seed() {
+    let run = |tag: &str| {
+        let g = random_graph(4242, 50);
+        let q = failover_query();
+        let dir = tmp(tag);
+        let plan = ChaosPlan {
+            crashes: vec![CrashPoint::coordinator(1, 4)],
+            ..ChaosPlan::lossy(4242)
+        };
+        let cluster = Cluster::build(
+            &g,
+            ClusterConfig::new(&dir, 3),
+            EngineConfig::new(EngineKind::GraphTrek).chaos(plan),
+        )
+        .unwrap();
+        let ticket = cluster.start(&q).unwrap();
+        let got = cluster.wait(&ticket, Duration::from_secs(30)).unwrap();
+        cluster.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+        (got.by_depth, got.failovers)
+    };
+    let (a, fa) = run("det-a");
+    let (b, fb) = run("det-b");
+    assert_eq!(a, b, "same seed must reproduce the same result");
+    assert_eq!(fa, fb, "same seed must reproduce the same failover count");
+    assert_eq!(a, oracle_map(&random_graph(4242, 50), &failover_query()));
+}
+
+// ---------------------------------------------------------------------
+// Typed errors
+// ---------------------------------------------------------------------
+
+/// A travel stalled by an unreachable *backend* (coordinator alive)
+/// times out with a typed error carrying the coordinator's last progress
+/// estimate — the timeout is no longer silent about where it got stuck.
+#[test]
+fn timeout_error_carries_last_progress() {
+    let g = random_graph(7, 40);
+    let q = failover_query();
+    let dir = tmp("timeout-progress");
+    let cluster = Cluster::build(
+        &g,
+        ClusterConfig::new(&dir, 3),
+        EngineConfig::new(EngineKind::GraphTrek).force_reliable_delivery(true),
+    )
+    .unwrap();
+    // Travel 1's coordinator is server 1; cutting server 0 starves the
+    // traversal of one shard without touching the coordinator.
+    cluster.isolate_server(0, true);
+    let ticket = cluster.start(&q).unwrap();
+    let err = cluster.wait(&ticket, Duration::from_millis(400));
+    match err {
+        Err(ClusterError::Travel(TravelError::Timeout {
+            attempts,
+            last_progress,
+        })) => {
+            assert_eq!(attempts, 1);
+            let p = last_progress.expect("coordinator was alive: progress must be attached");
+            assert!(p.created > 0, "coordinator saw the travel start");
+        }
+        other => panic!("expected a typed timeout, got {other:?}"),
+    }
+    // The timeout released the admission slot (regression guard).
+    assert_eq!(cluster.active_travels(), 0);
+    cluster.isolate_server(0, false);
+    cluster.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Cancelling a running travel makes a concurrent/later `wait` report
+/// `TravelError::Cancelled`, not a bare timeout.
+#[test]
+fn cancelled_travel_reports_typed_cancellation() {
+    let g = random_graph(9, 40);
+    let q = failover_query();
+    let dir = tmp("typed-cancel");
+    // Drop 100% of the relayed data plane: the travel can never finish,
+    // but the raw control plane (Cancel/CancelAck) still flows.
+    let plan = ChaosPlan {
+        drop: 1.0,
+        ..ChaosPlan::lossy(9)
+    };
+    let cluster = Cluster::build(
+        &g,
+        ClusterConfig::new(&dir, 3),
+        EngineConfig::new(EngineKind::GraphTrek).chaos(plan),
+    )
+    .unwrap();
+    let ticket = cluster.start(&q).unwrap();
+    assert!(cluster.cancel(&ticket).unwrap(), "travel had started");
+    let err = cluster.wait(&ticket, Duration::from_millis(200));
+    assert!(
+        matches!(
+            err,
+            Err(ClusterError::Travel(TravelError::Cancelled { travel })) if travel == ticket.travel()
+        ),
+        "expected typed cancellation, got {err:?}"
+    );
+    cluster.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Without the reliable-delivery layer there is no journal to re-announce
+/// from, so a dead coordinator is unrecoverable: `wait` must fail fast
+/// with `CoordinatorLost` instead of burning its whole timeout.
+#[test]
+fn coordinator_loss_without_reliability_is_typed() {
+    let g = random_graph(13, 40);
+    let q = failover_query();
+    let dir = tmp("coord-lost");
+    let cluster = Cluster::build(
+        &g,
+        ClusterConfig::new(&dir, 3),
+        EngineConfig::new(EngineKind::GraphTrek).force_reliable_delivery(false),
+    )
+    .unwrap();
+    cluster.isolate_server(0, true); // stall so the crash lands mid-travel
+    let ticket = cluster.start(&q).unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+    cluster.crash_server(1).unwrap(); // travel 1's coordinator
+    let started = std::time::Instant::now();
+    let err = cluster.wait(&ticket, Duration::from_secs(30));
+    assert!(
+        matches!(
+            err,
+            Err(ClusterError::Travel(TravelError::CoordinatorLost { travel }))
+                if travel == ticket.travel()
+        ),
+        "expected CoordinatorLost, got {err:?}"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "loss must be detected promptly, not at the timeout"
+    );
+    assert_eq!(cluster.active_travels(), 0, "slot must be released");
+    cluster.restart_server(1).unwrap();
+    cluster.isolate_server(0, false);
+    cluster.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------
+// Client re-routing and bookkeeping across failover
+// ---------------------------------------------------------------------
+
+/// After a failover the client transparently re-routes progress queries
+/// to the successor: the timeout's attached snapshot reflects the
+/// *successor's* re-driven ledger (the restarted original knows nothing
+/// about the travel anymore).
+#[test]
+fn progress_reroutes_to_successor_after_failover() {
+    let g = random_graph(17, 40);
+    let q = failover_query();
+    let dir = tmp("reroute");
+    // Drop 100% of the relayed data plane so the travel outlives the
+    // failover (the control plane — recover/handoff/re-announce and
+    // progress queries — is raw and keeps flowing), then kill the
+    // coordinator explicitly.
+    let plan = ChaosPlan {
+        drop: 1.0,
+        ..ChaosPlan::lossy(17)
+    };
+    let cluster = Cluster::build(
+        &g,
+        ClusterConfig::new(&dir, 3),
+        EngineConfig::new(EngineKind::GraphTrek).chaos(plan),
+    )
+    .unwrap();
+    let ticket = cluster.start(&q).unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+    cluster.crash_server(1).unwrap();
+    let err = cluster.wait(&ticket, Duration::from_millis(800));
+    match err {
+        Err(ClusterError::Travel(TravelError::Timeout { last_progress, .. })) => {
+            let p = last_progress
+                .expect("successor coordinator must answer the re-routed progress query");
+            assert!(
+                p.created > 0,
+                "snapshot must come from the successor's live ledger, \
+                 not the restarted original's empty state"
+            );
+        }
+        other => panic!("stalled travel must still time out, got {other:?}"),
+    }
+    let m = cluster.metrics();
+    assert_eq!(
+        m[2].failovers, 1,
+        "server 2 must have taken the travel over"
+    );
+    cluster.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Admission bookkeeping survives a failover: a queued travel's
+/// `admit_wait` keeps measuring from its original submission, and the
+/// failed-over travel's slot is accounted under the same travel id
+/// (releasing normally on completion).
+#[test]
+fn admission_timestamps_survive_failover() {
+    let g = random_graph(19, 50);
+    let q = failover_query();
+    let want = oracle_map(&g, &q);
+    let dir = tmp("admit-wait");
+    let plan = ChaosPlan {
+        crashes: vec![CrashPoint::coordinator(1, 4)],
+        ..ChaosPlan::none()
+    };
+    let cluster = Cluster::build(
+        &g,
+        ClusterConfig::new(&dir, 3),
+        EngineConfig::new(EngineKind::GraphTrek)
+            .chaos(plan)
+            .max_concurrent_travels(1),
+    )
+    .unwrap();
+    let first = cluster.start(&q).unwrap(); // coordinator 1: will crash
+    let queued = cluster.start(&q).unwrap(); // parked behind the limit
+    assert_eq!(cluster.pending_travels(), 1);
+    let a = cluster.wait(&first, Duration::from_secs(30)).unwrap();
+    assert_eq!(a.by_depth, want, "failed-over travel diverged");
+    assert_eq!(a.failovers, 1);
+    let b = cluster.wait(&queued, Duration::from_secs(30)).unwrap();
+    assert_eq!(b.by_depth, want, "queued travel diverged");
+    assert!(
+        b.admit_wait > Duration::ZERO,
+        "queued travel's admission wait spans the whole failover episode"
+    );
+    assert_eq!(cluster.active_travels(), 0);
+    assert_eq!(cluster.pending_travels(), 0);
+    cluster.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A healthy reliable-delivery cluster (no chaos, no crashes) must keep
+/// every failover counter at exactly zero — the machinery is free until
+/// a coordinator actually dies.
+#[test]
+fn no_crash_means_zero_failover_counters() {
+    let g = random_graph(29, 50);
+    let q = failover_query();
+    let want = oracle_map(&g, &q);
+    let dir = tmp("dormant-failover");
+    let cluster = Cluster::build(
+        &g,
+        ClusterConfig::new(&dir, 3),
+        EngineConfig::new(EngineKind::GraphTrek).force_reliable_delivery(true),
+    )
+    .unwrap();
+    let got = cluster.submit(&q).unwrap();
+    assert_eq!(got.by_depth, want);
+    assert_eq!(got.failovers, 0);
+    for (s, m) in cluster.metrics().into_iter().enumerate() {
+        assert_eq!(m.ledger_replays, 0, "server {s}");
+        assert_eq!(m.ledger_events_replayed, 0, "server {s}");
+        assert_eq!(m.failovers, 0, "server {s}");
+        assert_eq!(m.reannounce_msgs, 0, "server {s}");
+        assert_eq!(m.stale_travel_epoch_dropped, 0, "server {s}");
+    }
+    assert_eq!(cluster.net_stats().handoffs(), 0);
+    cluster.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}

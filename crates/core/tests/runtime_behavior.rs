@@ -175,7 +175,12 @@ fn silent_failure_times_out_and_restart_recovers() {
     cluster.isolate_server(1, true);
     let err = cluster.submit_opts(&deep_query(3), Duration::from_millis(400), 0);
     assert!(
-        matches!(err, Err(graphtrek::cluster::ClusterError::TimedOut(_))),
+        matches!(
+            err,
+            Err(graphtrek::cluster::ClusterError::Travel(
+                graphtrek::cluster::TravelError::Timeout { .. }
+            ))
+        ),
         "isolated server must cause a timeout, got {err:?}"
     );
 

@@ -12,6 +12,7 @@ pub struct NetStats {
     chaos_dropped: AtomicU64,
     chaos_duplicated: AtomicU64,
     chaos_delayed: AtomicU64,
+    handoffs: AtomicU64,
 }
 
 impl NetStats {
@@ -25,6 +26,7 @@ impl NetStats {
             chaos_dropped: AtomicU64::new(0),
             chaos_duplicated: AtomicU64::new(0),
             chaos_delayed: AtomicU64::new(0),
+            handoffs: AtomicU64::new(0),
         }
     }
 
@@ -97,6 +99,17 @@ impl NetStats {
     /// Messages delayed by chaos injection.
     pub fn chaos_delayed(&self) -> u64 {
         self.chaos_delayed.load(Ordering::Relaxed)
+    }
+
+    /// Record one role handoff orchestrated over the fabric (e.g. a
+    /// coordinator failover re-homing a travel's ledger).
+    pub fn record_handoff(&self) {
+        self.handoffs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Role handoffs orchestrated over the fabric.
+    pub fn handoffs(&self) -> u64 {
+        self.handoffs.load(Ordering::Relaxed)
     }
 
     /// Number of endpoints this fabric was built with.

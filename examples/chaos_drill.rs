@@ -65,11 +65,7 @@ fn main() {
     // 8% drop, 8% duplication, 20% delayed up to 2 ms with reordering,
     // and server 1 dies after absorbing 4 frontier messages at step >= 1.
     let plan = ChaosPlan {
-        crashes: vec![CrashPoint {
-            server: 1,
-            step: 1,
-            after_messages: 4,
-        }],
+        crashes: vec![CrashPoint::frontier(1, 1, 4)],
         ..ChaosPlan::lossy(seed)
     };
     println!(
@@ -103,8 +99,13 @@ fn main() {
                     if cluster.server_crashed(id) {
                         println!("  !! server {id} crashed — restarting");
                         std::thread::sleep(Duration::from_millis(50));
-                        cluster.restart_server(id).expect("restart failed");
-                        println!("  !! server {id} back (WAL replayed, new epoch)");
+                        // A coordinator failover may restart it first.
+                        if cluster.restart_server(id).is_ok() {
+                            println!("  !! server {id} back (WAL replayed, new epoch)");
+                        } else {
+                            assert!(!cluster.server_crashed(id), "server {id} stayed down");
+                            println!("  !! server {id} already restarted by failover");
+                        }
                     }
                 }
                 std::thread::sleep(Duration::from_millis(5));
@@ -138,12 +139,25 @@ fn main() {
             m.crashes, m.recoveries, m.relay_retries, m.redeliveries, m.stale_epoch_dropped
         );
     }
+    println!("per-server coordinator-failover counters:");
+    for (id, m) in cluster.metrics().into_iter().enumerate() {
+        println!(
+            "  server {id}: failovers={} ledger_replays={} ledger_events_replayed={} \
+             reannounce_msgs={} stale_travel_epoch_dropped={}",
+            m.failovers,
+            m.ledger_replays,
+            m.ledger_events_replayed,
+            m.reannounce_msgs,
+            m.stale_travel_epoch_dropped
+        );
+    }
     let net = cluster.net_stats();
     println!(
-        "fabric: {} chaos drops, {} chaos duplicates, {} chaos delays",
+        "fabric: {} chaos drops, {} chaos duplicates, {} chaos delays, {} coordinator handoffs",
         net.chaos_dropped(),
         net.chaos_duplicated(),
-        net.chaos_delayed()
+        net.chaos_delayed(),
+        net.handoffs()
     );
 
     cluster.shutdown();
