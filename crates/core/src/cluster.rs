@@ -18,6 +18,7 @@
 use crate::coordinator::LedgerEvent;
 use crate::engine::{EngineConfig, EngineKind};
 use crate::lang::{GTravel, LangError, Plan};
+use crate::lockorder::OrderedMutex;
 use crate::message::{Msg, ProgressSnapshot, TravelOutcome};
 use crate::metrics::{MetricsSnapshot, ServerMetrics, TravelMetrics};
 use crate::server::{spawn, ServerArgs, ServerHandle};
@@ -27,7 +28,6 @@ use gt_graph::{EdgeCutPartitioner, GraphPartition, InMemoryGraph, VertexId};
 use gt_kvstore::wal::replay_blobs;
 use gt_kvstore::{IoProfile, Store, StoreConfig};
 use gt_net::{Endpoint, Fabric, NetConfig, RecvError};
-use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -314,9 +314,9 @@ struct ServerSlot {
     metrics: Arc<ServerMetrics>,
     /// Current shard. Replaced on restart when `store_cfg` is known
     /// (store reopened → WAL replay); reused as-is otherwise.
-    partition: Mutex<Arc<GraphPartition>>,
+    partition: OrderedMutex<Arc<GraphPartition>>,
     /// Running incarnation, `None` transiently during restart.
-    handle: Mutex<Option<ServerHandle>>,
+    handle: OrderedMutex<Option<ServerHandle>>,
     /// Incarnation counter: 0 at first boot, +1 per restart.
     epoch: AtomicU64,
     /// How to reopen this server's store (only known when the cluster
@@ -339,15 +339,15 @@ pub struct Cluster {
     /// Messages received while waiting for something else, with their
     /// receive times (so a stashed completion's latency is not inflated
     /// by however long the client took to come back and `wait`).
-    mailbox: Mutex<VecDeque<(TravelId, Msg, Instant)>>,
-    admission: Mutex<Admission>,
+    mailbox: OrderedMutex<VecDeque<(TravelId, Msg, Instant)>>,
+    admission: OrderedMutex<Admission>,
     /// Dispatched travels' coordinator routing (failover re-homing).
-    routes: Mutex<BTreeMap<TravelId, Route>>,
+    routes: OrderedMutex<BTreeMap<TravelId, Route>>,
     /// Travels cancelled via [`Cluster::cancel`]; a later `wait` reports
     /// [`TravelError::Cancelled`] instead of timing out.
-    cancelled: Mutex<BTreeSet<TravelId>>,
+    cancelled: OrderedMutex<BTreeSet<TravelId>>,
     /// Serializes failover orchestration across concurrent waiters.
-    failover_lock: Mutex<()>,
+    failover_lock: OrderedMutex<()>,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -422,7 +422,9 @@ impl Cluster {
     ) -> Result<Cluster, ClusterError> {
         let n = partitions.len();
         let (fabric, mut endpoints) = Fabric::with_chaos(n + 1, ecfg.net, ecfg.chaos.net_chaos(n));
-        let client = endpoints.pop().expect("client endpoint");
+        let client = endpoints
+            .pop()
+            .ok_or_else(|| ClusterError::Recovery("fabric returned no client endpoint".into()))?;
         let mut slots = Vec::with_capacity(n);
         for (id, ((partition, endpoint), store_cfg)) in partitions
             .into_iter()
@@ -446,8 +448,8 @@ impl Cluster {
             slots.push(ServerSlot {
                 endpoint,
                 metrics: handle.metrics.clone(),
-                partition: Mutex::new(partition),
-                handle: Mutex::new(Some(handle)),
+                partition: OrderedMutex::new(7, "partition", partition),
+                handle: OrderedMutex::new(6, "handle", Some(handle)),
                 epoch: AtomicU64::new(0),
                 store_cfg,
                 ledger_path,
@@ -460,11 +462,15 @@ impl Cluster {
             partitioner,
             engine: ecfg,
             travel_ctr: AtomicU64::new(1),
-            mailbox: Mutex::new(VecDeque::new()),
-            admission: Mutex::new(Admission::default()),
-            routes: Mutex::new(BTreeMap::new()),
-            cancelled: Mutex::new(BTreeSet::new()),
-            failover_lock: Mutex::new(()),
+            // Client-side lock-order ranks (see `lockorder`): the failover
+            // path holds `failover_lock` while touching routes and slots,
+            // so it sits lowest; slot locks (`handle`, `partition`) rank
+            // above every Cluster-level lock they nest under.
+            mailbox: OrderedMutex::new(4, "mailbox", VecDeque::new()),
+            admission: OrderedMutex::new(2, "admission", Admission::default()),
+            routes: OrderedMutex::new(3, "routes", BTreeMap::new()),
+            cancelled: OrderedMutex::new(5, "cancelled", BTreeSet::new()),
+            failover_lock: OrderedMutex::new(1, "failover_lock", ()),
         })
     }
 
@@ -699,7 +705,31 @@ impl Cluster {
             | Msg::ProgressReport { travel, .. }
             | Msg::CancelAck { travel, .. } => Some(*travel),
             Msg::IngestAck { req, .. } | Msg::VertexReply { req, .. } => Some(*req),
-            _ => None,
+            // Server-bound traffic never reaches the client mailbox; listed
+            // explicitly so a new client-bound variant fails gt-lint here.
+            Msg::Submit { .. }
+            | Msg::Abort { .. }
+            | Msg::ProgressQuery { .. }
+            | Msg::Cancel { .. }
+            | Msg::SourceScan { .. }
+            | Msg::Visit { .. }
+            | Msg::ExecCreated { .. }
+            | Msg::ExecTerminated { .. }
+            | Msg::OriginSatisfied { .. }
+            | Msg::Results { .. }
+            | Msg::SyncStart { .. }
+            | Msg::SyncFrontier { .. }
+            | Msg::SyncOrigin { .. }
+            | Msg::SyncStepDone { .. }
+            | Msg::Ingest { .. }
+            | Msg::GetVertex { .. }
+            | Msg::Relay { .. }
+            | Msg::RelayAck { .. }
+            | Msg::CoordRecover { .. }
+            | Msg::CoordHandoff { .. }
+            | Msg::ReAnnounce { .. }
+            | Msg::Crash
+            | Msg::Shutdown => None,
         }
     }
 
@@ -717,8 +747,9 @@ impl Cluster {
             {
                 let mut mb = self.mailbox.lock();
                 if let Some(pos) = mb.iter().position(|(k, m, _)| *k == key && want(m)) {
-                    let (_, msg, at) = mb.remove(pos).unwrap();
-                    return Ok((msg, at));
+                    if let Some((_, msg, at)) = mb.remove(pos) {
+                        return Ok((msg, at));
+                    }
                 }
             }
             let left = deadline.saturating_duration_since(Instant::now());
@@ -796,7 +827,9 @@ impl Cluster {
                     }
                     return Ok(r);
                 }
-                Ok(_) => unreachable!("matcher only admits TravelDone"),
+                // The matcher only admits TravelDone; anything else means a
+                // matcher/key bug — keep waiting rather than kill the client.
+                Ok(_) => continue,
                 Err(e) if e.is_timeout() => {
                     let died = {
                         let routes = self.routes.lock();
@@ -858,7 +891,7 @@ impl Cluster {
             Instant::now() + Duration::from_millis(250),
         ) {
             Ok((Msg::ProgressReport { snapshot, .. }, _)) => Some(snapshot),
-            _ => None,
+            Ok(_) | Err(_) => None,
         }
     }
 
@@ -927,6 +960,7 @@ impl Cluster {
         let epoch = tepoch + 1;
         let succ_epoch = self.slots[successor].epoch.load(Ordering::SeqCst);
         self.client
+            // gt-lint: allow(guard-across-channel, "serializing the recover+handoff sends is the failover lock's whole job")
             .send(
                 successor,
                 Msg::CoordRecover {
@@ -1057,7 +1091,9 @@ impl Cluster {
             .0
         {
             Msg::ProgressReport { snapshot, .. } => Ok(snapshot),
-            _ => unreachable!("matcher only admits ProgressReport"),
+            other => Err(ClusterError::Recovery(format!(
+                "unexpected reply to progress query: {other:?}"
+            ))),
         }
     }
 
@@ -1107,7 +1143,11 @@ impl Cluster {
                 .0
             {
                 Msg::IngestAck { applied: a, .. } => applied += a,
-                _ => unreachable!("matcher only admits IngestAck"),
+                other => {
+                    return Err(ClusterError::Recovery(format!(
+                        "unexpected reply to ingest: {other:?}"
+                    )))
+                }
             }
         }
         Ok(applied)
@@ -1137,7 +1177,9 @@ impl Cluster {
             .0
         {
             Msg::VertexReply { vertex, .. } => Ok(vertex.map(|b| *b)),
-            _ => unreachable!("matcher only admits VertexReply"),
+            other => Err(ClusterError::Recovery(format!(
+                "unexpected reply to vertex fetch: {other:?}"
+            ))),
         }
     }
 

@@ -119,13 +119,13 @@ impl<'a> Reader<'a> {
         Some(s)
     }
     fn u16(&mut self) -> Option<u16> {
-        Some(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Some(u16::from_le_bytes(self.take(2)?.try_into().ok()?))
     }
     fn u32(&mut self) -> Option<u32> {
-        Some(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
     }
     fn u64(&mut self) -> Option<u64> {
-        Some(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
     }
 }
 

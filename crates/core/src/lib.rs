@@ -73,6 +73,7 @@ pub mod coordinator;
 pub mod engine;
 pub mod faults;
 pub mod lang;
+pub mod lockorder;
 pub mod message;
 pub mod metrics;
 pub mod oracle;

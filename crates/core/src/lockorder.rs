@@ -1,0 +1,204 @@
+//! Debug-build runtime lock-order enforcement.
+//!
+//! gt-lint's `lock-cycle` rule proves the *static* acquisition graph is
+//! acyclic, but it reasons over a name-based call graph and cannot see
+//! orders constructed at runtime (e.g. a closure stored in a map). This
+//! module closes that gap dynamically: every shared lock in the server and
+//! cluster layers is an [`OrderedMutex`] carrying a total-order *rank*, and
+//! debug builds `debug_assert!` that each acquisition's rank is strictly
+//! greater than every rank the current thread already holds. Any execution
+//! that could deadlock under some interleaving trips the assertion on the
+//! *first* out-of-order acquisition, deterministically, even when the run
+//! itself would have gotten lucky.
+//!
+//! Release builds compile the bookkeeping away: `OrderedMutex<T>` is a
+//! `parking_lot::Mutex<T>` plus two immutable words (rank and name), and
+//! `lock()` is a plain forwarding call.
+//!
+//! The workspace's rank assignment lives next to each field declaration
+//! (see `Shared` in `server.rs` and `Cluster` in `cluster.rs`); ranks are
+//! spaced out so future locks can slot in between without renumbering.
+
+use parking_lot::{Mutex, MutexGuard};
+use std::ops::{Deref, DerefMut};
+
+#[cfg(debug_assertions)]
+thread_local! {
+    /// Ranks (and names, for the panic message) of every `OrderedMutex`
+    /// the current thread holds, in acquisition order.
+    static HELD: std::cell::RefCell<Vec<(u32, &'static str)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// A `parking_lot::Mutex` with a fixed position in the process-wide lock
+/// order. Acquisitions must happen in strictly increasing rank within a
+/// thread; debug builds assert this on every `lock()`.
+#[derive(Debug, Default)]
+pub struct OrderedMutex<T> {
+    rank: u32,
+    name: &'static str,
+    inner: Mutex<T>,
+}
+
+/// RAII guard returned by [`OrderedMutex::lock`]. Derefs to the protected
+/// value; dropping it releases the lock and (in debug builds) pops the
+/// rank from the thread's held-lock stack.
+pub struct OrderedGuard<'a, T> {
+    #[cfg(debug_assertions)]
+    rank: u32,
+    guard: MutexGuard<'a, T>,
+}
+
+impl<T> OrderedMutex<T> {
+    /// Create a mutex at position `rank` in the global lock order.
+    ///
+    /// `name` is used only in the violation panic message; `rank` need not
+    /// be unique, but two locks sharing a rank may never be held together.
+    pub const fn new(rank: u32, name: &'static str, value: T) -> Self {
+        OrderedMutex {
+            rank,
+            name,
+            inner: Mutex::new(value),
+        }
+    }
+
+    /// Acquire the mutex, asserting (debug builds) that its rank exceeds
+    /// every rank this thread already holds.
+    pub fn lock(&self) -> OrderedGuard<'_, T> {
+        #[cfg(debug_assertions)]
+        HELD.with(|held| {
+            let held = held.borrow();
+            if let Some(&(top_rank, top_name)) = held.iter().max_by_key(|&&(r, _)| r) {
+                debug_assert!(
+                    self.rank > top_rank,
+                    "lock-order violation: acquiring `{}` (rank {}) while holding \
+                     `{}` (rank {}); acquisitions must be in strictly increasing rank",
+                    self.name,
+                    self.rank,
+                    top_name,
+                    top_rank,
+                );
+            }
+        });
+        let guard = self.inner.lock();
+        #[cfg(debug_assertions)]
+        HELD.with(|held| held.borrow_mut().push((self.rank, self.name)));
+        OrderedGuard {
+            #[cfg(debug_assertions)]
+            rank: self.rank,
+            guard,
+        }
+    }
+
+    /// Try to acquire without blocking. A successful `try_lock` still
+    /// participates in the held-lock bookkeeping but is exempt from the
+    /// ordering assertion: it cannot block, so it cannot deadlock.
+    pub fn try_lock(&self) -> Option<OrderedGuard<'_, T>> {
+        let guard = self.inner.try_lock()?;
+        #[cfg(debug_assertions)]
+        HELD.with(|held| held.borrow_mut().push((self.rank, self.name)));
+        Some(OrderedGuard {
+            #[cfg(debug_assertions)]
+            rank: self.rank,
+            guard,
+        })
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+
+    /// The lock's name in the rank table (for diagnostics).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The lock's position in the global order (for diagnostics).
+    pub fn rank(&self) -> u32 {
+        self.rank
+    }
+}
+
+impl<T> Drop for OrderedGuard<'_, T> {
+    fn drop(&mut self) {
+        #[cfg(debug_assertions)]
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(i) = held.iter().rposition(|&(r, _)| r == self.rank) {
+                held.remove(i);
+            }
+        });
+    }
+}
+
+impl<T> Deref for OrderedGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> DerefMut for OrderedGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_acquisition_is_fine() {
+        let a = OrderedMutex::new(1, "a", 0u32);
+        let b = OrderedMutex::new(2, "b", 0u32);
+        let ga = a.lock();
+        let gb = b.lock();
+        assert_eq!(*ga + *gb, 0);
+    }
+
+    #[test]
+    fn reacquire_after_release_is_fine() {
+        let a = OrderedMutex::new(1, "a", 0u32);
+        let b = OrderedMutex::new(2, "b", 0u32);
+        {
+            let _gb = b.lock();
+        }
+        // b was released, so taking a (lower rank) afterwards is legal.
+        let _ga = a.lock();
+        let _gb = b.lock();
+    }
+
+    #[test]
+    fn guard_mutation_works() {
+        let m = OrderedMutex::new(5, "m", Vec::new());
+        m.lock().push(7u8);
+        assert_eq!(*m.lock(), vec![7u8]);
+        assert_eq!(m.into_inner(), vec![7u8]);
+    }
+
+    #[test]
+    fn try_lock_contended_returns_none() {
+        let m = OrderedMutex::new(5, "m", ());
+        let _g = m.lock();
+        assert!(m.try_lock().is_none());
+    }
+
+    // The violation test only exists in debug builds: in release builds the
+    // assertion compiles away and there is nothing to trip.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "lock-order violation")]
+    fn out_of_order_acquisition_panics() {
+        let a = OrderedMutex::new(1, "a", ());
+        let b = OrderedMutex::new(2, "b", ());
+        let _gb = b.lock();
+        let _ga = a.lock(); // rank 1 while holding rank 2: must panic
+    }
+}

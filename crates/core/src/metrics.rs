@@ -229,6 +229,47 @@ impl MetricsSnapshot {
     pub fn total_vertex_requests(&self) -> u64 {
         self.redundant_visits + self.combined_visits + self.real_io_visits
     }
+
+    /// Every counter belonging to the fault machinery (reliable delivery,
+    /// chaos absorption, crash/failover recovery), as `(name, value)`
+    /// pairs. The chaos-off dormancy test asserts each entry is exactly
+    /// zero, so a new fault counter added here is automatically covered —
+    /// and gt-lint's `dead-counter` rule makes sure it cannot be added to
+    /// the struct without being wired up at all.
+    pub fn fault_counters(&self) -> [(&'static str, u64); 10] {
+        [
+            ("relay_retries", self.relay_retries),
+            ("redeliveries", self.redeliveries),
+            ("stale_epoch_dropped", self.stale_epoch_dropped),
+            ("crashes", self.crashes),
+            ("recoveries", self.recoveries),
+            ("ledger_replays", self.ledger_replays),
+            ("ledger_events_replayed", self.ledger_events_replayed),
+            ("failovers", self.failovers),
+            ("reannounce_msgs", self.reannounce_msgs),
+            (
+                "stale_travel_epoch_dropped",
+                self.stale_travel_epoch_dropped,
+            ),
+        ]
+    }
+
+    /// The failover-specific subset of [`Self::fault_counters`]: counters
+    /// that must stay zero on a healthy cluster even when reliable
+    /// delivery itself is enabled (retries/redeliveries are legitimate
+    /// under load; a ledger replay never is).
+    pub fn failover_counters(&self) -> [(&'static str, u64); 5] {
+        [
+            ("ledger_replays", self.ledger_replays),
+            ("ledger_events_replayed", self.ledger_events_replayed),
+            ("failovers", self.failovers),
+            ("reannounce_msgs", self.reannounce_msgs),
+            (
+                "stale_travel_epoch_dropped",
+                self.stale_travel_epoch_dropped,
+            ),
+        ]
+    }
 }
 
 #[cfg(test)]

@@ -335,17 +335,28 @@ impl RequestQueue for MergingQueue {
                         .min_by_key(|(t, tq)| (tq.vservice, **t))
                         .map(|(t, _)| *t)
                 } else {
+                    // Lexicographic min over (head depth, travel id) —
+                    // identical order to the fair branch's tie-break.
                     g.travels
                         .iter()
-                        .filter(|(_, tq)| !tq.order.is_empty())
-                        .min_by_key(|(t, tq)| (*tq.order.keys().next().unwrap(), **t))
-                        .map(|(t, _)| *t)
+                        .filter_map(|(t, tq)| tq.order.keys().next().map(|d| (*d, *t)))
+                        .min()
+                        .map(|(_, t)| t)
                 };
                 let Some(travel) = picked else { break 'search };
-                let tq = g.travels.get_mut(&travel).unwrap();
-                let depth = *tq.order.keys().next().unwrap();
+                // The picked travel had a non-empty order map under this
+                // same guard; the else-arms are unreachable but must not
+                // take down a worker thread if that ever changes.
+                let Some(tq) = g.travels.get_mut(&travel) else {
+                    break 'search;
+                };
+                let Some(&depth) = tq.order.keys().next() else {
+                    break 'search;
+                };
                 let (vertex, now_empty) = {
-                    let dq = tq.order.get_mut(&depth).unwrap();
+                    let Some(dq) = tq.order.get_mut(&depth) else {
+                        break 'search;
+                    };
                     (dq.pop_first(), dq.is_empty())
                 };
                 if now_empty {

@@ -25,6 +25,7 @@ use crate::coordinator::{CoordState, LedgerEvent, SyncState, TravelLedger};
 use crate::engine::{EngineConfig, EngineKind};
 use crate::faults::{CrashPoint, ServerFaults};
 use crate::lang::{vertex_matches, Plan, Source};
+use crate::lockorder::OrderedMutex;
 use crate::message::{Msg, SyncExpect};
 use crate::metrics::ServerMetrics;
 use crate::queue::{FifoQueue, MergingQueue, ReqMode, RequestQueue, RequestState, WorkItem};
@@ -118,8 +119,10 @@ pub struct ServerHandle {
 impl ServerHandle {
     /// Wait for the server's threads to exit (send [`Msg::Shutdown`] first).
     pub fn join(self) {
+        // gt-lint: allow(panic, "shutdown path: a panicked server thread must surface, not vanish")
         self.dispatcher.join().expect("dispatcher panicked");
         for w in self.workers {
+            // gt-lint: allow(panic, "shutdown path: a panicked server thread must surface, not vanish")
             w.join().expect("worker panicked");
         }
     }
@@ -164,6 +167,23 @@ struct SyncBufs {
     frontier: HashMap<u16, FrontierBuf>,
     origin: OriginBuf,
 }
+
+/// Sync-engine traffic that arrived before the travel's first `SyncStart`
+/// created its [`SyncBufs`]. A peer's frontier rides a different link than
+/// the coordinator's `SyncStart`, so nothing orders them; the window is
+/// routinely hit after a failover (a restarted server has no buffers, and
+/// the handoff clears every survivor's). Dropping such traffic would leave
+/// the step barrier under-filled forever.
+#[derive(Debug, Default)]
+struct EarlySync {
+    frontier: Vec<(u16, Vec<(VertexId, Tokens)>)>,
+    origin_tokens: Vec<u64>,
+}
+
+/// Bound on distinct travels with stashed early sync traffic (oldest
+/// travel id evicted first; reclaims stashes for travels this server
+/// never starts).
+const MAX_EARLY_SYNC_TRAVELS: usize = 32;
 
 /// What the dispatcher should do after handling one message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -237,6 +257,23 @@ struct RecoveryState {
     awaiting: HashSet<usize>,
 }
 
+/// A journal re-announcement that arrived before its `CoordRecover` seed.
+/// The client's recover message and a peer's re-announcement travel on
+/// different links, so nothing orders them; dropping the early arrival
+/// would leave the takeover barrier waiting on that server forever.
+struct EarlyAnnounce {
+    epoch: u64,
+    server: usize,
+    created: Vec<(ExecId, u16)>,
+    terminated: Vec<(ExecId, Vec<(ExecId, u16)>)>,
+    results: Vec<(u16, VertexId)>,
+}
+
+/// Bound on distinct travels with stashed early re-announcements (evicts
+/// oldest travel id first; stale stashes for travels this server never
+/// recovers are reclaimed here).
+const MAX_EARLY_ANNOUNCE_TRAVELS: usize = 32;
+
 struct Shared {
     id: usize,
     n_servers: usize,
@@ -250,13 +287,16 @@ struct Shared {
     faults: ServerFaults,
     exec_ctr: AtomicU64,
     token_ctr: AtomicU64,
-    tokens: Mutex<TokenRegistry>,
-    coords: Mutex<HashMap<TravelId, CoordState>>,
-    sync_bufs: Mutex<HashMap<TravelId, SyncBufs>>,
+    tokens: OrderedMutex<TokenRegistry>,
+    coords: OrderedMutex<HashMap<TravelId, CoordState>>,
+    /// Sync traffic that beat the travel's first `SyncStart` here; adopted
+    /// into [`Shared::sync_bufs`] when the buffers are created.
+    early_sync: OrderedMutex<BTreeMap<TravelId, EarlySync>>,
+    sync_bufs: OrderedMutex<HashMap<TravelId, SyncBufs>>,
     /// Travels aborted/cancelled/completed on this server: stray
     /// in-flight messages for them are dropped instead of re-creating
     /// queue or cache state that nothing would ever clean up again.
-    retired: Mutex<BTreeSet<TravelId>>,
+    retired: OrderedMutex<BTreeSet<TravelId>>,
     /// This incarnation's epoch (stamped on outgoing relays).
     epoch: u64,
     /// Whether inter-server data-plane sends ride the reliable layer.
@@ -264,22 +304,25 @@ struct Shared {
     /// Flipped once on crash; gates late worker sends and tells the
     /// cluster the threads are gone.
     crashed: Arc<AtomicBool>,
-    relay_out: Mutex<RelayOut>,
+    relay_out: OrderedMutex<RelayOut>,
     /// `(travel, sender)` → in-order receive stream.
-    relay_in: Mutex<HashMap<(TravelId, usize), InStream>>,
+    relay_in: OrderedMutex<HashMap<(TravelId, usize), InStream>>,
     /// Highest epoch seen per peer; relays below it are fenced off.
-    peer_epoch: Mutex<HashMap<usize, u64>>,
+    peer_epoch: OrderedMutex<HashMap<usize, u64>>,
     crash_trigger: Option<CrashTrigger>,
     /// Durable ledger event log (coordinator role; reliable mode with a
     /// configured path only).
-    ledger: Option<Mutex<BlobLog>>,
+    ledger: Option<OrderedMutex<BlobLog>>,
     /// Per-travel sent-journals (reliable mode only).
-    journal: Mutex<HashMap<TravelId, SentJournal>>,
+    journal: OrderedMutex<HashMap<TravelId, SentJournal>>,
     /// Current travel-epoch per travel (only populated by failover
     /// handoffs); relays stamped below it carry stale pre-failover work.
-    travel_epoch: Mutex<HashMap<TravelId, u64>>,
+    travel_epoch: OrderedMutex<HashMap<TravelId, u64>>,
     /// In-progress ledger takeovers on this server (as successor).
-    recovering: Mutex<HashMap<TravelId, RecoveryState>>,
+    recovering: OrderedMutex<HashMap<TravelId, RecoveryState>>,
+    /// Re-announcements that raced ahead of their `CoordRecover` seed,
+    /// replayed into the barrier once the recovery state exists.
+    early_announce: OrderedMutex<BTreeMap<TravelId, Vec<EarlyAnnounce>>>,
 }
 
 impl Shared {
@@ -349,7 +392,33 @@ fn send_travel(sh: &Arc<Shared>, to: usize, travel: TravelId, tepoch: u64, msg: 
                     .results
                     .extend(items.iter().copied());
             }
-            _ => {}
+            // Only ledger-bearing traffic is journaled for re-announce;
+            // listed explicitly so a new variant forces a decision here.
+            Msg::Submit { .. }
+            | Msg::Abort { .. }
+            | Msg::ProgressQuery { .. }
+            | Msg::ProgressReport { .. }
+            | Msg::TravelDone { .. }
+            | Msg::Cancel { .. }
+            | Msg::CancelAck { .. }
+            | Msg::SourceScan { .. }
+            | Msg::Visit { .. }
+            | Msg::OriginSatisfied { .. }
+            | Msg::SyncStart { .. }
+            | Msg::SyncFrontier { .. }
+            | Msg::SyncOrigin { .. }
+            | Msg::SyncStepDone { .. }
+            | Msg::Ingest { .. }
+            | Msg::IngestAck { .. }
+            | Msg::GetVertex { .. }
+            | Msg::VertexReply { .. }
+            | Msg::Relay { .. }
+            | Msg::RelayAck { .. }
+            | Msg::CoordRecover { .. }
+            | Msg::CoordHandoff { .. }
+            | Msg::ReAnnounce { .. }
+            | Msg::Crash
+            | Msg::Shutdown => {}
         }
     }
     let seq = {
@@ -469,16 +538,20 @@ pub fn spawn(args: ServerArgs) -> ServerHandle {
         faults: args.engine.faults.for_server(args.id),
         exec_ctr: AtomicU64::new(ctr_seed),
         token_ctr: AtomicU64::new(ctr_seed),
-        tokens: Mutex::new(TokenRegistry::default()),
-        coords: Mutex::new(HashMap::new()),
-        sync_bufs: Mutex::new(HashMap::new()),
-        retired: Mutex::new(BTreeSet::new()),
+        // Lock-order ranks (see `lockorder`): acquisitions within a thread
+        // must be in strictly increasing rank. Ranks are spaced by 10 so
+        // future locks can slot in without renumbering.
+        tokens: OrderedMutex::new(70, "tokens", TokenRegistry::default()),
+        coords: OrderedMutex::new(90, "coords", HashMap::new()),
+        early_sync: OrderedMutex::new(75, "early_sync", BTreeMap::new()),
+        sync_bufs: OrderedMutex::new(80, "sync_bufs", HashMap::new()),
+        retired: OrderedMutex::new(10, "retired", BTreeSet::new()),
         epoch: args.epoch,
         reliable: args.engine.reliable_delivery_enabled(),
         crashed: crashed.clone(),
-        relay_out: Mutex::new(RelayOut::default()),
-        relay_in: Mutex::new(HashMap::new()),
-        peer_epoch: Mutex::new(HashMap::new()),
+        relay_out: OrderedMutex::new(40, "relay_out", RelayOut::default()),
+        relay_in: OrderedMutex::new(60, "relay_in", HashMap::new()),
+        peer_epoch: OrderedMutex::new(50, "peer_epoch", HashMap::new()),
         crash_trigger: args.crash_after.map(|point| CrashTrigger {
             point,
             counted: AtomicU64::new(0),
@@ -487,13 +560,14 @@ pub fn spawn(args: ServerArgs) -> ServerHandle {
             args.ledger_path
                 .as_ref()
                 .and_then(|p| BlobLog::open(p, false).ok())
-                .map(Mutex::new)
+                .map(|log| OrderedMutex::new(110, "ledger", log))
         } else {
             None
         },
-        journal: Mutex::new(HashMap::new()),
-        travel_epoch: Mutex::new(HashMap::new()),
-        recovering: Mutex::new(HashMap::new()),
+        journal: OrderedMutex::new(30, "journal", HashMap::new()),
+        travel_epoch: OrderedMutex::new(20, "travel_epoch", HashMap::new()),
+        recovering: OrderedMutex::new(100, "recovering", HashMap::new()),
+        early_announce: OrderedMutex::new(95, "early_announce", BTreeMap::new()),
     });
     let mut workers = Vec::with_capacity(args.engine.workers_per_server);
     for w in 0..args.engine.workers_per_server {
@@ -502,6 +576,7 @@ pub fn spawn(args: ServerArgs) -> ServerHandle {
             std::thread::Builder::new()
                 .name(format!("gt-s{}-w{}", args.id, w))
                 .spawn(move || worker_loop(&sh))
+                // gt-lint: allow(panic, "construction-time: a server that cannot spawn threads cannot run")
                 .expect("spawn worker"),
         );
     }
@@ -509,6 +584,7 @@ pub fn spawn(args: ServerArgs) -> ServerHandle {
     let dispatcher = std::thread::Builder::new()
         .name(format!("gt-s{}-dispatch", args.id))
         .spawn(move || dispatcher_loop(&sh))
+        // gt-lint: allow(panic, "construction-time: a server that cannot spawn threads cannot run")
         .expect("spawn dispatcher");
     ServerHandle {
         metrics,
@@ -689,7 +765,33 @@ fn crash_triggered(sh: &Arc<Shared>, msg: &Msg) -> bool {
         match msg {
             Msg::Visit { depth, .. } | Msg::SyncFrontier { depth, .. } => *depth >= trig.point.step,
             Msg::SourceScan { .. } => trig.point.step == 0,
-            _ => false,
+            // Only frontier traffic can trip a step-scoped crash; listed
+            // explicitly so a new frontier-bearing variant fails gt-lint here.
+            Msg::Submit { .. }
+            | Msg::Abort { .. }
+            | Msg::ProgressQuery { .. }
+            | Msg::ProgressReport { .. }
+            | Msg::TravelDone { .. }
+            | Msg::Cancel { .. }
+            | Msg::CancelAck { .. }
+            | Msg::ExecCreated { .. }
+            | Msg::ExecTerminated { .. }
+            | Msg::OriginSatisfied { .. }
+            | Msg::Results { .. }
+            | Msg::SyncStart { .. }
+            | Msg::SyncOrigin { .. }
+            | Msg::SyncStepDone { .. }
+            | Msg::Ingest { .. }
+            | Msg::IngestAck { .. }
+            | Msg::GetVertex { .. }
+            | Msg::VertexReply { .. }
+            | Msg::Relay { .. }
+            | Msg::RelayAck { .. }
+            | Msg::CoordRecover { .. }
+            | Msg::CoordHandoff { .. }
+            | Msg::ReAnnounce { .. }
+            | Msg::Crash
+            | Msg::Shutdown => false,
         }
     };
     if !qualifies {
@@ -937,6 +1039,19 @@ fn handle_recover(
     client: usize,
     events: &[LedgerEvent],
 ) {
+    if sh.is_retired(travel) || epoch < sh.travel_epoch_of(travel) {
+        // The travel already finished here, or a newer failover epoch has
+        // been fenced in: a late recover seed must not resurrect it.
+        return;
+    }
+    if sh
+        .recovering
+        .lock()
+        .get(&travel)
+        .is_some_and(|r| epoch <= r.epoch)
+    {
+        return; // duplicate (or stale) seed for a recovery already underway
+    }
     let (mut scratch, applied) = TravelLedger::replay(plan.clone(), client, events);
     scratch.epoch = epoch;
     sh.metrics.ledger_replays.fetch_add(1, Ordering::Relaxed);
@@ -954,6 +1069,20 @@ fn handle_recover(
             awaiting: (0..sh.n_servers).collect(),
         },
     );
+    // Replay any re-announcements that beat this seed to the mailbox;
+    // stale-epoch stashes are filtered by the normal barrier checks.
+    let stashed = sh.early_announce.lock().remove(&travel);
+    for ea in stashed.into_iter().flatten() {
+        handle_reannounce(
+            sh,
+            travel,
+            ea.epoch,
+            ea.server,
+            &ea.created,
+            &ea.terminated,
+            &ea.results,
+        );
+    }
 }
 
 /// A failover re-homed `travel` onto `coordinator` under travel-epoch
@@ -1007,6 +1136,10 @@ fn handle_handoff(
         reg.by_key.retain(|(t, _, _), _| *t != travel);
         reg.records.retain(|(t, _), _| *t != travel);
     }
+    // Clear sync-step buffers *and* any pre-handoff early-sync stash: the
+    // re-drive resends everything, so stale stashed items would be
+    // double-counted into the new buffers.
+    sh.early_sync.lock().remove(&travel);
     sh.sync_bufs.lock().remove(&travel);
     if restarted != sh.id {
         // The restarted incarnation's receive cursor is gone; unacked
@@ -1049,23 +1182,44 @@ fn handle_reannounce(
     terminated: &[(ExecId, Vec<(ExecId, u16)>)],
     results: &[(u16, VertexId)],
 ) {
+    if sh.is_retired(travel) {
+        return; // the travel finished here; no barrier left to feed
+    }
     let complete = {
         let mut rec = sh.recovering.lock();
-        let Some(r) = rec.get_mut(&travel) else {
-            return; // recovery finished (or was never hosted here)
-        };
-        if epoch != r.epoch || !r.awaiting.remove(&server) {
-            return; // stale round or duplicate announcement
+        if let Some(r) = rec.get_mut(&travel) {
+            if epoch != r.epoch || !r.awaiting.remove(&server) {
+                return; // stale round or duplicate announcement
+            }
+            sh.metrics.reannounce_msgs.fetch_add(1, Ordering::Relaxed);
+            for &(exec, depth) in created {
+                r.scratch.exec_created(exec, depth);
+            }
+            for (exec, children) in terminated {
+                r.scratch.exec_terminated(*exec, children);
+            }
+            r.scratch.add_results(results);
+            Some(r.awaiting.is_empty())
+        } else {
+            None
         }
-        sh.metrics.reannounce_msgs.fetch_add(1, Ordering::Relaxed);
-        for &(exec, depth) in created {
-            r.scratch.exec_created(exec, depth);
+    };
+    let Some(complete) = complete else {
+        // The announcement raced ahead of its `CoordRecover` seed (they
+        // travel on different links, so nothing orders them). Stash it;
+        // `handle_recover` replays the stash once the barrier exists.
+        let mut early = sh.early_announce.lock();
+        early.entry(travel).or_default().push(EarlyAnnounce {
+            epoch,
+            server,
+            created: created.to_vec(),
+            terminated: terminated.to_vec(),
+            results: results.to_vec(),
+        });
+        while early.len() > MAX_EARLY_ANNOUNCE_TRAVELS {
+            early.pop_first();
         }
-        for (exec, children) in terminated {
-            r.scratch.exec_terminated(*exec, children);
-        }
-        r.scratch.add_results(results);
-        r.awaiting.is_empty()
+        return;
     };
     if complete {
         finish_recovery(sh, travel);
@@ -1449,6 +1603,7 @@ fn handle_abort(sh: &Arc<Shared>, travel: TravelId) {
         reg.by_key.retain(|(t, _, _), _| *t != travel);
         reg.records.retain(|(t, _), _| *t != travel);
     }
+    sh.early_sync.lock().remove(&travel);
     sh.sync_bufs.lock().remove(&travel);
     sh.coords.lock().remove(&travel);
     // Reliable-delivery state dies with the travel: pending retransmits
@@ -1464,6 +1619,7 @@ fn handle_abort(sh: &Arc<Shared>, travel: TravelId) {
     if sh.reliable {
         sh.journal.lock().remove(&travel);
         sh.travel_epoch.lock().remove(&travel);
+        sh.early_announce.lock().remove(&travel);
         sh.recovering.lock().remove(&travel);
         maybe_reset_ledger(sh);
     }
@@ -1482,6 +1638,31 @@ fn handle_sync_start(
     if sh.is_retired(travel) {
         return;
     }
+    // Create the travel's buffers and adopt any frontier/origin traffic
+    // that beat this SyncStart here on another link (routine right after a
+    // failover: the restarted server has no buffers and the handoff
+    // cleared every survivor's) before the expect accounting below runs.
+    let stashed = sh.early_sync.lock().remove(&travel);
+    {
+        let mut bufs = sh.sync_bufs.lock();
+        let tb = bufs.entry(travel).or_insert_with(|| SyncBufs {
+            plan: plan.clone(),
+            coordinator,
+            frontier: HashMap::new(),
+            origin: OriginBuf::default(),
+        });
+        tb.plan = plan.clone();
+        tb.coordinator = coordinator;
+        if let Some(st) = stashed {
+            for (d, items) in st.frontier {
+                let fb = tb.frontier.entry(d).or_default();
+                fb.received += items.len() as u64;
+                fb.items.extend(items);
+            }
+            tb.origin.received += st.origin_tokens.len() as u64;
+            tb.origin.tokens.extend(st.origin_tokens);
+        }
+    }
     match expect {
         SyncExpect::ScanSource => {
             let sources = resolve_local_source(sh, &plan);
@@ -1490,28 +1671,14 @@ fn handle_sync_start(
                 .fetch_add(sources.len() as u64, Ordering::Relaxed);
             let items: Vec<(VertexId, Tokens)> =
                 sources.into_iter().map(|v| (v, Vec::new())).collect();
-            {
-                let mut bufs = sh.sync_bufs.lock();
-                bufs.entry(travel).or_insert_with(|| SyncBufs {
-                    plan: plan.clone(),
-                    coordinator,
-                    frontier: HashMap::new(),
-                    origin: OriginBuf::default(),
-                });
-            }
             enqueue_sync_fragment(sh, travel, 0, plan, coordinator, items);
         }
         SyncExpect::Vertices(n) => {
             let ready = {
                 let mut bufs = sh.sync_bufs.lock();
-                let tb = bufs.entry(travel).or_insert_with(|| SyncBufs {
-                    plan: plan.clone(),
-                    coordinator,
-                    frontier: HashMap::new(),
-                    origin: OriginBuf::default(),
-                });
-                tb.plan = plan.clone();
-                tb.coordinator = coordinator;
+                let Some(tb) = bufs.get_mut(&travel) else {
+                    return;
+                };
                 let fb = tb.frontier.entry(depth).or_default();
                 fb.expected = Some(n);
                 fb.received >= n && !fb.done
@@ -1523,14 +1690,9 @@ fn handle_sync_start(
         SyncExpect::OriginTokens(n) => {
             let ready = {
                 let mut bufs = sh.sync_bufs.lock();
-                let tb = bufs.entry(travel).or_insert_with(|| SyncBufs {
-                    plan: plan.clone(),
-                    coordinator,
-                    frontier: HashMap::new(),
-                    origin: OriginBuf::default(),
-                });
-                tb.plan = plan.clone();
-                tb.coordinator = coordinator;
+                let Some(tb) = bufs.get_mut(&travel) else {
+                    return;
+                };
                 tb.origin.expected = Some(n);
                 tb.origin.received >= n && !tb.origin.done
             };
@@ -1552,16 +1714,32 @@ fn handle_sync_frontier(
     }
     let ready = {
         let mut bufs = sh.sync_bufs.lock();
-        let Some(tb) = bufs.get_mut(&travel) else {
-            // Frontier can precede SyncStart only for a travel we already
-            // know (buffers created at depth 0); a totally unknown travel
-            // means Abort already cleared it.
-            return;
-        };
-        let fb = tb.frontier.entry(depth).or_default();
-        fb.received += items.len() as u64;
-        fb.items.extend(items);
-        matches!(fb.expected, Some(n) if fb.received >= n && !fb.done)
+        match bufs.get_mut(&travel) {
+            Some(tb) => {
+                let fb = tb.frontier.entry(depth).or_default();
+                fb.received += items.len() as u64;
+                fb.items.extend(items);
+                matches!(fb.expected, Some(n) if fb.received >= n && !fb.done)
+            }
+            None => {
+                // A peer's frontier rides a different link than the
+                // coordinator's SyncStart, so nothing orders them; right
+                // after a failover every server lacks buffers (the
+                // restarted one starts fresh, survivors are cleared by the
+                // handoff) and this window is routinely hit. Stash the
+                // items; handle_sync_start adopts them when it creates the
+                // buffers. Dropping them would leave the step barrier
+                // under-filled forever.
+                drop(bufs);
+                let mut early = sh.early_sync.lock();
+                let st = early.entry(travel).or_default();
+                st.frontier.push((depth, items));
+                while early.len() > MAX_EARLY_SYNC_TRAVELS {
+                    early.pop_first();
+                }
+                false
+            }
+        }
     };
     if ready {
         fire_sync_fragment(sh, travel, depth);
@@ -1658,15 +1836,29 @@ fn handle_sync_origin(sh: &Arc<Shared>, travel: TravelId, tokens: &[u64]) {
     }
     let ready_depth = {
         let mut bufs = sh.sync_bufs.lock();
-        let Some(tb) = bufs.get_mut(&travel) else {
-            return;
-        };
-        tb.origin.received += tokens.len() as u64;
-        tb.origin.tokens.extend_from_slice(tokens);
-        if matches!(tb.origin.expected, Some(n) if tb.origin.received >= n && !tb.origin.done) {
-            Some(tb.plan.depth() + 1)
-        } else {
-            None
+        match bufs.get_mut(&travel) {
+            Some(tb) => {
+                tb.origin.received += tokens.len() as u64;
+                tb.origin.tokens.extend_from_slice(tokens);
+                if matches!(tb.origin.expected, Some(n) if tb.origin.received >= n && !tb.origin.done)
+                {
+                    Some(tb.plan.depth() + 1)
+                } else {
+                    None
+                }
+            }
+            None => {
+                // Same no-buffers-yet window as handle_sync_frontier:
+                // stash for handle_sync_start to adopt.
+                drop(bufs);
+                let mut early = sh.early_sync.lock();
+                let st = early.entry(travel).or_default();
+                st.origin_tokens.extend_from_slice(tokens);
+                while early.len() > MAX_EARLY_SYNC_TRAVELS {
+                    early.pop_first();
+                }
+                None
+            }
         }
     };
     if let Some(depth) = ready_depth {
@@ -1726,6 +1918,11 @@ fn handle_sync_step_done(
     sent: &[(usize, u64)],
     origin_sent: &[(usize, u64)],
 ) {
+    if sh.is_retired(travel) {
+        // A racing Abort already retired this travel on the coordinator; a
+        // late barrier report must not advance or finish it.
+        return;
+    }
     let action = {
         let mut coords = sh.coords.lock();
         let Some(CoordState::Sync(state)) = coords.get_mut(&travel) else {
@@ -1807,7 +2004,9 @@ fn process_parts(sh: &Arc<Shared>, parts: Vec<WorkItem>) {
         })
         .sum();
     let n_parts = parts.len() as u64;
-    let min_depth = parts.iter().map(|p| p.depth).min().unwrap();
+    let Some(min_depth) = parts.iter().map(|p| p.depth).min() else {
+        return; // unreachable: the queue never yields an empty batch
+    };
     // Transient-straggler injection (Fig. 11): one delay per vertex access.
     if let Some(d) = sh.faults.charge(min_depth) {
         sh.metrics.injected_delays.fetch_add(1, Ordering::Relaxed);
@@ -1893,7 +2092,9 @@ fn process_one(
         out.satisfied.extend(tokens.iter().copied());
         return;
     }
-    let hop = plan.hop_from(depth).expect("interior depth has a hop");
+    let Some(hop) = plan.hop_from(depth) else {
+        return; // unreachable: depth < plan.depth() always has a next hop
+    };
     let edges = match edge_cache.get(&hop.edge_label) {
         Some(e) => e.clone(),
         None => {

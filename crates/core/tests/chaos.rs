@@ -635,17 +635,12 @@ fn chaos_off_means_zero_overhead_counters() {
     let cluster = Cluster::build(&g, ClusterConfig::new(&dir, 3), ecfg).unwrap();
     cluster.submit(&chaos_query()).unwrap();
     for (s, m) in cluster.metrics().into_iter().enumerate() {
-        assert_eq!(m.relay_retries, 0, "server {s} retried with chaos off");
-        assert_eq!(m.redeliveries, 0, "server {s} deduped with chaos off");
-        assert_eq!(m.stale_epoch_dropped, 0, "server {s} fenced with chaos off");
-        assert_eq!(m.crashes, 0);
-        assert_eq!(m.recoveries, 0);
-        // Failover machinery must be fully dormant on a healthy cluster.
-        assert_eq!(m.ledger_replays, 0, "server {s} replayed a ledger");
-        assert_eq!(m.ledger_events_replayed, 0);
-        assert_eq!(m.failovers, 0, "server {s} absorbed a failover");
-        assert_eq!(m.reannounce_msgs, 0, "server {s} re-announced");
-        assert_eq!(m.stale_travel_epoch_dropped, 0);
+        // Every fault counter, by name, must be exactly zero: the helper
+        // enumerates them so a newly added counter is covered without
+        // touching this test.
+        for (name, value) in m.fault_counters() {
+            assert_eq!(value, 0, "server {s}: `{name}` moved with chaos off");
+        }
     }
     let net = cluster.net_stats();
     assert_eq!(net.chaos_dropped(), 0);

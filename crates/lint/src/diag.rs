@@ -1,0 +1,67 @@
+//! Structured diagnostics: rule id, location, message, fix hint.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// Names of every rule `gt-lint` knows about, in reporting order.
+///
+/// These double as the identifiers accepted by `--rules` and by the
+/// `// gt-lint: allow(<rule>, "reason")` escape hatch.
+pub const ALL_RULES: &[&str] = &[
+    "lock-cycle",
+    "guard-across-channel",
+    "wildcard-arm",
+    "unhandled-variant",
+    "epoch-fence",
+    "panic",
+    "dead-counter",
+    "unsurfaced-counter",
+];
+
+/// One finding: where, which rule, what is wrong, and how to fix it.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Rule identifier (one of [`ALL_RULES`]).
+    pub rule: &'static str,
+    /// File the finding is anchored to.
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: u32,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it (or how to allow it with a reason).
+    pub hint: String,
+}
+
+impl Diagnostic {
+    /// Build a diagnostic for `rule` at `file:line`.
+    pub fn new(
+        rule: &'static str,
+        file: impl Into<PathBuf>,
+        line: u32,
+        message: impl Into<String>,
+        hint: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            rule,
+            file: file.into(),
+            line,
+            message: message.into(),
+            hint: hint.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message
+        )?;
+        write!(f, "    hint: {}", self.hint)
+    }
+}

@@ -1,0 +1,226 @@
+//! gt-lint — workspace-native static analysis for GraphTrek's concurrency
+//! and protocol invariants.
+//!
+//! Five rule families (see [`diag::ALL_RULES`]):
+//!
+//! | rule | enforces |
+//! |------|----------|
+//! | `lock-cycle` | no cycles in the static lock-acquisition graph |
+//! | `guard-across-channel` | no guard live across a blocking `send`/`recv` |
+//! | `wildcard-arm` | no silent `_ =>` arms in protocol dispatch |
+//! | `unhandled-variant` | every `Msg`/`LedgerEvent` variant matched by name |
+//! | `epoch-fence` | travel-scoped handlers fence before mutating |
+//! | `panic` | no `unwrap`/`expect`/`panic!` in hot paths |
+//! | `dead-counter`, `unsurfaced-counter` | every metrics counter incremented and surfaced |
+//!
+//! The crate is self-contained (own lexer + shallow parser, no
+//! dependencies) so it runs in the offline workspace. Diagnostics can be
+//! suppressed line-by-line with `// gt-lint: allow(<rule>, "reason")` on
+//! the offending line or the line above.
+
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod lexer;
+pub mod parser;
+pub mod rules;
+
+pub use diag::{Diagnostic, ALL_RULES};
+
+use parser::SourceFile;
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+/// What to lint.
+#[derive(Debug, Clone)]
+pub enum Mode {
+    /// Audit the workspace rooted at this directory with the per-rule file
+    /// sets the rules were designed for (server/cluster/queue for lock
+    /// analysis, hot-path crates for panic hygiene, …).
+    Workspace(PathBuf),
+    /// Audit exactly these files (directories are walked for `*.rs`),
+    /// applying every enabled rule to every file. Used for fixtures and
+    /// for the nightly pass over `examples/` and `tests/`.
+    Files(Vec<PathBuf>),
+}
+
+/// Hot-path files within `crates/core/src` for the `panic` rule. The
+/// query layer (`lang`, `parse`, `oracle`) is exempt: it runs client-side
+/// before submission, where a panic cannot kill a server thread.
+const CORE_HOT: &[&str] = &[
+    "server.rs",
+    "cluster.rs",
+    "coordinator.rs",
+    "queue.rs",
+    "message.rs",
+    "metrics.rs",
+    "cache.rs",
+    "engine.rs",
+    "faults.rs",
+    "lib.rs",
+];
+
+/// Run the enabled rules and return unsuppressed diagnostics sorted by
+/// file/line. `enabled` holds rule names from [`ALL_RULES`].
+pub fn run(mode: &Mode, enabled: &BTreeSet<String>) -> Result<Vec<Diagnostic>, String> {
+    let files = collect_files(mode)?;
+    let mut parsed = Vec::new();
+    for path in &files {
+        let sf = SourceFile::read(path)
+            .map_err(|e| format!("gt-lint: cannot read {}: {e}", path.display()))?;
+        parsed.push(sf);
+    }
+    let sets = match mode {
+        Mode::Workspace(_) => workspace_sets(&parsed),
+        Mode::Files(_) => FileSets::all(&parsed),
+    };
+
+    let on = |rule: &str| enabled.contains(rule);
+    let mut diags = Vec::new();
+    if on("lock-cycle") || on("guard-across-channel") {
+        let mut d = rules::lock_order::check(&sets.lock);
+        d.retain(|d| on(d.rule));
+        diags.extend(d);
+    }
+    if on("wildcard-arm") || on("unhandled-variant") {
+        let mut d = rules::dispatch::check(&sets.dispatch);
+        d.retain(|d| on(d.rule));
+        diags.extend(d);
+    }
+    if on("epoch-fence") {
+        diags.extend(rules::epoch_fence::check(&sets.fence));
+    }
+    if on("panic") {
+        diags.extend(rules::panic_hygiene::check(&sets.panic));
+    }
+    if on("dead-counter") || on("unsurfaced-counter") {
+        let mut d = rules::metrics_discipline::check(&sets.metrics_decl, &sets.metrics_use);
+        d.retain(|d| on(d.rule));
+        diags.extend(d);
+    }
+
+    // Allow-comment suppression: an allow on line L covers L and L+1.
+    diags.retain(|d| {
+        !parsed.iter().any(|f| {
+            f.path == d.file
+                && f.allows
+                    .iter()
+                    .any(|a| a.rule == d.rule && (a.line == d.line || a.line + 1 == d.line))
+        })
+    });
+    diags.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(diags)
+}
+
+/// Per-rule file subsets (borrowing from the parsed set).
+struct FileSets<'a> {
+    lock: Vec<&'a SourceFile>,
+    dispatch: Vec<&'a SourceFile>,
+    fence: Vec<&'a SourceFile>,
+    panic: Vec<&'a SourceFile>,
+    metrics_decl: Vec<&'a SourceFile>,
+    metrics_use: Vec<&'a SourceFile>,
+}
+
+impl<'a> FileSets<'a> {
+    /// Every rule sees every file (fixture mode).
+    fn all(parsed: &'a [SourceFile]) -> FileSets<'a> {
+        let all: Vec<&SourceFile> = parsed.iter().collect();
+        FileSets {
+            lock: all.clone(),
+            dispatch: all.clone(),
+            fence: all.clone(),
+            panic: all.clone(),
+            metrics_decl: all.clone(),
+            metrics_use: all,
+        }
+    }
+}
+
+fn ends_with(p: &Path, suffix: &str) -> bool {
+    p.to_string_lossy().replace('\\', "/").ends_with(suffix)
+}
+
+fn workspace_sets(parsed: &[SourceFile]) -> FileSets<'_> {
+    let pick = |pred: &dyn Fn(&Path) -> bool| -> Vec<&SourceFile> {
+        parsed.iter().filter(|f| pred(&f.path)).collect()
+    };
+    FileSets {
+        lock: pick(&|p| {
+            ["server.rs", "cluster.rs", "queue.rs"]
+                .iter()
+                .any(|n| ends_with(p, &format!("crates/core/src/{n}")))
+        }),
+        dispatch: pick(&|p| ends_with(p, ".rs") && p.to_string_lossy().contains("core/src")),
+        fence: pick(&|p| ends_with(p, "crates/core/src/server.rs")),
+        panic: pick(&|p| {
+            CORE_HOT
+                .iter()
+                .any(|n| ends_with(p, &format!("crates/core/src/{n}")))
+                || p.to_string_lossy()
+                    .replace('\\', "/")
+                    .contains("crates/net/src/")
+        }),
+        metrics_decl: pick(&|p| {
+            ends_with(p, "crates/core/src/metrics.rs") || ends_with(p, "crates/net/src/stats.rs")
+        }),
+        metrics_use: pick(&|_| true),
+    }
+}
+
+/// Resolve the mode to a concrete file list.
+fn collect_files(mode: &Mode) -> Result<Vec<PathBuf>, String> {
+    match mode {
+        Mode::Workspace(root) => {
+            let mut out = Vec::new();
+            for dir in ["crates/core/src", "crates/net/src"] {
+                let d = root.join(dir);
+                let mut files = rs_files_in(&d)
+                    .map_err(|e| format!("gt-lint: cannot walk {}: {e}", d.display()))?;
+                files.sort();
+                out.extend(files);
+            }
+            if out.is_empty() {
+                return Err(format!(
+                    "gt-lint: no sources under {} (wrong --root?)",
+                    root.display()
+                ));
+            }
+            Ok(out)
+        }
+        Mode::Files(paths) => {
+            let mut out = Vec::new();
+            for p in paths {
+                if p.is_dir() {
+                    let mut files = rs_files_in(p)
+                        .map_err(|e| format!("gt-lint: cannot walk {}: {e}", p.display()))?;
+                    files.sort();
+                    out.extend(files);
+                } else if p.is_file() {
+                    out.push(p.clone());
+                } else {
+                    return Err(format!("gt-lint: no such path: {}", p.display()));
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// All `*.rs` files under `dir`, recursively.
+fn rs_files_in(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in std::fs::read_dir(&d)? {
+            let entry = entry?;
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    Ok(out)
+}

@@ -1,0 +1,9 @@
+//! The five rule families. Each module exposes a `check` function over
+//! pre-parsed [`crate::parser::SourceFile`]s and returns raw diagnostics;
+//! allow-comment suppression happens in [`crate::run`].
+
+pub mod dispatch;
+pub mod epoch_fence;
+pub mod lock_order;
+pub mod metrics_discipline;
+pub mod panic_hygiene;

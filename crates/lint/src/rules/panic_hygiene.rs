@@ -1,0 +1,65 @@
+//! Rule `panic`: no `unwrap()`/`expect()`/`panic!`-family macros in the
+//! server/coordinator/relay hot paths.
+//!
+//! A panicking worker or dispatcher thread silently kills a server without
+//! tripping the failure detector, which is exactly the failure mode the
+//! status-tracing machinery exists to catch. Hot-path code must propagate
+//! typed errors (or drop the message) instead. `debug_assert!` is fine —
+//! it vanishes in release builds. Deliberate aborts (e.g. "a panicked
+//! dispatcher is unrecoverable by design") use
+//! `// gt-lint: allow(panic, "reason")`.
+
+use crate::diag::Diagnostic;
+use crate::parser::SourceFile;
+
+const BANNED_METHODS: &[&str] = &["unwrap", "expect"];
+const BANNED_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Run the rule over `files`.
+pub fn check(files: &[&SourceFile]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for f in files {
+        let toks = &f.toks;
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            // `.unwrap(` / `.expect(` — method position only, so local
+            // functions that merely *contain* "unwrap" are untouched.
+            if BANNED_METHODS.iter().any(|m| t.is_ident(m))
+                && i > 0
+                && toks[i - 1].is_punct('.')
+                && i + 1 < toks.len()
+                && toks[i + 1].is_punct('(')
+            {
+                out.push(Diagnostic::new(
+                    "panic",
+                    &f.path,
+                    t.line,
+                    format!(
+                        "`.{}()` in a hot path can kill a server thread silently",
+                        t.text
+                    ),
+                    "propagate a typed error (or drop the message) instead; if the abort is \
+                     deliberate, add `// gt-lint: allow(panic, \"why\")`",
+                ));
+            }
+            // `panic!(` / `unreachable!(` / `todo!(` / `unimplemented!(`.
+            if BANNED_MACROS.iter().any(|m| t.is_ident(m))
+                && i + 1 < toks.len()
+                && toks[i + 1].is_punct('!')
+            {
+                out.push(Diagnostic::new(
+                    "panic",
+                    &f.path,
+                    t.line,
+                    format!(
+                        "`{}!` in a hot path can kill a server thread silently",
+                        t.text
+                    ),
+                    "return an error for unexpected protocol states instead of aborting; if the \
+                     abort is deliberate, add `// gt-lint: allow(panic, \"why\")`",
+                ));
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,14 @@
+//! Fixture (positive, `dead-counter` + `unsurfaced-counter`): `dead` is
+//! declared but never incremented; `hidden` is incremented but never read
+//! by a snapshot, so nothing can assert on it.
+//!
+//! Not compiled — parsed by gt-lint only.
+
+struct Metrics {
+    dead: AtomicU64,
+    hidden: AtomicU64,
+}
+
+fn bump(m: &Metrics) {
+    m.hidden.fetch_add(1, Ordering::Relaxed);
+}

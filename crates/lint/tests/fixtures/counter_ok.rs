@@ -1,0 +1,16 @@
+//! Fixture (negative, counter rules): the counter is incremented on its
+//! code path and surfaced through a snapshot read.
+//!
+//! Not compiled — parsed by gt-lint only.
+
+struct Metrics {
+    live: AtomicU64,
+}
+
+fn bump(m: &Metrics) {
+    m.live.fetch_add(1, Ordering::Relaxed);
+}
+
+fn snapshot(m: &Metrics) -> u64 {
+    m.live.load(Ordering::Relaxed)
+}

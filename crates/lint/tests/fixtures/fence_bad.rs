@@ -1,0 +1,9 @@
+//! Fixture (positive, `epoch-fence`): a travel-scoped handler mutates
+//! per-travel state without consulting the travel-epoch fence first — a
+//! stale post-failover message could resurrect a retired travel.
+//!
+//! Not compiled — parsed by gt-lint only.
+
+fn handle_visit(sh: &Shared, travel: TravelId, vertex: u64) {
+    sh.cache.lock().insert((travel, vertex), true);
+}

@@ -1,0 +1,11 @@
+//! Fixture (negative, `epoch-fence`): the handler checks the fence before
+//! touching per-travel state, so stale traffic cannot resurrect a travel.
+//!
+//! Not compiled — parsed by gt-lint only.
+
+fn handle_visit(sh: &Shared, travel: TravelId, vertex: u64) {
+    if sh.is_retired(travel) {
+        return;
+    }
+    sh.cache.lock().insert((travel, vertex), true);
+}

@@ -1,0 +1,10 @@
+//! Fixture (positive, `guard-across-channel`): a mutex guard stays live
+//! across a blocking channel send, coupling lock order to message order.
+//!
+//! Not compiled — parsed by gt-lint only.
+
+fn notify(sh: &Shared) {
+    let g = sh.mailbox.lock();
+    sh.ep.send(0, wake_message());
+    drop(g);
+}

@@ -1,0 +1,11 @@
+//! Fixture (negative, `guard-across-channel`): the guard is dropped
+//! before the blocking send, so no lock is held across the channel op.
+//!
+//! Not compiled — parsed by gt-lint only.
+
+fn notify(sh: &Shared) {
+    let g = sh.mailbox.lock();
+    let n = g.len();
+    drop(g);
+    sh.ep.send(0, n);
+}

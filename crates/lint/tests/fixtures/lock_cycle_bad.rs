@@ -1,0 +1,18 @@
+//! Fixture (positive, `lock-cycle`): two paths acquire the same pair of
+//! locks in opposite orders, the textbook AB/BA deadlock.
+//!
+//! Not compiled — parsed by gt-lint only.
+
+fn path_a(sh: &Shared) {
+    let a = sh.alpha.lock();
+    let b = sh.beta.lock();
+    drop(b);
+    drop(a);
+}
+
+fn path_b(sh: &Shared) {
+    let b = sh.beta.lock();
+    let a = sh.alpha.lock();
+    drop(a);
+    drop(b);
+}

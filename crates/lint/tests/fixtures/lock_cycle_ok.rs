@@ -1,0 +1,18 @@
+//! Fixture (negative, `lock-cycle`): both paths follow the same global
+//! acquisition order, so the acquisition graph is acyclic.
+//!
+//! Not compiled — parsed by gt-lint only.
+
+fn ordered_a(sh: &Shared) {
+    let a = sh.alpha.lock();
+    let b = sh.beta.lock();
+    drop(b);
+    drop(a);
+}
+
+fn ordered_b(sh: &Shared) {
+    let a = sh.alpha.lock();
+    let b = sh.beta.lock();
+    drop(b);
+    drop(a);
+}

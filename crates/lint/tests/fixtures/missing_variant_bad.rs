@@ -1,0 +1,18 @@
+//! Fixture (positive, `unhandled-variant`): `Msg::Gone` is declared but
+//! never matched by name anywhere — only swept up by the binding arm.
+//!
+//! Not compiled — parsed by gt-lint only.
+
+enum Msg {
+    Ping,
+    Pong,
+    Gone,
+}
+
+fn dispatch(m: Msg) {
+    match m {
+        Msg::Ping => reply(),
+        Msg::Pong => reply(),
+        other => escalate(other),
+    }
+}

@@ -1,0 +1,12 @@
+//! Fixture (positive, `panic`): `.unwrap()` and `panic!` in what gt-lint
+//! treats as hot-path code — either one silently kills a server thread.
+//!
+//! Not compiled — parsed by gt-lint only.
+
+fn apply(v: Option<u64>) -> u64 {
+    v.unwrap()
+}
+
+fn boom() {
+    panic!("protocol violation");
+}

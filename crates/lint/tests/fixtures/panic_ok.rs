@@ -1,0 +1,13 @@
+//! Fixture (negative, `panic`): typed-error propagation passes outright;
+//! a deliberate abort passes through the allow escape hatch with a reason.
+//!
+//! Not compiled — parsed by gt-lint only.
+
+fn apply(v: Option<u64>) -> Result<u64, ApplyError> {
+    v.ok_or(ApplyError::Missing)
+}
+
+fn deliberate(v: Option<u64>) -> u64 {
+    // gt-lint: allow(panic, "fixture: abort here is deliberate and documented")
+    v.unwrap()
+}

@@ -1,0 +1,18 @@
+//! Fixture (negative, `unhandled-variant`): every declared variant of the
+//! protocol enum appears as an enum-qualified pattern.
+//!
+//! Not compiled — parsed by gt-lint only.
+
+enum Msg {
+    Ping,
+    Pong,
+    Gone,
+}
+
+fn dispatch(m: Msg) {
+    match m {
+        Msg::Ping => reply(),
+        Msg::Pong => reply(),
+        Msg::Gone => retire(),
+    }
+}

@@ -1,0 +1,11 @@
+//! Fixture (positive, `wildcard-arm`): a protocol dispatch with a silent
+//! `_ => {}` catch-all — a newly added `Msg` variant would be swallowed.
+//!
+//! Not compiled — parsed by gt-lint only.
+
+fn dispatch(m: Msg) {
+    match m {
+        Msg::Ping { .. } => reply(),
+        _ => {}
+    }
+}

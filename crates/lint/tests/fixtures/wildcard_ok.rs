@@ -1,0 +1,11 @@
+//! Fixture (negative, `wildcard-arm`): the catch-all forwards to another
+//! handler instead of silently dropping, which is a legitimate shape.
+//!
+//! Not compiled — parsed by gt-lint only.
+
+fn dispatch(m: Msg) -> LoopCtl {
+    match m {
+        Msg::Ping { .. } => LoopCtl::Continue,
+        other => handle_rest(other),
+    }
+}

@@ -1,0 +1,164 @@
+//! Per-rule fixture tests: every gt-lint rule has at least one positive
+//! fixture (the rule fires) and one negative fixture (it stays quiet),
+//! plus binary-level exit-code checks and a workspace-clean gate.
+
+use gt_lint::{run, Diagnostic, Mode, ALL_RULES};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Lint one fixture with the given rules enabled.
+fn lint(file: &str, rules: &[&str]) -> Vec<Diagnostic> {
+    let enabled: BTreeSet<String> = rules.iter().map(|s| s.to_string()).collect();
+    run(&Mode::Files(vec![fixture(file)]), &enabled)
+        .unwrap_or_else(|e| panic!("linting {file}: {e}"))
+}
+
+fn rules_hit(file: &str, rules: &[&str]) -> BTreeSet<&'static str> {
+    lint(file, rules).into_iter().map(|d| d.rule).collect()
+}
+
+#[test]
+fn lock_cycle_fires_on_ab_ba() {
+    assert!(rules_hit("lock_cycle_bad.rs", &["lock-cycle"]).contains("lock-cycle"));
+}
+
+#[test]
+fn lock_cycle_quiet_on_consistent_order() {
+    assert!(lint("lock_cycle_ok.rs", &["lock-cycle"]).is_empty());
+}
+
+#[test]
+fn guard_across_channel_fires_on_live_guard() {
+    assert!(rules_hit("guard_channel_bad.rs", &["guard-across-channel"])
+        .contains("guard-across-channel"));
+}
+
+#[test]
+fn guard_across_channel_quiet_after_drop() {
+    assert!(lint("guard_channel_ok.rs", &["guard-across-channel"]).is_empty());
+}
+
+#[test]
+fn wildcard_arm_fires_on_silent_catch_all() {
+    assert!(rules_hit("wildcard_bad.rs", &["wildcard-arm"]).contains("wildcard-arm"));
+}
+
+#[test]
+fn wildcard_arm_quiet_on_forwarding_catch_all() {
+    assert!(lint("wildcard_ok.rs", &["wildcard-arm"]).is_empty());
+}
+
+#[test]
+fn unhandled_variant_fires_on_missing_arm() {
+    let diags = lint("missing_variant_bad.rs", &["unhandled-variant"]);
+    assert_eq!(
+        diags.len(),
+        1,
+        "exactly Msg::Gone should be flagged: {diags:?}"
+    );
+    assert!(diags[0].message.contains("Msg::Gone"));
+}
+
+#[test]
+fn unhandled_variant_quiet_when_all_named() {
+    assert!(lint("variant_ok.rs", &["unhandled-variant"]).is_empty());
+}
+
+#[test]
+fn epoch_fence_fires_on_unfenced_mutation() {
+    assert!(rules_hit("fence_bad.rs", &["epoch-fence"]).contains("epoch-fence"));
+}
+
+#[test]
+fn epoch_fence_quiet_when_fence_consulted_first() {
+    assert!(lint("fence_ok.rs", &["epoch-fence"]).is_empty());
+}
+
+#[test]
+fn panic_fires_on_unwrap_and_panic_macro() {
+    let diags = lint("panic_bad.rs", &["panic"]);
+    assert!(
+        diags.len() >= 2,
+        "unwrap and panic! both flagged: {diags:?}"
+    );
+}
+
+#[test]
+fn panic_quiet_on_typed_errors_and_allow_comment() {
+    assert!(lint("panic_ok.rs", &["panic"]).is_empty());
+}
+
+#[test]
+fn counter_rules_fire_on_dead_and_unsurfaced() {
+    let hit = rules_hit("counter_bad.rs", &["dead-counter", "unsurfaced-counter"]);
+    assert!(hit.contains("dead-counter"), "hit: {hit:?}");
+    assert!(hit.contains("unsurfaced-counter"), "hit: {hit:?}");
+}
+
+#[test]
+fn counter_rules_quiet_when_bumped_and_read() {
+    assert!(lint("counter_ok.rs", &["dead-counter", "unsurfaced-counter"]).is_empty());
+}
+
+/// Every negative fixture stays clean even with *all* rules enabled, so a
+/// fixture exercising one rule never trips another by accident.
+#[test]
+fn ok_fixtures_clean_under_all_rules() {
+    for f in [
+        "lock_cycle_ok.rs",
+        "guard_channel_ok.rs",
+        "wildcard_ok.rs",
+        "variant_ok.rs",
+        "fence_ok.rs",
+        "panic_ok.rs",
+        "counter_ok.rs",
+    ] {
+        let diags = lint(f, ALL_RULES);
+        assert!(diags.is_empty(), "{f} should be clean, got: {diags:?}");
+    }
+}
+
+/// The binary exits non-zero (`--deny all`) on every positive fixture and
+/// zero on every negative one.
+#[test]
+fn binary_exit_codes_match_fixture_polarity() {
+    let bad = [
+        "lock_cycle_bad.rs",
+        "guard_channel_bad.rs",
+        "wildcard_bad.rs",
+        "missing_variant_bad.rs",
+        "fence_bad.rs",
+        "panic_bad.rs",
+        "counter_bad.rs",
+    ];
+    for f in bad {
+        let st = Command::new(env!("CARGO_BIN_EXE_gt-lint"))
+            .args(["--deny", "all"])
+            .arg(fixture(f))
+            .status()
+            .expect("spawn gt-lint");
+        assert_eq!(st.code(), Some(1), "{f} must fail --deny all");
+    }
+    let st = Command::new(env!("CARGO_BIN_EXE_gt-lint"))
+        .args(["--deny", "all"])
+        .arg(fixture("panic_ok.rs"))
+        .status()
+        .expect("spawn gt-lint");
+    assert_eq!(st.code(), Some(0), "panic_ok.rs must pass --deny all");
+}
+
+/// The CI gate in library form: the workspace itself ships lint-clean.
+#[test]
+fn workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let enabled: BTreeSet<String> = ALL_RULES.iter().map(|s| s.to_string()).collect();
+    let diags = run(&Mode::Workspace(root), &enabled).expect("workspace lint");
+    assert!(diags.is_empty(), "workspace findings: {diags:#?}");
+}

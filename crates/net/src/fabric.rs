@@ -163,6 +163,7 @@ impl<M: Send + WireSize + Clone + 'static> Fabric<M> {
             let handle = std::thread::Builder::new()
                 .name("gt-net-wheel".into())
                 .spawn(move || wheel_loop(rx, inboxes_clone))
+                // gt-lint: allow(panic, "construction-time: a fabric without its timer wheel cannot run at all")
                 .expect("spawn timer wheel");
             (Some(tx), Some(handle))
         };
@@ -228,13 +229,14 @@ fn wheel_loop<M: Send>(rx: Receiver<Scheduled<M>>, inboxes: Vec<Sender<Envelope<
         // Deliver everything due.
         let now = Instant::now();
         while let Some(Reverse(top)) = heap.peek() {
-            if top.deliver_at <= now {
-                let Reverse(item) = heap.pop().unwrap();
-                // A receiver may be gone during shutdown; ignore.
-                let _ = inboxes[item.env.to].send(item.env);
-            } else {
+            if top.deliver_at > now {
                 break;
             }
+            let Some(Reverse(item)) = heap.pop() else {
+                break;
+            };
+            // A receiver may be gone during shutdown; ignore.
+            let _ = inboxes[item.env.to].send(item.env);
         }
         // Wait for the next deadline or new input.
         let wait = heap
