@@ -23,11 +23,13 @@ use crate::message::{Msg, ProgressSnapshot, TravelOutcome};
 use crate::metrics::{MetricsSnapshot, ServerMetrics, TravelMetrics};
 use crate::server::{spawn, ServerArgs, ServerHandle};
 use crate::TravelId;
-use gt_graph::storage::load_partitioned;
+use gt_graph::storage::load_replicated;
 use gt_graph::{EdgeCutPartitioner, GraphPartition, InMemoryGraph, VertexId};
 use gt_kvstore::wal::replay_blobs;
 use gt_kvstore::{IoProfile, Store, StoreConfig};
 use gt_net::{Endpoint, Fabric, NetConfig, RecvError};
+use gt_placement::rebalance::{plan_moves, Move};
+use gt_placement::{PlacementMap, SharedPlacement};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -49,6 +51,13 @@ const MAX_ROUTES: usize = 4096;
 /// File name of a server's durable travel-ledger event log, next to its
 /// store (only clusters that own their storage get one).
 const LEDGER_FILE: &str = "travel-ledger.log";
+/// How long a failover/takeover orchestration waits for the successor's
+/// [`Msg::RecoverDone`] before declaring the handoff stalled.
+const RECOVER_DEADLINE: Duration = Duration::from_secs(3);
+/// While waiting for [`Msg::RecoverDone`], re-send the recover/handoff
+/// control messages at this period (covers a successor that was isolated
+/// when the first round arrived).
+const RECOVER_RENUDGE: Duration = Duration::from_millis(500);
 
 /// Storage-side configuration of a simulated cluster.
 #[derive(Debug, Clone)]
@@ -67,6 +76,11 @@ pub struct ClusterConfig {
     pub seal_cold: bool,
     /// Memtable budget per namespace.
     pub memtable_bytes: usize,
+    /// Replication factor: how many servers hold each partition (one
+    /// primary plus `replication - 1` replicas). Clamped to
+    /// `1..=n_servers`. At 1 (the default) the cluster behaves exactly
+    /// like the unreplicated seed.
+    pub replication: usize,
 }
 
 impl ClusterConfig {
@@ -79,6 +93,7 @@ impl ClusterConfig {
             block_cache_runs: 4096,
             seal_cold: false,
             memtable_bytes: 8 << 20,
+            replication: 1,
         }
     }
 
@@ -99,6 +114,26 @@ impl ClusterConfig {
         self.seal_cold = on;
         self
     }
+
+    /// Builder-style: replication factor (see [`ClusterConfig::replication`]).
+    pub fn replication(mut self, rf: usize) -> Self {
+        self.replication = rf;
+        self
+    }
+}
+
+/// Whether a cluster's state survives server crashes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DurabilityLevel {
+    /// The cluster owns its storage: WAL-backed stores reopen on restart
+    /// and coordinator travel-ledgers are durable (and replicated when
+    /// the replication factor is ≥ 2).
+    Durable,
+    /// Built over borrowed partitions ([`Cluster::from_partitions`]): no
+    /// store reopening, no durable travel ledgers, no ledger
+    /// replication. A crash loses that server's shard for good; recovery
+    /// degrades to timeout-and-resubmit.
+    Ephemeral,
 }
 
 /// Why a traversal failed, as observed by the client.
@@ -126,6 +161,14 @@ pub enum TravelError {
         /// The cancelled travel.
         travel: TravelId,
     },
+    /// A coordinator failover was started but the successor never
+    /// confirmed recovery within the deadline (e.g. it is isolated).
+    /// Surfaced instead of letting the client's whole-travel timeout run
+    /// out on a handoff that is going nowhere.
+    FailoverStalled {
+        /// The travel whose recovery stalled.
+        travel: TravelId,
+    },
 }
 
 impl std::fmt::Display for TravelError {
@@ -149,6 +192,12 @@ impl std::fmt::Display for TravelError {
                 write!(f, "travel {travel}: coordinator lost and not recoverable")
             }
             TravelError::Cancelled { travel } => write!(f, "travel {travel} was cancelled"),
+            TravelError::FailoverStalled { travel } => {
+                write!(
+                    f,
+                    "travel {travel}: failover successor never confirmed recovery"
+                )
+            }
         }
     }
 }
@@ -326,6 +375,11 @@ struct ServerSlot {
     /// (coordinator role). `None` for store-less clusters — failover then
     /// recovers purely from re-announced journals.
     ledger_path: Option<PathBuf>,
+    /// This server's view of the placement map. Distinct from the
+    /// client's copy: servers learn of changes via epoch-fenced
+    /// [`Msg::PlacementUpdate`] broadcasts, never by sharing memory with
+    /// the orchestrator.
+    placement: Arc<SharedPlacement>,
 }
 
 /// A running simulated cluster plus its client endpoint.
@@ -348,6 +402,13 @@ pub struct Cluster {
     cancelled: OrderedMutex<BTreeSet<TravelId>>,
     /// Serializes failover orchestration across concurrent waiters.
     failover_lock: OrderedMutex<()>,
+    /// The client's (authoritative) placement map; server copies trail it
+    /// by one [`Msg::PlacementUpdate`] round-trip.
+    placement: Arc<SharedPlacement>,
+    /// Effective replication factor (clamped at build time).
+    replication: usize,
+    /// Whether this cluster owns durable storage.
+    durability: DurabilityLevel,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -368,6 +429,7 @@ impl Cluster {
         ecfg: EngineConfig,
     ) -> Result<Cluster, ClusterError> {
         let partitioner = EdgeCutPartitioner::new(ccfg.n_servers);
+        let map = PlacementMap::initial(ccfg.n_servers, ccfg.replication);
         let mut partitions = Vec::with_capacity(ccfg.n_servers);
         let mut store_cfgs = Vec::with_capacity(ccfg.n_servers);
         for s in 0..ccfg.n_servers {
@@ -384,7 +446,10 @@ impl Cluster {
             partitions.push(GraphPartition::open(store)?);
             store_cfgs.push(Some(scfg));
         }
-        load_partitioned(graph, partitioner, &partitions)?;
+        // Replicated load: server `s` gets every vertex/edge whose
+        // partition it holds under the initial map. At replication factor
+        // 1 this is byte-identical to the seed's `load_partitioned`.
+        load_replicated(graph, &partitions, |s, vid| map.holds(s, vid))?;
         if ccfg.seal_cold {
             for p in &partitions {
                 p.seal_cold()?;
@@ -395,6 +460,7 @@ impl Cluster {
             partitioner,
             ecfg,
             store_cfgs,
+            map,
         )
     }
 
@@ -402,13 +468,18 @@ impl Cluster {
     /// cluster with a different engine without re-ingesting the graph —
     /// the benchmark harness shares one loaded partition set across every
     /// engine configuration).
+    /// Such a cluster is [`DurabilityLevel::Ephemeral`]: it owns no
+    /// storage, so crashed servers cannot reopen a store, no durable
+    /// travel ledgers exist, and nothing is replicated. Check
+    /// [`Cluster::durability_warning`] before relying on crash recovery.
     pub fn from_partitions(
         partitions: Vec<Arc<GraphPartition>>,
         partitioner: EdgeCutPartitioner,
         ecfg: EngineConfig,
     ) -> Result<Cluster, ClusterError> {
         let n = partitions.len();
-        Self::assemble(partitions, partitioner, ecfg, vec![None; n])
+        let map = PlacementMap::initial(n, 1);
+        Self::assemble(partitions, partitioner, ecfg, vec![None; n], map)
     }
 
     /// Shared constructor: wire a chaos-aware fabric, spawn epoch-0
@@ -419,8 +490,15 @@ impl Cluster {
         partitioner: EdgeCutPartitioner,
         ecfg: EngineConfig,
         store_cfgs: Vec<Option<StoreConfig>>,
+        map: PlacementMap,
     ) -> Result<Cluster, ClusterError> {
         let n = partitions.len();
+        let replication = map.replicas_of(0).len() + 1;
+        let durability = if store_cfgs.iter().any(|c| c.is_some()) {
+            DurabilityLevel::Durable
+        } else {
+            DurabilityLevel::Ephemeral
+        };
         let (fabric, mut endpoints) = Fabric::with_chaos(n + 1, ecfg.net, ecfg.chaos.net_chaos(n));
         let client = endpoints
             .pop()
@@ -433,10 +511,10 @@ impl Cluster {
             .enumerate()
         {
             let ledger_path = store_cfg.as_ref().map(|c| c.dir.join(LEDGER_FILE));
+            let placement = Arc::new(SharedPlacement::new(map.clone()));
             let handle = spawn(ServerArgs {
                 id,
                 n_servers: n,
-                partitioner,
                 partition: partition.clone(),
                 endpoint: endpoint.clone(),
                 engine: ecfg.clone(),
@@ -444,6 +522,8 @@ impl Cluster {
                 metrics: None,
                 crash_after: ecfg.chaos.crash_for(id),
                 ledger_path: ledger_path.clone(),
+                placement: placement.clone(),
+                replication,
             });
             slots.push(ServerSlot {
                 endpoint,
@@ -453,6 +533,7 @@ impl Cluster {
                 epoch: AtomicU64::new(0),
                 store_cfg,
                 ledger_path,
+                placement,
             });
         }
         Ok(Cluster {
@@ -462,6 +543,9 @@ impl Cluster {
             partitioner,
             engine: ecfg,
             travel_ctr: AtomicU64::new(1),
+            placement: Arc::new(SharedPlacement::new(map)),
+            replication,
+            durability,
             // Client-side lock-order ranks (see `lockorder`): the failover
             // path holds `failover_lock` while touching routes and slots,
             // so it sits lowest; slot locks (`handle`, `partition`) rank
@@ -549,12 +633,15 @@ impl Cluster {
         // Everything delivered while the server was dead is from its
         // previous life; drop it (peers retransmit what still matters).
         while slot.endpoint.try_recv().is_some() {}
+        // The incarnation's placement view may be stale (updates broadcast
+        // while it was down were lost); seed it from the client's
+        // authoritative copy before the new threads start routing.
+        slot.placement.install(self.placement.snapshot());
         let epoch = slot.epoch.fetch_add(1, Ordering::SeqCst) + 1;
         slot.metrics.recoveries.fetch_add(1, Ordering::Relaxed);
         *handle = Some(spawn(ServerArgs {
             id,
             n_servers: self.slots.len(),
-            partitioner: self.partitioner,
             partition: slot.partition.lock().clone(),
             endpoint: slot.endpoint.clone(),
             engine: self.engine.clone(),
@@ -562,6 +649,8 @@ impl Cluster {
             metrics: Some(slot.metrics.clone()),
             crash_after: None,
             ledger_path: slot.ledger_path.clone(),
+            placement: slot.placement.clone(),
+            replication: self.replication,
         }));
         Ok(())
     }
@@ -576,7 +665,10 @@ impl Cluster {
         self.engine.kind
     }
 
-    /// The partitioner (to inspect vertex placement).
+    /// The *initial* hash partitioner. Only valid for inspecting vertex
+    /// placement on a static cluster — after a [`Cluster::migrate`],
+    /// [`Cluster::promote`] or [`Cluster::rebalance`] the authoritative
+    /// routing lives in [`Cluster::placement`].
     pub fn partitioner(&self) -> EdgeCutPartitioner {
         self.partitioner
     }
@@ -588,7 +680,15 @@ impl Cluster {
 
     fn start_plan(&self, plan: Arc<Plan>) -> Result<Ticket, ClusterError> {
         let travel = self.travel_ctr.fetch_add(1, Ordering::Relaxed);
-        let coordinator = (travel as usize) % self.slots.len();
+        // Deterministic ring assignment, skipping decommissioned servers
+        // (they keep serving reads while draining but host no new
+        // coordinator roles).
+        let n = self.slots.len();
+        let base = (travel as usize) % n;
+        let coordinator = (0..n)
+            .map(|k| (base + k) % n)
+            .find(|&c| !self.placement.is_decommissioned(c))
+            .unwrap_or(base);
         let limit = self.engine.max_concurrent_travels;
         let now = Instant::now();
         let admit_now = {
@@ -703,8 +803,13 @@ impl Cluster {
         match msg {
             Msg::TravelDone { travel, .. }
             | Msg::ProgressReport { travel, .. }
-            | Msg::CancelAck { travel, .. } => Some(*travel),
+            | Msg::CancelAck { travel, .. }
+            | Msg::RecoverDone { travel, .. } => Some(*travel),
             Msg::IngestAck { req, .. } | Msg::VertexReply { req, .. } => Some(*req),
+            // Placement acks key on the map version, offset into a range
+            // no travel/request id reaches (ids are sequential from 1).
+            Msg::PlacementAck { version, .. } => Some((1u64 << 62) | *version),
+            Msg::MigrateApplied { mig, .. } => Some(*mig),
             // Server-bound traffic never reaches the client mailbox; listed
             // explicitly so a new client-bound variant fails gt-lint here.
             Msg::Submit { .. }
@@ -728,6 +833,14 @@ impl Cluster {
             | Msg::CoordRecover { .. }
             | Msg::CoordHandoff { .. }
             | Msg::ReAnnounce { .. }
+            | Msg::PlacementUpdate { .. }
+            | Msg::ReplicateWrite { .. }
+            | Msg::ReplicateAck { .. }
+            | Msg::ReplicateLedger { .. }
+            | Msg::MigrateBegin { .. }
+            | Msg::MigrateData { .. }
+            | Msg::MigrateCutover { .. }
+            | Msg::MigrateFinish { .. }
             | Msg::Crash
             | Msg::Shutdown => None,
         }
@@ -838,16 +951,35 @@ impl Cluster {
                     if let Some((coord, coord_epoch)) = died {
                         let host_lost = self.server_crashed(coord)
                             || self.slots[coord].epoch.load(Ordering::SeqCst) != coord_epoch;
-                        if host_lost
-                            && (!self.engine.reliable_delivery_enabled()
-                                || self.failover(travel).is_err())
-                        {
-                            // No fencing / no live successor: the travel
-                            // is unrecoverable in place.
-                            self.abandon(travel);
-                            return Err(ClusterError::Travel(TravelError::CoordinatorLost {
-                                travel,
-                            }));
+                        if host_lost {
+                            if !self.engine.reliable_delivery_enabled() {
+                                // No epoch fencing: the travel is
+                                // unrecoverable in place.
+                                self.abandon(travel);
+                                return Err(ClusterError::Travel(TravelError::CoordinatorLost {
+                                    travel,
+                                }));
+                            }
+                            match self.failover(travel) {
+                                Ok(()) => {}
+                                Err(ClusterError::Travel(TravelError::FailoverStalled {
+                                    ..
+                                })) => {
+                                    // The successor took the handoff but
+                                    // never confirmed recovery — fail fast
+                                    // instead of burning the whole timeout.
+                                    self.abandon(travel);
+                                    return Err(ClusterError::Travel(
+                                        TravelError::FailoverStalled { travel },
+                                    ));
+                                }
+                                Err(_) => {
+                                    self.abandon(travel);
+                                    return Err(ClusterError::Travel(
+                                        TravelError::CoordinatorLost { travel },
+                                    ));
+                                }
+                            }
                         }
                     }
                     if Instant::now() >= deadline {
@@ -895,21 +1027,65 @@ impl Cluster {
         }
     }
 
+    /// Collect a travel's ledger events from every surviving copy: the
+    /// (possibly dead) coordinator's own file, plus every replica stream
+    /// peers keep for it (`travel-ledger-replica-<coord>.log` next to
+    /// their own stores, shipped via [`Msg::ReplicateLedger`]). The single
+    /// most complete copy wins — streams are never concatenated, so a
+    /// lagging replica can only degrade recovery toward re-drive, never
+    /// double-apply an event.
+    fn read_ledger_events(&self, coord: usize, travel: TravelId) -> Vec<LedgerEvent> {
+        let mut candidates: Vec<PathBuf> = Vec::new();
+        if let Some(p) = &self.slots[coord].ledger_path {
+            candidates.push(p.clone());
+        }
+        for (s, slot) in self.slots.iter().enumerate() {
+            if s == coord {
+                continue;
+            }
+            if let Some(dir) = slot.ledger_path.as_deref().and_then(|p| p.parent()) {
+                candidates.push(dir.join(format!("travel-ledger-replica-{coord}.log")));
+            }
+        }
+        let mut best: Vec<LedgerEvent> = Vec::new();
+        for path in candidates {
+            let Ok(replay) = replay_blobs(&path) else {
+                continue;
+            };
+            let events: Vec<LedgerEvent> = replay
+                .blobs
+                .iter()
+                .filter_map(|b| LedgerEvent::decode(b))
+                .filter(|(t, _)| *t == travel)
+                .map(|(_, ev)| ev)
+                .collect();
+            if events.len() > best.len() {
+                best = events;
+            }
+        }
+        best
+    }
+
     /// Re-home an orphaned travel's coordinator role onto a successor.
     ///
     /// Steps (see DESIGN.md, "Coordinator fault tolerance"):
     /// 1. Re-check under the failover lock — a concurrent waiter may have
     ///    already re-homed the travel.
-    /// 2. Read the dead coordinator's durable ledger stream (read-only —
-    ///    the restarted incarnation may already hold the file open, and
-    ///    may truncate it once it hosts nothing, which is why the read
-    ///    happens *before* the restart).
+    /// 2. Read the dead coordinator's durable ledger stream, falling back
+    ///    to replica copies on peers (read-only — the restarted
+    ///    incarnation may already hold the file open, and may truncate it
+    ///    once it hosts nothing, which is why the read happens *before*
+    ///    the restart).
     /// 3. Restart the dead server: its shard is needed to finish the
     ///    traversal, and the re-announce barrier spans every server.
-    /// 4. Pick the successor: the next live server after the dead one
-    ///    (deterministic, for same-seed reproducibility).
-    /// 5. Seed the successor ([`Msg::CoordRecover`]), then broadcast the
-    ///    handoff ([`Msg::CoordHandoff`]) under the bumped travel-epoch.
+    /// 4. Pick the successor: the next live non-decommissioned server
+    ///    after the dead one (deterministic, for same-seed
+    ///    reproducibility).
+    /// 5. Seed the successor ([`Msg::CoordRecover`]), broadcast the
+    ///    handoff ([`Msg::CoordHandoff`]) under the bumped travel-epoch,
+    ///    and wait for the successor's [`Msg::RecoverDone`] acknowledgment
+    ///    (bounded — a successor that never confirms surfaces
+    ///    [`TravelError::FailoverStalled`]).
     fn failover(&self, travel: TravelId) -> Result<(), ClusterError> {
         let _serialize = self.failover_lock.lock();
         let (dead, plan, tepoch) = {
@@ -924,20 +1100,7 @@ impl Cluster {
             }
             (r.coordinator, r.plan.clone(), r.tepoch)
         };
-        let events: Vec<LedgerEvent> = self.slots[dead]
-            .ledger_path
-            .as_deref()
-            .and_then(|p| replay_blobs(p).ok())
-            .map(|replay| {
-                replay
-                    .blobs
-                    .iter()
-                    .filter_map(|b| LedgerEvent::decode(b))
-                    .filter(|(t, _)| *t == travel)
-                    .map(|(_, ev)| ev)
-                    .collect()
-            })
-            .unwrap_or_default();
+        let events = self.read_ledger_events(dead, travel);
         let restart_deadline = Instant::now() + Duration::from_secs(5);
         while self.server_crashed(dead) {
             // Tolerate races with an external restart watcher: either of
@@ -955,36 +1118,106 @@ impl Cluster {
         let n = self.slots.len();
         let successor = (1..=n)
             .map(|k| (dead + k) % n)
-            .find(|&s| !self.server_crashed(s))
+            .find(|&s| !self.server_crashed(s) && !self.placement.is_decommissioned(s))
+            .or_else(|| {
+                (1..=n)
+                    .map(|k| (dead + k) % n)
+                    .find(|&s| !self.server_crashed(s))
+            })
             .ok_or_else(|| ClusterError::Recovery("no live server to host the failover".into()))?;
-        let epoch = tepoch + 1;
+        // gt-lint: allow(guard-across-channel, "serializing concurrent failovers is the failover lock's whole job")
+        self.handoff_to(travel, successor, plan, tepoch + 1, events, Some(dead))
+    }
+
+    /// Re-drive a travel whose *live* coordinator must shed the role or
+    /// whose data dependencies shifted under it (replica promotion). The
+    /// coordinator's own ledger file is readable concurrently
+    /// (`replay_blobs` tolerates a torn tail), so recovery follows the
+    /// exact crash path, minus the restart.
+    fn redrive(&self, travel: TravelId, restarted: Option<usize>) -> Result<(), ClusterError> {
+        let _serialize = self.failover_lock.lock();
+        let (old_coord, plan, tepoch) = {
+            let routes = self.routes.lock();
+            let Some(r) = routes.get(&travel) else {
+                return Ok(()); // completed (or abandoned) meanwhile
+            };
+            (r.coordinator, r.plan.clone(), r.tepoch)
+        };
+        let events = self.read_ledger_events(old_coord, travel);
+        let n = self.slots.len();
+        // Always move the role: the old coordinator clears its hosted
+        // state when the handoff names someone else.
+        let successor = (1..=n)
+            .map(|k| (old_coord + k) % n)
+            .find(|&s| !self.server_crashed(s) && !self.placement.is_decommissioned(s))
+            .ok_or_else(|| ClusterError::Recovery("no live server to host the re-drive".into()))?;
+        // gt-lint: allow(guard-across-channel, "serializing concurrent failovers is the failover lock's whole job")
+        self.handoff_to(travel, successor, plan, tepoch + 1, events, restarted)
+    }
+
+    /// Ship a travel's coordinator role to `successor` under travel-epoch
+    /// `epoch`: seed it with the recovered ledger `events`, broadcast the
+    /// handoff, fabricate empty re-announces for crashed servers so the
+    /// barrier can complete, update the client route, and await the
+    /// successor's [`Msg::RecoverDone`]. Caller holds the failover lock.
+    fn handoff_to(
+        &self,
+        travel: TravelId,
+        successor: usize,
+        plan: Arc<Plan>,
+        epoch: u64,
+        events: Vec<LedgerEvent>,
+        restarted: Option<usize>,
+    ) -> Result<(), ClusterError> {
+        let n = self.slots.len();
         let succ_epoch = self.slots[successor].epoch.load(Ordering::SeqCst);
-        self.client
-            // gt-lint: allow(guard-across-channel, "serializing the recover+handoff sends is the failover lock's whole job")
-            .send(
-                successor,
-                Msg::CoordRecover {
-                    travel,
-                    epoch,
-                    plan: plan.clone(),
-                    client: self.client.id(),
-                    events,
-                },
-            )
-            .map_err(|_| ClusterError::Disconnected)?;
-        for s in 0..n {
+        let recover = Msg::CoordRecover {
+            travel,
+            epoch,
+            plan: plan.clone(),
+            client: self.client.id(),
+            events,
+        };
+        let send_round = |round: &Msg| -> Result<(), ClusterError> {
             self.client
-                .send(
-                    s,
-                    Msg::CoordHandoff {
-                        travel,
-                        epoch,
-                        coordinator: successor,
-                        restarted: dead,
-                    },
-                )
+                // gt-lint: allow(guard-across-channel, "serializing the recover+handoff sends is the failover lock's whole job")
+                .send(successor, round.clone())
                 .map_err(|_| ClusterError::Disconnected)?;
-        }
+            for s in 0..n {
+                if self.server_crashed(s) {
+                    // A crashed server can't re-announce; satisfy the
+                    // barrier on its behalf with an empty journal (its
+                    // in-memory work is gone — re-drive covers it).
+                    self.client
+                        .send(
+                            successor,
+                            Msg::ReAnnounce {
+                                travel,
+                                epoch,
+                                server: s,
+                                created: Vec::new(),
+                                terminated: Vec::new(),
+                                results: Vec::new(),
+                            },
+                        )
+                        .map_err(|_| ClusterError::Disconnected)?;
+                    continue;
+                }
+                self.client
+                    .send(
+                        s,
+                        Msg::CoordHandoff {
+                            travel,
+                            epoch,
+                            coordinator: successor,
+                            restarted,
+                        },
+                    )
+                    .map_err(|_| ClusterError::Disconnected)?;
+            }
+            Ok(())
+        };
+        send_round(&recover)?;
         {
             let mut routes = self.routes.lock();
             if let Some(r) = routes.get_mut(&travel) {
@@ -995,7 +1228,50 @@ impl Cluster {
             }
         }
         self.fabric.stats().record_handoff();
-        Ok(())
+        // Acknowledged handoff: wait for the successor to confirm it has
+        // rebuilt the travel (re-announce barrier done, traversal
+        // re-driven or directly completed). Without this, a successor that
+        // is isolated or wedged silently eats the travel until the
+        // client's whole timeout expires.
+        let deadline = Instant::now() + RECOVER_DEADLINE;
+        loop {
+            let slice = deadline.min(Instant::now() + RECOVER_RENUDGE);
+            match self.await_client_msg(
+                travel,
+                |m| matches!(m, Msg::RecoverDone { epoch: e, .. } if *e >= epoch),
+                slice,
+            ) {
+                Ok(_) => return Ok(()),
+                Err(e) if e.is_timeout() => {
+                    let epoch_moved = self
+                        .routes
+                        .lock()
+                        .get(&travel)
+                        .map(|r| r.tepoch != epoch)
+                        .unwrap_or(true);
+                    if epoch_moved {
+                        // A newer handoff superseded this one; its own
+                        // acknowledgment wait takes over.
+                        return Ok(());
+                    }
+                    if Instant::now() >= deadline {
+                        if self.server_crashed(successor) {
+                            // Successor died mid-recovery: the next wait
+                            // slice re-detects the dead host and fails
+                            // over again (double-failover path).
+                            return Ok(());
+                        }
+                        return Err(ClusterError::Travel(TravelError::FailoverStalled {
+                            travel,
+                        }));
+                    }
+                    // Re-nudge: duplicates are epoch-fenced on the servers
+                    // (an already-applied recover/handoff is ignored).
+                    send_round(&recover)?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Give up on a travel: abort it everywhere, free its admission slot
@@ -1110,11 +1386,11 @@ impl Cluster {
         let n = self.slots.len();
         let mut v_by_owner: Vec<Vec<gt_graph::Vertex>> = vec![Vec::new(); n];
         for v in vertices {
-            v_by_owner[self.partitioner.owner(v.id)].push(v);
+            v_by_owner[self.placement.primary_of_vid(v.id)].push(v);
         }
         let mut e_by_owner: Vec<Vec<gt_graph::Edge>> = vec![Vec::new(); n];
         for e in edges {
-            e_by_owner[self.partitioner.owner(e.src)].push(e);
+            e_by_owner[self.placement.primary_of_vid(e.src)].push(e);
         }
         let mut pending = Vec::new();
         for (owner, (vs, es)) in v_by_owner.into_iter().zip(e_by_owner).enumerate() {
@@ -1156,7 +1432,7 @@ impl Cluster {
     /// Low-latency point query (§I: "frequent metadata operations such
     /// as permission checking"): fetch one vertex from its owning server.
     pub fn get_vertex(&self, vertex: VertexId) -> Result<Option<gt_graph::Vertex>, ClusterError> {
-        let owner = self.partitioner.owner(vertex);
+        let owner = self.placement.primary_of_vid(vertex);
         let req = self.travel_ctr.fetch_add(1, Ordering::Relaxed);
         self.client
             .send(
@@ -1181,6 +1457,251 @@ impl Cluster {
                 "unexpected reply to vertex fetch: {other:?}"
             ))),
         }
+    }
+
+    /// This cluster's durability level (see [`DurabilityLevel`]).
+    pub fn durability(&self) -> DurabilityLevel {
+        self.durability
+    }
+
+    /// Typed warning for clusters that silently lack durability. `None`
+    /// for store-owning clusters; [`Cluster::from_partitions`] clusters
+    /// get an explanation of what crash recovery cannot do for them.
+    pub fn durability_warning(&self) -> Option<&'static str> {
+        match self.durability {
+            DurabilityLevel::Durable => None,
+            DurabilityLevel::Ephemeral => Some(
+                "cluster built over borrowed partitions (from_partitions): no WAL replay on \
+                 restart, no durable travel ledgers, no replication — a server crash loses its \
+                 shard and in-flight coordinator state for good; recovery degrades to \
+                 timeout-and-resubmit",
+            ),
+        }
+    }
+
+    /// Snapshot of the client's (authoritative) placement map.
+    pub fn placement(&self) -> PlacementMap {
+        self.placement.snapshot()
+    }
+
+    /// Effective replication factor (clamped to `1..=n_servers` at build).
+    pub fn replication_factor(&self) -> usize {
+        self.replication
+    }
+
+    /// Install `map` as the authoritative placement and push it to every
+    /// live server, waiting until each has acknowledged the version
+    /// (epoch-fenced: servers ignore maps older than what they hold).
+    fn broadcast_placement(&self, map: PlacementMap) -> Result<(), ClusterError> {
+        let version = map.version;
+        self.placement.install(map.clone());
+        let shared = Arc::new(map);
+        let live: Vec<usize> = (0..self.slots.len())
+            .filter(|&s| !self.server_crashed(s))
+            .collect();
+        for &s in &live {
+            self.client
+                .send(
+                    s,
+                    Msg::PlacementUpdate {
+                        map: shared.clone(),
+                        client: self.client.id(),
+                    },
+                )
+                .map_err(|_| ClusterError::Disconnected)?;
+        }
+        let key = (1u64 << 62) | version;
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let mut acked = BTreeSet::new();
+        loop {
+            // Re-check liveness every slice: a server that crashes after
+            // the send can never ack this version — its next incarnation
+            // is seeded with the authoritative map on restart instead.
+            if live
+                .iter()
+                .all(|&s| acked.contains(&s) || self.server_crashed(s))
+            {
+                return Ok(());
+            }
+            let slice = deadline.min(Instant::now() + Duration::from_millis(100));
+            match self.await_client_msg(key, |m| matches!(m, Msg::PlacementAck { .. }), slice) {
+                Ok((Msg::PlacementAck { server, .. }, _)) => {
+                    acked.insert(server);
+                }
+                Ok(_) => {}
+                Err(e) if e.is_timeout() => {
+                    if Instant::now() >= deadline {
+                        return Err(e);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Promote replicas after a primary crash: every partition `dead`
+    /// primaried is re-pointed at its first surviving replica (the data
+    /// is already there — synchronous [`Msg::ReplicateWrite`] fan-out
+    /// keeps replicas byte-equivalent), the new map is broadcast, and
+    /// every travel coordinated by a *live* server is re-driven so its
+    /// frontier work lost with the dead shard is re-issued against the
+    /// promoted copies. Travels coordinated by `dead` itself recover
+    /// through the regular [`Cluster::wait`] failover path.
+    ///
+    /// After the map flips, the dead slot is revived as a *data-less
+    /// worker*: it primaries nothing and replicates nothing, but the
+    /// stepped (Sync) engine's per-depth barrier counts every server, so
+    /// the process must exist even if its disk is gone — promotion works
+    /// even when the old store directory was wiped, because the promoted
+    /// replicas own the data now.
+    ///
+    /// Requires replication ≥ 2 to be useful; with no replicas the
+    /// partition becomes unowned and this returns an error.
+    pub fn promote(&self, dead: usize) -> Result<Vec<usize>, ClusterError> {
+        if !self.server_crashed(dead) {
+            return Err(ClusterError::Recovery(format!(
+                "server {dead} has not crashed; promotion is for dead primaries"
+            )));
+        }
+        let mut map = self.placement.snapshot();
+        let promoted = map.promote(dead);
+        if promoted.is_empty() && !map.primaried_by(dead).is_empty() {
+            return Err(ClusterError::Recovery(format!(
+                "server {dead} has partitions with no replicas to promote (replication factor 1)"
+            )));
+        }
+        self.broadcast_placement(map)?;
+        // Revive the slot as an empty worker (see above). A failed
+        // restart is tolerable for the asynchronous engines — they only
+        // talk to servers the map routes to.
+        let _ = self.restart_server(dead);
+        // Re-drive travels whose coordinator is live: their in-flight
+        // frontier work on the dead shard is gone, and only a fresh
+        // re-drive against the promoted replicas recovers it.
+        let routed: Vec<(TravelId, usize, u64)> = {
+            let routes = self.routes.lock();
+            routes
+                .iter()
+                .map(|(t, r)| (*t, r.coordinator, r.coord_epoch))
+                .collect()
+        };
+        for (travel, coord, coord_epoch) in routed {
+            let host_alive = !self.server_crashed(coord)
+                && self.slots[coord].epoch.load(Ordering::SeqCst) == coord_epoch;
+            if host_alive {
+                self.redrive(travel, Some(dead))?;
+            }
+        }
+        Ok(promoted)
+    }
+
+    /// Migrate one partition's primary role to `to`: snapshot transfer
+    /// from the current primary's store segments, mutation delta
+    /// catch-up, then an epoch-bumped cutover that re-routes traffic —
+    /// including the frontiers of travels already in flight. The source
+    /// keeps its (now stale, never again written) copy, so stragglers
+    /// routed under the old map still read correct data.
+    pub fn migrate(&self, partition: usize, to: usize) -> Result<(), ClusterError> {
+        let snapshot = self.placement.snapshot();
+        if to >= self.slots.len() || partition >= snapshot.n_partitions() {
+            return Err(ClusterError::Recovery(format!(
+                "migrate({partition}, {to}): no such partition or server"
+            )));
+        }
+        let from = snapshot.primary_of(partition);
+        if from == to {
+            return Ok(());
+        }
+        if self.server_crashed(from) || self.server_crashed(to) {
+            return Err(ClusterError::Recovery(format!(
+                "migrate({partition}, {to}): source or target is down"
+            )));
+        }
+        // Migration ids share the travel/request id namespace, so acks
+        // stash cleanly in the client mailbox.
+        let mig = self.travel_ctr.fetch_add(1, Ordering::Relaxed);
+        let deadline = Instant::now() + Duration::from_secs(60);
+        self.client
+            .send(
+                from,
+                Msg::MigrateBegin {
+                    mig,
+                    partition,
+                    to,
+                    client: self.client.id(),
+                },
+            )
+            .map_err(|_| ClusterError::Disconnected)?;
+        // Phase 0: bulk snapshot applied on the target.
+        self.await_client_msg(
+            mig,
+            |m| matches!(m, Msg::MigrateApplied { phase: 0, .. }),
+            deadline,
+        )?;
+        // Phase 1: source seals the delta trap and ships writes that
+        // raced the snapshot.
+        self.client
+            .send(from, Msg::MigrateCutover { mig })
+            .map_err(|_| ClusterError::Disconnected)?;
+        self.await_client_msg(
+            mig,
+            |m| matches!(m, Msg::MigrateApplied { phase: 1, .. }),
+            deadline,
+        )?;
+        // Cutover: flip the primary and broadcast. In-flight frontiers
+        // route to `to` as soon as each server installs the new map.
+        let mut map = self.placement.snapshot();
+        map.set_primary(partition, to);
+        self.broadcast_placement(map)?;
+        for s in [from, to] {
+            self.client
+                .send(s, Msg::MigrateFinish { mig })
+                .map_err(|_| ClusterError::Disconnected)?;
+        }
+        Ok(())
+    }
+
+    /// Drain a server for removal: mark it decommissioned (it hosts no
+    /// new coordinator roles and receives no new primaries), migrate
+    /// every partition it primaries to the least-loaded active servers,
+    /// and broadcast the final map. The server stays up throughout —
+    /// travels it currently coordinates or serves finish normally on its
+    /// retained (stale) copies. Returns the executed move plan.
+    pub fn decommission(&self, server: usize) -> Result<Vec<Move>, ClusterError> {
+        if server >= self.slots.len() {
+            return Err(ClusterError::Recovery(format!("no server {server}")));
+        }
+        let active = self.placement.snapshot().active_servers().len();
+        if active <= 1 {
+            return Err(ClusterError::Recovery(
+                "cannot decommission the last active server".into(),
+            ));
+        }
+        let mut map = self.placement.snapshot();
+        map.decommission(server);
+        self.broadcast_placement(map)?;
+        self.execute_rebalance()
+    }
+
+    /// Load-aware rebalance: plan shard moves from observed per-server
+    /// real-I/O visit counts ([`gt_placement::rebalance::plan_moves`])
+    /// and execute them as live migrations. Returns the executed plan
+    /// (empty when already balanced).
+    pub fn rebalance(&self) -> Result<Vec<Move>, ClusterError> {
+        self.execute_rebalance()
+    }
+
+    fn execute_rebalance(&self) -> Result<Vec<Move>, ClusterError> {
+        let loads: Vec<u64> = self
+            .slots
+            .iter()
+            .map(|s| s.metrics.real_io_visits.load(Ordering::Relaxed))
+            .collect();
+        let moves = plan_moves(&loads, &self.placement.snapshot());
+        for m in &moves {
+            self.migrate(m.partition, m.to)?;
+        }
+        Ok(moves)
     }
 
     /// Submit a traversal and wait (60 s default timeout, no restarts).

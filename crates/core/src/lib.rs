@@ -84,7 +84,7 @@ pub mod server;
 /// Commonly used items in one import.
 pub mod prelude {
     pub use crate::cluster::{
-        Cluster, ClusterConfig, ClusterError, Ticket, TravelError, TravelResult,
+        Cluster, ClusterConfig, ClusterError, DurabilityLevel, Ticket, TravelError, TravelResult,
     };
     pub use crate::engine::{EngineConfig, EngineKind};
     pub use crate::faults::{ChaosPlan, CrashPoint, FaultPlan, Straggler};

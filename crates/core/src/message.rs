@@ -339,10 +339,12 @@ pub enum Msg {
         epoch: u64,
         /// Successor coordinator server id.
         coordinator: usize,
-        /// The crashed (now restarted) server. Its relay streams died
-        /// with it, so senders restart their per-travel sequence toward
-        /// it from 1 — every other stream keeps its cursor.
-        restarted: usize,
+        /// The crashed (now restarted) server, if one was restarted. Its
+        /// relay streams died with it, so senders restart their
+        /// per-travel sequence toward it from 1 — every other stream
+        /// keeps its cursor. `None` when the takeover re-homes a travel
+        /// without restarting anything (replica promotion).
+        restarted: Option<usize>,
     },
     /// Server → successor coordinator: everything this server reported
     /// to the previous coordinator for `travel` (its sent-journal), so
@@ -362,6 +364,120 @@ pub enum Msg {
         terminated: Vec<(ExecId, Vec<(ExecId, u16)>)>,
         /// Result vertices this server reported.
         results: Vec<(u16, VertexId)>,
+    },
+
+    /// Successor coordinator → failover orchestrator (client): recovery
+    /// of `travel` under `epoch` is complete — the re-announce barrier
+    /// closed and the travel was either directly completed or re-driven.
+    /// Bounds the orchestrator's wait; without it the client would fall
+    /// back to its whole-travel timeout when a handoff stalls.
+    RecoverDone {
+        /// Travel id.
+        travel: TravelId,
+        /// Travel-epoch the recovery ran under.
+        epoch: u64,
+    },
+
+    // --------------------------------------- placement & shard migration
+    /// Placement orchestrator (client) → every server: install this
+    /// placement map if it is newer than the one held (version-fenced),
+    /// then acknowledge.
+    PlacementUpdate {
+        /// The new map.
+        map: Arc<gt_placement::PlacementMap>,
+        /// Client endpoint to acknowledge to.
+        client: usize,
+    },
+    /// Server → client: placement map at `version` is now in effect on
+    /// this server (or a newer one already was).
+    PlacementAck {
+        /// Version being acknowledged.
+        version: u64,
+        /// Acknowledging server.
+        server: usize,
+    },
+    /// Primary → replica holder: apply these replicated graph mutations
+    /// (the synchronous log-shipping leg of an ingest).
+    ReplicateWrite {
+        /// Originating ingest request id.
+        req: u64,
+        /// The primary awaiting the ack.
+        origin: usize,
+        /// Vertices to upsert.
+        vertices: Vec<gt_graph::Vertex>,
+        /// Edges to upsert.
+        edges: Vec<gt_graph::Edge>,
+    },
+    /// Replica → primary: replicated write applied durably.
+    ReplicateAck {
+        /// Request id being acknowledged.
+        req: u64,
+        /// Acknowledging replica.
+        server: usize,
+    },
+    /// Coordinator server → its ledger peers: append these encoded
+    /// travel-ledger blobs to the replica copy of `from`'s ledger. With
+    /// `reset`, truncate the replica first (the source ledger was reset
+    /// after all its travels retired).
+    ReplicateLedger {
+        /// Server whose ledger is being mirrored.
+        from: usize,
+        /// Encoded `LedgerEvent` blobs, in append order.
+        blobs: Vec<Vec<u8>>,
+        /// Truncate the replica before appending.
+        reset: bool,
+    },
+    /// Migration orchestrator (client) → source server: start migrating
+    /// `partition` to server `to` — stream the snapshot, then buffer a
+    /// mutation delta until cutover.
+    MigrateBegin {
+        /// Migration id (drawn from the travel-id namespace).
+        mig: TravelId,
+        /// Partition being moved.
+        partition: usize,
+        /// Target server.
+        to: usize,
+        /// Client endpoint orchestrating the migration.
+        client: usize,
+    },
+    /// Source → target: one chunk of the partition being migrated.
+    /// `phase` 0 chunks are the snapshot (segment-imported on the
+    /// target); `phase` 1 chunks are the sealed mutation delta (applied
+    /// through the write path so they shadow the snapshot).
+    MigrateData {
+        /// Migration id.
+        mig: TravelId,
+        /// Partition being moved.
+        partition: usize,
+        /// Raw `(namespace, key, value)` triples.
+        pairs: Vec<(String, Vec<u8>, Vec<u8>)>,
+        /// 0 = snapshot, 1 = delta.
+        phase: u8,
+        /// Final chunk of this phase.
+        last: bool,
+        /// Client endpoint orchestrating the migration.
+        client: usize,
+    },
+    /// Target → client: every chunk of `phase` has been applied.
+    MigrateApplied {
+        /// Migration id.
+        mig: TravelId,
+        /// Phase that completed (0 = snapshot, 1 = delta).
+        phase: u8,
+        /// Reporting (target) server.
+        server: usize,
+    },
+    /// Client → source server: stop buffering, seal and ship the delta
+    /// as phase-1 chunks.
+    MigrateCutover {
+        /// Migration id.
+        mig: TravelId,
+    },
+    /// Client → source and target: the new placement map is live; drop
+    /// all migration state for `mig`.
+    MigrateFinish {
+        /// Migration id.
+        mig: TravelId,
     },
 
     // -------------------------------------------------------------- misc
@@ -455,8 +571,51 @@ impl WireSize for Msg {
             }
             Msg::Relay { inner, .. } => 48 + inner.wire_size(),
             Msg::RelayAck { .. } => 28,
+            Msg::RecoverDone { .. } => 20,
+            Msg::PlacementUpdate { map, .. } => {
+                20 + map
+                    .entries
+                    .iter()
+                    .map(|e| 8 + e.replicas.len() * 8)
+                    .sum::<usize>()
+                    + map.decommissioned.len()
+            }
+            Msg::PlacementAck { .. } => 20,
+            Msg::ReplicateWrite {
+                vertices, edges, ..
+            } => {
+                24 + vertices
+                    .iter()
+                    .map(|v| 16 + v.props.len() * 24)
+                    .sum::<usize>()
+                    + edges.iter().map(|e| 24 + e.props.len() * 24).sum::<usize>()
+            }
+            Msg::ReplicateAck { .. } => 20,
+            Msg::ReplicateLedger { blobs, .. } => {
+                16 + blobs.iter().map(|b| 4 + b.len()).sum::<usize>()
+            }
+            Msg::MigrateBegin { .. } => 32,
+            Msg::MigrateData { pairs, .. } => {
+                28 + pairs
+                    .iter()
+                    .map(|(ns, k, v)| 12 + ns.len() + k.len() + v.len())
+                    .sum::<usize>()
+            }
+            Msg::MigrateApplied { .. } => 24,
+            Msg::MigrateCutover { .. } => 12,
+            Msg::MigrateFinish { .. } => 12,
             Msg::Crash => 4,
             Msg::Shutdown => 4,
+        }
+    }
+
+    fn traffic_class(&self) -> gt_net::TrafficClass {
+        match self {
+            // Snapshot chunks ride the bulk bandwidth lane; a relayed
+            // chunk inherits the class of its payload.
+            Msg::MigrateData { .. } => gt_net::TrafficClass::Bulk,
+            Msg::Relay { inner, .. } => inner.traffic_class(),
+            _ => gt_net::TrafficClass::Interactive,
         }
     }
 
@@ -517,6 +676,17 @@ impl WireSize for Msg {
             | Msg::CoordRecover { .. }
             | Msg::CoordHandoff { .. }
             | Msg::ReAnnounce { .. }
+            | Msg::RecoverDone { .. }
+            | Msg::PlacementUpdate { .. }
+            | Msg::PlacementAck { .. }
+            | Msg::ReplicateWrite { .. }
+            | Msg::ReplicateAck { .. }
+            | Msg::ReplicateLedger { .. }
+            | Msg::MigrateBegin { .. }
+            | Msg::MigrateData { .. }
+            | Msg::MigrateApplied { .. }
+            | Msg::MigrateCutover { .. }
+            | Msg::MigrateFinish { .. }
             | Msg::Crash
             | Msg::Shutdown => None,
         }
@@ -608,7 +778,7 @@ mod tests {
             travel: 3,
             epoch: 1,
             coordinator: 2,
-            restarted: 1,
+            restarted: Some(1),
         };
         assert_eq!(handoff.chaos_key(), None);
         assert!(handoff.wire_size() > 0);
@@ -622,6 +792,38 @@ mod tests {
         };
         assert_eq!(reann.chaos_key(), None);
         assert!(reann.wire_size() > 28);
+    }
+
+    #[test]
+    fn migrate_data_rides_the_bulk_lane() {
+        use gt_net::TrafficClass;
+        let chunk = Msg::MigrateData {
+            mig: 9,
+            partition: 1,
+            pairs: vec![("verts".to_string(), vec![0u8; 8], vec![1u8; 32])],
+            phase: 0,
+            last: false,
+            client: 3,
+        };
+        assert_eq!(chunk.traffic_class(), TrafficClass::Bulk);
+        assert!(chunk.wire_size() > 40, "chunk charges for its payload");
+        // A relayed chunk inherits the class; everything else stays
+        // interactive.
+        let relayed = Msg::Relay {
+            travel: 9,
+            from: 0,
+            epoch: 0,
+            tepoch: 0,
+            seq: 1,
+            attempt: 1,
+            inner: Box::new(chunk),
+        };
+        assert_eq!(relayed.traffic_class(), TrafficClass::Bulk);
+        assert_eq!(Msg::Crash.traffic_class(), TrafficClass::Interactive);
+        assert_eq!(
+            Msg::MigrateCutover { mig: 9 }.traffic_class(),
+            TrafficClass::Interactive
+        );
     }
 
     #[test]

@@ -63,6 +63,23 @@ pub struct ServerMetrics {
     /// Relayed messages discarded by travel-epoch fencing (stale work
     /// from a pre-failover execution tree).
     pub stale_travel_epoch_dropped: AtomicU64,
+    /// Placement-map installs accepted by this server (epoch-fenced; a
+    /// stale map is rejected and not counted).
+    pub placement_updates: AtomicU64,
+    /// Graph mutations applied on this server as a replica (shipped from
+    /// the partition primary).
+    pub replica_writes: AtomicU64,
+    /// Durable travel-ledger blobs this server stored on behalf of a
+    /// peer's ledger (coordinator-loss protection at rf >= 2).
+    pub ledger_blobs_replicated: AtomicU64,
+    /// Migration snapshot/delta chunks sent by this server as a source.
+    pub migrate_chunks_out: AtomicU64,
+    /// Migration snapshot/delta chunks applied by this server as a target.
+    pub migrate_chunks_in: AtomicU64,
+    /// Sent-journal compactions performed (bounding per-travel memory).
+    pub journal_compactions: AtomicU64,
+    /// High-water mark of live sent-journal entries across all travels.
+    pub journal_peak_entries: AtomicU64,
     /// Per-travel splits of the same counters (concurrent-travel
     /// accounting; bounded to [`MAX_TRACKED_TRAVELS`] entries).
     per_travel: Mutex<BTreeMap<TravelId, TravelMetrics>>,
@@ -122,6 +139,13 @@ impl ServerMetrics {
             failovers: self.failovers.load(Ordering::Relaxed),
             reannounce_msgs: self.reannounce_msgs.load(Ordering::Relaxed),
             stale_travel_epoch_dropped: self.stale_travel_epoch_dropped.load(Ordering::Relaxed),
+            placement_updates: self.placement_updates.load(Ordering::Relaxed),
+            replica_writes: self.replica_writes.load(Ordering::Relaxed),
+            ledger_blobs_replicated: self.ledger_blobs_replicated.load(Ordering::Relaxed),
+            migrate_chunks_out: self.migrate_chunks_out.load(Ordering::Relaxed),
+            migrate_chunks_in: self.migrate_chunks_in.load(Ordering::Relaxed),
+            journal_compactions: self.journal_compactions.load(Ordering::Relaxed),
+            journal_peak_entries: self.journal_peak_entries.load(Ordering::Relaxed),
         }
     }
 
@@ -145,6 +169,13 @@ impl ServerMetrics {
         self.failovers.store(0, Ordering::Relaxed);
         self.reannounce_msgs.store(0, Ordering::Relaxed);
         self.stale_travel_epoch_dropped.store(0, Ordering::Relaxed);
+        self.placement_updates.store(0, Ordering::Relaxed);
+        self.replica_writes.store(0, Ordering::Relaxed);
+        self.ledger_blobs_replicated.store(0, Ordering::Relaxed);
+        self.migrate_chunks_out.store(0, Ordering::Relaxed);
+        self.migrate_chunks_in.store(0, Ordering::Relaxed);
+        self.journal_compactions.store(0, Ordering::Relaxed);
+        self.journal_peak_entries.store(0, Ordering::Relaxed);
         self.per_travel.lock().clear();
     }
 }
@@ -221,6 +252,20 @@ pub struct MetricsSnapshot {
     pub reannounce_msgs: u64,
     /// See [`ServerMetrics::stale_travel_epoch_dropped`].
     pub stale_travel_epoch_dropped: u64,
+    /// See [`ServerMetrics::placement_updates`].
+    pub placement_updates: u64,
+    /// See [`ServerMetrics::replica_writes`].
+    pub replica_writes: u64,
+    /// See [`ServerMetrics::ledger_blobs_replicated`].
+    pub ledger_blobs_replicated: u64,
+    /// See [`ServerMetrics::migrate_chunks_out`].
+    pub migrate_chunks_out: u64,
+    /// See [`ServerMetrics::migrate_chunks_in`].
+    pub migrate_chunks_in: u64,
+    /// See [`ServerMetrics::journal_compactions`].
+    pub journal_compactions: u64,
+    /// See [`ServerMetrics::journal_peak_entries`].
+    pub journal_peak_entries: u64,
 }
 
 impl MetricsSnapshot {
@@ -268,6 +313,21 @@ impl MetricsSnapshot {
                 "stale_travel_epoch_dropped",
                 self.stale_travel_epoch_dropped,
             ),
+        ]
+    }
+
+    /// Every counter belonging to the placement machinery (map
+    /// propagation, write/ledger replication, shard migration). On a
+    /// static single-replica cluster — no `rebalance()`,
+    /// `decommission()`, or `promote()`, replication factor 1 — each of
+    /// these is exactly zero, and the dormancy test asserts so.
+    pub fn placement_counters(&self) -> [(&'static str, u64); 5] {
+        [
+            ("placement_updates", self.placement_updates),
+            ("replica_writes", self.replica_writes),
+            ("ledger_blobs_replicated", self.ledger_blobs_replicated),
+            ("migrate_chunks_out", self.migrate_chunks_out),
+            ("migrate_chunks_in", self.migrate_chunks_in),
         ]
     }
 }

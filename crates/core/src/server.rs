@@ -30,9 +30,10 @@ use crate::message::{Msg, SyncExpect};
 use crate::metrics::ServerMetrics;
 use crate::queue::{FifoQueue, MergingQueue, ReqMode, RequestQueue, RequestState, WorkItem};
 use crate::{ExecId, Token, Tokens, TravelId};
-use gt_graph::{EdgeCutPartitioner, GraphPartition, Props, VertexId};
+use gt_graph::{GraphPartition, Props, VertexId};
 use gt_kvstore::wal::BlobLog;
 use gt_net::{Endpoint, RecvError};
+use gt_placement::SharedPlacement;
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::path::PathBuf;
@@ -69,14 +70,21 @@ const MAX_RELAY_ATTEMPTS: u64 = 32;
 /// crash.
 const LEDGER_SNAPSHOT_EVERY: u64 = 512;
 
+/// Compact a travel's sent-journal whenever its created + terminated
+/// entry count exceeds this: balanced (created ∧ terminated) pairs are
+/// dropped first; if still over, the journal collapses to a sentinel that
+/// forces a conservative re-drive on recovery (see [`send_travel`]).
+const JOURNAL_COMPACT_EVERY: usize = 256;
+
+/// Snapshot/delta key-value pairs per [`Msg::MigrateData`] chunk.
+const MIGRATE_CHUNK_PAIRS: usize = 512;
+
 /// Everything needed to spawn one backend server.
 pub struct ServerArgs {
     /// This server's id (also its fabric endpoint id).
     pub id: usize,
     /// Cluster size.
     pub n_servers: usize,
-    /// Vertex placement.
-    pub partitioner: EdgeCutPartitioner,
     /// This server's graph shard.
     pub partition: Arc<GraphPartition>,
     /// Fabric endpoint.
@@ -100,6 +108,12 @@ pub struct ServerArgs {
     /// reliability off) disables durable ledgers — failover then
     /// recovers purely from re-announced server journals.
     pub ledger_path: Option<PathBuf>,
+    /// This server's view of the versioned placement map (updated only by
+    /// epoch-fenced [`Msg::PlacementUpdate`] broadcasts).
+    pub placement: Arc<SharedPlacement>,
+    /// Cluster replication factor; ≥ 2 turns on write fan-out to replica
+    /// holders and travel-ledger blob shipping to ring peers.
+    pub replication: usize,
 }
 
 /// Handle to a running server's threads and instrumentation.
@@ -274,11 +288,30 @@ struct EarlyAnnounce {
 /// recovers are reclaimed here).
 const MAX_EARLY_ANNOUNCE_TRAVELS: usize = 32;
 
+/// One ingest request whose acknowledgment is withheld until every
+/// replica holder has confirmed the synchronous write fan-out.
+struct PendingIngest {
+    client: usize,
+    applied: usize,
+    remaining: usize,
+}
+
+/// Source-side state of one outgoing shard migration. Writes that touch
+/// the partition while the snapshot ships are trapped here: before the
+/// cutover seals the trap they accumulate as a delta (phase-1 catch-up);
+/// after sealing they are shipped to the target immediately.
+struct MigOut {
+    partition: usize,
+    to: usize,
+    client: usize,
+    delta_vids: BTreeSet<VertexId>,
+    sealed: bool,
+}
+
 struct Shared {
     id: usize,
     n_servers: usize,
     engine_kind: EngineKind,
-    partitioner: EdgeCutPartitioner,
     partition: Arc<GraphPartition>,
     ep: Endpoint<Msg>,
     queue: Arc<dyn RequestQueue>,
@@ -323,6 +356,21 @@ struct Shared {
     /// Re-announcements that raced ahead of their `CoordRecover` seed,
     /// replayed into the barrier once the recovery state exists.
     early_announce: OrderedMutex<BTreeMap<TravelId, Vec<EarlyAnnounce>>>,
+    /// This server's placement-map view (see [`ServerArgs::placement`]).
+    /// Leaf `RwLock` internally — readable from any lock rank.
+    placement: Arc<SharedPlacement>,
+    /// Cluster replication factor.
+    replication: usize,
+    /// Directory holding this server's store (for replica ledger files);
+    /// `None` for store-less servers.
+    ledger_dir: Option<PathBuf>,
+    /// req id → ingest awaiting replica write acks.
+    pending_ingest: OrderedMutex<HashMap<u64, PendingIngest>>,
+    /// migration id → outgoing migration (source side).
+    migrations: OrderedMutex<HashMap<TravelId, MigOut>>,
+    /// Replicated copies of peers' travel-ledger streams, one blob log
+    /// per origin server (`travel-ledger-replica-<origin>.log`).
+    replica_ledgers: OrderedMutex<HashMap<usize, BlobLog>>,
 }
 
 impl Shared {
@@ -370,27 +418,19 @@ fn send_travel(sh: &Arc<Shared>, to: usize, travel: TravelId, tepoch: u64, msg: 
     }
     if tepoch == sh.travel_epoch_of(travel) {
         let mut journal = sh.journal.lock();
-        match &msg {
+        let j = journal.entry(travel).or_default();
+        let journaled = match &msg {
             Msg::ExecCreated { exec, depth, .. } => {
-                journal
-                    .entry(travel)
-                    .or_default()
-                    .created
-                    .push((*exec, *depth));
+                j.created.push((*exec, *depth));
+                true
             }
             Msg::ExecTerminated { exec, children, .. } => {
-                journal
-                    .entry(travel)
-                    .or_default()
-                    .terminated
-                    .push((*exec, children.clone()));
+                j.terminated.push((*exec, children.clone()));
+                true
             }
             Msg::Results { items, .. } => {
-                journal
-                    .entry(travel)
-                    .or_default()
-                    .results
-                    .extend(items.iter().copied());
+                j.results.extend(items.iter().copied());
+                false // results are never compacted; no ceiling to track
             }
             // Only ledger-bearing traffic is journaled for re-announce;
             // listed explicitly so a new variant forces a decision here.
@@ -417,8 +457,28 @@ fn send_travel(sh: &Arc<Shared>, to: usize, travel: TravelId, tepoch: u64, msg: 
             | Msg::CoordRecover { .. }
             | Msg::CoordHandoff { .. }
             | Msg::ReAnnounce { .. }
+            | Msg::RecoverDone { .. }
+            | Msg::PlacementUpdate { .. }
+            | Msg::PlacementAck { .. }
+            | Msg::ReplicateWrite { .. }
+            | Msg::ReplicateAck { .. }
+            | Msg::ReplicateLedger { .. }
+            | Msg::MigrateBegin { .. }
+            | Msg::MigrateData { .. }
+            | Msg::MigrateApplied { .. }
+            | Msg::MigrateCutover { .. }
+            | Msg::MigrateFinish { .. }
             | Msg::Crash
-            | Msg::Shutdown => {}
+            | Msg::Shutdown => false,
+        };
+        if journaled {
+            let live = j.created.len() + j.terminated.len();
+            sh.metrics
+                .journal_peak_entries
+                .fetch_max(live as u64, Ordering::Relaxed);
+            if live > JOURNAL_COMPACT_EVERY {
+                compact_journal(sh, j);
+            }
         }
     }
     let seq = {
@@ -451,6 +511,44 @@ fn send_travel(sh: &Arc<Shared>, to: usize, travel: TravelId, tepoch: u64, msg: 
             inner: Box::new(msg),
         },
     );
+}
+
+/// Bound a travel's sent-journal (caller holds the journal lock and has
+/// established the entry count exceeds [`JOURNAL_COMPACT_EVERY`]).
+///
+/// Two stages, both recovery-safe:
+/// 1. Drop balanced pairs — executions this journal both created and
+///    terminated. Their children were journaled as separate created
+///    entries before the parent's termination (flush order), so nothing
+///    the pair references is lost; a successor's merged scratch ledger
+///    simply never hears of the completed exec.
+/// 2. If the journal is still over budget (long fan-out travels keep
+///    created entries for remotely-terminating children indefinitely),
+///    collapse it to a single sentinel created-entry that can never
+///    terminate. A recovery that merges the sentinel sees an eternally
+///    live execution and re-drives the traversal from its source —
+///    always correct (results are dedup'd), merely slower than a
+///    direct completion. Created entries must never be dropped without
+///    the sentinel: an under-reported journal could make the scratch
+///    ledger look complete while work is still in flight.
+fn compact_journal(sh: &Arc<Shared>, j: &mut SentJournal) {
+    let done: HashSet<ExecId> = j.terminated.iter().map(|(e, _)| *e).collect();
+    let both: HashSet<ExecId> = j
+        .created
+        .iter()
+        .map(|(e, _)| *e)
+        .filter(|e| done.contains(e))
+        .collect();
+    j.created.retain(|(e, _)| !both.contains(e));
+    j.terminated.retain(|(e, _)| !both.contains(e));
+    if j.created.len() + j.terminated.len() > JOURNAL_COMPACT_EVERY {
+        j.created.clear();
+        j.terminated.clear();
+        j.created.push((alloc_exec(sh), 0));
+    }
+    sh.metrics
+        .journal_compactions
+        .fetch_add(1, Ordering::Relaxed);
 }
 
 /// Resend every pending relay whose retry deadline passed, with capped
@@ -526,7 +624,6 @@ pub fn spawn(args: ServerArgs) -> ServerHandle {
         id: args.id,
         n_servers: args.n_servers,
         engine_kind: args.engine.kind,
-        partitioner: args.partitioner,
         partition: args.partition.clone(),
         ep: args.endpoint,
         queue,
@@ -568,6 +665,15 @@ pub fn spawn(args: ServerArgs) -> ServerHandle {
         travel_epoch: OrderedMutex::new(20, "travel_epoch", HashMap::new()),
         recovering: OrderedMutex::new(100, "recovering", HashMap::new()),
         early_announce: OrderedMutex::new(95, "early_announce", BTreeMap::new()),
+        placement: args.placement,
+        replication: args.replication,
+        ledger_dir: args
+            .ledger_path
+            .as_ref()
+            .and_then(|p| p.parent().map(|d| d.to_path_buf())),
+        pending_ingest: OrderedMutex::new(65, "pending_ingest", HashMap::new()),
+        migrations: OrderedMutex::new(66, "migrations", HashMap::new()),
+        replica_ledgers: OrderedMutex::new(115, "replica_ledgers", HashMap::new()),
     });
     let mut workers = Vec::with_capacity(args.engine.workers_per_server);
     for w in 0..args.engine.workers_per_server {
@@ -790,6 +896,17 @@ fn crash_triggered(sh: &Arc<Shared>, msg: &Msg) -> bool {
             | Msg::CoordRecover { .. }
             | Msg::CoordHandoff { .. }
             | Msg::ReAnnounce { .. }
+            | Msg::RecoverDone { .. }
+            | Msg::PlacementUpdate { .. }
+            | Msg::PlacementAck { .. }
+            | Msg::ReplicateWrite { .. }
+            | Msg::ReplicateAck { .. }
+            | Msg::ReplicateLedger { .. }
+            | Msg::MigrateBegin { .. }
+            | Msg::MigrateData { .. }
+            | Msg::MigrateApplied { .. }
+            | Msg::MigrateCutover { .. }
+            | Msg::MigrateFinish { .. }
             | Msg::Crash
             | Msg::Shutdown => false,
         }
@@ -939,24 +1056,102 @@ fn handle_msg(sh: &Arc<Shared>, msg: Msg) -> LoopCtl {
             client,
             vertices,
             edges,
+        } => handle_ingest(sh, req, client, vertices, edges),
+        Msg::PlacementUpdate { map, client } => {
+            // Version fence inside install(): a late (stale) map can
+            // never roll routing backwards. Ack the *requested* version
+            // either way so the orchestrator's barrier converges.
+            let version = map.version;
+            if sh.placement.install((*map).clone()) {
+                sh.metrics.placement_updates.fetch_add(1, Ordering::Relaxed);
+            }
+            let _ = sh.ep.send(
+                client,
+                Msg::PlacementAck {
+                    version,
+                    server: sh.id,
+                },
+            );
+        }
+        Msg::ReplicateWrite {
+            req,
+            origin,
+            vertices,
+            edges,
         } => {
-            // The online update path (§I: "live updates"): writes go
-            // through the owning server's WAL-backed store and are
-            // immediately visible to traversals and point queries.
-            let mut applied = 0usize;
+            // Synchronous replica apply: the primary withholds its
+            // IngestAck until every holder has confirmed.
             for v in &vertices {
-                debug_assert_eq!(sh.partitioner.owner(v.id), sh.id);
-                if sh.partition.put_vertex(v).is_ok() {
-                    applied += 1;
-                }
+                let _ = sh.partition.put_vertex(v);
             }
             for e in &edges {
-                debug_assert_eq!(sh.partitioner.owner(e.src), sh.id);
-                if sh.partition.put_edge(e).is_ok() {
-                    applied += 1;
-                }
+                let _ = sh.partition.put_edge(e);
             }
-            let _ = sh.ep.send(client, Msg::IngestAck { req, applied });
+            sh.metrics
+                .replica_writes
+                .fetch_add((vertices.len() + edges.len()) as u64, Ordering::Relaxed);
+            let _ = sh.ep.send(origin, Msg::ReplicateAck { req, server: sh.id });
+        }
+        Msg::ReplicateAck { req, .. } => {
+            let acked = {
+                let mut pending = sh.pending_ingest.lock();
+                match pending.get_mut(&req) {
+                    Some(p) => {
+                        p.remaining = p.remaining.saturating_sub(1);
+                        if p.remaining == 0 {
+                            pending.remove(&req)
+                        } else {
+                            None
+                        }
+                    }
+                    None => None, // duplicate ack
+                }
+            };
+            if let Some(p) = acked {
+                let _ = sh.ep.send(
+                    p.client,
+                    Msg::IngestAck {
+                        req,
+                        applied: p.applied,
+                    },
+                );
+            }
+        }
+        Msg::ReplicateLedger { from, blobs, reset } => {
+            handle_replicate_ledger(sh, from, &blobs, reset)
+        }
+        Msg::MigrateBegin {
+            mig,
+            partition,
+            to,
+            client,
+        } => handle_migrate_begin(sh, mig, partition, to, client),
+        Msg::MigrateData {
+            mig,
+            pairs,
+            phase,
+            last,
+            client,
+            ..
+        } => {
+            // Target side: apply a snapshot (phase 0, bulk segment
+            // import) or delta (phase 1, memtable upsert) chunk.
+            sh.metrics.migrate_chunks_in.fetch_add(1, Ordering::Relaxed);
+            let _ = sh.partition.import_raw(pairs, phase == 0);
+            if last {
+                let _ = sh.ep.send(
+                    client,
+                    Msg::MigrateApplied {
+                        mig,
+                        phase,
+                        server: sh.id,
+                    },
+                );
+            }
+        }
+        Msg::MigrateCutover { mig } => handle_migrate_cutover(sh, mig),
+        Msg::MigrateFinish { mig } => {
+            sh.migrations.lock().remove(&mig);
         }
         Msg::GetVertex {
             req,
@@ -985,9 +1180,222 @@ fn handle_msg(sh: &Arc<Shared>, msg: Msg) -> LoopCtl {
             let _ = sh.ep.send(client, Msg::ProgressReport { travel, snapshot });
         }
         // Client-facing replies never arrive at servers.
-        Msg::TravelDone { .. } | Msg::ProgressReport { .. } | Msg::CancelAck { .. } => {}
+        Msg::TravelDone { .. }
+        | Msg::ProgressReport { .. }
+        | Msg::CancelAck { .. }
+        | Msg::RecoverDone { .. }
+        | Msg::PlacementAck { .. }
+        | Msg::MigrateApplied { .. } => {}
     }
     LoopCtl::Continue
+}
+
+/// The online update path (§I: "live updates"): apply the batch to the
+/// local WAL-backed store, then fan it out synchronously to every other
+/// holder of each touched partition. The client's `IngestAck` is withheld
+/// until all replicas confirm, so an acknowledged write survives the loss
+/// of any single holder. Holders are computed from the *currently
+/// installed* placement map — after a migration cutover the new primary
+/// is a holder, so a stale-routed write still reaches it.
+fn handle_ingest(
+    sh: &Arc<Shared>,
+    req: u64,
+    client: usize,
+    vertices: Vec<gt_graph::Vertex>,
+    edges: Vec<gt_graph::Edge>,
+) {
+    let mut applied = 0usize;
+    for v in &vertices {
+        if sh.partition.put_vertex(v).is_ok() {
+            applied += 1;
+        }
+    }
+    for e in &edges {
+        if sh.partition.put_edge(e).is_ok() {
+            applied += 1;
+        }
+    }
+    let mut fan: BTreeSet<usize> = BTreeSet::new();
+    for vid in vertices
+        .iter()
+        .map(|v| v.id)
+        .chain(edges.iter().map(|e| e.src))
+    {
+        for s in sh.placement.holders_of_vid(vid) {
+            if s != sh.id {
+                fan.insert(s);
+            }
+        }
+    }
+    if fan.is_empty() {
+        capture_migration_delta(sh, &vertices, &edges);
+        let _ = sh.ep.send(client, Msg::IngestAck { req, applied });
+        return;
+    }
+    sh.pending_ingest.lock().insert(
+        req,
+        PendingIngest {
+            client,
+            applied,
+            remaining: fan.len(),
+        },
+    );
+    capture_migration_delta(sh, &vertices, &edges);
+    for s in fan {
+        let _ = sh.ep.send(
+            s,
+            Msg::ReplicateWrite {
+                req,
+                origin: sh.id,
+                vertices: vertices.clone(),
+                edges: edges.clone(),
+            },
+        );
+    }
+}
+
+/// Route a fresh local write into any in-flight outbound migration whose
+/// partition it touches. Before the cutover seals the trap the vertex id
+/// is merely recorded (the delta phase exports it later); after sealing,
+/// the write is exported and shipped to the target immediately so nothing
+/// lands in the gap between the delta phase and `MigrateFinish`.
+fn capture_migration_delta(
+    sh: &Arc<Shared>,
+    vertices: &[gt_graph::Vertex],
+    edges: &[gt_graph::Edge],
+) {
+    let touched: BTreeSet<VertexId> = vertices
+        .iter()
+        .map(|v| v.id)
+        .chain(edges.iter().map(|e| e.src))
+        .collect();
+    if touched.is_empty() {
+        return;
+    }
+    let mut ship: Vec<(TravelId, usize, usize, usize, BTreeSet<VertexId>)> = Vec::new();
+    {
+        let mut migs = sh.migrations.lock();
+        for (mig, m) in migs.iter_mut() {
+            let hit: BTreeSet<VertexId> = touched
+                .iter()
+                .copied()
+                .filter(|&v| sh.placement.partition_of_vid(v) == m.partition)
+                .collect();
+            if hit.is_empty() {
+                continue;
+            }
+            if m.sealed {
+                ship.push((*mig, m.partition, m.to, m.client, hit));
+            } else {
+                m.delta_vids.extend(hit);
+            }
+        }
+    }
+    for (mig, partition, to, client, vids) in ship {
+        let pairs = sh
+            .partition
+            .export_where(|v| vids.contains(&v))
+            .unwrap_or_default();
+        ship_migrate_chunks(sh, mig, partition, to, client, pairs, 1, false);
+    }
+}
+
+/// Source side of a live shard migration, phase 0: register the delta
+/// trap, then stream a snapshot of the partition to the target. The trap
+/// is registered *before* the snapshot export so a concurrent write can
+/// never fall between them — a write captured by both is applied twice on
+/// the target, and the second apply is an idempotent upsert.
+fn handle_migrate_begin(
+    sh: &Arc<Shared>,
+    mig: TravelId,
+    partition: usize,
+    to: usize,
+    client: usize,
+) {
+    sh.migrations.lock().insert(
+        mig,
+        MigOut {
+            partition,
+            to,
+            client,
+            delta_vids: BTreeSet::new(),
+            sealed: false,
+        },
+    );
+    let pairs = sh
+        .partition
+        .export_where(|v| sh.placement.partition_of_vid(v) == partition)
+        .unwrap_or_default();
+    ship_migrate_chunks(sh, mig, partition, to, client, pairs, 0, true);
+}
+
+/// Source side, phase 1 (cutover): seal the delta trap and ship every
+/// vertex written since the snapshot export. Writes arriving after the
+/// seal are forwarded individually by [`capture_migration_delta`].
+fn handle_migrate_cutover(sh: &Arc<Shared>, mig: TravelId) {
+    let taken = {
+        let mut migs = sh.migrations.lock();
+        migs.get_mut(&mig).map(|m| {
+            m.sealed = true;
+            (
+                m.partition,
+                m.to,
+                m.client,
+                std::mem::take(&mut m.delta_vids),
+            )
+        })
+    };
+    let Some((partition, to, client, delta)) = taken else {
+        return;
+    };
+    let pairs = sh
+        .partition
+        .export_where(|v| delta.contains(&v))
+        .unwrap_or_default();
+    ship_migrate_chunks(sh, mig, partition, to, client, pairs, 1, true);
+}
+
+/// Chunk raw store triples into [`MIGRATE_CHUNK_PAIRS`]-sized
+/// [`Msg::MigrateData`] messages on the bulk traffic class. With
+/// `mark_last` the final chunk carries `last = true` (an empty export
+/// still ships one empty last chunk so the target always acks the
+/// phase); without it no chunk does — post-seal forwards expect no ack.
+#[allow(clippy::too_many_arguments)]
+fn ship_migrate_chunks(
+    sh: &Arc<Shared>,
+    mig: TravelId,
+    partition: usize,
+    to: usize,
+    client: usize,
+    pairs: Vec<gt_graph::storage::RawTriple>,
+    phase: u8,
+    mark_last: bool,
+) {
+    let mut chunks: Vec<Vec<gt_graph::storage::RawTriple>> = Vec::new();
+    let mut it = pairs.into_iter().peekable();
+    while it.peek().is_some() {
+        chunks.push(it.by_ref().take(MIGRATE_CHUNK_PAIRS).collect());
+    }
+    if chunks.is_empty() && mark_last {
+        chunks.push(Vec::new());
+    }
+    let n = chunks.len();
+    for (i, chunk) in chunks.into_iter().enumerate() {
+        sh.metrics
+            .migrate_chunks_out
+            .fetch_add(1, Ordering::Relaxed);
+        let _ = sh.ep.send(
+            to,
+            Msg::MigrateData {
+                mig,
+                partition,
+                pairs: chunk,
+                phase,
+                last: mark_last && i + 1 == n,
+                client,
+            },
+        );
+    }
 }
 
 /// Apply one tracing event to `travel`'s hosted asynchronous ledger,
@@ -997,23 +1405,81 @@ fn handle_msg(sh: &Arc<Shared>, msg: Msg) -> LoopCtl {
 /// events to bound replay work. No-op when this server doesn't host an
 /// asynchronous ledger for `travel`.
 fn coord_event(sh: &Arc<Shared>, travel: TravelId, make: impl FnOnce(u64) -> LedgerEvent) {
-    let mut coords = sh.coords.lock();
-    let Some(CoordState::Async(l)) = coords.get_mut(&travel) else {
-        return;
-    };
-    let ev = make(l.epoch);
-    if let Some(log) = &sh.ledger {
-        let mut log = log.lock();
-        let _ = log.append(&ev.encode(travel));
-        l.apply(&ev);
-        l.events_since_snapshot += 1;
-        if l.events_since_snapshot >= LEDGER_SNAPSHOT_EVERY {
-            let _ = log.append(&l.snapshot_event().encode(travel));
-            l.events_since_snapshot = 0;
+    let mut shipped: Vec<Vec<u8>> = Vec::new();
+    {
+        let mut coords = sh.coords.lock();
+        let Some(CoordState::Async(l)) = coords.get_mut(&travel) else {
+            return;
+        };
+        let ev = make(l.epoch);
+        if let Some(log) = &sh.ledger {
+            let mut log = log.lock();
+            let blob = ev.encode(travel);
+            let _ = log.append(&blob);
+            shipped.push(blob);
+            l.apply(&ev);
+            l.events_since_snapshot += 1;
+            if l.events_since_snapshot >= LEDGER_SNAPSHOT_EVERY {
+                let snap = l.snapshot_event().encode(travel);
+                let _ = log.append(&snap);
+                shipped.push(snap);
+                l.events_since_snapshot = 0;
+            }
+        } else {
+            l.apply(&ev);
         }
-    } else {
-        l.apply(&ev);
     }
+    // Fan the durable blobs out to the ledger replica set *after* the
+    // coordinator locks are released — replication rides the raw (FIFO,
+    // chaos-exempt) control plane, so order is still preserved per link.
+    ship_ledger_blobs(sh, shipped, false);
+}
+
+/// Replicate freshly-appended ledger blobs (or a truncation marker) to
+/// this server's ledger peers. With a replication factor below 2 the
+/// cluster runs in the pre-replication single-copy regime and nothing is
+/// shipped.
+fn ship_ledger_blobs(sh: &Arc<Shared>, blobs: Vec<Vec<u8>>, reset: bool) {
+    if sh.replication < 2 || (blobs.is_empty() && !reset) {
+        return;
+    }
+    for peer in sh.placement.ledger_peers(sh.id, sh.replication) {
+        let _ = sh.ep.send(
+            peer,
+            Msg::ReplicateLedger {
+                from: sh.id,
+                blobs: blobs.clone(),
+                reset,
+            },
+        );
+    }
+}
+
+/// Receiver side of ledger replication: persist another coordinator's
+/// travel-ledger blobs into a per-origin sidecar log so a cluster-level
+/// failover can replay them if the origin's disk is lost too.
+fn handle_replicate_ledger(sh: &Arc<Shared>, from: usize, blobs: &[Vec<u8>], reset: bool) {
+    let Some(dir) = &sh.ledger_dir else { return };
+    let mut logs = sh.replica_ledgers.lock();
+    let log = match logs.entry(from) {
+        std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+        std::collections::hash_map::Entry::Vacant(slot) => {
+            let path = dir.join(format!("travel-ledger-replica-{from}.log"));
+            match BlobLog::open(&path, false) {
+                Ok(l) => slot.insert(l),
+                Err(_) => return,
+            }
+        }
+    };
+    if reset {
+        let _ = log.reset();
+    }
+    for blob in blobs {
+        let _ = log.append(blob);
+    }
+    sh.metrics
+        .ledger_blobs_replicated
+        .fetch_add(blobs.len() as u64, Ordering::Relaxed);
 }
 
 /// Truncate the durable ledger log once this server hosts no coordinator
@@ -1025,6 +1491,9 @@ fn maybe_reset_ledger(sh: &Arc<Shared>) {
         return;
     }
     let _ = log.lock().reset();
+    // Keep the replica copies in lock-step: a truncated primary log with
+    // stale replicas would replay finished travels after a failover.
+    ship_ledger_blobs(sh, Vec::new(), true);
 }
 
 /// Become the successor coordinator for an orphaned travel (failover step
@@ -1101,7 +1570,7 @@ fn handle_handoff(
     travel: TravelId,
     epoch: u64,
     coordinator: usize,
-    restarted: usize,
+    restarted: Option<usize>,
 ) {
     if sh.is_retired(travel) {
         // The travel finished here while the failover was being set up
@@ -1121,38 +1590,49 @@ fn handle_handoff(
         );
         return;
     }
-    {
+    let duplicate = {
         let mut te = sh.travel_epoch.lock();
         let cur = te.entry(travel).or_insert(0);
-        if epoch <= *cur {
-            return; // duplicate or out-of-date handoff
+        if epoch < *cur {
+            return; // out-of-date handoff from a superseded failover
         }
+        let dup = epoch == *cur;
         *cur = epoch;
-    }
-    sh.queue.clear_travel(travel);
-    sh.cache.forget_travel(travel);
-    {
-        let mut reg = sh.tokens.lock();
-        reg.by_key.retain(|(t, _, _), _| *t != travel);
-        reg.records.retain(|(t, _), _| *t != travel);
-    }
-    // Clear sync-step buffers *and* any pre-handoff early-sync stash: the
-    // re-drive resends everything, so stale stashed items would be
-    // double-counted into the new buffers.
-    sh.early_sync.lock().remove(&travel);
-    sh.sync_bufs.lock().remove(&travel);
-    if restarted != sh.id {
-        // The restarted incarnation's receive cursor is gone; unacked
-        // pre-crash messages to it are unusable by the fresh process
-        // (its worker state is rebuilt by the re-drive, its coordinator
-        // state by the successor), so drop them and restart at seq 1.
-        let mut out = sh.relay_out.lock();
-        out.next_seq.remove(&(travel, restarted));
-        out.pending
-            .retain(|&(t, to, _), _| !(t == travel && to == restarted));
-    }
-    if sh.id != coordinator {
-        sh.coords.lock().remove(&travel);
+        dup
+    };
+    if !duplicate {
+        // First sight of this epoch: drop per-travel transients. A
+        // re-nudged duplicate must NOT repeat this — by then the
+        // successor's re-drive may have queued fresh work for the travel,
+        // and clearing it again would strand live execs.
+        sh.queue.clear_travel(travel);
+        sh.cache.forget_travel(travel);
+        {
+            let mut reg = sh.tokens.lock();
+            reg.by_key.retain(|(t, _, _), _| *t != travel);
+            reg.records.retain(|(t, _), _| *t != travel);
+        }
+        // Clear sync-step buffers *and* any pre-handoff early-sync stash:
+        // the re-drive resends everything, so stale stashed items would be
+        // double-counted into the new buffers.
+        sh.early_sync.lock().remove(&travel);
+        sh.sync_bufs.lock().remove(&travel);
+        if let Some(restarted) = restarted {
+            if restarted != sh.id {
+                // The restarted incarnation's receive cursor is gone;
+                // unacked pre-crash messages to it are unusable by the
+                // fresh process (its worker state is rebuilt by the
+                // re-drive, its coordinator state by the successor), so
+                // drop them and restart at seq 1.
+                let mut out = sh.relay_out.lock();
+                out.next_seq.remove(&(travel, restarted));
+                out.pending
+                    .retain(|&(t, to, _), _| !(t == travel && to == restarted));
+            }
+        }
+        if sh.id != coordinator {
+            sh.coords.lock().remove(&travel);
+        }
     }
     let j = sh.journal.lock().remove(&travel).unwrap_or_default();
     // Raw send: the handoff protocol *is* the recovery path, so it rides
@@ -1252,6 +1732,7 @@ fn finish_recovery(sh: &Arc<Shared>, travel: TravelId) {
             let _ = sh.ep.send(s, Msg::Abort { travel });
         }
         let _ = sh.ep.send(client, Msg::TravelDone { travel, outcome });
+        let _ = sh.ep.send(client, Msg::RecoverDone { travel, epoch });
         return;
     }
     let seeded = scratch.results_flat();
@@ -1287,6 +1768,10 @@ fn finish_recovery(sh: &Arc<Shared>, travel: TravelId) {
         }
         dispatch_travel_source(sh, travel, &plan, epoch);
     }
+    // Acknowledged handoff: tell the orchestrating client the takeover
+    // finished (re-announce barrier drained, traversal re-driven). Raw
+    // send — this is the recovery control plane, not travel traffic.
+    let _ = sh.ep.send(client, Msg::RecoverDone { travel, epoch });
 }
 
 /// Complete an asynchronous traversal if its ledger says so.
@@ -1358,7 +1843,7 @@ fn handle_submit(sh: &Arc<Shared>, travel: TravelId, plan: Arc<Plan>, client: us
 fn dispatch_travel_source(sh: &Arc<Shared>, travel: TravelId, plan: &Arc<Plan>, tepoch: u64) {
     match &plan.source {
         Source::Ids(ids) => {
-            let buckets = sh.partitioner.group_by_owner(ids.iter().copied());
+            let buckets = sh.placement.group_by_primary(ids.iter().copied());
             let mut any = false;
             for (owner, vids) in buckets.into_iter().enumerate() {
                 if vids.is_empty() {
@@ -1445,7 +1930,7 @@ fn resolve_local_source(sh: &Arc<Shared>, plan: &Plan) -> Vec<VertexId> {
         Source::Ids(ids) => ids
             .iter()
             .copied()
-            .filter(|&v| sh.partitioner.owner(v) == sh.id)
+            .filter(|&v| sh.placement.is_primary_vid(sh.id, v))
             .collect(),
         Source::All => {
             let scan = if let Some(t) = plan.source_type_hint() {
@@ -1453,7 +1938,13 @@ fn resolve_local_source(sh: &Arc<Shared>, plan: &Plan) -> Vec<VertexId> {
             } else {
                 sh.partition.all_vertex_ids()
             };
+            // Replication and migration residue mean the local store may
+            // hold vertices this server is no longer (or never was) the
+            // primary for; scanning them too would double-count sources.
             scan.unwrap_or_default()
+                .into_iter()
+                .filter(|&v| sh.placement.is_primary_vid(sh.id, v))
+                .collect()
         }
     }
 }
@@ -2112,7 +2603,7 @@ fn process_one(
         if !hop.edge_filters.matches(eprops) {
             continue;
         }
-        let owner = sh.partitioner.owner(*dst);
+        let owner = sh.placement.primary_of_vid(*dst);
         out.dst_by_owner
             .entry(owner)
             .or_default()

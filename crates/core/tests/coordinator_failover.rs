@@ -468,6 +468,9 @@ fn no_crash_means_zero_failover_counters() {
         for (name, value) in m.failover_counters() {
             assert_eq!(value, 0, "server {s}: `{name}` moved without a crash");
         }
+        for (name, value) in m.placement_counters() {
+            assert_eq!(value, 0, "server {s}: `{name}` moved on a static cluster");
+        }
     }
     assert_eq!(cluster.net_stats().handoffs(), 0);
     cluster.shutdown();

@@ -1,0 +1,551 @@
+//! Placement, replication & live shard migration suite (gt-placement).
+//!
+//! The versioned placement map replaces the implicit `hash % n` routing:
+//! every partition has a primary plus `rf - 1` replicas, graph mutations
+//! and travel-ledger events fan out synchronously to the replica set, and
+//! partitions move between live servers via snapshot + delta + epoch-
+//! bumped cutover — all while traversals are in flight.
+
+use graphtrek::oracle;
+use graphtrek::prelude::*;
+use gt_graph::{Edge, InMemoryGraph, Props, Vertex};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "gt-placement-{}-{name}-{:?}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+/// Random layered metadata-ish graph (same shape as the chaos suite).
+fn random_graph(seed: u64, n: u64) -> InMemoryGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut g = InMemoryGraph::new();
+    let types = ["User", "Execution", "File"];
+    let labels = ["run", "read", "write", "link"];
+    for i in 0..n {
+        let t = types[rng.gen_range(0..types.len())];
+        g.add_vertex(Vertex::new(
+            i,
+            t,
+            Props::new().with("w", rng.gen_range(0..10) as i64),
+        ));
+    }
+    for _ in 0..n * 4 {
+        let src = rng.gen_range(0..n);
+        let dst = rng.gen_range(0..n);
+        let label = labels[rng.gen_range(0..labels.len())];
+        g.add_edge(Edge::new(
+            src,
+            label,
+            dst,
+            Props::new().with("ts", rng.gen_range(0..100) as i64),
+        ));
+    }
+    g
+}
+
+fn placement_query() -> GTravel {
+    GTravel::v([0u64, 1, 2, 3, 4, 5])
+        .e("link")
+        .rtn()
+        .e("read")
+        .va(PropFilter::range("w", 0i64, 8i64))
+        .e("link")
+        .e("link")
+}
+
+fn oracle_map(g: &InMemoryGraph, q: &GTravel) -> BTreeMap<u16, Vec<VertexId>> {
+    oracle::traverse(g, &q.compile().unwrap())
+        .by_depth
+        .iter()
+        .map(|(&d, s)| (d, s.iter().copied().collect()))
+        .collect()
+}
+
+/// Slow every server's vertex accesses a little so a travel started just
+/// before a placement change is still mid-flight when the change lands.
+fn crawl(n_servers: usize) -> FaultPlan {
+    FaultPlan {
+        stragglers: (0..n_servers)
+            .flat_map(|s| {
+                [1u16, 2].map(|step| Straggler {
+                    server: s,
+                    step,
+                    delay: Duration::from_millis(2),
+                    count: 200,
+                })
+            })
+            .collect(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tentpole (a): replica promotion after a primary crash — all engines
+// ---------------------------------------------------------------------
+
+/// rf = 2: crash a non-coordinator primary mid-travel, wipe its store
+/// directory (disk gone, machine gone), promote its replicas, and the
+/// travel still returns exactly the oracle's result — with every acked
+/// ingest readable afterwards. Zero data loss without the dead server's
+/// disk is the whole point of synchronous replication.
+#[test]
+fn replica_promotion_after_primary_crash_on_all_engines() {
+    let base = random_graph(11, 50);
+    let mut g = random_graph(11, 50);
+    // Freshly ingested data (mirrored into the oracle graph only): the
+    // cluster is built from `base` and receives these rows through the
+    // replicating ingest path, so the acked writes must be readable
+    // after the primary holding them dies.
+    let new_vertices: Vec<Vertex> = (1000u64..1006)
+        .map(|i| Vertex::new(i, "File", Props::new().with("w", 3i64)))
+        .collect();
+    let new_edges = vec![
+        Edge::new(0u64, "link", 1000u64, Props::new().with("ts", 5i64)),
+        Edge::new(1000u64, "link", 1001u64, Props::new().with("ts", 6i64)),
+    ];
+    for v in &new_vertices {
+        g.add_vertex(v.clone());
+    }
+    for e in &new_edges {
+        g.add_edge(e.clone());
+    }
+    let q = placement_query();
+    let want = oracle_map(&g, &q);
+    for kind in EngineKind::all() {
+        let dir = tmp(&format!("promote-{kind:?}"));
+        let cluster = Cluster::build(
+            &base,
+            ClusterConfig::new(&dir, 3).replication(2),
+            EngineConfig::new(kind)
+                .force_reliable_delivery(true)
+                .faults(crawl(3)),
+        )
+        .unwrap();
+        let applied = cluster
+            .ingest(new_vertices.clone(), new_edges.clone())
+            .unwrap();
+        assert!(applied > 0, "{kind:?}: ingest must be acked");
+        let m = cluster.metrics();
+        assert!(
+            m.iter().map(|s| s.replica_writes).sum::<u64>() > 0,
+            "{kind:?}: rf=2 ingest must fan out to replicas"
+        );
+        let ticket = cluster.start(&q).unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        let coord = (ticket.travel() as usize) % 3;
+        let dead = (coord + 1) % 3;
+        cluster.crash_server(dead).unwrap();
+        // The disk is gone too: promotion must not depend on WAL replay.
+        std::fs::remove_dir_all(dir.join(format!("server-{dead}"))).ok();
+        let promoted = cluster.promote(dead).unwrap();
+        assert!(
+            !promoted.is_empty(),
+            "{kind:?}: server {dead} primaried at least one partition"
+        );
+        let got = cluster
+            .wait(&ticket, Duration::from_secs(30))
+            .unwrap_or_else(|e| panic!("{kind:?}: travel must survive promotion: {e}"));
+        assert_eq!(got.by_depth, want, "{kind:?} diverged across promotion");
+        // Zero data loss: every acked write (and all original data) is
+        // still served — by the promoted replicas, not the wiped disk.
+        for v in &new_vertices {
+            let found = cluster.get_vertex(v.id).unwrap();
+            assert!(
+                found.is_some(),
+                "{kind:?}: acked vertex {:?} lost with server {dead}",
+                v.id
+            );
+        }
+        let map = cluster.placement();
+        assert!(
+            map.primaried_by(dead).is_empty(),
+            "{kind:?}: the dead server must primary nothing after promotion"
+        );
+        cluster.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tentpole (b): decommission drains a server mid-travel — all engines
+// ---------------------------------------------------------------------
+
+/// Drain a live non-coordinator server while a travel is in flight: its
+/// partitions migrate away (snapshot + delta + cutover re-routing the
+/// frontier), the travel completes with the oracle's result, and the
+/// drained server ends up primarying nothing. Follow-up travels —
+/// including ones whose id hashes onto the drained server — still work.
+#[test]
+fn decommission_drains_server_mid_travel_on_all_engines() {
+    let g = random_graph(13, 60);
+    let q = placement_query();
+    let want = oracle_map(&g, &q);
+    for kind in EngineKind::all() {
+        let dir = tmp(&format!("drain-{kind:?}"));
+        let cluster = Cluster::build(
+            &g,
+            ClusterConfig::new(&dir, 4),
+            EngineConfig::new(kind)
+                .force_reliable_delivery(true)
+                .faults(crawl(4)),
+        )
+        .unwrap();
+        let ticket = cluster.start(&q).unwrap();
+        let coord = (ticket.travel() as usize) % 4;
+        let drained = (coord + 1) % 4;
+        let moves = cluster.decommission(drained).unwrap();
+        assert!(
+            !moves.is_empty(),
+            "{kind:?}: draining must migrate at least one partition"
+        );
+        let got = cluster
+            .wait(&ticket, Duration::from_secs(30))
+            .unwrap_or_else(|e| panic!("{kind:?}: travel must survive the drain: {e}"));
+        assert_eq!(got.by_depth, want, "{kind:?} diverged across the drain");
+        let map = cluster.placement();
+        assert!(map.is_decommissioned(drained), "{kind:?}: flagged");
+        assert!(
+            map.primaried_by(drained).is_empty(),
+            "{kind:?}: a drained server must primary nothing"
+        );
+        let m = cluster.metrics();
+        assert!(
+            m.iter().map(|s| s.migrate_chunks_in).sum::<u64>() > 0,
+            "{kind:?}: migration must have shipped chunks"
+        );
+        assert!(
+            cluster.net_stats().bulk_messages() > 0,
+            "{kind:?}: snapshot chunks ride the bulk traffic class"
+        );
+        // Travels keep landing correctly — including ids whose hash
+        // coordinator would have been the drained server (the ring
+        // advances past it).
+        for _ in 0..4 {
+            let r = cluster.submit(&q).unwrap();
+            assert_eq!(r.by_depth, want, "{kind:?}: post-drain travel diverged");
+        }
+        cluster.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tentpole (c): coordinator + ledger-disk loss with rf ≥ 2
+// ---------------------------------------------------------------------
+
+/// DESIGN.md §8 used to call this unrecoverable: the coordinator dies
+/// *and* its durable travel-ledger log is unreadable. With rf = 2 every
+/// appended ledger blob was synchronously fanned to a peer's sidecar log,
+/// so the failover replays the replica copy and the travel still finishes
+/// with the oracle's result.
+#[test]
+fn coordinator_and_ledger_disk_loss_recovers_with_replication() {
+    let g = random_graph(17, 50);
+    let q = placement_query();
+    let want = oracle_map(&g, &q);
+    for kind in [EngineKind::AsyncPlain, EngineKind::GraphTrek] {
+        let dir = tmp(&format!("ledger-loss-{kind:?}"));
+        let cluster = Cluster::build(
+            &g,
+            ClusterConfig::new(&dir, 3).replication(2),
+            EngineConfig::new(kind).force_reliable_delivery(true),
+        )
+        .unwrap();
+        // Travel 1's coordinator is server 1; starving server 0 keeps the
+        // travel in flight while ledger events accumulate and replicate.
+        cluster.isolate_server(0, true);
+        let ticket = cluster.start(&q).unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        cluster.crash_server(1).unwrap();
+        // Lose the ledger disk too — the previously unrecoverable case.
+        std::fs::remove_file(dir.join("server-1").join("travel-ledger.log")).ok();
+        cluster.isolate_server(0, false);
+        let got = cluster
+            .wait(&ticket, Duration::from_secs(30))
+            .unwrap_or_else(|e| panic!("{kind:?}: replica ledger must cover the loss: {e}"));
+        assert_eq!(got.by_depth, want, "{kind:?} diverged after ledger loss");
+        assert_eq!(got.failovers, 1, "{kind:?}: one failover");
+        let m = cluster.metrics();
+        assert!(
+            m.iter().map(|s| s.ledger_blobs_replicated).sum::<u64>() > 0,
+            "{kind:?}: ledger blobs must have been replicated before the crash"
+        );
+        cluster.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tentpole (d): dormancy — a static cluster pays nothing
+// ---------------------------------------------------------------------
+
+/// On a static single-replica cluster every placement/replication/
+/// migration counter stays exactly zero, no bulk traffic moves, and the
+/// rebalancer proposes no moves: the subsystem is free until used.
+#[test]
+fn static_cluster_keeps_every_placement_counter_at_zero() {
+    let g = random_graph(29, 50);
+    let q = placement_query();
+    let want = oracle_map(&g, &q);
+    let dir = tmp("dormant");
+    let cluster = Cluster::build(
+        &g,
+        ClusterConfig::new(&dir, 3),
+        EngineConfig::new(EngineKind::GraphTrek).force_reliable_delivery(true),
+    )
+    .unwrap();
+    assert_eq!(cluster.replication_factor(), 1);
+    assert_eq!(cluster.durability(), DurabilityLevel::Durable);
+    assert!(cluster.durability_warning().is_none());
+    let got = cluster.submit(&q).unwrap();
+    assert_eq!(got.by_depth, want);
+    for (s, m) in cluster.metrics().into_iter().enumerate() {
+        for (name, value) in m.placement_counters() {
+            assert_eq!(value, 0, "server {s}: `{name}` moved on a static cluster");
+        }
+    }
+    assert_eq!(cluster.net_stats().bulk_messages(), 0);
+    assert_eq!(cluster.net_stats().bulk_bytes(), 0);
+    assert!(
+        cluster.rebalance().unwrap().is_empty(),
+        "a balanced cluster must propose no moves"
+    );
+    cluster.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Clusters assembled over borrowed partitions (`from_partitions`) own no
+/// storage: no WAL replay, no durable travel ledgers, no replication.
+/// That used to be silent; now it is a typed level plus a warning string.
+#[test]
+fn from_partitions_clusters_carry_a_typed_durability_warning() {
+    let g = random_graph(31, 30);
+    let dir = tmp("ephemeral");
+    // Materialize stores once, then rebuild a cluster over the loaded
+    // partitions the way the benchmark harness does.
+    {
+        let seed = Cluster::build(
+            &g,
+            ClusterConfig::new(&dir, 2),
+            EngineConfig::new(EngineKind::GraphTrek),
+        )
+        .unwrap();
+        seed.shutdown();
+    }
+    let mut partitions = Vec::new();
+    for s in 0..2 {
+        let store = std::sync::Arc::new(
+            gt_kvstore::Store::open(gt_kvstore::StoreConfig::new(
+                dir.join(format!("server-{s}")),
+            ))
+            .unwrap(),
+        );
+        partitions.push(std::sync::Arc::new(
+            gt_graph::GraphPartition::open(store).unwrap(),
+        ));
+    }
+    let cluster = Cluster::from_partitions(
+        partitions,
+        gt_graph::EdgeCutPartitioner::new(2),
+        EngineConfig::new(EngineKind::GraphTrek),
+    )
+    .unwrap();
+    assert_eq!(cluster.durability(), DurabilityLevel::Ephemeral);
+    let warning = cluster
+        .durability_warning()
+        .expect("ephemeral clusters must warn");
+    assert!(
+        warning.contains("replication"),
+        "warning names what's missing"
+    );
+    cluster.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------
+// Migration under chaos, and the cutover-races-failover lane
+// ---------------------------------------------------------------------
+
+/// A live migration injected mid-travel under lossy chaos still yields
+/// the oracle's result on all three engines. The data plane is dropped,
+/// duplicated and delayed; the migration control plane is raw and FIFO.
+#[test]
+fn migration_mid_travel_under_chaos_on_all_engines() {
+    let g = random_graph(43, 50);
+    let q = placement_query();
+    let want = oracle_map(&g, &q);
+    for kind in EngineKind::all() {
+        let dir = tmp(&format!("mig-chaos-{kind:?}"));
+        let cluster = Cluster::build(
+            &g,
+            ClusterConfig::new(&dir, 3),
+            EngineConfig::new(kind).chaos(ChaosPlan::lossy(43)),
+        )
+        .unwrap();
+        let ticket = cluster.start(&q).unwrap();
+        // Move a partition primaried by a non-coordinator while the
+        // travel's frontier is live.
+        let coord = (ticket.travel() as usize) % 3;
+        let from = (coord + 1) % 3;
+        let to = (coord + 2) % 3;
+        let partition = *cluster
+            .placement()
+            .primaried_by(from)
+            .first()
+            .expect("every server primaries something initially");
+        cluster.migrate(partition, to).unwrap();
+        assert_eq!(cluster.placement().primary_of(partition), to);
+        let got = cluster
+            .wait(&ticket, Duration::from_secs(30))
+            .unwrap_or_else(|e| panic!("{kind:?}: travel must survive the migration: {e}"));
+        assert_eq!(got.by_depth, want, "{kind:?} diverged across migration");
+        cluster.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// The nasty lane: a migration cutover races a scripted coordinator
+/// failover under seeded chaos — and the whole interleaving is
+/// deterministic: same seed, same schedule ⇒ identical results, equal to
+/// the oracle, on repeat runs.
+#[test]
+fn migration_cutover_racing_coordinator_failover_is_deterministic() {
+    let run = |tag: &str| {
+        let g = random_graph(4242, 50);
+        let q = placement_query();
+        let dir = tmp(tag);
+        let plan = ChaosPlan {
+            crashes: vec![CrashPoint::coordinator(1, 4)],
+            ..ChaosPlan::lossy(4242)
+        };
+        let cluster = Cluster::build(
+            &g,
+            ClusterConfig::new(&dir, 3),
+            EngineConfig::new(EngineKind::GraphTrek).chaos(plan),
+        )
+        .unwrap();
+        let ticket = cluster.start(&q).unwrap(); // travel 1: coordinator 1
+                                                 // Migrate a partition off server 0 while the coordinator's crash
+                                                 // point is arming: the cutover broadcast and the failover handoff
+                                                 // interleave on every server.
+        let partition = *cluster.placement().primaried_by(0).first().unwrap();
+        cluster.migrate(partition, 2).unwrap();
+        let got = cluster
+            .wait(&ticket, Duration::from_secs(30))
+            .expect("travel must survive cutover + failover");
+        let m = cluster.metrics();
+        let crashed = m[1].crashes;
+        cluster.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+        (got.by_depth, got.failovers, crashed)
+    };
+    let want = oracle_map(&random_graph(4242, 50), &placement_query());
+    let (a, fa, ca) = run("race-a");
+    let (b, fb, cb) = run("race-b");
+    assert_eq!(a, want, "raced run must still match the oracle");
+    assert_eq!(a, b, "same seed must reproduce the same result");
+    assert_eq!(fa, fb, "same seed must reproduce the same failover count");
+    assert_eq!(ca, cb, "same seed must reproduce the same crash schedule");
+}
+
+// ---------------------------------------------------------------------
+// Satellites: journal ceiling, stalled-failover deadline
+// ---------------------------------------------------------------------
+
+/// The per-travel sent-journal is bounded: balanced created/terminated
+/// pairs compact away every `JOURNAL_COMPACT_EVERY` entries, so a long
+/// travel's journal memory stays flat instead of growing with every
+/// message — and a failover *after* compaction (re-announcing compacted
+/// journals) still converges on the oracle via the sentinel re-drive.
+#[test]
+fn sent_journal_is_compacted_and_memory_bounded() {
+    let g = random_graph(53, 600);
+    // Journal entries grow with depth × servers (one exec per frontier
+    // message per hop), so a very deep chain on the merge-free engine is
+    // what drives a single travel's journal past the compaction budget.
+    let mut q = GTravel::v((0u64..12).collect::<Vec<_>>());
+    for _ in 0..12 {
+        q = q.e("link").e("read").e("write");
+    }
+    let q = q.rtn();
+    let want = oracle_map(&g, &q);
+    let dir = tmp("journal-ceiling");
+    let plan = ChaosPlan {
+        crashes: vec![CrashPoint::coordinator(1, 120)],
+        ..ChaosPlan::none()
+    };
+    let cluster = Cluster::build(
+        &g,
+        ClusterConfig::new(&dir, 3),
+        EngineConfig::new(EngineKind::AsyncPlain).chaos(plan),
+    )
+    .unwrap();
+    let got = cluster.submit(&q).unwrap();
+    assert_eq!(got.by_depth, want, "compaction must never change results");
+    let m = cluster.metrics();
+    let compactions: u64 = m.iter().map(|s| s.journal_compactions).sum();
+    let peak = m.iter().map(|s| s.journal_peak_entries).max().unwrap();
+    assert!(
+        compactions >= 1,
+        "a {}-entry-peak travel must have compacted at least once",
+        peak
+    );
+    assert!(
+        peak <= 1024,
+        "journal peak {peak} exceeds the compaction ceiling"
+    );
+    cluster.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A successor that is unreachable (isolated) can never acknowledge the
+/// handoff: the orchestration re-nudges for `RECOVER_DEADLINE`, then
+/// surfaces a typed `FailoverStalled` instead of silently burning the
+/// client's whole travel timeout.
+#[test]
+fn unacknowledged_handoff_surfaces_failover_stalled() {
+    let g = random_graph(59, 40);
+    let q = placement_query();
+    let dir = tmp("stalled");
+    let cluster = Cluster::build(
+        &g,
+        ClusterConfig::new(&dir, 3),
+        EngineConfig::new(EngineKind::GraphTrek).force_reliable_delivery(true),
+    )
+    .unwrap();
+    // Travel 1: coordinator 1, successor-to-be 2. Isolating 2 both
+    // stalls the travel and swallows the recover/handoff rounds.
+    cluster.isolate_server(2, true);
+    let ticket = cluster.start(&q).unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+    cluster.crash_server(1).unwrap();
+    let started = std::time::Instant::now();
+    let err = cluster.wait(&ticket, Duration::from_secs(30));
+    assert!(
+        matches!(
+            err,
+            Err(ClusterError::Travel(TravelError::FailoverStalled { travel }))
+                if travel == ticket.travel()
+        ),
+        "expected FailoverStalled, got {err:?}"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(15),
+        "the stall must surface at the recovery deadline, not the travel timeout"
+    );
+    assert_eq!(cluster.active_travels(), 0, "slot must be released");
+    cluster.isolate_server(2, false);
+    cluster.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -405,4 +405,61 @@ proptest! {
             );
         }
     }
+
+    /// Live shard migrations injected while a travel is in flight never
+    /// change traversal semantics: for any random schedule of partition
+    /// moves the raced travel *and* a follow-up travel on the migrated
+    /// layout both return exactly the oracle's result.
+    #[test]
+    fn migrations_mid_travel_never_change_semantics(
+        gspec in graph_spec(),
+        pspec in plan_spec(),
+        schedule in proptest::collection::vec((0usize..64, 0usize..3), 1..4),
+    ) {
+        let g = build_graph(&gspec);
+        let q = build_query(&pspec, gspec.n_vertices);
+        let plan = q.compile().unwrap();
+        let want = oracle::traverse(&g, &plan);
+        let want_map: BTreeMap<u16, Vec<VertexId>> = want
+            .by_depth
+            .iter()
+            .map(|(&d, s)| (d, s.iter().copied().collect()))
+            .collect();
+        let dir = std::env::temp_dir().join(format!(
+            "gt-prop-mig-{}-{:?}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let cluster = Cluster::build(
+            &g,
+            ClusterConfig::new(&dir, 3),
+            EngineConfig::new(EngineKind::GraphTrek).force_reliable_delivery(true),
+        )
+        .unwrap();
+        let ticket = cluster.start(&q).unwrap();
+        for (psel, to) in schedule {
+            let partition = psel % cluster.placement().n_partitions();
+            cluster.migrate(partition, to).unwrap();
+        }
+        let raced = cluster.wait(&ticket, std::time::Duration::from_secs(60)).unwrap();
+        let after = cluster.submit(&q).unwrap();
+        cluster.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+        prop_assert_eq!(
+            &raced.by_depth,
+            &want_map,
+            "travel raced by migrations diverged; plan = {:?}",
+            plan
+        );
+        prop_assert_eq!(
+            &after.by_depth,
+            &want_map,
+            "travel on migrated layout diverged; plan = {:?}",
+            plan
+        );
+    }
 }

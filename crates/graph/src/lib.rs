@@ -38,6 +38,6 @@ pub mod value;
 pub use filter::{Cond, FilterSet, PropFilter};
 pub use memory::InMemoryGraph;
 pub use model::{Edge, Props, Vertex, VertexId};
-pub use partition::{EdgeCutPartitioner, ServerId};
+pub use partition::{splitmix64, EdgeCutPartitioner, ServerId};
 pub use storage::GraphPartition;
 pub use value::PropValue;

@@ -20,7 +20,9 @@ pub struct EdgeCutPartitioner {
 }
 
 /// splitmix64 finalizer — cheap, high-quality mixing of sequential ids.
-fn splitmix64(mut x: u64) -> u64 {
+/// Public so higher layers (placement maps) can reproduce the exact same
+/// vertex→partition assignment the seed cluster used.
+pub fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

@@ -138,6 +138,24 @@ impl Store {
         v
     }
 
+    /// Names of every namespace of this store, whether opened in this
+    /// process or only present on disk — the union a shard migration must
+    /// enumerate to ship a complete snapshot.
+    pub fn list_namespaces(&self) -> Vec<String> {
+        let mut set: std::collections::BTreeSet<String> =
+            self.trees.lock().keys().cloned().collect();
+        if let Ok(rd) = std::fs::read_dir(&self.cfg.dir) {
+            for entry in rd.flatten() {
+                if entry.path().is_dir() {
+                    if let Some(name) = entry.file_name().to_str() {
+                        set.insert(name.to_string());
+                    }
+                }
+            }
+        }
+        set.into_iter().collect()
+    }
+
     /// Flush every open namespace.
     pub fn flush_all(&self) -> Result<()> {
         let trees: Vec<Arc<Tree>> = self.trees.lock().values().cloned().collect();
@@ -256,6 +274,26 @@ mod tests {
             ns.get(b"persist").unwrap(),
             Some(Bytes::from_static(b"yes"))
         );
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn list_namespaces_sees_disk_and_open_sets() {
+        let dir = tmp("list");
+        {
+            let s = Store::open(StoreConfig::new(&dir)).unwrap();
+            s.namespace("alpha")
+                .unwrap()
+                .put(b"k".to_vec(), Bytes::from_static(b"v"))
+                .unwrap();
+            s.flush_all().unwrap();
+        }
+        // A fresh handle has nothing open, but alpha is on disk; opening
+        // beta (not yet flushed) must appear too.
+        let s = Store::open(StoreConfig::new(&dir)).unwrap();
+        s.namespace("beta").unwrap();
+        assert_eq!(s.list_namespaces(), vec!["alpha", "beta"]);
+        assert_eq!(s.open_namespaces(), vec!["beta"]);
         std::fs::remove_dir_all(dir).ok();
     }
 

@@ -338,6 +338,73 @@ impl Tree {
         Ok(())
     }
 
+    /// Every live entry of the namespace, newest-wins across memtable and
+    /// segments. Charged as maintenance I/O (free profile), like
+    /// compaction: shard-migration snapshot export must not distort the
+    /// modeled query cost.
+    pub fn export_all(&self) -> Result<Vec<(Vec<u8>, Bytes)>> {
+        let inner = self.inner.read();
+        let mut merged: BTreeMap<Vec<u8>, Option<Bytes>> = BTreeMap::new();
+        let mut scratch = Vec::new();
+        let free = IoProfile::free();
+        for seg in inner.segments.iter().rev() {
+            scratch.clear();
+            seg.scan_prefix(
+                self.cache_tag,
+                b"",
+                &self.cache,
+                &free,
+                &self.stats,
+                &mut scratch,
+            )?;
+            for (k, v) in scratch.drain(..) {
+                merged.insert(k, v);
+            }
+        }
+        for (k, v) in inner.memtable.scan_prefix(b"") {
+            merged.insert(k.to_vec(), v.cloned());
+        }
+        Ok(merged
+            .into_iter()
+            .filter_map(|(k, v)| v.map(|v| (k, v)))
+            .collect())
+    }
+
+    /// Import a snapshot chunk directly as one immutable segment,
+    /// bypassing the WAL and memtable — the receiving side of a shard
+    /// migration. Pairs need not be sorted; later duplicates within the
+    /// chunk lose to earlier ones after the stable sort. Entries already
+    /// present in the memtable still shadow the imported segment.
+    pub fn import_bulk(&self, mut pairs: Vec<(Vec<u8>, Bytes)>) -> Result<()> {
+        if pairs.is_empty() {
+            return Ok(());
+        }
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        pairs.dedup_by(|a, b| a.0 == b.0);
+        let mut inner = self.inner.write();
+        let id = self.next_segment_id.fetch_add(1, Ordering::Relaxed);
+        let final_path = self.dir.join(format!("seg-{id}.sst"));
+        let tmp_path = self.dir.join(format!("seg-{id}.sst.tmp"));
+        let mut builder =
+            SegmentBuilder::create(&tmp_path, pairs.len(), self.cfg.bloom_bits_per_key)?;
+        let mut written = 0usize;
+        for (k, v) in &pairs {
+            builder.add(k, Some(v))?;
+            written += k.len() + v.len();
+        }
+        drop(builder.finish(id)?);
+        std::fs::rename(&tmp_path, &final_path)?;
+        let seg = Segment::open(&final_path, id)?;
+        self.stats.record_write(written);
+        inner.segments.insert(0, Arc::new(seg));
+        if self.cfg.auto_compact_segments > 0
+            && inner.segments.len() >= self.cfg.auto_compact_segments
+        {
+            self.compact_locked(&mut inner)?;
+        }
+        Ok(())
+    }
+
     /// Number of on-disk segments (diagnostics).
     pub fn n_segments(&self) -> usize {
         self.inner.read().segments.len()
@@ -562,6 +629,71 @@ mod tests {
         }
         assert!(t.n_segments() >= 1, "memtable budget should trigger flush");
         assert_eq!(t.get(b"k00000").unwrap(), Some(big));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn export_import_roundtrip_across_trees() {
+        let (src, sdir) = open_tmp("exp-src");
+        for i in 0..200u32 {
+            src.put(
+                format!("k{i:04}").into_bytes(),
+                Bytes::from(format!("v{i}")),
+            )
+            .unwrap();
+        }
+        src.flush().unwrap();
+        src.put(b"k0001".to_vec(), Bytes::from_static(b"newer"))
+            .unwrap();
+        src.delete(b"k0002".to_vec()).unwrap();
+        let dump = src.export_all().unwrap();
+        assert_eq!(dump.len(), 199, "tombstone must be excluded");
+        assert!(dump.windows(2).all(|w| w[0].0 < w[1].0));
+
+        let (dst, ddir) = open_tmp("exp-dst");
+        dst.import_bulk(dump).unwrap();
+        assert_eq!(
+            dst.get(b"k0001").unwrap(),
+            Some(Bytes::from_static(b"newer"))
+        );
+        assert_eq!(dst.get(b"k0002").unwrap(), None);
+        assert_eq!(
+            dst.get(b"k0100").unwrap(),
+            Some(Bytes::from_static(b"v100"))
+        );
+        assert_eq!(dst.memtable_len(), 0, "import must bypass the memtable");
+        std::fs::remove_dir_all(sdir).ok();
+        std::fs::remove_dir_all(ddir).ok();
+    }
+
+    #[test]
+    fn import_bulk_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!("gtkv-tree-impreopen-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let cfg = TreeConfig::default();
+        {
+            let t = Tree::open(
+                "ns",
+                0,
+                dir.clone(),
+                Arc::new(BlockCache::new(64)),
+                IoProfile::free(),
+                cfg.clone(),
+            )
+            .unwrap();
+            t.import_bulk(vec![(b"a".to_vec(), Bytes::from_static(b"1"))])
+                .unwrap();
+        }
+        let t = Tree::open(
+            "ns",
+            0,
+            dir.clone(),
+            Arc::new(BlockCache::new(64)),
+            IoProfile::free(),
+            cfg,
+        )
+        .unwrap();
+        assert_eq!(t.get(b"a").unwrap(), Some(Bytes::from_static(b"1")));
         std::fs::remove_dir_all(dir).ok();
     }
 

@@ -305,6 +305,10 @@ impl<M: Send + WireSize + Clone + 'static> Endpoint<M> {
         }
         let size = msg.wire_size();
         sh.stats.record(self.id, to, size);
+        let bulk = msg.traffic_class() == crate::TrafficClass::Bulk;
+        if bulk {
+            sh.stats.record_bulk(size);
+        }
         let env = Envelope {
             from: self.id,
             to,
@@ -333,9 +337,12 @@ impl<M: Send + WireSize + Clone + 'static> Endpoint<M> {
                     } else {
                         rng.gen_range(0..=sh.cfg.jitter.as_nanos() as u64)
                     };
-                    sh.cfg.latency
-                        + Duration::from_nanos(jitter_ns)
-                        + sh.cfg.per_byte * (size as u32)
+                    let per_byte = if bulk {
+                        sh.cfg.bulk_per_byte
+                    } else {
+                        sh.cfg.per_byte
+                    };
+                    sh.cfg.latency + Duration::from_nanos(jitter_ns) + per_byte * (size as u32)
                 };
                 let mut deliver_at = Instant::now() + delay + extra;
                 // A chaos-delayed message with `reorder` on skips the FIFO
@@ -430,6 +437,7 @@ mod tests {
             latency: Duration::from_millis(5),
             jitter: Duration::ZERO,
             per_byte: Duration::ZERO,
+            bulk_per_byte: Duration::ZERO,
             seed: 1,
         };
         let (_fabric, eps) = Fabric::<u64>::new(2, cfg);
@@ -447,6 +455,7 @@ mod tests {
             latency: Duration::from_micros(100),
             jitter: Duration::from_micros(500),
             per_byte: Duration::ZERO,
+            bulk_per_byte: Duration::ZERO,
             seed: 7,
         };
         let (_fabric, eps) = Fabric::<u64>::new(2, cfg);
@@ -496,6 +505,7 @@ mod tests {
             latency: Duration::from_micros(1),
             jitter: Duration::ZERO,
             per_byte: Duration::from_micros(10),
+            bulk_per_byte: Duration::ZERO,
             seed: 0,
         };
         let (_fabric, eps) = Fabric::<Vec<u8>>::new(2, cfg);
@@ -537,6 +547,48 @@ mod tests {
         assert_eq!(eps[0].recv().unwrap().msg, 7);
     }
 
+    /// A payload that rides the bulk bandwidth lane.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct Chunk(Vec<u8>);
+
+    impl WireSize for Chunk {
+        fn wire_size(&self) -> usize {
+            self.0.len()
+        }
+        fn traffic_class(&self) -> crate::TrafficClass {
+            crate::TrafficClass::Bulk
+        }
+    }
+
+    #[test]
+    fn bulk_class_charged_at_bulk_rate() {
+        let cfg = NetConfig {
+            latency: Duration::from_micros(1),
+            jitter: Duration::ZERO,
+            per_byte: Duration::ZERO,
+            bulk_per_byte: Duration::from_micros(10),
+            seed: 0,
+        };
+        let (fabric, eps) = Fabric::<Chunk>::new(2, cfg);
+        let t0 = Instant::now();
+        eps[0].send(1, Chunk(vec![0u8; 1000])).unwrap();
+        eps[1].recv_timeout(Duration::from_secs(5)).unwrap();
+        // 1000 bytes * 10µs bulk rate = 10ms minimum despite per_byte = 0.
+        assert!(t0.elapsed() >= Duration::from_millis(10));
+        let st = fabric.stats();
+        assert_eq!(st.bulk_messages(), 1);
+        assert_eq!(st.bulk_bytes(), 1000);
+    }
+
+    #[test]
+    fn interactive_traffic_leaves_bulk_counters_flat() {
+        let (fabric, eps) = Fabric::<Vec<u8>>::new(2, NetConfig::instant());
+        eps[0].send(1, vec![0u8; 100]).unwrap();
+        eps[1].recv().unwrap();
+        assert_eq!(fabric.stats().bulk_messages(), 0);
+        assert_eq!(fabric.stats().bulk_bytes(), 0);
+    }
+
     /// A message that opts into chaos with its value as identity.
     #[derive(Debug, Clone, PartialEq, Eq)]
     struct Keyed(u64);
@@ -548,6 +600,42 @@ mod tests {
         fn chaos_key(&self) -> Option<u64> {
             Some(self.0)
         }
+    }
+
+    /// A keyed bulk message: chaos coverage must extend to the bulk lane.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct KeyedChunk(u64);
+
+    impl WireSize for KeyedChunk {
+        fn wire_size(&self) -> usize {
+            64
+        }
+        fn chaos_key(&self) -> Option<u64> {
+            Some(self.0)
+        }
+        fn traffic_class(&self) -> crate::TrafficClass {
+            crate::TrafficClass::Bulk
+        }
+    }
+
+    #[test]
+    fn keyed_bulk_messages_stay_under_chaos() {
+        let (fabric, eps) = Fabric::<KeyedChunk>::with_chaos(2, NetConfig::instant(), lossy(99, 2));
+        for k in 0..500u64 {
+            eps[0].send(1, KeyedChunk(k)).unwrap();
+        }
+        let mut arrived = 0u64;
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while Instant::now() < deadline {
+            match eps[1].recv_timeout(Duration::from_millis(50)) {
+                Ok(_) => arrived += 1,
+                Err(_) => break,
+            }
+        }
+        let st = fabric.stats();
+        assert!(st.chaos_dropped() > 50, "bulk lane must not dodge chaos");
+        assert!(arrived < 500 + st.chaos_duplicated());
+        assert_eq!(st.bulk_messages(), 500 - st.chaos_dropped());
     }
 
     fn lossy(seed: u64, scope: usize) -> ChaosConfig {

@@ -37,6 +37,19 @@ pub use config::NetConfig;
 pub use fabric::{Endpoint, Envelope, Fabric, RecvError, SendError};
 pub use stats::NetStats;
 
+/// Bandwidth class of a message, selecting which per-byte cost the fabric
+/// charges. Interactive traffic (frontier relays, control plane) rides the
+/// fast `per_byte` rate; bulk transfers (shard-migration snapshot chunks)
+/// are charged the slower `bulk_per_byte` rate, modelling a streaming lane
+/// that does not contend with the latency-sensitive path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficClass {
+    /// Latency-sensitive traversal/control traffic (the default).
+    Interactive,
+    /// Throughput-oriented background transfer (snapshot shipping).
+    Bulk,
+}
+
 /// Implemented by message types so the fabric can model transmission cost.
 pub trait WireSize {
     /// Approximate serialized size in bytes.
@@ -49,6 +62,12 @@ pub trait WireSize {
     /// from chaos entirely — appropriate for control-plane traffic.
     fn chaos_key(&self) -> Option<u64> {
         None
+    }
+
+    /// Which bandwidth lane this message occupies. Defaults to
+    /// [`TrafficClass::Interactive`]; bulk-transfer payloads override.
+    fn traffic_class(&self) -> TrafficClass {
+        TrafficClass::Interactive
     }
 }
 

@@ -13,6 +13,8 @@ pub struct NetStats {
     chaos_duplicated: AtomicU64,
     chaos_delayed: AtomicU64,
     handoffs: AtomicU64,
+    bulk_messages: AtomicU64,
+    bulk_bytes: AtomicU64,
 }
 
 impl NetStats {
@@ -27,6 +29,8 @@ impl NetStats {
             chaos_duplicated: AtomicU64::new(0),
             chaos_delayed: AtomicU64::new(0),
             handoffs: AtomicU64::new(0),
+            bulk_messages: AtomicU64::new(0),
+            bulk_bytes: AtomicU64::new(0),
         }
     }
 
@@ -110,6 +114,22 @@ impl NetStats {
     /// Role handoffs orchestrated over the fabric.
     pub fn handoffs(&self) -> u64 {
         self.handoffs.load(Ordering::Relaxed)
+    }
+
+    /// Record one bulk-class message (in addition to the per-link record).
+    pub fn record_bulk(&self, bytes: usize) {
+        self.bulk_messages.fetch_add(1, Ordering::Relaxed);
+        self.bulk_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Messages that rode the bulk bandwidth lane.
+    pub fn bulk_messages(&self) -> u64 {
+        self.bulk_messages.load(Ordering::Relaxed)
+    }
+
+    /// Bytes shipped on the bulk bandwidth lane.
+    pub fn bulk_bytes(&self) -> u64 {
+        self.bulk_bytes.load(Ordering::Relaxed)
     }
 
     /// Number of endpoints this fabric was built with.

@@ -10,6 +10,7 @@ fn per_link_fifo_holds_with_many_links_under_jitter() {
         latency: Duration::from_micros(50),
         jitter: Duration::from_micros(300),
         per_byte: Duration::ZERO,
+        bulk_per_byte: Duration::ZERO,
         seed: 99,
     };
     let n = 6;
@@ -92,6 +93,7 @@ fn delayed_broadcast_arrives_everywhere() {
         latency: Duration::from_micros(200),
         jitter: Duration::from_micros(100),
         per_byte: Duration::from_nanos(10),
+        bulk_per_byte: Duration::from_nanos(10),
         seed: 5,
     };
     let n = 8;
