@@ -1,0 +1,194 @@
+//! Frontier fan-out and point-read throughput, replica reads off vs on
+//! (the self-healing PR's read-routing change). Emits
+//! `BENCH_frontier.json` at the repo root with the before/after numbers
+//! so CI can diff them across commits.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphtrek::prelude::*;
+use gt_graph::{Edge, InMemoryGraph, Props, Vertex};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+const N_SERVERS: usize = 3;
+const REPLICATION: usize = 2;
+const N_VERTICES: u64 = 400;
+
+/// Layered metadata-ish graph, same shape as the chaos suites.
+fn bench_graph(seed: u64) -> InMemoryGraph {
+    let mut x = seed | 1;
+    let mut next = move || {
+        // splitmix64 — keep the bench free of RNG crate churn.
+        x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    let mut g = InMemoryGraph::new();
+    let types = ["User", "Execution", "File"];
+    let labels = ["run", "read", "write", "link"];
+    for i in 0..N_VERTICES {
+        let t = types[next() as usize % types.len()];
+        g.add_vertex(Vertex::new(
+            i,
+            t,
+            Props::new().with("w", (next() % 10) as i64),
+        ));
+    }
+    for _ in 0..N_VERTICES * 4 {
+        let src = next() % N_VERTICES;
+        let dst = next() % N_VERTICES;
+        let label = labels[next() as usize % labels.len()];
+        g.add_edge(Edge::new(
+            src,
+            label,
+            dst,
+            Props::new().with("ts", (next() % 100) as i64),
+        ));
+    }
+    g
+}
+
+fn fanout_query() -> GTravel {
+    GTravel::v([0u64, 1, 2, 3, 4, 5, 6, 7])
+        .e("link")
+        .e("read")
+        .e("link")
+        .e("link")
+}
+
+fn build_cluster(
+    g: &InMemoryGraph,
+    replica_reads: bool,
+    tag: &str,
+) -> (Cluster, std::path::PathBuf) {
+    let dir = std::env::temp_dir().join(format!("gt-bench-frontier-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let cluster = Cluster::build(
+        g,
+        ClusterConfig::new(&dir, N_SERVERS).replication(REPLICATION),
+        EngineConfig::new(EngineKind::GraphTrek).replica_reads(replica_reads),
+    )
+    .expect("build cluster");
+    (cluster, dir)
+}
+
+/// Time `ops` point reads round-robin over the vertex space.
+fn point_reads(cluster: &Cluster, ops: u64) -> Duration {
+    let start = Instant::now();
+    for i in 0..ops {
+        std::hint::black_box(
+            cluster
+                .get_vertex(VertexId((i * 7) % N_VERTICES))
+                .expect("point read"),
+        );
+    }
+    start.elapsed()
+}
+
+/// Time `ops` frontier fan-out traversals.
+fn frontier_travels(cluster: &Cluster, q: &GTravel, ops: u64) -> Duration {
+    let start = Instant::now();
+    for _ in 0..ops {
+        std::hint::black_box(cluster.submit(q).expect("travel"));
+    }
+    start.elapsed()
+}
+
+struct Lane {
+    ops: u64,
+    ns_per_op: f64,
+    ops_per_sec: f64,
+}
+
+impl Lane {
+    fn new(ops: u64, total: Duration) -> Self {
+        let ns = total.as_nanos() as f64 / ops as f64;
+        Lane {
+            ops,
+            ns_per_op: ns,
+            ops_per_sec: 1e9 / ns,
+        }
+    }
+
+    // The vendored serde_json stand-in renders Debug, not JSON, so the
+    // report (a small flat record) is formatted by hand to stay strict
+    // JSON for downstream tooling.
+    fn json(&self) -> String {
+        format!(
+            "{{\"ops\": {}, \"ns_per_op\": {:.1}, \"ops_per_sec\": {:.1}}}",
+            self.ops, self.ns_per_op, self.ops_per_sec
+        )
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let g = bench_graph(7);
+    let q = fanout_query();
+    let (off, off_dir) = build_cluster(&g, false, "off");
+    let (on, on_dir) = build_cluster(&g, true, "on");
+
+    const POINT_OPS: u64 = 2000;
+    const TRAVEL_OPS: u64 = 30;
+    // Warm both clusters so the JSON numbers compare steady states.
+    point_reads(&off, 200);
+    point_reads(&on, 200);
+    frontier_travels(&off, &q, 3);
+    frontier_travels(&on, &q, 3);
+
+    let pr_off = Lane::new(POINT_OPS, point_reads(&off, POINT_OPS));
+    let pr_on = Lane::new(POINT_OPS, point_reads(&on, POINT_OPS));
+    let fr_off = Lane::new(TRAVEL_OPS, frontier_travels(&off, &q, TRAVEL_OPS));
+    let fr_on = Lane::new(TRAVEL_OPS, frontier_travels(&on, &q, TRAVEL_OPS));
+    let served: u64 = on.metrics().iter().map(|m| m.replica_reads).sum();
+    assert!(
+        served > 0,
+        "replica-read cluster never routed a read to a replica"
+    );
+
+    let mut report = String::from("{\n");
+    let _ = writeln!(report, "  \"bench\": \"frontier\",");
+    let _ = writeln!(report, "  \"n_servers\": {N_SERVERS},");
+    let _ = writeln!(report, "  \"replication\": {REPLICATION},");
+    let _ = writeln!(report, "  \"engine\": \"GraphTrek\",");
+    let _ = writeln!(report, "  \"point_read_off\": {},", pr_off.json());
+    let _ = writeln!(report, "  \"point_read_on\": {},", pr_on.json());
+    let _ = writeln!(
+        report,
+        "  \"point_read_speedup\": {:.3},",
+        pr_off.ns_per_op / pr_on.ns_per_op
+    );
+    let _ = writeln!(report, "  \"frontier_off\": {},", fr_off.json());
+    let _ = writeln!(report, "  \"frontier_on\": {},", fr_on.json());
+    let _ = writeln!(
+        report,
+        "  \"frontier_speedup\": {:.3},",
+        fr_off.ns_per_op / fr_on.ns_per_op
+    );
+    let _ = writeln!(report, "  \"replica_reads_served\": {served}");
+    report.push_str("}\n");
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_frontier.json");
+    std::fs::write(out, report).expect("write BENCH_frontier.json");
+    eprintln!("wrote {out}");
+
+    // Criterion lane over the same clusters, for trend tracking.
+    let mut group = c.benchmark_group("frontier");
+    group.sample_size(10);
+    for (label, cluster) in [("replica_reads_off", &off), ("replica_reads_on", &on)] {
+        group.bench_function(format!("point_read/{label}"), |b| {
+            b.iter_custom(|iters| point_reads(cluster, iters))
+        });
+        group.bench_function(format!("fanout/{label}"), |b| {
+            b.iter_custom(|iters| frontier_travels(cluster, &q, iters))
+        });
+    }
+    group.finish();
+
+    off.shutdown();
+    on.shutdown();
+    std::fs::remove_dir_all(off_dir).ok();
+    std::fs::remove_dir_all(on_dir).ok();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

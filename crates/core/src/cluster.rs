@@ -21,7 +21,7 @@ use crate::lang::{GTravel, LangError, Plan};
 use crate::lockorder::OrderedMutex;
 use crate::message::{Msg, ProgressSnapshot, TravelOutcome};
 use crate::metrics::{MetricsSnapshot, ServerMetrics, TravelMetrics};
-use crate::server::{spawn, ServerArgs, ServerHandle};
+use crate::server::{spawn, DetectionConfig, ServerArgs, ServerHandle};
 use crate::TravelId;
 use gt_graph::storage::load_replicated;
 use gt_graph::{EdgeCutPartitioner, GraphPartition, InMemoryGraph, VertexId};
@@ -32,7 +32,7 @@ use gt_placement::rebalance::{plan_moves, Move};
 use gt_placement::{PlacementMap, SharedPlacement};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -58,6 +58,21 @@ const RECOVER_DEADLINE: Duration = Duration::from_secs(3);
 /// control messages at this period (covers a successor that was isolated
 /// when the first round arrived).
 const RECOVER_RENUDGE: Duration = Duration::from_millis(500);
+/// Mailbox stash key for [`Msg::Suspect`] reports, in a range no travel,
+/// request, or placement-version key reaches (see [`ClusterState::msg_key`]).
+const SUSPECT_KEY: u64 = 3u64 << 62;
+/// The healer thread's receive slice: how long it blocks on the shared
+/// client inbox per iteration before re-checking its stop flag and the
+/// under-replication scan deadline.
+const HEALER_SLICE: Duration = Duration::from_millis(10);
+/// How often the (otherwise idle) healer scans the placement map for
+/// under-replicated partitions and restores missing copies.
+const REREPLICATE_SCAN_EVERY: Duration = Duration::from_millis(25);
+
+/// Suspicions re-reported within this window of a heal are answered
+/// `confirmed` (stale, not false): the revived server's first heartbeat
+/// clears them on the reporter.
+const HEAL_STALE_WINDOW: Duration = Duration::from_secs(1);
 
 /// Storage-side configuration of a simulated cluster.
 #[derive(Debug, Clone)]
@@ -81,6 +96,11 @@ pub struct ClusterConfig {
     /// `1..=n_servers`. At 1 (the default) the cluster behaves exactly
     /// like the unreplicated seed.
     pub replication: usize,
+    /// Failure-detector tuning. `None` (the default) keeps the whole
+    /// self-healing layer dormant: no heartbeats, no healer thread, every
+    /// [`crate::metrics::MetricsSnapshot::self_heal_counters`] entry
+    /// stays zero.
+    pub detection: Option<DetectionConfig>,
 }
 
 impl ClusterConfig {
@@ -94,6 +114,7 @@ impl ClusterConfig {
             seal_cold: false,
             memtable_bytes: 8 << 20,
             replication: 1,
+            detection: None,
         }
     }
 
@@ -118,6 +139,18 @@ impl ClusterConfig {
     /// Builder-style: replication factor (see [`ClusterConfig::replication`]).
     pub fn replication(mut self, rf: usize) -> Self {
         self.replication = rf;
+        self
+    }
+
+    /// Builder-style: turn on self-healing (failure detection, automatic
+    /// promotion, background re-replication) with default detector tuning.
+    pub fn self_healing(self) -> Self {
+        self.detection(DetectionConfig::default())
+    }
+
+    /// Builder-style: self-healing with explicit detector tuning.
+    pub fn detection(mut self, cfg: DetectionConfig) -> Self {
+        self.detection = Some(cfg);
         self
     }
 }
@@ -383,7 +416,29 @@ struct ServerSlot {
 }
 
 /// A running simulated cluster plus its client endpoint.
+///
+/// `Cluster` is a thin owner around the shared [`ClusterState`]: with
+/// self-healing on ([`ClusterConfig::self_healing`]) a background healer
+/// thread holds the second reference, awaiting the servers' suspicion
+/// reports and restoring replication — every client-facing method lives
+/// on [`ClusterState`] and is reachable here through `Deref`.
 pub struct Cluster {
+    inner: Arc<ClusterState>,
+    /// The healer thread (self-healing clusters only).
+    healer: Option<std::thread::JoinHandle<()>>,
+    /// Tells the healer to exit at its next receive slice.
+    heal_stop: Arc<AtomicBool>,
+}
+
+impl std::ops::Deref for Cluster {
+    type Target = ClusterState;
+    fn deref(&self) -> &ClusterState {
+        &self.inner
+    }
+}
+
+/// The shared body of a running cluster (see [`Cluster`]).
+pub struct ClusterState {
     slots: Vec<ServerSlot>,
     fabric: Fabric<Msg>,
     client: Endpoint<Msg>,
@@ -409,13 +464,19 @@ pub struct Cluster {
     replication: usize,
     /// Whether this cluster owns durable storage.
     durability: DurabilityLevel,
+    /// Failure-detector tuning handed to every server incarnation.
+    detection: Option<DetectionConfig>,
+    /// Highest acknowledged ingest write-sequence per primary server: the
+    /// read-your-replication barrier attached to replica-routed point
+    /// queries. Lock-free — read on every `get_vertex`.
+    acked_w: Vec<AtomicU64>,
 }
 
 impl std::fmt::Debug for Cluster {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Cluster")
-            .field("n_servers", &self.slots.len())
-            .field("engine", &self.engine.kind)
+            .field("n_servers", &self.inner.slots.len())
+            .field("engine", &self.inner.engine.kind)
             .finish_non_exhaustive()
     }
 }
@@ -461,6 +522,7 @@ impl Cluster {
             ecfg,
             store_cfgs,
             map,
+            ccfg.detection,
         )
     }
 
@@ -479,7 +541,7 @@ impl Cluster {
     ) -> Result<Cluster, ClusterError> {
         let n = partitions.len();
         let map = PlacementMap::initial(n, 1);
-        Self::assemble(partitions, partitioner, ecfg, vec![None; n], map)
+        Self::assemble(partitions, partitioner, ecfg, vec![None; n], map, None)
     }
 
     /// Shared constructor: wire a chaos-aware fabric, spawn epoch-0
@@ -491,6 +553,7 @@ impl Cluster {
         ecfg: EngineConfig,
         store_cfgs: Vec<Option<StoreConfig>>,
         map: PlacementMap,
+        detection: Option<DetectionConfig>,
     ) -> Result<Cluster, ClusterError> {
         let n = partitions.len();
         let replication = map.replicas_of(0).len() + 1;
@@ -524,6 +587,7 @@ impl Cluster {
                 ledger_path: ledger_path.clone(),
                 placement: placement.clone(),
                 replication,
+                detection: detection.clone(),
             });
             slots.push(ServerSlot {
                 endpoint,
@@ -536,7 +600,8 @@ impl Cluster {
                 placement,
             });
         }
-        Ok(Cluster {
+        let self_heal = detection.is_some();
+        let inner = Arc::new(ClusterState {
             slots,
             fabric,
             client,
@@ -546,6 +611,8 @@ impl Cluster {
             placement: Arc::new(SharedPlacement::new(map)),
             replication,
             durability,
+            detection,
+            acked_w: (0..n).map(|_| AtomicU64::new(0)).collect(),
             // Client-side lock-order ranks (see `lockorder`): the failover
             // path holds `failover_lock` while touching routes and slots,
             // so it sits lowest; slot locks (`handle`, `partition`) rank
@@ -555,9 +622,41 @@ impl Cluster {
             routes: OrderedMutex::new(3, "routes", BTreeMap::new()),
             cancelled: OrderedMutex::new(5, "cancelled", BTreeSet::new()),
             failover_lock: OrderedMutex::new(1, "failover_lock", ()),
+        });
+        let heal_stop = Arc::new(AtomicBool::new(false));
+        let healer = if self_heal {
+            let state = inner.clone();
+            let stop = heal_stop.clone();
+            Some(
+                std::thread::Builder::new()
+                    .name("gt-healer".into())
+                    .spawn(move || healer_loop(&state, &stop))
+                    .map_err(|e| ClusterError::Recovery(format!("spawn healer: {e}")))?,
+            )
+        } else {
+            None
+        };
+        Ok(Cluster {
+            inner,
+            healer,
+            heal_stop,
         })
     }
 
+    /// Stop every server and join their threads (healer first, so it
+    /// cannot race the shutdown with a restart). Crashed-and-unrestarted
+    /// servers have no threads left; their handles join immediately.
+    pub fn shutdown(self) {
+        self.heal_stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.healer {
+            // gt-lint: allow(panic, "shutdown path: a panicked healer must surface, not vanish")
+            h.join().expect("healer panicked");
+        }
+        self.inner.shutdown_servers();
+    }
+}
+
+impl ClusterState {
     /// Whether server `id` has executed a crash (scripted via
     /// [`crate::faults::CrashPoint`] or injected with
     /// [`Cluster::crash_server`]) and not yet been restarted.
@@ -651,6 +750,7 @@ impl Cluster {
             ledger_path: slot.ledger_path.clone(),
             placement: slot.placement.clone(),
             replication: self.replication,
+            detection: self.detection.clone(),
         }));
         Ok(())
     }
@@ -810,6 +910,9 @@ impl Cluster {
             // no travel/request id reaches (ids are sequential from 1).
             Msg::PlacementAck { version, .. } => Some((1u64 << 62) | *version),
             Msg::MigrateApplied { mig, .. } => Some(*mig),
+            // Suspicion reports all share one key: the healer is the only
+            // waiter and drains them in arrival order.
+            Msg::Suspect { .. } => Some(SUSPECT_KEY),
             // Server-bound traffic never reaches the client mailbox; listed
             // explicitly so a new client-bound variant fails gt-lint here.
             Msg::Submit { .. }
@@ -841,6 +944,12 @@ impl Cluster {
             | Msg::MigrateData { .. }
             | Msg::MigrateCutover { .. }
             | Msg::MigrateFinish { .. }
+            | Msg::Heartbeat { .. }
+            | Msg::SuspectAck { .. }
+            | Msg::ReReplicateBegin { .. }
+            | Msg::ReReplicateData { .. }
+            | Msg::ReReplicateCutover { .. }
+            | Msg::ReReplicateFinish { .. }
             | Msg::Crash
             | Msg::Shutdown => None,
         }
@@ -1409,16 +1518,24 @@ impl Cluster {
                     },
                 )
                 .map_err(|_| ClusterError::Disconnected)?;
-            pending.push(req);
+            pending.push((req, owner));
         }
         let deadline = Instant::now() + Duration::from_secs(60);
         let mut applied = 0usize;
-        for req in pending {
+        for (req, owner) in pending {
             match self
                 .await_client_msg(req, |m| matches!(m, Msg::IngestAck { .. }), deadline)?
                 .0
             {
-                Msg::IngestAck { applied: a, .. } => applied += a,
+                Msg::IngestAck {
+                    applied: a, wseq, ..
+                } => {
+                    // Read-your-replication barrier: remember the highest
+                    // acked write sequence per origin. Replica reads below
+                    // this mark redirect to the primary.
+                    self.acked_w[owner].fetch_max(wseq, Ordering::Release);
+                    applied += a;
+                }
                 other => {
                     return Err(ClusterError::Recovery(format!(
                         "unexpected reply to ingest: {other:?}"
@@ -1432,7 +1549,8 @@ impl Cluster {
     /// Low-latency point query (§I: "frequent metadata operations such
     /// as permission checking"): fetch one vertex from its owning server.
     pub fn get_vertex(&self, vertex: VertexId) -> Result<Option<gt_graph::Vertex>, ClusterError> {
-        let owner = self.placement.primary_of_vid(vertex);
+        let primary = self.placement.primary_of_vid(vertex);
+        let (owner, barrier) = self.route_point_read(vertex, primary);
         let req = self.travel_ctr.fetch_add(1, Ordering::Relaxed);
         self.client
             .send(
@@ -1441,6 +1559,7 @@ impl Cluster {
                     req,
                     client: self.client.id(),
                     vertex,
+                    barrier,
                 },
             )
             .map_err(|_| ClusterError::Disconnected)?;
@@ -1456,6 +1575,52 @@ impl Cluster {
             other => Err(ClusterError::Recovery(format!(
                 "unexpected reply to vertex fetch: {other:?}"
             ))),
+        }
+    }
+
+    /// Pick the serving holder for a point read. With replica reads off
+    /// (the default) this is always the primary with no barrier —
+    /// byte-identical to the pre-replica-read code. With them on, the
+    /// least-loaded live holder serves, carrying the read-your-replication
+    /// barrier (the highest ingest sequence this client saw acked for the
+    /// primary) so acked writes are never invisible.
+    fn route_point_read(&self, vertex: VertexId, primary: usize) -> (usize, u64) {
+        if !self.engine.replica_reads {
+            return (primary, 0);
+        }
+        let holders: Vec<usize> = self
+            .placement
+            .holders_of_vid(vertex)
+            .into_iter()
+            .filter(|&s| !self.server_crashed(s))
+            .collect();
+        if holders.len() < 2 {
+            return (primary, 0);
+        }
+        let loads: Vec<u64> = holders
+            .iter()
+            .map(|&s| self.slots[s].metrics.real_io_visits.load(Ordering::Relaxed))
+            .collect();
+        let Some(&min) = loads.iter().min() else {
+            return (primary, 0);
+        };
+        // Ties (the idle-cluster common case) spread by vertex hash, so
+        // equal-load holders share the point-read traffic evenly.
+        let tied: Vec<usize> = holders
+            .into_iter()
+            .zip(&loads)
+            .filter(|&(_, &l)| l == min)
+            .map(|(s, _)| s)
+            .collect();
+        let pick = tied[gt_graph::splitmix64(vertex.0) as usize % tied.len()];
+        if pick == primary {
+            (primary, 0)
+        } else {
+            self.slots[pick]
+                .metrics
+                .replica_reads
+                .fetch_add(1, Ordering::Relaxed);
+            (pick, self.acked_w[primary].load(Ordering::Acquire))
         }
     }
 
@@ -1589,7 +1754,12 @@ impl Cluster {
             let host_alive = !self.server_crashed(coord)
                 && self.slots[coord].epoch.load(Ordering::SeqCst) == coord_epoch;
             if host_alive {
-                self.redrive(travel, Some(dead))?;
+                // Best-effort: the map flip above is already durable, so a
+                // re-drive that stalls (e.g. the revived slot still booting
+                // when the handoff barrier forms) must not fail the
+                // promotion — `Cluster::wait` re-drives any stalled travel
+                // through its own failover path.
+                let _ = self.redrive(travel, Some(dead));
             }
         }
         Ok(promoted)
@@ -1808,16 +1978,209 @@ impl Cluster {
         self.fabric.stats()
     }
 
-    /// Stop every server and join their threads. Crashed-and-unrestarted
-    /// servers have no threads left; their handles join immediately.
-    pub fn shutdown(self) {
+    /// Block until every server is live and every partition is back at
+    /// full replication factor, or `timeout` elapses. The convergence
+    /// primitive of the chaos tests: after a crash schedule, a
+    /// self-healing cluster must reach this state with **zero** client
+    /// intervention.
+    pub fn await_self_heal(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let all_live = (0..self.slots.len()).all(|s| !self.server_crashed(s));
+            if all_live
+                && self
+                    .placement
+                    .snapshot()
+                    .under_replicated(self.replication)
+                    .is_empty()
+            {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Healer action on a confirmed-dead server: epoch-fenced promotion
+    /// of its replicas (crediting `auto_promotions` on each new primary),
+    /// falling back to a plain restart when there is nothing to promote
+    /// (replication factor 1 — WAL replay restores the shard on durable
+    /// clusters, and `promote` itself revives the slot otherwise).
+    fn heal_dead_server(&self, dead: usize) {
+        if !self.server_crashed(dead) {
+            return; // raced a concurrent restart — nothing to heal
+        }
+        match self.promote(dead) {
+            Ok(promoted) => {
+                let map = self.placement.snapshot();
+                for &p in &promoted {
+                    self.slots[map.primary_of(p)]
+                        .metrics
+                        .auto_promotions
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(_) => {
+                let _ = self.restart_server(dead);
+            }
+        }
+    }
+
+    /// One background scan: restore the replication factor of every
+    /// under-replicated partition by copying it to the least-loaded live
+    /// non-holder. Failures are left for the next scan — the source may
+    /// itself be mid-promotion.
+    fn heal_under_replicated(&self) {
+        let map = self.placement.snapshot();
+        let short = map.under_replicated(self.replication);
+        if short.is_empty() {
+            return;
+        }
+        let active: BTreeSet<usize> = map.active_servers().into_iter().collect();
+        for (partition, _missing) in short {
+            if self.server_crashed(map.primary_of(partition)) {
+                continue; // promotion has to land first
+            }
+            let holders = map.holders_of(partition);
+            let target = (0..self.slots.len())
+                .filter(|s| active.contains(s) && !holders.contains(s))
+                .filter(|&s| !self.server_crashed(s))
+                .min_by_key(|&s| self.slots[s].metrics.real_io_visits.load(Ordering::Relaxed));
+            if let Some(to) = target {
+                let _ = self.rereplicate(partition, to);
+            }
+        }
+    }
+
+    /// Copy `partition` onto `to` as a new replica under live traffic:
+    /// the same snapshot + delta-trap machinery as [`Cluster::migrate`]
+    /// (bulk chunks ride the `Bulk` traffic class), except the cutover
+    /// *adds* `to` to the replica set instead of flipping the primary.
+    fn rereplicate(&self, partition: usize, to: usize) -> Result<(), ClusterError> {
+        let snapshot = self.placement.snapshot();
+        if to >= self.slots.len() || partition >= snapshot.n_partitions() {
+            return Err(ClusterError::Recovery(format!(
+                "rereplicate({partition}, {to}): no such partition or server"
+            )));
+        }
+        let from = snapshot.primary_of(partition);
+        if snapshot.holders_of(partition).contains(&to) {
+            return Ok(()); // raced another heal — already a holder
+        }
+        if self.server_crashed(from) || self.server_crashed(to) {
+            return Err(ClusterError::Recovery(format!(
+                "rereplicate({partition}, {to}): source or target is down"
+            )));
+        }
+        let mig = self.travel_ctr.fetch_add(1, Ordering::Relaxed);
+        let deadline = Instant::now() + Duration::from_secs(30);
+        self.client
+            .send(
+                from,
+                Msg::ReReplicateBegin {
+                    mig,
+                    partition,
+                    to,
+                    client: self.client.id(),
+                },
+            )
+            .map_err(|_| ClusterError::Disconnected)?;
+        // Phase 0: bulk snapshot applied on the target.
+        self.await_client_msg(
+            mig,
+            |m| matches!(m, Msg::MigrateApplied { phase: 0, .. }),
+            deadline,
+        )?;
+        // Phase 1: source seals the delta trap and ships racing writes.
+        self.client
+            .send(from, Msg::ReReplicateCutover { mig })
+            .map_err(|_| ClusterError::Disconnected)?;
+        self.await_client_msg(
+            mig,
+            |m| matches!(m, Msg::MigrateApplied { phase: 1, .. }),
+            deadline,
+        )?;
+        // Cutover: add the replica and broadcast; from here every write
+        // to the partition fans to `to` like any other holder.
+        let mut map = self.placement.snapshot();
+        if map.add_replica(partition, to) {
+            self.broadcast_placement(map)?;
+        }
+        for s in [from, to] {
+            self.client
+                .send(s, Msg::ReReplicateFinish { mig })
+                .map_err(|_| ClusterError::Disconnected)?;
+        }
+        Ok(())
+    }
+
+    /// Server-side half of [`Cluster::shutdown`]: stop every server and
+    /// join their threads.
+    fn shutdown_servers(&self) {
         for s in 0..self.slots.len() {
             let _ = self.client.send(s, Msg::Shutdown);
         }
-        for s in self.slots {
-            if let Some(h) = s.handle.into_inner() {
+        for s in &self.slots {
+            if let Some(h) = s.handle.lock().take() {
                 h.join();
             }
+        }
+    }
+}
+
+/// The self-healing loop, run on the `gt-healer` thread whenever the
+/// cluster was built with a [`DetectionConfig`]. It shares the client
+/// endpoint with the foreground API through the mailbox-stash protocol
+/// (every receive stashes messages it doesn't want, keyed by
+/// [`ClusterState::msg_key`], so concurrent waiters still see theirs):
+///
+/// 1. drain `Suspect` reports from the servers' phi-accrual detectors,
+///    ground-truth each against the actual crash state, and answer with
+///    a `SuspectAck` verdict (a false suspicion resets the reporter's
+///    inter-arrival window and bumps its `false_suspicions` counter);
+/// 2. heal confirmed-dead servers (promotion, falling back to restart);
+/// 3. periodically scan for under-replicated partitions and re-replicate
+///    them to the least-loaded live non-holders.
+fn healer_loop(cluster: &Arc<ClusterState>, stop: &AtomicBool) {
+    // Suspicions re-reported between a heal and the revived server's
+    // first heartbeat are stale, not false: answering `confirmed` keeps
+    // the reporter's `false_suspicions` honest (the standing suspicion
+    // clears itself on that heartbeat).
+    let mut healed: BTreeMap<usize, Instant> = BTreeMap::new();
+    let mut last_scan = Instant::now();
+    while !stop.load(Ordering::SeqCst) {
+        let slice = Instant::now() + HEALER_SLICE;
+        match cluster.await_client_msg(SUSPECT_KEY, |m| matches!(m, Msg::Suspect { .. }), slice) {
+            Ok((Msg::Suspect { from, suspect }, _)) => {
+                let crashed = cluster.server_crashed(suspect);
+                let stale = healed
+                    .get(&suspect)
+                    .is_some_and(|t| t.elapsed() < HEAL_STALE_WINDOW);
+                let _ = cluster.client.send(
+                    from,
+                    Msg::SuspectAck {
+                        suspect,
+                        confirmed: crashed || stale,
+                    },
+                );
+                if crashed {
+                    cluster.heal_dead_server(suspect);
+                    healed.insert(suspect, Instant::now());
+                }
+            }
+            // The matcher only admits Suspect; anything else is a
+            // key/matcher bug — ignore rather than kill the healer.
+            Ok(_) => {}
+            Err(e) if e.is_timeout() => {}
+            // Disconnected mid-shutdown (or a wedged fabric): back off so
+            // the loop doesn't spin hot until `stop` flips.
+            Err(_) => std::thread::sleep(HEALER_SLICE),
+        }
+        if last_scan.elapsed() >= REREPLICATE_SCAN_EVERY {
+            last_scan = Instant::now();
+            cluster.heal_under_replicated();
         }
     }
 }

@@ -76,6 +76,12 @@ pub struct EngineConfig {
     /// co-running travel's inserts never evict another travel below this
     /// floor (`0` = no reservation).
     pub cache_reserve_per_travel: usize,
+    /// Route point lookups and frontier reads to the least-loaded holder
+    /// of a partition (replica reads) instead of always the primary.
+    /// Off by default: a single-replica cluster routes byte-identically
+    /// to the pre-placement code, and every `self_heal_counters()` entry
+    /// stays zero.
+    pub replica_reads: bool,
 }
 
 impl EngineConfig {
@@ -94,6 +100,7 @@ impl EngineConfig {
             max_concurrent_travels: 0,
             fair_cross_travel: None,
             cache_reserve_per_travel: 0,
+            replica_reads: false,
         }
     }
 
@@ -162,6 +169,13 @@ impl EngineConfig {
     /// Builder-style: per-travel cache reservation floor.
     pub fn cache_reserve_per_travel(mut self, n: usize) -> Self {
         self.cache_reserve_per_travel = n;
+        self
+    }
+
+    /// Builder-style: replica-read routing for point lookups and
+    /// frontier reads.
+    pub fn replica_reads(mut self, on: bool) -> Self {
+        self.replica_reads = on;
         self
     }
 
@@ -250,6 +264,13 @@ mod tests {
         assert_eq!(cfg.max_concurrent_travels, 4);
         assert!(!cfg.fair_cross_travel_enabled());
         assert_eq!(cfg.cache_reserve_per_travel, 32);
+    }
+
+    #[test]
+    fn replica_reads_default_off() {
+        let cfg = EngineConfig::new(EngineKind::GraphTrek);
+        assert!(!cfg.replica_reads, "dormant by default");
+        assert!(cfg.replica_reads(true).replica_reads);
     }
 
     #[test]

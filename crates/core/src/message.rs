@@ -250,6 +250,10 @@ pub enum Msg {
         req: u64,
         /// Vertices + edges applied.
         applied: usize,
+        /// The primary's write watermark after this ingest. The client
+        /// remembers the highest acked watermark per primary and sends it
+        /// back as the read barrier on replica-routed point lookups.
+        wseq: u64,
     },
     /// Client → owner server: point metadata lookup.
     GetVertex {
@@ -259,6 +263,11 @@ pub enum Msg {
         client: usize,
         /// Vertex to fetch.
         vertex: VertexId,
+        /// Read-your-replication barrier: the highest primary write
+        /// watermark the client has seen acked for this vertex's
+        /// partition. A replica parks the read until its applied
+        /// watermark catches up; `0` (always satisfied) toward primaries.
+        barrier: u64,
     },
     /// Owner server → client: point lookup reply.
     VertexReply {
@@ -403,6 +412,10 @@ pub enum Msg {
         req: u64,
         /// The primary awaiting the ack.
         origin: usize,
+        /// The primary's write watermark for this mutation; the replica
+        /// advances its per-origin applied watermark to it (the replica
+        /// side of the read barrier).
+        wseq: u64,
         /// Vertices to upsert.
         vertices: Vec<gt_graph::Vertex>,
         /// Edges to upsert.
@@ -477,6 +490,88 @@ pub enum Msg {
     /// all migration state for `mig`.
     MigrateFinish {
         /// Migration id.
+        mig: TravelId,
+    },
+
+    // ------------------------------------------------- self-healing layer
+    /// Server → server: liveness beacon from the failure detector. Sent
+    /// raw, never relayed — losing one is exactly the signal the
+    /// phi-accrual estimator is built to absorb — but it carries a chaos
+    /// key, so injected drop/delay/duplication hits heartbeats like any
+    /// data-plane message (false-positive suppression is tested against
+    /// real jitter, not a chaos-exempt side channel).
+    Heartbeat {
+        /// Sending server.
+        from: usize,
+        /// Monotonic per-sender beacon number (chaos-key uniqueness).
+        seq: u64,
+        /// The sender's cumulative real-I/O visit count — a cheap load
+        /// proxy for least-loaded replica-read routing.
+        load: u64,
+    },
+    /// Monitor server → healer (client endpoint): peer `suspect`'s phi
+    /// value crossed the suspicion threshold. Re-sent periodically while
+    /// the suspicion stands, so a lost report cannot strand a dead
+    /// primary.
+    Suspect {
+        /// Reporting monitor server.
+        from: usize,
+        /// The suspected-dead server.
+        suspect: usize,
+    },
+    /// Healer → monitor server: verdict on a suspicion, from ground
+    /// truth. `confirmed = false` is a false positive — the monitor
+    /// counts it and resets its inter-arrival window for that peer so the
+    /// estimator re-learns the link's real jitter.
+    SuspectAck {
+        /// The server that was suspected.
+        suspect: usize,
+        /// Was the peer actually dead?
+        confirmed: bool,
+    },
+    /// Healer → source primary: start re-replicating `partition` to the
+    /// new holder `to` — stream a snapshot, then buffer a mutation delta
+    /// until cutover. Reuses the `migrate` snapshot + delta-trap
+    /// machinery; only the cutover differs (the map gains a replica
+    /// instead of re-pointing the primary).
+    ReReplicateBegin {
+        /// Flow id (drawn from the travel-id namespace).
+        mig: TravelId,
+        /// Partition being copied.
+        partition: usize,
+        /// The new replica holder.
+        to: usize,
+        /// Client endpoint orchestrating the flow.
+        client: usize,
+    },
+    /// Source primary → new replica: one chunk of the partition copy.
+    /// Phase semantics match [`Msg::MigrateData`] (0 = snapshot, raw
+    /// import; 1 = sealed delta via the write path); each phase is acked
+    /// with [`Msg::MigrateApplied`].
+    ReReplicateData {
+        /// Flow id.
+        mig: TravelId,
+        /// Partition being copied.
+        partition: usize,
+        /// Raw `(namespace, key, value)` triples.
+        pairs: Vec<(String, Vec<u8>, Vec<u8>)>,
+        /// 0 = snapshot, 1 = delta.
+        phase: u8,
+        /// Final chunk of this phase.
+        last: bool,
+        /// Client endpoint orchestrating the flow.
+        client: usize,
+    },
+    /// Healer → source primary: stop buffering, seal and ship the delta
+    /// as phase-1 chunks.
+    ReReplicateCutover {
+        /// Flow id.
+        mig: TravelId,
+    },
+    /// Healer → source and target: the replica is in the placement map;
+    /// drop all flow state for `mig`.
+    ReReplicateFinish {
+        /// Flow id.
         mig: TravelId,
     },
 
@@ -604,6 +699,18 @@ impl WireSize for Msg {
             Msg::MigrateApplied { .. } => 24,
             Msg::MigrateCutover { .. } => 12,
             Msg::MigrateFinish { .. } => 12,
+            Msg::Heartbeat { .. } => 20,
+            Msg::Suspect { .. } => 16,
+            Msg::SuspectAck { .. } => 12,
+            Msg::ReReplicateBegin { .. } => 32,
+            Msg::ReReplicateData { pairs, .. } => {
+                28 + pairs
+                    .iter()
+                    .map(|(ns, k, v)| 12 + ns.len() + k.len() + v.len())
+                    .sum::<usize>()
+            }
+            Msg::ReReplicateCutover { .. } => 12,
+            Msg::ReReplicateFinish { .. } => 12,
             Msg::Crash => 4,
             Msg::Shutdown => 4,
         }
@@ -611,18 +718,22 @@ impl WireSize for Msg {
 
     fn traffic_class(&self) -> gt_net::TrafficClass {
         match self {
-            // Snapshot chunks ride the bulk bandwidth lane; a relayed
-            // chunk inherits the class of its payload.
+            // Snapshot chunks (migration and re-replication) ride the
+            // bulk bandwidth lane so live travels aren't starved; a
+            // relayed chunk inherits the class of its payload.
             Msg::MigrateData { .. } => gt_net::TrafficClass::Bulk,
+            Msg::ReReplicateData { .. } => gt_net::TrafficClass::Bulk,
             Msg::Relay { inner, .. } => inner.traffic_class(),
             _ => gt_net::TrafficClass::Interactive,
         }
     }
 
     fn chaos_key(&self) -> Option<u64> {
-        // Only the reliable layer's envelopes face the lossy transport;
-        // the attempt counter is in the key so a retransmission re-rolls
-        // its fate instead of being dropped forever.
+        // The reliable layer's envelopes face the lossy transport; the
+        // attempt counter is in the key so a retransmission re-rolls its
+        // fate instead of being dropped forever. Heartbeats face it too —
+        // raw and unacked, because absorbing loss and jitter is the
+        // failure detector's job, and it must be tested against chaos.
         match self {
             Msg::Relay {
                 travel,
@@ -649,6 +760,9 @@ impl WireSize for Msg {
                 *seq,
                 *attempt,
             ])),
+            Msg::Heartbeat { from, seq, .. } => {
+                Some(gt_net::chaos_key_of(&[3, *from as u64, *seq]))
+            }
             // Everything else rides inside a Relay envelope (or is
             // client/control traffic that bypasses chaos); listed
             // explicitly so a new wire-facing variant fails gt-lint here.
@@ -687,6 +801,12 @@ impl WireSize for Msg {
             | Msg::MigrateApplied { .. }
             | Msg::MigrateCutover { .. }
             | Msg::MigrateFinish { .. }
+            | Msg::Suspect { .. }
+            | Msg::SuspectAck { .. }
+            | Msg::ReReplicateBegin { .. }
+            | Msg::ReReplicateData { .. }
+            | Msg::ReReplicateCutover { .. }
+            | Msg::ReReplicateFinish { .. }
             | Msg::Crash
             | Msg::Shutdown => None,
         }
@@ -722,7 +842,7 @@ mod tests {
     }
 
     #[test]
-    fn only_relay_messages_carry_chaos_keys() {
+    fn only_relays_and_heartbeats_carry_chaos_keys() {
         let relay = Msg::Relay {
             travel: 3,
             from: 1,
@@ -761,8 +881,36 @@ mod tests {
             "retransmissions re-roll their fate"
         );
         assert_ne!(relay.chaos_key(), ack.chaos_key());
-        // Control plane stays exempt.
+        // Heartbeats face chaos too: each beacon rolls its own fate, so
+        // a delay/drop plan jitters the detector's real input signal.
+        let hb = |seq| Msg::Heartbeat {
+            from: 1,
+            seq,
+            load: 0,
+        };
+        assert!(hb(7).chaos_key().is_some());
+        assert_ne!(hb(7).chaos_key(), hb(8).chaos_key());
+        assert_ne!(hb(7).chaos_key(), relay.chaos_key());
+        // Control plane stays exempt — including the suspicion verdicts
+        // and re-replication control (the healer's out-of-band channel).
         assert_eq!(Msg::Abort { travel: 3 }.chaos_key(), None);
+        assert_eq!(
+            Msg::Suspect {
+                from: 0,
+                suspect: 1
+            }
+            .chaos_key(),
+            None
+        );
+        assert_eq!(
+            Msg::SuspectAck {
+                suspect: 1,
+                confirmed: true
+            }
+            .chaos_key(),
+            None
+        );
+        assert_eq!(Msg::ReReplicateCutover { mig: 4 }.chaos_key(), None);
         assert_eq!(Msg::Crash.chaos_key(), None);
         assert_eq!(Msg::Shutdown.chaos_key(), None);
         // The envelope charges for its header plus the payload.
@@ -822,6 +970,27 @@ mod tests {
         assert_eq!(Msg::Crash.traffic_class(), TrafficClass::Interactive);
         assert_eq!(
             Msg::MigrateCutover { mig: 9 }.traffic_class(),
+            TrafficClass::Interactive
+        );
+        // Re-replication chunks share the bulk lane with migration;
+        // their control plane and heartbeats stay interactive.
+        let rr = Msg::ReReplicateData {
+            mig: 9,
+            partition: 1,
+            pairs: vec![("verts".to_string(), vec![0u8; 8], vec![1u8; 32])],
+            phase: 0,
+            last: false,
+            client: 3,
+        };
+        assert_eq!(rr.traffic_class(), TrafficClass::Bulk);
+        assert!(rr.wire_size() > 40, "chunk charges for its payload");
+        assert_eq!(
+            Msg::Heartbeat {
+                from: 0,
+                seq: 1,
+                load: 0
+            }
+            .traffic_class(),
             TrafficClass::Interactive
         );
     }

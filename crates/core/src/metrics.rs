@@ -80,6 +80,33 @@ pub struct ServerMetrics {
     pub journal_compactions: AtomicU64,
     /// High-water mark of live sent-journal entries across all travels.
     pub journal_peak_entries: AtomicU64,
+    /// Heartbeat messages this server sent to peers (failure detector).
+    pub heartbeats_sent: AtomicU64,
+    /// Heartbeat messages this server received from peers.
+    pub heartbeats_recv: AtomicU64,
+    /// Suspicions this server raised (phi crossed the threshold).
+    pub suspicions_raised: AtomicU64,
+    /// Suspicions the healer rejected because the peer was in fact alive
+    /// (delay-induced false positives; the detector window then resets).
+    pub false_suspicions: AtomicU64,
+    /// Automatic promotions executed by the self-healing loop on behalf
+    /// of partitions this server now primaries (no client involvement).
+    pub auto_promotions: AtomicU64,
+    /// Background re-replication flows this server completed as the new
+    /// replica target (restoring `rf` copies after a promotion).
+    pub rereplications: AtomicU64,
+    /// Re-replication snapshot/delta chunks sent by this server as the
+    /// source primary.
+    pub rereplicate_chunks_out: AtomicU64,
+    /// Re-replication snapshot/delta chunks applied by this server as the
+    /// new replica target.
+    pub rereplicate_chunks_in: AtomicU64,
+    /// Point/frontier reads this server served (or the client routed) to
+    /// a non-primary holder (replica-read routing).
+    pub replica_reads: AtomicU64,
+    /// Reads parked at a replica until its applied-write watermark caught
+    /// up with the client's read barrier (read-your-replication rule).
+    pub read_barrier_stalls: AtomicU64,
     /// Per-travel splits of the same counters (concurrent-travel
     /// accounting; bounded to [`MAX_TRACKED_TRAVELS`] entries).
     per_travel: Mutex<BTreeMap<TravelId, TravelMetrics>>,
@@ -146,6 +173,16 @@ impl ServerMetrics {
             migrate_chunks_in: self.migrate_chunks_in.load(Ordering::Relaxed),
             journal_compactions: self.journal_compactions.load(Ordering::Relaxed),
             journal_peak_entries: self.journal_peak_entries.load(Ordering::Relaxed),
+            heartbeats_sent: self.heartbeats_sent.load(Ordering::Relaxed),
+            heartbeats_recv: self.heartbeats_recv.load(Ordering::Relaxed),
+            suspicions_raised: self.suspicions_raised.load(Ordering::Relaxed),
+            false_suspicions: self.false_suspicions.load(Ordering::Relaxed),
+            auto_promotions: self.auto_promotions.load(Ordering::Relaxed),
+            rereplications: self.rereplications.load(Ordering::Relaxed),
+            rereplicate_chunks_out: self.rereplicate_chunks_out.load(Ordering::Relaxed),
+            rereplicate_chunks_in: self.rereplicate_chunks_in.load(Ordering::Relaxed),
+            replica_reads: self.replica_reads.load(Ordering::Relaxed),
+            read_barrier_stalls: self.read_barrier_stalls.load(Ordering::Relaxed),
         }
     }
 
@@ -176,6 +213,16 @@ impl ServerMetrics {
         self.migrate_chunks_in.store(0, Ordering::Relaxed);
         self.journal_compactions.store(0, Ordering::Relaxed);
         self.journal_peak_entries.store(0, Ordering::Relaxed);
+        self.heartbeats_sent.store(0, Ordering::Relaxed);
+        self.heartbeats_recv.store(0, Ordering::Relaxed);
+        self.suspicions_raised.store(0, Ordering::Relaxed);
+        self.false_suspicions.store(0, Ordering::Relaxed);
+        self.auto_promotions.store(0, Ordering::Relaxed);
+        self.rereplications.store(0, Ordering::Relaxed);
+        self.rereplicate_chunks_out.store(0, Ordering::Relaxed);
+        self.rereplicate_chunks_in.store(0, Ordering::Relaxed);
+        self.replica_reads.store(0, Ordering::Relaxed);
+        self.read_barrier_stalls.store(0, Ordering::Relaxed);
         self.per_travel.lock().clear();
     }
 }
@@ -266,6 +313,26 @@ pub struct MetricsSnapshot {
     pub journal_compactions: u64,
     /// See [`ServerMetrics::journal_peak_entries`].
     pub journal_peak_entries: u64,
+    /// See [`ServerMetrics::heartbeats_sent`].
+    pub heartbeats_sent: u64,
+    /// See [`ServerMetrics::heartbeats_recv`].
+    pub heartbeats_recv: u64,
+    /// See [`ServerMetrics::suspicions_raised`].
+    pub suspicions_raised: u64,
+    /// See [`ServerMetrics::false_suspicions`].
+    pub false_suspicions: u64,
+    /// See [`ServerMetrics::auto_promotions`].
+    pub auto_promotions: u64,
+    /// See [`ServerMetrics::rereplications`].
+    pub rereplications: u64,
+    /// See [`ServerMetrics::rereplicate_chunks_out`].
+    pub rereplicate_chunks_out: u64,
+    /// See [`ServerMetrics::rereplicate_chunks_in`].
+    pub rereplicate_chunks_in: u64,
+    /// See [`ServerMetrics::replica_reads`].
+    pub replica_reads: u64,
+    /// See [`ServerMetrics::read_barrier_stalls`].
+    pub read_barrier_stalls: u64,
 }
 
 impl MetricsSnapshot {
@@ -328,6 +395,26 @@ impl MetricsSnapshot {
             ("ledger_blobs_replicated", self.ledger_blobs_replicated),
             ("migrate_chunks_out", self.migrate_chunks_out),
             ("migrate_chunks_in", self.migrate_chunks_in),
+        ]
+    }
+
+    /// Every counter belonging to the self-healing machinery (failure
+    /// detection, automatic promotion, background re-replication, replica
+    /// reads). With detection disabled and replica reads off — the
+    /// defaults — each of these is exactly zero on a static cluster, and
+    /// the dormancy test asserts so.
+    pub fn self_heal_counters(&self) -> [(&'static str, u64); 10] {
+        [
+            ("heartbeats_sent", self.heartbeats_sent),
+            ("heartbeats_recv", self.heartbeats_recv),
+            ("suspicions_raised", self.suspicions_raised),
+            ("false_suspicions", self.false_suspicions),
+            ("auto_promotions", self.auto_promotions),
+            ("rereplications", self.rereplications),
+            ("rereplicate_chunks_out", self.rereplicate_chunks_out),
+            ("rereplicate_chunks_in", self.rereplicate_chunks_in),
+            ("replica_reads", self.replica_reads),
+            ("read_barrier_stalls", self.read_barrier_stalls),
         ]
     }
 }

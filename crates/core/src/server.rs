@@ -79,6 +79,60 @@ const JOURNAL_COMPACT_EVERY: usize = 256;
 /// Snapshot/delta key-value pairs per [`Msg::MigrateData`] chunk.
 const MIGRATE_CHUNK_PAIRS: usize = 512;
 
+/// Re-send a standing suspicion to the healer after this many heartbeat
+/// periods without a verdict, so one lost `Suspect` report cannot strand
+/// a dead primary.
+const SUSPECT_RENUDGE_BEATS: u32 = 16;
+
+/// A silence shorter than this many heartbeat periods never raises a
+/// suspicion, whatever phi says: scheduler hiccups and load bursts on the
+/// dispatcher thread produce tight-variance windows whose phi explodes on
+/// the first real stall. The floor keeps the detector honest about how
+/// fast a crash can plausibly be distinguished from jitter.
+const SUSPECT_MIN_SILENCE_BEATS: u32 = 8;
+
+/// Inter-arrival samples are clamped to this many heartbeat periods: a
+/// survivor of a long partition or a restart would otherwise poison the
+/// window with one enormous sample.
+const SAMPLE_CLAMP_BEATS: u32 = 10;
+
+/// Cold-start silence floor, in heartbeat periods: a peer that dies
+/// before the phi window warms up (fewer than `min_samples` arrivals —
+/// including one that never heartbeated at all) is suspected on plain
+/// silence after this long. Deliberately far above the warm floor: with
+/// no learned distribution the detector can only afford a verdict that
+/// no plausible jitter could produce.
+const SUSPECT_COLD_SILENCE_BEATS: u32 = 24;
+
+/// Failure-detector tuning (the self-healing layer). Handed to every
+/// server via [`ServerArgs::detection`]; `None` disables heartbeats,
+/// suspicion tracking, and every other piece of the detector — the
+/// static-cluster dormancy contract.
+#[derive(Debug, Clone)]
+pub struct DetectionConfig {
+    /// Heartbeat period per server pair.
+    pub heartbeat_every: Duration,
+    /// Phi threshold above which a silent peer is reported suspect.
+    pub suspicion_threshold: f64,
+    /// Inter-arrival window length per peer.
+    pub window: usize,
+    /// Samples required before phi is computed at all (warm-up; the
+    /// window first learns the link's real jitter — including injected
+    /// chaos delay — before it is allowed to accuse anyone).
+    pub min_samples: usize,
+}
+
+impl Default for DetectionConfig {
+    fn default() -> Self {
+        DetectionConfig {
+            heartbeat_every: Duration::from_millis(5),
+            suspicion_threshold: 8.0,
+            window: 32,
+            min_samples: 8,
+        }
+    }
+}
+
 /// Everything needed to spawn one backend server.
 pub struct ServerArgs {
     /// This server's id (also its fabric endpoint id).
@@ -114,6 +168,9 @@ pub struct ServerArgs {
     /// Cluster replication factor; ≥ 2 turns on write fan-out to replica
     /// holders and travel-ledger blob shipping to ring peers.
     pub replication: usize,
+    /// Failure-detector tuning; `None` (the default cluster config)
+    /// disables the detector entirely.
+    pub detection: Option<DetectionConfig>,
 }
 
 /// Handle to a running server's threads and instrumentation.
@@ -294,6 +351,9 @@ struct PendingIngest {
     client: usize,
     applied: usize,
     remaining: usize,
+    /// Primary write-sequence watermark of this batch, echoed on the
+    /// `IngestAck` so the client can form read barriers.
+    wseq: u64,
 }
 
 /// Source-side state of one outgoing shard migration. Writes that touch
@@ -306,6 +366,10 @@ struct MigOut {
     client: usize,
     delta_vids: BTreeSet<VertexId>,
     sealed: bool,
+    /// This flow restores a lost replica (self-healing) rather than
+    /// moving a primary: chunks ship as [`Msg::ReReplicateData`] and
+    /// count the re-replication counters instead of the migration ones.
+    rerep: bool,
 }
 
 struct Shared {
@@ -371,6 +435,22 @@ struct Shared {
     /// Replicated copies of peers' travel-ledger streams, one blob log
     /// per origin server (`travel-ledger-replica-<origin>.log`).
     replica_ledgers: OrderedMutex<HashMap<usize, BlobLog>>,
+    /// Failure-detector tuning; `None` keeps the detector fully dormant.
+    detection: Option<DetectionConfig>,
+    /// Route frontier reads to a deterministic holder spread instead of
+    /// always the primary (see [`EngineConfig::replica_reads`]).
+    replica_reads: bool,
+    /// This server's write-sequence watermark as a primary: bumped once
+    /// per locally applied ingest and carried on [`Msg::ReplicateWrite`]
+    /// and [`Msg::IngestAck`]. Lock-free — read from worker and
+    /// dispatcher threads at any lock rank.
+    wseq: AtomicU64,
+    /// Per-origin replication watermark: `applied_w[o]` is the highest
+    /// `wseq` from primary `o` whose write this server has applied.
+    /// Indexed by server id; the read-your-replication barrier compares
+    /// a client-supplied barrier against this before serving a replica
+    /// read.
+    applied_w: Vec<AtomicU64>,
 }
 
 impl Shared {
@@ -468,6 +548,13 @@ fn send_travel(sh: &Arc<Shared>, to: usize, travel: TravelId, tepoch: u64, msg: 
             | Msg::MigrateApplied { .. }
             | Msg::MigrateCutover { .. }
             | Msg::MigrateFinish { .. }
+            | Msg::Heartbeat { .. }
+            | Msg::Suspect { .. }
+            | Msg::SuspectAck { .. }
+            | Msg::ReReplicateBegin { .. }
+            | Msg::ReReplicateData { .. }
+            | Msg::ReReplicateCutover { .. }
+            | Msg::ReReplicateFinish { .. }
             | Msg::Crash
             | Msg::Shutdown => false,
         };
@@ -674,6 +761,13 @@ pub fn spawn(args: ServerArgs) -> ServerHandle {
         pending_ingest: OrderedMutex::new(65, "pending_ingest", HashMap::new()),
         migrations: OrderedMutex::new(66, "migrations", HashMap::new()),
         replica_ledgers: OrderedMutex::new(115, "replica_ledgers", HashMap::new()),
+        detection: args.detection,
+        replica_reads: args.engine.replica_reads,
+        // Epoch-seeded like the id counters: a restarted primary's fresh
+        // write sequences stay above every pre-crash barrier the client
+        // may still hold.
+        wseq: AtomicU64::new(ctr_seed),
+        applied_w: (0..args.n_servers).map(|_| AtomicU64::new(0)).collect(),
     });
     let mut workers = Vec::with_capacity(args.engine.workers_per_server);
     for w in 0..args.engine.workers_per_server {
@@ -701,13 +795,207 @@ pub fn spawn(args: ServerArgs) -> ServerHandle {
     }
 }
 
+// ================================================== failure detection
+
+/// Per-peer arrival history for the phi-accrual detector.
+struct PeerStat {
+    /// Last heartbeat arrival (`None` until the first one lands).
+    last: Option<Instant>,
+    /// Recent inter-arrival gaps, milliseconds.
+    intervals: std::collections::VecDeque<f64>,
+    /// A suspicion currently stands for this peer.
+    suspected: bool,
+    /// When the standing suspicion was last reported to the healer.
+    last_report: Instant,
+}
+
+/// Dispatcher-thread-local failure detector: sends heartbeats, tracks
+/// per-peer inter-arrival statistics, and reports phi-threshold crossings
+/// to the healer at the client endpoint. Lives on the dispatcher's stack —
+/// no lock rank, no sharing.
+struct Detector {
+    cfg: DetectionConfig,
+    peers: Vec<PeerStat>,
+    seq: u64,
+    last_beat: Instant,
+    /// When this detector came up — the silence reference for peers that
+    /// have never heartbeated.
+    start: Instant,
+}
+
+impl Detector {
+    fn new(cfg: DetectionConfig, n_servers: usize, now: Instant) -> Self {
+        let peers = (0..n_servers)
+            .map(|_| PeerStat {
+                last: None,
+                intervals: std::collections::VecDeque::with_capacity(cfg.window),
+                suspected: false,
+                last_report: now,
+            })
+            .collect();
+        Detector {
+            cfg,
+            peers,
+            seq: 0,
+            last_beat: now,
+            start: now,
+        }
+    }
+
+    /// Phi-accrual suspicion level for a silence of `elapsed_ms`: the
+    /// number of decades of improbability given the learned inter-arrival
+    /// distribution, `phi = (elapsed − mean) / (σ · ln 10)`. Requires
+    /// `min_samples` of warm-up so chaos-injected delay jitter is part of
+    /// the learned distribution, not a surprise.
+    fn phi(&self, peer: usize, elapsed_ms: f64) -> f64 {
+        let w = &self.peers[peer].intervals;
+        if w.len() < self.cfg.min_samples.max(2) {
+            return 0.0;
+        }
+        let n = w.len() as f64;
+        let mean = w.iter().sum::<f64>() / n;
+        let var = w.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        // Floor the deviation: a perfectly regular arrival stream would
+        // otherwise make any hiccup look infinitely improbable.
+        let std = var.sqrt().max(mean / 4.0).max(0.25);
+        if elapsed_ms <= mean {
+            0.0
+        } else {
+            (elapsed_ms - mean) / (std * std::f64::consts::LN_10)
+        }
+    }
+
+    /// Record a heartbeat arrival from `from`; clears any standing
+    /// suspicion (the peer is demonstrably alive — or back).
+    fn on_heartbeat(&mut self, from: usize, now: Instant) {
+        if from >= self.peers.len() {
+            return;
+        }
+        let clamp = self.cfg.heartbeat_every.as_secs_f64() * 1e3 * SAMPLE_CLAMP_BEATS as f64;
+        let p = &mut self.peers[from];
+        if let Some(last) = p.last {
+            let gap = (now - last).as_secs_f64() * 1e3;
+            p.intervals.push_back(gap.min(clamp));
+            while p.intervals.len() > self.cfg.window {
+                p.intervals.pop_front();
+            }
+        }
+        p.last = Some(now);
+        p.suspected = false;
+    }
+
+    /// The healer's verdict on a reported suspect. A rejection (`false`)
+    /// means the peer is provably alive: reset the window so the detector
+    /// re-learns the link before accusing again.
+    fn on_verdict(&mut self, suspect: usize, confirmed: bool, now: Instant) {
+        if suspect >= self.peers.len() {
+            return;
+        }
+        let p = &mut self.peers[suspect];
+        if !confirmed {
+            p.suspected = false;
+            p.intervals.clear();
+            p.last = Some(now);
+        }
+        // Confirmed: keep `suspected` standing so the renudge stays quiet;
+        // the restarted peer's first heartbeat clears it.
+    }
+}
+
+/// One detector tick: send heartbeats when the period elapsed, then judge
+/// every silent peer. Suspicions go to the healer at the client endpoint
+/// (fabric id `n_servers`); the healer ground-truths them against actual
+/// process liveness and answers with [`Msg::SuspectAck`].
+fn detector_tick(sh: &Arc<Shared>, det: &mut Detector) {
+    let now = Instant::now();
+    if now - det.last_beat < det.cfg.heartbeat_every {
+        return;
+    }
+    det.last_beat = now;
+    det.seq += 1;
+    let load = sh.metrics.real_io_visits.load(Ordering::Relaxed);
+    for peer in 0..sh.n_servers {
+        if peer == sh.id {
+            continue;
+        }
+        let _ = sh.ep.send(
+            peer,
+            Msg::Heartbeat {
+                from: sh.id,
+                seq: det.seq,
+                load,
+            },
+        );
+        sh.metrics.heartbeats_sent.fetch_add(1, Ordering::Relaxed);
+    }
+    let hb_ms = det.cfg.heartbeat_every.as_secs_f64() * 1e3;
+    let min_silence = hb_ms * SUSPECT_MIN_SILENCE_BEATS as f64;
+    let renudge = det.cfg.heartbeat_every * SUSPECT_RENUDGE_BEATS;
+    let threshold = det.cfg.suspicion_threshold;
+    let cold_silence = hb_ms * SUSPECT_COLD_SILENCE_BEATS as f64;
+    for peer in 0..sh.n_servers {
+        if peer == sh.id {
+            continue;
+        }
+        // Silence reference: last heartbeat, or detector start for a peer
+        // never heard from (it may have died before its first beat).
+        let last = det.peers[peer].last.unwrap_or(det.start);
+        let warm = det.peers[peer].intervals.len() >= det.cfg.min_samples.max(2);
+        let elapsed_ms = (now - last).as_secs_f64() * 1e3;
+        if det.peers[peer].suspected {
+            if now - det.peers[peer].last_report >= renudge {
+                // Re-report: one lost Suspect must not strand the peer.
+                det.peers[peer].last_report = now;
+                let _ = sh.ep.send(
+                    sh.n_servers,
+                    Msg::Suspect {
+                        from: sh.id,
+                        suspect: peer,
+                    },
+                );
+            }
+            continue;
+        }
+        let fire = if warm {
+            elapsed_ms >= min_silence && det.phi(peer, elapsed_ms) > threshold
+        } else {
+            // Cold window (peer died mid-warm-up): plain silence, with a
+            // floor high enough that no plausible jitter produces it.
+            elapsed_ms >= cold_silence
+        };
+        if fire {
+            det.peers[peer].suspected = true;
+            det.peers[peer].last_report = now;
+            sh.metrics.suspicions_raised.fetch_add(1, Ordering::Relaxed);
+            let _ = sh.ep.send(
+                sh.n_servers,
+                Msg::Suspect {
+                    from: sh.id,
+                    suspect: peer,
+                },
+            );
+        }
+    }
+}
+
 // ===================================================== dispatcher side
 
 fn dispatcher_loop(sh: &Arc<Shared>) {
+    let mut detector = sh
+        .detection
+        .clone()
+        .map(|cfg| Detector::new(cfg, sh.n_servers, Instant::now()));
+    let timed = sh.reliable || detector.is_some();
+    let tick = detector
+        .as_ref()
+        .map(|d| (d.cfg.heartbeat_every / 2).max(Duration::from_micros(500)))
+        .unwrap_or(RELAY_TICK)
+        .min(RELAY_TICK);
     let ctl = loop {
-        let env = if sh.reliable {
-            // Timed receive so retransmission deadlines run while quiet.
-            match sh.ep.recv_timeout(RELAY_TICK) {
+        let env = if timed {
+            // Timed receive so retransmission and heartbeat deadlines run
+            // while the inbox is quiet.
+            match sh.ep.recv_timeout(tick) {
                 Ok(env) => Some(env),
                 Err(RecvError::Timeout) => None,
                 Err(RecvError::Closed) => break LoopCtl::Shutdown,
@@ -719,13 +1007,40 @@ fn dispatcher_loop(sh: &Arc<Shared>) {
             }
         };
         if let Some(env) = env {
-            match dispatch_msg(sh, env.msg) {
-                LoopCtl::Continue => {}
-                other => break other,
+            // Detector traffic is absorbed here: its state lives on this
+            // thread's stack, out of reach of `handle_msg`.
+            let msg = match (env.msg, detector.as_mut()) {
+                (Msg::Heartbeat { from, .. }, Some(det)) => {
+                    sh.metrics.heartbeats_recv.fetch_add(1, Ordering::Relaxed);
+                    det.on_heartbeat(from, Instant::now());
+                    None
+                }
+                (
+                    Msg::SuspectAck {
+                        suspect, confirmed, ..
+                    },
+                    Some(det),
+                ) => {
+                    if !confirmed {
+                        sh.metrics.false_suspicions.fetch_add(1, Ordering::Relaxed);
+                    }
+                    det.on_verdict(suspect, confirmed, Instant::now());
+                    None
+                }
+                (msg, _) => Some(msg),
+            };
+            if let Some(msg) = msg {
+                match dispatch_msg(sh, msg) {
+                    LoopCtl::Continue => {}
+                    other => break other,
+                }
             }
         }
         if sh.reliable {
             retransmit_due(sh);
+        }
+        if let Some(det) = detector.as_mut() {
+            detector_tick(sh, det);
         }
     };
     if ctl == LoopCtl::Crash {
@@ -907,6 +1222,13 @@ fn crash_triggered(sh: &Arc<Shared>, msg: &Msg) -> bool {
             | Msg::MigrateApplied { .. }
             | Msg::MigrateCutover { .. }
             | Msg::MigrateFinish { .. }
+            | Msg::Heartbeat { .. }
+            | Msg::Suspect { .. }
+            | Msg::SuspectAck { .. }
+            | Msg::ReReplicateBegin { .. }
+            | Msg::ReReplicateData { .. }
+            | Msg::ReReplicateCutover { .. }
+            | Msg::ReReplicateFinish { .. }
             | Msg::Crash
             | Msg::Shutdown => false,
         }
@@ -1076,6 +1398,7 @@ fn handle_msg(sh: &Arc<Shared>, msg: Msg) -> LoopCtl {
         Msg::ReplicateWrite {
             req,
             origin,
+            wseq,
             vertices,
             edges,
         } => {
@@ -1090,6 +1413,12 @@ fn handle_msg(sh: &Arc<Shared>, msg: Msg) -> LoopCtl {
             sh.metrics
                 .replica_writes
                 .fetch_add((vertices.len() + edges.len()) as u64, Ordering::Relaxed);
+            // Raise the per-origin replication watermark *after* the
+            // writes land, so a replica read admitted by the barrier
+            // check can never observe a gap.
+            if origin < sh.applied_w.len() {
+                sh.applied_w[origin].fetch_max(wseq, Ordering::Release);
+            }
             let _ = sh.ep.send(origin, Msg::ReplicateAck { req, server: sh.id });
         }
         Msg::ReplicateAck { req, .. } => {
@@ -1113,6 +1442,7 @@ fn handle_msg(sh: &Arc<Shared>, msg: Msg) -> LoopCtl {
                     Msg::IngestAck {
                         req,
                         applied: p.applied,
+                        wseq: p.wseq,
                     },
                 );
             }
@@ -1125,7 +1455,7 @@ fn handle_msg(sh: &Arc<Shared>, msg: Msg) -> LoopCtl {
             partition,
             to,
             client,
-        } => handle_migrate_begin(sh, mig, partition, to, client),
+        } => handle_migrate_begin(sh, mig, partition, to, client, false),
         Msg::MigrateData {
             mig,
             pairs,
@@ -1153,12 +1483,80 @@ fn handle_msg(sh: &Arc<Shared>, msg: Msg) -> LoopCtl {
         Msg::MigrateFinish { mig } => {
             sh.migrations.lock().remove(&mig);
         }
+        Msg::ReReplicateBegin {
+            mig,
+            partition,
+            to,
+            client,
+        } => handle_migrate_begin(sh, mig, partition, to, client, true),
+        Msg::ReReplicateData {
+            mig,
+            pairs,
+            phase,
+            last,
+            client,
+            ..
+        } => {
+            // Target side of a replica restoration: identical apply path
+            // to a migration chunk, separate dormancy-audited counters.
+            sh.metrics
+                .rereplicate_chunks_in
+                .fetch_add(1, Ordering::Relaxed);
+            let _ = sh.partition.import_raw(pairs, phase == 0);
+            if last {
+                let _ = sh.ep.send(
+                    client,
+                    Msg::MigrateApplied {
+                        mig,
+                        phase,
+                        server: sh.id,
+                    },
+                );
+            }
+        }
+        Msg::ReReplicateCutover { mig } => handle_migrate_cutover(sh, mig),
+        Msg::ReReplicateFinish { mig } => {
+            // The healer finishes both ends of the flow; only the target
+            // (which has no source-side entry to clean up) counts the
+            // restored replica.
+            if sh.migrations.lock().remove(&mig).is_none() {
+                sh.metrics.rereplications.fetch_add(1, Ordering::Relaxed);
+            }
+        }
         Msg::GetVertex {
             req,
             client,
             vertex,
+            barrier,
         } => {
-            // Low-latency point query (§I: permission checks etc.).
+            // Low-latency point query (§I: permission checks etc.). A
+            // non-zero barrier is the client's read-your-replication
+            // fence: serve only if this server has applied the origin
+            // primary's writes up to it. An acked ingest is on every
+            // holder before the ack, so the miss path is a rare race
+            // (e.g. a freshly re-replicated holder with a cold
+            // watermark) — redirect to the primary, which is always
+            // current for its own writes.
+            let origin = sh.placement.primary_of_vid(vertex);
+            if barrier > 0
+                && origin != sh.id
+                && origin < sh.applied_w.len()
+                && sh.applied_w[origin].load(Ordering::Acquire) < barrier
+            {
+                sh.metrics
+                    .read_barrier_stalls
+                    .fetch_add(1, Ordering::Relaxed);
+                let _ = sh.ep.send(
+                    origin,
+                    Msg::GetVertex {
+                        req,
+                        client,
+                        vertex,
+                        barrier: 0,
+                    },
+                );
+                return LoopCtl::Continue;
+            }
             let found = sh.partition.get_vertex(vertex).ok().flatten();
             let _ = sh.ep.send(
                 client,
@@ -1179,13 +1577,19 @@ fn handle_msg(sh: &Arc<Shared>, msg: Msg) -> LoopCtl {
             drop(coords);
             let _ = sh.ep.send(client, Msg::ProgressReport { travel, snapshot });
         }
-        // Client-facing replies never arrive at servers.
+        // Client-facing replies never arrive at servers. Detector traffic
+        // is absorbed by the dispatcher before dispatch (Heartbeat,
+        // SuspectAck) or addressed to the healer at the client endpoint
+        // (Suspect), so none of it reaches this handler either.
         Msg::TravelDone { .. }
         | Msg::ProgressReport { .. }
         | Msg::CancelAck { .. }
         | Msg::RecoverDone { .. }
         | Msg::PlacementAck { .. }
-        | Msg::MigrateApplied { .. } => {}
+        | Msg::MigrateApplied { .. }
+        | Msg::Heartbeat { .. }
+        | Msg::Suspect { .. }
+        | Msg::SuspectAck { .. } => {}
     }
     LoopCtl::Continue
 }
@@ -1215,6 +1619,11 @@ fn handle_ingest(
             applied += 1;
         }
     }
+    // One write-sequence number per batch: the client's read barrier for
+    // this primary. The primary's own watermark rises with it so a
+    // barrier-carrying read routed *at* the primary is trivially served.
+    let wseq = sh.wseq.fetch_add(1, Ordering::Relaxed) + 1;
+    sh.applied_w[sh.id].fetch_max(wseq, Ordering::Release);
     let mut fan: BTreeSet<usize> = BTreeSet::new();
     for vid in vertices
         .iter()
@@ -1229,7 +1638,7 @@ fn handle_ingest(
     }
     if fan.is_empty() {
         capture_migration_delta(sh, &vertices, &edges);
-        let _ = sh.ep.send(client, Msg::IngestAck { req, applied });
+        let _ = sh.ep.send(client, Msg::IngestAck { req, applied, wseq });
         return;
     }
     sh.pending_ingest.lock().insert(
@@ -1238,6 +1647,7 @@ fn handle_ingest(
             client,
             applied,
             remaining: fan.len(),
+            wseq,
         },
     );
     capture_migration_delta(sh, &vertices, &edges);
@@ -1247,6 +1657,7 @@ fn handle_ingest(
             Msg::ReplicateWrite {
                 req,
                 origin: sh.id,
+                wseq,
                 vertices: vertices.clone(),
                 edges: edges.clone(),
             },
@@ -1272,7 +1683,7 @@ fn capture_migration_delta(
     if touched.is_empty() {
         return;
     }
-    let mut ship: Vec<(TravelId, usize, usize, usize, BTreeSet<VertexId>)> = Vec::new();
+    let mut ship: Vec<(TravelId, usize, usize, usize, BTreeSet<VertexId>, bool)> = Vec::new();
     {
         let mut migs = sh.migrations.lock();
         for (mig, m) in migs.iter_mut() {
@@ -1285,18 +1696,18 @@ fn capture_migration_delta(
                 continue;
             }
             if m.sealed {
-                ship.push((*mig, m.partition, m.to, m.client, hit));
+                ship.push((*mig, m.partition, m.to, m.client, hit, m.rerep));
             } else {
                 m.delta_vids.extend(hit);
             }
         }
     }
-    for (mig, partition, to, client, vids) in ship {
+    for (mig, partition, to, client, vids, rerep) in ship {
         let pairs = sh
             .partition
             .export_where(|v| vids.contains(&v))
             .unwrap_or_default();
-        ship_migrate_chunks(sh, mig, partition, to, client, pairs, 1, false);
+        ship_migrate_chunks(sh, mig, partition, to, client, pairs, 1, false, rerep);
     }
 }
 
@@ -1311,6 +1722,7 @@ fn handle_migrate_begin(
     partition: usize,
     to: usize,
     client: usize,
+    rerep: bool,
 ) {
     sh.migrations.lock().insert(
         mig,
@@ -1320,13 +1732,14 @@ fn handle_migrate_begin(
             client,
             delta_vids: BTreeSet::new(),
             sealed: false,
+            rerep,
         },
     );
     let pairs = sh
         .partition
         .export_where(|v| sh.placement.partition_of_vid(v) == partition)
         .unwrap_or_default();
-    ship_migrate_chunks(sh, mig, partition, to, client, pairs, 0, true);
+    ship_migrate_chunks(sh, mig, partition, to, client, pairs, 0, true, rerep);
 }
 
 /// Source side, phase 1 (cutover): seal the delta trap and ship every
@@ -1342,17 +1755,18 @@ fn handle_migrate_cutover(sh: &Arc<Shared>, mig: TravelId) {
                 m.to,
                 m.client,
                 std::mem::take(&mut m.delta_vids),
+                m.rerep,
             )
         })
     };
-    let Some((partition, to, client, delta)) = taken else {
+    let Some((partition, to, client, delta, rerep)) = taken else {
         return;
     };
     let pairs = sh
         .partition
         .export_where(|v| delta.contains(&v))
         .unwrap_or_default();
-    ship_migrate_chunks(sh, mig, partition, to, client, pairs, 1, true);
+    ship_migrate_chunks(sh, mig, partition, to, client, pairs, 1, true, rerep);
 }
 
 /// Chunk raw store triples into [`MIGRATE_CHUNK_PAIRS`]-sized
@@ -1370,6 +1784,7 @@ fn ship_migrate_chunks(
     pairs: Vec<gt_graph::storage::RawTriple>,
     phase: u8,
     mark_last: bool,
+    rerep: bool,
 ) {
     let mut chunks: Vec<Vec<gt_graph::storage::RawTriple>> = Vec::new();
     let mut it = pairs.into_iter().peekable();
@@ -1381,20 +1796,33 @@ fn ship_migrate_chunks(
     }
     let n = chunks.len();
     for (i, chunk) in chunks.into_iter().enumerate() {
-        sh.metrics
-            .migrate_chunks_out
-            .fetch_add(1, Ordering::Relaxed);
-        let _ = sh.ep.send(
-            to,
+        let counter = if rerep {
+            &sh.metrics.rereplicate_chunks_out
+        } else {
+            &sh.metrics.migrate_chunks_out
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        let last = mark_last && i + 1 == n;
+        let msg = if rerep {
+            Msg::ReReplicateData {
+                mig,
+                partition,
+                pairs: chunk,
+                phase,
+                last,
+                client,
+            }
+        } else {
             Msg::MigrateData {
                 mig,
                 partition,
                 pairs: chunk,
                 phase,
-                last: mark_last && i + 1 == n,
+                last,
                 client,
-            },
-        );
+            }
+        };
+        let _ = sh.ep.send(to, msg);
     }
 }
 
@@ -2603,7 +3031,7 @@ fn process_one(
         if !hop.edge_filters.matches(eprops) {
             continue;
         }
-        let owner = sh.placement.primary_of_vid(*dst);
+        let owner = route_frontier_read(sh, part.req.travel, *dst);
         out.dst_by_owner
             .entry(owner)
             .or_default()
@@ -2611,6 +3039,30 @@ fn process_one(
             .or_default()
             .extend(tokens.iter().copied());
     }
+}
+
+/// Where to send the next-hop visit of `dst`: the primary, or — with
+/// replica reads on — a deterministic spread over every holder of the
+/// vertex's partition. Any holder carries a full copy (the synchronous
+/// ingest fan-out keeps replicas current before the ack), and traversal
+/// results are per-depth sets, so holder choice never changes the
+/// outcome — only where the storage reads land. The hash is keyed by
+/// (travel, vertex) so one travel's visits of a vertex converge on one
+/// holder (preserving execution merging) while different travels spread.
+fn route_frontier_read(sh: &Arc<Shared>, travel: TravelId, dst: VertexId) -> usize {
+    let holders = if sh.replica_reads {
+        sh.placement.holders_of_vid(dst)
+    } else {
+        Vec::new()
+    };
+    if holders.len() < 2 {
+        return sh.placement.primary_of_vid(dst);
+    }
+    let pick = holders[(gt_graph::splitmix64(travel ^ dst.0) % holders.len() as u64) as usize];
+    if pick != sh.placement.primary_of_vid(dst) {
+        sh.metrics.replica_reads.fetch_add(1, Ordering::Relaxed);
+    }
+    pick
 }
 
 fn register_token(sh: &Arc<Shared>, travel: TravelId, depth: u16, vertex: VertexId) -> u64 {

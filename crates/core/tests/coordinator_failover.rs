@@ -471,6 +471,12 @@ fn no_crash_means_zero_failover_counters() {
         for (name, value) in m.placement_counters() {
             assert_eq!(value, 0, "server {s}: `{name}` moved on a static cluster");
         }
+        for (name, value) in m.self_heal_counters() {
+            assert_eq!(
+                value, 0,
+                "server {s}: `{name}` moved with detection disabled"
+            );
+        }
     }
     assert_eq!(cluster.net_stats().handoffs(), 0);
     cluster.shutdown();

@@ -314,6 +314,12 @@ fn static_cluster_keeps_every_placement_counter_at_zero() {
         for (name, value) in m.placement_counters() {
             assert_eq!(value, 0, "server {s}: `{name}` moved on a static cluster");
         }
+        for (name, value) in m.self_heal_counters() {
+            assert_eq!(
+                value, 0,
+                "server {s}: `{name}` moved with detection disabled"
+            );
+        }
     }
     assert_eq!(cluster.net_stats().bulk_messages(), 0);
     assert_eq!(cluster.net_stats().bulk_bytes(), 0);

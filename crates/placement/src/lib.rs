@@ -157,6 +157,33 @@ impl PlacementMap {
         moved
     }
 
+    /// Add `server` to partition `partition`'s replica set (the target of
+    /// a completed background re-replication). No-op if the server is
+    /// already a holder; bumps the version otherwise. Returns whether the
+    /// replica was added.
+    pub fn add_replica(&mut self, partition: usize, server: usize) -> bool {
+        let e = &mut self.entries[partition];
+        if e.primary == server || e.replicas.contains(&server) {
+            return false;
+        }
+        e.replicas.push(server);
+        self.version += 1;
+        true
+    }
+
+    /// Partitions holding fewer than `rf` copies, as `(partition,
+    /// missing)` pairs — the healer's re-replication worklist. `rf` is
+    /// clamped to the cluster size.
+    pub fn under_replicated(&self, rf: usize) -> Vec<(usize, usize)> {
+        let rf = rf.clamp(1, self.n_servers);
+        (0..self.entries.len())
+            .filter_map(|p| {
+                let have = 1 + self.entries[p].replicas.len();
+                (have < rf).then_some((p, rf - have))
+            })
+            .collect()
+    }
+
     /// Mark a server as decommissioned (no new primaries, no coordinator
     /// duty). Bumps the version.
     pub fn decommission(&mut self, server: usize) {
@@ -347,6 +374,32 @@ mod tests {
         assert_eq!(map.version, v0 + 1);
         assert_eq!(map.primaried_by(0), vec![0, 2]);
         assert!(map.primaried_by(2).is_empty());
+    }
+
+    #[test]
+    fn add_replica_restores_rf_and_is_idempotent() {
+        let mut map = PlacementMap::initial(3, 2);
+        let moved = map.promote(1);
+        assert_eq!(moved, vec![1]);
+        assert_eq!(
+            map.under_replicated(2),
+            vec![(0, 1), (1, 1)],
+            "dropping server 1 leaves the partitions it held one copy short"
+        );
+        let v0 = map.version;
+        assert!(map.add_replica(1, 0));
+        assert_eq!(map.version, v0 + 1);
+        assert_eq!(map.holders_of(1), vec![2, 0]);
+        assert_eq!(map.under_replicated(2), vec![(0, 1)]);
+        // Existing holders (primary or replica) are rejected, unversioned.
+        assert!(!map.add_replica(1, 2));
+        assert!(!map.add_replica(1, 0));
+        assert_eq!(map.version, v0 + 1);
+        // A fully replicated map has an empty worklist; rf clamps.
+        let full = PlacementMap::initial(3, 2);
+        assert!(full.under_replicated(2).is_empty());
+        assert!(full.under_replicated(1).is_empty());
+        assert_eq!(full.under_replicated(9).len(), 3, "rf clamps to n");
     }
 
     #[test]
