@@ -1,12 +1,15 @@
 //! Frontier fan-out and point-read throughput, replica reads off vs on
-//! (the self-healing PR's read-routing change). Emits
-//! `BENCH_frontier.json` at the repo root with the before/after numbers
-//! so CI can diff them across commits.
+//! (the self-healing PR's read-routing change), plus an
+//! ingest-while-traversing lane with MVCC snapshot isolation off vs on
+//! (the versioned-read overhead). Emits `BENCH_frontier.json` at the
+//! repo root with the before/after numbers so CI can diff them across
+//! commits.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use graphtrek::prelude::*;
 use gt_graph::{Edge, InMemoryGraph, Props, Vertex};
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 const N_SERVERS: usize = 3;
@@ -95,6 +98,28 @@ fn frontier_travels(cluster: &Cluster, q: &GTravel, ops: u64) -> Duration {
     start.elapsed()
 }
 
+/// Fresh vertex ids for the ingest lane, shared across warmup, the JSON
+/// lanes and criterion's re-runs so every ingested row is new.
+static NEXT_INGEST_ID: AtomicU64 = AtomicU64::new(10_000);
+
+/// Time `ops` rounds of acked single-row ingest followed by a frontier
+/// traversal, so traversal reads race freshly written (and, with
+/// versioning on, multi-version) rows.
+fn ingest_travels(cluster: &Cluster, q: &GTravel, ops: u64) -> Duration {
+    let start = Instant::now();
+    for i in 0..ops {
+        let id = NEXT_INGEST_ID.fetch_add(1, Ordering::Relaxed);
+        cluster
+            .ingest(
+                vec![Vertex::new(id, "File", Props::new().with("w", 1i64))],
+                vec![Edge::new(i % 8, "link", id, Props::new().with("ts", 1i64))],
+            )
+            .expect("ingest");
+        std::hint::black_box(cluster.submit(q).expect("travel"));
+    }
+    start.elapsed()
+}
+
 struct Lane {
     ops: u64,
     ns_per_op: f64,
@@ -127,23 +152,49 @@ fn bench(c: &mut Criterion) {
     let q = fanout_query();
     let (off, off_dir) = build_cluster(&g, false, "off");
     let (on, on_dir) = build_cluster(&g, true, "on");
+    // Single-replica clusters for the MVCC lane: identical except for
+    // the snapshot-isolation flag, so the delta is the versioning cost.
+    let mk_snap = |versioned: bool, tag: &str| {
+        let dir =
+            std::env::temp_dir().join(format!("gt-bench-frontier-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let cluster = Cluster::build(
+            &g,
+            ClusterConfig::new(&dir, N_SERVERS),
+            EngineConfig::new(EngineKind::GraphTrek).snapshot_isolation(versioned),
+        )
+        .expect("build cluster");
+        (cluster, dir)
+    };
+    let (snap_off, snap_off_dir) = mk_snap(false, "snap-off");
+    let (snap_on, snap_on_dir) = mk_snap(true, "snap-on");
 
     const POINT_OPS: u64 = 2000;
     const TRAVEL_OPS: u64 = 30;
-    // Warm both clusters so the JSON numbers compare steady states.
+    const INGEST_OPS: u64 = 20;
+    // Warm all clusters so the JSON numbers compare steady states.
     point_reads(&off, 200);
     point_reads(&on, 200);
     frontier_travels(&off, &q, 3);
     frontier_travels(&on, &q, 3);
+    ingest_travels(&snap_off, &q, 3);
+    ingest_travels(&snap_on, &q, 3);
 
     let pr_off = Lane::new(POINT_OPS, point_reads(&off, POINT_OPS));
     let pr_on = Lane::new(POINT_OPS, point_reads(&on, POINT_OPS));
     let fr_off = Lane::new(TRAVEL_OPS, frontier_travels(&off, &q, TRAVEL_OPS));
     let fr_on = Lane::new(TRAVEL_OPS, frontier_travels(&on, &q, TRAVEL_OPS));
+    let iv_off = Lane::new(INGEST_OPS, ingest_travels(&snap_off, &q, INGEST_OPS));
+    let iv_on = Lane::new(INGEST_OPS, ingest_travels(&snap_on, &q, INGEST_OPS));
     let served: u64 = on.metrics().iter().map(|m| m.replica_reads).sum();
     assert!(
         served > 0,
         "replica-read cluster never routed a read to a replica"
+    );
+    let pinned: u64 = snap_on.metrics().iter().map(|m| m.views_pinned).sum();
+    assert!(
+        pinned > 0,
+        "versioned cluster never pinned a travel's read view"
     );
 
     let mut report = String::from("{\n");
@@ -165,7 +216,23 @@ fn bench(c: &mut Criterion) {
         "  \"frontier_speedup\": {:.3},",
         fr_off.ns_per_op / fr_on.ns_per_op
     );
-    let _ = writeln!(report, "  \"replica_reads_served\": {served}");
+    let _ = writeln!(report, "  \"replica_reads_served\": {served},");
+    let _ = writeln!(
+        report,
+        "  \"ingest_travel_versioning_off\": {},",
+        iv_off.json()
+    );
+    let _ = writeln!(
+        report,
+        "  \"ingest_travel_versioning_on\": {},",
+        iv_on.json()
+    );
+    let _ = writeln!(
+        report,
+        "  \"snapshot_overhead\": {:.3},",
+        iv_on.ns_per_op / iv_off.ns_per_op
+    );
+    let _ = writeln!(report, "  \"views_pinned\": {pinned}");
     report.push_str("}\n");
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_frontier.json");
     std::fs::write(out, report).expect("write BENCH_frontier.json");
@@ -182,12 +249,21 @@ fn bench(c: &mut Criterion) {
             b.iter_custom(|iters| frontier_travels(cluster, &q, iters))
         });
     }
+    for (label, cluster) in [("versioning_off", &snap_off), ("versioning_on", &snap_on)] {
+        group.bench_function(format!("ingest_travel/{label}"), |b| {
+            b.iter_custom(|iters| ingest_travels(cluster, &q, iters))
+        });
+    }
     group.finish();
 
     off.shutdown();
     on.shutdown();
+    snap_off.shutdown();
+    snap_on.shutdown();
     std::fs::remove_dir_all(off_dir).ok();
     std::fs::remove_dir_all(on_dir).ok();
+    std::fs::remove_dir_all(snap_off_dir).ok();
+    std::fs::remove_dir_all(snap_on_dir).ok();
 }
 
 criterion_group!(benches, bench);

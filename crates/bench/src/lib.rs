@@ -178,6 +178,7 @@ impl LoadedCluster {
                 io,
                 sync_wal: false,
                 auto_compact_segments: 0,
+                version_clock: None,
             };
             let store = Arc::new(Store::open(scfg).expect("open store"));
             partitions.push(Arc::new(

@@ -470,6 +470,11 @@ pub struct ClusterState {
     /// read-your-replication barrier attached to replica-routed point
     /// queries. Lock-free — read on every `get_vertex`.
     acked_w: Vec<AtomicU64>,
+    /// Snapshot seq pinned per in-flight travel (snapshot isolation
+    /// only). Pins are taken on every server's store at dispatch and
+    /// released when the travel's admission slot frees, so compaction
+    /// never drops a version a live travel can still read.
+    pinned: OrderedMutex<BTreeMap<TravelId, u64>>,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -493,6 +498,10 @@ impl Cluster {
         let map = PlacementMap::initial(ccfg.n_servers, ccfg.replication);
         let mut partitions = Vec::with_capacity(ccfg.n_servers);
         let mut store_cfgs = Vec::with_capacity(ccfg.n_servers);
+        // One cluster-wide sequence clock: stamps from every server's
+        // store live on a single logical timeline, so a travel's snapshot
+        // is one number rather than a per-server vector.
+        let version_clock = ecfg.snapshot_isolation.then(|| Arc::new(AtomicU64::new(0)));
         for s in 0..ccfg.n_servers {
             let scfg = StoreConfig {
                 dir: ccfg.dir.join(format!("server-{s}")),
@@ -502,6 +511,7 @@ impl Cluster {
                 io: ccfg.io,
                 sync_wal: false,
                 auto_compact_segments: 0,
+                version_clock: version_clock.clone(),
             };
             let store = Arc::new(Store::open(scfg.clone())?);
             partitions.push(GraphPartition::open(store)?);
@@ -622,6 +632,9 @@ impl Cluster {
             routes: OrderedMutex::new(3, "routes", BTreeMap::new()),
             cancelled: OrderedMutex::new(5, "cancelled", BTreeSet::new()),
             failover_lock: OrderedMutex::new(1, "failover_lock", ()),
+            // Rank 8: taken after slot locks (pin/unpin walk the stores),
+            // never while any lower-ranked Cluster lock must follow.
+            pinned: OrderedMutex::new(8, "pinned", BTreeMap::new()),
         });
         let heal_stop = Arc::new(AtomicBool::new(false));
         let healer = if self_heal {
@@ -728,6 +741,12 @@ impl ClusterState {
                 GraphPartition::open(store)
                     .map_err(|e| ClusterError::Recovery(format!("partition reopen: {e}")))?,
             );
+            // The reopened store shares the cluster clock but starts with
+            // an empty pin registry; re-pin every live travel's snapshot
+            // so compaction on the new incarnation still defers.
+            for view in self.pinned.lock().values() {
+                part.store().pin_view(*view);
+            }
         }
         // Everything delivered while the server was dead is from its
         // previous life; drop it (peers retransmit what still matters).
@@ -823,12 +842,61 @@ impl ClusterState {
         })
     }
 
+    /// With snapshot isolation on: freeze the travel's read view at the
+    /// current cluster-wide sequence and pin it on every server's store.
+    /// The stamp lives in the plan itself, and the plan rides every
+    /// coordinator message (Submit, SyncStart, CoordRecover, handoff
+    /// re-drive), so a failed-over or migrated travel re-reads the same
+    /// snapshot with no extra message plumbing. Idempotent per travel —
+    /// a re-dispatch after failover finds the stamp already present.
+    fn freeze_snapshot(&self, travel: TravelId, plan: Arc<Plan>) -> Arc<Plan> {
+        if !self.engine.snapshot_isolation {
+            return plan;
+        }
+        let plan = if plan.snapshot.is_none() {
+            let seq = self.slots[0].partition.lock().store().current_seq();
+            let mut p = (*plan).clone();
+            p.snapshot = Some(seq);
+            Arc::new(p)
+        } else {
+            plan
+        };
+        if let Some(view) = plan.view_seq() {
+            let parts: Vec<_> = self
+                .slots
+                .iter()
+                .map(|s| s.partition.lock().clone())
+                .collect();
+            let mut pinned = self.pinned.lock();
+            if let std::collections::btree_map::Entry::Vacant(e) = pinned.entry(travel) {
+                for p in &parts {
+                    p.store().pin_view(view);
+                }
+                e.insert(view);
+            }
+        }
+        plan
+    }
+
+    /// Release a travel's snapshot pins (no-op for unpinned travels).
+    /// Stores reopened since the pin ignore the unbalanced unpin.
+    fn release_snapshot(&self, travel: TravelId) {
+        let view = { self.pinned.lock().remove(&travel) };
+        if let Some(view) = view {
+            for s in &self.slots {
+                let part = s.partition.lock().clone();
+                part.store().unpin_view(view);
+            }
+        }
+    }
+
     fn dispatch_submit(
         &self,
         travel: TravelId,
         coordinator: usize,
         plan: Arc<Plan>,
     ) -> Result<(), ClusterError> {
+        let plan = self.freeze_snapshot(travel, plan);
         {
             let mut routes = self.routes.lock();
             routes.insert(
@@ -861,6 +929,9 @@ impl ClusterState {
     /// into the freed capacity. Called on every observed completion and
     /// on abandoning a travel (timeout restart, cancellation).
     fn release_slot(&self, travel: TravelId) {
+        // The travel is finished (done, timed out, or cancelled):
+        // compaction may reclaim versions its snapshot was holding.
+        self.release_snapshot(travel);
         let limit = self.engine.max_concurrent_travels;
         let mut to_send = Vec::new();
         {
@@ -1092,7 +1163,7 @@ impl ClusterState {
                         }
                     }
                     if Instant::now() >= deadline {
-                        let last_progress = self.try_progress_snapshot(ticket);
+                        let last_progress = self.try_progress_snapshot(ticket, timeout);
                         self.abandon(travel);
                         return Err(ClusterError::Travel(TravelError::Timeout {
                             attempts: ticket.restarts + 1,
@@ -1106,8 +1177,12 @@ impl ClusterState {
     }
 
     /// Best-effort progress fetch for a travel being given up on; `None`
-    /// when the coordinator is unreachable.
-    fn try_progress_snapshot(&self, ticket: &Ticket) -> Option<ProgressSnapshot> {
+    /// when the coordinator is unreachable. The reply wait is capped at
+    /// 250 ms *and* the caller's own timeout: this query fires after the
+    /// caller's deadline already expired, so a short `wait(5ms)` must
+    /// not overshoot by a fresh quarter-second window when the
+    /// coordinator is up but unresponsive (e.g. network-isolated).
+    fn try_progress_snapshot(&self, ticket: &Ticket, budget: Duration) -> Option<ProgressSnapshot> {
         let coordinator = self
             .routes
             .lock()
@@ -1129,7 +1204,7 @@ impl ClusterState {
         match self.await_client_msg(
             ticket.travel,
             |m| matches!(m, Msg::ProgressReport { .. }),
-            Instant::now() + Duration::from_millis(250),
+            Instant::now() + budget.min(Duration::from_millis(250)),
         ) {
             Ok((Msg::ProgressReport { snapshot, .. }, _)) => Some(snapshot),
             Ok(_) | Err(_) => None,
@@ -1920,8 +1995,35 @@ impl ClusterState {
     }
 
     /// Per-server instrumentation snapshots (Fig. 7 data).
+    ///
+    /// MVCC counters live in each store (they survive neither restarts
+    /// nor store reopens the same way [`ServerMetrics`] does), so they
+    /// are mirrored into the server's metrics here, monotonically, right
+    /// before the snapshot is taken. With snapshot isolation off the
+    /// store reports all-zero stats and the mirror never moves.
     pub fn metrics(&self) -> Vec<MetricsSnapshot> {
-        self.slots.iter().map(|s| s.metrics.snapshot()).collect()
+        self.slots
+            .iter()
+            .map(|s| {
+                let vs = s.partition.lock().store().version_stats();
+                let m = &s.metrics;
+                m.views_pinned.fetch_max(vs.views_pinned, Ordering::Relaxed);
+                m.view_pin_peak
+                    .fetch_max(vs.view_pin_peak, Ordering::Relaxed);
+                m.stale_seq_reads
+                    .fetch_max(vs.stale_seq_reads, Ordering::Relaxed);
+                m.compactions_deferred
+                    .fetch_max(vs.compactions_deferred, Ordering::Relaxed);
+                m.snapshot()
+            })
+            .collect()
+    }
+
+    /// The cluster-wide MVCC sequence clock's latest value (0 with
+    /// snapshot isolation off). A travel submitted with `as_of(seq)` for
+    /// a seq observed here reads the graph as of this instant.
+    pub fn current_seq(&self) -> u64 {
+        self.slots[0].partition.lock().store().current_seq()
     }
 
     /// One travel's counters aggregated across every server (concurrent

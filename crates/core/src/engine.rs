@@ -82,6 +82,13 @@ pub struct EngineConfig {
     /// to the pre-placement code, and every `self_heal_counters()` entry
     /// stays zero.
     pub replica_reads: bool,
+    /// MVCC snapshot isolation: stores stamp every write with a
+    /// cluster-wide sequence number and each travel reads a frozen view
+    /// captured at admission, so a travel never observes ingest that
+    /// raced past it. Off by default: keys are stored raw, reads take
+    /// the unversioned path, and every `snapshot_counters()` entry stays
+    /// exactly zero.
+    pub snapshot_isolation: bool,
 }
 
 impl EngineConfig {
@@ -101,6 +108,7 @@ impl EngineConfig {
             fair_cross_travel: None,
             cache_reserve_per_travel: 0,
             replica_reads: false,
+            snapshot_isolation: false,
         }
     }
 
@@ -176,6 +184,13 @@ impl EngineConfig {
     /// frontier reads.
     pub fn replica_reads(mut self, on: bool) -> Self {
         self.replica_reads = on;
+        self
+    }
+
+    /// Builder-style: MVCC snapshot isolation for travels over a
+    /// mutating graph.
+    pub fn snapshot_isolation(mut self, on: bool) -> Self {
+        self.snapshot_isolation = on;
         self
     }
 
@@ -271,6 +286,13 @@ mod tests {
         let cfg = EngineConfig::new(EngineKind::GraphTrek);
         assert!(!cfg.replica_reads, "dormant by default");
         assert!(cfg.replica_reads(true).replica_reads);
+    }
+
+    #[test]
+    fn snapshot_isolation_default_off() {
+        let cfg = EngineConfig::new(EngineKind::GraphTrek);
+        assert!(!cfg.snapshot_isolation, "dormant by default");
+        assert!(cfg.snapshot_isolation(true).snapshot_isolation);
     }
 
     #[test]

@@ -72,6 +72,16 @@ pub struct Plan {
     pub source_rtn: bool,
     /// The steps; `steps.len()` is the traversal depth.
     pub steps: Vec<PlanStep>,
+    /// User-requested time-travel bound: read the graph as of this
+    /// sequence number ([`GTravel::as_of`]). `None` reads the latest.
+    #[serde(default)]
+    pub as_of: Option<u64>,
+    /// Cluster-wide snapshot sequence captured at admission when the
+    /// engine runs with snapshot isolation. Stamped by the coordinator,
+    /// never by the query author; carried in the plan so re-driven
+    /// travels (failover, migration) re-read the *same* snapshot.
+    #[serde(default)]
+    pub snapshot: Option<u64>,
 }
 
 impl Plan {
@@ -123,10 +133,21 @@ impl Plan {
         (0..=self.depth()).filter(|&d| self.rtn_at(d)).collect()
     }
 
+    /// The sequence bound every read of this travel resolves against:
+    /// the tighter of the user's `as_of()` and the admission snapshot.
+    /// `None` means unversioned latest-reads.
+    pub fn view_seq(&self) -> Option<u64> {
+        match (self.as_of, self.snapshot) {
+            (Some(a), Some(s)) => Some(a.min(s)),
+            (a, s) => a.or(s),
+        }
+    }
+
     /// Rough serialized size, for the network bandwidth model.
     pub fn wire_size(&self) -> usize {
         let filters = |f: &FilterSet| f.0.len() * 32;
         let mut n = 24 + filters(&self.source_filters);
+        n += 8 * (self.as_of.is_some() as usize + self.snapshot.is_some() as usize);
         if let Source::Ids(ids) = &self.source {
             n += ids.len() * 8;
         }
@@ -203,6 +224,7 @@ pub struct GTravel {
     source_filters: FilterSet,
     source_rtn: bool,
     steps: Vec<PlanStep>,
+    as_of: Option<u64>,
     errors: Vec<LangError>,
 }
 
@@ -223,6 +245,7 @@ impl GTravel {
             source_filters: FilterSet::none(),
             source_rtn: false,
             steps: Vec::new(),
+            as_of: None,
             errors,
         }
     }
@@ -234,6 +257,7 @@ impl GTravel {
             source_filters: FilterSet::none(),
             source_rtn: false,
             steps: Vec::new(),
+            as_of: None,
             errors: Vec::new(),
         }
     }
@@ -285,6 +309,24 @@ impl GTravel {
         self
     }
 
+    /// `as_of(seq)` — time-travel: resolve every read of this traversal
+    /// against the graph as it existed at sequence number `seq` (as
+    /// reported by `Cluster::current_seq`). Requires the cluster to run
+    /// with snapshot isolation; repeated calls keep the tightest bound.
+    pub fn as_of(mut self, seq: u64) -> GTravel {
+        self.as_of = Some(self.as_of.map_or(seq, |prev| prev.min(seq)));
+        self
+    }
+
+    /// `created_after(seq)` — keep only vertices of the *current* working
+    /// set that were ingested strictly after sequence number `seq`.
+    /// Compiles to a range filter on the [`gt_graph::CREATED_SEQ_PROP`]
+    /// stamp written by versioned ingest.
+    pub fn created_after(self, seq: u64) -> GTravel {
+        let lo = (seq as i64).saturating_add(1);
+        self.va(PropFilter::range(gt_graph::CREATED_SEQ_PROP, lo, i64::MAX))
+    }
+
     /// Validate and produce the immutable [`Plan`].
     pub fn compile(&self) -> Result<Plan, LangError> {
         if let Some(e) = self.errors.first() {
@@ -295,6 +337,8 @@ impl GTravel {
             source_filters: self.source_filters.clone(),
             source_rtn: self.source_rtn,
             steps: self.steps.clone(),
+            as_of: self.as_of,
+            snapshot: None,
         })
     }
 }
@@ -416,6 +460,55 @@ mod tests {
             .compile()
             .unwrap();
         assert_eq!(p.source_type_hint(), None, "IN is not a hint");
+    }
+
+    #[test]
+    fn as_of_keeps_tightest_bound_and_view_seq_combines() {
+        let p = GTravel::v([1u64]).e("a").compile().unwrap();
+        assert_eq!(p.as_of, None);
+        assert_eq!(p.view_seq(), None, "no bound without as_of or snapshot");
+        let p = GTravel::v([1u64])
+            .as_of(9)
+            .as_of(4)
+            .e("a")
+            .compile()
+            .unwrap();
+        assert_eq!(p.as_of, Some(4), "repeated as_of keeps the tightest");
+        assert_eq!(p.snapshot, None, "compile never stamps a snapshot");
+        assert_eq!(p.view_seq(), Some(4));
+        let mut p2 = p.clone();
+        p2.snapshot = Some(2);
+        assert_eq!(p2.view_seq(), Some(2), "snapshot tightens as_of");
+        p2.snapshot = Some(7);
+        assert_eq!(p2.view_seq(), Some(4), "as_of tightens snapshot");
+        let mut p3 = GTravel::v([1u64]).compile().unwrap();
+        p3.snapshot = Some(11);
+        assert_eq!(p3.view_seq(), Some(11));
+    }
+
+    #[test]
+    fn created_after_compiles_to_stamp_filter() {
+        let p = GTravel::v_all().created_after(41).compile().unwrap();
+        assert_eq!(p.source_filters.len(), 1);
+        let f = &p.source_filters.0[0];
+        assert_eq!(f.key, gt_graph::CREATED_SEQ_PROP);
+        assert!(f.cond.test(&PropValue::Int(42)), "strictly-after lo bound");
+        assert!(!f.cond.test(&PropValue::Int(41)));
+        // Mid-chain: binds to the latest step's destination set.
+        let p = GTravel::v([1u64])
+            .e("run")
+            .created_after(5)
+            .compile()
+            .unwrap();
+        assert_eq!(p.steps[0].vertex_filters.len(), 1);
+        assert!(p.source_filters.is_empty());
+    }
+
+    #[test]
+    fn wire_size_counts_temporal_bounds() {
+        let plain = GTravel::v([1u64]).e("a").compile().unwrap();
+        let bounded = GTravel::v([1u64]).as_of(3).e("a").compile().unwrap();
+        assert!(bounded.wire_size() > plain.wire_size());
     }
 
     #[test]

@@ -416,6 +416,10 @@ pub enum Msg {
         /// advances its per-origin applied watermark to it (the replica
         /// side of the read barrier).
         wseq: u64,
+        /// MVCC stamp the primary wrote the batch at (`None` when
+        /// versioning is off). The replica applies at the same stamp so
+        /// a snapshot resolves identically on every holder.
+        seq: Option<u64>,
         /// Vertices to upsert.
         vertices: Vec<gt_graph::Vertex>,
         /// Edges to upsert.
@@ -462,8 +466,10 @@ pub enum Msg {
         mig: TravelId,
         /// Partition being moved.
         partition: usize,
-        /// Raw `(namespace, key, value)` triples.
-        pairs: Vec<(String, Vec<u8>, Vec<u8>)>,
+        /// Raw `(namespace, key, value)` triples; a `None` value is a
+        /// tombstone version (versioned stores ship deletes too, so a
+        /// pinned snapshot resolves identically on the target).
+        pairs: Vec<(String, Vec<u8>, Option<Vec<u8>>)>,
         /// 0 = snapshot, 1 = delta.
         phase: u8,
         /// Final chunk of this phase.
@@ -553,8 +559,10 @@ pub enum Msg {
         mig: TravelId,
         /// Partition being copied.
         partition: usize,
-        /// Raw `(namespace, key, value)` triples.
-        pairs: Vec<(String, Vec<u8>, Vec<u8>)>,
+        /// Raw `(namespace, key, value)` triples; a `None` value is a
+        /// tombstone version (versioned stores ship deletes too, so a
+        /// pinned snapshot resolves identically on the target).
+        pairs: Vec<(String, Vec<u8>, Option<Vec<u8>>)>,
         /// 0 = snapshot, 1 = delta.
         phase: u8,
         /// Final chunk of this phase.
@@ -693,7 +701,7 @@ impl WireSize for Msg {
             Msg::MigrateData { pairs, .. } => {
                 28 + pairs
                     .iter()
-                    .map(|(ns, k, v)| 12 + ns.len() + k.len() + v.len())
+                    .map(|(ns, k, v)| 12 + ns.len() + k.len() + v.as_ref().map_or(0, Vec::len))
                     .sum::<usize>()
             }
             Msg::MigrateApplied { .. } => 24,
@@ -706,7 +714,7 @@ impl WireSize for Msg {
             Msg::ReReplicateData { pairs, .. } => {
                 28 + pairs
                     .iter()
-                    .map(|(ns, k, v)| 12 + ns.len() + k.len() + v.len())
+                    .map(|(ns, k, v)| 12 + ns.len() + k.len() + v.as_ref().map_or(0, Vec::len))
                     .sum::<usize>()
             }
             Msg::ReReplicateCutover { .. } => 12,
@@ -948,7 +956,7 @@ mod tests {
         let chunk = Msg::MigrateData {
             mig: 9,
             partition: 1,
-            pairs: vec![("verts".to_string(), vec![0u8; 8], vec![1u8; 32])],
+            pairs: vec![("verts".to_string(), vec![0u8; 8], Some(vec![1u8; 32]))],
             phase: 0,
             last: false,
             client: 3,
@@ -977,7 +985,7 @@ mod tests {
         let rr = Msg::ReReplicateData {
             mig: 9,
             partition: 1,
-            pairs: vec![("verts".to_string(), vec![0u8; 8], vec![1u8; 32])],
+            pairs: vec![("verts".to_string(), vec![0u8; 8], Some(vec![1u8; 32]))],
             phase: 0,
             last: false,
             client: 3,

@@ -107,6 +107,18 @@ pub struct ServerMetrics {
     /// Reads parked at a replica until its applied-write watermark caught
     /// up with the client's read barrier (read-your-replication rule).
     pub read_barrier_stalls: AtomicU64,
+    /// Snapshot read views pinned on this server's store (mirrored from
+    /// the store's MVCC machinery; one per admitted travel under
+    /// snapshot isolation).
+    pub views_pinned: AtomicU64,
+    /// High-water mark of simultaneously pinned views on this server.
+    pub view_pin_peak: AtomicU64,
+    /// Versioned reads that skipped at least one version newer than the
+    /// travel's read view (the isolation machinery actually mattered).
+    pub stale_seq_reads: AtomicU64,
+    /// Store compactions deferred because a pinned view could still
+    /// observe a version the merge would have dropped.
+    pub compactions_deferred: AtomicU64,
     /// Per-travel splits of the same counters (concurrent-travel
     /// accounting; bounded to [`MAX_TRACKED_TRAVELS`] entries).
     per_travel: Mutex<BTreeMap<TravelId, TravelMetrics>>,
@@ -183,6 +195,10 @@ impl ServerMetrics {
             rereplicate_chunks_in: self.rereplicate_chunks_in.load(Ordering::Relaxed),
             replica_reads: self.replica_reads.load(Ordering::Relaxed),
             read_barrier_stalls: self.read_barrier_stalls.load(Ordering::Relaxed),
+            views_pinned: self.views_pinned.load(Ordering::Relaxed),
+            view_pin_peak: self.view_pin_peak.load(Ordering::Relaxed),
+            stale_seq_reads: self.stale_seq_reads.load(Ordering::Relaxed),
+            compactions_deferred: self.compactions_deferred.load(Ordering::Relaxed),
         }
     }
 
@@ -223,6 +239,10 @@ impl ServerMetrics {
         self.rereplicate_chunks_in.store(0, Ordering::Relaxed);
         self.replica_reads.store(0, Ordering::Relaxed);
         self.read_barrier_stalls.store(0, Ordering::Relaxed);
+        self.views_pinned.store(0, Ordering::Relaxed);
+        self.view_pin_peak.store(0, Ordering::Relaxed);
+        self.stale_seq_reads.store(0, Ordering::Relaxed);
+        self.compactions_deferred.store(0, Ordering::Relaxed);
         self.per_travel.lock().clear();
     }
 }
@@ -333,6 +353,14 @@ pub struct MetricsSnapshot {
     pub replica_reads: u64,
     /// See [`ServerMetrics::read_barrier_stalls`].
     pub read_barrier_stalls: u64,
+    /// See [`ServerMetrics::views_pinned`].
+    pub views_pinned: u64,
+    /// See [`ServerMetrics::view_pin_peak`].
+    pub view_pin_peak: u64,
+    /// See [`ServerMetrics::stale_seq_reads`].
+    pub stale_seq_reads: u64,
+    /// See [`ServerMetrics::compactions_deferred`].
+    pub compactions_deferred: u64,
 }
 
 impl MetricsSnapshot {
@@ -415,6 +443,19 @@ impl MetricsSnapshot {
             ("rereplicate_chunks_in", self.rereplicate_chunks_in),
             ("replica_reads", self.replica_reads),
             ("read_barrier_stalls", self.read_barrier_stalls),
+        ]
+    }
+
+    /// Every counter belonging to the MVCC snapshot machinery (view
+    /// pinning, versioned reads, compaction deferral). With snapshot
+    /// isolation off — the default — each of these is exactly zero, and
+    /// the dormancy test asserts so.
+    pub fn snapshot_counters(&self) -> [(&'static str, u64); 4] {
+        [
+            ("views_pinned", self.views_pinned),
+            ("view_pin_peak", self.view_pin_peak),
+            ("stale_seq_reads", self.stale_seq_reads),
+            ("compactions_deferred", self.compactions_deferred),
         ]
     }
 }

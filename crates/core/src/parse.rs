@@ -18,6 +18,7 @@
 //! call   := 'e' '(' string ')'
 //!         | 'va' '(' filter ')' | 'ea' '(' filter ')'
 //!         | 'rtn' '(' ')'
+//!         | 'as_of' '(' int ')' | 'created_after' '(' int ')'
 //! filter := string ',' 'EQ' ',' value
 //!         | string ',' 'IN' ',' '[' value (',' value)* ']'
 //!         | string ',' 'RANGE' ',' value ',' value
@@ -160,6 +161,15 @@ impl<'a> Cursor<'a> {
         }
     }
 
+    fn seq_arg(&mut self) -> Result<u64, ParseError> {
+        match self.number_or_bool()? {
+            PropValue::Int(i) if i >= 0 => Ok(i as u64),
+            other => Err(self.err(format!(
+                "sequence numbers must be non-negative ints, found {other}"
+            ))),
+        }
+    }
+
     fn filter(&mut self) -> Result<PropFilter, ParseError> {
         let key = self.string()?;
         self.eat(',')?;
@@ -255,10 +265,20 @@ pub fn parse(src: &str) -> Result<GTravel, ParseError> {
                 c.eat(')')?;
                 q.rtn()
             }
+            "as_of" => {
+                let seq = c.seq_arg()?;
+                c.eat(')')?;
+                q.as_of(seq)
+            }
+            "created_after" => {
+                let seq = c.seq_arg()?;
+                c.eat(')')?;
+                q.created_after(seq)
+            }
             other => {
                 return Err(ParseError {
                     at: m_pos,
-                    msg: format!("unknown method {other:?} (e, va, ea, rtn)"),
+                    msg: format!("unknown method {other:?} (e, va, ea, rtn, as_of, created_after)"),
                 })
             }
         };
@@ -380,6 +400,21 @@ mod tests {
         let p = q.compile().unwrap();
         assert_eq!(p.depth(), 1);
         assert!(p.rtn_at(1));
+    }
+
+    #[test]
+    fn parses_temporal_predicates() {
+        let q = parse("v(1).as_of(42).e('run').created_after(7)").unwrap();
+        let p = q.compile().unwrap();
+        assert_eq!(p.as_of, Some(42));
+        assert_eq!(p.view_seq(), Some(42));
+        assert_eq!(p.steps[0].vertex_filters.len(), 1);
+        assert_eq!(
+            p.steps[0].vertex_filters.0[0].key,
+            gt_graph::CREATED_SEQ_PROP
+        );
+        assert!(parse("v(1).as_of(-3)").is_err());
+        assert!(parse("v(1).created_after('x')").is_err());
     }
 
     #[test]

@@ -32,6 +32,7 @@ use crate::queue::{FifoQueue, MergingQueue, ReqMode, RequestQueue, RequestState,
 use crate::{ExecId, Token, Tokens, TravelId};
 use gt_graph::{GraphPartition, Props, VertexId};
 use gt_kvstore::wal::BlobLog;
+use gt_kvstore::ReadView;
 use gt_net::{Endpoint, RecvError};
 use gt_placement::SharedPlacement;
 use parking_lot::Mutex;
@@ -1399,16 +1400,29 @@ fn handle_msg(sh: &Arc<Shared>, msg: Msg) -> LoopCtl {
             req,
             origin,
             wseq,
+            seq,
             vertices,
             edges,
         } => {
             // Synchronous replica apply: the primary withholds its
-            // IngestAck until every holder has confirmed.
+            // IngestAck until every holder has confirmed. Versioned
+            // batches re-use the primary's stamp (one logical write, one
+            // sequence number on every holder) after advancing the local
+            // clock past it.
+            if let Some(s) = seq {
+                sh.partition.store().observe_seq(s);
+            }
             for v in &vertices {
-                let _ = sh.partition.put_vertex(v);
+                let _ = match seq {
+                    Some(s) => sh.partition.put_vertex_at(v, s),
+                    None => sh.partition.put_vertex(v),
+                };
             }
             for e in &edges {
-                let _ = sh.partition.put_edge(e);
+                let _ = match seq {
+                    Some(s) => sh.partition.put_edge_at(e, s),
+                    None => sh.partition.put_edge(e),
+                };
             }
             sh.metrics
                 .replica_writes
@@ -1608,14 +1622,26 @@ fn handle_ingest(
     vertices: Vec<gt_graph::Vertex>,
     edges: Vec<gt_graph::Edge>,
 ) {
+    // Under snapshot isolation the whole batch is stamped with one
+    // sequence number, so a travel's view sees either all of an acked
+    // batch or none of it — never a torn half.
+    let seq = sh.partition.store().alloc_seq();
     let mut applied = 0usize;
     for v in &vertices {
-        if sh.partition.put_vertex(v).is_ok() {
+        let ok = match seq {
+            Some(s) => sh.partition.put_vertex_at(v, s).is_ok(),
+            None => sh.partition.put_vertex(v).is_ok(),
+        };
+        if ok {
             applied += 1;
         }
     }
     for e in &edges {
-        if sh.partition.put_edge(e).is_ok() {
+        let ok = match seq {
+            Some(s) => sh.partition.put_edge_at(e, s).is_ok(),
+            None => sh.partition.put_edge(e).is_ok(),
+        };
+        if ok {
             applied += 1;
         }
     }
@@ -1658,6 +1684,7 @@ fn handle_ingest(
                 req,
                 origin: sh.id,
                 wseq,
+                seq,
                 vertices: vertices.clone(),
                 edges: edges.clone(),
             },
@@ -2352,6 +2379,14 @@ fn alloc_exec(sh: &Arc<Shared>) -> ExecId {
     ExecId::new(sh.id, sh.exec_ctr.fetch_add(1, Ordering::Relaxed))
 }
 
+/// The read view every storage access of a travel resolves against: the
+/// plan's snapshot/`as_of` bound, or plain latest-reads without one.
+fn plan_view(plan: &Plan) -> ReadView {
+    plan.view_seq()
+        .map(ReadView::at)
+        .unwrap_or(ReadView::LATEST)
+}
+
 /// Resolve the plan's source to locally-owned vertex ids.
 fn resolve_local_source(sh: &Arc<Shared>, plan: &Plan) -> Vec<VertexId> {
     match &plan.source {
@@ -2361,10 +2396,11 @@ fn resolve_local_source(sh: &Arc<Shared>, plan: &Plan) -> Vec<VertexId> {
             .filter(|&v| sh.placement.is_primary_vid(sh.id, v))
             .collect(),
         Source::All => {
+            let view = plan_view(plan);
             let scan = if let Some(t) = plan.source_type_hint() {
-                sh.partition.vertices_of_type(t)
+                sh.partition.vertices_of_type_at(t, view)
             } else {
-                sh.partition.all_vertex_ids()
+                sh.partition.all_vertex_ids_at(view)
             };
             // Replication and migration residue mean the local store may
             // hold vertices this server is no longer (or never was) the
@@ -2931,8 +2967,13 @@ fn process_parts(sh: &Arc<Shared>, parts: Vec<WorkItem>) {
         sh.metrics.injected_delays.fetch_add(1, Ordering::Relaxed);
         crate::faults::sleep_exact(d);
     }
-    // One real vertex access serves all merged parts.
-    let vdata = sh.partition.get_vertex(vertex).ok().flatten();
+    // One real vertex access serves all merged parts. Every part of a
+    // pop belongs to one travel, so one read view covers them all.
+    let vdata = sh
+        .partition
+        .get_vertex_at(vertex, plan_view(&parts[0].req.plan))
+        .ok()
+        .flatten();
     sh.metrics.real_io_visits.fetch_add(1, Ordering::Relaxed);
     // Group by depth, preserving order.
     let mut by_depth: BTreeMap<u16, Vec<WorkItem>> = BTreeMap::new();
@@ -3019,7 +3060,7 @@ fn process_one(
         None => {
             let scanned = sh
                 .partition
-                .edges_out(v.id, &hop.edge_label)
+                .edges_out_at(v.id, &hop.edge_label, plan_view(plan))
                 .unwrap_or_default();
             let arc = Arc::new(scanned);
             edge_cache.insert(hop.edge_label.clone(), arc.clone());

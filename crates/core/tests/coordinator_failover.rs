@@ -282,6 +282,43 @@ fn timeout_error_carries_last_progress() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Regression: the best-effort progress probe fired after `wait`'s
+/// deadline used to open a fresh hard-coded 250 ms reply window even
+/// when the caller's whole timeout was a few milliseconds, so a
+/// `wait(40ms)` against an unresponsive coordinator returned after
+/// ~290 ms. The probe's window is now capped by the caller's own
+/// timeout.
+#[test]
+fn short_wait_timeout_is_not_overshot_by_the_progress_probe() {
+    let g = random_graph(19, 30);
+    let q = failover_query();
+    let dir = tmp("probe-overshoot");
+    let cluster = Cluster::build(
+        &g,
+        ClusterConfig::new(&dir, 3),
+        EngineConfig::new(EngineKind::GraphTrek).force_reliable_delivery(true),
+    )
+    .unwrap();
+    // Travel 1's coordinator is server 1; isolating it swallows both the
+    // travel and the post-deadline progress query.
+    cluster.isolate_server(1, true);
+    let ticket = cluster.start(&q).unwrap();
+    let started = std::time::Instant::now();
+    let err = cluster.wait(&ticket, Duration::from_millis(40));
+    let elapsed = started.elapsed();
+    assert!(
+        matches!(err, Err(ClusterError::Travel(TravelError::Timeout { .. }))),
+        "expected a typed timeout, got {err:?}"
+    );
+    assert!(
+        elapsed < Duration::from_millis(250),
+        "wait(40ms) took {elapsed:?}: the probe window must be capped by the timeout"
+    );
+    cluster.isolate_server(1, false);
+    cluster.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// Cancelling a running travel makes a concurrent/later `wait` report
 /// `TravelError::Cancelled`, not a bare timeout.
 #[test]
@@ -475,6 +512,12 @@ fn no_crash_means_zero_failover_counters() {
             assert_eq!(
                 value, 0,
                 "server {s}: `{name}` moved with detection disabled"
+            );
+        }
+        for (name, value) in m.snapshot_counters() {
+            assert_eq!(
+                value, 0,
+                "server {s}: `{name}` moved with versioning disabled"
             );
         }
     }

@@ -320,6 +320,12 @@ fn static_cluster_keeps_every_placement_counter_at_zero() {
                 "server {s}: `{name}` moved with detection disabled"
             );
         }
+        for (name, value) in m.snapshot_counters() {
+            assert_eq!(
+                value, 0,
+                "server {s}: `{name}` moved with versioning disabled"
+            );
+        }
     }
     assert_eq!(cluster.net_stats().bulk_messages(), 0);
     assert_eq!(cluster.net_stats().bulk_bytes(), 0);

@@ -377,6 +377,12 @@ fn detection_off_keeps_every_self_heal_counter_at_zero() {
                 "server {s}: `{name}` moved with detection disabled"
             );
         }
+        for (name, value) in m.snapshot_counters() {
+            assert_eq!(
+                value, 0,
+                "server {s}: `{name}` moved with versioning disabled"
+            );
+        }
     }
     cluster.shutdown();
     std::fs::remove_dir_all(&dir).ok();

@@ -39,5 +39,5 @@ pub use filter::{Cond, FilterSet, PropFilter};
 pub use memory::InMemoryGraph;
 pub use model::{Edge, Props, Vertex, VertexId};
 pub use partition::{splitmix64, EdgeCutPartitioner, ServerId};
-pub use storage::GraphPartition;
+pub use storage::{GraphPartition, RawTriple, CREATED_SEQ_PROP};
 pub use value::PropValue;

@@ -17,16 +17,26 @@ use crate::codec;
 use crate::memory::InMemoryGraph;
 use crate::model::{Edge, Props, Vertex, VertexId};
 use crate::partition::{EdgeCutPartitioner, ServerId};
-use gt_kvstore::{Namespace, Result, Store, WriteBatch};
+use crate::value::PropValue;
+use gt_kvstore::{Namespace, ReadView, Result, Store, WriteBatch};
 use std::sync::Arc;
 
 /// Number of operations grouped per bulk-load batch.
 const LOAD_BATCH: usize = 1024;
 
+/// Reserved property stamped on vertices and edges at ingest when
+/// snapshot versioning is on: the sequence number of the write that
+/// *created* the entity (preserved across later upserts). GTravel's
+/// `created_after(seq)` predicate filters on it.
+pub const CREATED_SEQ_PROP: &str = "__created_seq";
+
 /// One exported `(namespace, key, value)` row — the wire form of a shard
 /// migration snapshot ([`GraphPartition::export_where`] /
-/// [`GraphPartition::import_raw`]).
-pub type RawTriple = (String, Vec<u8>, Vec<u8>);
+/// [`GraphPartition::import_raw`]). `None` is a tombstone *version*:
+/// with snapshot versioning on, keys are raw stamped internal keys and a
+/// migration must carry deletes so they neither resurrect older values
+/// on the target nor disappear for pinned mid-travel views.
+pub type RawTriple = (String, Vec<u8>, Option<Vec<u8>>);
 
 /// One backend server's shard of the property graph.
 pub struct GraphPartition {
@@ -70,38 +80,113 @@ impl GraphPartition {
         self.store.namespace(&name)
     }
 
-    /// Insert or replace a vertex (attributes + type-index entry).
+    /// Insert or replace a vertex (attributes + type-index entry). With
+    /// snapshot versioning on, the write is stamped at a freshly
+    /// allocated sequence number.
     pub fn put_vertex(&self, v: &Vertex) -> Result<()> {
-        self.verts
-            .put(codec::vertex_key(v.id).to_vec(), codec::encode_vertex(v))?;
-        self.type_ns(&v.vtype)?
-            .put(codec::vertex_key(v.id).to_vec(), bytes::Bytes::new())?;
+        match self.store.alloc_seq() {
+            Some(seq) => self.put_vertex_at(v, seq),
+            None => {
+                self.verts
+                    .put(codec::vertex_key(v.id).to_vec(), codec::encode_vertex(v))?;
+                self.type_ns(&v.vtype)?
+                    .put(codec::vertex_key(v.id).to_vec(), bytes::Bytes::new())?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Insert or replace a vertex, stamping every touched namespace at
+    /// `seq` (one logical operation = one version across `verts` and the
+    /// type index). Stamps [`CREATED_SEQ_PROP`] into the record,
+    /// preserving the stamp of an existing version on upsert.
+    pub fn put_vertex_at(&self, v: &Vertex, seq: u64) -> Result<()> {
+        let mut v2 = v.clone();
+        if v2.props.get(CREATED_SEQ_PROP).is_none() {
+            let created = self
+                .get_vertex_at(v.id, ReadView::LATEST)?
+                .and_then(|old| old.props.get(CREATED_SEQ_PROP).cloned())
+                .unwrap_or(PropValue::Int(seq as i64));
+            v2.props.set(CREATED_SEQ_PROP, created);
+        }
+        let mut vb = WriteBatch::with_capacity(1);
+        vb.put(codec::vertex_key(v2.id).to_vec(), codec::encode_vertex(&v2));
+        self.verts.write_batch_at(vb, seq)?;
+        let mut tb = WriteBatch::with_capacity(1);
+        tb.put(codec::vertex_key(v2.id).to_vec(), bytes::Bytes::new());
+        self.type_ns(&v2.vtype)?.write_batch_at(tb, seq)?;
         Ok(())
     }
 
-    /// Insert or replace an edge.
+    /// Insert or replace an edge (stamped when versioning is on).
     pub fn put_edge(&self, e: &Edge) -> Result<()> {
-        self.edges.put(
-            codec::edge_key(e.src, &e.label, e.dst),
-            bytes::Bytes::from(codec::encode_props(&e.props)),
-        )
+        match self.store.alloc_seq() {
+            Some(seq) => self.put_edge_at(e, seq),
+            None => self.edges.put(
+                codec::edge_key(e.src, &e.label, e.dst),
+                bytes::Bytes::from(codec::encode_props(&e.props)),
+            ),
+        }
+    }
+
+    /// Insert or replace an edge at `seq`, stamping
+    /// [`CREATED_SEQ_PROP`] (preserved across upserts like vertices).
+    pub fn put_edge_at(&self, e: &Edge, seq: u64) -> Result<()> {
+        let key = codec::edge_key(e.src, &e.label, e.dst);
+        let mut props = e.props.clone();
+        if props.get(CREATED_SEQ_PROP).is_none() {
+            let created = self
+                .edges
+                .get_at(&key, ReadView::LATEST)?
+                .and_then(|old| codec::decode_props(&old))
+                .and_then(|p| p.get(CREATED_SEQ_PROP).cloned())
+                .unwrap_or(PropValue::Int(seq as i64));
+            props.set(CREATED_SEQ_PROP, created);
+        }
+        let mut b = WriteBatch::with_capacity(1);
+        b.put(key, bytes::Bytes::from(codec::encode_props(&props)));
+        self.edges.write_batch_at(b, seq)
     }
 
     /// Fetch a vertex with its attributes. This is the "vertex visit" the
     /// traversal engine accounts as one storage access.
     pub fn get_vertex(&self, id: VertexId) -> Result<Option<Vertex>> {
+        if self.store.versioning_enabled() {
+            return self.get_vertex_at(id, ReadView::LATEST);
+        }
         Ok(self
             .verts
             .get(&codec::vertex_key(id))?
             .and_then(|data| codec::decode_vertex(id, &data)))
     }
 
+    /// Fetch a vertex as visible at `view`.
+    pub fn get_vertex_at(&self, id: VertexId, view: ReadView) -> Result<Option<Vertex>> {
+        if !self.store.versioning_enabled() {
+            return self.get_vertex(id);
+        }
+        Ok(self
+            .verts
+            .get_at(&codec::vertex_key(id), view)?
+            .and_then(|data| codec::decode_vertex(id, &data)))
+    }
+
     /// Outgoing edges of `src` carrying `label`, as `(dst, props)` pairs
     /// in destination order — one sequential prefix scan.
     pub fn edges_out(&self, src: VertexId, label: &str) -> Result<Vec<(VertexId, Props)>> {
+        self.edges_out_at(src, label, ReadView::LATEST)
+    }
+
+    /// Outgoing edges of `src` with `label`, as visible at `view`.
+    pub fn edges_out_at(
+        &self,
+        src: VertexId,
+        label: &str,
+        view: ReadView,
+    ) -> Result<Vec<(VertexId, Props)>> {
         let prefix = codec::edge_label_prefix(src, label);
         let mut out = Vec::new();
-        for (k, v) in self.edges.scan_prefix(&prefix)? {
+        for (k, v) in self.scan_edges(&prefix, view)? {
             if let (Some((_, _, dst)), Some(props)) =
                 (codec::decode_edge_key(&k), codec::decode_props(&v))
             {
@@ -113,9 +198,18 @@ impl GraphPartition {
 
     /// Every outgoing edge of `src`, all labels.
     pub fn all_edges_out(&self, src: VertexId) -> Result<Vec<(String, VertexId, Props)>> {
+        self.all_edges_out_at(src, ReadView::LATEST)
+    }
+
+    /// Every outgoing edge of `src`, as visible at `view`.
+    pub fn all_edges_out_at(
+        &self,
+        src: VertexId,
+        view: ReadView,
+    ) -> Result<Vec<(String, VertexId, Props)>> {
         let prefix = codec::edge_src_prefix(src);
         let mut out = Vec::new();
-        for (k, v) in self.edges.scan_prefix(&prefix)? {
+        for (k, v) in self.scan_edges(&prefix, view)? {
             if let (Some((_, label, dst)), Some(props)) =
                 (codec::decode_edge_key(&k), codec::decode_props(&v))
             {
@@ -125,11 +219,28 @@ impl GraphPartition {
         Ok(out)
     }
 
+    fn scan_edges(&self, prefix: &[u8], view: ReadView) -> Result<Vec<(Vec<u8>, bytes::Bytes)>> {
+        if self.store.versioning_enabled() {
+            self.edges.scan_prefix_at(prefix, view)
+        } else {
+            self.edges.scan_prefix(prefix)
+        }
+    }
+
     /// Ids of every local vertex with the given type, ascending.
     pub fn vertices_of_type(&self, vtype: &str) -> Result<Vec<VertexId>> {
+        self.vertices_of_type_at(vtype, ReadView::LATEST)
+    }
+
+    /// Ids of every local vertex with the given type visible at `view`.
+    pub fn vertices_of_type_at(&self, vtype: &str, view: ReadView) -> Result<Vec<VertexId>> {
         let ns = self.type_ns(vtype)?;
-        Ok(ns
-            .scan_prefix(b"")?
+        let entries = if self.store.versioning_enabled() {
+            ns.scan_prefix_at(b"", view)?
+        } else {
+            ns.scan_prefix(b"")?
+        };
+        Ok(entries
             .into_iter()
             .filter_map(|(k, _)| k.as_slice().try_into().ok().map(VertexId::from_be_bytes))
             .collect())
@@ -137,43 +248,70 @@ impl GraphPartition {
 
     /// Ids of every local vertex, ascending.
     pub fn all_vertex_ids(&self) -> Result<Vec<VertexId>> {
-        Ok(self
-            .verts
-            .scan_prefix(b"")?
+        self.all_vertex_ids_at(ReadView::LATEST)
+    }
+
+    /// Ids of every local vertex visible at `view`, ascending.
+    pub fn all_vertex_ids_at(&self, view: ReadView) -> Result<Vec<VertexId>> {
+        let entries = if self.store.versioning_enabled() {
+            self.verts.scan_prefix_at(b"", view)?
+        } else {
+            self.verts.scan_prefix(b"")?
+        };
+        Ok(entries
             .into_iter()
             .filter_map(|(k, _)| k.as_slice().try_into().ok().map(VertexId::from_be_bytes))
             .collect())
     }
 
-    /// Bulk-load vertices and edges with batched writes.
+    /// Bulk-load vertices and edges with batched writes. With snapshot
+    /// versioning on, the entire load is stamped at one freshly
+    /// allocated sequence number — the initial graph is a single
+    /// consistent version.
     pub fn load(
         &self,
         vertices: impl IntoIterator<Item = Vertex>,
         edges: impl IntoIterator<Item = Edge>,
     ) -> Result<()> {
+        let seq = self.store.alloc_seq();
+        let write = |ns: &Namespace, batch: WriteBatch| match seq {
+            Some(s) => ns.write_batch_at(batch, s),
+            None => ns.write_batch(batch),
+        };
         let mut vbatch = WriteBatch::with_capacity(LOAD_BATCH);
-        for v in vertices {
+        for mut v in vertices {
+            if let Some(s) = seq {
+                if v.props.get(CREATED_SEQ_PROP).is_none() {
+                    v.props.set(CREATED_SEQ_PROP, PropValue::Int(s as i64));
+                }
+            }
             vbatch.put(codec::vertex_key(v.id).to_vec(), codec::encode_vertex(&v));
             // The type index is written through its own namespace batch-of-one;
             // type namespaces are few, so per-op cost is negligible.
-            self.type_ns(&v.vtype)?
-                .put(codec::vertex_key(v.id).to_vec(), bytes::Bytes::new())?;
+            let mut tb = WriteBatch::with_capacity(1);
+            tb.put(codec::vertex_key(v.id).to_vec(), bytes::Bytes::new());
+            write(&self.type_ns(&v.vtype)?, tb)?;
             if vbatch.len() >= LOAD_BATCH {
-                self.verts.write_batch(std::mem::take(&mut vbatch))?;
+                write(&self.verts, std::mem::take(&mut vbatch))?;
             }
         }
-        self.verts.write_batch(vbatch)?;
+        write(&self.verts, vbatch)?;
         let mut ebatch = WriteBatch::with_capacity(LOAD_BATCH);
-        for e in edges {
+        for mut e in edges {
+            if let Some(s) = seq {
+                if e.props.get(CREATED_SEQ_PROP).is_none() {
+                    e.props.set(CREATED_SEQ_PROP, PropValue::Int(s as i64));
+                }
+            }
             ebatch.put(
                 codec::edge_key(e.src, &e.label, e.dst),
                 bytes::Bytes::from(codec::encode_props(&e.props)),
             );
             if ebatch.len() >= LOAD_BATCH {
-                self.edges.write_batch(std::mem::take(&mut ebatch))?;
+                write(&self.edges, std::mem::take(&mut ebatch))?;
             }
         }
-        self.edges.write_batch(ebatch)?;
+        write(&self.edges, ebatch)?;
         Ok(())
     }
 
@@ -208,13 +346,27 @@ impl GraphPartition {
     /// migration snapshot: every namespace's keys begin with the owning
     /// vertex id, so one predicate covers the whole layout.
     pub fn export_where(&self, keep: impl Fn(VertexId) -> bool) -> Result<Vec<RawTriple>> {
+        let versioned = self.store.versioning_enabled();
         let mut out = Vec::new();
         for ns_name in self.store.list_namespaces() {
             let ns = self.store.namespace(&ns_name)?;
-            for (k, v) in ns.export_all()? {
-                if let Some(vid) = vid_of_key(&k) {
-                    if keep(vid) {
-                        out.push((ns_name.clone(), k, v.to_vec()));
+            if versioned {
+                // Ship raw stamped internal keys — every version and
+                // tombstone — so the target resolves any pinned view
+                // exactly as the source would have.
+                for (k, v) in ns.export_raw()? {
+                    if let Some(vid) = vid_of_key(&k) {
+                        if keep(vid) {
+                            out.push((ns_name.clone(), k, v.map(|v| v.to_vec())));
+                        }
+                    }
+                }
+            } else {
+                for (k, v) in ns.export_all()? {
+                    if let Some(vid) = vid_of_key(&k) {
+                        if keep(vid) {
+                            out.push((ns_name.clone(), k, Some(v.to_vec())));
+                        }
                     }
                 }
             }
@@ -227,22 +379,34 @@ impl GraphPartition {
     /// normal write path otherwise (delta catch-up), so later mutations
     /// shadow the snapshot.
     pub fn import_raw(&self, triples: Vec<RawTriple>, bulk: bool) -> Result<()> {
-        let mut by_ns: std::collections::BTreeMap<String, Vec<(Vec<u8>, bytes::Bytes)>> =
+        type NsPairs = Vec<(Vec<u8>, Option<bytes::Bytes>)>;
+        let mut by_ns: std::collections::BTreeMap<String, NsPairs> =
             std::collections::BTreeMap::new();
         for (ns, k, v) in triples {
             by_ns
                 .entry(ns)
                 .or_default()
-                .push((k, bytes::Bytes::from(v)));
+                .push((k, v.map(bytes::Bytes::from)));
         }
         for (ns_name, pairs) in by_ns {
             let ns = self.store.namespace(&ns_name)?;
             if bulk {
-                ns.import_bulk(pairs)?;
+                ns.import_raw(pairs)?;
             } else {
+                // Delta catch-up goes through the normal write path so it
+                // shadows the snapshot segment. Keys arrive pre-stamped
+                // under versioning, so the raw (non-restamping) batch is
+                // correct in both modes.
                 let mut batch = WriteBatch::with_capacity(pairs.len());
                 for (k, v) in pairs {
-                    batch.put(k, v);
+                    match v {
+                        Some(v) => {
+                            batch.put(k, v);
+                        }
+                        None => {
+                            batch.delete(k);
+                        }
+                    }
                 }
                 ns.write_batch(batch)?;
             }
@@ -491,7 +655,7 @@ mod tests {
         let delta = vec![(
             "verts".to_string(),
             codec::vertex_key(newer.id).to_vec(),
-            codec::encode_vertex(&newer).to_vec(),
+            Some(codec::encode_vertex(&newer).to_vec()),
         )];
         dst.import_raw(delta, false).unwrap();
         assert_eq!(dst.get_vertex(VertexId(0)).unwrap(), Some(newer));
@@ -534,6 +698,141 @@ mod tests {
         for d in dirs {
             std::fs::remove_dir_all(d).ok();
         }
+    }
+
+    fn open_tmp_versioned(
+        name: &str,
+    ) -> (
+        GraphPartition,
+        std::sync::Arc<std::sync::atomic::AtomicU64>,
+        std::path::PathBuf,
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "gtgraph-v-{}-{name}-{:?}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let clock = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let store =
+            Arc::new(Store::open(StoreConfig::new(&dir).version_clock(clock.clone())).unwrap());
+        (GraphPartition::open(store).unwrap(), clock, dir)
+    }
+
+    #[test]
+    fn versioned_partition_reads_resolve_by_view() {
+        let (p, _clock, dir) = open_tmp_versioned("views");
+        p.put_vertex(&Vertex::new(1u64, "User", Props::new().with("name", "a")))
+            .unwrap();
+        let s1 = p.store().current_seq();
+        p.put_edge(&Edge::new(1u64, "read", 2u64, Props::new()))
+            .unwrap();
+        p.put_vertex(&Vertex::new(2u64, "File", Props::new()))
+            .unwrap();
+        let s2 = p.store().current_seq();
+        p.put_vertex(&Vertex::new(1u64, "User", Props::new().with("name", "b")))
+            .unwrap();
+
+        // View at s1: only vertex 1's first version exists.
+        let v1 = p
+            .get_vertex_at(VertexId(1), ReadView::at(s1))
+            .unwrap()
+            .unwrap();
+        assert_eq!(v1.props.get("name"), Some(&PropValue::Str("a".into())));
+        assert!(p
+            .get_vertex_at(VertexId(2), ReadView::at(s1))
+            .unwrap()
+            .is_none());
+        assert!(p
+            .edges_out_at(VertexId(1), "read", ReadView::at(s1))
+            .unwrap()
+            .is_empty());
+        assert_eq!(
+            p.all_vertex_ids_at(ReadView::at(s1)).unwrap(),
+            vec![VertexId(1)]
+        );
+        assert_eq!(
+            p.vertices_of_type_at("File", ReadView::at(s1)).unwrap(),
+            Vec::<VertexId>::new()
+        );
+
+        // View at s2: both vertices and the edge, name still "a".
+        let v1 = p
+            .get_vertex_at(VertexId(1), ReadView::at(s2))
+            .unwrap()
+            .unwrap();
+        assert_eq!(v1.props.get("name"), Some(&PropValue::Str("a".into())));
+        assert_eq!(
+            p.edges_out_at(VertexId(1), "read", ReadView::at(s2))
+                .unwrap()
+                .len(),
+            1
+        );
+        assert_eq!(p.all_vertex_ids_at(ReadView::at(s2)).unwrap().len(), 2);
+
+        // Latest: the upsert is visible, created stamp preserved.
+        let v1 = p.get_vertex(VertexId(1)).unwrap().unwrap();
+        assert_eq!(v1.props.get("name"), Some(&PropValue::Str("b".into())));
+        assert_eq!(
+            v1.props.get(CREATED_SEQ_PROP),
+            Some(&PropValue::Int(s1 as i64))
+        );
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn versioned_export_preserves_views_on_target() {
+        let (src, clock, sdir) = open_tmp_versioned("vexp");
+        src.put_vertex(&Vertex::new(1u64, "N", Props::new().with("x", 1i64)))
+            .unwrap();
+        let s1 = src.store().current_seq();
+        src.put_vertex(&Vertex::new(1u64, "N", Props::new().with("x", 2i64)))
+            .unwrap();
+        src.store().flush_all().unwrap();
+
+        let dir2 = sdir.with_extension("dst");
+        std::fs::remove_dir_all(&dir2).ok();
+        let store2 =
+            Arc::new(Store::open(StoreConfig::new(&dir2).version_clock(clock.clone())).unwrap());
+        let dst = GraphPartition::open(store2).unwrap();
+        dst.import_raw(src.export_where(|_| true).unwrap(), true)
+            .unwrap();
+
+        let old = dst
+            .get_vertex_at(VertexId(1), ReadView::at(s1))
+            .unwrap()
+            .unwrap();
+        assert_eq!(old.props.get("x"), Some(&PropValue::Int(1)));
+        let new = dst.get_vertex(VertexId(1)).unwrap().unwrap();
+        assert_eq!(new.props.get("x"), Some(&PropValue::Int(2)));
+        std::fs::remove_dir_all(sdir).ok();
+        std::fs::remove_dir_all(dir2).ok();
+    }
+
+    #[test]
+    fn versioned_load_is_one_consistent_version() {
+        let (p, _clock, dir) = open_tmp_versioned("vload");
+        let mut g = InMemoryGraph::new();
+        for i in 0..10u64 {
+            g.add_vertex(Vertex::new(i, "N", Props::new()));
+        }
+        for i in 0..9u64 {
+            g.add_edge(Edge::new(i, "next", i + 1, Props::new()));
+        }
+        p.load(g.iter_vertices().cloned(), g.iter_edges()).unwrap();
+        let s = p.store().current_seq();
+        assert_eq!(p.all_vertex_ids_at(ReadView::at(s)).unwrap().len(), 10);
+        assert!(p.all_vertex_ids_at(ReadView::at(s - 1)).unwrap().is_empty());
+        assert_eq!(
+            p.edges_out_at(VertexId(0), "next", ReadView::at(s))
+                .unwrap()
+                .len(),
+            1
+        );
+        std::fs::remove_dir_all(dir).ok();
     }
 
     #[test]

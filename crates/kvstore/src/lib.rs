@@ -45,6 +45,7 @@ pub mod memtable;
 pub mod segment;
 pub mod store;
 pub mod tree;
+pub mod version;
 pub mod wal;
 
 pub use batch::WriteBatch;
@@ -52,6 +53,7 @@ pub use error::{Error, Result};
 pub use iomodel::{AccessKind, IoProfile, IoStats};
 pub use store::{Store, StoreConfig};
 pub use tree::Tree;
+pub use version::{ReadView, VersionState, VersionStatsSnapshot};
 
 /// Handle to a single namespace (column-family equivalent) of a [`Store`].
 pub type Namespace = std::sync::Arc<Tree>;

@@ -10,9 +10,11 @@ use crate::cache::BlockCache;
 use crate::error::{Error, Result};
 use crate::iomodel::{IoProfile, IoStatsSnapshot};
 use crate::tree::{Tree, TreeConfig};
+use crate::version::{VersionState, VersionStatsSnapshot};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
 /// Configuration for opening a [`Store`].
@@ -33,6 +35,13 @@ pub struct StoreConfig {
     pub sync_wal: bool,
     /// Auto-compact a namespace at this many segments (0 = never).
     pub auto_compact_segments: usize,
+    /// MVCC sequence clock. `Some` turns on snapshot versioning: every
+    /// write is stamped with a sequence number drawn from (or observed
+    /// into) this clock, and reads can resolve against a pinned
+    /// [`ReadView`](crate::version::ReadView). Share one `Arc` across
+    /// stores to give a whole cluster a single comparable timeline.
+    /// `None` (the default) stores raw keys with zero overhead.
+    pub version_clock: Option<Arc<AtomicU64>>,
 }
 
 impl StoreConfig {
@@ -46,6 +55,7 @@ impl StoreConfig {
             io: IoProfile::free(),
             sync_wal: false,
             auto_compact_segments: 8,
+            version_clock: None,
         }
     }
 
@@ -66,6 +76,12 @@ impl StoreConfig {
         self.memtable_bytes = bytes;
         self
     }
+
+    /// Builder-style: enable snapshot versioning against `clock`.
+    pub fn version_clock(mut self, clock: Arc<AtomicU64>) -> Self {
+        self.version_clock = Some(clock);
+        self
+    }
 }
 
 /// A directory of namespaces sharing a block cache and I/O model.
@@ -74,6 +90,7 @@ pub struct Store {
     cache: Arc<BlockCache>,
     trees: Mutex<HashMap<String, Arc<Tree>>>,
     next_tree_tag: std::sync::atomic::AtomicU64,
+    version: Option<Arc<VersionState>>,
 }
 
 impl std::fmt::Debug for Store {
@@ -90,11 +107,16 @@ impl Store {
     pub fn open(cfg: StoreConfig) -> Result<Store> {
         std::fs::create_dir_all(&cfg.dir)?;
         let cache = Arc::new(BlockCache::new(cfg.block_cache_runs));
+        let version = cfg
+            .version_clock
+            .clone()
+            .map(|clock| Arc::new(VersionState::new(clock)));
         Ok(Store {
             cfg,
             cache,
             trees: Mutex::new(HashMap::new()),
             next_tree_tag: std::sync::atomic::AtomicU64::new(0),
+            version,
         })
     }
 
@@ -114,7 +136,7 @@ impl Store {
         let tag = self
             .next_tree_tag
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let tree = Arc::new(Tree::open(
+        let tree = Arc::new(Tree::open_versioned(
             name,
             tag,
             self.cfg.dir.join(name),
@@ -126,6 +148,7 @@ impl Store {
                 auto_compact_segments: self.cfg.auto_compact_segments,
                 sync_wal: self.cfg.sync_wal,
             },
+            self.version.clone(),
         )?);
         trees.insert(name.to_string(), tree.clone());
         Ok(tree)
@@ -198,6 +221,57 @@ impl Store {
     /// The configured I/O model.
     pub fn io_profile(&self) -> IoProfile {
         self.cfg.io
+    }
+
+    /// Whether snapshot versioning is on for this store.
+    pub fn versioning_enabled(&self) -> bool {
+        self.version.is_some()
+    }
+
+    /// The versioning state, when enabled.
+    pub fn versioning(&self) -> Option<&Arc<VersionState>> {
+        self.version.as_ref()
+    }
+
+    /// Allocate the next write sequence number (`None` with versioning
+    /// off).
+    pub fn alloc_seq(&self) -> Option<u64> {
+        self.version.as_ref().map(|v| v.alloc_seq())
+    }
+
+    /// The latest allocated/observed sequence number (0 when off).
+    pub fn current_seq(&self) -> u64 {
+        self.version.as_ref().map_or(0, |v| v.current_seq())
+    }
+
+    /// Advance the clock to at least `seq` without allocating (replica
+    /// apply at the primary's stamp; recovery). No-op when off.
+    pub fn observe_seq(&self, seq: u64) {
+        if let Some(v) = &self.version {
+            v.observe_seq(seq);
+        }
+    }
+
+    /// Pin a read view so compaction keeps every version visible at
+    /// `seq`. No-op when versioning is off.
+    pub fn pin_view(&self, seq: u64) {
+        if let Some(v) = &self.version {
+            v.pin(seq);
+        }
+    }
+
+    /// Release a pin taken by [`Store::pin_view`].
+    pub fn unpin_view(&self, seq: u64) {
+        if let Some(v) = &self.version {
+            v.unpin(seq);
+        }
+    }
+
+    /// Versioning counters (all zero when versioning is off).
+    pub fn version_stats(&self) -> VersionStatsSnapshot {
+        self.version
+            .as_ref()
+            .map_or_else(VersionStatsSnapshot::default, |v| v.stats_snapshot())
     }
 
     /// Root directory of the store.

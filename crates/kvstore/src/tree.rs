@@ -14,6 +14,7 @@ use crate::error::Result;
 use crate::iomodel::{AccessKind, IoProfile, IoStats};
 use crate::memtable::MemTable;
 use crate::segment::{Segment, SegmentBuilder};
+use crate::version::{self, ReadView, VersionState};
 use crate::wal;
 use crate::wal::Wal;
 use bytes::Bytes;
@@ -68,6 +69,12 @@ pub struct Tree {
     stats: IoStats,
     cfg: TreeConfig,
     next_segment_id: AtomicU64,
+    /// Shared MVCC state (`None` = versioning off, raw keys).
+    version: Option<Arc<VersionState>>,
+    /// Highest sequence number stamped into this tree (persisted to the
+    /// `clock` sidecar on flush so a reopened store can recover the
+    /// global clock even after the WAL was reset).
+    max_stamped: AtomicU64,
 }
 
 impl std::fmt::Debug for Tree {
@@ -88,6 +95,22 @@ impl Tree {
         cache: Arc<BlockCache>,
         io: IoProfile,
         cfg: TreeConfig,
+    ) -> Result<Tree> {
+        Tree::open_versioned(name, cache_tag, dir, cache, io, cfg, None)
+    }
+
+    /// Open with optional MVCC state. With `Some`, recovery re-observes
+    /// the highest stamped sequence (WAL suffixes plus the `clock`
+    /// sidecar) into the shared clock so fresh allocations never collide
+    /// with stamps already on disk.
+    pub fn open_versioned(
+        name: &str,
+        cache_tag: u64,
+        dir: PathBuf,
+        cache: Arc<BlockCache>,
+        io: IoProfile,
+        cfg: TreeConfig,
+        version: Option<Arc<VersionState>>,
     ) -> Result<Tree> {
         std::fs::create_dir_all(&dir)?;
         // Discover existing segments (ignoring temp files from crashed
@@ -121,13 +144,33 @@ impl Tree {
         let wal_path = dir.join("wal.log");
         let replay = wal::replay(&wal_path)?;
         let mut memtable = MemTable::new();
+        let mut max_stamped = 0u64;
         for batch in replay.batches {
             for op in batch {
+                if version.is_some() {
+                    let key = match &op {
+                        BatchOp::Put { key, .. } => key,
+                        BatchOp::Delete { key } => key,
+                    };
+                    if let Some((_, seq)) = version::split_suffixed(key) {
+                        max_stamped = max_stamped.max(seq);
+                    }
+                }
                 match op {
                     BatchOp::Put { key, value } => memtable.put(key, value),
                     BatchOp::Delete { key } => memtable.delete(key),
                 }
             }
+        }
+        if let Some(vs) = &version {
+            // Flushed stamps live only in segments; the sidecar written at
+            // each flush carries their maximum across restarts.
+            if let Ok(raw) = std::fs::read(dir.join("clock")) {
+                if let Ok(bytes) = <[u8; 8]>::try_from(raw.as_slice()) {
+                    max_stamped = max_stamped.max(u64::from_le_bytes(bytes));
+                }
+            }
+            vs.observe_seq(max_stamped);
         }
         let wal = Wal::open(&wal_path, cfg.sync_wal)?;
         Ok(Tree {
@@ -144,6 +187,8 @@ impl Tree {
             stats: IoStats::default(),
             cfg,
             next_segment_id: AtomicU64::new(next_id),
+            version,
+            max_stamped: AtomicU64::new(max_stamped),
         })
     }
 
@@ -203,10 +248,107 @@ impl Tree {
         Ok(())
     }
 
-    /// Ordered scan of all live entries whose key starts with `prefix`.
-    pub fn scan_prefix(&self, prefix: &[u8]) -> Result<Vec<(Vec<u8>, Bytes)>> {
+    /// Apply a batch atomically with every key stamped at sequence
+    /// number `seq` (versioned internal keys). The suffix is applied
+    /// before the WAL append, so replay reproduces identical stamps.
+    /// Deletes become tombstone *versions* — a new suffixed key — so
+    /// older views still see the prior value.
+    pub fn write_batch_at(&self, batch: WriteBatch, seq: u64) -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let mut stamped = WriteBatch::with_capacity(batch.len());
+        for op in batch {
+            match op {
+                BatchOp::Put { mut key, value } => {
+                    version::suffix_key(&mut key, seq);
+                    stamped.put(key, value);
+                }
+                BatchOp::Delete { mut key } => {
+                    version::suffix_key(&mut key, seq);
+                    stamped.delete(key);
+                }
+            }
+        }
+        self.max_stamped.fetch_max(seq, Ordering::Relaxed);
+        self.write_batch(stamped)
+    }
+
+    /// Versioned point lookup: the newest version of `ukey` with
+    /// `stamp <= view.seq`; `None` when absent at (or deleted as of)
+    /// that view.
+    pub fn get_at(&self, ukey: &[u8], view: ReadView) -> Result<Option<Bytes>> {
         let inner = self.inner.read();
-        // Merge newest-wins: start from the oldest segment and overwrite.
+        let versions = self.merge_raw(&inner, ukey, &self.io)?;
+        let mut winner: Option<(u64, Option<Bytes>)> = None;
+        let mut saw_newer = false;
+        for (k, v) in &versions {
+            if k.len() != ukey.len() + version::SUFFIX_LEN {
+                continue; // a longer user key sharing the prefix
+            }
+            let Some((_, seq)) = version::split_suffixed(k) else {
+                continue;
+            };
+            if seq > view.seq {
+                saw_newer = true;
+                continue;
+            }
+            if winner.as_ref().is_none_or(|(w, _)| seq > *w) {
+                winner = Some((seq, v.clone()));
+            }
+        }
+        if saw_newer {
+            if let Some(vs) = &self.version {
+                vs.stats.stale_seq_reads.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(winner.and_then(|(_, v)| v))
+    }
+
+    /// Versioned ordered scan: for every user key starting with
+    /// `prefix`, the newest version with `stamp <= view.seq`, suffix
+    /// stripped; tombstone winners are dropped.
+    pub fn scan_prefix_at(&self, prefix: &[u8], view: ReadView) -> Result<Vec<(Vec<u8>, Bytes)>> {
+        let inner = self.inner.read();
+        let merged = self.merge_raw(&inner, prefix, &self.io)?;
+        drop(inner);
+        let mut out: Vec<(Vec<u8>, Bytes)> = Vec::new();
+        let mut saw_newer = false;
+        // Versions of one user key are adjacent with the newest first
+        // (inverted suffix), so the first visible entry per group wins.
+        let mut current: Option<Vec<u8>> = None;
+        for (k, v) in &merged {
+            let Some((ukey, seq)) = version::split_suffixed(k) else {
+                continue;
+            };
+            if current.as_deref() == Some(ukey) {
+                continue; // this group already resolved
+            }
+            if seq > view.seq {
+                saw_newer = true;
+                continue;
+            }
+            current = Some(ukey.to_vec());
+            if let Some(v) = v {
+                out.push((ukey.to_vec(), v.clone()));
+            }
+        }
+        if saw_newer {
+            if let Some(vs) = &self.version {
+                vs.stats.stale_seq_reads.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Merged raw view of every layer under `prefix` — full internal
+    /// keys, tombstones included, memtable shadowing segments.
+    fn merge_raw(
+        &self,
+        inner: &TreeInner,
+        prefix: &[u8],
+        io: &IoProfile,
+    ) -> Result<BTreeMap<Vec<u8>, Option<Bytes>>> {
         let mut merged: BTreeMap<Vec<u8>, Option<Bytes>> = BTreeMap::new();
         let mut scratch = Vec::new();
         for seg in inner.segments.iter().rev() {
@@ -215,7 +357,7 @@ impl Tree {
                 self.cache_tag,
                 prefix,
                 &self.cache,
-                &self.io,
+                io,
                 &self.stats,
                 &mut scratch,
             )?;
@@ -224,11 +366,19 @@ impl Tree {
             }
         }
         for (k, v) in inner.memtable.scan_prefix(prefix) {
-            self.io.charge(AccessKind::Warm);
+            io.charge(AccessKind::Warm);
             self.stats
                 .record(AccessKind::Warm, v.map_or(0, |b| b.len()));
             merged.insert(k.to_vec(), v.cloned());
         }
+        Ok(merged)
+    }
+
+    /// Ordered scan of all live entries whose key starts with `prefix`.
+    pub fn scan_prefix(&self, prefix: &[u8]) -> Result<Vec<(Vec<u8>, Bytes)>> {
+        let inner = self.inner.read();
+        // Merge newest-wins: start from the oldest segment and overwrite.
+        let merged = self.merge_raw(&inner, prefix, &self.io)?;
         Ok(merged
             .into_iter()
             .filter_map(|(k, v)| v.map(|v| (k, v)))
@@ -263,6 +413,15 @@ impl Tree {
         self.stats.record_write(written);
         inner.segments.insert(0, Arc::new(seg));
         inner.memtable.clear();
+        if self.version.is_some() {
+            // The WAL reset below erases the only recoverable record of
+            // the stamps now living in segments; persist their maximum
+            // first so a reopen can restore the clock.
+            std::fs::write(
+                self.dir.join("clock"),
+                self.max_stamped.load(Ordering::Relaxed).to_le_bytes(),
+            )?;
+        }
         inner.wal.reset()?;
         if self.cfg.auto_compact_segments > 0
             && inner.segments.len() >= self.cfg.auto_compact_segments
@@ -286,6 +445,16 @@ impl Tree {
         if inner.segments.len() <= 1 {
             return Ok(());
         }
+        if let Some(vs) = &self.version {
+            if vs.min_pinned().is_some() {
+                // A live view could still read a version this merge
+                // would drop; defer entirely until the pins drain.
+                vs.stats
+                    .compactions_deferred
+                    .fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+        }
         // Newest-wins merge of all segments.
         let mut merged: BTreeMap<Vec<u8>, Option<Bytes>> = BTreeMap::new();
         let mut scratch = Vec::new();
@@ -305,6 +474,24 @@ impl Tree {
             for (k, v) in scratch.drain(..) {
                 merged.insert(k, v);
             }
+        }
+        // With versioning on, keep only the newest version of each user
+        // key (its stamped key intact, so `as_of` that seq still
+        // resolves); shadowed versions and tombstone winners drop. With
+        // no pinned view this is exactly the unversioned contract.
+        if self.version.is_some() {
+            let mut newest_of: Option<Vec<u8>> = None;
+            merged.retain(|k, _| match version::split_suffixed(k) {
+                Some((ukey, _)) => {
+                    if newest_of.as_deref() == Some(ukey) {
+                        false
+                    } else {
+                        newest_of = Some(ukey.to_vec());
+                        true
+                    }
+                }
+                None => true,
+            });
         }
         let live: Vec<(&Vec<u8>, &Bytes)> = merged
             .iter()
@@ -370,6 +557,65 @@ impl Tree {
             .collect())
     }
 
+    /// Every entry of the namespace as raw internal keys — all versions
+    /// and tombstones included. This is the migration/re-replication
+    /// export under versioning: stamps and tombstone versions must
+    /// arrive intact on the target or a pinned mid-travel view would
+    /// resolve differently there. Maintenance I/O (free profile).
+    pub fn export_raw(&self) -> Result<Vec<(Vec<u8>, Option<Bytes>)>> {
+        let inner = self.inner.read();
+        let free = IoProfile::free();
+        let merged = self.merge_raw(&inner, b"", &free)?;
+        Ok(merged.into_iter().collect())
+    }
+
+    /// Receiving side of [`Tree::export_raw`]: build one immutable
+    /// segment carrying the pairs verbatim, tombstones included, without
+    /// re-stamping. Stamps found on the keys are folded into the clock.
+    pub fn import_raw(&self, mut pairs: Vec<(Vec<u8>, Option<Bytes>)>) -> Result<()> {
+        if pairs.is_empty() {
+            return Ok(());
+        }
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        pairs.dedup_by(|a, b| a.0 == b.0);
+        if let Some(vs) = &self.version {
+            let mut max_seq = 0u64;
+            for (k, _) in &pairs {
+                if let Some((_, seq)) = version::split_suffixed(k) {
+                    max_seq = max_seq.max(seq);
+                }
+            }
+            vs.observe_seq(max_seq);
+            self.max_stamped.fetch_max(max_seq, Ordering::Relaxed);
+            std::fs::write(
+                self.dir.join("clock"),
+                self.max_stamped.load(Ordering::Relaxed).to_le_bytes(),
+            )?;
+        }
+        let mut inner = self.inner.write();
+        let id = self.next_segment_id.fetch_add(1, Ordering::Relaxed);
+        let final_path = self.dir.join(format!("seg-{id}.sst"));
+        let tmp_path = self.dir.join(format!("seg-{id}.sst.tmp"));
+        let mut builder =
+            SegmentBuilder::create(&tmp_path, pairs.len(), self.cfg.bloom_bits_per_key)?;
+        let mut written = 0usize;
+        for (k, v) in &pairs {
+            builder.add(k, v.as_ref())?;
+            written += k.len() + v.as_ref().map_or(0, |v| v.len());
+        }
+        drop(builder.finish(id)?);
+        std::fs::rename(&tmp_path, &final_path)?;
+        let seg = Segment::open(&final_path, id)?;
+        self.stats.record_write(written);
+        inner.segments.insert(0, Arc::new(seg));
+        if self.cfg.auto_compact_segments > 0
+            && inner.segments.len() >= self.cfg.auto_compact_segments
+        {
+            self.compact_locked(&mut inner)?;
+        }
+        Ok(())
+    }
+
     /// Import a snapshot chunk directly as one immutable segment,
     /// bypassing the WAL and memtable — the receiving side of a shard
     /// migration. Pairs need not be sorted; later duplicates within the
@@ -381,6 +627,23 @@ impl Tree {
         }
         pairs.sort_by(|a, b| a.0.cmp(&b.0));
         pairs.dedup_by(|a, b| a.0 == b.0);
+        if let Some(vs) = &self.version {
+            // Imported keys arrive pre-stamped (migration ships raw
+            // internal keys); fold their stamps into the clock and the
+            // sidecar so they stay authoritative after a restart.
+            let mut max_seq = 0u64;
+            for (k, _) in &pairs {
+                if let Some((_, seq)) = version::split_suffixed(k) {
+                    max_seq = max_seq.max(seq);
+                }
+            }
+            vs.observe_seq(max_seq);
+            self.max_stamped.fetch_max(max_seq, Ordering::Relaxed);
+            std::fs::write(
+                self.dir.join("clock"),
+                self.max_stamped.load(Ordering::Relaxed).to_le_bytes(),
+            )?;
+        }
         let mut inner = self.inner.write();
         let id = self.next_segment_id.fetch_add(1, Ordering::Relaxed);
         let final_path = self.dir.join(format!("seg-{id}.sst"));
@@ -702,6 +965,304 @@ mod tests {
         let (t, dir) = open_tmp("emptybatch");
         t.write_batch(WriteBatch::new()).unwrap();
         assert_eq!(t.memtable_len(), 0);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    fn open_tmp_versioned(name: &str, vs: Arc<VersionState>) -> (Tree, PathBuf) {
+        let dir = std::env::temp_dir().join(format!(
+            "gtkv-vtree-{}-{name}-{:?}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let tree = Tree::open_versioned(
+            name,
+            0,
+            dir.clone(),
+            Arc::new(BlockCache::new(64)),
+            IoProfile::free(),
+            TreeConfig {
+                memtable_bytes: 1 << 16,
+                auto_compact_segments: 0,
+                ..TreeConfig::default()
+            },
+            Some(vs),
+        )
+        .unwrap();
+        (tree, dir)
+    }
+
+    fn vstate() -> Arc<VersionState> {
+        Arc::new(VersionState::new(Arc::new(AtomicU64::new(0))))
+    }
+
+    fn put_at(t: &Tree, key: &[u8], val: &str, seq: u64) {
+        let mut b = WriteBatch::new();
+        b.put(key.to_vec(), Bytes::copy_from_slice(val.as_bytes()));
+        t.write_batch_at(b, seq).unwrap();
+    }
+
+    fn del_at(t: &Tree, key: &[u8], seq: u64) {
+        let mut b = WriteBatch::new();
+        b.delete(key.to_vec());
+        t.write_batch_at(b, seq).unwrap();
+    }
+
+    #[test]
+    fn versioned_reads_resolve_against_view() {
+        let vs = vstate();
+        let (t, dir) = open_tmp_versioned("views", vs.clone());
+        put_at(&t, b"k", "v1", 1);
+        put_at(&t, b"k", "v2", 5);
+        del_at(&t, b"k", 9);
+        assert_eq!(t.get_at(b"k", ReadView::at(0)).unwrap(), None);
+        assert_eq!(
+            t.get_at(b"k", ReadView::at(1)).unwrap(),
+            Some(Bytes::from_static(b"v1"))
+        );
+        assert_eq!(
+            t.get_at(b"k", ReadView::at(8)).unwrap(),
+            Some(Bytes::from_static(b"v2"))
+        );
+        assert_eq!(t.get_at(b"k", ReadView::at(9)).unwrap(), None);
+        assert_eq!(t.get_at(b"k", ReadView::LATEST).unwrap(), None);
+        assert!(vs.stats_snapshot().stale_seq_reads >= 3);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn versioned_reads_span_flushes() {
+        let vs = vstate();
+        let (t, dir) = open_tmp_versioned("vflush", vs);
+        put_at(&t, b"k", "old", 2);
+        t.flush().unwrap();
+        put_at(&t, b"k", "new", 7);
+        assert_eq!(
+            t.get_at(b"k", ReadView::at(2)).unwrap(),
+            Some(Bytes::from_static(b"old"))
+        );
+        assert_eq!(
+            t.get_at(b"k", ReadView::at(7)).unwrap(),
+            Some(Bytes::from_static(b"new"))
+        );
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn versioned_scan_groups_and_strips_suffix() {
+        let vs = vstate();
+        let (t, dir) = open_tmp_versioned("vscan", vs);
+        put_at(&t, b"p/a", "a1", 1);
+        put_at(&t, b"p/a", "a2", 4);
+        put_at(&t, b"p/b", "b1", 2);
+        del_at(&t, b"p/b", 6);
+        put_at(&t, b"p/c", "c1", 5);
+        // View at 3: a1 and b1 visible, c not yet created.
+        let got = t.scan_prefix_at(b"p/", ReadView::at(3)).unwrap();
+        assert_eq!(
+            got,
+            vec![
+                (b"p/a".to_vec(), Bytes::from_static(b"a1")),
+                (b"p/b".to_vec(), Bytes::from_static(b"b1")),
+            ]
+        );
+        // Latest: a2 and c1; b deleted.
+        let got = t.scan_prefix_at(b"p/", ReadView::LATEST).unwrap();
+        assert_eq!(
+            got,
+            vec![
+                (b"p/a".to_vec(), Bytes::from_static(b"a2")),
+                (b"p/c".to_vec(), Bytes::from_static(b"c1")),
+            ]
+        );
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn pinned_view_defers_compaction_and_survives_unpin() {
+        let vs = vstate();
+        let (t, dir) = open_tmp_versioned("vpin", vs.clone());
+        put_at(&t, b"k", "v1", 1);
+        t.flush().unwrap();
+        put_at(&t, b"k", "v2", 5);
+        t.flush().unwrap();
+        assert_eq!(t.n_segments(), 2);
+        vs.pin(1);
+        t.compact().unwrap();
+        assert_eq!(t.n_segments(), 2, "compaction must defer under a pin");
+        assert_eq!(vs.stats_snapshot().compactions_deferred, 1);
+        assert_eq!(
+            t.get_at(b"k", ReadView::at(1)).unwrap(),
+            Some(Bytes::from_static(b"v1"))
+        );
+        vs.unpin(1);
+        t.compact().unwrap();
+        assert_eq!(t.n_segments(), 1);
+        // Only the newest version survives, stamp intact.
+        assert_eq!(
+            t.get_at(b"k", ReadView::at(5)).unwrap(),
+            Some(Bytes::from_static(b"v2"))
+        );
+        assert_eq!(t.get_at(b"k", ReadView::at(4)).unwrap(), None);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn versioned_compaction_drops_tombstone_groups() {
+        let vs = vstate();
+        let (t, dir) = open_tmp_versioned("vtomb", vs);
+        put_at(&t, b"dead", "v", 1);
+        t.flush().unwrap();
+        del_at(&t, b"dead", 2);
+        put_at(&t, b"live", "x", 3);
+        t.flush().unwrap();
+        t.compact().unwrap();
+        assert_eq!(t.n_segments(), 1);
+        assert_eq!(t.get_at(b"dead", ReadView::LATEST).unwrap(), None);
+        assert_eq!(
+            t.get_at(b"live", ReadView::LATEST).unwrap(),
+            Some(Bytes::from_static(b"x"))
+        );
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn clock_recovers_from_wal_and_sidecar() {
+        let dir = std::env::temp_dir().join(format!("gtkv-vtree-clockrec-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let cfg = TreeConfig {
+            auto_compact_segments: 0,
+            ..TreeConfig::default()
+        };
+        {
+            let vs = vstate();
+            let t = Tree::open_versioned(
+                "ns",
+                0,
+                dir.clone(),
+                Arc::new(BlockCache::new(64)),
+                IoProfile::free(),
+                cfg.clone(),
+                Some(vs),
+            )
+            .unwrap();
+            put_at(&t, b"flushed", "s", 11);
+            t.flush().unwrap(); // stamp 11 now only in the sidecar
+            put_at(&t, b"walled", "w", 14); // stamp 14 only in the WAL
+        }
+        let vs = vstate();
+        let t = Tree::open_versioned(
+            "ns",
+            0,
+            dir.clone(),
+            Arc::new(BlockCache::new(64)),
+            IoProfile::free(),
+            cfg,
+            Some(vs.clone()),
+        )
+        .unwrap();
+        assert_eq!(vs.current_seq(), 14, "clock must cover WAL stamps");
+        assert_eq!(
+            t.get_at(b"flushed", ReadView::at(11)).unwrap(),
+            Some(Bytes::from_static(b"s"))
+        );
+        // Fresh allocations continue past recovered stamps.
+        assert_eq!(vs.alloc_seq(), 15);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sidecar_alone_recovers_flushed_stamps() {
+        let dir = std::env::temp_dir().join(format!("gtkv-vtree-sidecar-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let cfg = TreeConfig {
+            auto_compact_segments: 0,
+            ..TreeConfig::default()
+        };
+        {
+            let vs = vstate();
+            let t = Tree::open_versioned(
+                "ns",
+                0,
+                dir.clone(),
+                Arc::new(BlockCache::new(64)),
+                IoProfile::free(),
+                cfg.clone(),
+                Some(vs),
+            )
+            .unwrap();
+            put_at(&t, b"k", "v", 21);
+            t.flush().unwrap(); // WAL reset; only the sidecar knows 21
+        }
+        let vs = vstate();
+        drop(
+            Tree::open_versioned(
+                "ns",
+                0,
+                dir.clone(),
+                Arc::new(BlockCache::new(64)),
+                IoProfile::free(),
+                cfg,
+                Some(vs.clone()),
+            )
+            .unwrap(),
+        );
+        assert_eq!(vs.current_seq(), 21);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn raw_export_import_preserves_versions_and_tombstones() {
+        let vs = vstate();
+        let (src, sdir) = open_tmp_versioned("vexp-src", vs);
+        put_at(&src, b"a", "a1", 1);
+        put_at(&src, b"a", "a2", 6);
+        put_at(&src, b"gone", "g", 2);
+        del_at(&src, b"gone", 4);
+        src.flush().unwrap();
+        let dump = src.export_raw().unwrap();
+        // 2 versions of `a` + put and tombstone versions of `gone`.
+        assert_eq!(dump.len(), 4);
+
+        let vs2 = vstate();
+        let (dst, ddir) = open_tmp_versioned("vexp-dst", vs2.clone());
+        dst.import_raw(dump).unwrap();
+        assert_eq!(
+            vs2.current_seq(),
+            6,
+            "import must fold stamps into the clock"
+        );
+        assert_eq!(
+            dst.get_at(b"a", ReadView::at(3)).unwrap(),
+            Some(Bytes::from_static(b"a1"))
+        );
+        assert_eq!(
+            dst.get_at(b"a", ReadView::LATEST).unwrap(),
+            Some(Bytes::from_static(b"a2"))
+        );
+        assert_eq!(
+            dst.get_at(b"gone", ReadView::at(3)).unwrap(),
+            Some(Bytes::from_static(b"g")),
+            "pre-delete view must still see the value on the target"
+        );
+        assert_eq!(
+            dst.get_at(b"gone", ReadView::LATEST).unwrap(),
+            None,
+            "tombstone version must not resurrect on the target"
+        );
+        std::fs::remove_dir_all(sdir).ok();
+        std::fs::remove_dir_all(ddir).ok();
+    }
+
+    #[test]
+    fn unversioned_tree_has_zero_version_overhead() {
+        let (t, dir) = open_tmp("novers");
+        t.put(b"k".to_vec(), Bytes::from_static(b"v")).unwrap();
+        // Raw key on disk: no suffix, normal get works.
+        assert_eq!(t.get(b"k").unwrap(), Some(Bytes::from_static(b"v")));
         std::fs::remove_dir_all(dir).ok();
     }
 }

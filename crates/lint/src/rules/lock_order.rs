@@ -93,9 +93,11 @@ const CALL_BLOCKLIST: &[&str] = &[
     "retain",
     "drain",
     // Workspace-specific collisions: `Cluster::progress`/`Cluster::io_stats`
-    // share names with `TravelLedger::progress`/`PartitionStore::io_stats`.
+    // share names with `TravelLedger::progress`/`PartitionStore::io_stats`,
+    // and `Cluster::current_seq` with `PartitionStore::current_seq`.
     "progress",
     "io_stats",
+    "current_seq",
 ];
 
 #[derive(Debug)]
