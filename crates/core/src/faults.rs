@@ -270,14 +270,17 @@ impl ServerFaults {
             if slot.step != step {
                 continue;
             }
-            // Decrement one credit if any remain.
-            let mut cur = slot.remaining.load(Ordering::Relaxed);
+            // Decrement one credit if any remain. AcqRel on the winning
+            // exchange orders the credit handoff between the two engine
+            // threads racing here, so a consumed credit is visible before
+            // either thread acts on the delay it bought.
+            let mut cur = slot.remaining.load(Ordering::Acquire);
             while cur > 0 {
                 match slot.remaining.compare_exchange_weak(
                     cur,
                     cur - 1,
-                    Ordering::Relaxed,
-                    Ordering::Relaxed,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
                 ) {
                     Ok(_) => return Some(slot.delay),
                     Err(now) => cur = now,
@@ -291,7 +294,7 @@ impl ServerFaults {
     pub fn remaining(&self) -> u64 {
         self.slots
             .iter()
-            .map(|s| s.remaining.load(Ordering::Relaxed))
+            .map(|s| s.remaining.load(Ordering::Acquire))
             .sum()
     }
 }

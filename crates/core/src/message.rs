@@ -56,6 +56,15 @@ pub enum SyncExpect {
 }
 
 /// All GraphTrek wire messages.
+///
+/// Request→acknowledgment pairings that the `*Ack` naming convention
+/// cannot infer are declared for `gt-lint`'s protocol-conformance rule;
+/// each declared request must have a reachable retry/timeout site at its
+/// senders and a send site for its ack.
+// gt-lint: pair(GetVertex -> VertexReply)
+// gt-lint: pair(CoordRecover -> RecoverDone)
+// gt-lint: pair(MigrateBegin -> MigrateApplied)
+// gt-lint: pair(PlacementUpdate -> PlacementAck)
 #[derive(Debug, Clone)]
 pub enum Msg {
     // ------------------------------------------------------- client-facing
@@ -348,11 +357,12 @@ pub enum Msg {
         epoch: u64,
         /// Successor coordinator server id.
         coordinator: usize,
-        /// The crashed (now restarted) server, if one was restarted. Its
-        /// relay streams died with it, so senders restart their
-        /// per-travel sequence toward it from 1 — every other stream
-        /// keeps its cursor. `None` when the takeover re-homes a travel
-        /// without restarting anything (replica promotion).
+        /// The crashed (now restarted) server, if one was restarted;
+        /// `None` when the takeover re-homes a travel without restarting
+        /// anything (replica promotion). Informational: every receiver
+        /// restarts the travel's relay streams for the bumped epoch
+        /// regardless (generational streams — see `InStream` in the
+        /// server), so no targeted per-stream reset keys off this field.
         restarted: Option<usize>,
     },
     /// Server → successor coordinator: everything this server reported

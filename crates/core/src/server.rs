@@ -290,11 +290,25 @@ struct RelayOut {
 /// In-order delivery is what preserves the protocol's FIFO-dependent
 /// pairs (`Results` before `ExecTerminated` on the same link) under drop
 /// and reorder chaos.
+///
+/// Streams are *generational*: every `CoordHandoff` restarts the sender's
+/// sequence numbering at 1 under the bumped travel-epoch, so the
+/// receiver tracks which generation (`gen`) its cursor belongs to.
+/// Without this, a pre-failover retransmit landing on a freshly restarted
+/// receiver can squat on (or consume) a sequence number the post-failover
+/// stream will reuse, and the live message at that number is then
+/// silently eaten as a "redelivery" — already acked, never retransmitted,
+/// wedging the travel.
 struct InStream {
+    /// Travel-epoch generation the cursor belongs to. Messages stamped
+    /// older are acked-and-dropped without touching the cursor; a newer
+    /// stamp resets the stream.
+    gen: u64,
     next_seq: u64,
     /// seq → (travel-epoch stamp, message); the stamp is judged at
-    /// delivery time, after the in-order pop, so a failover cannot
-    /// desynchronize stream cursors.
+    /// delivery time, after the in-order pop, so a slow-to-hand-off
+    /// sender's still-current-generation traffic cannot desynchronize
+    /// stream cursors.
     buffered: BTreeMap<u64, (u64, Msg)>,
 }
 
@@ -490,11 +504,23 @@ impl Shared {
 /// are journaled: a stale worker flushing after a failover handoff must
 /// not pollute the journal of the re-driven execution.
 fn send_travel(sh: &Arc<Shared>, to: usize, travel: TravelId, tepoch: u64, msg: Msg) {
-    if sh.crashed.load(Ordering::Relaxed) {
+    // SeqCst pairs with the crash path's SeqCst store: once the kill is
+    // ordered, no thread of the dying incarnation slips another message
+    // out (a Relaxed load could see the flag late and leak a send from a
+    // server the test harness already declared dead).
+    if sh.crashed.load(Ordering::SeqCst) {
         return; // a dying server sends nothing
     }
     if !sh.reliable {
         let _ = sh.ep.send(to, msg);
+        return;
+    }
+    if tepoch < sh.travel_epoch_of(travel) {
+        // A worker flushing for a superseded execution after the handoff
+        // already reset this travel's streams: the receiver would fence
+        // the message anyway, but letting it claim a sequence number in
+        // the *new* stream generation would leave the receiver waiting on
+        // that number forever once it drops the stale payload.
         return;
     }
     if tepoch == sh.travel_epoch_of(travel) {
@@ -1129,9 +1155,33 @@ fn handle_relay(
     let deliverable: Vec<(u64, Msg)> = {
         let mut streams = sh.relay_in.lock();
         let st = streams.entry((travel, from)).or_insert_with(|| InStream {
+            gen: tepoch,
             next_seq: 1,
             buffered: BTreeMap::new(),
         });
+        if tepoch < st.gen {
+            // Straggler from a superseded stream generation (a pre-crash
+            // retransmit the sender has not yet purged). Acked above, but
+            // it must not touch the cursor: at the head it would consume a
+            // sequence number the live generation is about to use, and in
+            // the buffer it would squat on one — either way the live
+            // message at that number would later be eaten as a
+            // "redelivery" (already acked, never retransmitted) and the
+            // travel would wedge.
+            sh.metrics
+                .stale_travel_epoch_dropped
+                .fetch_add(1, Ordering::Relaxed);
+            return LoopCtl::Continue;
+        }
+        if tepoch > st.gen {
+            // The sender restarted its stream for a bumped travel-epoch
+            // (`CoordHandoff` resets sequence numbering to 1): open the
+            // new generation, discarding any buffered stragglers of the
+            // old one.
+            st.gen = tepoch;
+            st.next_seq = 1;
+            st.buffered.clear();
+        }
         if seq < st.next_seq || st.buffered.contains_key(&seq) {
             sh.metrics.redeliveries.fetch_add(1, Ordering::Relaxed);
             return LoopCtl::Continue;
@@ -1965,7 +2015,13 @@ fn handle_recover(
 ) {
     if sh.is_retired(travel) || epoch < sh.travel_epoch_of(travel) {
         // The travel already finished here, or a newer failover epoch has
-        // been fenced in: a late recover seed must not resurrect it.
+        // been fenced in: a late recover seed must not resurrect it. Still
+        // ack a seed for a finished travel — `RecoverDone` is a raw send,
+        // so the first ack may have been lost and the failover driver will
+        // keep re-nudging until one lands.
+        if sh.is_retired(travel) {
+            let _ = sh.ep.send(client, Msg::RecoverDone { travel, epoch });
+        }
         return;
     }
     if sh
@@ -1975,6 +2031,23 @@ fn handle_recover(
         .is_some_and(|r| epoch <= r.epoch)
     {
         return; // duplicate (or stale) seed for a recovery already underway
+    }
+    // A re-nudged seed for a recovery that already COMPLETED must not
+    // restart it. `finish_recovery` drops the barrier state, so the
+    // `recovering` check above cannot catch this; but it installs the
+    // re-driven coordinator state, so its presence at this epoch is the
+    // completion marker. Restarting would swap in a fresh ledger while the
+    // re-driven run's execs are live under the same (unfenced) epoch,
+    // splitting their Created/Terminated events across ledger generations
+    // and wedging the travel forever. Just re-ack the nudge.
+    let fenced_epoch = sh.travel_epoch_of(travel);
+    let live_epoch = sh.coords.lock().get(&travel).map(|state| match state {
+        CoordState::Async(l) => l.epoch,
+        CoordState::Sync(_) => fenced_epoch,
+    });
+    if live_epoch.is_some_and(|cur| epoch <= cur) {
+        let _ = sh.ep.send(client, Msg::RecoverDone { travel, epoch });
+        return;
     }
     let (mut scratch, applied) = TravelLedger::replay(plan.clone(), client, events);
     scratch.epoch = epoch;
@@ -2013,19 +2086,19 @@ fn handle_recover(
 /// `epoch` (failover step 2, broadcast to every server): fence the old
 /// epoch, drop this server's per-travel transient state (the successor
 /// re-drives the traversal from the source), and re-announce the
-/// sent-journal. Relay stream cursors are deliberately **preserved** —
-/// sequence continuity across the failover keeps the reliable layer's
-/// in-order delivery sound; stale pre-failover messages are fenced at
-/// delivery time instead. The one exception is the stream toward the
-/// `restarted` server: its incarnation died holding the receive cursor,
-/// so continuing at the old sequence would wedge the stream forever —
-/// that stream (alone) restarts from sequence 1.
+/// sent-journal. The travel's outgoing relay streams restart at
+/// sequence 1 under the new epoch (see [`InStream`]): the old
+/// generation's unacked messages are dropped here (their payloads would
+/// be fenced at the receivers anyway), and receivers recognize the new
+/// generation by its higher travel-epoch stamp — which is what keeps a
+/// pre-failover retransmit from colliding with live post-failover
+/// traffic on a reused sequence number.
 fn handle_handoff(
     sh: &Arc<Shared>,
     travel: TravelId,
     epoch: u64,
     coordinator: usize,
-    restarted: Option<usize>,
+    _restarted: Option<usize>,
 ) {
     if sh.is_retired(travel) {
         // The travel finished here while the failover was being set up
@@ -2072,18 +2145,17 @@ fn handle_handoff(
         // double-counted into the new buffers.
         sh.early_sync.lock().remove(&travel);
         sh.sync_bufs.lock().remove(&travel);
-        if let Some(restarted) = restarted {
-            if restarted != sh.id {
-                // The restarted incarnation's receive cursor is gone;
-                // unacked pre-crash messages to it are unusable by the
-                // fresh process (its worker state is rebuilt by the
-                // re-drive, its coordinator state by the successor), so
-                // drop them and restart at seq 1.
-                let mut out = sh.relay_out.lock();
-                out.next_seq.remove(&(travel, restarted));
-                out.pending
-                    .retain(|&(t, to, _), _| !(t == travel && to == restarted));
-            }
+        {
+            // Restart this travel's outgoing streams (toward every peer)
+            // at sequence 1 under the new epoch, dropping unacked
+            // pre-handoff messages: the receivers fence their payloads
+            // regardless, and the receiver-side generation check
+            // (`InStream::gen`) needs the new epoch's numbering to start
+            // fresh so pre-handoff retransmits can never collide with
+            // live traffic on a sequence number.
+            let mut out = sh.relay_out.lock();
+            out.next_seq.retain(|&(t, _), _| t != travel);
+            out.pending.retain(|&(t, _, _), _| t != travel);
         }
         if sh.id != coordinator {
             sh.coords.lock().remove(&travel);

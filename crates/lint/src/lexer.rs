@@ -56,6 +56,23 @@ pub struct Allow {
     pub line: u32,
     /// Rule name being allowed.
     pub rule: String,
+    /// Whether a non-empty reason string follows the rule name. Allows
+    /// without a reason are themselves a finding (`bare-allow`): the
+    /// escape hatch must document why it is safe.
+    pub has_reason: bool,
+}
+
+/// A `// gt-lint: pair(Request -> Ack)` directive: declares a
+/// request→acknowledgment pairing for the protocol-conformance rule, for
+/// pairs the `*Ack` naming convention cannot infer.
+#[derive(Debug, Clone)]
+pub struct PairDecl {
+    /// Line the comment appears on.
+    pub line: u32,
+    /// Request variant name.
+    pub request: String,
+    /// Acknowledgment/reply variant name.
+    pub ack: String,
 }
 
 /// Result of lexing one file.
@@ -65,6 +82,8 @@ pub struct Lexed {
     pub toks: Vec<Tok>,
     /// All allow directives found in comments.
     pub allows: Vec<Allow>,
+    /// All request→ack pair declarations found in comments.
+    pub pairs: Vec<PairDecl>,
 }
 
 /// Lex `src` into tokens plus allow directives.
@@ -92,6 +111,7 @@ pub fn lex(src: &str) -> Lexed {
                 i += 1;
             }
             collect_allows(&src[start..i], line, &mut out.allows);
+            collect_pairs(&src[start..i], line, &mut out.pairs);
             continue;
         }
         // Block comment, possibly nested.
@@ -115,6 +135,7 @@ pub fn lex(src: &str) -> Lexed {
                 }
             }
             collect_allows(&src[start..i.min(src.len())], start_line, &mut out.allows);
+            collect_pairs(&src[start..i.min(src.len())], start_line, &mut out.pairs);
             continue;
         }
         // Raw / byte string literals: r"..", r#".."#, br".., b"..".
@@ -317,14 +338,39 @@ fn collect_allows(comment: &str, line: u32, out: &mut Vec<Allow>) {
         let after = &rest[pos + needle.len()..];
         let end = after.find(')').unwrap_or(after.len());
         let inner = &after[..end];
-        // Rule name is everything before the first comma (the rest is the
-        // human-readable reason, which we require but do not interpret).
-        let rule = inner.split(',').next().unwrap_or("").trim();
+        // Rule name is everything before the first comma; the rest is the
+        // human-readable reason. `bare-allow` fires when it is missing.
+        let mut parts = inner.splitn(2, ',');
+        let rule = parts.next().unwrap_or("").trim();
+        let reason = parts.next().unwrap_or("").trim();
         if !rule.is_empty() {
             out.push(Allow {
                 line,
                 rule: rule.to_string(),
+                has_reason: !reason.is_empty(),
             });
+        }
+        rest = &after[end..];
+    }
+}
+
+/// Scan a comment for `gt-lint: pair(Request -> Ack)` directives.
+fn collect_pairs(comment: &str, line: u32, out: &mut Vec<PairDecl>) {
+    let needle = "gt-lint: pair(";
+    let mut rest = comment;
+    while let Some(pos) = rest.find(needle) {
+        let after = &rest[pos + needle.len()..];
+        let end = after.find(')').unwrap_or(after.len());
+        let inner = &after[..end];
+        if let Some((req, ack)) = inner.split_once("->") {
+            let (req, ack) = (req.trim(), ack.trim());
+            if !req.is_empty() && !ack.is_empty() {
+                out.push(PairDecl {
+                    line,
+                    request: req.to_string(),
+                    ack: ack.to_string(),
+                });
+            }
         }
         rest = &after[end..];
     }
@@ -365,5 +411,22 @@ mod tests {
         assert_eq!(l.allows.len(), 1);
         assert_eq!(l.allows[0].rule, "panic");
         assert_eq!(l.allows[0].line, 2);
+        assert!(l.allows[0].has_reason);
+    }
+
+    #[test]
+    fn bare_allows_are_flagged_as_reasonless() {
+        let l = lex("// gt-lint: allow(panic)\n// gt-lint: allow(lock-cycle,   )\n");
+        assert_eq!(l.allows.len(), 2);
+        assert!(!l.allows[0].has_reason);
+        assert!(!l.allows[1].has_reason);
+    }
+
+    #[test]
+    fn pair_directives_are_collected() {
+        let l = lex("// gt-lint: pair(MigrateBegin -> MigrateAck)\nfn f() {}");
+        assert_eq!(l.pairs.len(), 1);
+        assert_eq!(l.pairs[0].request, "MigrateBegin");
+        assert_eq!(l.pairs[0].ack, "MigrateAck");
     }
 }

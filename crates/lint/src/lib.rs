@@ -1,7 +1,7 @@
 //! gt-lint — workspace-native static analysis for GraphTrek's concurrency
 //! and protocol invariants.
 //!
-//! Five rule families (see [`diag::ALL_RULES`]):
+//! The rule families (see [`diag::ALL_RULES`]):
 //!
 //! | rule | enforces |
 //! |------|----------|
@@ -12,15 +12,24 @@
 //! | `epoch-fence` | travel-scoped handlers fence before mutating |
 //! | `panic` | no `unwrap`/`expect`/`panic!` in hot paths |
 //! | `dead-counter`, `unsurfaced-counter` | every metrics counter incremented and surfaced |
+//! | `protocol-conformance` | sent `Msg` variants dispatched; request→ack pairs acked + retried; no dead variants |
+//! | `guard-across-send` | no ranked `OrderedMutex` guard live across a fabric send, interprocedurally |
+//! | `atomic-ordering` | no `Relaxed` on handshake atomics (counters exempt) |
+//! | `blocking-in-dispatcher` | nothing reachable from `handle_*` blocks the dispatcher |
+//! | `bare-allow` | every `allow(...)` escape hatch carries a reason |
 //!
 //! The crate is self-contained (own lexer + shallow parser, no
 //! dependencies) so it runs in the offline workspace. Diagnostics can be
 //! suppressed line-by-line with `// gt-lint: allow(<rule>, "reason")` on
-//! the offending line or the line above.
+//! the offending line or the line above; the reason string is mandatory
+//! (`bare-allow`). The protocol rules additionally read
+//! `// gt-lint: pair(Req -> Ack)` directives declaring request→ack
+//! pairings the `*Ack` naming convention cannot infer.
 
 #![warn(missing_docs)]
 
 pub mod diag;
+pub mod ir;
 pub mod lexer;
 pub mod parser;
 pub mod rules;
@@ -98,6 +107,32 @@ pub fn run(mode: &Mode, enabled: &BTreeSet<String>) -> Result<Vec<Diagnostic>, S
         d.retain(|d| on(d.rule));
         diags.extend(d);
     }
+    if on("protocol-conformance") {
+        diags.extend(rules::protocol::check(&sets.protocol));
+    }
+    if on("guard-across-send") {
+        diags.extend(rules::guard_send::check(&sets.guard_send));
+    }
+    if on("atomic-ordering") {
+        diags.extend(rules::atomic_ordering::check(&sets.atomic));
+    }
+    if on("blocking-in-dispatcher") {
+        diags.extend(rules::blocking::check(&sets.blocking));
+    }
+    if on("bare-allow") {
+        for f in &parsed {
+            for a in f.allows.iter().filter(|a| !a.has_reason) {
+                diags.push(Diagnostic::new(
+                    "bare-allow",
+                    &f.path,
+                    a.line,
+                    format!("`allow({})` has no reason string", a.rule),
+                    "every escape hatch must say why it is safe: \
+                     `// gt-lint: allow(rule, \"reason\")`",
+                ));
+            }
+        }
+    }
 
     // Allow-comment suppression: an allow on line L covers L and L+1.
     diags.retain(|d| {
@@ -120,6 +155,10 @@ struct FileSets<'a> {
     panic: Vec<&'a SourceFile>,
     metrics_decl: Vec<&'a SourceFile>,
     metrics_use: Vec<&'a SourceFile>,
+    protocol: Vec<&'a SourceFile>,
+    guard_send: Vec<&'a SourceFile>,
+    atomic: Vec<&'a SourceFile>,
+    blocking: Vec<&'a SourceFile>,
 }
 
 impl<'a> FileSets<'a> {
@@ -132,6 +171,10 @@ impl<'a> FileSets<'a> {
             fence: all.clone(),
             panic: all.clone(),
             metrics_decl: all.clone(),
+            protocol: all.clone(),
+            guard_send: all.clone(),
+            atomic: all.clone(),
+            blocking: all.clone(),
             metrics_use: all,
         }
     }
@@ -165,6 +208,26 @@ fn workspace_sets(parsed: &[SourceFile]) -> FileSets<'_> {
             ends_with(p, "crates/core/src/metrics.rs") || ends_with(p, "crates/net/src/stats.rs")
         }),
         metrics_use: pick(&|_| true),
+        // The whole protocol surface: every sender and dispatcher lives in
+        // core/src (clients in cluster.rs, servers in server.rs).
+        protocol: pick(&|p| ends_with(p, ".rs") && p.to_string_lossy().contains("core/src")),
+        // Server data plane only: client-side orchestration (cluster.rs)
+        // holds the failover lock across handoff round-trips by design —
+        // see the rule's module docs for the rationale.
+        guard_send: pick(&|p| {
+            ends_with(p, ".rs")
+                && p.to_string_lossy().contains("core/src")
+                && !ends_with(p, "cluster.rs")
+        }),
+        // Handshake atomics live in core (wseq/applied_w barriers, crash
+        // flags), net (fabric stats), and kvstore (version clock, pins).
+        atomic: pick(&|p| {
+            let s = p.to_string_lossy().replace('\\', "/");
+            s.contains("crates/core/src/")
+                || s.contains("crates/net/src/")
+                || s.contains("crates/kvstore/src/")
+        }),
+        blocking: pick(&|p| ends_with(p, "crates/core/src/server.rs")),
     }
 }
 
@@ -173,7 +236,7 @@ fn collect_files(mode: &Mode) -> Result<Vec<PathBuf>, String> {
     match mode {
         Mode::Workspace(root) => {
             let mut out = Vec::new();
-            for dir in ["crates/core/src", "crates/net/src"] {
+            for dir in ["crates/core/src", "crates/net/src", "crates/kvstore/src"] {
                 let d = root.join(dir);
                 let mut files = rs_files_in(&d)
                     .map_err(|e| format!("gt-lint: cannot walk {}: {e}", d.display()))?;

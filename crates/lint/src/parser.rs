@@ -6,7 +6,7 @@
 //! each token sits. `#[cfg(test)]` items are stripped up front so test-only
 //! code is never audited as production code.
 
-use crate::lexer::{self, Allow, Tok, TokKind};
+use crate::lexer::{self, Allow, PairDecl, Tok, TokKind};
 use std::path::{Path, PathBuf};
 
 /// One lexed and test-stripped source file.
@@ -19,6 +19,8 @@ pub struct SourceFile {
     /// Allow directives found anywhere in the file (comments survive
     /// stripping because they are collected during lexing).
     pub allows: Vec<Allow>,
+    /// Request→ack pair declarations found anywhere in the file.
+    pub pairs: Vec<PairDecl>,
 }
 
 impl SourceFile {
@@ -30,6 +32,7 @@ impl SourceFile {
             path: path.to_path_buf(),
             toks,
             allows: lexed.allows,
+            pairs: lexed.pairs,
         }
     }
 

@@ -1,0 +1,106 @@
+//! Rule `blocking-in-dispatcher`: functions reachable from the message
+//! dispatcher must not block.
+//!
+//! The dispatcher thread is the server's only consumer of its fabric
+//! inbox: a `sleep`, `recv_timeout`, or condvar `wait` anywhere in a
+//! `handle_*`/`dispatch_msg` call chain stalls every message behind it —
+//! including the relay acks whose absence then triggers retransmission
+//! storms against the stalled server. Roots are the dispatch entry
+//! points themselves (`dispatch_msg` and every `handle_*`); the
+//! dispatcher *loop* is deliberately not a root — parking in
+//! `recv_timeout` while idle is its job. Spawned-closure bodies are
+//! excluded (they block their own thread, not the dispatcher).
+
+use crate::diag::Diagnostic;
+use crate::ir;
+use crate::parser::SourceFile;
+use std::collections::BTreeMap;
+
+/// Is `name` a dispatcher root?
+fn is_root(name: &str) -> bool {
+    name == "dispatch_msg" || name.starts_with("handle_")
+}
+
+/// Run the rule over `files`.
+pub fn check(files: &[&SourceFile]) -> Vec<Diagnostic> {
+    let ir = ir::extract(files, &[]);
+    let callees = ir.callees();
+    let roots: Vec<&str> = ir
+        .fns
+        .iter()
+        .map(|(n, _)| n.as_str())
+        .filter(|n| is_root(n))
+        .collect();
+    if roots.is_empty() {
+        return Vec::new();
+    }
+    // Which root reaches each function (first one wins, for the message).
+    let mut reached_from: BTreeMap<&str, &str> = BTreeMap::new();
+    for root in roots {
+        for f in ir::closure([root], &callees) {
+            reached_from.entry(f).or_insert(root);
+        }
+    }
+    let mut out = Vec::new();
+    for (name, fi) in &ir.fns {
+        let Some(root) = reached_from.get(name.as_str()) else {
+            continue;
+        };
+        for (prim, line) in &fi.blocking {
+            let via = if name == root {
+                String::new()
+            } else {
+                format!(" (reachable from dispatcher root `{root}`)")
+            };
+            out.push(Diagnostic::new(
+                "blocking-in-dispatcher",
+                &fi.file,
+                *line,
+                format!("`{name}`{via} calls blocking `{prim}` on the dispatcher thread"),
+                "move the blocking work to a worker thread or make it event-driven \
+                 (timers via the retransmit tick, waits via a message round-trip)",
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn lint(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::from_source(Path::new("t.rs"), src);
+        check(&[&f])
+    }
+
+    #[test]
+    fn direct_and_transitive_blocking_fire() {
+        let d = lint(
+            "fn handle_submit(x: &X) { sleep(D); }\n\
+             fn helper(x: &X) { x.cv.wait(g); }\n\
+             fn handle_abort(x: &X) { helper(x); }",
+        );
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d.iter().any(|d| d.message.contains("handle_submit")));
+        assert!(d.iter().any(|d| d
+            .message
+            .contains("`helper` (reachable from dispatcher root `handle_abort`)")));
+    }
+
+    #[test]
+    fn dispatcher_loop_is_not_a_root() {
+        let d = lint(
+            "fn dispatcher_loop(rx: &Rx) { let m = rx.recv_timeout(D); }\n\
+             fn unrelated() { sleep(D); }",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn spawned_closures_are_exempt() {
+        let d = lint("fn handle_migrate(x: &X) { spawn(move || { sleep(D); }); }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

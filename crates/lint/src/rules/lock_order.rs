@@ -39,7 +39,7 @@ const CHANNEL_METHODS: &[&str] = &["send", "recv", "recv_timeout"];
 /// Method/function names never resolved through the call graph: either
 /// std-library methods that collide with workspace fn names, or cuts
 /// (`spawn`: a new thread starts with no inherited guards).
-const CALL_BLOCKLIST: &[&str] = &[
+pub(crate) const CALL_BLOCKLIST: &[&str] = &[
     "push",
     "pop",
     "insert",
@@ -101,7 +101,7 @@ const CALL_BLOCKLIST: &[&str] = &[
 ];
 
 #[derive(Debug)]
-enum Event {
+pub(crate) enum Event {
     Acquire {
         lock: String,
         line: u32,
@@ -120,18 +120,18 @@ enum Event {
 }
 
 #[derive(Debug, Default)]
-struct FnFacts {
-    file: PathBuf,
-    events: Vec<Event>,
-    acquires: BTreeSet<String>,
-    channels: bool,
-    callees: BTreeSet<String>,
+pub(crate) struct FnFacts {
+    pub(crate) file: PathBuf,
+    pub(crate) events: Vec<Event>,
+    pub(crate) acquires: BTreeSet<String>,
+    pub(crate) channels: bool,
+    pub(crate) callees: BTreeSet<String>,
 }
 
-/// Run both rules over `files`.
-pub fn check(files: &[&SourceFile]) -> Vec<Diagnostic> {
-    // Pass 1: per-function facts. Same-name functions (e.g. `close` on two
-    // queue types) are merged, which over-approximates safely.
+/// Pass 1: per-function guard/channel facts, merged by name. Same-name
+/// functions (e.g. `close` on two queue types) are merged, which
+/// over-approximates safely. Shared with `guard-across-send`.
+pub(crate) fn collect_facts(files: &[&SourceFile]) -> BTreeMap<String, FnFacts> {
     let mut fns: BTreeMap<String, FnFacts> = BTreeMap::new();
     for f in files {
         let depths = brace_depths(&f.toks);
@@ -147,8 +147,13 @@ pub fn check(files: &[&SourceFile]) -> Vec<Diagnostic> {
             entry.events.extend(facts.events);
         }
     }
+    fns
+}
 
-    // Pass 2: fixpoint for transitive acquisitions / channel ops.
+/// Pass 2: fixpoint for transitive acquisitions / channel ops.
+pub(crate) fn transitive(
+    fns: &BTreeMap<String, FnFacts>,
+) -> (BTreeMap<String, BTreeSet<String>>, BTreeMap<String, bool>) {
     let mut trans_acq: BTreeMap<String, BTreeSet<String>> = fns
         .iter()
         .map(|(n, f)| (n.clone(), f.acquires.clone()))
@@ -157,7 +162,7 @@ pub fn check(files: &[&SourceFile]) -> Vec<Diagnostic> {
         fns.iter().map(|(n, f)| (n.clone(), f.channels)).collect();
     loop {
         let mut changed = false;
-        for (name, facts) in &fns {
+        for (name, facts) in fns {
             let mut acq = trans_acq[name].clone();
             let mut chan = trans_chan[name];
             for callee in &facts.callees {
@@ -183,6 +188,13 @@ pub fn check(files: &[&SourceFile]) -> Vec<Diagnostic> {
             break;
         }
     }
+    (trans_acq, trans_chan)
+}
+
+/// Run both rules over `files`.
+pub fn check(files: &[&SourceFile]) -> Vec<Diagnostic> {
+    let fns = collect_facts(files);
+    let (trans_acq, trans_chan) = transitive(&fns);
 
     // Pass 3: edges + guard-across-channel findings.
     let mut edges: BTreeMap<(String, String), (PathBuf, u32)> = BTreeMap::new();

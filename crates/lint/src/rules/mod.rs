@@ -1,9 +1,13 @@
-//! The five rule families. Each module exposes a `check` function over
+//! The rule families. Each module exposes a `check` function over
 //! pre-parsed [`crate::parser::SourceFile`]s and returns raw diagnostics;
 //! allow-comment suppression happens in [`crate::run`].
 
+pub mod atomic_ordering;
+pub mod blocking;
 pub mod dispatch;
 pub mod epoch_fence;
+pub mod guard_send;
 pub mod lock_order;
 pub mod metrics_discipline;
 pub mod panic_hygiene;
+pub mod protocol;

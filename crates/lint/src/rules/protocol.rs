@@ -1,0 +1,301 @@
+//! Rule `protocol-conformance`: the wire protocol must be closed.
+//!
+//! Over the extracted IR of the protocol files, for the audited `Msg`
+//! enum:
+//!
+//! * every variant that is *sent* (constructed inside the argument list
+//!   of a fabric `send`, of a function that forwards a `Msg` parameter
+//!   into one, or let-bound and later passed to one) must have a
+//!   dispatch arm somewhere — a *narrow* pattern site (match arm naming
+//!   few variants, `if let`, `matches!`); wide journaling/forwarding
+//!   or-arms do not count as handling;
+//! * every request in the pairing table (inferred `Foo`→`FooAck` plus
+//!   declared `// gt-lint: pair(Req -> Ack)` directives) must have an
+//!   ack path — the ack variant must itself be sent somewhere — and a
+//!   retry/timeout/backoff site reachable from a sender of the request
+//!   (the function itself, a transitive caller, or a transitive callee):
+//!   a request with no timeout anywhere above it is an unbounded wait,
+//!   and one with no ack is fire-and-forget pretending to be RPC;
+//! * no variant may be constructed but never sent nor mentioned in any
+//!   pattern — dead protocol surface that rots silently.
+
+use crate::diag::Diagnostic;
+use crate::ir::{self, Ir, SEND_PRIMS};
+use crate::parser::SourceFile;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Enums audited as wire protocols.
+const PROTOCOL_ENUMS: &[&str] = &["Msg"];
+
+/// Run the rule over `files`.
+pub fn check(files: &[&SourceFile]) -> Vec<Diagnostic> {
+    let ir = ir::extract(files, PROTOCOL_ENUMS);
+    let mut out = Vec::new();
+    for enum_name in ir.enums.keys() {
+        check_enum(&ir, enum_name, &mut out);
+    }
+    out
+}
+
+/// Functions that forward a `Msg` parameter into a raw send: a `Msg`
+/// construction inside their argument list counts as sent.
+fn forwarders(ir: &Ir) -> BTreeSet<&str> {
+    // Transitive raw-send reachability over the name-based call graph.
+    let callees = ir.callees();
+    let direct: Vec<&str> = ir
+        .fns
+        .iter()
+        .filter(|(_, fi)| fi.raw_send)
+        .map(|(n, _)| n.as_str())
+        .collect();
+    // A function reaches a send iff it is in the closure of some
+    // directly-sending function's *callers*… walking forward from each fn
+    // is simpler: fn F reaches send iff closure({F}) meets `direct`.
+    let direct_set: BTreeSet<&str> = direct.iter().copied().collect();
+    ir.fns
+        .iter()
+        .filter(|(name, fi)| {
+            fi.msg_param
+                && ir::closure([name.as_str()], &callees)
+                    .iter()
+                    .any(|f| direct_set.contains(f))
+        })
+        .map(|(n, _)| n.as_str())
+        .collect()
+}
+
+fn check_enum(ir: &Ir, enum_name: &str, out: &mut Vec<Diagnostic>) {
+    let info = &ir.enums[enum_name];
+    let fwd = forwarders(ir);
+
+    // Classify every construction: sent / local-only.
+    // sent[variant] -> (file, line, sender-fn) of the first send site.
+    let mut sent: BTreeMap<&str, (std::path::PathBuf, u32, &str)> = BTreeMap::new();
+    let mut senders: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    let mut constructed: BTreeMap<&str, (std::path::PathBuf, u32)> = BTreeMap::new();
+    for (fname, fi) in &ir.fns {
+        // Identifiers passed as a top-level argument to a send primitive
+        // or forwarder within this function.
+        let mut sent_idents: BTreeSet<&str> = BTreeSet::new();
+        for c in &fi.calls {
+            if SEND_PRIMS.contains(&c.name.as_str()) || fwd.contains(c.name.as_str()) {
+                sent_idents.extend(c.top_idents.iter().map(|s| s.as_str()));
+            }
+        }
+        for c in fi.constructs.iter().filter(|c| c.enum_name == enum_name) {
+            constructed
+                .entry(c.variant.as_str())
+                .or_insert_with(|| (fi.file.clone(), c.line));
+            let via_call = c
+                .enclosing_calls
+                .iter()
+                .any(|n| SEND_PRIMS.contains(&n.as_str()) || fwd.contains(n.as_str()));
+            let via_binding = c
+                .let_bound
+                .as_deref()
+                .is_some_and(|b| sent_idents.contains(b));
+            if via_call || via_binding {
+                sent.entry(c.variant.as_str())
+                    .or_insert_with(|| (fi.file.clone(), c.line, fname.as_str()));
+                senders.entry(c.variant.as_str()).or_default().insert(fname);
+            }
+        }
+    }
+
+    // Pattern evidence: narrow sites are dispatch, any site is a mention.
+    let mut dispatched: BTreeSet<&str> = BTreeSet::new();
+    let mut mentioned: BTreeSet<&str> = BTreeSet::new();
+    for (_, fi) in &ir.fns {
+        for p in fi.patterns.iter().filter(|p| p.enum_name == enum_name) {
+            mentioned.insert(p.variant.as_str());
+            if p.narrow {
+                dispatched.insert(p.variant.as_str());
+            }
+        }
+    }
+
+    // 1. Sent but never dispatched.
+    for (variant, (file, line, func)) in &sent {
+        if !dispatched.contains(variant) {
+            out.push(Diagnostic::new(
+                "protocol-conformance",
+                file,
+                *line,
+                format!(
+                    "`{enum_name}::{variant}` is sent (in `{func}`) but no dispatch arm \
+                     handles it"
+                ),
+                "add a handler arm for the variant (or a `matches!`/`if let` consumer); \
+                 wide forwarding or-arms do not count as handling",
+            ));
+        }
+    }
+
+    // 2. Pairing table: inferred `Foo` -> `FooAck` plus declared pairs.
+    let variant_names: BTreeSet<&str> = info.variants.iter().map(|(v, _)| v.as_str()).collect();
+    let mut pairs: Vec<(String, String)> = ir.pairs.clone();
+    for v in &variant_names {
+        if let Some(stem) = v.strip_suffix("Ack") {
+            if variant_names.contains(stem) {
+                pairs.push((stem.to_string(), v.to_string()));
+            }
+        }
+    }
+    pairs.sort();
+    pairs.dedup();
+    let callers_graph = ir.callers();
+    let callees_graph = ir.callees();
+    let retry_fns: BTreeSet<&str> = ir
+        .fns
+        .iter()
+        .filter(|(_, fi)| fi.retry_marker)
+        .map(|(n, _)| n.as_str())
+        .collect();
+    for (req, ack) in &pairs {
+        if !variant_names.contains(req.as_str()) || !variant_names.contains(ack.as_str()) {
+            continue; // declared pair referencing another enum's variants
+        }
+        let Some((file, line, _)) = sent.get(req.as_str()) else {
+            continue; // request never sent: the pair is inactive here
+        };
+        if !sent.contains_key(ack.as_str()) {
+            out.push(Diagnostic::new(
+                "protocol-conformance",
+                file,
+                *line,
+                format!(
+                    "request `{enum_name}::{req}` has no ack path: `{enum_name}::{ack}` \
+                     is never sent"
+                ),
+                "send the ack from the handler, or drop the pair declaration if the \
+                 request is genuinely one-way",
+            ));
+        }
+        // Retry coverage: some sender of `req` must reach a retry/timeout
+        // mechanism through itself, its callers, or its callees.
+        let covered = senders.get(req.as_str()).is_some_and(|fs| {
+            fs.iter().any(|f| {
+                let up = ir::closure([*f], &callers_graph);
+                let down = ir::closure([*f], &callees_graph);
+                up.iter().chain(down.iter()).any(|g| retry_fns.contains(g))
+            })
+        });
+        if !covered {
+            out.push(Diagnostic::new(
+                "protocol-conformance",
+                file,
+                *line,
+                format!(
+                    "request `{enum_name}::{req}` is sent with no reachable \
+                     retry/timeout/backoff site — a lost message waits forever"
+                ),
+                "wrap the wait in a timeout (`recv_timeout`, a deadline loop) or \
+                 re-send with backoff; the mechanism must be reachable from the \
+                 sending function",
+            ));
+        }
+    }
+
+    // 3. Dead protocol: constructed but never sent nor mentioned.
+    for (variant, (file, line)) in &constructed {
+        if !sent.contains_key(variant) && !mentioned.contains(variant) {
+            out.push(Diagnostic::new(
+                "protocol-conformance",
+                file,
+                *line,
+                format!(
+                    "`{enum_name}::{variant}` is constructed but never sent and never \
+                     matched — dead protocol surface"
+                ),
+                "delete the variant (and its construction) or wire it into a send \
+                 and a dispatch arm",
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn lint(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::from_source(Path::new("t.rs"), src);
+        check(&[&f])
+    }
+
+    #[test]
+    fn sent_without_dispatch_fires() {
+        let d = lint(
+            "enum Msg { Ping, Pong }\n\
+             fn a(ep: &Ep) { ep.send(0, Msg::Ping); ep.send(0, Msg::Pong); }\n\
+             fn b(m: Msg) { if let Msg::Pong = m { hit(); } }",
+        );
+        assert!(d.iter().any(|d| d.message.contains("Msg::Ping")));
+        assert!(!d.iter().any(|d| d.message.contains("`Msg::Pong` is sent")));
+    }
+
+    #[test]
+    fn forwarded_sends_are_threaded() {
+        let d = lint(
+            "enum Msg { Ping }\n\
+             fn fwd(ep: &Ep, m: Msg) { ep.send(0, m); }\n\
+             fn a(ep: &Ep) { fwd(ep, Msg::Ping); }",
+        );
+        assert!(d.iter().any(|d| d.message.contains("`Msg::Ping` is sent")));
+    }
+
+    #[test]
+    fn missing_retry_and_ack_fire() {
+        let d = lint(
+            "enum Msg { Req, ReqAck }\n\
+             fn a(ep: &Ep) { ep.send(0, Msg::Req); }\n\
+             fn b(m: Msg) { match m { Msg::Req => {}, Msg::ReqAck => {} } }",
+        );
+        assert!(d.iter().any(|d| d.message.contains("no ack path")));
+        assert!(d.iter().any(|d| d.message.contains("retry/timeout")));
+    }
+
+    #[test]
+    fn covered_pair_is_clean() {
+        let d = lint(
+            "enum Msg { Req, ReqAck }\n\
+             fn a(ep: &Ep, rx: &Rx) { let deadline = now();\n\
+               ep.send(0, Msg::Req); rx.recv_timeout(d); }\n\
+             fn b(ep: &Ep, m: Msg) { match m {\n\
+               Msg::Req => ep.send(1, Msg::ReqAck), Msg::ReqAck => {} } }",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn declared_pair_directive_is_enforced() {
+        // `Reply` does not end in `Ack`, so only the directive makes this
+        // a request→ack pair; its missing ack path must then fire.
+        let d = lint(
+            "// gt-lint: pair(Fetch -> Reply)\n\
+             enum Msg { Fetch, Reply }\n\
+             fn a(ep: &Ep) { ep.send(0, Msg::Fetch); }\n\
+             fn b(m: Msg) { match m { Msg::Fetch => {}, Msg::Reply => {} } }",
+        );
+        assert!(
+            d.iter()
+                .any(|d| d.message.contains("no ack path") && d.message.contains("Reply")),
+            "{d:?}"
+        );
+        assert!(
+            d.iter().any(|d| d.message.contains("retry/timeout")),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn dead_variant_fires() {
+        let d = lint(
+            "enum Msg { Used, Dead }\n\
+             fn a(ep: &Ep, rx: &Rx) { ep.send(0, Msg::Used); let _x = Msg::Dead; }\n\
+             fn b(m: Msg) { if let Msg::Used = m {} }",
+        );
+        assert!(d.iter().any(|d| d.message.contains("dead protocol")));
+    }
+}

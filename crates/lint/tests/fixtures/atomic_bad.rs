@@ -1,0 +1,19 @@
+//! Fixture (positive, `atomic-ordering`): a cross-thread handshake flag
+//! is published and consumed with `Ordering::Relaxed` — the consumer
+//! branches on the load, so the ordering is load-bearing.
+//!
+//! Not compiled — parsed by gt-lint only.
+
+struct Handshake {
+    ready: AtomicBool,
+}
+
+fn publish(h: &Handshake) {
+    h.ready.store(true, Ordering::Relaxed);
+}
+
+fn consume(h: &Handshake) {
+    if h.ready.load(Ordering::Relaxed) {
+        proceed();
+    }
+}

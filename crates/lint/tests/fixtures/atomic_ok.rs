@@ -1,0 +1,27 @@
+//! Fixture (negative, `atomic-ordering`): the handshake flag uses
+//! acquire/release pairing, and the `Relaxed` traffic is confined to a
+//! counters struct no control flow consumes.
+//!
+//! Not compiled — parsed by gt-lint only.
+
+struct Handshake {
+    ready: AtomicBool,
+}
+
+struct QueueMetrics {
+    pops: AtomicU64,
+}
+
+fn publish(h: &Handshake) {
+    h.ready.store(true, Ordering::Release);
+}
+
+fn consume(h: &Handshake, m: &QueueMetrics) {
+    if h.ready.load(Ordering::Acquire) {
+        m.pops.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn snapshot(m: &QueueMetrics) -> u64 {
+    m.pops.load(Ordering::Relaxed)
+}

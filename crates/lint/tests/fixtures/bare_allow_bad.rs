@@ -1,0 +1,10 @@
+//! Fixture (positive, `bare-allow`): an escape hatch with no reason
+//! string — the suppression still works, but the bare allow itself is
+//! flagged.
+//!
+//! Not compiled — parsed by gt-lint only.
+
+fn hot_path(v: Option<u64>) -> u64 {
+    // gt-lint: allow(panic)
+    v.unwrap()
+}

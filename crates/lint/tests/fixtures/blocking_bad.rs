@@ -1,0 +1,17 @@
+//! Fixture (positive, `blocking-in-dispatcher`): a `handle_*` dispatcher
+//! entry point blocks directly, and another blocks through a helper.
+//!
+//! Not compiled — parsed by gt-lint only.
+
+fn handle_submit(sh: &Shared) {
+    sleep(BACKOFF);
+    admit(sh);
+}
+
+fn settle(sh: &Shared) {
+    let _ = sh.rx.recv_timeout(DEADLINE);
+}
+
+fn handle_abort(sh: &Shared) {
+    settle(sh);
+}

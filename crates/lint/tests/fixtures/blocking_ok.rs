@@ -1,0 +1,16 @@
+//! Fixture (negative, `blocking-in-dispatcher`): the dispatcher loop may
+//! park in `recv_timeout` (that is its job), handlers stay event-driven,
+//! and a spawned worker closure may block its own thread.
+//!
+//! Not compiled — parsed by gt-lint only.
+
+fn dispatcher_loop(sh: &Shared) {
+    let _ = sh.rx.recv_timeout(TICK);
+}
+
+fn handle_submit(sh: &Shared) {
+    admit(sh);
+    spawn(move || {
+        sleep(WARMUP);
+    });
+}

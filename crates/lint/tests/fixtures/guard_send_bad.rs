@@ -1,0 +1,25 @@
+//! Fixture (positive, `guard-across-send`): a guard of a *ranked*
+//! `OrderedMutex` stays live across a fabric send reached through a
+//! helper call — the interprocedural case the intra-file rule misses.
+//!
+//! Not compiled — parsed by gt-lint only.
+
+struct Shared {
+    journal: OrderedMutex<Journal>,
+}
+
+fn build() -> Shared {
+    Shared {
+        journal: OrderedMutex::new(30, "journal", Journal::default()),
+    }
+}
+
+fn forward(ep: &Ep) {
+    ep.send(0, payload());
+}
+
+fn record_and_send(sh: &Shared, ep: &Ep) {
+    let g = sh.journal.lock();
+    forward(ep);
+    drop(g);
+}

@@ -1,0 +1,23 @@
+//! Fixture (negative, `guard-across-send`): the ranked guard is dropped
+//! before the send; an unranked helper mutex across the send is the
+//! sibling rule's business, not this one's.
+//!
+//! Not compiled — parsed by gt-lint only.
+
+struct Shared {
+    journal: OrderedMutex<Journal>,
+}
+
+fn build() -> Shared {
+    Shared {
+        journal: OrderedMutex::new(30, "journal", Journal::default()),
+    }
+}
+
+fn record_then_send(sh: &Shared, ep: &Ep) {
+    let payload = {
+        let g = sh.journal.lock();
+        g.render()
+    };
+    ep.send(0, payload);
+}

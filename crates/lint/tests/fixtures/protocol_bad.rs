@@ -1,0 +1,28 @@
+//! Fixture (positive, `protocol-conformance`): `Msg::Orphan` is sent but
+//! no dispatch arm handles it; `Msg::Req` is sent with a declared ack
+//! (`Msg::Reply`) that is never sent back and without any reachable
+//! retry/timeout site; `Msg::Dead` is constructed but never sent nor
+//! matched.
+//!
+//! Not compiled — parsed by gt-lint only.
+
+// gt-lint: pair(Req -> Reply)
+enum Msg {
+    Orphan,
+    Req,
+    Reply,
+    Dead,
+}
+
+fn client(ep: &Ep) {
+    ep.send(0, Msg::Orphan);
+    ep.send(0, Msg::Req);
+    let _stale = Msg::Dead;
+}
+
+fn dispatch_msg(m: Msg) {
+    match m {
+        Msg::Req => {}
+        Msg::Reply => {}
+    }
+}

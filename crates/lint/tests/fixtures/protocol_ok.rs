@@ -1,0 +1,25 @@
+//! Fixture (negative, `protocol-conformance`): every sent variant has a
+//! dispatch arm, the declared `Req -> Reply` pair has an ack path and a
+//! retry/timeout site at the sender, and nothing is constructed without
+//! being sent or matched.
+//!
+//! Not compiled — parsed by gt-lint only.
+
+// gt-lint: pair(Req -> Reply)
+enum Msg {
+    Req,
+    Reply,
+}
+
+fn client(ep: &Ep, rx: &Rx) {
+    let deadline = now();
+    ep.send(0, Msg::Req);
+    let _ = rx.recv_timeout(deadline);
+}
+
+fn dispatch_msg(ep: &Ep, m: Msg) {
+    match m {
+        Msg::Req => ep.send(1, Msg::Reply),
+        Msg::Reply => {}
+    }
+}

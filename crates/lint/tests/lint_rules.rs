@@ -107,6 +107,90 @@ fn counter_rules_quiet_when_bumped_and_read() {
     assert!(lint("counter_ok.rs", &["dead-counter", "unsurfaced-counter"]).is_empty());
 }
 
+#[test]
+fn protocol_conformance_fires_on_all_three_shapes() {
+    let diags = lint("protocol_bad.rs", &["protocol-conformance"]);
+    let msgs: Vec<&str> = diags.iter().map(|d| d.message.as_str()).collect();
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("Orphan") && m.contains("no dispatch arm")),
+        "{msgs:?}"
+    );
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("no ack path") && m.contains("Reply")),
+        "{msgs:?}"
+    );
+    assert!(msgs.iter().any(|m| m.contains("retry/timeout")), "{msgs:?}");
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("Dead") && m.contains("dead protocol")),
+        "{msgs:?}"
+    );
+}
+
+#[test]
+fn protocol_conformance_quiet_on_covered_pair() {
+    assert!(lint("protocol_ok.rs", &["protocol-conformance"]).is_empty());
+}
+
+#[test]
+fn guard_send_fires_interprocedurally() {
+    let diags = lint("guard_send_bad.rs", &["guard-across-send"]);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.rule == "guard-across-send" && d.message.contains("journal")),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn guard_send_quiet_when_guard_dropped_before_send() {
+    assert!(lint("guard_send_ok.rs", &["guard-across-send"]).is_empty());
+}
+
+#[test]
+fn atomic_ordering_fires_on_relaxed_handshake() {
+    let diags = lint("atomic_bad.rs", &["atomic-ordering"]);
+    assert!(
+        diags.iter().any(|d| d.message.contains("ready")),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn atomic_ordering_quiet_on_acq_rel_and_counters() {
+    assert!(lint("atomic_ok.rs", &["atomic-ordering"]).is_empty());
+}
+
+#[test]
+fn blocking_fires_direct_and_through_helper() {
+    let diags = lint("blocking_bad.rs", &["blocking-in-dispatcher"]);
+    assert!(
+        diags.iter().any(|d| d.message.contains("handle_submit")),
+        "{diags:?}"
+    );
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.message.contains("`settle`") && d.message.contains("handle_abort")),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn blocking_quiet_on_loop_and_spawned_worker() {
+    assert!(lint("blocking_ok.rs", &["blocking-in-dispatcher"]).is_empty());
+}
+
+#[test]
+fn bare_allow_fires_on_reasonless_escape_hatch() {
+    let diags = lint("bare_allow_bad.rs", &["bare-allow", "panic"]);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, "bare-allow");
+}
+
 /// Every negative fixture stays clean even with *all* rules enabled, so a
 /// fixture exercising one rule never trips another by accident.
 #[test]
@@ -119,6 +203,10 @@ fn ok_fixtures_clean_under_all_rules() {
         "fence_ok.rs",
         "panic_ok.rs",
         "counter_ok.rs",
+        "protocol_ok.rs",
+        "guard_send_ok.rs",
+        "atomic_ok.rs",
+        "blocking_ok.rs",
     ] {
         let diags = lint(f, ALL_RULES);
         assert!(diags.is_empty(), "{f} should be clean, got: {diags:?}");
@@ -137,6 +225,11 @@ fn binary_exit_codes_match_fixture_polarity() {
         "fence_bad.rs",
         "panic_bad.rs",
         "counter_bad.rs",
+        "protocol_bad.rs",
+        "guard_send_bad.rs",
+        "atomic_bad.rs",
+        "blocking_bad.rs",
+        "bare_allow_bad.rs",
     ];
     for f in bad {
         let st = Command::new(env!("CARGO_BIN_EXE_gt-lint"))
@@ -152,6 +245,81 @@ fn binary_exit_codes_match_fixture_polarity() {
         .status()
         .expect("spawn gt-lint");
     assert_eq!(st.code(), Some(0), "panic_ok.rs must pass --deny all");
+}
+
+/// Golden test for the machine-readable output: CI consumes `--format
+/// json`, so its exact shape (field order, one object per line, stable
+/// paths) is contract, not implementation detail.
+#[test]
+fn json_output_matches_golden() {
+    let out = Command::new(env!("CARGO_BIN_EXE_gt-lint"))
+        .args(["--format", "json", "--rules", "bare-allow"])
+        .arg(fixture("bare_allow_bad.rs"))
+        .output()
+        .expect("spawn gt-lint");
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    let path = fixture("bare_allow_bad.rs");
+    let path = path.to_string_lossy().replace('\\', "/");
+    let golden = format!(
+        "[\n  {{\"rule\":\"bare-allow\",\"file\":\"{path}\",\"line\":8,\
+         \"message\":\"`allow(panic)` has no reason string\",\
+         \"hint\":\"every escape hatch must say why it is safe: \
+         `// gt-lint: allow(rule, \\\"reason\\\")`\"}}\n]\n",
+    );
+    assert_eq!(stdout, golden);
+
+    // A clean run still emits a (valid, empty) JSON array.
+    let out = Command::new(env!("CARGO_BIN_EXE_gt-lint"))
+        .args(["--format", "json", "--rules", "panic"])
+        .arg(fixture("panic_ok.rs"))
+        .output()
+        .expect("spawn gt-lint");
+    assert_eq!(String::from_utf8_lossy(&out.stdout), "[\n]\n");
+}
+
+/// Regression gate for the global `OrderedMutex` rank table: every ranked
+/// lock in the workspace keeps a unique name and a unique rank, so a new
+/// lock can't silently shadow an existing rank (the runtime checker only
+/// catches *orders actually exercised*; this covers the table itself).
+#[test]
+fn rank_table_has_unique_names_and_ranks() {
+    use gt_lint::ir::ranked_locks;
+    use gt_lint::parser::SourceFile;
+    use std::collections::BTreeMap;
+
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../core/src");
+    let mut files = Vec::new();
+    for entry in std::fs::read_dir(&root).expect("read core/src") {
+        let path = entry.expect("entry").path();
+        if path.extension().is_some_and(|e| e == "rs") {
+            files.push(SourceFile::read(&path).expect("parse"));
+        }
+    }
+    let refs: Vec<&SourceFile> = files.iter().collect();
+    let locks = ranked_locks(&refs);
+    // 23, not 24: the server ledger lock is built through `.map(...)`
+    // rather than struct-field syntax, so the field-context harvest
+    // (deliberately) skips it.
+    assert!(
+        locks.len() >= 23,
+        "rank table shrank? found {} ranked locks",
+        locks.len()
+    );
+    let mut by_name: BTreeMap<&str, &str> = BTreeMap::new();
+    let mut by_rank: BTreeMap<u64, &str> = BTreeMap::new();
+    for l in &locks {
+        let file = l.file.file_name().unwrap().to_str().unwrap();
+        if let Some(prev) = by_name.insert(&l.name, file) {
+            panic!("duplicate lock name `{}` in {prev} and {file}", l.name);
+        }
+        if let Some(prev) = by_rank.insert(l.rank, &l.name) {
+            panic!(
+                "rank {} assigned to both `{prev}` and `{}` — ranks are a \
+                 single global order, pick an unused one",
+                l.rank, l.name
+            );
+        }
+    }
 }
 
 /// The CI gate in library form: the workspace itself ships lint-clean.

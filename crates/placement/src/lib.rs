@@ -179,7 +179,9 @@ impl PlacementMap {
         (0..self.entries.len())
             .filter_map(|p| {
                 let have = 1 + self.entries[p].replicas.len();
-                (have < rf).then_some((p, rf - have))
+                // `then` (lazy), not `then_some`: an over-replicated
+                // partition (have > rf) must not evaluate `rf - have`.
+                (have < rf).then(|| (p, rf - have))
             })
             .collect()
     }
