@@ -6,8 +6,14 @@
 //! commits.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use graphtrek::engine::TransportKind;
+use graphtrek::frontdoor::FrontDoor;
 use graphtrek::prelude::*;
+use graphtrek::qos::QosConfig;
+use gt_client::Client;
 use gt_graph::{Edge, InMemoryGraph, Props, Vertex};
+use gt_proto::SubmitOpts;
+use gt_transport::SocketAddrSpec;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -147,6 +153,135 @@ impl Lane {
     }
 }
 
+/// Per-request latency lane: p50/p99 over individually timed requests,
+/// for the end-to-end front-door comparison (in-proc fabric vs UDS vs
+/// TCP mesh, and the wire protocol on top).
+struct LatLane {
+    ops: u64,
+    p50_ns: f64,
+    p99_ns: f64,
+}
+
+impl LatLane {
+    fn measure(ops: u64, mut f: impl FnMut(u64)) -> Self {
+        let mut samples: Vec<u64> = (0..ops)
+            .map(|i| {
+                let t = Instant::now();
+                f(i);
+                t.elapsed().as_nanos() as u64
+            })
+            .collect();
+        samples.sort_unstable();
+        let pct = |p: f64| samples[((samples.len() - 1) as f64 * p).round() as usize] as f64;
+        LatLane {
+            ops,
+            p50_ns: pct(0.50),
+            p99_ns: pct(0.99),
+        }
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"ops\": {}, \"p50_ns\": {:.1}, \"p99_ns\": {:.1}}}",
+            self.ops, self.p50_ns, self.p99_ns
+        )
+    }
+}
+
+/// Point read expressed as a no-step travel (what a proto client sends),
+/// id round-robin over the vertex space.
+fn point_query(i: u64) -> GTravel {
+    GTravel::v([(i * 7) % N_VERTICES]).rtn()
+}
+
+fn two_hop_query() -> GTravel {
+    GTravel::v([0u64, 1, 2, 3]).e("link").e("read")
+}
+
+/// In-proc vs UDS vs TCP request latency through `Cluster::submit`:
+/// same graph, same engine, only the server↔server transport differs.
+fn e2e_lanes(g: &InMemoryGraph, kind: TransportKind) -> (LatLane, LatLane) {
+    let dir = std::env::temp_dir().join(format!(
+        "gt-bench-e2e-{}-{}",
+        kind.label(),
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    let cluster = Cluster::build(
+        g,
+        ClusterConfig::new(&dir, N_SERVERS),
+        EngineConfig::new(EngineKind::GraphTrek).transport(kind),
+    )
+    .expect("build cluster");
+    let hop = two_hop_query();
+    for i in 0..10 {
+        cluster.submit(&point_query(i)).expect("warm point");
+    }
+    cluster.submit(&hop).expect("warm travel");
+    let point = LatLane::measure(E2E_POINT_OPS, |i| {
+        std::hint::black_box(cluster.submit(&point_query(i)).expect("point travel"));
+    });
+    let hop_lane = LatLane::measure(E2E_HOP_OPS, |_| {
+        std::hint::black_box(cluster.submit(&hop).expect("2-hop travel"));
+    });
+    cluster.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+    (point, hop_lane)
+}
+
+/// The full front door: gt-client wire protocol over a TCP loopback
+/// socket into a `FrontDoor` served off the in-proc cluster. The delta
+/// against the in-proc `Cluster::submit` lane is the protocol + socket
+/// round-trip cost.
+fn door_lanes(g: &InMemoryGraph) -> (LatLane, LatLane) {
+    let dir = std::env::temp_dir().join(format!("gt-bench-e2e-door-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let cluster = Cluster::build(
+        g,
+        ClusterConfig::new(&dir, N_SERVERS),
+        EngineConfig::new(EngineKind::GraphTrek),
+    )
+    .expect("build cluster");
+    let door = FrontDoor::serve(
+        cluster.handle(),
+        SocketAddrSpec::Tcp("127.0.0.1:0".into()),
+        QosConfig::default(),
+    )
+    .expect("serve front door");
+    let mut client = Client::connect(door.local_addr(), "bench").expect("connect");
+    let hop_text = two_hop_query().render();
+    for i in 0..10 {
+        client
+            .run(&point_query(i).render(), SubmitOpts::default())
+            .expect("warm door point");
+    }
+    client
+        .run(&hop_text, SubmitOpts::default())
+        .expect("warm door travel");
+    let point = LatLane::measure(E2E_POINT_OPS, |i| {
+        std::hint::black_box(
+            client
+                .run(&point_query(i).render(), SubmitOpts::default())
+                .expect("door point"),
+        );
+    });
+    let hop = LatLane::measure(E2E_HOP_OPS, |_| {
+        std::hint::black_box(
+            client
+                .run(&hop_text, SubmitOpts::default())
+                .expect("door 2-hop"),
+        );
+    });
+    client.close();
+    door.stop();
+    cluster.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+    (point, hop)
+}
+
+const E2E_POINT_OPS: u64 = 200;
+const E2E_HOP_OPS: u64 = 60;
+
 fn bench(c: &mut Criterion) {
     let g = bench_graph(7);
     let q = fanout_query();
@@ -197,6 +332,13 @@ fn bench(c: &mut Criterion) {
         "versioned cluster never pinned a travel's read view"
     );
 
+    // End-to-end request latency: the same queries through the in-proc
+    // fabric, a UDS mesh, a TCP mesh, and the gt-client wire protocol.
+    let (e2e_point_inproc, e2e_hop_inproc) = e2e_lanes(&g, TransportKind::InProc);
+    let (e2e_point_uds, e2e_hop_uds) = e2e_lanes(&g, TransportKind::Uds);
+    let (e2e_point_tcp, e2e_hop_tcp) = e2e_lanes(&g, TransportKind::Tcp);
+    let (door_point, door_hop) = door_lanes(&g);
+
     let mut report = String::from("{\n");
     let _ = writeln!(report, "  \"bench\": \"frontier\",");
     let _ = writeln!(report, "  \"n_servers\": {N_SERVERS},");
@@ -232,7 +374,19 @@ fn bench(c: &mut Criterion) {
         "  \"snapshot_overhead\": {:.3},",
         iv_on.ns_per_op / iv_off.ns_per_op
     );
-    let _ = writeln!(report, "  \"views_pinned\": {pinned}");
+    let _ = writeln!(report, "  \"views_pinned\": {pinned},");
+    let _ = writeln!(
+        report,
+        "  \"e2e_point_inproc\": {},",
+        e2e_point_inproc.json()
+    );
+    let _ = writeln!(report, "  \"e2e_point_uds\": {},", e2e_point_uds.json());
+    let _ = writeln!(report, "  \"e2e_point_tcp\": {},", e2e_point_tcp.json());
+    let _ = writeln!(report, "  \"e2e_2hop_inproc\": {},", e2e_hop_inproc.json());
+    let _ = writeln!(report, "  \"e2e_2hop_uds\": {},", e2e_hop_uds.json());
+    let _ = writeln!(report, "  \"e2e_2hop_tcp\": {},", e2e_hop_tcp.json());
+    let _ = writeln!(report, "  \"e2e_door_point\": {},", door_point.json());
+    let _ = writeln!(report, "  \"e2e_door_2hop\": {}", door_hop.json());
     report.push_str("}\n");
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_frontier.json");
     std::fs::write(out, report).expect("write BENCH_frontier.json");

@@ -16,6 +16,7 @@
 //! be restarted").
 
 use crate::coordinator::LedgerEvent;
+use crate::engine::TransportKind;
 use crate::engine::{EngineConfig, EngineKind};
 use crate::lang::{GTravel, LangError, Plan};
 use crate::lockorder::OrderedMutex;
@@ -27,9 +28,10 @@ use gt_graph::storage::load_replicated;
 use gt_graph::{EdgeCutPartitioner, GraphPartition, InMemoryGraph, VertexId};
 use gt_kvstore::wal::replay_blobs;
 use gt_kvstore::{IoProfile, Store, StoreConfig};
-use gt_net::{Endpoint, Fabric, NetConfig, RecvError};
+use gt_net::{Fabric, NetConfig, NetStats, RecvError};
 use gt_placement::rebalance::{plan_moves, Move};
 use gt_placement::{PlacementMap, SharedPlacement};
+use gt_transport::{Conduit, MeshConfig, SocketAddrSpec, SocketMesh};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -41,10 +43,10 @@ use std::time::{Duration, Instant};
 const RESUBMIT_BACKOFF_BASE: Duration = Duration::from_millis(10);
 /// Cap on the resubmission backoff.
 const RESUBMIT_BACKOFF_CAP: Duration = Duration::from_millis(500);
-/// Granularity of [`Cluster::wait`]'s receive loop: between slices the
-/// client checks the travel's coordinator for a crash so an orphaned
-/// travel is failed over instead of silently running out the clock.
-const WAIT_SLICE: Duration = Duration::from_millis(50);
+// (The granularity of `Cluster::wait`'s receive loop is configurable:
+// `EngineConfig::wait_poll`, default 50 ms, floor 1 ms. Between slices
+// the client checks the travel's coordinator for a crash so an orphaned
+// travel is failed over instead of silently running out the clock.)
 /// Cap on retained routing entries / cancelled ids (tickets whose
 /// `wait()` never happens).
 const MAX_ROUTES: usize = 4096;
@@ -311,7 +313,7 @@ pub struct TravelResult {
 }
 
 impl TravelResult {
-    fn from_outcome(outcome: TravelOutcome, elapsed: Duration, restarts: u32) -> Self {
+    pub(crate) fn from_outcome(outcome: TravelOutcome, elapsed: Duration, restarts: u32) -> Self {
         let by_depth: BTreeMap<u16, Vec<VertexId>> = outcome.by_depth.into_iter().collect();
         let mut all: Vec<VertexId> = by_depth.values().flatten().copied().collect();
         all.sort_unstable();
@@ -381,16 +383,60 @@ struct Admission {
     times: BTreeMap<TravelId, (Instant, Option<Instant>)>,
 }
 
+/// A socket path no other cluster in this process (or a concurrent test
+/// process) is using: pid plus a process-wide counter.
+fn unique_uds_path() -> PathBuf {
+    static CTR: AtomicU64 = AtomicU64::new(0);
+    let n = CTR.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("gt-{}-{n}.sock", std::process::id()))
+}
+
+/// The cluster's hold on whatever moves its messages: the simulated
+/// in-process fabric, or a socket mesh whose frames cross real TCP/UDS
+/// connections through the binary wire codec.
+enum NetHandle {
+    Sim(Fabric<Msg>),
+    Sock(SocketMesh<Msg>),
+}
+
+impl NetHandle {
+    /// Traffic counters (byte/message matrix, drops, handoffs).
+    fn stats(&self) -> Arc<NetStats> {
+        match self {
+            NetHandle::Sim(f) => f.stats(),
+            NetHandle::Sock(m) => m.stats(),
+        }
+    }
+
+    /// Cut (or heal) one endpoint's links. Only the simulated fabric can
+    /// do this; a socket mesh has no partition injector, so the call is
+    /// a no-op there (tests that isolate run on the in-process fabric).
+    fn isolate(&self, id: usize, isolated: bool) {
+        match self {
+            NetHandle::Sim(f) => f.isolate(id, isolated),
+            NetHandle::Sock(_) => {}
+        }
+    }
+
+    /// Tear down socket threads. The simulated fabric needs no shutdown
+    /// (endpoints close when dropped).
+    fn close(&self) {
+        if let NetHandle::Sock(m) = self {
+            m.close();
+        }
+    }
+}
+
 /// One backend server's fixed cluster-side state. The running threads
 /// live in `handle`; everything else survives a crash so
 /// [`Cluster::restart_server`] can respawn the server at the same fabric
 /// address with the same instrumentation and (when the cluster owns the
 /// storage) a store reopened from the same directory — replaying its WAL.
 struct ServerSlot {
-    /// The server's fabric endpoint. Endpoints are handles onto a shared
-    /// inbox, so keeping a clone here lets a restarted incarnation keep
-    /// receiving at the old address.
-    endpoint: Endpoint<Msg>,
+    /// The server's transport endpoint (fabric or socket mesh).
+    /// Endpoints are handles onto a shared inbox, so keeping a clone here
+    /// lets a restarted incarnation keep receiving at the old address.
+    endpoint: Conduit<Msg>,
     /// Instrumentation, shared across incarnations (crash/recovery
     /// counts accumulate).
     metrics: Arc<ServerMetrics>,
@@ -440,8 +486,8 @@ impl std::ops::Deref for Cluster {
 /// The shared body of a running cluster (see [`Cluster`]).
 pub struct ClusterState {
     slots: Vec<ServerSlot>,
-    fabric: Fabric<Msg>,
-    client: Endpoint<Msg>,
+    fabric: NetHandle,
+    client: Conduit<Msg>,
     partitioner: EdgeCutPartitioner,
     engine: EngineConfig,
     travel_ctr: AtomicU64,
@@ -572,7 +618,35 @@ impl Cluster {
         } else {
             DurabilityLevel::Ephemeral
         };
-        let (fabric, mut endpoints) = Fabric::with_chaos(n + 1, ecfg.net, ecfg.chaos.net_chaos(n));
+        let (fabric, mut endpoints) = match ecfg.transport {
+            TransportKind::InProc => {
+                let (fabric, eps) = Fabric::with_chaos(n + 1, ecfg.net, ecfg.chaos.net_chaos(n));
+                (
+                    NetHandle::Sim(fabric),
+                    eps.into_iter().map(Conduit::Fabric).collect::<Vec<_>>(),
+                )
+            }
+            kind @ (TransportKind::Tcp | TransportKind::Uds) => {
+                // Chaos injection (loss/dup/reorder schedules, scripted
+                // crash points keyed to fabric delivery) lives in the
+                // simulated fabric; there is no injector on a real socket.
+                if !ecfg.chaos.is_none() {
+                    return Err(ClusterError::Recovery(
+                        "chaos plans require the in-process transport".into(),
+                    ));
+                }
+                let addr = match kind {
+                    TransportKind::Tcp => SocketAddrSpec::Tcp("127.0.0.1:0".into()),
+                    _ => SocketAddrSpec::Uds(unique_uds_path()),
+                };
+                let (mesh, eps) = SocketMesh::start(MeshConfig::single_process(n + 1, addr))
+                    .map_err(|e| ClusterError::Recovery(format!("socket transport: {e}")))?;
+                (
+                    NetHandle::Sock(mesh),
+                    eps.into_iter().map(Conduit::Socket).collect::<Vec<_>>(),
+                )
+            }
+        };
         let client = endpoints
             .pop()
             .ok_or_else(|| ClusterError::Recovery("fabric returned no client endpoint".into()))?;
@@ -656,6 +730,14 @@ impl Cluster {
         })
     }
 
+    /// A shareable handle onto the cluster's client API — what a
+    /// [`crate::frontdoor::FrontDoor`] serves in single-process
+    /// deployments. The cluster stays owned here; `shutdown` works as
+    /// usual once the front door has stopped.
+    pub fn handle(&self) -> Arc<ClusterState> {
+        self.inner.clone()
+    }
+
     /// Stop every server and join their threads (healer first, so it
     /// cannot race the shutdown with a restart). Crashed-and-unrestarted
     /// servers have no threads left; their handles join immediately.
@@ -666,6 +748,16 @@ impl Cluster {
             h.join().expect("healer panicked");
         }
         self.inner.shutdown_servers();
+        self.inner.fabric.close();
+    }
+}
+
+impl Drop for ClusterState {
+    fn drop(&mut self) {
+        // Last reference gone (covers clusters dropped without an
+        // explicit `shutdown`): stop any socket-transport threads so the
+        // process does not accumulate writer/reader threads per test.
+        self.fabric.close();
     }
 }
 
@@ -797,7 +889,9 @@ impl ClusterState {
         self.start_plan(Arc::new(q.compile()?))
     }
 
-    fn start_plan(&self, plan: Arc<Plan>) -> Result<Ticket, ClusterError> {
+    /// Begin a traversal from an already-compiled plan (the front door's
+    /// path: it stamps QoS metadata onto the plan before dispatch).
+    pub fn start_plan(&self, plan: Arc<Plan>) -> Result<Ticket, ClusterError> {
         let travel = self.travel_ctr.fetch_add(1, Ordering::Relaxed);
         // Deterministic ring assignment, skipping decommissioned servers
         // (they keep serving reads while draining but host no new
@@ -1098,7 +1192,7 @@ impl ClusterState {
             if self.cancelled.lock().contains(&travel) {
                 return Err(ClusterError::Travel(TravelError::Cancelled { travel }));
             }
-            let slice = deadline.min(Instant::now() + WAIT_SLICE);
+            let slice = deadline.min(Instant::now() + self.engine.wait_poll);
             match self.await_client_msg(travel, |m| matches!(m, Msg::TravelDone { .. }), slice) {
                 Ok((Msg::TravelDone { outcome, .. }, received)) => {
                     let mut r = TravelResult::from_outcome(

@@ -1,7 +1,35 @@
 //! Engine selection and tuning.
 
 use crate::faults::{ChaosPlan, FaultPlan};
+use crate::qos::QosConfig;
 use gt_net::NetConfig;
+use std::time::Duration;
+
+/// How cluster endpoints exchange messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// The simulated in-process fabric: bounded channels plus the
+    /// latency/bandwidth/chaos model. The default; byte-identical to the
+    /// pre-transport engine.
+    #[default]
+    InProc,
+    /// Length-prefixed frames over TCP loopback — every message crosses
+    /// a real socket, one listener per cluster.
+    Tcp,
+    /// Length-prefixed frames over a Unix-domain socket.
+    Uds,
+}
+
+impl TransportKind {
+    /// Display name used in benches and logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TransportKind::InProc => "inproc",
+            TransportKind::Tcp => "tcp",
+            TransportKind::Uds => "uds",
+        }
+    }
+}
 
 /// Which traversal engine a cluster runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,6 +117,20 @@ pub struct EngineConfig {
     /// the unversioned path, and every `snapshot_counters()` entry stays
     /// exactly zero.
     pub snapshot_isolation: bool,
+    /// How endpoints exchange messages: the simulated in-process fabric
+    /// (default) or real sockets (TCP loopback / UDS) with every message
+    /// passing through the binary wire codec. Chaos injection requires
+    /// the simulated fabric; combining it with a socket transport is a
+    /// build error.
+    pub transport: TransportKind,
+    /// Poll slice for [`crate::cluster::Cluster::wait`]: how often a
+    /// blocked waiter re-checks for failover/timeout while a travel is
+    /// outstanding. Shorter slices tighten deadline enforcement at the
+    /// cost of wake-ups. Floor 1 ms.
+    pub wait_poll: Duration,
+    /// Front-door per-tenant QoS policy. Disabled by default: the gate
+    /// is bypassed and every per-tenant counter stays exactly zero.
+    pub qos: QosConfig,
 }
 
 impl EngineConfig {
@@ -109,6 +151,9 @@ impl EngineConfig {
             cache_reserve_per_travel: 0,
             replica_reads: false,
             snapshot_isolation: false,
+            transport: TransportKind::InProc,
+            wait_poll: Duration::from_millis(50),
+            qos: QosConfig::default(),
         }
     }
 
@@ -191,6 +236,24 @@ impl EngineConfig {
     /// mutating graph.
     pub fn snapshot_isolation(mut self, on: bool) -> Self {
         self.snapshot_isolation = on;
+        self
+    }
+
+    /// Builder-style: message transport (in-process fabric or sockets).
+    pub fn transport(mut self, kind: TransportKind) -> Self {
+        self.transport = kind;
+        self
+    }
+
+    /// Builder-style: `Cluster::wait` poll slice (floored at 1 ms).
+    pub fn wait_poll(mut self, slice: Duration) -> Self {
+        self.wait_poll = slice.max(Duration::from_millis(1));
+        self
+    }
+
+    /// Builder-style: front-door QoS policy.
+    pub fn qos(mut self, qos: QosConfig) -> Self {
+        self.qos = qos;
         self
     }
 
@@ -307,6 +370,29 @@ mod tests {
             .chaos(ChaosPlan::lossy(1))
             .force_reliable_delivery(false);
         assert!(!cfg.reliable_delivery_enabled(), "override wins");
+    }
+
+    #[test]
+    fn transport_defaults_to_inproc() {
+        let cfg = EngineConfig::new(EngineKind::GraphTrek);
+        assert_eq!(cfg.transport, TransportKind::InProc);
+        assert_eq!(cfg.transport(TransportKind::Uds).transport.label(), "uds");
+        assert_eq!(TransportKind::Tcp.label(), "tcp");
+    }
+
+    #[test]
+    fn wait_poll_floors_at_one_ms() {
+        let cfg = EngineConfig::new(EngineKind::Sync);
+        assert_eq!(cfg.wait_poll, Duration::from_millis(50), "default slice");
+        assert_eq!(
+            cfg.wait_poll(Duration::ZERO).wait_poll,
+            Duration::from_millis(1)
+        );
+    }
+
+    #[test]
+    fn qos_defaults_off() {
+        assert!(!EngineConfig::new(EngineKind::GraphTrek).qos.enabled);
     }
 
     #[test]

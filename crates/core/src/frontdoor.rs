@@ -1,0 +1,736 @@
+//! The cluster's front door: a [`gt_proto`] listener that real clients
+//! connect to over TCP or UDS.
+//!
+//! The paper's client API (§IV-A) ships whole GTravel instances to a
+//! chosen backend server; everything in this repo before the front door
+//! did that through in-process method calls. [`FrontDoor`] exposes the
+//! same contract over the versioned wire protocol: a connection says
+//! hello (version negotiation + tenant identity), then submits GTravel
+//! programs in the `parse.rs` grammar and receives typed results,
+//! progress snapshots, and errors.
+//!
+//! Per-tenant QoS happens here and only here ([`crate::qos`]): servers
+//! stay tenant-blind. The gate stamps each admitted plan's
+//! [`Plan::qos_weight`], refuses over-rate tenants with a retry hint,
+//! enforces per-request deadlines through the engine's own timeout
+//! machinery, and — when a connection dies — retires the tenant's
+//! in-flight travels through the existing cancel path so abandoned work
+//! stops consuming the cluster.
+//!
+//! The door serves any [`Backend`]:
+//! - [`ClusterState`] — the in-process cluster (single-process
+//!   deployments, tests, benches; results are oracle-identical to
+//!   calling [`ClusterState::submit`] directly).
+//! - [`Agent`] — a thin remote client over a [`Conduit`], for
+//!   multi-process deployments where each `gt-server` process hosts one
+//!   backend server plus a front door.
+
+use crate::cluster::{ClusterError, ClusterState, Ticket, TravelError, TravelResult};
+use crate::lang::Plan;
+use crate::message::{Msg, ProgressSnapshot};
+use crate::qos::{Admission, QosConfig, QosGate};
+use crate::TravelId;
+use gt_proto::{negotiate, read_frame, send_server, ClientMsg, ServerMsg, WireError, WireProgress};
+use gt_transport::{Conduit, SocketAddrSpec};
+use parking_lot::{Condvar, Mutex};
+use std::collections::{BTreeSet, HashMap};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Timeout applied to requests that carry no explicit deadline.
+const DEFAULT_DEADLINE: Duration = Duration::from_secs(60);
+/// The agent's receive slice while pumping its conduit.
+const AGENT_SLICE: Duration = Duration::from_millis(10);
+/// How long [`Agent::cancel`] waits for every server's ack.
+const CANCEL_DEADLINE: Duration = Duration::from_secs(30);
+
+// ------------------------------------------------------------- backend
+
+/// What the front door needs from an execution engine. Implemented by
+/// the in-process [`ClusterState`] and by the remote [`Agent`].
+pub trait Backend: Send + Sync + 'static {
+    /// Handle onto one in-flight travel.
+    type Ticket: Clone + Send + Sync + 'static;
+    /// Dispatch a compiled plan (QoS weight already stamped).
+    fn begin(&self, plan: Arc<Plan>) -> Result<Self::Ticket, ClusterError>;
+    /// Block until completion or `timeout`. On timeout the travel is
+    /// aborted cluster-wide before the error returns.
+    fn wait(&self, t: &Self::Ticket, timeout: Duration) -> Result<TravelResult, ClusterError>;
+    /// Cancel an in-flight travel (retires it on every server).
+    fn cancel(&self, t: &Self::Ticket) -> Result<bool, ClusterError>;
+    /// Progress snapshot from the travel's coordinator.
+    fn progress(&self, t: &Self::Ticket) -> Result<ProgressSnapshot, ClusterError>;
+}
+
+impl Backend for ClusterState {
+    type Ticket = Ticket;
+    fn begin(&self, plan: Arc<Plan>) -> Result<Ticket, ClusterError> {
+        self.start_plan(plan)
+    }
+    fn wait(&self, t: &Ticket, timeout: Duration) -> Result<TravelResult, ClusterError> {
+        ClusterState::wait(self, t, timeout)
+    }
+    fn cancel(&self, t: &Ticket) -> Result<bool, ClusterError> {
+        ClusterState::cancel(self, t)
+    }
+    fn progress(&self, t: &Ticket) -> Result<ProgressSnapshot, ClusterError> {
+        ClusterState::progress(self, t)
+    }
+}
+
+// --------------------------------------------------------------- agent
+
+/// Handle onto a travel dispatched through an [`Agent`].
+#[derive(Debug, Clone, Copy)]
+pub struct AgentTicket {
+    travel: TravelId,
+    coordinator: usize,
+    started: Instant,
+}
+
+impl AgentTicket {
+    /// The travel id this ticket tracks.
+    pub fn travel(&self) -> TravelId {
+        self.travel
+    }
+}
+
+/// Messages received while a waiter was looking for something else,
+/// keyed for the waiter they belong to.
+#[derive(Default)]
+struct AgentMailbox {
+    done: HashMap<TravelId, crate::message::TravelOutcome>,
+    progress: HashMap<TravelId, ProgressSnapshot>,
+    cancel_acks: HashMap<TravelId, usize>,
+    cancelled: BTreeSet<TravelId>,
+    /// Whether some thread currently owns the conduit's receive side.
+    pumping: bool,
+}
+
+/// A minimal remote client for one cluster: submits travels over a
+/// [`Conduit`] endpoint and sorts the replies to concurrent waiters.
+///
+/// Unlike [`ClusterState`] it performs no failover orchestration — it is
+/// the multi-process front door's path to servers it does not host, and
+/// in that deployment a dead server is a dead process, restarted from
+/// the outside. Travel ids embed the agent's endpoint id in their high
+/// bits so concurrent agents in different processes never collide.
+pub struct Agent {
+    ep: Conduit<Msg>,
+    n_servers: usize,
+    ctr: AtomicU64,
+    mail: Mutex<AgentMailbox>,
+    cv: Condvar,
+}
+
+impl Agent {
+    /// Wrap a client endpoint. `n_servers` is the number of backend
+    /// servers (endpoints `0..n_servers` on the same fabric/mesh).
+    pub fn new(ep: Conduit<Msg>, n_servers: usize) -> Agent {
+        Agent {
+            ep,
+            n_servers,
+            ctr: AtomicU64::new(1),
+            mail: Mutex::new(AgentMailbox::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Pump the conduit until `pick` yields, the deadline passes, or the
+    /// conduit closes. Concurrent callers share one receive side: the
+    /// thread holding the `pumping` flag receives and stashes for all.
+    fn await_mail<R>(
+        &self,
+        deadline: Instant,
+        mut pick: impl FnMut(&mut AgentMailbox) -> Option<R>,
+    ) -> Result<Option<R>, ClusterError> {
+        loop {
+            let i_pump = {
+                let mut mb = self.mail.lock();
+                if let Some(r) = pick(&mut mb) {
+                    return Ok(Some(r));
+                }
+                if Instant::now() >= deadline {
+                    return Ok(None);
+                }
+                if mb.pumping {
+                    // Someone else is receiving; sleep until they stash.
+                    self.cv.wait_for(&mut mb, AGENT_SLICE);
+                    false
+                } else {
+                    mb.pumping = true;
+                    true
+                }
+            };
+            if i_pump {
+                let r = self.ep.recv_timeout(AGENT_SLICE);
+                let mut mb = self.mail.lock();
+                mb.pumping = false;
+                match r {
+                    Ok(env) => match env.msg {
+                        Msg::TravelDone { travel, outcome } => {
+                            mb.done.insert(travel, outcome);
+                        }
+                        Msg::ProgressReport { travel, snapshot } => {
+                            mb.progress.insert(travel, snapshot);
+                        }
+                        Msg::CancelAck { travel, .. } => {
+                            *mb.cancel_acks.entry(travel).or_insert(0) += 1;
+                        }
+                        // Anything else addressed to a client endpoint is
+                        // an artifact of a path the agent does not drive
+                        // (no ingest, no placement orchestration).
+                        // gt-lint: allow(wildcard-arm, "agent drives only submit/cancel/progress; the full Msg dispatch audit lives in server.rs and cluster.rs")
+                        _ => {}
+                    },
+                    Err(gt_net::RecvError::Timeout) => {}
+                    Err(gt_net::RecvError::Closed) => {
+                        drop(mb);
+                        return Err(ClusterError::Disconnected);
+                    }
+                }
+                self.cv.notify_all();
+            }
+        }
+    }
+}
+
+impl Backend for Agent {
+    type Ticket = AgentTicket;
+
+    fn begin(&self, plan: Arc<Plan>) -> Result<AgentTicket, ClusterError> {
+        // High bits: endpoint id. Low bits: local counter. Distinct
+        // agents (distinct endpoints) thus mint disjoint id ranges.
+        let travel = ((self.ep.id() as u64) << 48) | self.ctr.fetch_add(1, Ordering::Relaxed);
+        let coordinator = (travel as usize) % self.n_servers;
+        self.ep
+            .send(
+                coordinator,
+                Msg::Submit {
+                    travel,
+                    plan,
+                    client: self.ep.id(),
+                },
+            )
+            .map_err(|_| ClusterError::Disconnected)?;
+        Ok(AgentTicket {
+            travel,
+            coordinator,
+            started: Instant::now(),
+        })
+    }
+
+    fn wait(&self, t: &AgentTicket, timeout: Duration) -> Result<TravelResult, ClusterError> {
+        let travel = t.travel;
+        let got = self.await_mail(Instant::now() + timeout, |mb| {
+            if mb.cancelled.contains(&travel) {
+                return Some(None);
+            }
+            mb.done.remove(&travel).map(Some)
+        })?;
+        match got {
+            Some(Some(outcome)) => Ok(TravelResult::from_outcome(outcome, t.started.elapsed(), 0)),
+            Some(None) => Err(ClusterError::Travel(TravelError::Cancelled { travel })),
+            None => {
+                // Deadline: abort everywhere so the cluster stops
+                // spending on a result nobody will read.
+                for s in 0..self.n_servers {
+                    let _ = self.ep.send(s, Msg::Abort { travel });
+                }
+                Err(ClusterError::Travel(TravelError::Timeout {
+                    attempts: 1,
+                    last_progress: None,
+                }))
+            }
+        }
+    }
+
+    fn cancel(&self, t: &AgentTicket) -> Result<bool, ClusterError> {
+        let travel = t.travel;
+        for s in 0..self.n_servers {
+            self.ep
+                .send(
+                    s,
+                    Msg::Cancel {
+                        travel,
+                        client: self.ep.id(),
+                    },
+                )
+                .map_err(|_| ClusterError::Disconnected)?;
+        }
+        let n = self.n_servers;
+        let acked = self
+            .await_mail(Instant::now() + CANCEL_DEADLINE, |mb| {
+                (mb.cancel_acks.get(&travel).copied().unwrap_or(0) >= n).then_some(())
+            })?
+            .is_some();
+        let mut mb = self.mail.lock();
+        mb.cancel_acks.remove(&travel);
+        mb.cancelled.insert(travel);
+        // A completion may have raced the cancellation.
+        mb.done.remove(&travel);
+        drop(mb);
+        self.cv.notify_all();
+        Ok(acked)
+    }
+
+    fn progress(&self, t: &AgentTicket) -> Result<ProgressSnapshot, ClusterError> {
+        self.ep
+            .send(
+                t.coordinator,
+                Msg::ProgressQuery {
+                    travel: t.travel,
+                    client: self.ep.id(),
+                },
+            )
+            .map_err(|_| ClusterError::Disconnected)?;
+        let travel = t.travel;
+        self.await_mail(Instant::now() + Duration::from_secs(10), |mb| {
+            mb.progress.remove(&travel)
+        })?
+        .ok_or(ClusterError::Travel(TravelError::Timeout {
+            attempts: 1,
+            last_progress: None,
+        }))
+    }
+}
+
+// ------------------------------------------------------------- sockets
+
+/// A connected client stream, TCP or UDS.
+enum Sock {
+    Tcp(TcpStream),
+    Uds(UnixStream),
+}
+
+impl Sock {
+    fn try_clone(&self) -> std::io::Result<Sock> {
+        Ok(match self {
+            Sock::Tcp(s) => Sock::Tcp(s.try_clone()?),
+            Sock::Uds(s) => Sock::Uds(s.try_clone()?),
+        })
+    }
+
+    fn shutdown(&self) {
+        let _ = match self {
+            Sock::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+            Sock::Uds(s) => s.shutdown(std::net::Shutdown::Both),
+        };
+    }
+}
+
+impl Read for Sock {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Sock::Tcp(s) => s.read(buf),
+            Sock::Uds(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Sock {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Sock::Tcp(s) => s.write(buf),
+            Sock::Uds(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Sock::Tcp(s) => s.flush(),
+            Sock::Uds(s) => s.flush(),
+        }
+    }
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    Uds(UnixListener),
+}
+
+impl Listener {
+    fn accept(&self) -> std::io::Result<Sock> {
+        // Request/response frames are small and written in two syscalls
+        // (length prefix, then payload); without TCP_NODELAY, Nagle +
+        // delayed ACK turns every round-trip into tens of milliseconds.
+        Ok(match self {
+            Listener::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                let _ = s.set_nodelay(true);
+                Sock::Tcp(s)
+            }
+            Listener::Uds(l) => Sock::Uds(l.accept()?.0),
+        })
+    }
+}
+
+/// Dial a front-door address (used by [`FrontDoor::stop`]'s self-wake;
+/// `gt-client` has its own copy against `std` types).
+fn dial(spec: &SocketAddrSpec) -> std::io::Result<Sock> {
+    Ok(match spec {
+        SocketAddrSpec::Tcp(a) => Sock::Tcp(TcpStream::connect(a)?),
+        SocketAddrSpec::Uds(p) => Sock::Uds(UnixStream::connect(p)?),
+    })
+}
+
+// ---------------------------------------------------------- front door
+
+/// A running proto listener. Dropping it does **not** stop the accept
+/// thread — call [`FrontDoor::stop`].
+pub struct FrontDoor {
+    stop: Arc<AtomicBool>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    local: SocketAddrSpec,
+    gate: Arc<QosGate>,
+}
+
+impl FrontDoor {
+    /// Bind `spec` and serve proto connections against `backend`.
+    /// TCP port 0 is resolved; check [`FrontDoor::local_addr`].
+    pub fn serve<B: Backend>(
+        backend: Arc<B>,
+        spec: SocketAddrSpec,
+        qos: QosConfig,
+    ) -> std::io::Result<FrontDoor> {
+        let (listener, local) = match &spec {
+            SocketAddrSpec::Tcp(addr) => {
+                let l = TcpListener::bind(addr)?;
+                let local = SocketAddrSpec::Tcp(l.local_addr()?.to_string());
+                (Listener::Tcp(l), local)
+            }
+            SocketAddrSpec::Uds(path) => {
+                let _ = std::fs::remove_file(path);
+                (Listener::Uds(UnixListener::bind(path)?), spec.clone())
+            }
+        };
+        let gate = Arc::new(QosGate::new(qos));
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let stop = stop.clone();
+            let gate = gate.clone();
+            std::thread::Builder::new()
+                .name("gt-frontdoor".into())
+                .spawn(move || {
+                    while let Ok(sock) = listener.accept() {
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let backend = backend.clone();
+                        let gate = gate.clone();
+                        // A connection that cannot get a thread is
+                        // dropped; the client sees EOF and retries.
+                        let _ = std::thread::Builder::new()
+                            .name("gt-frontdoor-conn".into())
+                            .spawn(move || serve_conn(sock, &backend, &gate));
+                    }
+                })?
+        };
+        Ok(FrontDoor {
+            stop,
+            accept: Some(accept),
+            local,
+            gate,
+        })
+    }
+
+    /// The bound address (TCP port resolved).
+    pub fn local_addr(&self) -> &SocketAddrSpec {
+        &self.local
+    }
+
+    /// The QoS gate (per-tenant counters).
+    pub fn gate(&self) -> &Arc<QosGate> {
+        &self.gate
+    }
+
+    /// Stop accepting and join the accept thread. Already-open
+    /// connections finish on their own threads.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = dial(&self.local); // wake the blocking accept
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let SocketAddrSpec::Uds(p) = &self.local {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+}
+
+/// Map an engine error onto the wire.
+fn wire_error(e: &ClusterError) -> WireError {
+    match e {
+        ClusterError::Lang(le) => WireError::Query(le.to_string()),
+        ClusterError::Travel(TravelError::Timeout {
+            attempts,
+            last_progress,
+        }) => WireError::Timeout {
+            attempts: *attempts,
+            last_progress: last_progress.as_ref().map(wire_progress),
+        },
+        ClusterError::Travel(TravelError::CoordinatorLost { .. }) => WireError::CoordinatorLost,
+        ClusterError::Travel(TravelError::Cancelled { .. }) => WireError::Cancelled,
+        ClusterError::Travel(TravelError::FailoverStalled { .. }) => WireError::FailoverStalled,
+        other => WireError::Server(other.to_string()),
+    }
+}
+
+fn wire_progress(p: &ProgressSnapshot) -> WireProgress {
+    WireProgress {
+        created: p.created,
+        terminated: p.terminated,
+        outstanding_by_depth: p.outstanding_by_depth.clone(),
+    }
+}
+
+/// Serialize + send under the shared writer lock, ignoring IO errors
+/// (a dead connection is detected by the read side).
+fn reply(writer: &Mutex<Sock>, msg: &ServerMsg) {
+    let mut w = writer.lock();
+    let _ = send_server(&mut *w, msg);
+}
+
+/// One connection's lifecycle: hello, then a request loop; on exit the
+/// tenant's in-flight travels are retired.
+fn serve_conn<B: Backend>(mut sock: Sock, backend: &Arc<B>, gate: &Arc<QosGate>) {
+    // Hello first. A malformed or absent hello closes the connection.
+    let tenant = match read_frame(&mut sock) {
+        Ok(Some(frame)) => match ClientMsg::decode(&frame) {
+            Ok(ClientMsg::Hello { version, tenant }) => match negotiate(version) {
+                Ok(v) => {
+                    let _ = send_server(&mut sock, &ServerMsg::HelloAck { version: v });
+                    tenant
+                }
+                Err((min, max)) => {
+                    let _ = send_server(&mut sock, &ServerMsg::Unsupported { min, max });
+                    return;
+                }
+            },
+            // Any first frame that is not a hello is a protocol
+            // violation: close without a reply.
+            Ok(ClientMsg::Submit { .. })
+            | Ok(ClientMsg::Progress { .. })
+            | Ok(ClientMsg::Cancel { .. })
+            | Ok(ClientMsg::Metrics)
+            | Ok(ClientMsg::Goodbye)
+            | Err(_) => return,
+        },
+        _ => return,
+    };
+    let writer = match sock.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+    // Correlation id → in-flight ticket. Shared with worker threads,
+    // which remove their entry once the travel resolves.
+    let inflight: Arc<Mutex<HashMap<u64, B::Ticket>>> = Arc::new(Mutex::new(HashMap::new()));
+    let mut orderly = false;
+    while let Ok(Some(frame)) = read_frame(&mut sock) {
+        let msg = match ClientMsg::decode(&frame) {
+            Ok(m) => m,
+            Err(e) => {
+                reply(
+                    &writer,
+                    &ServerMsg::Error {
+                        id: 0,
+                        error: WireError::Server(format!("bad frame: {e}")),
+                    },
+                );
+                continue;
+            }
+        };
+        match msg {
+            ClientMsg::Hello { .. } => {
+                // A second hello is a protocol violation; drop it.
+            }
+            ClientMsg::Submit { id, gtravel, opts } => {
+                let compiled = crate::parse::parse(&gtravel)
+                    .map_err(|e| e.to_string())
+                    .and_then(|q| q.compile().map_err(|e| e.to_string()));
+                let mut plan = match compiled {
+                    Ok(p) => p,
+                    Err(msg) => {
+                        reply(
+                            &writer,
+                            &ServerMsg::Error {
+                                id,
+                                error: WireError::Query(msg),
+                            },
+                        );
+                        continue;
+                    }
+                };
+                match gate.admit(&tenant) {
+                    Admission::Throttle { retry_after } => {
+                        reply(
+                            &writer,
+                            &ServerMsg::Error {
+                                id,
+                                error: WireError::Throttled {
+                                    retry_after_ms: retry_after.as_millis() as u64,
+                                },
+                            },
+                        );
+                        continue;
+                    }
+                    Admission::Admit { weight } => plan.qos_weight = weight,
+                }
+                let ticket = match backend.begin(Arc::new(plan)) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        gate.completed(&tenant);
+                        reply(
+                            &writer,
+                            &ServerMsg::Error {
+                                id,
+                                error: wire_error(&e),
+                            },
+                        );
+                        continue;
+                    }
+                };
+                inflight.lock().insert(id, ticket.clone());
+                let timeout = opts
+                    .deadline_ms
+                    .map(Duration::from_millis)
+                    .unwrap_or(DEFAULT_DEADLINE);
+                let w_backend = backend.clone();
+                let w_gate = gate.clone();
+                let w_tenant = tenant.clone();
+                let w_writer = writer.clone();
+                let w_inflight = inflight.clone();
+                let w_ticket = ticket.clone();
+                let worker = std::thread::Builder::new()
+                    .name("gt-frontdoor-req".into())
+                    .spawn(move || {
+                        let (backend, gate, tenant, writer, inflight, ticket) =
+                            (w_backend, w_gate, w_tenant, w_writer, w_inflight, w_ticket);
+                        let res = backend.wait(&ticket, timeout);
+                        inflight.lock().remove(&id);
+                        match res {
+                            Ok(r) => {
+                                gate.completed(&tenant);
+                                reply(
+                                    &writer,
+                                    &ServerMsg::Result {
+                                        id,
+                                        by_depth: r
+                                            .by_depth
+                                            .iter()
+                                            .map(|(d, vs)| (*d, vs.iter().map(|v| v.0).collect()))
+                                            .collect(),
+                                        progress: wire_progress(&r.progress),
+                                        elapsed_us: r.elapsed.as_micros() as u64,
+                                    },
+                                );
+                            }
+                            Err(e) => {
+                                if e.is_timeout() {
+                                    gate.deadline_missed(&tenant);
+                                } else if !matches!(
+                                    e,
+                                    ClusterError::Travel(TravelError::Cancelled { .. })
+                                ) {
+                                    gate.completed(&tenant);
+                                }
+                                reply(
+                                    &writer,
+                                    &ServerMsg::Error {
+                                        id,
+                                        error: wire_error(&e),
+                                    },
+                                );
+                            }
+                        }
+                    });
+                if worker.is_err() {
+                    // Could not spawn: resolve inline so the request is
+                    // never silently dropped.
+                    if let Some(t) = inflight.lock().remove(&id) {
+                        let _ = backend.cancel(&t);
+                    }
+                    reply(
+                        &writer,
+                        &ServerMsg::Error {
+                            id,
+                            error: WireError::Server("server overloaded".into()),
+                        },
+                    );
+                }
+            }
+            ClientMsg::Progress { id } => {
+                let ticket = inflight.lock().get(&id).cloned();
+                match ticket {
+                    None => reply(
+                        &writer,
+                        &ServerMsg::Error {
+                            id,
+                            error: WireError::Server("unknown request id".into()),
+                        },
+                    ),
+                    Some(t) => match backend.progress(&t) {
+                        Ok(p) => reply(
+                            &writer,
+                            &ServerMsg::Progress {
+                                id,
+                                progress: wire_progress(&p),
+                            },
+                        ),
+                        Err(e) => reply(
+                            &writer,
+                            &ServerMsg::Error {
+                                id,
+                                error: wire_error(&e),
+                            },
+                        ),
+                    },
+                }
+            }
+            ClientMsg::Cancel { id } => {
+                // The waiting worker observes the cancellation and
+                // reports `Error{id, Cancelled}`; nothing to send here.
+                let ticket = inflight.lock().get(&id).cloned();
+                if let Some(t) = ticket {
+                    let _ = backend.cancel(&t);
+                }
+            }
+            ClientMsg::Metrics => {
+                let mut counters = Vec::new();
+                for (tenant, c) in gate.all_counters() {
+                    counters.push((format!("{tenant}.admitted"), c.admitted));
+                    counters.push((format!("{tenant}.throttled"), c.throttled));
+                    counters.push((format!("{tenant}.completed"), c.completed));
+                    counters.push((
+                        format!("{tenant}.cancelled_on_disconnect"),
+                        c.cancelled_on_disconnect,
+                    ));
+                    counters.push((format!("{tenant}.deadline_missed"), c.deadline_missed));
+                }
+                reply(&writer, &ServerMsg::MetricsReport { counters });
+            }
+            ClientMsg::Goodbye => {
+                orderly = true;
+                break;
+            }
+        }
+    }
+    // Connection gone (orderly or not): retire whatever is still in
+    // flight so abandoned travels stop consuming the cluster. An orderly
+    // goodbye with work outstanding is the client walking away from it —
+    // same treatment, but only abnormal drops count as disconnects.
+    let leftovers: Vec<B::Ticket> = inflight.lock().values().cloned().collect();
+    if !leftovers.is_empty() {
+        let n = leftovers.len() as u64;
+        for t in &leftovers {
+            let _ = backend.cancel(t);
+        }
+        if !orderly {
+            gate.cancelled_on_disconnect(&tenant, n);
+        }
+    }
+    sock.shutdown();
+}

@@ -82,6 +82,11 @@ pub struct Plan {
     /// travels (failover, migration) re-read the *same* snapshot.
     #[serde(default)]
     pub snapshot: Option<u64>,
+    /// Merging-queue weight multiplier (tenant priority), stamped by the
+    /// front door's QoS gate after parsing — never authored by queries.
+    /// `1` is neutral: the queue's depth-based weighting is unchanged.
+    #[serde(default)]
+    pub qos_weight: u32,
 }
 
 impl Plan {
@@ -327,6 +332,99 @@ impl GTravel {
         self.va(PropFilter::range(gt_graph::CREATED_SEQ_PROP, lo, i64::MAX))
     }
 
+    /// Render the chain in the textual grammar of [`crate::parse`] —
+    /// the canonical round-trip: `parse(&q.render())` builds a chain
+    /// that compiles to the same [`Plan`] as `q` (assuming `q` is
+    /// well-formed; error chains render their surface shape only).
+    ///
+    /// Two representational caveats: string values containing `'` are
+    /// not expressible in the grammar, and [`GTravel::created_after`]
+    /// renders as the `va()` stamp-range filter it desugars to.
+    pub fn render(&self) -> String {
+        fn value(v: &gt_graph::PropValue, out: &mut String) {
+            use std::fmt::Write as _;
+            match v {
+                gt_graph::PropValue::Int(i) => {
+                    let _ = write!(out, "{i}");
+                }
+                gt_graph::PropValue::Float(f) => {
+                    let s = f.to_string();
+                    out.push_str(&s);
+                    // Keep the literal a float on the way back in.
+                    if !s.contains(['.', 'e', 'E']) {
+                        out.push_str(".0");
+                    }
+                }
+                gt_graph::PropValue::Str(s) => {
+                    let _ = write!(out, "'{s}'");
+                }
+                gt_graph::PropValue::Bool(b) => {
+                    let _ = write!(out, "{b}");
+                }
+            }
+        }
+        fn filters(call: &str, set: &FilterSet, out: &mut String) {
+            use std::fmt::Write as _;
+            for f in &set.0 {
+                let _ = write!(out, ".{call}('{}', ", f.key);
+                match &f.cond {
+                    Cond::Eq(v) => {
+                        out.push_str("EQ, ");
+                        value(v, out);
+                    }
+                    Cond::In(vs) => {
+                        out.push_str("IN, [");
+                        for (i, v) in vs.iter().enumerate() {
+                            if i > 0 {
+                                out.push_str(", ");
+                            }
+                            value(v, out);
+                        }
+                        out.push(']');
+                    }
+                    Cond::Range(lo, hi) => {
+                        out.push_str("RANGE, ");
+                        value(lo, out);
+                        out.push_str(", ");
+                        value(hi, out);
+                    }
+                }
+                out.push(')');
+            }
+        }
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        match &self.source {
+            Source::All => out.push_str("v()"),
+            Source::Ids(ids) => {
+                out.push_str("v(");
+                for (i, id) in ids.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{}", id.0);
+                }
+                out.push(')');
+            }
+        }
+        filters("va", &self.source_filters, &mut out);
+        if self.source_rtn {
+            out.push_str(".rtn()");
+        }
+        for step in &self.steps {
+            let _ = write!(out, ".e('{}')", step.edge_label);
+            filters("ea", &step.edge_filters, &mut out);
+            filters("va", &step.vertex_filters, &mut out);
+            if step.rtn {
+                out.push_str(".rtn()");
+            }
+        }
+        if let Some(seq) = self.as_of {
+            let _ = write!(out, ".as_of({seq})");
+        }
+        out
+    }
+
     /// Validate and produce the immutable [`Plan`].
     pub fn compile(&self) -> Result<Plan, LangError> {
         if let Some(e) = self.errors.first() {
@@ -339,6 +437,7 @@ impl GTravel {
             steps: self.steps.clone(),
             as_of: self.as_of,
             snapshot: None,
+            qos_weight: 1,
         })
     }
 }

@@ -72,14 +72,17 @@ pub mod cluster;
 pub mod coordinator;
 pub mod engine;
 pub mod faults;
+pub mod frontdoor;
 pub mod lang;
 pub mod lockorder;
 pub mod message;
 pub mod metrics;
 pub mod oracle;
 pub mod parse;
+pub mod qos;
 pub mod queue;
 pub mod server;
+pub mod wirecodec;
 
 /// Commonly used items in one import.
 pub mod prelude {

@@ -1,0 +1,345 @@
+//! Per-tenant quality of service for the front door.
+//!
+//! Servers are tenant-blind: QoS happens entirely at admission, before a
+//! travel's `Submit` reaches the cluster. The gate does three things —
+//!
+//! 1. **Weighted priority.** Each tenant's weight is stamped onto the
+//!    compiled plan ([`crate::lang::Plan::qos_weight`]); the merging
+//!    queue multiplies it into its per-travel fair-share weight, so under
+//!    saturation a weight-4 tenant is admitted work at ~4× the rate of a
+//!    weight-1 tenant sharing the same servers.
+//! 2. **Rate limiting.** An optional token bucket per tenant. A tenant
+//!    over its rate is refused with a retry hint instead of queueing,
+//!    so a throttled tenant cannot build a backlog that perturbs others.
+//! 3. **Accounting.** Per-tenant counters for admitted / throttled /
+//!    completed / cancelled-by-disconnect requests. With QoS disabled
+//!    (the default) the gate is never consulted and every counter reads
+//!    exactly zero.
+//!
+//! Deadlines ride alongside: the front door turns a client's
+//! `deadline_ms` into a bounded wait and maps expiry onto the engine's
+//! existing [`crate::cluster::TravelError::Timeout`].
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Rate limit for one tenant: a token bucket refilled continuously.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateLimit {
+    /// Bucket capacity — the largest burst admitted at once.
+    pub capacity: f64,
+    /// Sustained refill rate, requests per second.
+    pub per_second: f64,
+}
+
+/// Per-tenant policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSpec {
+    /// Fair-share weight multiplier (floored at 1). Relative: a tenant
+    /// with weight 4 gets ~4× the admitted throughput of weight 1 when
+    /// both saturate the cluster.
+    pub weight: u32,
+    /// Optional request-rate cap; `None` = unlimited.
+    pub rate: Option<RateLimit>,
+}
+
+impl Default for TenantSpec {
+    fn default() -> Self {
+        TenantSpec {
+            weight: 1,
+            rate: None,
+        }
+    }
+}
+
+/// Front-door QoS policy: per-tenant weights and rate limits.
+#[derive(Debug, Clone, Default)]
+pub struct QosConfig {
+    /// Master switch. Off ⇒ the gate is bypassed entirely and all
+    /// [`QosCounters`] stay zero.
+    pub enabled: bool,
+    /// Policy for tenants named here; unnamed tenants get
+    /// [`TenantSpec::default`].
+    pub tenants: BTreeMap<String, TenantSpec>,
+}
+
+impl QosConfig {
+    /// An enabled policy with no per-tenant entries (every tenant gets
+    /// the defaults — useful to turn accounting on by itself).
+    pub fn enabled() -> Self {
+        QosConfig {
+            enabled: true,
+            tenants: BTreeMap::new(),
+        }
+    }
+
+    /// Builder-style: set one tenant's spec.
+    pub fn tenant(mut self, name: impl Into<String>, spec: TenantSpec) -> Self {
+        self.tenants.insert(name.into(), spec);
+        self
+    }
+
+    /// Builder-style: set one tenant's weight, keeping any rate limit.
+    pub fn weight(mut self, name: impl Into<String>, weight: u32) -> Self {
+        self.tenants.entry(name.into()).or_default().weight = weight.max(1);
+        self
+    }
+
+    /// Builder-style: cap one tenant's request rate.
+    pub fn rate(mut self, name: impl Into<String>, capacity: f64, per_second: f64) -> Self {
+        self.tenants.entry(name.into()).or_default().rate = Some(RateLimit {
+            capacity: capacity.max(1.0),
+            per_second: per_second.max(0.0),
+        });
+        self
+    }
+
+    /// The effective spec for a tenant name.
+    pub fn spec_for(&self, tenant: &str) -> TenantSpec {
+        self.tenants.get(tenant).cloned().unwrap_or_default()
+    }
+}
+
+/// Per-tenant counters. Monotonic; all zero when QoS is off.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QosCounters {
+    /// Requests admitted past the gate.
+    pub admitted: u64,
+    /// Requests refused by the rate limiter.
+    pub throttled: u64,
+    /// Admitted requests that finished (ok or engine error).
+    pub completed: u64,
+    /// In-flight requests retired because the tenant's connection died.
+    pub cancelled_on_disconnect: u64,
+    /// Admitted requests that missed their client deadline.
+    pub deadline_missed: u64,
+}
+
+#[derive(Debug)]
+struct Bucket {
+    tokens: f64,
+    last: Instant,
+}
+
+#[derive(Debug, Default)]
+struct GateState {
+    buckets: BTreeMap<String, Bucket>,
+    counters: BTreeMap<String, QosCounters>,
+}
+
+/// Admission decision for one request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Admission {
+    /// Run it; stamp this weight onto the plan.
+    Admit {
+        /// Fair-share multiplier for the plan's `qos_weight`.
+        weight: u32,
+    },
+    /// Refuse it; the tenant may retry after roughly this long.
+    Throttle {
+        /// Time until the token bucket recovers one token.
+        retry_after: Duration,
+    },
+}
+
+/// The front door's admission gate. Cheap to share behind an `Arc`;
+/// every operation is a short lock.
+#[derive(Debug)]
+pub struct QosGate {
+    cfg: QosConfig,
+    state: Mutex<GateState>,
+}
+
+impl QosGate {
+    /// A gate enforcing `cfg`.
+    pub fn new(cfg: QosConfig) -> Self {
+        QosGate {
+            cfg,
+            state: Mutex::new(GateState::default()),
+        }
+    }
+
+    /// Whether the gate is live. When false, callers skip it entirely.
+    pub fn enabled(&self) -> bool {
+        self.cfg.enabled
+    }
+
+    /// Gate one request from `tenant` at time `now`. Disabled gates
+    /// admit everything at neutral weight without touching counters.
+    pub fn admit_at(&self, tenant: &str, now: Instant) -> Admission {
+        if !self.cfg.enabled {
+            return Admission::Admit { weight: 1 };
+        }
+        let spec = self.cfg.spec_for(tenant);
+        let mut st = self.state.lock();
+        if let Some(rate) = spec.rate {
+            let bucket = st.buckets.entry(tenant.to_string()).or_insert(Bucket {
+                tokens: rate.capacity,
+                last: now,
+            });
+            let dt = now.saturating_duration_since(bucket.last).as_secs_f64();
+            bucket.last = now;
+            bucket.tokens = (bucket.tokens + dt * rate.per_second).min(rate.capacity);
+            if bucket.tokens < 1.0 {
+                let deficit = 1.0 - bucket.tokens;
+                let retry_after = if rate.per_second > 0.0 {
+                    Duration::from_secs_f64(deficit / rate.per_second)
+                } else {
+                    // No refill: the bucket never recovers; report a
+                    // sentinel pause rather than dividing by zero.
+                    Duration::from_secs(3600)
+                };
+                st.counters.entry(tenant.to_string()).or_default().throttled += 1;
+                return Admission::Throttle { retry_after };
+            }
+            bucket.tokens -= 1.0;
+        }
+        st.counters.entry(tenant.to_string()).or_default().admitted += 1;
+        Admission::Admit {
+            weight: spec.weight.max(1),
+        }
+    }
+
+    /// Gate one request from `tenant` now.
+    pub fn admit(&self, tenant: &str) -> Admission {
+        self.admit_at(tenant, Instant::now())
+    }
+
+    /// Record that an admitted request finished.
+    pub fn completed(&self, tenant: &str) {
+        if !self.cfg.enabled {
+            return;
+        }
+        self.state
+            .lock()
+            .counters
+            .entry(tenant.to_string())
+            .or_default()
+            .completed += 1;
+    }
+
+    /// Record `n` in-flight requests retired by a connection drop.
+    pub fn cancelled_on_disconnect(&self, tenant: &str, n: u64) {
+        if !self.cfg.enabled || n == 0 {
+            return;
+        }
+        self.state
+            .lock()
+            .counters
+            .entry(tenant.to_string())
+            .or_default()
+            .cancelled_on_disconnect += n;
+    }
+
+    /// Record a missed client deadline.
+    pub fn deadline_missed(&self, tenant: &str) {
+        if !self.cfg.enabled {
+            return;
+        }
+        self.state
+            .lock()
+            .counters
+            .entry(tenant.to_string())
+            .or_default()
+            .deadline_missed += 1;
+    }
+
+    /// Snapshot of one tenant's counters (zeroes for unknown tenants).
+    pub fn counters(&self, tenant: &str) -> QosCounters {
+        self.state
+            .lock()
+            .counters
+            .get(tenant)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Snapshot of every tenant's counters.
+    pub fn all_counters(&self) -> BTreeMap<String, QosCounters> {
+        self.state.lock().counters.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_gate_admits_everything_and_counts_nothing() {
+        let gate = QosGate::new(QosConfig::default());
+        for _ in 0..100 {
+            assert_eq!(gate.admit("t"), Admission::Admit { weight: 1 });
+        }
+        gate.completed("t");
+        gate.cancelled_on_disconnect("t", 3);
+        gate.deadline_missed("t");
+        assert_eq!(gate.counters("t"), QosCounters::default());
+        assert!(gate.all_counters().is_empty());
+    }
+
+    #[test]
+    fn weights_come_from_config() {
+        let gate = QosGate::new(QosConfig::enabled().weight("gold", 4));
+        assert_eq!(gate.admit("gold"), Admission::Admit { weight: 4 });
+        assert_eq!(gate.admit("anon"), Admission::Admit { weight: 1 });
+    }
+
+    #[test]
+    fn token_bucket_throttles_and_refills() {
+        let gate = QosGate::new(QosConfig::enabled().rate("t", 2.0, 10.0));
+        let t0 = Instant::now();
+        assert!(matches!(gate.admit_at("t", t0), Admission::Admit { .. }));
+        assert!(matches!(gate.admit_at("t", t0), Admission::Admit { .. }));
+        let Admission::Throttle { retry_after } = gate.admit_at("t", t0) else {
+            panic!("third immediate request should throttle");
+        };
+        assert!(retry_after <= Duration::from_millis(150));
+        // 200 ms at 10/s refills two tokens.
+        let t1 = t0 + Duration::from_millis(200);
+        assert!(matches!(gate.admit_at("t", t1), Admission::Admit { .. }));
+        assert!(matches!(gate.admit_at("t", t1), Admission::Admit { .. }));
+        assert!(matches!(gate.admit_at("t", t1), Admission::Throttle { .. }));
+        let c = gate.counters("t");
+        assert_eq!(c.admitted, 4);
+        assert_eq!(c.throttled, 2);
+    }
+
+    #[test]
+    fn throttling_one_tenant_never_touches_another() {
+        let gate = QosGate::new(QosConfig::enabled().rate("capped", 1.0, 0.5));
+        let t0 = Instant::now();
+        assert!(matches!(
+            gate.admit_at("capped", t0),
+            Admission::Admit { .. }
+        ));
+        assert!(matches!(
+            gate.admit_at("capped", t0),
+            Admission::Throttle { .. }
+        ));
+        for _ in 0..50 {
+            assert!(matches!(gate.admit_at("free", t0), Admission::Admit { .. }));
+        }
+        assert_eq!(gate.counters("free").admitted, 50);
+        assert_eq!(gate.counters("free").throttled, 0);
+    }
+
+    #[test]
+    fn lifecycle_counters_accumulate() {
+        let gate = QosGate::new(QosConfig::enabled());
+        gate.admit("t");
+        gate.completed("t");
+        gate.cancelled_on_disconnect("t", 2);
+        gate.deadline_missed("t");
+        let c = gate.counters("t");
+        assert_eq!(
+            (
+                c.admitted,
+                c.completed,
+                c.cancelled_on_disconnect,
+                c.deadline_missed
+            ),
+            (1, 1, 2, 1)
+        );
+    }
+}

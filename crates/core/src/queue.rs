@@ -302,8 +302,11 @@ impl RequestQueue for MergingQueue {
             let tq = g.travels.entry(item.req.travel).or_default();
             if tq.weight == 0 {
                 // Fresh (or re-entrant) travel: join at the virtual floor
-                // with a weight derived from its plan's length.
-                tq.weight = weight_for_depth(item.req.plan.depth());
+                // with a weight derived from its plan's length, scaled by
+                // the tenant priority the front door stamped on the plan
+                // (1 when no QoS gate is in play).
+                tq.weight = weight_for_depth(item.req.plan.depth())
+                    * u64::from(item.req.plan.qos_weight.max(1));
                 tq.vservice = vfloor;
             }
             tq.order.entry(item.depth).or_default().insert(item.vertex);

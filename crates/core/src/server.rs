@@ -33,8 +33,9 @@ use crate::{ExecId, Token, Tokens, TravelId};
 use gt_graph::{GraphPartition, Props, VertexId};
 use gt_kvstore::wal::BlobLog;
 use gt_kvstore::ReadView;
-use gt_net::{Endpoint, RecvError};
+use gt_net::RecvError;
 use gt_placement::SharedPlacement;
+use gt_transport::Conduit;
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::path::PathBuf;
@@ -142,8 +143,8 @@ pub struct ServerArgs {
     pub n_servers: usize,
     /// This server's graph shard.
     pub partition: Arc<GraphPartition>,
-    /// Fabric endpoint.
-    pub endpoint: Endpoint<Msg>,
+    /// Transport endpoint (in-process fabric or socket mesh).
+    pub endpoint: Conduit<Msg>,
     /// Engine configuration (shared across the cluster).
     pub engine: EngineConfig,
     /// This incarnation's epoch: 0 at first boot, bumped on every
@@ -392,7 +393,7 @@ struct Shared {
     n_servers: usize,
     engine_kind: EngineKind,
     partition: Arc<GraphPartition>,
-    ep: Endpoint<Msg>,
+    ep: Conduit<Msg>,
     queue: Arc<dyn RequestQueue>,
     cache: TraversalCache,
     metrics: Arc<ServerMetrics>,

@@ -1,0 +1,648 @@
+//! Front-door suite: the socket transport under the whole engine, and
+//! the proto listener with per-tenant QoS.
+//!
+//! The transport tests run ordinary clusters with every message crossing
+//! a real TCP/UDS socket through the binary wire codec and require
+//! results identical to the in-process oracle on all three engines. The
+//! QoS tests drive the [`graphtrek::frontdoor::FrontDoor`] through raw
+//! proto connections: weighted fairness under saturation, rate-limit
+//! isolation, disconnect-driven retirement, and the all-zeroes guarantee
+//! when QoS is off.
+
+use graphtrek::cluster::{Cluster, ClusterConfig};
+use graphtrek::engine::{EngineConfig, EngineKind, TransportKind};
+use graphtrek::frontdoor::FrontDoor;
+use graphtrek::oracle;
+use graphtrek::prelude::*;
+use graphtrek::qos::QosConfig;
+use gt_graph::{Edge, InMemoryGraph, Props, Vertex, VertexId};
+use gt_proto::{
+    read_frame, send_client, ClientMsg, ServerMsg, SubmitOpts, WireError, PROTOCOL_VERSION,
+};
+use gt_transport::SocketAddrSpec;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "gt-frontdoor-{}-{name}-{:?}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+/// Random layered metadata-ish graph (the equivalence suite's shape).
+fn random_graph(seed: u64, n: u64) -> InMemoryGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut g = InMemoryGraph::new();
+    let types = ["User", "Execution", "File"];
+    let labels = ["run", "read", "write", "link"];
+    for i in 0..n {
+        let t = types[rng.gen_range(0..types.len())];
+        g.add_vertex(Vertex::new(
+            i,
+            t,
+            Props::new().with("w", rng.gen_range(0..10) as i64),
+        ));
+    }
+    for _ in 0..n * 4 {
+        let src = rng.gen_range(0..n);
+        let dst = rng.gen_range(0..n);
+        let label = labels[rng.gen_range(0..labels.len())];
+        g.add_edge(Edge::new(
+            src,
+            label,
+            dst,
+            Props::new().with("ts", rng.gen_range(0..100) as i64),
+        ));
+    }
+    g
+}
+
+fn queries() -> Vec<GTravel> {
+    vec![
+        GTravel::v([0u64, 1, 2, 3]).e("run").e("read"),
+        GTravel::v([0u64, 5, 9, 13])
+            .e("link")
+            .rtn()
+            .e("read")
+            .va(PropFilter::range("w", 0i64, 7i64))
+            .e("link"),
+        GTravel::v([2u64, 4, 6, 8])
+            .e("write")
+            .ea(PropFilter::range("ts", 10i64, 90i64))
+            .e("link")
+            .e("run"),
+    ]
+}
+
+fn expected(g: &InMemoryGraph, q: &GTravel) -> Vec<VertexId> {
+    oracle::traverse(g, &q.compile().unwrap()).all_vertices()
+}
+
+// ----------------------------------------------------- socket transport
+
+/// Every cluster message crossing a real socket (TCP and UDS) through
+/// the wire codec must leave the results of all three engines identical
+/// to the oracle.
+#[test]
+fn socket_transport_matches_inproc_oracle_on_all_engines() {
+    let g = random_graph(0x50C7, 120);
+    for transport in [TransportKind::Tcp, TransportKind::Uds] {
+        for kind in EngineKind::all() {
+            let dir = tmp(&format!("sock-{}-{}", transport.label(), kind.label()));
+            let cluster = Cluster::build(
+                &g,
+                ClusterConfig::new(&dir, 3),
+                EngineConfig::new(kind).transport(transport),
+            )
+            .unwrap();
+            for q in queries() {
+                let r = cluster.submit(&q).unwrap();
+                assert_eq!(
+                    r.vertices,
+                    expected(&g, &q),
+                    "{} over {} diverged from oracle",
+                    kind.label(),
+                    transport.label()
+                );
+            }
+            cluster.shutdown();
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+}
+
+/// Chaos schedules have no socket-side injector; asking for both is a
+/// build-time error, not a silently chaos-free run.
+#[test]
+fn chaos_plus_socket_transport_is_rejected() {
+    let g = random_graph(1, 40);
+    let dir = tmp("chaos-sock");
+    let err = Cluster::build(
+        &g,
+        ClusterConfig::new(&dir, 2),
+        EngineConfig::new(EngineKind::GraphTrek)
+            .transport(TransportKind::Tcp)
+            .chaos(graphtrek::faults::ChaosPlan::lossy(7)),
+    )
+    .map(|c| c.shutdown())
+    .unwrap_err();
+    assert!(
+        err.to_string().contains("in-process transport"),
+        "got: {err}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ------------------------------------------------------------ proto door
+
+/// A raw proto connection for tests: hello done, requests correlated.
+struct TestClient {
+    sock: TcpStream,
+    next_id: u64,
+    /// Out-of-order terminal responses parked until asked for.
+    parked: std::collections::HashMap<u64, ServerMsg>,
+}
+
+impl TestClient {
+    fn connect(addr: &SocketAddrSpec, tenant: &str) -> TestClient {
+        let SocketAddrSpec::Tcp(addr) = addr else {
+            panic!("test client only dials tcp");
+        };
+        let mut sock = TcpStream::connect(addr).unwrap();
+        send_client(
+            &mut sock,
+            &ClientMsg::Hello {
+                version: PROTOCOL_VERSION,
+                tenant: tenant.into(),
+            },
+        )
+        .unwrap();
+        let frame = read_frame(&mut sock).unwrap().expect("hello reply");
+        match ServerMsg::decode(&frame).unwrap() {
+            ServerMsg::HelloAck { version } => assert_eq!(version, PROTOCOL_VERSION),
+            other => panic!("expected HelloAck, got {other:?}"),
+        }
+        TestClient {
+            sock,
+            next_id: 1,
+            parked: std::collections::HashMap::new(),
+        }
+    }
+
+    fn submit(&mut self, gtravel: &str, opts: SubmitOpts) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        send_client(
+            &mut self.sock,
+            &ClientMsg::Submit {
+                id,
+                gtravel: gtravel.into(),
+                opts,
+            },
+        )
+        .unwrap();
+        id
+    }
+
+    /// Read frames until the response for `id` arrives; terminal
+    /// responses for other pipelined requests are parked, not dropped.
+    fn response_for(&mut self, id: u64) -> ServerMsg {
+        if let Some(msg) = self.parked.remove(&id) {
+            return msg;
+        }
+        loop {
+            let frame = read_frame(&mut self.sock).unwrap().expect("response");
+            let msg = ServerMsg::decode(&frame).unwrap();
+            match &msg {
+                ServerMsg::Result { id: got, .. } | ServerMsg::Error { id: got, .. } => {
+                    if *got == id {
+                        return msg;
+                    }
+                    self.parked.insert(*got, msg);
+                }
+                // Unsolicited progress/handshake frames: drop.
+                ServerMsg::Progress { .. }
+                | ServerMsg::HelloAck { .. }
+                | ServerMsg::Unsupported { .. }
+                | ServerMsg::MetricsReport { .. } => {}
+            }
+        }
+    }
+
+    fn run(&mut self, gtravel: &str) -> Result<Vec<u64>, WireError> {
+        let id = self.submit(gtravel, SubmitOpts::default());
+        match self.response_for(id) {
+            ServerMsg::Result { by_depth, .. } => {
+                let mut all: Vec<u64> = by_depth.into_iter().flat_map(|(_, vs)| vs).collect();
+                all.sort_unstable();
+                all.dedup();
+                Ok(all)
+            }
+            ServerMsg::Error { error, .. } => Err(error),
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    fn goodbye(mut self) {
+        let _ = send_client(&mut self.sock, &ClientMsg::Goodbye);
+    }
+}
+
+/// End-to-end: text query in over the proto socket, results out, equal
+/// to the oracle on all three engines.
+#[test]
+fn proto_door_matches_oracle_on_all_engines() {
+    let g = random_graph(0xD00F, 100);
+    let texts = [
+        "v(0,1,2,3).e('run').e('read')",
+        "v(0,5,9,13).e('link').rtn().e('read').va('w', RANGE, 0, 7).e('link')",
+        "v(2,4,6,8).e('write').ea('ts', RANGE, 10, 90).e('link').e('run')",
+    ];
+    for kind in EngineKind::all() {
+        let dir = tmp(&format!("door-{}", kind.label()));
+        let cluster =
+            Cluster::build(&g, ClusterConfig::new(&dir, 3), EngineConfig::new(kind)).unwrap();
+        let door = FrontDoor::serve(
+            cluster.handle(),
+            SocketAddrSpec::Tcp("127.0.0.1:0".into()),
+            QosConfig::default(),
+        )
+        .unwrap();
+        let mut client = TestClient::connect(door.local_addr(), "t");
+        for text in texts {
+            let got = client.run(text).unwrap();
+            let q = graphtrek::parse::parse(text).unwrap();
+            let want: Vec<u64> = expected(&g, &q).into_iter().map(|v| v.0).collect();
+            assert_eq!(got, want, "{} diverged via proto door", kind.label());
+        }
+        // A bad query is a typed error, not a dropped connection.
+        let err = client.run("v(0).e('run').nonsense()").unwrap_err();
+        assert!(matches!(err, WireError::Query(_)), "got {err:?}");
+        client.goodbye();
+        door.stop();
+        cluster.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// With QoS off, nothing is counted — exactly zero, not merely small.
+#[test]
+fn qos_counters_stay_zero_when_disabled() {
+    let g = random_graph(3, 60);
+    let dir = tmp("qos-off");
+    let cluster = Cluster::build(
+        &g,
+        ClusterConfig::new(&dir, 2),
+        EngineConfig::new(EngineKind::GraphTrek),
+    )
+    .unwrap();
+    let door = FrontDoor::serve(
+        cluster.handle(),
+        SocketAddrSpec::Tcp("127.0.0.1:0".into()),
+        QosConfig::default(),
+    )
+    .unwrap();
+    let mut client = TestClient::connect(door.local_addr(), "anyone");
+    for _ in 0..5 {
+        client.run("v(0,1,2).e('link')").unwrap();
+    }
+    // Metrics over the wire: no per-tenant counters exist at all.
+    send_client(&mut client.sock, &ClientMsg::Metrics).unwrap();
+    let frame = read_frame(&mut client.sock).unwrap().unwrap();
+    match ServerMsg::decode(&frame).unwrap() {
+        ServerMsg::MetricsReport { counters } => {
+            assert!(counters.is_empty(), "expected no counters: {counters:?}")
+        }
+        other => panic!("expected MetricsReport, got {other:?}"),
+    }
+    assert!(door.gate().all_counters().is_empty());
+    client.goodbye();
+    door.stop();
+    cluster.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A rate-limited tenant is refused with a retry hint; an unlimited
+/// tenant sharing the door sees every one of its requests admitted.
+#[test]
+fn rate_limited_tenant_throttles_without_perturbing_others() {
+    let g = random_graph(5, 60);
+    let dir = tmp("qos-rate");
+    let cluster = Cluster::build(
+        &g,
+        ClusterConfig::new(&dir, 2),
+        EngineConfig::new(EngineKind::GraphTrek),
+    )
+    .unwrap();
+    // 2-token bucket, glacial refill: the third request must throttle.
+    let door = FrontDoor::serve(
+        cluster.handle(),
+        SocketAddrSpec::Tcp("127.0.0.1:0".into()),
+        QosConfig::enabled().rate("capped", 2.0, 0.01),
+    )
+    .unwrap();
+    let mut capped = TestClient::connect(door.local_addr(), "capped");
+    let mut free = TestClient::connect(door.local_addr(), "free");
+    let mut throttled = 0u32;
+    for _ in 0..6 {
+        match capped.run("v(0,1).e('link')") {
+            Ok(_) => {}
+            Err(WireError::Throttled { retry_after_ms }) => {
+                assert!(retry_after_ms > 0);
+                throttled += 1;
+            }
+            Err(other) => panic!("unexpected error {other:?}"),
+        }
+    }
+    assert_eq!(throttled, 4, "2-token bucket admits exactly 2 of 6");
+    for _ in 0..6 {
+        free.run("v(0,1).e('link')").unwrap();
+    }
+    let c = door.gate().counters("capped");
+    assert_eq!((c.admitted, c.throttled), (2, 4));
+    let f = door.gate().counters("free");
+    assert_eq!((f.admitted, f.throttled), (6, 0));
+    capped.goodbye();
+    free.goodbye();
+    door.stop();
+    cluster.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Killing a connection retires its in-flight travels: the cluster's
+/// active-travel count returns to zero without anyone calling wait.
+#[test]
+fn killed_connection_retires_inflight_travels() {
+    let g = random_graph(7, 80);
+    let dir = tmp("qos-kill");
+    let cluster = Cluster::build(
+        &g,
+        ClusterConfig::new(&dir, 2),
+        // Slow every server down so the travels are still in flight
+        // when the connection dies.
+        EngineConfig::new(EngineKind::GraphTrek).faults(
+            graphtrek::faults::FaultPlan::round_robin_stragglers(
+                &[0, 1],
+                8,
+                Duration::from_millis(40),
+                1000,
+            ),
+        ),
+    )
+    .unwrap();
+    let state = cluster.handle();
+    let door = FrontDoor::serve(
+        cluster.handle(),
+        SocketAddrSpec::Tcp("127.0.0.1:0".into()),
+        QosConfig::enabled(),
+    )
+    .unwrap();
+    let mut client = TestClient::connect(door.local_addr(), "doomed");
+    for _ in 0..3 {
+        client.submit(
+            "v(0,1,2,3,4,5).e('link').e('link').e('link')",
+            SubmitOpts::default(),
+        );
+    }
+    // Give the door a moment to dispatch, then kill the socket abruptly.
+    std::thread::sleep(Duration::from_millis(100));
+    client.sock.shutdown(std::net::Shutdown::Both).unwrap();
+    drop(client);
+    // The disconnect handler cancels every in-flight travel.
+    let deadline = std::time::Instant::now() + Duration::from_secs(20);
+    loop {
+        let c = door.gate().counters("doomed");
+        if c.cancelled_on_disconnect + c.completed + c.deadline_missed >= c.admitted
+            && c.admitted > 0
+            && state.active_travels() == 0
+        {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "in-flight travels not retired: {:?}, active={}",
+            door.gate().counters("doomed"),
+            state.active_travels()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let c = door.gate().counters("doomed");
+    assert!(
+        c.cancelled_on_disconnect > 0,
+        "expected disconnect-driven cancellations, got {c:?}"
+    );
+    door.stop();
+    drop(state);
+    cluster.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Deadlines map onto the engine's timeout machinery: a request with a
+/// hopeless deadline fails with `WireError::Timeout` and is counted.
+#[test]
+fn missed_deadline_surfaces_as_timeout() {
+    let g = random_graph(9, 80);
+    let dir = tmp("qos-deadline");
+    let cluster = Cluster::build(
+        &g,
+        ClusterConfig::new(&dir, 2),
+        EngineConfig::new(EngineKind::GraphTrek)
+            .faults(graphtrek::faults::FaultPlan::round_robin_stragglers(
+                &[0, 1],
+                8,
+                Duration::from_millis(50),
+                1000,
+            ))
+            // Tight poll slice so a millisecond-scale deadline is
+            // enforced at millisecond granularity.
+            .wait_poll(Duration::from_millis(1)),
+    )
+    .unwrap();
+    let door = FrontDoor::serve(
+        cluster.handle(),
+        SocketAddrSpec::Tcp("127.0.0.1:0".into()),
+        QosConfig::enabled(),
+    )
+    .unwrap();
+    let mut client = TestClient::connect(door.local_addr(), "hasty");
+    let id = client.submit(
+        "v(0,1,2,3,4,5).e('link').e('link').e('link')",
+        SubmitOpts {
+            deadline_ms: Some(1),
+        },
+    );
+    match client.response_for(id) {
+        ServerMsg::Error {
+            error: WireError::Timeout { .. },
+            ..
+        } => {}
+        other => panic!("expected timeout, got {other:?}"),
+    }
+    let state = cluster.handle();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while state.active_travels() != 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "timed-out travel not retired"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(door.gate().counters("hasty").deadline_missed, 1);
+    client.goodbye();
+    door.stop();
+    cluster.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// 4:1 tenant weights ⇒ ~4:1 admitted work under saturation. Both
+/// tenants keep a full pipeline of identical travels against a saturated
+/// single-worker cluster; the weighted-fair merging queue must complete
+/// gold's travels roughly four times as often as bronze's.
+#[test]
+fn tenant_weights_shape_throughput_under_saturation() {
+    let g = random_graph(11, 140);
+    let dir = tmp("qos-weights");
+    let cluster = Cluster::build(
+        &g,
+        ClusterConfig::new(&dir, 2),
+        // One worker per server plus a per-access straggler delay makes
+        // worker time the bottleneck, so the weighted merging queue —
+        // not network latency — decides who gets served.
+        EngineConfig::new(EngineKind::GraphTrek).workers(1).faults(
+            graphtrek::faults::FaultPlan::round_robin_stragglers(
+                &[0, 1],
+                8,
+                Duration::from_millis(2),
+                1_000_000,
+            ),
+        ),
+    )
+    .unwrap();
+    let door = FrontDoor::serve(
+        cluster.handle(),
+        SocketAddrSpec::Tcp("127.0.0.1:0".into()),
+        QosConfig::enabled().weight("gold", 4).weight("bronze", 1),
+    )
+    .unwrap();
+    let addr = door.local_addr().clone();
+    let stop = Arc::new(AtomicBool::new(false));
+    let gold_done = Arc::new(AtomicU64::new(0));
+    let bronze_done = Arc::new(AtomicU64::new(0));
+    let query = "v(0,1,2,3,4,5,6,7).e('link').e('link').e('read').e('link')";
+    std::thread::scope(|s| {
+        for (tenant, done) in [("gold", &gold_done), ("bronze", &bronze_done)] {
+            let stop = stop.clone();
+            let addr = addr.clone();
+            s.spawn(move || {
+                let mut client = TestClient::connect(&addr, tenant);
+                // Keep a deep pipeline so both tenants stay backlogged
+                // — weighted fairness only shows under sustained choice.
+                let mut inflight: std::collections::VecDeque<u64> = (0..16)
+                    .map(|_| client.submit(query, SubmitOpts::default()))
+                    .collect();
+                while !stop.load(Ordering::Relaxed) {
+                    let id = inflight.pop_front().unwrap();
+                    match client.response_for(id) {
+                        ServerMsg::Result { .. } => {
+                            done.fetch_add(1, Ordering::Relaxed);
+                        }
+                        other => panic!("worker saw {other:?}"),
+                    }
+                    inflight.push_back(client.submit(query, SubmitOpts::default()));
+                }
+                for id in inflight {
+                    let _ = client.response_for(id);
+                }
+                client.goodbye();
+            });
+        }
+        std::thread::sleep(Duration::from_secs(3));
+        stop.store(true, Ordering::Relaxed);
+    });
+    let gold = gold_done.load(Ordering::Relaxed) as f64;
+    let bronze = bronze_done.load(Ordering::Relaxed) as f64;
+    assert!(
+        gold >= 20.0 && bronze >= 1.0,
+        "not saturated enough to judge: gold={gold} bronze={bronze}"
+    );
+    let ratio = gold / bronze;
+    assert!(
+        (2.0..=8.0).contains(&ratio),
+        "4:1 weights should yield ~4:1 throughput, got {ratio:.2} (gold={gold} bronze={bronze})"
+    );
+    door.stop();
+    cluster.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The same weighted run with QoS disabled must stay ~1:1 — the ratio in
+/// the weighted test above comes from the gate, not tenant luck.
+#[test]
+fn equal_tenants_split_evenly_without_qos() {
+    let g = random_graph(11, 140);
+    let dir = tmp("qos-even");
+    let cluster = Cluster::build(
+        &g,
+        ClusterConfig::new(&dir, 2),
+        // Same saturated setup as the weighted test — the control run.
+        EngineConfig::new(EngineKind::GraphTrek).workers(1).faults(
+            graphtrek::faults::FaultPlan::round_robin_stragglers(
+                &[0, 1],
+                8,
+                Duration::from_millis(2),
+                1_000_000,
+            ),
+        ),
+    )
+    .unwrap();
+    let door = FrontDoor::serve(
+        cluster.handle(),
+        SocketAddrSpec::Tcp("127.0.0.1:0".into()),
+        QosConfig::default(),
+    )
+    .unwrap();
+    let addr = door.local_addr().clone();
+    let stop = Arc::new(AtomicBool::new(false));
+    let a_done = Arc::new(AtomicU64::new(0));
+    let b_done = Arc::new(AtomicU64::new(0));
+    let query = "v(0,1,2,3,4,5,6,7).e('link').e('link').e('read').e('link')";
+    std::thread::scope(|s| {
+        for (tenant, done) in [("a", &a_done), ("b", &b_done)] {
+            let stop = stop.clone();
+            let addr = addr.clone();
+            s.spawn(move || {
+                let mut client = TestClient::connect(&addr, tenant);
+                let mut inflight: std::collections::VecDeque<u64> = (0..16)
+                    .map(|_| client.submit(query, SubmitOpts::default()))
+                    .collect();
+                while !stop.load(Ordering::Relaxed) {
+                    let id = inflight.pop_front().unwrap();
+                    match client.response_for(id) {
+                        ServerMsg::Result { .. } => {
+                            done.fetch_add(1, Ordering::Relaxed);
+                        }
+                        other => panic!("worker saw {other:?}"),
+                    }
+                    inflight.push_back(client.submit(query, SubmitOpts::default()));
+                }
+                for id in inflight {
+                    let _ = client.response_for(id);
+                }
+                client.goodbye();
+            });
+        }
+        std::thread::sleep(Duration::from_secs(2));
+        stop.store(true, Ordering::Relaxed);
+    });
+    let a = a_done.load(Ordering::Relaxed) as f64;
+    let b = b_done.load(Ordering::Relaxed) as f64;
+    assert!(a >= 10.0 && b >= 10.0, "not saturated: a={a} b={b}");
+    let ratio = a.max(b) / a.min(b);
+    assert!(
+        ratio <= 1.8,
+        "equal tenants should split ~evenly, got {ratio:.2} (a={a} b={b})"
+    );
+    door.stop();
+    cluster.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The merging-queue weight multiplier is dormant at its default: plans
+/// compiled anywhere get weight 1, so clusters without a QoS gate are
+/// byte-identical to the pre-QoS engine.
+#[test]
+fn default_plans_carry_neutral_weight() {
+    let plan = GTravel::v([1u64]).e("run").compile().unwrap();
+    assert_eq!(plan.qos_weight, 1);
+}

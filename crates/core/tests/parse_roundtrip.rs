@@ -1,0 +1,245 @@
+//! Round-trip property: any builder-made chain, rendered to the text
+//! grammar by [`GTravel::render`] and parsed back by [`parse`], compiles
+//! to the identical [`Plan`]. Covers both sources, every filter shape
+//! (EQ / IN / RANGE over int, float, string, and bool values), edge and
+//! vertex filters, `rtn()` at every position, `as_of`, and
+//! `created_after` (which round-trips through its desugared stamp
+//! filter).
+
+use graphtrek::lang::GTravel;
+use graphtrek::parse::parse;
+use gt_graph::{PropFilter, PropValue};
+use proptest::prelude::*;
+
+const KEYS: [&str; 4] = ["w", "ts", "ftype", "start_ts"];
+const LABELS: [&str; 4] = ["run", "read", "write", "link"];
+const STRS: [&str; 4] = ["text", "h5", "csv", "bin"];
+
+/// One property value; the u8 picks the variant, the payloads keep the
+/// value grammar-representable (finite floats, no quotes in strings).
+#[derive(Debug, Clone)]
+struct ValueSpec {
+    variant: u8,
+    int: i64,
+    float_millis: i64,
+    s: u8,
+    b: bool,
+}
+
+fn value_spec() -> impl Strategy<Value = ValueSpec> {
+    (
+        0u8..4,
+        -1000i64..1000,
+        -4000i64..4000,
+        0u8..4,
+        proptest::bool::weighted(0.5),
+    )
+        .prop_map(|(variant, int, float_millis, s, b)| ValueSpec {
+            variant,
+            int,
+            float_millis,
+            s,
+            b,
+        })
+}
+
+fn build_value(spec: &ValueSpec) -> PropValue {
+    match spec.variant {
+        0 => PropValue::Int(spec.int),
+        1 => PropValue::Float(spec.float_millis as f64 / 8.0),
+        2 => PropValue::Str(STRS[spec.s as usize].to_string()),
+        _ => PropValue::Bool(spec.b),
+    }
+}
+
+/// One filter: key index, condition shape, payload values.
+#[derive(Debug, Clone)]
+struct FilterSpec {
+    key: u8,
+    cond: u8,
+    values: Vec<ValueSpec>,
+}
+
+fn filter_spec() -> impl Strategy<Value = FilterSpec> {
+    (
+        0u8..4,
+        0u8..3,
+        proptest::collection::vec(value_spec(), 1..4),
+    )
+        .prop_map(|(key, cond, values)| FilterSpec { key, cond, values })
+}
+
+fn build_filter(spec: &FilterSpec) -> PropFilter {
+    let key = KEYS[spec.key as usize];
+    match spec.cond {
+        0 => PropFilter::eq(key, build_value(&spec.values[0])),
+        1 => PropFilter::is_in(key, spec.values.iter().map(build_value).collect()),
+        _ => {
+            let lo = build_value(&spec.values[0]);
+            let hi = build_value(spec.values.last().unwrap());
+            PropFilter::range(key, lo, hi)
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct StepSpec {
+    label: u8,
+    edge_filters: Vec<FilterSpec>,
+    vertex_filters: Vec<FilterSpec>,
+    rtn: bool,
+    created_after: Option<u32>,
+}
+
+fn step_spec() -> impl Strategy<Value = StepSpec> {
+    (
+        0u8..4,
+        proptest::collection::vec(filter_spec(), 0..3),
+        proptest::collection::vec(filter_spec(), 0..3),
+        proptest::bool::weighted(0.3),
+        proptest::option::weighted(0.2, 0u32..1000),
+    )
+        .prop_map(
+            |(label, edge_filters, vertex_filters, rtn, created_after)| StepSpec {
+                label,
+                edge_filters,
+                vertex_filters,
+                rtn,
+                created_after,
+            },
+        )
+}
+
+#[derive(Debug, Clone)]
+struct ChainSpec {
+    all_source: bool,
+    sources: Vec<u64>,
+    source_filters: Vec<FilterSpec>,
+    source_rtn: bool,
+    source_created_after: Option<u32>,
+    steps: Vec<StepSpec>,
+    as_of: Option<u32>,
+}
+
+fn chain_spec() -> impl Strategy<Value = ChainSpec> {
+    (
+        proptest::bool::weighted(0.3),
+        proptest::collection::vec(0u64..100, 1..6),
+        proptest::collection::vec(filter_spec(), 0..3),
+        proptest::bool::weighted(0.3),
+        proptest::option::weighted(0.2, 0u32..1000),
+        proptest::collection::vec(step_spec(), 0..5),
+        proptest::option::weighted(0.3, 0u32..10_000),
+    )
+        .prop_map(
+            |(
+                all_source,
+                sources,
+                source_filters,
+                source_rtn,
+                source_created_after,
+                steps,
+                as_of,
+            )| {
+                ChainSpec {
+                    all_source,
+                    sources,
+                    source_filters,
+                    source_rtn,
+                    source_created_after,
+                    steps,
+                    as_of,
+                }
+            },
+        )
+}
+
+fn build_chain(spec: &ChainSpec) -> GTravel {
+    let mut q = if spec.all_source {
+        GTravel::v_all()
+    } else {
+        GTravel::v(spec.sources.clone())
+    };
+    for f in &spec.source_filters {
+        q = q.va(build_filter(f));
+    }
+    if spec.source_rtn {
+        q = q.rtn();
+    }
+    if let Some(seq) = spec.source_created_after {
+        q = q.created_after(seq as u64);
+    }
+    for s in &spec.steps {
+        q = q.e(LABELS[s.label as usize]);
+        for f in &s.edge_filters {
+            q = q.ea(build_filter(f));
+        }
+        for f in &s.vertex_filters {
+            q = q.va(build_filter(f));
+        }
+        if s.rtn {
+            q = q.rtn();
+        }
+        if let Some(seq) = s.created_after {
+            q = q.created_after(seq as u64);
+        }
+    }
+    if let Some(seq) = spec.as_of {
+        q = q.as_of(seq as u64);
+    }
+    q
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, .. ProptestConfig::default() })]
+
+    /// builder → render → parse → compile == builder → compile.
+    #[test]
+    fn render_parse_round_trips(spec in chain_spec()) {
+        let q = build_chain(&spec);
+        let text = q.render();
+        let parsed = parse(&text)
+            .unwrap_or_else(|e| panic!("render produced unparsable text `{text}`: {e}"));
+        let want = q.compile().unwrap();
+        let got = parsed.compile().unwrap();
+        prop_assert_eq!(got, want, "round-trip diverged for `{}`", text);
+    }
+
+    /// Rendering is a fixpoint: parse(render(q)).render() == render(q).
+    #[test]
+    fn render_is_canonical(spec in chain_spec()) {
+        let q = build_chain(&spec);
+        let text = q.render();
+        let again = parse(&text).unwrap().render();
+        prop_assert_eq!(again, text);
+    }
+}
+
+#[test]
+fn render_covers_the_readme_examples() {
+    let q = GTravel::v([7u64])
+        .e("run")
+        .ea(PropFilter::range("start_ts", 0i64, 1000i64))
+        .e("read")
+        .va(PropFilter::eq("ftype", "text"))
+        .rtn();
+    assert_eq!(
+        q.render(),
+        "v(7).e('run').ea('start_ts', RANGE, 0, 1000).e('read').va('ftype', EQ, 'text').rtn()"
+    );
+    let all = GTravel::v_all()
+        .va(PropFilter::eq("type", "Execution"))
+        .rtn()
+        .as_of(42);
+    assert_eq!(
+        all.render(),
+        "v().va('type', EQ, 'Execution').rtn().as_of(42)"
+    );
+    // Both parse back to the same plan.
+    for q in [q, all] {
+        assert_eq!(
+            parse(&q.render()).unwrap().compile().unwrap(),
+            q.compile().unwrap()
+        );
+    }
+}

@@ -194,7 +194,22 @@ fn workspace_sets(parsed: &[SourceFile]) -> FileSets<'_> {
                 .iter()
                 .any(|n| ends_with(p, &format!("crates/core/src/{n}")))
         }),
-        dispatch: pick(&|p| ends_with(p, ".rs") && p.to_string_lossy().contains("core/src")),
+        // Dispatch audit spans every crate that matches on a wire enum:
+        // the fabric protocol (core), the client↔server proto frames
+        // (proto, client), and the socket mesh + door (transport, core).
+        dispatch: pick(&|p| {
+            let s = p.to_string_lossy().replace('\\', "/");
+            ends_with(p, ".rs")
+                && [
+                    "core/src",
+                    "proto/src",
+                    "client/src",
+                    "server/src",
+                    "transport/src",
+                ]
+                .iter()
+                .any(|d| s.contains(d))
+        }),
         fence: pick(&|p| ends_with(p, "crates/core/src/server.rs")),
         panic: pick(&|p| {
             CORE_HOT
@@ -236,7 +251,15 @@ fn collect_files(mode: &Mode) -> Result<Vec<PathBuf>, String> {
     match mode {
         Mode::Workspace(root) => {
             let mut out = Vec::new();
-            for dir in ["crates/core/src", "crates/net/src", "crates/kvstore/src"] {
+            for dir in [
+                "crates/core/src",
+                "crates/net/src",
+                "crates/kvstore/src",
+                "crates/transport/src",
+                "crates/proto/src",
+                "crates/server/src",
+                "crates/client/src",
+            ] {
                 let d = root.join(dir);
                 let mut files = rs_files_in(&d)
                     .map_err(|e| format!("gt-lint: cannot walk {}: {e}", d.display()))?;

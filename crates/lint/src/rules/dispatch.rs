@@ -20,8 +20,11 @@ use crate::diag::Diagnostic;
 use crate::parser::{functions, matches_in, SourceFile};
 use std::collections::{BTreeMap, BTreeSet};
 
-/// Enums whose dispatch must be exhaustive by name.
-const AUDITED_ENUMS: &[&str] = &["Msg", "LedgerEvent"];
+/// Enums whose dispatch must be exhaustive by name. `ClientMsg` and
+/// `ServerMsg` are the front-door wire frames (gt-proto): a silently
+/// swallowed frame variant is the same bug class on the client↔server
+/// hop as a swallowed `Msg` is on the server↔server fabric.
+const AUDITED_ENUMS: &[&str] = &["Msg", "LedgerEvent", "ClientMsg", "ServerMsg"];
 
 /// Idents that may appear in a "silent default" arm body. Anything else
 /// (function calls, error construction, field writes) makes the body

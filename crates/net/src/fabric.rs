@@ -53,6 +53,16 @@ impl std::fmt::Display for SendError {
 }
 impl std::error::Error for SendError {}
 
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvError::Timeout => write!(f, "receive timed out"),
+            RecvError::Closed => write!(f, "fabric closed"),
+        }
+    }
+}
+impl std::error::Error for RecvError {}
+
 struct Scheduled<M> {
     deliver_at: Instant,
     seq: u64,
@@ -276,6 +286,12 @@ impl<M: Send + WireSize + Clone + 'static> Endpoint<M> {
     /// Number of endpoints on the fabric.
     pub fn n_endpoints(&self) -> usize {
         self.shared.inboxes.len()
+    }
+
+    /// Traffic counters for the fabric this endpoint is attached to
+    /// (shared with [`Fabric::stats`]).
+    pub fn stats(&self) -> Arc<NetStats> {
+        self.shared.stats.clone()
     }
 
     /// Send `msg` to endpoint `to`. Never blocks on the receiver.

@@ -1,0 +1,142 @@
+//! `gt-server` — one GraphTrek node as an OS process.
+//!
+//! Standalone (whole cluster in one process):
+//!
+//! ```text
+//! gt-server --graph g.txt --dir /tmp/gt --servers 3 --listen tcp:127.0.0.1:7171
+//! ```
+//!
+//! One node of a 3-process cluster over UDS (run three times with
+//! `--me 0|1|2`):
+//!
+//! ```text
+//! gt-server --graph g.txt --dir /tmp/gt-0 --listen uds:/tmp/door-0.sock \
+//!           --cluster uds:/tmp/mesh-0.sock,uds:/tmp/mesh-1.sock,uds:/tmp/mesh-2.sock \
+//!           --me 0
+//! ```
+
+use graphtrek::engine::EngineKind;
+use graphtrek::qos::QosConfig;
+use gt_server::{serve, Mode, NodeConfig};
+use gt_transport::SocketAddrSpec;
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: gt-server --graph FILE --dir DIR --listen ADDR (--servers N | --cluster A,B,… --me P) [options]\n\
+         \n\
+         ADDR is tcp:HOST:PORT or uds:PATH.\n\
+         \n\
+         options:\n\
+           --engine sync|async|graphtrek   traversal engine (default graphtrek)\n\
+           --qos                           enable per-tenant QoS accounting\n\
+           --tenant-weight NAME=W          fair-share weight (implies --qos)\n\
+           --tenant-rate NAME=CAP:PER_SEC  token-bucket rate cap (implies --qos)"
+    );
+    std::process::exit(2);
+}
+
+fn parse_addr(spec: &str) -> SocketAddrSpec {
+    match SocketAddrSpec::parse(spec) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("gt-server: bad address `{spec}`: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut graph: Option<PathBuf> = None;
+    let mut dir: Option<PathBuf> = None;
+    let mut listen: Option<SocketAddrSpec> = None;
+    let mut servers: Option<usize> = None;
+    let mut cluster: Option<Vec<SocketAddrSpec>> = None;
+    let mut me: Option<usize> = None;
+    let mut engine = EngineKind::GraphTrek;
+    let mut qos = QosConfig::default();
+    while let Some(arg) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--graph" => graph = Some(PathBuf::from(value())),
+            "--dir" => dir = Some(PathBuf::from(value())),
+            "--listen" => listen = Some(parse_addr(&value())),
+            "--servers" => servers = value().parse().ok().or_else(|| usage()),
+            "--cluster" => {
+                cluster = Some(value().split(',').map(parse_addr).collect());
+            }
+            "--me" => me = value().parse().ok().or_else(|| usage()),
+            "--engine" => {
+                engine = match value().as_str() {
+                    "sync" => EngineKind::Sync,
+                    "async" => EngineKind::AsyncPlain,
+                    "graphtrek" => EngineKind::GraphTrek,
+                    other => {
+                        eprintln!("gt-server: unknown engine `{other}`");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--qos" => qos.enabled = true,
+            "--tenant-weight" => {
+                let kv = value();
+                let Some((name, w)) = kv.split_once('=') else {
+                    usage()
+                };
+                let Ok(w) = w.parse::<u32>() else { usage() };
+                qos = qos.weight(name, w);
+                qos.enabled = true;
+            }
+            "--tenant-rate" => {
+                let kv = value();
+                let Some((name, spec)) = kv.split_once('=') else {
+                    usage()
+                };
+                let Some((cap, per_sec)) = spec.split_once(':') else {
+                    usage()
+                };
+                let (Ok(cap), Ok(per_sec)) = (cap.parse::<f64>(), per_sec.parse::<f64>()) else {
+                    usage()
+                };
+                qos = qos.rate(name, cap, per_sec);
+                qos.enabled = true;
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    let (Some(graph), Some(dir), Some(listen)) = (graph, dir, listen) else {
+        usage()
+    };
+    let mode = match (servers, cluster, me) {
+        (Some(n), None, None) => Mode::Standalone { n_servers: n },
+        (None, Some(cluster), Some(me)) => Mode::Mesh { cluster, me },
+        _ => usage(),
+    };
+
+    let cfg = NodeConfig {
+        graph,
+        dir,
+        listen,
+        engine,
+        qos,
+        mode,
+    };
+    match serve(&cfg) {
+        Ok(running) => {
+            // The smoke tests (and any supervisor) read this line to
+            // learn the ephemeral port; keep the format stable.
+            println!("gt-server listening on {}", running.local_addr());
+            use std::io::Write;
+            let _ = std::io::stdout().flush();
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(3600));
+            }
+        }
+        Err(e) => {
+            eprintln!("gt-server: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Deployment-shape tests: a standalone node, a 3-node mesh inside one
+//! test process, and the real thing — three `gt-server` OS processes
+//! serving one cluster, queried through `gt-client`, with results checked
+//! against the single-threaded oracle.
+
+use graphtrek::oracle;
+use graphtrek::parse::parse;
+use gt_client::Client;
+use gt_proto::SubmitOpts;
+use gt_server::{parse_graph, render_graph, serve, Mode, NodeConfig};
+use gt_transport::SocketAddrSpec;
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn tmp(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "gt-multiproc-{}-{name}-{:?}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    std::fs::remove_dir_all(&d).ok();
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// Deterministic provenance-ish graph in the text format (no RNG deps:
+/// splitmix64 drives the shape).
+fn graph_text(n: u64) -> String {
+    fn mix(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9e3779b97f4a7c15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+        x ^ (x >> 31)
+    }
+    let types = ["User", "Execution", "File"];
+    let labels = ["run", "read", "write", "link"];
+    let mut out = String::from("# generated test graph\n");
+    for i in 0..n {
+        let t = types[(mix(i) % 3) as usize];
+        out.push_str(&format!("v {i} {t} w={}\n", mix(i ^ 0xabc) % 10));
+    }
+    for i in 0..n * 4 {
+        let src = mix(i ^ 0x111) % n;
+        let dst = mix(i ^ 0x222) % n;
+        let label = labels[(mix(i ^ 0x333) % 4) as usize];
+        out.push_str(&format!("e {src} {label} {dst} ts={}\n", mix(i) % 100));
+    }
+    out
+}
+
+const QUERIES: [&str; 3] = [
+    "v(0,1,2,3).e('run').e('read')",
+    "v(0,5,9,13).e('link').rtn().e('read').va('w', RANGE, 0, 7).e('link')",
+    "v(2,4,6,8).e('write').ea('ts', RANGE, 10, 90).e('link').e('run')",
+];
+
+fn expected(text: &str, q: &str) -> Vec<u64> {
+    let g = parse_graph(text).unwrap();
+    let plan = parse(q).unwrap().compile().unwrap();
+    oracle::traverse(&g, &plan)
+        .all_vertices()
+        .into_iter()
+        .map(|v| v.0)
+        .collect()
+}
+
+fn check_queries(client: &mut Client, text: &str, what: &str) {
+    for q in QUERIES {
+        let reply = client.run(q, SubmitOpts::default()).unwrap();
+        assert_eq!(
+            reply.vertices(),
+            expected(text, q),
+            "{what}: `{q}` diverged"
+        );
+    }
+}
+
+#[test]
+fn standalone_node_serves_proto_clients() {
+    let dir = tmp("standalone");
+    let text = graph_text(80);
+    let gpath = dir.join("graph.txt");
+    std::fs::write(&gpath, &text).unwrap();
+    // The text format round-trips through the loader the node uses.
+    assert!(!render_graph(&parse_graph(&text).unwrap()).is_empty());
+    let running = serve(&NodeConfig {
+        graph: gpath,
+        dir: dir.join("data"),
+        listen: SocketAddrSpec::Tcp("127.0.0.1:0".into()),
+        engine: graphtrek::engine::EngineKind::GraphTrek,
+        qos: graphtrek::qos::QosConfig::default(),
+        mode: Mode::Standalone { n_servers: 3 },
+    })
+    .unwrap();
+    let mut client = Client::connect(running.local_addr(), "t").unwrap();
+    check_queries(&mut client, &text, "standalone");
+    client.close();
+    running.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn mesh_nodes_share_one_cluster() {
+    let dir = tmp("mesh");
+    let text = graph_text(80);
+    let gpath = dir.join("graph.txt");
+    std::fs::write(&gpath, &text).unwrap();
+    let n = 3usize;
+    let mesh: Vec<SocketAddrSpec> = (0..n)
+        .map(|p| SocketAddrSpec::Uds(dir.join(format!("mesh-{p}.sock"))))
+        .collect();
+    // Three mesh nodes (in one test process — the mesh only sees
+    // sockets). Every node runs its own front door.
+    let nodes: Vec<_> = (0..n)
+        .map(|p| {
+            serve(&NodeConfig {
+                graph: gpath.clone(),
+                dir: dir.join(format!("node-{p}")),
+                listen: SocketAddrSpec::Uds(dir.join(format!("door-{p}.sock"))),
+                engine: graphtrek::engine::EngineKind::GraphTrek,
+                qos: graphtrek::qos::QosConfig::default(),
+                mode: Mode::Mesh {
+                    cluster: mesh.clone(),
+                    me: p,
+                },
+            })
+            .unwrap()
+        })
+        .collect();
+    // Any node's door answers with the whole cluster's results.
+    for (p, node) in nodes.iter().enumerate() {
+        let mut client = Client::connect(node.local_addr(), "t").unwrap();
+        check_queries(&mut client, &text, &format!("mesh node {p}"));
+        client.close();
+    }
+    for node in nodes {
+        node.stop();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ------------------------------------------------- real OS processes
+
+struct Reaper(Vec<Child>);
+
+impl Drop for Reaper {
+    fn drop(&mut self) {
+        for c in &mut self.0 {
+            let _ = c.kill();
+            let _ = c.wait();
+        }
+    }
+}
+
+/// Spawn a `gt-server`, hand it to the reaper (so even a panicking
+/// test kills it on unwind), wait for its "listening on" line, and
+/// return the resolved door address.
+fn spawn_node(reaper: &mut Reaper, args: &[String]) -> SocketAddrSpec {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_gt-server"))
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .unwrap();
+    let stdout = child.stdout.take().unwrap();
+    reaper.0.push(child);
+    let mut lines = BufReader::new(stdout).lines();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        assert!(Instant::now() < deadline, "gt-server never came up");
+        match lines.next() {
+            Some(Ok(line)) => {
+                if let Some(addr) = line.strip_prefix("gt-server listening on ") {
+                    return SocketAddrSpec::parse(addr.trim()).unwrap();
+                }
+            }
+            other => panic!("gt-server exited before listening: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn three_os_processes_form_one_cluster() {
+    let dir = tmp("procs");
+    let text = graph_text(80);
+    let gpath = dir.join("graph.txt");
+    std::fs::write(&gpath, &text).unwrap();
+    let n = 3usize;
+    let mesh: Vec<String> = (0..n)
+        .map(|p| format!("uds:{}", dir.join(format!("mesh-{p}.sock")).display()))
+        .collect();
+    let mut children = Reaper(Vec::new());
+    let mut doors = Vec::new();
+    for p in 0..n {
+        let args = vec![
+            "--graph".into(),
+            gpath.display().to_string(),
+            "--dir".into(),
+            dir.join(format!("node-{p}")).display().to_string(),
+            "--listen".into(),
+            "tcp:127.0.0.1:0".into(),
+            "--cluster".into(),
+            mesh.join(","),
+            "--me".into(),
+            p.to_string(),
+        ];
+        doors.push(spawn_node(&mut children, &args));
+    }
+    // Query through the first and the last node's doors: same cluster,
+    // same answers, oracle-identical.
+    for p in [0, n - 1] {
+        let mut client = Client::connect(&doors[p], "smoke").unwrap();
+        check_queries(&mut client, &text, &format!("process {p}"));
+        client.close();
+    }
+    drop(children);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,729 @@
+//! Real socket backend: length-prefixed frames over TCP or Unix domain
+//! sockets.
+//!
+//! A [`SocketMesh`] realizes the same dense endpoint-id address space as
+//! the simulated fabric (`0..n_endpoints`), but endpoints live in OS
+//! processes. Each *process* owns one listening socket; a static
+//! `home` table maps every endpoint id to its hosting process, so any
+//! endpoint can address any other without discovery.
+//!
+//! ## Frame format
+//!
+//! ```text
+//! [len: u32 LE] [from: u32 LE] [to: u32 LE] [payload: len-8 bytes]
+//! ```
+//!
+//! `len` counts everything after itself (so `len >= 8`); the payload is
+//! the [`WireCodec`](crate::WireCodec) encoding of the message. Frames
+//! above [`MAX_FRAME`] bytes or that fail to decode are counted as drops
+//! and the rest of the stream is still consumed — a misbehaving peer
+//! cannot panic a server.
+//!
+//! ## Connection management
+//!
+//! Outbound: one writer thread per *remote process*, fed by an unbounded
+//! outbox. Connections are opened lazily on first send and re-opened with
+//! exponential backoff (10 ms doubling to 500 ms) after any failure; the
+//! frame being written when a connection dies is retransmitted on the
+//! next connection, so startup order between processes does not matter.
+//! Local destinations take the same path through the real socket — a
+//! single-process "loopback mesh" measures true kernel round-trips.
+//!
+//! Inbound: an accept loop spawns one reader thread per connection;
+//! frames are routed to per-endpoint inboxes by their `to` field.
+//! Inbound connections are read-only (the mesh never replies on them),
+//! so a connection is a one-way pipe exactly like a fabric link.
+
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use gt_net::{Envelope, NetStats, RecvError, SendError};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::WireCodec;
+
+/// Upper bound on a single frame (length prefix value). Frames claiming
+/// more are treated as a malformed peer and the connection is dropped.
+pub const MAX_FRAME: usize = 256 << 20;
+
+const BACKOFF_START: Duration = Duration::from_millis(10);
+const BACKOFF_CAP: Duration = Duration::from_millis(500);
+
+/// Where a mesh process listens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SocketAddrSpec {
+    /// TCP, `host:port` (port 0 is rewritten to the bound port for the
+    /// local process, which is how tests get ephemeral loopback meshes).
+    Tcp(String),
+    /// Unix domain socket at this path (unlinked on close).
+    Uds(PathBuf),
+}
+
+impl SocketAddrSpec {
+    /// Parse `tcp:host:port` or `uds:/path/to.sock`.
+    pub fn parse(s: &str) -> Result<SocketAddrSpec, MeshError> {
+        if let Some(rest) = s.strip_prefix("tcp:") {
+            if rest.is_empty() {
+                return Err(MeshError::Config(format!("empty tcp address in `{s}`")));
+            }
+            Ok(SocketAddrSpec::Tcp(rest.to_string()))
+        } else if let Some(rest) = s.strip_prefix("uds:") {
+            if rest.is_empty() {
+                return Err(MeshError::Config(format!("empty uds path in `{s}`")));
+            }
+            Ok(SocketAddrSpec::Uds(PathBuf::from(rest)))
+        } else {
+            Err(MeshError::Config(format!(
+                "address `{s}` must start with `tcp:` or `uds:`"
+            )))
+        }
+    }
+}
+
+impl std::fmt::Display for SocketAddrSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SocketAddrSpec::Tcp(a) => write!(f, "tcp:{a}"),
+            SocketAddrSpec::Uds(p) => write!(f, "uds:{}", p.display()),
+        }
+    }
+}
+
+/// Static layout of a socket mesh: which process hosts which endpoint.
+#[derive(Debug, Clone)]
+pub struct MeshConfig {
+    /// Total number of endpoints across all processes.
+    pub n_endpoints: usize,
+    /// `home[e]` = index into `processes` of the process hosting endpoint `e`.
+    pub home: Vec<usize>,
+    /// Listen address of each process.
+    pub processes: Vec<SocketAddrSpec>,
+    /// Which process *this* invocation is.
+    pub me: usize,
+}
+
+impl MeshConfig {
+    /// A mesh entirely inside one process: all `n` endpoints local,
+    /// traffic over the loopback socket at `addr`.
+    pub fn single_process(n: usize, addr: SocketAddrSpec) -> MeshConfig {
+        MeshConfig {
+            n_endpoints: n,
+            home: vec![0; n],
+            processes: vec![addr],
+            me: 0,
+        }
+    }
+
+    fn validate(&self) -> Result<(), MeshError> {
+        if self.processes.is_empty() {
+            return Err(MeshError::Config("no processes in mesh".into()));
+        }
+        if self.me >= self.processes.len() {
+            return Err(MeshError::Config(format!(
+                "process index {} out of range ({} processes)",
+                self.me,
+                self.processes.len()
+            )));
+        }
+        if self.home.len() != self.n_endpoints {
+            return Err(MeshError::Config(format!(
+                "home table has {} entries for {} endpoints",
+                self.home.len(),
+                self.n_endpoints
+            )));
+        }
+        if let Some(bad) = self.home.iter().find(|&&p| p >= self.processes.len()) {
+            return Err(MeshError::Config(format!(
+                "home process {bad} out of range"
+            )));
+        }
+        Ok(())
+    }
+
+    fn local_ids(&self) -> Vec<usize> {
+        (0..self.n_endpoints)
+            .filter(|&e| self.home[e] == self.me)
+            .collect()
+    }
+}
+
+/// Error starting or configuring a mesh.
+#[derive(Debug)]
+pub enum MeshError {
+    /// The [`MeshConfig`] is inconsistent or an address failed to parse.
+    Config(String),
+    /// Binding the listen socket failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for MeshError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MeshError::Config(s) => write!(f, "mesh config: {s}"),
+            MeshError::Io(e) => write!(f, "mesh io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MeshError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MeshError::Config(_) => None,
+            MeshError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for MeshError {
+    fn from(e: std::io::Error) -> Self {
+        MeshError::Io(e)
+    }
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    Uds(UnixListener),
+}
+
+enum Stream {
+    Tcp(TcpStream),
+    Uds(UnixStream),
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            Stream::Uds(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            Stream::Uds(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            Stream::Uds(s) => s.flush(),
+        }
+    }
+}
+
+fn connect(addr: &SocketAddrSpec) -> std::io::Result<Stream> {
+    match addr {
+        SocketAddrSpec::Tcp(a) => {
+            let s = TcpStream::connect(a)?;
+            s.set_nodelay(true)?;
+            Ok(Stream::Tcp(s))
+        }
+        SocketAddrSpec::Uds(p) => Ok(Stream::Uds(UnixStream::connect(p)?)),
+    }
+}
+
+struct MeshShared<M> {
+    cfg: MeshConfig,
+    /// Local endpoint inboxes; cleared on close so receivers observe
+    /// `Closed` once drained.
+    inboxes: RwLock<HashMap<usize, Sender<Envelope<M>>>>,
+    /// One outbox per process (pre-framed bytes); the empty frame is the
+    /// shutdown wake-up.
+    outboxes: Vec<Sender<Vec<u8>>>,
+    stats: Arc<NetStats>,
+    closed: AtomicBool,
+}
+
+/// Handle to a running mesh (this process's share of it). The mesh's
+/// threads hold references too, so shutdown is explicit: call
+/// [`SocketMesh::close`] when done (the engine does this when a cluster
+/// is dropped).
+pub struct SocketMesh<M> {
+    shared: Arc<MeshShared<M>>,
+}
+
+impl<M> Clone for SocketMesh<M> {
+    fn clone(&self) -> Self {
+        SocketMesh {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<M> std::fmt::Debug for SocketMesh<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SocketMesh")
+            .field("n_endpoints", &self.shared.cfg.n_endpoints)
+            .field("me", &self.shared.cfg.me)
+            .finish()
+    }
+}
+
+/// One local endpoint of a [`SocketMesh`]. Clones share the inbox, like
+/// fabric endpoints.
+pub struct SocketEndpoint<M> {
+    id: usize,
+    rx: Receiver<Envelope<M>>,
+    shared: Arc<MeshShared<M>>,
+}
+
+impl<M> Clone for SocketEndpoint<M> {
+    fn clone(&self) -> Self {
+        SocketEndpoint {
+            id: self.id,
+            rx: self.rx.clone(),
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<M> std::fmt::Debug for SocketEndpoint<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SocketEndpoint")
+            .field("id", &self.id)
+            .finish()
+    }
+}
+
+impl<M: Send + WireCodec + 'static> SocketMesh<M> {
+    /// Bind this process's listener, spawn the accept loop and one writer
+    /// per process, and return endpoints for every id homed here (in
+    /// ascending id order).
+    ///
+    /// If the local address is `tcp:…:0`, the config is rewritten with
+    /// the actually-bound port so single-process meshes can use ephemeral
+    /// ports. Remote processes need not be up yet: frames queue in the
+    /// writer until their listener appears.
+    pub fn start(
+        mut cfg: MeshConfig,
+    ) -> Result<(SocketMesh<M>, Vec<SocketEndpoint<M>>), MeshError> {
+        cfg.validate()?;
+        let listener = match &cfg.processes[cfg.me] {
+            SocketAddrSpec::Tcp(a) => {
+                let l = TcpListener::bind(a)?;
+                let actual = l.local_addr()?;
+                cfg.processes[cfg.me] = SocketAddrSpec::Tcp(actual.to_string());
+                Listener::Tcp(l)
+            }
+            SocketAddrSpec::Uds(p) => {
+                // A stale socket file from a crashed predecessor blocks
+                // bind; remove it (no other listener can hold it if the
+                // deployment assigns unique paths).
+                let _ = std::fs::remove_file(p);
+                Listener::Uds(UnixListener::bind(p)?)
+            }
+        };
+
+        let mut inboxes = HashMap::new();
+        let mut rxs = Vec::new();
+        for &e in &cfg.local_ids() {
+            let (tx, rx) = unbounded();
+            inboxes.insert(e, tx);
+            rxs.push((e, rx));
+        }
+
+        let mut outboxes = Vec::with_capacity(cfg.processes.len());
+        let mut out_rxs = Vec::with_capacity(cfg.processes.len());
+        for _ in 0..cfg.processes.len() {
+            let (tx, rx) = unbounded::<Vec<u8>>();
+            outboxes.push(tx);
+            out_rxs.push(rx);
+        }
+
+        let stats = Arc::new(NetStats::new(cfg.n_endpoints));
+        let shared = Arc::new(MeshShared {
+            cfg,
+            inboxes: RwLock::new(inboxes),
+            outboxes,
+            stats,
+            closed: AtomicBool::new(false),
+        });
+
+        for (p, rx) in out_rxs.into_iter().enumerate() {
+            let addr = shared.cfg.processes[p].clone();
+            let sh = shared.clone();
+            std::thread::Builder::new()
+                .name(format!("gt-mesh-w{p}"))
+                .spawn(move || writer_loop(rx, addr, sh))
+                .map_err(MeshError::Io)?;
+        }
+        {
+            let sh = shared.clone();
+            std::thread::Builder::new()
+                .name("gt-mesh-accept".into())
+                .spawn(move || accept_loop(listener, sh))
+                .map_err(MeshError::Io)?;
+        }
+
+        let mesh = SocketMesh {
+            shared: shared.clone(),
+        };
+        let endpoints = rxs
+            .into_iter()
+            .map(|(id, rx)| SocketEndpoint {
+                id,
+                rx,
+                shared: shared.clone(),
+            })
+            .collect();
+        Ok((mesh, endpoints))
+    }
+
+    /// The (possibly port-rewritten) address this process listens on.
+    pub fn local_addr(&self) -> SocketAddrSpec {
+        self.shared.cfg.processes[self.shared.cfg.me].clone()
+    }
+
+    /// Traffic counters (send-side, this process only).
+    pub fn stats(&self) -> Arc<NetStats> {
+        self.shared.stats.clone()
+    }
+
+    /// Shut the mesh down: subsequent sends fail with `Closed`, local
+    /// inboxes drain then report `Closed`, and the accept/writer threads
+    /// exit. Idempotent.
+    pub fn close(&self) {
+        close_shared(&self.shared);
+    }
+}
+
+fn close_shared<M>(shared: &MeshShared<M>) {
+    if shared.closed.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    shared.inboxes.write().clear();
+    // Wake every writer with the empty shutdown frame.
+    for tx in &shared.outboxes {
+        let _ = tx.send(Vec::new());
+    }
+    // Wake the accept loop; it checks `closed` after each accept.
+    let _ = connect(&shared.cfg.processes[shared.cfg.me]);
+    if let SocketAddrSpec::Uds(p) = &shared.cfg.processes[shared.cfg.me] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+impl<M: Send + WireCodec + 'static> SocketEndpoint<M> {
+    /// This endpoint's mesh-wide address.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Total endpoints across all processes.
+    pub fn n_endpoints(&self) -> usize {
+        self.shared.cfg.n_endpoints
+    }
+
+    /// Encode and enqueue `msg` for endpoint `to`. Never blocks on the
+    /// network: frames queue in the writer for `to`'s process and survive
+    /// reconnects.
+    pub fn send(&self, to: usize, msg: M) -> Result<(), SendError> {
+        let sh = &self.shared;
+        if to >= sh.cfg.n_endpoints {
+            return Err(SendError::UnknownEndpoint);
+        }
+        if sh.closed.load(Ordering::SeqCst) {
+            return Err(SendError::Closed);
+        }
+        let mut frame = Vec::with_capacity(64);
+        frame.extend_from_slice(&[0u8; 4]); // length placeholder
+        frame.extend_from_slice(&(self.id as u32).to_le_bytes());
+        frame.extend_from_slice(&(to as u32).to_le_bytes());
+        msg.encode(&mut frame);
+        let len = (frame.len() - 4) as u32;
+        frame[0..4].copy_from_slice(&len.to_le_bytes());
+        sh.stats.record(self.id, to, frame.len());
+        sh.outboxes[sh.cfg.home[to]]
+            .send(frame)
+            .map_err(|_| SendError::Closed)
+    }
+
+    /// Block until a message arrives (or the mesh closes).
+    pub fn recv(&self) -> Result<Envelope<M>, RecvError> {
+        self.rx.recv().map_err(|_| RecvError::Closed)
+    }
+
+    /// Block up to `timeout` for a message.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Envelope<M>, RecvError> {
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => RecvError::Timeout,
+            RecvTimeoutError::Disconnected => RecvError::Closed,
+        })
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Envelope<M>> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Messages waiting in this endpoint's inbox.
+    pub fn pending(&self) -> usize {
+        self.rx.len()
+    }
+
+    /// Traffic counters of the hosting process's mesh.
+    pub fn stats(&self) -> Arc<NetStats> {
+        self.shared.stats.clone()
+    }
+}
+
+/// Outbound side: own the connection to one process, retransmitting the
+/// in-flight frame across reconnects.
+fn writer_loop<M>(rx: Receiver<Vec<u8>>, addr: SocketAddrSpec, shared: Arc<MeshShared<M>>) {
+    let mut conn: Option<Stream> = None;
+    let mut backoff = BACKOFF_START;
+    loop {
+        let frame = match rx.recv() {
+            Ok(f) => f,
+            Err(_) => return,
+        };
+        if frame.is_empty() {
+            // Shutdown wake-up.
+            if shared.closed.load(Ordering::SeqCst) {
+                return;
+            }
+            continue;
+        }
+        loop {
+            if shared.closed.load(Ordering::SeqCst) {
+                return;
+            }
+            if conn.is_none() {
+                match connect(&addr) {
+                    Ok(s) => {
+                        conn = Some(s);
+                        backoff = BACKOFF_START;
+                    }
+                    Err(_) => {
+                        std::thread::sleep(backoff);
+                        backoff = (backoff * 2).min(BACKOFF_CAP);
+                        continue;
+                    }
+                }
+            }
+            let ok = match conn.as_mut() {
+                Some(s) => s.write_all(&frame).and_then(|()| s.flush()).is_ok(),
+                None => false,
+            };
+            if ok {
+                break;
+            }
+            conn = None; // reconnect and retransmit this frame
+        }
+    }
+}
+
+/// Accept loop: one reader thread per inbound connection.
+fn accept_loop<M: Send + WireCodec + 'static>(listener: Listener, shared: Arc<MeshShared<M>>) {
+    loop {
+        let stream = match &listener {
+            Listener::Tcp(l) => l.accept().map(|(s, _)| {
+                let _ = s.set_nodelay(true);
+                Stream::Tcp(s)
+            }),
+            Listener::Uds(l) => l.accept().map(|(s, _)| Stream::Uds(s)),
+        };
+        if shared.closed.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let sh = shared.clone();
+        let spawned = std::thread::Builder::new()
+            .name("gt-mesh-r".into())
+            .spawn(move || reader_loop(stream, sh));
+        if spawned.is_err() {
+            // Out of threads: drop the connection; the peer's writer will
+            // reconnect with backoff.
+            continue;
+        }
+    }
+}
+
+/// Inbound side: parse frames off one connection, route to local inboxes.
+fn reader_loop<M: Send + WireCodec + 'static>(mut stream: Stream, shared: Arc<MeshShared<M>>) {
+    let mut header = [0u8; 4];
+    loop {
+        if shared.closed.load(Ordering::SeqCst) {
+            return;
+        }
+        if stream.read_exact(&mut header).is_err() {
+            return; // EOF or reset: peer will reconnect if it cares
+        }
+        let len = u32::from_le_bytes(header) as usize;
+        if !(8..=MAX_FRAME).contains(&len) {
+            return; // malformed peer; closing forces it to reconnect
+        }
+        let mut body = vec![0u8; len];
+        if stream.read_exact(&mut body).is_err() {
+            return;
+        }
+        let from = u32::from_le_bytes([body[0], body[1], body[2], body[3]]) as usize;
+        let to = u32::from_le_bytes([body[4], body[5], body[6], body[7]]) as usize;
+        let Some(msg) = M::decode(&body[8..]) else {
+            shared.stats.record_drop();
+            continue;
+        };
+        let delivered = match shared.inboxes.read().get(&to) {
+            Some(tx) => tx.send(Envelope { from, to, msg }).is_ok(),
+            None => false,
+        };
+        if !delivered {
+            shared.stats.record_drop();
+        }
+    }
+}
+
+impl<M: Send + WireCodec + 'static> crate::Transport<M> for SocketEndpoint<M> {
+    fn id(&self) -> usize {
+        SocketEndpoint::id(self)
+    }
+    fn n_endpoints(&self) -> usize {
+        SocketEndpoint::n_endpoints(self)
+    }
+    fn send(&self, to: usize, msg: M) -> Result<(), SendError> {
+        SocketEndpoint::send(self, to, msg)
+    }
+    fn recv(&self) -> Result<Envelope<M>, RecvError> {
+        SocketEndpoint::recv(self)
+    }
+    fn recv_timeout(&self, timeout: Duration) -> Result<Envelope<M>, RecvError> {
+        SocketEndpoint::recv_timeout(self, timeout)
+    }
+    fn try_recv(&self) -> Option<Envelope<M>> {
+        SocketEndpoint::try_recv(self)
+    }
+    fn pending(&self) -> usize {
+        SocketEndpoint::pending(self)
+    }
+    fn stats(&self) -> Arc<NetStats> {
+        SocketEndpoint::stats(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tcp_mesh(n: usize) -> (SocketMesh<u64>, Vec<SocketEndpoint<u64>>) {
+        let cfg = MeshConfig::single_process(n, SocketAddrSpec::Tcp("127.0.0.1:0".into()));
+        SocketMesh::start(cfg).expect("start tcp mesh")
+    }
+
+    #[test]
+    fn tcp_loopback_round_trip_in_order() {
+        let (mesh, eps) = tcp_mesh(2);
+        for i in 0..100u64 {
+            eps[0].send(1, i).expect("send");
+        }
+        for i in 0..100u64 {
+            let env = eps[1]
+                .recv_timeout(Duration::from_secs(5))
+                .expect("recv in time");
+            assert_eq!(env.from, 0);
+            assert_eq!(env.to, 1);
+            assert_eq!(env.msg, i);
+        }
+        mesh.close();
+    }
+
+    #[test]
+    fn uds_round_trip() {
+        let dir = std::env::temp_dir().join(format!("gt-mesh-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("uds-rt.sock");
+        let cfg = MeshConfig::single_process(2, SocketAddrSpec::Uds(path.clone()));
+        let (mesh, eps) = SocketMesh::<String>::start(cfg).expect("start uds mesh");
+        eps[1].send(0, "hello".to_string()).expect("send");
+        let env = eps[0]
+            .recv_timeout(Duration::from_secs(5))
+            .expect("recv in time");
+        assert_eq!(env.msg, "hello");
+        assert_eq!(env.from, 1);
+        mesh.close();
+        assert!(!path.exists(), "socket file unlinked on close");
+    }
+
+    #[test]
+    fn send_before_remote_listener_queues_and_delivers() {
+        // Process 0 hosts endpoint 0, process 1 hosts endpoint 1; start
+        // process 0 first and send immediately — frames must queue until
+        // process 1 binds.
+        let l = TcpListener::bind("127.0.0.1:0").expect("probe bind");
+        let addr1 = l.local_addr().expect("probe addr").to_string();
+        drop(l); // race-prone in general, fine for a single test process
+
+        let cfg0 = MeshConfig {
+            n_endpoints: 2,
+            home: vec![0, 1],
+            processes: vec![
+                SocketAddrSpec::Tcp("127.0.0.1:0".into()),
+                SocketAddrSpec::Tcp(addr1.clone()),
+            ],
+            me: 0,
+        };
+        let (mesh0, eps0) = SocketMesh::<u64>::start(cfg0).expect("start mesh0");
+        eps0[0].send(1, 42).expect("send queues");
+
+        std::thread::sleep(Duration::from_millis(50)); // let backoff cycle
+        let cfg1 = MeshConfig {
+            n_endpoints: 2,
+            home: vec![0, 1],
+            processes: vec![mesh0.local_addr(), SocketAddrSpec::Tcp(addr1)],
+            me: 1,
+        };
+        let (mesh1, eps1) = SocketMesh::<u64>::start(cfg1).expect("start mesh1");
+        let env = eps1[0]
+            .recv_timeout(Duration::from_secs(10))
+            .expect("delivered after reconnect");
+        assert_eq!(env.msg, 42);
+        mesh0.close();
+        mesh1.close();
+    }
+
+    #[test]
+    fn close_makes_sends_fail_and_recv_report_closed() {
+        let (mesh, eps) = tcp_mesh(2);
+        mesh.close();
+        assert_eq!(eps[0].send(1, 7u64), Err(SendError::Closed));
+        // Inbox senders were dropped; after draining, recv reports Closed.
+        let mut saw_closed = false;
+        for _ in 0..100 {
+            match eps[1].recv_timeout(Duration::from_millis(50)) {
+                Err(RecvError::Closed) => {
+                    saw_closed = true;
+                    break;
+                }
+                Err(RecvError::Timeout) => continue,
+                Ok(_) => continue,
+            }
+        }
+        assert!(saw_closed);
+    }
+
+    #[test]
+    fn unknown_endpoint_rejected() {
+        let (mesh, eps) = tcp_mesh(1);
+        assert_eq!(eps[0].send(9, 1u64), Err(SendError::UnknownEndpoint));
+        mesh.close();
+    }
+
+    #[test]
+    fn stats_count_send_side_bytes() {
+        let (mesh, eps) = tcp_mesh(2);
+        eps[0].send(1, 5u64).expect("send");
+        let env = eps[1].recv_timeout(Duration::from_secs(5)).expect("recv");
+        assert_eq!(env.msg, 5);
+        let stats = mesh.stats();
+        assert!(stats.messages(0, 1) >= 1);
+        mesh.close();
+    }
+}
